@@ -1,0 +1,152 @@
+(* Reproduction driver: regenerate every table and figure of the paper's
+   evaluation, plus the ablation studies. *)
+
+open Cmdliner
+open Stx_harness
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "scale" ] ~doc:"Workload size multiplier (1.0 = default inputs).")
+
+let threads_arg =
+  Arg.(value & opt int 16 & info [ "threads" ] ~doc:"Simulated cores/threads.")
+
+let bench_arg =
+  Arg.(
+    value
+    & opt string "genome"
+    & info [ "bench" ] ~doc:"Benchmark name (see `stx_run --list`).")
+
+let ctx seed scale threads = Exp.create ~seed ~scale ~threads ()
+
+let section title body =
+  Printf.printf "==== %s ====\n%s\n%!" title body
+
+let cmd_of name title render =
+  let run seed scale threads = section title (render (ctx seed scale threads)) in
+  Cmd.v (Cmd.info name ~doc:title)
+    Term.(const run $ seed_arg $ scale_arg $ threads_arg)
+
+let fig1_cmd =
+  Cmd.v (Cmd.info "fig1" ~doc:"Figure 1: the staggering schematic, from real runs")
+    Term.(const (fun () -> section "Figure 1" (Reports.fig1 ())) $ const ())
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Simulator configuration (Table 2)")
+    Term.(const (fun () -> section "Table 2" (Reports.table2 ())) $ const ())
+
+let anchors_cmd =
+  let run bench =
+    match Stx_workloads.Registry.find bench with
+    | Some w -> section ("anchor tables: " ^ bench) (Reports.anchor_tables w)
+    | None -> prerr_endline ("unknown benchmark " ^ bench)
+  in
+  Cmd.v
+    (Cmd.info "anchors" ~doc:"Unified anchor tables of a benchmark (Figure 3)")
+    Term.(const run $ bench_arg)
+
+let scaling_cmd =
+  let run seed scale threads bench =
+    match Stx_workloads.Registry.find bench with
+    | Some w ->
+      section ("scaling: " ^ bench) (Reports.scaling (ctx seed scale threads) w)
+    | None -> prerr_endline ("unknown benchmark " ^ bench)
+  in
+  Cmd.v (Cmd.info "scaling" ~doc:"Thread-count sweep for one benchmark")
+    Term.(const run $ seed_arg $ scale_arg $ threads_arg $ bench_arg)
+
+let hotspots_cmd =
+  let run seed scale threads bench =
+    match Stx_workloads.Registry.find bench with
+    | Some w ->
+      section ("hotspots: " ^ bench) (Reports.hotspots (ctx seed scale threads) w)
+    | None -> prerr_endline ("unknown benchmark " ^ bench)
+  in
+  Cmd.v (Cmd.info "hotspots" ~doc:"Top conflicting lines/PCs of one benchmark")
+    Term.(const run $ seed_arg $ scale_arg $ threads_arg $ bench_arg)
+
+let scaling_all_cmd =
+  let run seed scale threads =
+    let c = ctx seed scale threads in
+    List.iter
+      (fun w -> section ("scaling: " ^ w.Stx_workloads.Workload.name) (Reports.scaling c w))
+      Stx_workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "scaling-all" ~doc:"Thread sweeps for every benchmark")
+    Term.(const run $ seed_arg $ scale_arg $ threads_arg)
+
+let fig7avg_cmd =
+  let run _seed scale threads =
+    section "Figure 7 (seed-averaged)"
+      (Reports.fig7_repeated ~scale ~threads ())
+  in
+  Cmd.v
+    (Cmd.info "fig7-avg" ~doc:"Figure 7 averaged over 5 seeds (paper methodology)")
+    Term.(const run $ seed_arg $ scale_arg $ threads_arg)
+
+let export_cmd =
+  let out_arg =
+    Arg.(value & opt string "results" & info [ "out" ] ~doc:"Output directory.")
+  in
+  let run seed scale threads out =
+    let paths = Export.write_all (ctx seed scale threads) ~dir:out in
+    List.iter print_endline paths
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Write the evaluation data as TSV files")
+    Term.(const run $ seed_arg $ scale_arg $ threads_arg $ out_arg)
+
+let ablations_cmd =
+  let run seed scale = section "ablations" (Ablations.all ~seed ~scale ()) in
+  Cmd.v (Cmd.info "ablations" ~doc:"Design-choice ablation studies")
+    Term.(const run $ seed_arg $ scale_arg)
+
+let all_cmd =
+  let run seed scale threads =
+    let c = ctx seed scale threads in
+    section "Table 2" (Reports.table2 ());
+    section "Figure 1" (Reports.fig1 ());
+    section "Table 1" (Reports.table1 c);
+    section "Table 3" (Reports.table3 c);
+    section "Table 4" (Reports.table4 c);
+    section "Figure 7" (Reports.fig7 c);
+    section "Figure 8" (Reports.fig8 c);
+    section "Serialization granularity (Result 2)" (Reports.granularity c)
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Every table and figure of the evaluation")
+    Term.(const run $ seed_arg $ scale_arg $ threads_arg)
+
+let () =
+  let info =
+    Cmd.info "stx_repro" ~version:"1.0"
+      ~doc:
+        "Reproduce the evaluation of 'Conflict Reduction in Hardware \
+         Transactions Using Advisory Locks' (SPAA 2015)"
+  in
+  let cmds =
+    [
+      cmd_of "table1" "Table 1: baseline HTM contention" Reports.table1;
+      table2_cmd;
+      cmd_of "table3" "Table 3: instrumentation statistics" Reports.table3;
+      cmd_of "table4" "Table 4: benchmark characteristics" Reports.table4;
+      cmd_of "granularity" "Whole-txn scheduling vs staggering (Result 2)"
+        Reports.granularity;
+      fig1_cmd;
+      cmd_of "fig7" "Figure 7: performance comparison" Reports.fig7;
+      cmd_of "fig8" "Figure 8: aborts and wasted cycles" Reports.fig8;
+      anchors_cmd;
+      scaling_cmd;
+      scaling_all_cmd;
+      hotspots_cmd;
+      fig7avg_cmd;
+      export_cmd;
+      ablations_cmd;
+      all_cmd;
+    ]
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

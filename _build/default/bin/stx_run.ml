@@ -1,0 +1,135 @@
+(* Run one benchmark under one runtime configuration and print the
+   statistics — the quick way to poke at the system. *)
+
+open Cmdliner
+open Stx_machine
+open Stx_core
+open Stx_sim
+open Stx_workloads
+
+let print_stats name mode threads (s : Stats.t) =
+  Printf.printf "%s / %s / %d threads\n" name (Mode.to_string mode) threads;
+  Printf.printf "  commits            %d\n" s.Stats.commits;
+  Printf.printf "  aborts             %d (conflict %d, lock-subscription %d, explicit %d)\n"
+    s.Stats.aborts s.Stats.conflict_aborts s.Stats.lock_sub_aborts
+    s.Stats.explicit_aborts;
+  Printf.printf "  aborts per commit  %.2f\n" (Stats.aborts_per_commit s);
+  Printf.printf "  irrevocable        %d (%.1f%%)\n" s.Stats.irrevocable_entries
+    (Stats.pct_irrevocable s);
+  Printf.printf "  cycles (makespan)  %d\n" s.Stats.total_cycles;
+  Printf.printf "  useful cycles      %d\n" s.Stats.useful_cycles;
+  Printf.printf "  wasted cycles      %d (W/U %.2f)\n" s.Stats.wasted_cycles
+    (Stats.wasted_over_useful s);
+  Printf.printf "  %% time in TM       %.0f%%\n" (Stats.pct_tx_time s);
+  Printf.printf "  advisory locks     %d acquired, %d timeouts, %d wait cycles\n"
+    s.Stats.lock_acquires s.Stats.lock_timeouts s.Stats.lock_wait_cycles;
+  Printf.printf "  ALPs executed      %d (%d went for a lock)\n" s.Stats.alps_executed
+    s.Stats.alps_lock_attempts;
+  Printf.printf "  policy decisions   precise %d / coarse %d / promoted %d / training %d\n"
+    s.Stats.precise s.Stats.coarse s.Stats.promoted s.Stats.training;
+  if s.Stats.accuracy_total > 0 then
+    Printf.printf "  anchor accuracy    %.1f%% (%d/%d)\n" (Stats.accuracy s)
+      s.Stats.accuracy_hits s.Stats.accuracy_total;
+  Printf.printf "  instructions       %d (%d transactional)\n%!" s.Stats.insts
+    s.Stats.tx_insts
+
+let print_per_ab (spec : Machine.spec) (s : Stats.t) =
+  let atomics = spec.Machine.compiled.Stx_compiler.Pipeline.prog.Stx_tir.Ir.atomics in
+  if Array.length atomics > 1 then begin
+    Printf.printf "  per atomic block:\n";
+    Array.iter
+      (fun (a : Stx_tir.Ir.atomic) ->
+        let ab = Stats.ab s a.Stx_tir.Ir.ab_id in
+        Printf.printf "    %-24s commits %-7d aborts %-7d locks %-6d irrev %d\n"
+          a.Stx_tir.Ir.ab_name ab.Stats.ab_commits ab.Stats.ab_aborts
+          ab.Stats.ab_locks ab.Stats.ab_irrevocable)
+      atomics
+  end
+
+let run list_benches bench mode threads seed scale trace =
+  if list_benches then begin
+    List.iter
+      (fun w ->
+        Printf.printf "%-10s %-14s %s\n" w.Workload.name w.Workload.source
+          w.Workload.description)
+      Registry.all;
+    exit 0
+  end;
+  let w =
+    match Registry.find bench with
+    | Some w -> w
+    | None ->
+      prerr_endline ("unknown benchmark: " ^ bench ^ " (try --list)");
+      exit 1
+  in
+  let mode =
+    match Mode.of_string mode with
+    | Some m -> m
+    | None ->
+      prerr_endline ("unknown mode: " ^ mode ^ " (HTM|AddrOnly|Staggered+SW|Staggered)");
+      exit 1
+  in
+  let cfg = Config.with_cores threads Config.default in
+  let on_event =
+    if trace then fun ~time ev ->
+      let msg =
+        match ev with
+        | Machine.Tx_begin { tid; ab; attempt } ->
+          Printf.sprintf "t%-2d begin ab%d attempt %d" tid ab attempt
+        | Machine.Tx_commit { tid; ab; cycles } ->
+          Printf.sprintf "t%-2d commit ab%d (%d cyc)" tid ab cycles
+        | Machine.Tx_abort { tid; ab; conf_line } ->
+          Printf.sprintf "t%-2d abort ab%d%s" tid ab
+            (match conf_line with
+            | Some l -> Printf.sprintf " on line %d" l
+            | None -> "")
+        | Machine.Tx_irrevocable { tid; ab } ->
+          Printf.sprintf "t%-2d irrevocable ab%d" tid ab
+        | Machine.Lock_acquired { tid; lock; _ } ->
+          Printf.sprintf "t%-2d lock %d acquired" tid lock
+        | Machine.Lock_waiting { tid; lock } ->
+          Printf.sprintf "t%-2d waiting on lock %d" tid lock
+        | Machine.Lock_timeout { tid; lock } ->
+          Printf.sprintf "t%-2d timed out on lock %d" tid lock
+      in
+      Printf.printf "[%10d] %s\n" time msg
+    else fun ~time:_ _ -> ()
+  in
+  let spec = Workload.spec ~instrument:(Mode.uses_alps mode) ~scale w in
+  let stats = Machine.run ~seed ~cfg ~mode ~on_event spec in
+  print_stats bench mode threads stats;
+  print_per_ab spec stats
+
+let () =
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List available benchmarks.")
+  in
+  let bench_arg =
+    Arg.(value & opt string "list-hi" & info [ "bench"; "b" ] ~doc:"Benchmark.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt string "Staggered"
+      & info [ "mode"; "m" ] ~doc:"HTM | AddrOnly | Staggered+SW | Staggered.")
+  in
+  let threads_arg =
+    Arg.(value & opt int 16 & info [ "threads"; "t" ] ~doc:"Simulated threads.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed.") in
+  let scale_arg =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Workload scale.")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print every runtime event.")
+  in
+  let term =
+    Term.(
+      const run $ list_arg $ bench_arg $ mode_arg $ threads_arg $ seed_arg
+      $ scale_arg $ trace_arg)
+  in
+  let info =
+    Cmd.info "stx_run" ~version:"1.0"
+      ~doc:"Run one benchmark on the simulated HTM under a chosen runtime"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,1 @@
+examples/bank.ml: Alloc Array Builder Config Ir List Machine Memory Mode Option Printf Stats Stx_compiler Stx_core Stx_machine Stx_sim Stx_tir

@@ -1,0 +1,1 @@
+examples/custom_policy.ml: Config Machine Mode Option Policy Printf Registry Stats Stx_core Stx_machine Stx_sim Stx_workloads Workload

@@ -1,0 +1,1 @@
+examples/inspect_compiler.ml: Anchors Array Format Hashtbl Ir List Option Pipeline Pp Printf Registry Stx_compiler Stx_tir Stx_tstruct Stx_workloads Unified Workload

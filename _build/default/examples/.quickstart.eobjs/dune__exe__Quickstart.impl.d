@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alloc Array Buffer Builder Config Ir Machine Mode Printf Stats Stx_compiler Stx_core Stx_machine Stx_sim Stx_tir Types

@@ -1,0 +1,1 @@
+lib/compiler/anchors.ml: Array Dom Dsa Dsnode Hashtbl Ir List Option Stx_dsa Stx_tir Verify

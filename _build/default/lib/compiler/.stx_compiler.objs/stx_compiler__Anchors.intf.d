@@ -1,0 +1,1 @@
+lib/compiler/anchors.mli: Dsa Dsnode Hashtbl Ir Stx_dsa Stx_tir

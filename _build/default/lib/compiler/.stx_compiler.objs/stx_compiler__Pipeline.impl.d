@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Anchors Array Hashtbl Ir Layout Stx_dsa Stx_tir Unified Verify

@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Anchors Ir Layout Stx_dsa Stx_tir Unified

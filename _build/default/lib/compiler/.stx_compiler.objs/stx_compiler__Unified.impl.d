@@ -1,0 +1,1 @@
+lib/compiler/unified.ml: Anchors Array Dsa Dsnode Format Hashtbl Ir Layout List Option Printf Stx_dsa Stx_tir

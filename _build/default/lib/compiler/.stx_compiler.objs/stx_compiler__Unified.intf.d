@@ -1,0 +1,1 @@
+lib/compiler/unified.mli: Anchors Dsa Format Ir Layout Stx_dsa Stx_tir

@@ -1,0 +1,198 @@
+open Stx_tir
+open Stx_dsa
+
+type entry = {
+  le_iid : int;
+  le_is_anchor : bool;
+  le_node : Dsnode.t;
+  le_pioneer : int option;
+  mutable le_parent : int option;
+}
+
+type local_table = { lt_func : string; lt_entries : entry array }
+
+type mode = Dsa_guided | Naive
+
+type t = {
+  locals : (string, local_table) Hashtbl.t;
+  anchor_sites : (int, int) Hashtbl.t;
+  site_anchor : (int, int) Hashtbl.t;
+  loads_stores_analyzed : int;
+  anchors_instrumented : int;
+}
+
+(* Algorithm 1: classify the loads/stores of one function by a depth-first
+   walk of its dominator tree. *)
+let build_local prog dsa ~mode fname =
+  let f = Ir.find_func prog fname in
+  let dom = Dom.compute f in
+  (* per-DSNode lists of (entry, block, inst index), in discovery order *)
+  let by_node : (int, (entry * int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let all = ref [] in
+  let classify bi ii (inst : Ir.inst) =
+    match Dsa.access_node dsa inst.Ir.iid with
+    | None -> ()
+    | Some (node, _field) ->
+      let nid = Dsnode.id node in
+      let bucket =
+        match Hashtbl.find_opt by_node nid with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.add by_node nid l;
+          l
+      in
+      let dominating =
+        if mode = Naive then None
+        else
+          List.find_opt
+            (fun (_, mb, mi) -> Dom.inst_dominates dom (mb, mi) (bi, ii))
+            (List.rev !bucket)
+      in
+      let e =
+        match dominating with
+        | Some (m, _, _) ->
+          (* pioneer must be an anchor: follow the found entry's own pioneer *)
+          let pioneer =
+            if m.le_is_anchor then Some m.le_iid else m.le_pioneer
+          in
+          {
+            le_iid = inst.Ir.iid;
+            le_is_anchor = false;
+            le_node = node;
+            le_pioneer = pioneer;
+            le_parent = None;
+          }
+        | None ->
+          {
+            le_iid = inst.Ir.iid;
+            le_is_anchor = true;
+            le_node = node;
+            le_pioneer = None;
+            le_parent = None;
+          }
+      in
+      bucket := (e, bi, ii) :: !bucket;
+      all := e :: !all
+  in
+  (* dominator-tree DFS preorder over blocks; instructions in block order *)
+  List.iter
+    (fun bi ->
+      Array.iteri
+        (fun ii inst -> if Ir.is_mem_access inst.Ir.op then classify bi ii inst)
+        f.Ir.blocks.(bi).Ir.insts)
+    (Dom.preorder dom);
+  (* stage 2: parents along graph edges (self edges excluded: a list node's
+     own anchor is not its parent — that link is to the structure above) *)
+  let rep_anchor nid =
+    match Hashtbl.find_opt by_node nid with
+    | None -> None
+    | Some l ->
+      List.rev !l
+      |> List.find_opt (fun (e, _, _) -> e.le_is_anchor)
+      |> Option.map (fun (e, _, _) -> e)
+  in
+  Hashtbl.iter
+    (fun nid bucket ->
+      match !bucket with
+      | [] -> ()
+      | (sample, _, _) :: _ ->
+        let n = Dsnode.find sample.le_node in
+        if Dsnode.id n = nid then
+          List.iter
+            (fun (_, m) ->
+              let mid = Dsnode.id m in
+              if mid <> nid then
+                match (rep_anchor nid, Hashtbl.find_opt by_node mid) with
+                | Some parent, Some targets ->
+                  List.iter
+                    (fun (e, _, _) ->
+                      if e.le_is_anchor && e.le_parent = None then
+                        e.le_parent <- Some parent.le_iid)
+                    !targets
+                | _ -> ())
+            (Dsnode.edges n))
+    by_node;
+  (* entries in layout order *)
+  let by_iid = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace by_iid e.le_iid e) !all;
+  let ordered = ref [] in
+  Ir.iter_insts f (fun _ _ inst ->
+      match Hashtbl.find_opt by_iid inst.Ir.iid with
+      | Some e -> ordered := e :: !ordered
+      | None -> ());
+  { lt_func = fname; lt_entries = Array.of_list (List.rev !ordered) }
+
+(* Insert an [Alp] pseudo-instruction immediately before each anchor. *)
+let instrument prog anchor_iids =
+  let sites = Hashtbl.create 64 in
+  let site_anchor = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ (f : Ir.func) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          let needs =
+            Array.exists (fun i -> Hashtbl.mem anchor_iids i.Ir.iid) b.Ir.insts
+          in
+          if needs then begin
+            let out = ref [] in
+            Array.iter
+              (fun (inst : Ir.inst) ->
+                (if Hashtbl.mem anchor_iids inst.Ir.iid then
+                   match Ir.pointer_reg inst.Ir.op with
+                   | Some addr_reg ->
+                     let site = Ir.fresh_alp_site prog in
+                     Hashtbl.replace sites inst.Ir.iid site;
+                     Hashtbl.replace site_anchor site inst.Ir.iid;
+                     let alp =
+                       {
+                         Ir.alp_site = site;
+                         Ir.alp_addr = addr_reg;
+                         Ir.alp_anchor_iid = inst.Ir.iid;
+                       }
+                     in
+                     out := { Ir.iid = Ir.fresh_iid prog; Ir.op = Ir.Alp alp } :: !out
+                   | None -> ());
+                out := inst :: !out)
+              b.Ir.insts;
+            b.Ir.insts <- Array.of_list (List.rev !out)
+          end)
+        f.Ir.blocks)
+    prog.Ir.funcs;
+  (sites, site_anchor)
+
+let build ?(insert = true) prog dsa ~mode =
+  let reach = Verify.atomic_reachable prog in
+  let locals = Hashtbl.create 16 in
+  let analyzed = ref 0 in
+  let anchor_iids = Hashtbl.create 64 in
+  let names = Hashtbl.fold (fun n () acc -> n :: acc) reach [] |> List.sort compare in
+  List.iter
+    (fun fname ->
+      if Hashtbl.mem prog.Ir.funcs fname then begin
+        let lt = build_local prog dsa ~mode fname in
+        Hashtbl.replace locals fname lt;
+        Array.iter
+          (fun e ->
+            incr analyzed;
+            if e.le_is_anchor then Hashtbl.replace anchor_iids e.le_iid ())
+          lt.lt_entries
+      end)
+    names;
+  let anchor_sites, site_anchor =
+    if insert then instrument prog anchor_iids
+    else (Hashtbl.create 1, Hashtbl.create 1)
+  in
+  {
+    locals;
+    anchor_sites;
+    site_anchor;
+    loads_stores_analyzed = !analyzed;
+    anchors_instrumented =
+      (if insert then Hashtbl.length anchor_sites else Hashtbl.length anchor_iids);
+  }
+
+let entry_for t ~func ~iid =
+  match Hashtbl.find_opt t.locals func with
+  | None -> None
+  | Some lt -> Array.find_opt (fun e -> e.le_iid = iid) lt.lt_entries

@@ -1,0 +1,44 @@
+open Stx_tir
+open Stx_dsa
+
+(** Local anchor tables (Algorithm 1 of the paper) and ALP instrumentation.
+
+    A load/store is an {e anchor} if it may be the initial access to its
+    DSNode on some execution path: walking the dominator tree depth-first,
+    an access is a non-anchor exactly when an earlier access to the same
+    DSNode dominates it, in which case its {e pioneer} is that access's
+    canonical anchor. Anchors on a node reached through a pointer loaded
+    via another node's anchor have that anchor as {e parent} (filled at the
+    local level here; cross-function parents are completed by
+    {!Unified}). *)
+
+type entry = {
+  le_iid : int;  (** the load/store instruction *)
+  le_is_anchor : bool;
+  le_node : Dsnode.t;  (** DSNode accessed *)
+  le_pioneer : int option;  (** iid of the canonical anchor for non-anchors *)
+  mutable le_parent : int option;  (** iid of the parent anchor, if local *)
+}
+
+type local_table = { lt_func : string; lt_entries : entry array (** layout order *) }
+
+type mode =
+  | Dsa_guided  (** the paper's pass: anchors chosen per Algorithm 1 *)
+  | Naive  (** instrument every load and store (§6.1 comparison) *)
+
+type t = {
+  locals : (string, local_table) Hashtbl.t;  (** atomic-reachable functions *)
+  anchor_sites : (int, int) Hashtbl.t;  (** anchor iid -> ALP site id *)
+  site_anchor : (int, int) Hashtbl.t;  (** ALP site id -> anchor iid *)
+  loads_stores_analyzed : int;
+  anchors_instrumented : int;
+}
+
+val build : ?insert:bool -> Ir.program -> Dsa.t -> mode:mode -> t
+(** Build local tables for every atomic-reachable function and insert an
+    [Alp] instruction before each anchor, mutating the program in place.
+    [insert:false] builds the tables (and the static statistics) without
+    touching the code — the uninstrumented baseline binary. Call before
+    {!Layout.assign}. *)
+
+val entry_for : t -> func:string -> iid:int -> entry option

@@ -1,0 +1,31 @@
+open Stx_tir
+
+(** The whole compile flow in one call: verification, Data Structure
+    Analysis, anchor classification, ALP instrumentation, binary layout,
+    and PC-indexed unified anchor tables — everything the runtime needs to
+    execute a program under Staggered Transactions. *)
+
+type t = {
+  prog : Ir.program;  (** the (instrumented) program *)
+  dsa : Stx_dsa.Dsa.t;
+  anchors : Anchors.t;
+  unified : Unified.table array;  (** indexed by atomic-block id *)
+  layout : Layout.t;
+  pc_bits : int;
+  read_only : bool array;
+      (** per atomic block: no store (or allocation) is reachable from its
+          root, so its transactions never abort anyone else *)
+}
+
+val compile : ?pc_bits:int -> ?mode:Anchors.mode -> ?instrument:bool -> Ir.program -> t
+(** Instruments [prog] in place. [pc_bits] defaults to 12 (the paper's
+    hardware tag width); [mode] defaults to [Dsa_guided]; [instrument:false]
+    analyzes without inserting ALPs (the plain-HTM baseline binary). *)
+
+val table_for : t -> ab:int -> Unified.table
+
+val is_read_only : t -> ab:int -> bool
+
+val static_stats : t -> int * int
+(** (loads/stores analyzed, anchors instrumented) — the "Static Stats"
+    columns of Table 3. *)

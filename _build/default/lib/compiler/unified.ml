@@ -1,0 +1,188 @@
+open Stx_tir
+open Stx_dsa
+
+type entry = {
+  ue_id : int;
+  ue_iid : int;
+  ue_func : string;
+  ue_is_anchor : bool;
+  ue_site : int option;
+  mutable ue_parent : int option;
+  ue_pioneer : int option;
+  ue_node : int;
+}
+
+type table = {
+  t_ab : int;
+  mutable t_entries : entry array;
+  by_pc : (int, int) Hashtbl.t;
+  by_low : (int, int) Hashtbl.t; (* truncated pc -> first entry id *)
+  by_site : (int, int) Hashtbl.t;
+}
+
+let ab_id t = t.t_ab
+let entries t = t.t_entries
+
+let build prog dsa (anch : Anchors.t) =
+  let build_one (ab : Ir.atomic) =
+    let acc = ref [] in
+    let next_id = ref 0 in
+    (* first anchor entry id per root-context node *)
+    let rep_of_node : (int, int) Hashtbl.t = Hashtbl.create 32 in
+    let anchors_on_node : (int, int list ref) Hashtbl.t = Hashtbl.create 32 in
+    (* remember one representative Dsnode.t per translated node id, for the
+       edge-based parent completion *)
+    let node_obj : (int, Dsnode.t) Hashtbl.t = Hashtbl.create 32 in
+    let add_entry e =
+      acc := e :: !acc;
+      if e.ue_is_anchor then begin
+        if not (Hashtbl.mem rep_of_node e.ue_node) then
+          Hashtbl.replace rep_of_node e.ue_node e.ue_id;
+        let l =
+          match Hashtbl.find_opt anchors_on_node e.ue_node with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.add anchors_on_node e.ue_node l;
+            l
+        in
+        l := e.ue_id :: !l
+      end
+    in
+    let rec visit fname translate active =
+      if List.mem fname active then ()
+      else
+        match Hashtbl.find_opt anch.Anchors.locals fname with
+        | None -> ()
+        | Some lt ->
+          (* map anchor iid -> ue_id within this visit, for pioneers *)
+          let local_ids = Hashtbl.create 16 in
+          Array.iter
+            (fun (le : Anchors.entry) ->
+              let node = translate le.Anchors.le_node in
+              let nid = Dsnode.id node in
+              Hashtbl.replace node_obj nid node;
+              let ue_id = !next_id in
+              incr next_id;
+              let pioneer =
+                Option.bind le.Anchors.le_pioneer (Hashtbl.find_opt local_ids)
+              in
+              let e =
+                {
+                  ue_id;
+                  ue_iid = le.Anchors.le_iid;
+                  ue_func = fname;
+                  ue_is_anchor = le.Anchors.le_is_anchor;
+                  ue_site = Hashtbl.find_opt anch.Anchors.anchor_sites le.Anchors.le_iid;
+                  ue_parent = None;
+                  ue_pioneer = pioneer;
+                  ue_node = nid;
+                }
+              in
+              Hashtbl.replace local_ids le.Anchors.le_iid ue_id;
+              add_entry e)
+            lt.Anchors.lt_entries;
+          (* recurse into call sites in layout order *)
+          let f = Ir.find_func prog fname in
+          Ir.iter_insts f (fun _ _ inst ->
+              match Ir.callee inst.Ir.op with
+              | Some g when Hashtbl.mem anch.Anchors.locals g ->
+                let call_iid = inst.Ir.iid in
+                let translate' n =
+                  translate (Dsa.map_callee_node dsa ~call_iid n)
+                in
+                visit g translate' (fname :: active)
+              | _ -> ())
+    in
+    visit ab.Ir.ab_func (fun n -> Dsnode.find n) [];
+    let arr = Array.of_list (List.rev !acc) in
+    (* parent completion from root-context graph edges: anchors on the
+       target of an edge n -> m (n <> m) get n's representative anchor *)
+    let nodes = Hashtbl.fold (fun nid n l -> (nid, n) :: l) node_obj [] in
+    let nodes = List.sort (fun (a, _) (b, _) -> compare a b) nodes in
+    List.iter
+      (fun (nid, n) ->
+        match Hashtbl.find_opt rep_of_node nid with
+        | None -> ()
+        | Some parent_id ->
+          List.iter
+            (fun (_, m) ->
+              let mid = Dsnode.id m in
+              if mid <> nid then
+                match Hashtbl.find_opt anchors_on_node mid with
+                | None -> ()
+                | Some l ->
+                  List.iter
+                    (fun eid ->
+                      let e = arr.(eid) in
+                      if e.ue_parent = None && eid <> parent_id then
+                        e.ue_parent <- Some parent_id)
+                    (List.rev !l))
+            (Dsnode.edges n))
+      nodes;
+    let t =
+      {
+        t_ab = ab.Ir.ab_id;
+        t_entries = arr;
+        by_pc = Hashtbl.create 64;
+        by_low = Hashtbl.create 64;
+        by_site = Hashtbl.create 64;
+      }
+    in
+    Array.iter
+      (fun e ->
+        match e.ue_site with
+        | Some s -> Hashtbl.replace t.by_site s e.ue_id
+        | None -> ())
+      arr;
+    t
+  in
+  Array.map build_one prog.Ir.atomics
+
+let index_by_pc t layout ~pc_bits =
+  Hashtbl.reset t.by_pc;
+  Hashtbl.reset t.by_low;
+  Array.iter
+    (fun e ->
+      match Layout.pc_of_iid layout e.ue_iid with
+      | pc ->
+        if not (Hashtbl.mem t.by_pc pc) then Hashtbl.add t.by_pc pc e.ue_id;
+        let low = Layout.truncate ~bits:pc_bits pc in
+        if not (Hashtbl.mem t.by_low low) then Hashtbl.add t.by_low low e.ue_id
+      | exception Not_found -> ())
+    t.t_entries
+
+let search_by_pc t pc =
+  Option.map (fun i -> t.t_entries.(i)) (Hashtbl.find_opt t.by_pc pc)
+
+let search_by_truncated_pc t low =
+  Option.map (fun i -> t.t_entries.(i)) (Hashtbl.find_opt t.by_low low)
+
+let entry_of_site t site =
+  Option.map (fun i -> t.t_entries.(i)) (Hashtbl.find_opt t.by_site site)
+
+let anchor_of t e =
+  if e.ue_is_anchor then Some e
+  else Option.map (fun i -> t.t_entries.(i)) e.ue_pioneer
+
+let parent_of t e = Option.map (fun i -> t.t_entries.(i)) e.ue_parent
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>unified anchor table for atomic block %d@," t.t_ab;
+  Array.iter
+    (fun e ->
+      let kind = if e.ue_is_anchor then "A" else " " in
+      let rel =
+        if e.ue_is_anchor then
+          match e.ue_parent with
+          | Some p -> Printf.sprintf "parent %d" p
+          | None -> "parent -"
+        else
+          match e.ue_pioneer with
+          | Some p -> Printf.sprintf "pioneer %d" p
+          | None -> "pioneer -"
+      in
+      Format.fprintf ppf "  %s %3d  i%-5d %-24s node %-4d %s@," kind e.ue_id e.ue_iid
+        e.ue_func e.ue_node rel)
+    t.t_entries;
+  Format.fprintf ppf "@]"

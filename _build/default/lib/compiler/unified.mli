@@ -1,0 +1,57 @@
+open Stx_tir
+open Stx_dsa
+
+(** Unified per-atomic-block anchor tables (§3.3).
+
+    Walking top-down from each atomic block's root function, local anchor
+    tables are cloned and merged, translating each entry's DSNode along the
+    composed call-site node mappings from the bottom-up DSA. The result is
+    context-sensitive: the same instruction may have different parents in
+    different atomic blocks. Parent links missing at the local level (the
+    pointer was passed in as an argument) are completed here from the
+    root-context graph edges. After {!Layout.assign}, tables are indexed by
+    PC — including by truncated PC, modelling the hardware's 12-bit
+    conflicting-PC tag. *)
+
+type entry = {
+  ue_id : int;  (** index within this table *)
+  ue_iid : int;  (** the load/store instruction *)
+  ue_func : string;
+  ue_is_anchor : bool;
+  ue_site : int option;  (** ALP site id when this entry is an anchor *)
+  mutable ue_parent : int option;  (** ue_id of the parent anchor *)
+  ue_pioneer : int option;  (** ue_id of the canonical anchor (non-anchors) *)
+  ue_node : int;  (** root-context DSNode id (diagnostics/grouping) *)
+}
+
+type table
+
+val ab_id : table -> int
+val entries : table -> entry array
+
+val build : Ir.program -> Dsa.t -> Anchors.t -> table array
+(** One table per atomic block, indexed by [ab_id]. Call after
+    {!Anchors.build} (tables refer to ALP sites). *)
+
+val index_by_pc : table -> Layout.t -> pc_bits:int -> unit
+(** Populate the PC indexes once instruction addresses are known. *)
+
+val search_by_pc : table -> int -> entry option
+(** Exact (full-width) PC lookup of a load/store entry. *)
+
+val search_by_truncated_pc : table -> int -> entry option
+(** Lookup by the low [pc_bits] bits only, as the hardware tag provides;
+    ambiguities resolve to the first entry in table order (a modelled
+    source of inaccuracy). *)
+
+val entry_of_site : table -> int -> entry option
+(** The entry describing the anchor with the given ALP site id. *)
+
+val anchor_of : table -> entry -> entry option
+(** Resolve an entry to its anchor: itself if it is one, else its
+    pioneer. *)
+
+val parent_of : table -> entry -> entry option
+
+val pp : Format.formatter -> table -> unit
+(** Figure 3-style listing: each entry with anchor/pioneer/parent. *)

@@ -1,0 +1,1 @@
+lib/core/abcontext.ml: Array Stx_compiler Unified

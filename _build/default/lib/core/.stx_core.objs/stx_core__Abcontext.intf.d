@@ -1,0 +1,1 @@
+lib/core/abcontext.mli: Stx_compiler Unified

@@ -1,0 +1,1 @@
+lib/core/advisory_lock.mli: Htm Stx_htm Stx_machine

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Abcontext Option Stx_compiler Unified

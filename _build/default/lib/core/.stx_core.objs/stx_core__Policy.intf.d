@@ -1,0 +1,1 @@
+lib/core/policy.mli: Abcontext Stx_compiler Unified

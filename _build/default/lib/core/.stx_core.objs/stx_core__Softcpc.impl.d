@@ -1,0 +1,1 @@
+lib/core/softcpc.ml: Hashtbl

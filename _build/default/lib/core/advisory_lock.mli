@@ -1,0 +1,45 @@
+open Stx_htm
+
+(** The advisory-lock table.
+
+    A static array of lock words living in simulated memory, reached only
+    through nontransactional operations, exactly as `AcquireLockFor` does
+    in the paper (§5.1): the lock for a datum is chosen by hashing its
+    cache-line address into the table. Locks are advisory — correctness
+    never depends on them — so a waiter may time out and proceed.
+
+    Each lock also carries a contention flag, set when an acquire attempt
+    finds the lock busy; the holder samples and clears it at release so the
+    policy can decay activations that no longer pay off ("an empty entry
+    can be appended to the abort history", §5.2). *)
+
+type t
+
+val create : ?count:int -> Htm.t -> Stx_machine.Alloc.t -> t
+(** [count] locks (default 256), allocated line-spread so two locks never
+    share a cache line. *)
+
+val count : t -> int
+
+val index_for : t -> addr:int -> int
+(** The lock index guarding [addr]'s cache line. *)
+
+val lock_addr : t -> int -> int
+(** Simulated-memory address of lock word [i]. *)
+
+val try_acquire : t -> core:int -> idx:int -> bool
+(** One nontransactional CAS attempt; marks contention on failure. *)
+
+val release : t -> core:int -> idx:int -> contended:bool ref -> unit
+(** Release lock [idx] (which [core] must hold); sets [contended] to
+    whether any acquire attempt failed while it was held. *)
+
+val waiters : t -> idx:int -> int
+(** Spinners currently queued on lock [idx] (runtime bookkeeping the
+    waiter-cap policy consults). *)
+
+val add_waiter : t -> idx:int -> unit
+val remove_waiter : t -> idx:int -> unit
+
+val holder : t -> idx:int -> int option
+(** Core currently holding lock [idx], if any. *)

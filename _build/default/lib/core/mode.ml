@@ -1,0 +1,22 @@
+type t = Baseline | Addr_only | Tx_sched | Staggered_sw | Staggered_hw
+
+let to_string = function
+  | Baseline -> "HTM"
+  | Addr_only -> "AddrOnly"
+  | Tx_sched -> "TxSched"
+  | Staggered_sw -> "Staggered+SW"
+  | Staggered_hw -> "Staggered"
+
+let of_string = function
+  | "HTM" | "htm" | "baseline" -> Some Baseline
+  | "AddrOnly" | "addronly" | "addr-only" -> Some Addr_only
+  | "TxSched" | "txsched" | "tx-sched" -> Some Tx_sched
+  | "Staggered+SW" | "staggered-sw" | "sw" -> Some Staggered_sw
+  | "Staggered" | "staggered" | "hw" -> Some Staggered_hw
+  | _ -> None
+
+let all = [ Baseline; Addr_only; Tx_sched; Staggered_sw; Staggered_hw ]
+
+let uses_alps = function
+  | Baseline | Addr_only | Tx_sched -> false
+  | Staggered_sw | Staggered_hw -> true

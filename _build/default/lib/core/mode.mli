@@ -1,0 +1,21 @@
+(** The four runtime configurations compared in Figure 7. *)
+
+type t =
+  | Baseline  (** plain HTM, no instrumentation active *)
+  | Addr_only  (** one fixed ALP per atomic block, precise mode only *)
+  | Tx_sched
+      (** whole-transaction scheduling in the style of Proactive
+          Transaction Scheduling (§7 related work): once an atomic block
+          shows repeated contention, every instance serializes behind a
+          per-block lock for as long as the evidence holds — no partial
+          overlap. The comparison point for the paper's "more parallelism"
+          claim (Result 2). *)
+  | Staggered_sw  (** Staggered Transactions with software anchor tracking *)
+  | Staggered_hw  (** Staggered Transactions with the hardware PC tag *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list
+
+val uses_alps : t -> bool
+(** Whether compiler-inserted ALPs are consulted at run time. *)

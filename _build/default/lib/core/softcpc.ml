@@ -1,0 +1,14 @@
+type t = (int, int) Hashtbl.t
+
+let create () = Hashtbl.create 1024
+
+let note t ~line ~site =
+  if Hashtbl.mem t line then false
+  else begin
+    Hashtbl.add t line site;
+    true
+  end
+
+let lookup t ~line = Hashtbl.find_opt t line
+
+let size t = Hashtbl.length t

@@ -1,0 +1,20 @@
+(** Software alternative to hardware conflicting-PC tracking (§4).
+
+    A per-thread map from cache-line address to the ALP site that first
+    touched it: every executed ALP records its site for the upcoming
+    access's line (one nontransactional load to probe plus one
+    nontransactional store when absent — the cycle cost is charged by the
+    interpreter). On an abort, the conflicting line maps directly back to
+    an ALP site without any PC support from the hardware. *)
+
+type t
+
+val create : unit -> t
+
+val note : t -> line:int -> site:int -> bool
+(** Record [site] for [line] if the line was previously absent. Returns
+    whether a store was needed (for cost accounting). *)
+
+val lookup : t -> line:int -> int option
+
+val size : t -> int

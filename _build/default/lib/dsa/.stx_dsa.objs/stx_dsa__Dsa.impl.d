@@ -1,0 +1,1 @@
+lib/dsa/dsa.ml: Array Dsnode Hashtbl Ir List Option Stx_tir Types

@@ -1,0 +1,1 @@
+lib/dsa/dsa.mli: Dsnode Ir Stx_tir

@@ -1,0 +1,1 @@
+lib/dsa/dsnode.ml: Hashtbl List Option

@@ -1,0 +1,119 @@
+type t = {
+  nid : int;
+  mutable rep : t option;
+  mutable nty : string option;
+  mutable collapsed : bool;
+  mutable arr : bool;
+  edges_tbl : (int, t) Hashtbl.t;
+}
+
+let counter = ref 0
+
+let fresh ?ty () =
+  incr counter;
+  {
+    nid = !counter;
+    rep = None;
+    nty = ty;
+    collapsed = false;
+    arr = false;
+    edges_tbl = Hashtbl.create 4;
+  }
+
+let rec find n =
+  match n.rep with
+  | None -> n
+  | Some p ->
+    let r = find p in
+    if r != p then n.rep <- Some r;
+    r
+
+let id n = (find n).nid
+let same a b = find a == find b
+let ty n = (find n).nty
+let is_collapsed n = (find n).collapsed
+let is_array n = (find n).arr
+let set_array n = (find n).arr <- true
+
+(* Unification uses an explicit worklist: merging two nodes requires merging
+   corresponding edge targets, and cyclic structures (lists, trees with
+   parent pointers) would otherwise recurse forever. *)
+
+let rec process_pairs = function
+  | [] -> ()
+  | (a, b) :: rest ->
+    let a = find a and b = find b in
+    if a == b then process_pairs rest
+    else begin
+      (* keep [a] as the representative *)
+      b.rep <- Some a;
+      let more = ref rest in
+      (* type merge *)
+      (match (a.nty, b.nty) with
+      | None, Some t -> a.nty <- Some t
+      | Some ta, Some tb when ta <> tb -> a.collapsed <- true
+      | _ -> ());
+      if b.collapsed then a.collapsed <- true;
+      a.arr <- a.arr || b.arr;
+      (* edge merge *)
+      Hashtbl.iter
+        (fun f target ->
+          let f = if a.collapsed then 0 else f in
+          match Hashtbl.find_opt a.edges_tbl f with
+          | Some existing -> more := (existing, target) :: !more
+          | None -> Hashtbl.replace a.edges_tbl f target)
+        b.edges_tbl;
+      (* a collapsed node keeps a single edge on field 0 *)
+      if a.collapsed then begin
+        let all = Hashtbl.fold (fun _ t acc -> t :: acc) a.edges_tbl [] in
+        match all with
+        | [] -> ()
+        | first :: others ->
+          Hashtbl.reset a.edges_tbl;
+          Hashtbl.replace a.edges_tbl 0 first;
+          List.iter (fun o -> more := (first, o) :: !more) others
+      end;
+      process_pairs !more
+    end
+
+let unify a b = process_pairs [ (a, b) ]
+
+let collapse n =
+  let n = find n in
+  if not n.collapsed then begin
+    n.collapsed <- true;
+    let all = Hashtbl.fold (fun _ t acc -> t :: acc) n.edges_tbl [] in
+    Hashtbl.reset n.edges_tbl;
+    match all with
+    | [] -> ()
+    | first :: others ->
+      Hashtbl.replace n.edges_tbl 0 first;
+      List.iter (fun o -> unify first o) others
+  end
+
+let set_type n t =
+  let n = find n in
+  match n.nty with
+  | None -> n.nty <- Some t
+  | Some existing -> if existing <> t then collapse n
+
+let field_key n f = if (find n).collapsed then 0 else f
+
+let edge n f =
+  let n = find n in
+  Option.map find (Hashtbl.find_opt n.edges_tbl (field_key n f))
+
+let edge_or_create n f ~ty =
+  let n = find n in
+  let f = field_key n f in
+  match Hashtbl.find_opt n.edges_tbl f with
+  | Some t -> find t
+  | None ->
+    let t = fresh ?ty () in
+    Hashtbl.replace n.edges_tbl f t;
+    t
+
+let edges n =
+  let n = find n in
+  Hashtbl.fold (fun f t acc -> (f, find t) :: acc) n.edges_tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

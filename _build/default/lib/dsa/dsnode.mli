@@ -1,0 +1,43 @@
+(** Data structure nodes (DSNodes) — the abstract memory objects of the
+    Data Structure Analysis.
+
+    A DSNode summarizes a set of runtime objects that a pointer may target.
+    Nodes are unified (Steensgaard-style union-find) as the analysis
+    discovers aliasing; a node carries an optional struct type and, per
+    pointer field, an outgoing edge to the node its instances point to.
+    When incompatible types are unified the node {e collapses}: it becomes
+    field-insensitive and all its edges merge onto field 0. *)
+
+type t
+
+val fresh : ?ty:string -> unit -> t
+
+val find : t -> t
+(** Union-find representative. All other accessors resolve through [find]. *)
+
+val id : t -> int
+(** Identity of the representative. *)
+
+val same : t -> t -> bool
+
+val ty : t -> string option
+val is_collapsed : t -> bool
+val is_array : t -> bool
+val set_array : t -> unit
+
+val set_type : t -> string -> unit
+(** Assign or check the node's struct type; a mismatch collapses the node. *)
+
+val edge : t -> int -> t option
+(** Outgoing edge from field [f] (field 0 if collapsed). *)
+
+val edge_or_create : t -> int -> ty:string option -> t
+(** Get the field-[f] target, creating a fresh node (typed [ty]) if none. *)
+
+val edges : t -> (int * t) list
+(** All outgoing edges, field-sorted, targets resolved. *)
+
+val unify : t -> t -> unit
+(** Merge two nodes (and, transitively, corresponding edge targets). *)
+
+val collapse : t -> unit

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Config List Machine Mode Policy Registry Stat Stats String Stx_core Stx_machine Stx_sim Stx_util Stx_workloads Table Workload

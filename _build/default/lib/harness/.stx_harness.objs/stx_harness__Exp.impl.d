@@ -1,0 +1,1 @@
+lib/harness/exp.ml: Config Hashtbl Machine Mode Stats Stx_core Stx_machine Stx_sim Stx_util Stx_workloads Workload

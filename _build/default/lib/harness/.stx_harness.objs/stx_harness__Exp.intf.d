@@ -1,0 +1,1 @@
+lib/harness/exp.mli: Mode Stats Stx_core Stx_sim Stx_workloads Workload

@@ -1,0 +1,1 @@
+lib/harness/export.ml: Exp Filename List Mode Printf Registry Stats String Stx_core Stx_sim Stx_workloads Sys Workload

@@ -1,0 +1,1 @@
+lib/harness/reports.mli: Exp Stx_workloads Workload

@@ -1,0 +1,1 @@
+lib/harness/timeline.ml: Array Buffer Bytes List Machine Printf Stx_sim

@@ -1,0 +1,1 @@
+lib/harness/timeline.mli: Machine Stx_sim

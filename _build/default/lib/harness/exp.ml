@@ -1,0 +1,45 @@
+open Stx_machine
+open Stx_core
+open Stx_sim
+open Stx_workloads
+
+type t = {
+  seed : int;
+  scale : float;
+  threads : int;
+  store : (string * string * int, Stats.t) Hashtbl.t;
+}
+
+let create ?(seed = 1) ?(scale = 1.0) ?(threads = 16) () =
+  { seed; scale; threads; store = Hashtbl.create 64 }
+
+let seed t = t.seed
+let scale t = t.scale
+let threads t = t.threads
+
+let mode_key m = Mode.to_string m
+
+let run_at t w mode ~threads =
+  let key = (w.Workload.name, mode_key mode, threads) in
+  match Hashtbl.find_opt t.store key with
+  | Some s -> s
+  | None ->
+    let instrument = Mode.uses_alps mode in
+    let spec = Workload.spec ~instrument ~scale:t.scale w in
+    let cfg = Config.with_cores threads Config.default in
+    let s = Machine.run ~seed:t.seed ~cfg ~mode spec in
+    Hashtbl.add t.store key s;
+    s
+
+let run t w mode = run_at t w mode ~threads:t.threads
+
+let sequential t w = run_at t w Mode.Baseline ~threads:1
+
+let speedup t w (s : Stats.t) =
+  let seq = sequential t w in
+  Stx_util.Stat.ratio seq.Stats.total_cycles s.Stats.total_cycles
+
+let rel_performance t w mode =
+  let base = run t w Mode.Baseline in
+  let s = run t w mode in
+  Stx_util.Stat.ratio base.Stats.total_cycles s.Stats.total_cycles

@@ -1,0 +1,35 @@
+open Stx_core
+open Stx_sim
+open Stx_workloads
+
+(** Shared experiment context: one place that runs (benchmark, mode,
+    threads) combinations and memoizes the results, so Table 1, Table 4,
+    Figure 7 and Figure 8 all describe the same runs — as they do in the
+    paper. *)
+
+type t
+
+val create : ?seed:int -> ?scale:float -> ?threads:int -> unit -> t
+(** [threads] defaults to 16 (the paper's machine); [scale] to 1.0. *)
+
+val seed : t -> int
+val scale : t -> float
+val threads : t -> int
+
+val run : t -> Workload.t -> Mode.t -> Stats.t
+(** Run (memoized) at the context's thread count. Baseline and AddrOnly
+    run the uninstrumented binary; the staggered modes run the
+    ALP-instrumented one, as in §6.2. *)
+
+val run_at : t -> Workload.t -> Mode.t -> threads:int -> Stats.t
+(** As {!run} at an explicit thread count (memoized separately). *)
+
+val sequential : t -> Workload.t -> Stats.t
+(** The 1-thread uninstrumented reference used for speedups. *)
+
+val speedup : t -> Workload.t -> Stats.t -> float
+(** Makespan of the sequential reference over this run's makespan. *)
+
+val rel_performance : t -> Workload.t -> Mode.t -> float
+(** Performance normalized to the 16-thread baseline HTM (Figure 7's
+    y-axis): baseline cycles / mode cycles. *)

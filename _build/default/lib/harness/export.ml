@@ -1,0 +1,76 @@
+open Stx_core
+open Stx_sim
+open Stx_workloads
+
+let write_file dir name lines =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  List.iter
+    (fun row -> output_string oc (String.concat "\t" row ^ "\n"))
+    lines;
+  close_out oc;
+  path
+
+let f = Printf.sprintf "%.4f"
+
+let table1_rows ctx =
+  ("benchmark" :: [ "speedup"; "pct_irrevocable"; "wasted_over_useful"; "la"; "lp" ])
+  :: List.map
+       (fun w ->
+         let s = Exp.run ctx w Mode.Baseline in
+         [
+           w.Workload.name;
+           f (Exp.speedup ctx w s);
+           f (Stats.pct_irrevocable s);
+           f (Stats.wasted_over_useful s);
+           f (Stats.locality ~top:2 s.Stats.conf_addr_freq);
+           f (Stats.locality ~top:4 s.Stats.conf_pc_freq);
+         ])
+       Registry.table1_set
+
+let table4_rows ctx =
+  ("benchmark" :: [ "source"; "pct_tm"; "speedup"; "aborts_per_commit" ])
+  :: List.map
+       (fun w ->
+         let s = Exp.run ctx w Mode.Baseline in
+         [
+           w.Workload.name;
+           w.Workload.source;
+           f (Stats.pct_tx_time s);
+           f (Exp.speedup ctx w s);
+           f (Stats.aborts_per_commit s);
+         ])
+       Registry.all
+
+let fig7_rows ctx =
+  ("benchmark" :: List.map Mode.to_string Mode.all)
+  :: List.map
+       (fun w ->
+         w.Workload.name
+         :: List.map (fun m -> f (Exp.rel_performance ctx w m)) Mode.all)
+       Registry.all
+
+let fig8_rows ctx =
+  ("benchmark"
+  :: [ "aborts_per_commit_htm"; "aborts_per_commit_stag"; "wu_htm"; "wu_stag" ])
+  :: List.map
+       (fun w ->
+         let base = Exp.run ctx w Mode.Baseline in
+         let stag = Exp.run ctx w Mode.Staggered_hw in
+         [
+           w.Workload.name;
+           f (Stats.aborts_per_commit base);
+           f (Stats.aborts_per_commit stag);
+           f (Stats.wasted_over_useful base);
+           f (Stats.wasted_over_useful stag);
+         ])
+       Registry.all
+
+let write_all ctx ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  [
+    write_file dir "table1.tsv" (table1_rows ctx);
+    write_file dir "table4.tsv" (table4_rows ctx);
+    write_file dir "fig7.tsv" (fig7_rows ctx);
+    write_file dir "fig8.tsv" (fig8_rows ctx);
+  ]

@@ -1,0 +1,7 @@
+(** Machine-readable (tab-separated) dumps of the evaluation data, for
+    plotting the figures outside this repository. One file per
+    table/figure, written into a directory. *)
+
+val write_all : Exp.t -> dir:string -> string list
+(** Writes [table1.tsv], [table4.tsv], [fig7.tsv] and [fig8.tsv]; returns
+    the paths written. Creates [dir] if needed. *)

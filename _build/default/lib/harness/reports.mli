@@ -1,0 +1,55 @@
+open Stx_workloads
+
+(** The evaluation reports: one function per table/figure of the paper,
+    each rendering an ASCII reproduction from a shared {!Exp} context. *)
+
+val table1 : Exp.t -> string
+(** Table 1: HTM contention in representative benchmarks — speedup S, %
+    of txns forced irrevocable, wasted/useful cycle ratio, contention
+    source, locality of contention addresses (LA) and PCs (LP). *)
+
+val table2 : unit -> string
+(** Table 2: the simulated machine configuration. *)
+
+val table3 : Exp.t -> string
+(** Table 3: static and dynamic instrumentation statistics and anchor
+    identification accuracy, plus the §6.1 naive-instrumentation
+    comparison. *)
+
+val table4 : Exp.t -> string
+(** Table 4: benchmark characteristics. *)
+
+val granularity : Exp.t -> string
+(** Whole-transaction scheduling (Tx_sched, the Proactive-Transaction-
+    Scheduling comparison of §7) vs staggered partial serialization —
+    Result 2's "more parallelism" claim. *)
+
+val fig1 : unit -> string
+(** Figure 1: the staggering schematic, reconstructed as ASCII timelines
+    from real baseline and staggered runs of a mid-transaction-conflict
+    scenario. *)
+
+val fig7 : Exp.t -> string
+(** Figure 7: performance at 16 threads normalized to the baseline HTM for
+    AddrOnly / Staggered+SW / Staggered, with the harmonic-mean summary. *)
+
+val fig7_repeated :
+  ?seeds:int list -> scale:float -> threads:int -> unit -> string
+(** Figure 7 averaged over several seeds, with the spread — the paper's
+    repeat-5-times methodology. *)
+
+val fig8 : Exp.t -> string
+(** Figure 8: (a) aborts per commit and (b) wasted/useful cycles, baseline
+    vs Staggered. *)
+
+val anchor_tables : Workload.t -> string
+(** Figure 3-style dump of a benchmark's unified anchor tables. *)
+
+val hotspots : Exp.t -> Workload.t -> string
+(** The most frequent conflicting lines and PC tags of a baseline run —
+    the raw signal behind Table 1's LA/LP columns and the policy's
+    decisions. *)
+
+val scaling : Exp.t -> Workload.t -> string
+(** Thread-count sweep (1..16) for baseline and Staggered — the curves
+    behind the S column. *)

@@ -1,0 +1,77 @@
+open Stx_sim
+
+(* Per-thread chronological event list; rendering reconstructs the lane by
+   replaying state changes over the window. *)
+
+type mark = Begin | Commit | Abort | Wait_start | Lock
+
+type t = { threads : int; mutable events : (int * int * mark) list (* reversed *) }
+
+let create ~threads = { threads; events = [] }
+
+let push t time tid mark = t.events <- (time, tid, mark) :: t.events
+
+let handler t ~time ev =
+  match ev with
+  | Machine.Tx_begin { tid; _ } -> push t time tid Begin
+  | Machine.Tx_commit { tid; _ } -> push t time tid Commit
+  | Machine.Tx_abort { tid; _ } -> push t time tid Abort
+  | Machine.Tx_irrevocable { tid; _ } -> push t time tid Begin
+  | Machine.Lock_acquired { tid; _ } -> push t time tid Lock
+  | Machine.Lock_waiting { tid; _ } -> push t time tid Wait_start
+  | Machine.Lock_timeout { tid; _ } -> push t time tid Begin
+  (* a timed-out waiter resumes its transaction *)
+
+let render ?(width = 100) ?(from_time = 0) ?until_time t =
+  let events = List.rev t.events in
+  let tmax =
+    match until_time with
+    | Some u -> u
+    | None -> List.fold_left (fun acc (tm, _, _) -> max acc tm) (from_time + 1) events
+  in
+  let span = max 1 (tmax - from_time) in
+  let col time = min (width - 1) (max 0 ((time - from_time) * width / span)) in
+  let lanes = Array.init t.threads (fun _ -> Bytes.make width '.') in
+  (* state per thread: last state-change column and state *)
+  let state = Array.make t.threads `Idle in
+  let last_col = Array.make t.threads 0 in
+  let fill tid upto ch =
+    for c = last_col.(tid) to min (width - 1) upto do
+      if Bytes.get lanes.(tid) c = '.' then Bytes.set lanes.(tid) c ch
+    done
+  in
+  let background = function `Idle -> '.' | `Tx -> '=' | `Wait -> 'w' in
+  let set_marker tid c ch = Bytes.set lanes.(tid) c ch in
+  List.iter
+    (fun (time, tid, mark) ->
+      if tid >= 0 && tid < t.threads then begin
+        let c = col time in
+        fill tid (c - 1) (background state.(tid));
+        (match mark with
+        | Begin ->
+          state.(tid) <- `Tx
+        | Commit ->
+          set_marker tid c 'C';
+          state.(tid) <- `Idle
+        | Abort ->
+          set_marker tid c 'X';
+          state.(tid) <- `Tx (* the retry begins immediately after backoff *)
+        | Wait_start ->
+          set_marker tid c 'w';
+          state.(tid) <- `Wait
+        | Lock ->
+          set_marker tid c 'L';
+          state.(tid) <- `Tx);
+        last_col.(tid) <- c + 1
+      end)
+    events;
+  Array.iteri (fun tid _ -> fill tid (width - 1) (background state.(tid))) lanes;
+  let buf = Buffer.create ((width + 8) * t.threads) in
+  Buffer.add_string buf
+    (Printf.sprintf "cycles %d..%d  (. idle  = in-tx  w waiting  X abort  C commit  L lock)\n"
+       from_time tmax);
+  Array.iteri
+    (fun tid lane ->
+      Buffer.add_string buf (Printf.sprintf "t%-2d |%s|\n" tid (Bytes.to_string lane)))
+    lanes;
+  Buffer.contents buf

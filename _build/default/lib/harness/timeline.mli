@@ -1,0 +1,19 @@
+open Stx_sim
+
+(** ASCII execution timelines — the Figure 1 diagram, reconstructed from a
+    real run's event stream. Each thread is a lane; time flows left to
+    right. Lane characters: ['.'] idle / non-transactional, ['='] inside a
+    transaction, ['w'] waiting on an advisory lock, ['X'] the moment a
+    transaction aborts, ['C'] a commit, ['L'] an advisory-lock
+    acquisition. *)
+
+type t
+
+val create : threads:int -> t
+
+val handler : t -> time:int -> Machine.event -> unit
+(** Pass as [Machine.run]'s [on_event]. *)
+
+val render : ?width:int -> ?from_time:int -> ?until_time:int -> t -> string
+(** Render the [from_time, until_time) window (defaults to the whole run)
+    into [width] (default 100) columns. *)

@@ -1,0 +1,1 @@
+lib/htm/htm.ml: Alloc Array Config Hashtbl Memory Option Printf Stx_machine

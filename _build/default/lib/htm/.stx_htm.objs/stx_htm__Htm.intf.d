@@ -1,0 +1,1 @@
+lib/htm/htm.mli: Alloc Config Memory Stx_machine

@@ -1,0 +1,218 @@
+open Stx_machine
+
+type abort_reason =
+  | Conflict of { conf_addr : int; conf_pc : int option; conf_pc_full : int option }
+  | Lock_subscription
+  | Explicit
+
+type status = Idle | Active | Doomed of abort_reason
+
+type core_state = {
+  mutable st : status;
+  read_set : (int, unit) Hashtbl.t; (* lines *)
+  write_set : (int, unit) Hashtbl.t;
+  tags : (int, int) Hashtbl.t; (* line -> full pc of first tx access *)
+  wbuf : (int, int) Hashtbl.t; (* addr -> speculative value *)
+}
+
+type t = {
+  cfg : Config.t;
+  memory : Memory.t;
+  cores : core_state array;
+  readers : (int, int) Hashtbl.t; (* line -> bitmask of reader cores *)
+  writers : (int, int) Hashtbl.t;
+  lock_addr : int;
+  mutable conflicts : int;
+}
+
+let create (cfg : Config.t) memory alloc =
+  if cfg.Config.cores > 62 then invalid_arg "Htm.create: at most 62 cores";
+  let mk _ =
+    {
+      st = Idle;
+      read_set = Hashtbl.create 64;
+      write_set = Hashtbl.create 64;
+      tags = Hashtbl.create 64;
+      wbuf = Hashtbl.create 64;
+    }
+  in
+  let lock_addr = Alloc.alloc_shared alloc 1 in
+  {
+    cfg;
+    memory;
+    cores = Array.init cfg.Config.cores mk;
+    readers = Hashtbl.create 1024;
+    writers = Hashtbl.create 1024;
+    lock_addr;
+    conflicts = 0;
+  }
+
+let config t = t.cfg
+
+let line_of t addr = Memory.line_of ~words_per_line:t.cfg.Config.words_per_line addr
+
+let status t ~core = t.cores.(core).st
+
+let mask_find tbl line = Option.value ~default:0 (Hashtbl.find_opt tbl line)
+
+let mask_set tbl line core =
+  Hashtbl.replace tbl line (mask_find tbl line lor (1 lsl core))
+
+let mask_clear tbl line core =
+  let m = mask_find tbl line land lnot (1 lsl core) in
+  if m = 0 then Hashtbl.remove tbl line else Hashtbl.replace tbl line m
+
+let discard_speculative t core =
+  let c = t.cores.(core) in
+  Hashtbl.iter (fun line () -> mask_clear t.readers line core) c.read_set;
+  Hashtbl.iter (fun line () -> mask_clear t.writers line core) c.write_set;
+  Hashtbl.reset c.read_set;
+  Hashtbl.reset c.write_set;
+  Hashtbl.reset c.tags;
+  Hashtbl.reset c.wbuf
+
+(* requester-wins: doom the victim, delivering the conflicting address and
+   the victim's own PC tag for the line *)
+let doom t ~victim ~conf_addr =
+  let c = t.cores.(victim) in
+  match c.st with
+  | Active ->
+    let line = line_of t conf_addr in
+    let full = Hashtbl.find_opt c.tags line in
+    let conf_pc =
+      if t.cfg.Config.pc_tag_bits <= 0 then None
+      else
+        Option.map
+          (fun pc ->
+            if t.cfg.Config.pc_tag_bits >= 62 then pc
+            else pc land ((1 lsl t.cfg.Config.pc_tag_bits) - 1))
+          full
+    in
+    discard_speculative t victim;
+    (* [conf_pc_full] is a simulator oracle used only to score the runtime's
+       anchor identification (the "Accuracy" column of Table 3); the modelled
+       hardware delivers only the truncated [conf_pc]. *)
+    c.st <- Doomed (Conflict { conf_addr; conf_pc; conf_pc_full = full });
+    t.conflicts <- t.conflicts + 1
+  | Idle | Doomed _ -> ()
+
+let doom_mask t ~requester ~mask ~conf_addr =
+  let mask = mask land lnot (1 lsl requester) in
+  if mask <> 0 then
+    for v = 0 to Array.length t.cores - 1 do
+      if mask land (1 lsl v) <> 0 then doom t ~victim:v ~conf_addr
+    done
+
+let require_active t core op =
+  match t.cores.(core).st with
+  | Active -> ()
+  | Idle | Doomed _ ->
+    invalid_arg (Printf.sprintf "Htm.%s: core %d has no active transaction" op core)
+
+let tx_begin t ~core =
+  let c = t.cores.(core) in
+  (match c.st with
+  | Idle -> ()
+  | Active | Doomed _ -> invalid_arg "Htm.tx_begin: transaction already in flight");
+  c.st <- Active
+
+let tag_first_access c line pc =
+  if not (Hashtbl.mem c.tags line) then Hashtbl.add c.tags line pc
+
+let tx_load t ~core ~addr ~pc =
+  require_active t core "tx_load";
+  let c = t.cores.(core) in
+  let line = line_of t addr in
+  if not t.cfg.Config.lazy_htm then
+    doom_mask t ~requester:core ~mask:(mask_find t.writers line) ~conf_addr:addr;
+  tag_first_access c line pc;
+  if not (Hashtbl.mem c.read_set line) then begin
+    Hashtbl.add c.read_set line ();
+    mask_set t.readers line core
+  end;
+  match Hashtbl.find_opt c.wbuf addr with
+  | Some v -> v
+  | None -> Memory.load t.memory addr
+
+let tx_store t ~core ~addr ~value ~pc =
+  require_active t core "tx_store";
+  let c = t.cores.(core) in
+  let line = line_of t addr in
+  if not t.cfg.Config.lazy_htm then
+    doom_mask t ~requester:core
+      ~mask:(mask_find t.readers line lor mask_find t.writers line)
+      ~conf_addr:addr;
+  tag_first_access c line pc;
+  if not (Hashtbl.mem c.write_set line) then begin
+    Hashtbl.add c.write_set line ();
+    mask_set t.writers line core
+  end;
+  Hashtbl.replace c.wbuf addr value
+
+let tx_commit t ~core =
+  require_active t core "tx_commit";
+  let c = t.cores.(core) in
+  (* late subscription to the global lock *)
+  if Memory.load t.memory t.lock_addr <> 0 then begin
+    discard_speculative t core;
+    c.st <- Doomed Lock_subscription;
+    false
+  end
+  else begin
+    (* lazy mode: the committer wins — every transaction that read or
+       wrote a line this write set touches is doomed now, at commit time *)
+    if t.cfg.Config.lazy_htm then
+      Hashtbl.iter
+        (fun line () ->
+          doom_mask t ~requester:core
+            ~mask:(mask_find t.readers line lor mask_find t.writers line)
+            ~conf_addr:(line * t.cfg.Config.words_per_line))
+        c.write_set;
+    Hashtbl.iter (fun addr v -> Memory.store t.memory addr v) c.wbuf;
+    discard_speculative t core;
+    c.st <- Idle;
+    true
+  end
+
+let tx_self_abort t ~core =
+  require_active t core "tx_self_abort";
+  discard_speculative t core;
+  t.cores.(core).st <- Doomed Explicit
+
+let tx_cleanup t ~core =
+  let c = t.cores.(core) in
+  match c.st with
+  | Doomed reason ->
+    (* speculative state was discarded when the transaction was doomed *)
+    c.st <- Idle;
+    reason
+  | Idle | Active -> invalid_arg "Htm.tx_cleanup: transaction not doomed"
+
+let read_set_size t ~core = Hashtbl.length t.cores.(core).read_set
+let write_set_size t ~core = Hashtbl.length t.cores.(core).write_set
+
+let nt_load t ~addr = Memory.load t.memory addr
+
+let nt_store t ~core ~addr ~value =
+  let line = line_of t addr in
+  doom_mask t ~requester:core
+    ~mask:(mask_find t.readers line lor mask_find t.writers line)
+    ~conf_addr:addr;
+  Memory.store t.memory addr value
+
+let nt_cas t ~core ~addr ~expected ~desired =
+  if Memory.load t.memory addr = expected then begin
+    nt_store t ~core ~addr ~value:desired;
+    true
+  end
+  else false
+
+let global_lock_addr t = t.lock_addr
+let global_lock_held t = Memory.load t.memory t.lock_addr <> 0
+
+let acquire_global_lock t ~core =
+  nt_cas t ~core ~addr:t.lock_addr ~expected:0 ~desired:1
+
+let release_global_lock t = Memory.store t.memory t.lock_addr 0
+
+let conflicts_caused t = t.conflicts

@@ -1,0 +1,83 @@
+open Stx_machine
+
+(** The simulated hardware transactional memory.
+
+    ASF-style best-effort HTM as configured in Table 2: read and write sets
+    tracked at cache-line granularity (the r/w bits), lazy versioning (a
+    per-core write buffer; speculative stores become visible only at
+    commit), eager requester-wins conflict resolution, and a per-line PC
+    tag recording the program counter of the line's first transactional
+    access — delivered, truncated to the configured width, as the
+    "conflicting PC" when that line is the source of an abort.
+
+    Nontransactional loads and stores — the feature Staggered Transactions
+    requires (§4) — bypass the write buffer and the read/write sets: an
+    nt-load sees only committed state and never aborts anyone; an nt-store
+    applies immediately and, like any write by another agent, aborts every
+    transaction holding the line (requester wins). Irrevocable execution
+    uses the same operations.
+
+    A single global lock word supports the runtime's irrevocable fallback;
+    hardware transactions subscribe to it immediately before commit. *)
+
+type abort_reason =
+  | Conflict of { conf_addr : int; conf_pc : int option; conf_pc_full : int option }
+      (** data conflict; [conf_pc] is the victim's (truncated) PC tag for
+          the conflicting line, when the hardware provides it *)
+  | Lock_subscription  (** the global lock was held at commit time *)
+  | Explicit  (** the program executed an explicit abort *)
+
+type status = Idle | Active | Doomed of abort_reason
+
+type t
+
+val create : Config.t -> Memory.t -> Alloc.t -> t
+(** Allocates the global-lock word out of [Alloc]. *)
+
+val config : t -> Config.t
+
+val status : t -> core:int -> status
+
+val tx_begin : t -> core:int -> unit
+(** Start a transaction. The core must be [Idle]. *)
+
+val tx_load : t -> core:int -> addr:int -> pc:int -> int
+(** Transactional load: joins the read set, records the PC tag on first
+    access, aborts conflicting writers elsewhere, reads through the local
+    write buffer. The core must be [Active]. *)
+
+val tx_store : t -> core:int -> addr:int -> value:int -> pc:int -> unit
+(** Transactional store: joins the write set, aborts conflicting readers
+    and writers elsewhere, buffers the value. *)
+
+val tx_commit : t -> core:int -> bool
+(** Subscribe to the global lock, then atomically publish the write buffer.
+    Returns [false] — leaving the core [Doomed] — if the lock was held. *)
+
+val tx_self_abort : t -> core:int -> unit
+(** Explicit abort by the program (the core becomes [Doomed]). *)
+
+val tx_cleanup : t -> core:int -> abort_reason
+(** Acknowledge a doomed transaction: discard speculative state, return the
+    reason, and go [Idle]. *)
+
+val read_set_size : t -> core:int -> int
+val write_set_size : t -> core:int -> int
+
+val nt_load : t -> addr:int -> int
+val nt_store : t -> core:int -> addr:int -> value:int -> unit
+(** [core] identifies the requester so its own transaction (if any) is not
+    self-aborted; pass the executing core. *)
+
+val nt_cas : t -> core:int -> addr:int -> expected:int -> desired:int -> bool
+
+val global_lock_addr : t -> int
+val global_lock_held : t -> bool
+val acquire_global_lock : t -> core:int -> bool
+(** Nontransactional test-and-set of the global lock; aborts transactions
+    subscribed to it. *)
+
+val release_global_lock : t -> unit
+
+val conflicts_caused : t -> int
+(** Total requester-wins aborts inflicted, for diagnostics. *)

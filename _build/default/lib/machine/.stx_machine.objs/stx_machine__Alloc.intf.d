@@ -1,0 +1,1 @@
+lib/machine/alloc.mli: Memory

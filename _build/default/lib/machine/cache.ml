@@ -1,0 +1,66 @@
+(* Each set is an array of way slots ordered most- to least-recently used.
+   Slot value -1 means empty. *)
+
+type t = { sets : int array array; mask : int }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~lines ~ways =
+  if lines mod ways <> 0 then invalid_arg "Cache.create: lines mod ways <> 0";
+  let nsets = lines / ways in
+  if not (is_power_of_two nsets) then
+    invalid_arg "Cache.create: set count must be a power of two";
+  { sets = Array.init nsets (fun _ -> Array.make ways (-1)); mask = nsets - 1 }
+
+let set_of t line = t.sets.(line land t.mask)
+
+(* Move the element at index [i] to the front, shifting the prefix down. *)
+let move_to_front set i =
+  let v = set.(i) in
+  Array.blit set 0 set 1 i;
+  set.(0) <- v
+
+let probe t line =
+  let set = set_of t line in
+  let rec find i =
+    if i >= Array.length set then false
+    else if set.(i) = line then begin
+      move_to_front set i;
+      true
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let holds t line =
+  let set = set_of t line in
+  Array.exists (fun v -> v = line) set
+
+let insert t line =
+  let set = set_of t line in
+  let rec find i =
+    if i >= Array.length set then None
+    else if set.(i) = line then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> move_to_front set i
+  | None ->
+    (* evict LRU: shift everything down, install at front *)
+    Array.blit set 0 set 1 (Array.length set - 1);
+    set.(0) <- line
+
+let invalidate t line =
+  let set = set_of t line in
+  let ways = Array.length set in
+  let rec find i =
+    if i >= ways then ()
+    else if set.(i) = line then begin
+      Array.blit set (i + 1) set i (ways - i - 1);
+      set.(ways - 1) <- -1
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let clear t = Array.iter (fun set -> Array.fill set 0 (Array.length set) (-1)) t.sets

@@ -1,0 +1,25 @@
+(** A set-associative cache of line tags with LRU replacement. Only
+    presence is tracked (the data lives in {!Memory}); the hierarchy uses
+    presence to charge access latencies and to model coherence
+    invalidations. *)
+
+type t
+
+val create : lines:int -> ways:int -> t
+(** [lines] must be a multiple of [ways]; the set count must be a power of
+    two. *)
+
+val probe : t -> int -> bool
+(** [probe t line] reports whether [line] is present, refreshing its LRU
+    position on a hit. *)
+
+val holds : t -> int -> bool
+(** Presence check without touching LRU state (for coherence snooping). *)
+
+val insert : t -> int -> unit
+(** Install [line], evicting the set's LRU victim if the set is full. *)
+
+val invalidate : t -> int -> unit
+(** Drop [line] if present. *)
+
+val clear : t -> unit

@@ -1,0 +1,81 @@
+type core_caches = {
+  l1 : Cache.t;
+  l2 : Cache.t;
+  mutable accesses : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable l3_hits : int;
+}
+
+type t = { cfg : Config.t; cores : core_caches array; l3 : Cache.t }
+
+let create (cfg : Config.t) =
+  let mk_core _ =
+    {
+      l1 = Cache.create ~lines:cfg.l1_lines ~ways:cfg.l1_ways;
+      l2 = Cache.create ~lines:cfg.l2_lines ~ways:cfg.l2_ways;
+      accesses = 0;
+      l1_hits = 0;
+      l2_hits = 0;
+      l3_hits = 0;
+    }
+  in
+  {
+    cfg;
+    cores = Array.init cfg.cores mk_core;
+    l3 = Cache.create ~lines:cfg.l3_lines ~ways:cfg.l3_ways;
+  }
+
+let access t ~core ~line ~write =
+  let c = t.cores.(core) in
+  c.accesses <- c.accesses + 1;
+  (* a write to a line cached elsewhere pays the coherence upgrade: the
+     invalidation round-trip goes through the shared level *)
+  let upgrade =
+    write
+    && Array.exists
+         (fun i -> i != c && (Cache.holds i.l1 line || Cache.holds i.l2 line))
+         t.cores
+  in
+  let latency =
+    if Cache.probe c.l1 line then begin
+      c.l1_hits <- c.l1_hits + 1;
+      t.cfg.l1_latency
+    end
+    else if Cache.probe c.l2 line then begin
+      c.l2_hits <- c.l2_hits + 1;
+      Cache.insert c.l1 line;
+      t.cfg.l2_latency
+    end
+    else if Cache.probe t.l3 line then begin
+      c.l3_hits <- c.l3_hits + 1;
+      Cache.insert c.l2 line;
+      Cache.insert c.l1 line;
+      t.cfg.l3_latency
+    end
+    else begin
+      Cache.insert t.l3 line;
+      Cache.insert c.l2 line;
+      Cache.insert c.l1 line;
+      t.cfg.mem_latency
+    end
+  in
+  if write then
+    Array.iteri
+      (fun i other ->
+        if i <> core then begin
+          Cache.invalidate other.l1 line;
+          Cache.invalidate other.l2 line
+        end)
+      t.cores;
+  if upgrade then max latency t.cfg.Config.l3_latency else latency
+
+let invalidate_core t ~core =
+  let c = t.cores.(core) in
+  Cache.clear c.l1;
+  Cache.clear c.l2
+
+let hit_rates t ~core =
+  let c = t.cores.(core) in
+  let r hits = if c.accesses = 0 then 0. else float_of_int hits /. float_of_int c.accesses in
+  (r c.l1_hits, r c.l2_hits, r c.l3_hits)

@@ -1,0 +1,24 @@
+(** The memory hierarchy timing model: per-core private L1 and L2, a shared
+    L3, and DRAM, with the latencies of Table 2.
+
+    An access is charged the latency of the closest level holding the line
+    and fills the levels above it. A write invalidates the line in every
+    other core's private caches (MESI-style write-invalidate), so contended
+    lines ping-pong and pay coherence misses — the timing effect that makes
+    wasted-work measurements meaningful. *)
+
+type t
+
+val create : Config.t -> t
+
+val access : t -> core:int -> line:int -> write:bool -> int
+(** [access t ~core ~line ~write] returns the latency in cycles and updates
+    cache state. *)
+
+val invalidate_core : t -> core:int -> unit
+(** Drop every line from one core's private caches (not used on abort by
+    default — HTM aborts invalidate only speculative state — but exposed
+    for experiments). *)
+
+val hit_rates : t -> core:int -> float * float * float
+(** Cumulative (l1, l2, l3) hit rates for a core, for diagnostics. *)

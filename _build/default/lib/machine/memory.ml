@@ -1,0 +1,33 @@
+type addr = int
+
+type t = { mutable data : int array; mutable high : int }
+
+let create ?(initial_words = 1 lsl 16) () =
+  { data = Array.make initial_words 0; high = 1 }
+
+let check a = if a <= 0 then invalid_arg "Memory: address must be positive"
+
+let grow t needed =
+  let cap = ref (Array.length t.data) in
+  while !cap <= needed do
+    cap := !cap * 2
+  done;
+  if !cap > Array.length t.data then begin
+    let data = Array.make !cap 0 in
+    Array.blit t.data 0 data 0 (Array.length t.data);
+    t.data <- data
+  end
+
+let load t a =
+  check a;
+  if a < Array.length t.data then t.data.(a) else 0
+
+let store t a v =
+  check a;
+  if a >= Array.length t.data then grow t a;
+  if a >= t.high then t.high <- a + 1;
+  t.data.(a) <- v
+
+let size t = t.high
+
+let line_of ~words_per_line a = a / words_per_line

@@ -1,0 +1,25 @@
+(** The simulated machine's flat, word-addressed memory.
+
+    One word stands for 8 bytes; addresses are word indices. Address 0 is
+    reserved as the null pointer and never handed out by the allocator.
+    The store grows on demand. *)
+
+type addr = int
+
+type t
+
+val create : ?initial_words:int -> unit -> t
+
+val load : t -> addr -> int
+(** [load t a] reads word [a]. Reading past the high-water mark returns 0
+    (fresh memory is zeroed). Raises [Invalid_argument] on [a <= 0]. *)
+
+val store : t -> addr -> int -> unit
+(** [store t a v] writes word [a], growing the store if needed.
+    Raises [Invalid_argument] on [a <= 0]. *)
+
+val size : t -> int
+(** Current capacity in words (high-water, for diagnostics). *)
+
+val line_of : words_per_line:int -> addr -> int
+(** The cache-line index containing [addr]. *)

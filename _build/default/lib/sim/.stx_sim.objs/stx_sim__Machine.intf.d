@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Alloc Config Memory Mode Policy Stats Stx_compiler Stx_core Stx_machine Stx_util

@@ -1,0 +1,697 @@
+open Stx_tir
+open Stx_machine
+open Stx_compiler
+open Stx_htm
+open Stx_core
+
+exception Sim_error of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
+
+type event =
+  | Tx_begin of { tid : int; ab : int; attempt : int }
+  | Tx_commit of { tid : int; ab : int; cycles : int }
+  | Tx_abort of { tid : int; ab : int; conf_line : int option }
+  | Tx_irrevocable of { tid : int; ab : int }
+  | Lock_acquired of { tid : int; lock : int; line : int }
+  | Lock_waiting of { tid : int; lock : int }
+  | Lock_timeout of { tid : int; lock : int }
+
+type setup_env = { memory : Memory.t; alloc : Alloc.t; setup_rng : Stx_util.Rng.t }
+
+type spec = {
+  compiled : Pipeline.t;
+  thread_main : string;
+  thread_args : setup_env -> threads:int -> int array array;
+}
+
+type frame = {
+  func : Ir.func;
+  mutable bi : int;
+  mutable ip : int;
+  regs : int array;
+  ret_dst : Ir.reg option; (* destination register in the parent frame *)
+}
+
+type wait = Lock_spin of { idx : int; deadline : int } | Global_spin
+
+type txstate = {
+  tx_ab : int;
+  tx_dst : Ir.reg option;
+  tx_args : int array;
+  tx_base_depth : int;
+  mutable tx_attempt : int;
+  mutable tx_start : int;
+  mutable tx_insts : int; (* instructions in the current attempt *)
+  mutable tx_lock : int option;
+  mutable tx_held_lock : bool; (* a lock was held at some point this attempt *)
+  mutable tx_is_probe : bool; (* this attempt deliberately skipped its ALP *)
+  mutable tx_irrevocable : bool;
+}
+
+type thread = {
+  tid : int;
+  mutable time : int;
+  mutable stack : frame list;
+  mutable finished : bool;
+  mutable wait : wait option;
+  mutable tx : txstate option;
+  rng : Stx_util.Rng.t;
+  contexts : Abcontext.t array;
+  softcpc : Softcpc.t;
+}
+
+type m = {
+  cfg : Config.t;
+  mode : Mode.t;
+  policy : Policy.params;
+  lock_timeout : int;
+  max_waiters : int;
+  compiled : Pipeline.t;
+  memory : Memory.t;
+  hier : Hierarchy.t;
+  htm : Htm.t;
+  locks : Advisory_lock.t;
+  threads : thread array;
+  allocator : Alloc.t;
+  stats : Stats.t;
+  on_event : time:int -> event -> unit;
+  mutable steps : int;
+  max_steps : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* helpers                                                             *)
+
+let wpl m = m.cfg.Config.words_per_line
+let line_of m addr = addr / wpl m
+
+let emit m (th : thread) ev = m.on_event ~time:th.time ev
+
+let in_tx th = th.tx <> None
+
+let speculative th =
+  match th.tx with Some tx -> not tx.tx_irrevocable | None -> false
+
+let charge m th c =
+  th.time <- th.time + c;
+  if in_tx th then m.stats.Stats.tx_mode_cycles <- m.stats.Stats.tx_mode_cycles + c
+
+let frame_of th =
+  match th.stack with
+  | f :: _ -> f
+  | [] -> trap "thread %d has no frame" th.tid
+
+let ev (f : frame) = function Ir.Reg r -> f.regs.(r) | Ir.Imm n -> n
+
+let check_addr m addr =
+  if addr < wpl m then trap "invalid memory access at address %d (null page)" addr
+
+let mem_latency m th ~addr ~write =
+  Hierarchy.access m.hier ~core:th.tid ~line:(line_of m addr) ~write
+
+let push_frame th func args ret_dst =
+  let regs = Array.make (max func.Ir.nregs 1) 0 in
+  Array.blit args 0 regs 0 (Array.length args);
+  th.stack <- { func; bi = 0; ip = 0; regs; ret_dst } :: th.stack
+
+(* ------------------------------------------------------------------ *)
+(* advisory lock acquisition (the body of AcquireLockFor)              *)
+
+let request_lock m th ~addr =
+  match th.tx with
+  | None -> ()
+  | Some tx when tx.tx_lock <> None -> ()
+  | Some tx ->
+    m.stats.Stats.alps_lock_attempts <- m.stats.Stats.alps_lock_attempts + 1;
+    let idx = Advisory_lock.index_for m.locks ~addr in
+    let cost =
+      mem_latency m th ~addr:(Advisory_lock.lock_addr m.locks idx) ~write:true
+    in
+    charge m th cost;
+    if Advisory_lock.try_acquire m.locks ~core:th.tid ~idx then begin
+      tx.tx_lock <- Some idx;
+      tx.tx_held_lock <- true;
+      m.stats.Stats.lock_acquires <- m.stats.Stats.lock_acquires + 1;
+      (Stats.ab m.stats tx.tx_ab).Stats.ab_locks
+      <- (Stats.ab m.stats tx.tx_ab).Stats.ab_locks + 1;
+      emit m th (Lock_acquired { tid = th.tid; lock = idx; line = line_of m addr })
+    end
+    else begin
+      (* keep the stagger shallow: a bounded number of spinners may queue;
+         the rest run speculatively (Figure 1 staggers transactions, it
+         does not funnel every thread through one lock — and under
+         requester-wins an unbounded convoy would trade all parallelism
+         for the lock holder's safety) *)
+      if Advisory_lock.waiters m.locks ~idx >= m.max_waiters then ()
+      else begin
+        Advisory_lock.add_waiter m.locks ~idx;
+        th.wait <- Some (Lock_spin { idx; deadline = th.time + m.lock_timeout });
+        emit m th (Lock_waiting { tid = th.tid; lock = idx })
+      end
+    end
+
+let release_lock m th ~committed =
+  match th.tx with
+  | None -> ()
+  | Some tx -> (
+    match tx.tx_lock with
+    | None -> ()
+    | Some idx ->
+      let contended = ref false in
+      Advisory_lock.release m.locks ~core:th.tid ~idx ~contended;
+      tx.tx_lock <- None;
+      charge m th (mem_latency m th ~addr:(Advisory_lock.lock_addr m.locks idx) ~write:true);
+      if committed && not !contended then
+        Policy.on_commit_uncontended_lock m.policy th.contexts.(tx.tx_ab))
+
+(* ------------------------------------------------------------------ *)
+(* transaction protocol                                                *)
+
+let begin_attempt m th =
+  match th.tx with
+  | None -> ()
+  | Some tx ->
+    let root = m.compiled.Pipeline.prog.Ir.atomics.(tx.tx_ab).Ir.ab_func in
+    push_frame th (Ir.find_func m.compiled.Pipeline.prog root) tx.tx_args tx.tx_dst;
+    tx.tx_start <- th.time;
+    tx.tx_insts <- 0;
+    tx.tx_held_lock <- false;
+    charge m th 5;
+    if not tx.tx_irrevocable then begin
+      Htm.tx_begin m.htm ~core:th.tid;
+      let ctx = th.contexts.(tx.tx_ab) in
+      Abcontext.on_tx_begin ctx;
+      (* speculation probe: periodically run without the ALP to re-measure
+         whether the serialization is still earning its keep *)
+      if
+        tx.tx_attempt = 0
+        && Abcontext.probe_due ctx ~period:m.policy.Policy.probe_period
+      then begin
+        ctx.Abcontext.active_site <- Abcontext.no_site;
+        tx.tx_is_probe <- true
+      end;
+      emit m th (Tx_begin { tid = th.tid; ab = tx.tx_ab; attempt = tx.tx_attempt });
+      (* AddrOnly and TxSched place their single pseudo-ALP at the very
+         top of the atomic block *)
+      (match m.mode with
+      | Mode.Addr_only ->
+        if
+          ctx.Abcontext.active_site = Abcontext.entry_site
+          && ctx.Abcontext.block_addr <> 0
+        then begin
+          ignore (Abcontext.consume_active ctx ~site:Abcontext.entry_site);
+          request_lock m th ~addr:ctx.Abcontext.block_addr
+        end
+      | Mode.Tx_sched ->
+        if ctx.Abcontext.active_site = Abcontext.entry_site then begin
+          ignore (Abcontext.consume_active ctx ~site:Abcontext.entry_site);
+          (* one lock per atomic block: a synthetic line per block id *)
+          request_lock m th
+            ~addr:((tx.tx_ab + 1) * m.cfg.Config.words_per_line)
+        end
+      | Mode.Baseline | Mode.Staggered_sw | Mode.Staggered_hw -> ())
+    end
+
+let start_atomic m th ~ab ~dst ~args =
+  let tx =
+    {
+      tx_ab = ab;
+      tx_dst = dst;
+      tx_args = args;
+      tx_base_depth = List.length th.stack;
+      tx_attempt = 0;
+      tx_start = th.time;
+      tx_insts = 0;
+      tx_lock = None;
+      tx_held_lock = false;
+      tx_is_probe = false;
+      tx_irrevocable = false;
+    }
+  in
+  th.tx <- Some tx;
+  begin_attempt m th
+
+let pop_to_base th (tx : txstate) =
+  let rec drop stack =
+    if List.length stack > tx.tx_base_depth then
+      match stack with _ :: rest -> drop rest | [] -> stack
+    else stack
+  in
+  th.stack <- drop th.stack
+
+let finish_tx m th (tx : txstate) retval =
+  th.tx <- None;
+  (match (tx.tx_dst, th.stack) with
+  | Some d, f :: _ -> f.regs.(d) <- retval
+  | _ -> ());
+  (* decision (1) is about the FREQUENCY of contention aborts: conflict-free
+     commits while no ALP is armed push empty records through the history,
+     so arming demands aborts dense in recent transactions, not merely
+     accumulated over a lifetime. A commit of an armed transaction that did
+     not end up holding its lock (a probe, or an address mismatch) decays
+     the armed evidence the same way an uncontended lock does. *)
+  (if m.mode <> Mode.Baseline then
+     let ctx = th.contexts.(tx.tx_ab) in
+     if ctx.Abcontext.armed_site = Abcontext.no_site then Abcontext.append ctx None
+     else if tx.tx_is_probe then Policy.on_probe_commit ctx
+     else if not tx.tx_held_lock then Policy.on_commit_uncontended_lock m.policy ctx);
+  m.stats.Stats.commits <- m.stats.Stats.commits + 1;
+  m.stats.Stats.useful_cycles <- m.stats.Stats.useful_cycles + (th.time - tx.tx_start);
+  m.stats.Stats.committed_tx_insts <- m.stats.Stats.committed_tx_insts + tx.tx_insts;
+  let ab = Stats.ab m.stats tx.tx_ab in
+  ab.Stats.ab_commits <- ab.Stats.ab_commits + 1;
+  if tx.tx_irrevocable then ab.Stats.ab_irrevocable <- ab.Stats.ab_irrevocable + 1;
+  emit m th (Tx_commit { tid = th.tid; ab = tx.tx_ab; cycles = th.time - tx.tx_start })
+
+(* identify the anchor the abort traces back to, per the configured
+   conflicting-PC scheme, and score it against the full-PC oracle *)
+let identify_anchor m th table reason =
+  match reason with
+  | Htm.Conflict { conf_addr; conf_pc; conf_pc_full } ->
+    let line = line_of m conf_addr in
+    let runtime_anchor =
+      match m.mode with
+      | Mode.Staggered_hw -> Policy.resolve_anchor table ~conf_pc
+      | Mode.Tx_sched -> None
+      | Mode.Staggered_sw -> (
+        match Softcpc.lookup th.softcpc ~line with
+        | None -> None
+        | Some site -> (
+          match Unified.entry_of_site table site with
+          | None -> None
+          | Some e -> Unified.anchor_of table e))
+      | Mode.Baseline | Mode.Addr_only -> None
+    in
+    (* oracle: exact full-width PC lookup *)
+    (match
+       Option.bind conf_pc_full (fun pc ->
+           match Unified.search_by_pc table pc with
+           | Some e -> Unified.anchor_of table e
+           | None -> None)
+     with
+    | Some oracle when Mode.uses_alps m.mode ->
+      m.stats.Stats.accuracy_total <- m.stats.Stats.accuracy_total + 1;
+      (match runtime_anchor with
+      | Some ra when ra.Unified.ue_iid = oracle.Unified.ue_iid ->
+        m.stats.Stats.accuracy_hits <- m.stats.Stats.accuracy_hits + 1
+      | _ -> ())
+    | _ -> ());
+    (Some (conf_addr, line), runtime_anchor)
+  | Htm.Lock_subscription | Htm.Explicit -> (None, None)
+
+let handle_abort m th =
+  (match th.wait with
+  | Some (Lock_spin { idx; _ }) ->
+    Advisory_lock.remove_waiter m.locks ~idx;
+    th.wait <- None
+  | _ -> ());
+  match th.tx with
+  | None -> ()
+  | Some tx ->
+    let reason = Htm.tx_cleanup m.htm ~core:th.tid in
+    release_lock m th ~committed:false;
+    charge m th (m.cfg.Config.abort_cost + m.cfg.Config.handler_cost);
+    m.stats.Stats.aborts <- m.stats.Stats.aborts + 1;
+    m.stats.Stats.wasted_cycles <- m.stats.Stats.wasted_cycles + (th.time - tx.tx_start);
+    (Stats.ab m.stats tx.tx_ab).Stats.ab_aborts
+    <- (Stats.ab m.stats tx.tx_ab).Stats.ab_aborts + 1;
+    let table = Pipeline.table_for m.compiled ~ab:tx.tx_ab in
+    let ctx = th.contexts.(tx.tx_ab) in
+    let conf = ref None in
+    (match reason with
+    | Htm.Conflict { conf_addr; conf_pc; _ } ->
+      m.stats.Stats.conflict_aborts <- m.stats.Stats.conflict_aborts + 1;
+      let line = line_of m conf_addr in
+      conf := Some line;
+      Stats.note_conflict m.stats ~conf_line:line ~conf_pc;
+      let _, runtime_anchor = identify_anchor m th table reason in
+      let skip =
+        m.policy.Policy.skip_read_only
+        && Pipeline.is_read_only m.compiled ~ab:tx.tx_ab
+      in
+      (match m.mode with
+      | _ when skip -> ()
+      | Mode.Baseline -> ()
+      | Mode.Addr_only ->
+        Policy.activate_addr_only m.policy ctx ~conf_addr ~line
+      | Mode.Tx_sched -> Policy.activate_tx_sched m.policy ctx ~line
+      | Mode.Staggered_hw | Mode.Staggered_sw -> (
+        match
+          Policy.activate m.policy ctx ~anchor:runtime_anchor ~conf_addr ~line
+            ~retries:tx.tx_attempt
+        with
+        | Policy.Precise -> m.stats.Stats.precise <- m.stats.Stats.precise + 1
+        | Policy.Coarse -> m.stats.Stats.coarse <- m.stats.Stats.coarse + 1
+        | Policy.Promoted -> m.stats.Stats.promoted <- m.stats.Stats.promoted + 1
+        | Policy.Training -> m.stats.Stats.training <- m.stats.Stats.training + 1))
+    | Htm.Lock_subscription ->
+      m.stats.Stats.lock_sub_aborts <- m.stats.Stats.lock_sub_aborts + 1
+    | Htm.Explicit ->
+      m.stats.Stats.explicit_aborts <- m.stats.Stats.explicit_aborts + 1);
+    emit m th (Tx_abort { tid = th.tid; ab = tx.tx_ab; conf_line = !conf });
+    th.contexts.(tx.tx_ab).Abcontext.probe_streak <- 0;
+    tx.tx_is_probe <- false;
+    pop_to_base th tx;
+    tx.tx_attempt <- tx.tx_attempt + 1;
+    if tx.tx_attempt >= m.cfg.Config.max_retries then begin
+      (* fall back to irrevocable execution under the global lock *)
+      th.wait <- Some Global_spin
+    end
+    else begin
+      (* polite backoff: mean delay proportional to the retry count *)
+      let base = m.cfg.Config.backoff_base * tx.tx_attempt in
+      let jitter = Stx_util.Rng.int th.rng (max 1 base) in
+      let delay = (base / 2) + jitter in
+      charge m th delay;
+      m.stats.Stats.backoff_cycles <- m.stats.Stats.backoff_cycles + delay;
+      begin_attempt m th
+    end
+
+(* ------------------------------------------------------------------ *)
+(* instruction execution                                               *)
+
+let exec_alp m th (a : Ir.alp) =
+  charge m th m.cfg.Config.alp_inactive_cost;
+  match th.tx with
+  | Some tx when not tx.tx_irrevocable && Mode.uses_alps m.mode ->
+    m.stats.Stats.alps_executed <- m.stats.Stats.alps_executed + 1;
+    let f = frame_of th in
+    let addr = f.regs.(a.Ir.alp_addr) in
+    if addr >= wpl m then begin
+      (* software conflicting-PC tracking: one nt probe, plus one nt store
+         when the line was absent from the map *)
+      if m.mode = Mode.Staggered_sw then begin
+        charge m th (2 * m.cfg.Config.l1_latency);
+        if Softcpc.note th.softcpc ~line:(line_of m addr) ~site:a.Ir.alp_site then
+          charge m th m.cfg.Config.l1_latency
+      end;
+      let ctx = th.contexts.(tx.tx_ab) in
+      if
+        ctx.Abcontext.active_site = a.Ir.alp_site
+        && Abcontext.address_matched ctx ~words_per_line:(wpl m) ~addr
+      then begin
+        ignore (Abcontext.consume_active ctx ~site:a.Ir.alp_site);
+        request_lock m th ~addr
+      end
+    end
+  | _ -> ()
+
+let exec_intr m th f dst intr args =
+  match (intr, args) with
+  | Ir.Rng, [ bound ] ->
+    let b = ev f bound in
+    if b <= 0 then trap "rng with nonpositive bound %d" b;
+    charge m th 5;
+    Option.iter (fun d -> f.regs.(d) <- Stx_util.Rng.int th.rng b) dst
+  | Ir.Thread_id, [] ->
+    charge m th 1;
+    Option.iter (fun d -> f.regs.(d) <- th.tid) dst
+  | Ir.Work, [ n ] ->
+    let n = ev f n in
+    charge m th (max 0 n)
+  | Ir.Print, [ v ] ->
+    charge m th 1;
+    Logs.debug (fun k -> k "thread %d prints %d" th.tid (ev f v))
+  | Ir.Abort_tx, [] ->
+    charge m th 1;
+    if speculative th then begin
+      Htm.tx_self_abort m.htm ~core:th.tid;
+      handle_abort m th
+    end
+  | _ -> trap "bad intrinsic arity"
+
+let do_return m th retval =
+  match th.stack with
+  | [] -> trap "return with empty stack"
+  | frame :: rest ->
+    th.stack <- rest;
+    charge m th 2;
+    let at_tx_root =
+      match th.tx with
+      | Some tx -> List.length rest = tx.tx_base_depth
+      | None -> false
+    in
+    if at_tx_root then begin
+      let tx = Option.get th.tx in
+      if tx.tx_irrevocable then begin
+        release_lock m th ~committed:true;
+        Htm.release_global_lock m.htm;
+        finish_tx m th tx retval
+      end
+      else begin
+        charge m th m.cfg.Config.commit_cost;
+        if Htm.tx_commit m.htm ~core:th.tid then begin
+          release_lock m th ~committed:true;
+          finish_tx m th tx retval
+        end
+        else handle_abort m th
+      end
+    end
+    else begin
+      (match (frame.ret_dst, rest) with
+      | Some d, parent :: _ -> parent.regs.(d) <- retval
+      | _ -> ());
+      if rest = [] then th.finished <- true
+    end
+
+let exec_inst m th (inst : Ir.inst) =
+  let f = frame_of th in
+  m.stats.Stats.insts <- m.stats.Stats.insts + 1;
+  (match th.tx with
+  | Some tx ->
+    tx.tx_insts <- tx.tx_insts + 1;
+    m.stats.Stats.tx_insts <- m.stats.Stats.tx_insts + 1
+  | None -> ());
+  match inst.Ir.op with
+  | Ir.Mov (d, v) ->
+    charge m th 1;
+    f.regs.(d) <- ev f v
+  | Ir.Bin (op, d, a, b) ->
+    charge m th 1;
+    let a = ev f a and b = ev f b in
+    let r =
+      match op with
+      | Ir.Add -> a + b
+      | Ir.Sub -> a - b
+      | Ir.Mul -> a * b
+      | Ir.Div -> if b = 0 then trap "division by zero" else a / b
+      | Ir.Rem -> if b = 0 then trap "remainder by zero" else a mod b
+      | Ir.And -> a land b
+      | Ir.Or -> a lor b
+      | Ir.Xor -> a lxor b
+      | Ir.Shl -> a lsl (b land 62)
+      | Ir.Shr -> a asr (b land 62)
+      | Ir.Eq -> if a = b then 1 else 0
+      | Ir.Ne -> if a <> b then 1 else 0
+      | Ir.Lt -> if a < b then 1 else 0
+      | Ir.Le -> if a <= b then 1 else 0
+      | Ir.Gt -> if a > b then 1 else 0
+      | Ir.Ge -> if a >= b then 1 else 0
+    in
+    f.regs.(d) <- r
+  | Ir.Gep (d, b, _, fi) ->
+    charge m th 1;
+    f.regs.(d) <- f.regs.(b) + fi
+  | Ir.Idx (d, b, esize, i) ->
+    charge m th 1;
+    f.regs.(d) <- f.regs.(b) + (esize * ev f i)
+  | Ir.Load (d, p) ->
+    let addr = f.regs.(p) in
+    check_addr m addr;
+    charge m th (mem_latency m th ~addr ~write:false);
+    let v =
+      if speculative th then
+        Htm.tx_load m.htm ~core:th.tid ~addr
+          ~pc:(Layout.pc_of_iid m.compiled.Pipeline.layout inst.Ir.iid)
+      else Htm.nt_load m.htm ~addr
+    in
+    f.regs.(d) <- v
+  | Ir.Store (p, v) ->
+    let addr = f.regs.(p) in
+    check_addr m addr;
+    charge m th (mem_latency m th ~addr ~write:true);
+    let value = ev f v in
+    if speculative th then
+      Htm.tx_store m.htm ~core:th.tid ~addr ~value
+        ~pc:(Layout.pc_of_iid m.compiled.Pipeline.layout inst.Ir.iid)
+    else Htm.nt_store m.htm ~core:th.tid ~addr ~value
+  | Ir.Alloc (d, sname) ->
+    charge m th 20;
+    let s = Ir.find_struct m.compiled.Pipeline.prog sname in
+    f.regs.(d) <- Alloc.alloc m.allocator ~thread:th.tid (Types.size s)
+  | Ir.Alloc_arr (d, sname, n) ->
+    charge m th 20;
+    let s = Ir.find_struct m.compiled.Pipeline.prog sname in
+    let n = ev f n in
+    if n <= 0 then trap "alloc_arr with nonpositive count %d" n;
+    f.regs.(d) <- Alloc.alloc m.allocator ~thread:th.tid (n * Types.size s)
+  | Ir.Call (dst, g, args) ->
+    charge m th 2;
+    let args = Array.of_list (List.map (ev f) args) in
+    push_frame th (Ir.find_func m.compiled.Pipeline.prog g) args dst
+  | Ir.Atomic_call (dst, ab, args) ->
+    if in_tx th then trap "nested atomic call";
+    let args = Array.of_list (List.map (ev f) args) in
+    start_atomic m th ~ab ~dst ~args
+  | Ir.Intr (dst, intr, args) -> exec_intr m th f dst intr args
+  | Ir.Alp a -> exec_alp m th a
+
+(* ------------------------------------------------------------------ *)
+(* the per-thread step                                                 *)
+
+let exec_term m th =
+  let f = frame_of th in
+  charge m th 1;
+  match f.func.Ir.blocks.(f.bi).Ir.term with
+  | Ir.Jmp l ->
+    f.bi <- Ir.block_index f.func l;
+    f.ip <- 0
+  | Ir.Br (c, l1, l2) ->
+    let target = if ev f c <> 0 then l1 else l2 in
+    f.bi <- Ir.block_index f.func target;
+    f.ip <- 0
+  | Ir.Ret v ->
+    let retval = match v with Some v -> ev f v | None -> 0 in
+    do_return m th retval
+
+let spin_wait m th =
+  charge m th m.cfg.Config.spin_recheck_cost;
+  m.stats.Stats.lock_wait_cycles <-
+    m.stats.Stats.lock_wait_cycles + m.cfg.Config.spin_recheck_cost
+
+let step m th =
+  m.steps <- m.steps + 1;
+  if m.steps > m.max_steps then trap "simulation exceeded %d steps" m.max_steps;
+  (* a doomed speculative transaction aborts before doing anything else *)
+  if speculative th && (match Htm.status m.htm ~core:th.tid with Htm.Doomed _ -> true | _ -> false)
+  then handle_abort m th
+  else
+    match th.wait with
+    | Some (Lock_spin { idx; deadline }) ->
+      spin_wait m th;
+      let tx = Option.get th.tx in
+      if Advisory_lock.try_acquire m.locks ~core:th.tid ~idx then begin
+        Advisory_lock.remove_waiter m.locks ~idx;
+        tx.tx_lock <- Some idx;
+        tx.tx_held_lock <- true;
+        m.stats.Stats.lock_acquires <- m.stats.Stats.lock_acquires + 1;
+        (Stats.ab m.stats tx.tx_ab).Stats.ab_locks
+        <- (Stats.ab m.stats tx.tx_ab).Stats.ab_locks + 1;
+        th.wait <- None;
+        emit m th (Lock_acquired { tid = th.tid; lock = idx; line = 0 })
+      end
+      else if th.time >= deadline then begin
+        Advisory_lock.remove_waiter m.locks ~idx;
+        m.stats.Stats.lock_timeouts <- m.stats.Stats.lock_timeouts + 1;
+        th.wait <- None;
+        emit m th (Lock_timeout { tid = th.tid; lock = idx })
+      end
+    | Some Global_spin ->
+      spin_wait m th;
+      if Htm.acquire_global_lock m.htm ~core:th.tid then begin
+        let tx = Option.get th.tx in
+        tx.tx_irrevocable <- true;
+        m.stats.Stats.irrevocable_entries <- m.stats.Stats.irrevocable_entries + 1;
+        th.wait <- None;
+        emit m th (Tx_irrevocable { tid = th.tid; ab = tx.tx_ab });
+        begin_attempt m th
+      end
+    | None ->
+      let f = frame_of th in
+      let insts = f.func.Ir.blocks.(f.bi).Ir.insts in
+      if f.ip < Array.length insts then begin
+        let inst = insts.(f.ip) in
+        f.ip <- f.ip + 1;
+        exec_inst m th inst
+      end
+      else exec_term m th
+
+(* ------------------------------------------------------------------ *)
+(* the run loop                                                        *)
+
+let run ?(seed = 1) ?(policy = Policy.default_params) ?(lock_timeout = 100_000)
+    ?(locks = 256) ?(max_waiters = 2) ?(max_steps = 400_000_000)
+    ?(on_event = fun ~time:_ _ -> ()) ~cfg ~mode spec =
+  let memory = Memory.create () in
+  let allocator = Alloc.create ~words_per_line:cfg.Config.words_per_line memory in
+  let htm = Htm.create cfg memory allocator in
+  let locks = Advisory_lock.create ~count:locks htm allocator in
+  let hier = Hierarchy.create cfg in
+  let master = Stx_util.Rng.create seed in
+  let env = { memory; alloc = allocator; setup_rng = Stx_util.Rng.split master } in
+  let nthreads = cfg.Config.cores in
+  let args = spec.thread_args env ~threads:nthreads in
+  if Array.length args <> nthreads then
+    invalid_arg "Machine.run: thread_args must cover every thread";
+  let stats = Stats.create ~threads:nthreads in
+  let n_abs = Array.length spec.compiled.Pipeline.prog.Ir.atomics in
+  let mk_thread tid =
+    {
+      tid;
+      time = 0;
+      stack = [];
+      finished = false;
+      wait = None;
+      tx = None;
+      rng = Stx_util.Rng.split master;
+      contexts =
+        Array.init n_abs (fun ab ->
+            Abcontext.create ~ab (Pipeline.table_for spec.compiled ~ab));
+      softcpc = Softcpc.create ();
+    }
+  in
+  let threads = Array.init nthreads mk_thread in
+  let m =
+    {
+      cfg;
+      mode;
+      policy;
+      lock_timeout;
+      max_waiters;
+      compiled = spec.compiled;
+      memory;
+      hier;
+      htm;
+      locks;
+      threads;
+      stats;
+      on_event;
+      steps = 0;
+      max_steps;
+      allocator;
+    }
+  in
+  let main = Ir.find_func spec.compiled.Pipeline.prog spec.thread_main in
+  Array.iter (fun th -> push_frame th main args.(th.tid) None) threads;
+  let rec loop () =
+    let next = ref None in
+    Array.iter
+      (fun th ->
+        if not th.finished then
+          match !next with
+          | None -> next := Some th
+          | Some best -> if th.time < best.time then next := Some th)
+      threads;
+    match !next with
+    | None -> ()
+    | Some th ->
+      step m th;
+      loop ()
+  in
+  loop ();
+  (* end-of-run invariants: every thread wound down cleanly and every
+     advisory lock was released *)
+  Array.iter
+    (fun th ->
+      if th.tx <> None || th.stack <> [] then
+        trap "thread %d finished with live state" th.tid)
+    threads;
+  for idx = 0 to Advisory_lock.count m.locks - 1 do
+    match Advisory_lock.holder m.locks ~idx with
+    | Some core -> trap "advisory lock %d still held by core %d at end of run" idx core
+    | None -> ()
+  done;
+  if Htm.global_lock_held htm then trap "global lock still held at end of run";
+  Array.iter (fun th -> stats.Stats.total_cycles <- max stats.Stats.total_cycles th.time) threads;
+  stats

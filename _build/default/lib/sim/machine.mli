@@ -1,0 +1,58 @@
+(* TIR types are referenced through Stx_compiler *)
+open Stx_machine
+open Stx_core
+
+(** The simulated machine: a deterministic discrete-event interpreter that
+    runs one TIR thread per core under the HTM and the Staggered
+    Transactions runtime.
+
+    At every step the runnable thread with the smallest local clock (ties
+    by id) executes one instruction and is charged its cycle cost — memory
+    operations pay the hierarchy latency of {!Stx_machine.Hierarchy}.
+    Atomic calls follow the paper's runtime protocol: up to
+    [cfg.max_retries] hardware attempts with polite backoff, then
+    irrevocable execution under the global lock. ALPs consult the
+    thread's ABContext and acquire advisory locks (spinning with a
+    timeout); the Figure 6 policy runs in the abort handler. *)
+
+exception Sim_error of string
+(** A program-level trap: null dereference, division by zero, runaway
+    simulation, etc. *)
+
+type event =
+  | Tx_begin of { tid : int; ab : int; attempt : int }
+  | Tx_commit of { tid : int; ab : int; cycles : int }
+  | Tx_abort of { tid : int; ab : int; conf_line : int option }
+  | Tx_irrevocable of { tid : int; ab : int }
+  | Lock_acquired of { tid : int; lock : int; line : int }
+  | Lock_waiting of { tid : int; lock : int }
+  | Lock_timeout of { tid : int; lock : int }
+
+type setup_env = { memory : Memory.t; alloc : Alloc.t; setup_rng : Stx_util.Rng.t }
+
+type spec = {
+  compiled : Stx_compiler.Pipeline.t;
+  thread_main : string;  (** function run by every thread *)
+  thread_args : setup_env -> threads:int -> int array array;
+      (** build the shared state in simulated memory and return each
+          thread's argument vector *)
+}
+
+val run :
+  ?seed:int ->
+  ?policy:Policy.params ->
+  ?lock_timeout:int ->
+  ?locks:int ->
+  ?max_waiters:int ->
+  ?max_steps:int ->
+  ?on_event:(time:int -> event -> unit) ->
+  cfg:Config.t ->
+  mode:Mode.t ->
+  spec ->
+  Stats.t
+(** Deterministic for a given [(seed, cfg, mode, spec)]. [lock_timeout]
+    defaults to 100_000 cycles; [locks] to 256; [max_waiters] (default 2)
+    caps the spinners per advisory lock — an ALP finding a full queue
+    proceeds speculatively, keeping the mechanism a stagger rather than a
+    convoy; [max_steps] bounds the total instruction count as a runaway
+    backstop. *)

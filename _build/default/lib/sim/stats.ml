@@ -1,0 +1,105 @@
+type ab_stat = {
+  mutable ab_commits : int;
+  mutable ab_aborts : int;
+  mutable ab_locks : int;
+  mutable ab_irrevocable : int;
+}
+
+type t = {
+  threads : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable conflict_aborts : int;
+  mutable lock_sub_aborts : int;
+  mutable explicit_aborts : int;
+  mutable irrevocable_entries : int;
+  mutable useful_cycles : int;
+  mutable wasted_cycles : int;
+  mutable tx_mode_cycles : int;
+  mutable lock_wait_cycles : int;
+  mutable backoff_cycles : int;
+  mutable total_cycles : int;
+  mutable lock_acquires : int;
+  mutable lock_timeouts : int;
+  mutable alps_executed : int;
+  mutable alps_lock_attempts : int;
+  mutable accuracy_hits : int;
+  mutable accuracy_total : int;
+  mutable precise : int;
+  mutable coarse : int;
+  mutable promoted : int;
+  mutable training : int;
+  mutable insts : int;
+  mutable tx_insts : int;
+  mutable committed_tx_insts : int;
+  conf_addr_freq : (int, int) Hashtbl.t;
+  conf_pc_freq : (int, int) Hashtbl.t;
+  per_ab : (int, ab_stat) Hashtbl.t;
+}
+
+let create ~threads =
+  {
+    threads;
+    commits = 0;
+    aborts = 0;
+    conflict_aborts = 0;
+    lock_sub_aborts = 0;
+    explicit_aborts = 0;
+    irrevocable_entries = 0;
+    useful_cycles = 0;
+    wasted_cycles = 0;
+    tx_mode_cycles = 0;
+    lock_wait_cycles = 0;
+    backoff_cycles = 0;
+    total_cycles = 0;
+    lock_acquires = 0;
+    lock_timeouts = 0;
+    alps_executed = 0;
+    alps_lock_attempts = 0;
+    accuracy_hits = 0;
+    accuracy_total = 0;
+    precise = 0;
+    coarse = 0;
+    promoted = 0;
+    training = 0;
+    insts = 0;
+    tx_insts = 0;
+    committed_tx_insts = 0;
+    conf_addr_freq = Hashtbl.create 64;
+    conf_pc_freq = Hashtbl.create 64;
+    per_ab = Hashtbl.create 8;
+  }
+
+let aborts_per_commit t = Stx_util.Stat.ratio t.aborts t.commits
+let wasted_over_useful t = Stx_util.Stat.ratio t.wasted_cycles t.useful_cycles
+let pct_irrevocable t = Stx_util.Stat.percent t.irrevocable_entries t.commits
+(* tx_mode_cycles aggregates across threads; total_cycles is the makespan *)
+let pct_tx_time t = Stx_util.Stat.percent t.tx_mode_cycles (t.total_cycles * t.threads)
+let accuracy t = Stx_util.Stat.percent t.accuracy_hits t.accuracy_total
+
+let locality ?(top = 1) freq =
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) freq 0 in
+  if total = 0 then 0.
+  else begin
+    let counts = Hashtbl.fold (fun _ c acc -> c :: acc) freq [] in
+    let sorted = List.sort (fun a b -> compare b a) counts in
+    let rec take k = function
+      | c :: rest when k > 0 -> c + take (k - 1) rest
+      | _ -> 0
+    in
+    float_of_int (take top sorted) /. float_of_int total
+  end
+
+let ab t id =
+  match Hashtbl.find_opt t.per_ab id with
+  | Some a -> a
+  | None ->
+    let a = { ab_commits = 0; ab_aborts = 0; ab_locks = 0; ab_irrevocable = 0 } in
+    Hashtbl.add t.per_ab id a;
+    a
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let note_conflict t ~conf_line ~conf_pc =
+  bump t.conf_addr_freq conf_line;
+  match conf_pc with Some pc -> bump t.conf_pc_freq pc | None -> ()

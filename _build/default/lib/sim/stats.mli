@@ -1,0 +1,60 @@
+(** Statistics gathered over one simulation run — the raw material for
+    every table and figure of the paper's evaluation. *)
+
+type ab_stat = {
+  mutable ab_commits : int;
+  mutable ab_aborts : int;
+  mutable ab_locks : int;
+  mutable ab_irrevocable : int;
+}
+
+type t = {
+  threads : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable conflict_aborts : int;
+  mutable lock_sub_aborts : int;
+  mutable explicit_aborts : int;
+  mutable irrevocable_entries : int;  (** txns forced into irrevocable mode *)
+  mutable useful_cycles : int;  (** cycles of committed attempts *)
+  mutable wasted_cycles : int;  (** cycles of aborted attempts *)
+  mutable tx_mode_cycles : int;  (** cycles with a transaction in flight *)
+  mutable lock_wait_cycles : int;  (** spinning on advisory locks *)
+  mutable backoff_cycles : int;
+  mutable total_cycles : int;  (** makespan: max thread-local clock *)
+  mutable lock_acquires : int;
+  mutable lock_timeouts : int;
+  mutable alps_executed : int;  (** dynamic ALP instructions *)
+  mutable alps_lock_attempts : int;  (** ALPs that went for a lock *)
+  mutable accuracy_hits : int;  (** runtime anchor id matched the oracle *)
+  mutable accuracy_total : int;
+  mutable precise : int;  (** policy decisions by kind *)
+  mutable coarse : int;
+  mutable promoted : int;
+  mutable training : int;
+  mutable insts : int;  (** instructions executed (µ-ops) *)
+  mutable tx_insts : int;  (** instructions executed inside transactions *)
+  mutable committed_tx_insts : int;
+  conf_addr_freq : (int, int) Hashtbl.t;  (** conflicting line -> aborts *)
+  conf_pc_freq : (int, int) Hashtbl.t;  (** conflicting PC tag -> aborts *)
+  per_ab : (int, ab_stat) Hashtbl.t;  (** per-atomic-block breakdown *)
+}
+
+val create : threads:int -> t
+
+val aborts_per_commit : t -> float
+val wasted_over_useful : t -> float
+val pct_irrevocable : t -> float
+(** Percentage of committed transactions that ran irrevocably. *)
+
+val pct_tx_time : t -> float
+val accuracy : t -> float
+
+val locality : ?top:int -> (int, int) Hashtbl.t -> float
+(** Share of the [top] (default 1) most frequent keys among all
+    occurrences (0 when empty) — the LA/LP columns of Table 1. *)
+
+val note_conflict : t -> conf_line:int -> conf_pc:int option -> unit
+
+val ab : t -> int -> ab_stat
+(** The (created-on-demand) per-atomic-block record. *)

@@ -1,0 +1,1 @@
+lib/tir/builder.ml: Array Hashtbl Ir List Printf Types

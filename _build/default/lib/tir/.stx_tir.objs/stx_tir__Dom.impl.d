@@ -1,0 +1,1 @@
+lib/tir/dom.ml: Array Ir List

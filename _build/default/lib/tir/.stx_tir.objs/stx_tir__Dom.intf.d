@@ -1,0 +1,1 @@
+lib/tir/dom.mli: Ir

@@ -1,0 +1,1 @@
+lib/tir/ir.ml: Array Hashtbl Types

@@ -1,0 +1,1 @@
+lib/tir/layout.ml: Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/tir/layout.mli: Ir

@@ -1,0 +1,1 @@
+lib/tir/pp.ml: Array Format Hashtbl Ir List String

@@ -1,0 +1,1 @@
+lib/tir/verify.ml: Array Hashtbl Ir List Option Printf Types

@@ -1,0 +1,1 @@
+lib/tir/verify.mli: Hashtbl Ir

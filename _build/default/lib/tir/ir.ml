@@ -1,0 +1,122 @@
+type reg = int
+
+type operand = Reg of reg | Imm of int
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type intr = Rng | Thread_id | Work | Print | Abort_tx
+
+type op =
+  | Mov of reg * operand
+  | Bin of binop * reg * operand * operand
+  | Load of reg * reg
+  | Store of reg * operand
+  | Gep of reg * reg * string * int
+  | Idx of reg * reg * int * operand
+  | Alloc of reg * string
+  | Alloc_arr of reg * string * operand
+  | Call of reg option * string * operand list
+  | Atomic_call of reg option * int * operand list
+  | Intr of reg option * intr * operand list
+  | Alp of alp
+
+and alp = { alp_site : int; alp_addr : reg; alp_anchor_iid : int }
+
+type inst = { iid : int; op : op }
+
+type term = Jmp of string | Br of operand * string * string | Ret of operand option
+
+type block = { blabel : string; mutable insts : inst array; mutable term : term }
+
+type func = {
+  fname : string;
+  params : string array;
+  mutable nregs : int;
+  mutable blocks : block array;
+}
+
+type atomic = { ab_id : int; ab_name : string; ab_func : string }
+
+type program = {
+  structs : (string, Types.strct) Hashtbl.t;
+  funcs : (string, func) Hashtbl.t;
+  mutable atomics : atomic array;
+  mutable next_iid : int;
+  mutable next_alp_site : int;
+}
+
+let create_program () =
+  let structs = Hashtbl.create 16 in
+  Hashtbl.add structs Types.word.Types.sname Types.word;
+  {
+    structs;
+    funcs = Hashtbl.create 16;
+    atomics = [||];
+    next_iid = 0;
+    next_alp_site = 1;
+  }
+
+let add_struct p (s : Types.strct) =
+  if Hashtbl.mem p.structs s.Types.sname then
+    invalid_arg ("Ir.add_struct: duplicate struct " ^ s.Types.sname);
+  Hashtbl.add p.structs s.Types.sname s
+
+let find_struct p name =
+  match Hashtbl.find_opt p.structs name with
+  | Some s -> s
+  | None -> invalid_arg ("Ir.find_struct: unknown struct " ^ name)
+
+let add_func p f =
+  if Hashtbl.mem p.funcs f.fname then
+    invalid_arg ("Ir.add_func: duplicate function " ^ f.fname);
+  Hashtbl.add p.funcs f.fname f
+
+let find_func p name =
+  match Hashtbl.find_opt p.funcs name with
+  | Some f -> f
+  | None -> invalid_arg ("Ir.find_func: unknown function " ^ name)
+
+let add_atomic p ~name ~func =
+  let ab_id = Array.length p.atomics in
+  p.atomics <- Array.append p.atomics [| { ab_id; ab_name = name; ab_func = func } |];
+  ab_id
+
+let fresh_iid p =
+  let i = p.next_iid in
+  p.next_iid <- i + 1;
+  i
+
+let fresh_alp_site p =
+  let i = p.next_alp_site in
+  p.next_alp_site <- i + 1;
+  i
+
+let block_index f label =
+  let n = Array.length f.blocks in
+  let rec find i =
+    if i >= n then raise Not_found
+    else if f.blocks.(i).blabel = label then i
+    else find (i + 1)
+  in
+  find 0
+
+let iter_insts f k =
+  Array.iteri
+    (fun bi b -> Array.iteri (fun ii inst -> k bi ii inst) b.insts)
+    f.blocks
+
+let is_mem_access = function Load _ | Store _ -> true | _ -> false
+
+let pointer_reg = function Load (_, p) | Store (p, _) -> Some p | _ -> None
+
+let defined_reg = function
+  | Mov (d, _) | Bin (_, d, _, _) | Load (d, _) | Gep (d, _, _, _)
+  | Idx (d, _, _, _) | Alloc (d, _) | Alloc_arr (d, _, _) ->
+    Some d
+  | Call (d, _, _) | Atomic_call (d, _, _) | Intr (d, _, _) -> d
+  | Store _ | Alp _ -> None
+
+let callee = function Call (_, f, _) -> Some f | _ -> None

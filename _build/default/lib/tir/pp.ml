@@ -1,0 +1,77 @@
+let operand ppf = function
+  | Ir.Reg r -> Format.fprintf ppf "r%d" r
+  | Ir.Imm n -> Format.fprintf ppf "#%d" n
+
+let binop_name = function
+  | Ir.Add -> "add" | Ir.Sub -> "sub" | Ir.Mul -> "mul" | Ir.Div -> "div"
+  | Ir.Rem -> "rem" | Ir.And -> "and" | Ir.Or -> "or" | Ir.Xor -> "xor"
+  | Ir.Shl -> "shl" | Ir.Shr -> "shr" | Ir.Eq -> "eq" | Ir.Ne -> "ne"
+  | Ir.Lt -> "lt" | Ir.Le -> "le" | Ir.Gt -> "gt" | Ir.Ge -> "ge"
+
+let intr_name = function
+  | Ir.Rng -> "rng"
+  | Ir.Thread_id -> "thread_id"
+  | Ir.Work -> "work"
+  | Ir.Print -> "print"
+  | Ir.Abort_tx -> "abort_tx"
+
+let args ppf l =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    operand ppf l
+
+let op ppf = function
+  | Ir.Mov (d, v) -> Format.fprintf ppf "r%d = %a" d operand v
+  | Ir.Bin (b, d, x, y) ->
+    Format.fprintf ppf "r%d = %s %a, %a" d (binop_name b) operand x operand y
+  | Ir.Load (d, a) -> Format.fprintf ppf "r%d = load [r%d]" d a
+  | Ir.Store (a, v) -> Format.fprintf ppf "store [r%d], %a" a operand v
+  | Ir.Gep (d, b, s, f) -> Format.fprintf ppf "r%d = gep r%d, %s.%d" d b s f
+  | Ir.Idx (d, b, e, i) -> Format.fprintf ppf "r%d = idx r%d, %d * %a" d b e operand i
+  | Ir.Alloc (d, s) -> Format.fprintf ppf "r%d = alloc %s" d s
+  | Ir.Alloc_arr (d, s, n) -> Format.fprintf ppf "r%d = alloc_arr %s[%a]" d s operand n
+  | Ir.Call (d, f, a) ->
+    (match d with
+    | Some d -> Format.fprintf ppf "r%d = call %s(%a)" d f args a
+    | None -> Format.fprintf ppf "call %s(%a)" f args a)
+  | Ir.Atomic_call (d, ab, a) ->
+    (match d with
+    | Some d -> Format.fprintf ppf "r%d = atomic %d(%a)" d ab args a
+    | None -> Format.fprintf ppf "atomic %d(%a)" ab args a)
+  | Ir.Intr (d, i, a) ->
+    (match d with
+    | Some d -> Format.fprintf ppf "r%d = %s(%a)" d (intr_name i) args a
+    | None -> Format.fprintf ppf "%s(%a)" (intr_name i) args a)
+  | Ir.Alp a ->
+    Format.fprintf ppf "alp site=%d addr=r%d anchor=i%d" a.Ir.alp_site a.Ir.alp_addr
+      a.Ir.alp_anchor_iid
+
+let inst ppf (i : Ir.inst) = Format.fprintf ppf "i%-4d %a" i.Ir.iid op i.Ir.op
+
+let term ppf = function
+  | Ir.Jmp l -> Format.fprintf ppf "jmp %s" l
+  | Ir.Br (c, l1, l2) -> Format.fprintf ppf "br %a, %s, %s" operand c l1 l2
+  | Ir.Ret None -> Format.fprintf ppf "ret"
+  | Ir.Ret (Some v) -> Format.fprintf ppf "ret %a" operand v
+
+let func ppf (f : Ir.func) =
+  Format.fprintf ppf "@[<v>func %s(%s) [%d regs]@," f.Ir.fname
+    (String.concat ", " (Array.to_list f.Ir.params))
+    f.Ir.nregs;
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "%s:@," b.Ir.blabel;
+      Array.iter (fun i -> Format.fprintf ppf "  %a@," inst i) b.Ir.insts;
+      Format.fprintf ppf "  %a@," term b.Ir.term)
+    f.Ir.blocks;
+  Format.fprintf ppf "@]"
+
+let program ppf (p : Ir.program) =
+  let names = Hashtbl.fold (fun n _ acc -> n :: acc) p.Ir.funcs [] in
+  List.iter
+    (fun n -> Format.fprintf ppf "%a@." func (Ir.find_func p n))
+    (List.sort compare names);
+  Array.iter
+    (fun a ->
+      Format.fprintf ppf "atomic %d %S -> %s@." a.Ir.ab_id a.Ir.ab_name a.Ir.ab_func)
+    p.Ir.atomics

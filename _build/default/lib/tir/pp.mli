@@ -1,0 +1,9 @@
+(** Human-readable rendering of TIR programs, for debugging and for the
+    anchor-table listing that reproduces Figure 3. *)
+
+val operand : Format.formatter -> Ir.operand -> unit
+val op : Format.formatter -> Ir.op -> unit
+val inst : Format.formatter -> Ir.inst -> unit
+val term : Format.formatter -> Ir.term -> unit
+val func : Format.formatter -> Ir.func -> unit
+val program : Format.formatter -> Ir.program -> unit

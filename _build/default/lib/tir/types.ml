@@ -1,0 +1,29 @@
+type fkind = Scalar | Ptr of string
+
+type field = { fname : string; fkind : fkind }
+
+type strct = { sname : string; sfields : field array }
+
+let make sname fields =
+  {
+    sname;
+    sfields = Array.of_list (List.map (fun (fname, fkind) -> { fname; fkind }) fields);
+  }
+
+let size s = Array.length s.sfields
+
+let field_index s name =
+  let n = Array.length s.sfields in
+  let rec find i =
+    if i >= n then raise Not_found
+    else if s.sfields.(i).fname = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let field s i =
+  if i < 0 || i >= Array.length s.sfields then
+    invalid_arg (Printf.sprintf "Types.field: %s has no field %d" s.sname i);
+  s.sfields.(i)
+
+let word = make "word" [ ("value", Scalar) ]

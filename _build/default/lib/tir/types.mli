@@ -1,0 +1,28 @@
+(** Struct types of the transactional IR.
+
+    Every field occupies one word. A field is either a scalar or a pointer
+    to a named struct; that per-field pointer typing is what makes the Data
+    Structure Analysis field-sensitive, exactly as LLVM's
+    getelementptr-derived type information does for Lattner's DSA. *)
+
+type fkind =
+  | Scalar
+  | Ptr of string  (** name of the pointed-to struct *)
+
+type field = { fname : string; fkind : fkind }
+
+type strct = { sname : string; sfields : field array }
+
+val make : string -> (string * fkind) list -> strct
+
+val size : strct -> int
+(** Size in words — one word per field. *)
+
+val field_index : strct -> string -> int
+(** Raises [Not_found] if the struct has no such field. *)
+
+val field : strct -> int -> field
+(** Raises [Invalid_argument] if the index is out of bounds. *)
+
+val word : strct
+(** The built-in one-scalar-field struct used for raw word arrays. *)

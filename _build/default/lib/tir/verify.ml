@@ -1,0 +1,143 @@
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let check_operand f loc = function
+  | Ir.Imm _ -> ()
+  | Ir.Reg r ->
+    if r < 0 || r >= f.Ir.nregs then
+      fail "%s: register %d out of range in %s" loc r f.Ir.fname
+
+let check_reg f loc r =
+  if r < 0 || r >= f.Ir.nregs then
+    fail "%s: register %d out of range in %s" loc r f.Ir.fname
+
+let check_struct p loc sname fidx =
+  match Hashtbl.find_opt p.Ir.structs sname with
+  | None -> fail "%s: unknown struct %s" loc sname
+  | Some s ->
+    if fidx < 0 || fidx >= Types.size s then
+      fail "%s: struct %s has no field %d" loc sname fidx
+
+let check_label f loc l =
+  match Ir.block_index f l with
+  | (_ : int) -> ()
+  | exception Not_found -> fail "%s: unknown label %s in %s" loc l f.Ir.fname
+
+let check_inst p f loc (inst : Ir.inst) =
+  let op = check_operand f loc and rg = check_reg f loc in
+  match inst.Ir.op with
+  | Ir.Mov (d, v) ->
+    rg d;
+    op v
+  | Ir.Bin (_, d, a, b) ->
+    rg d;
+    op a;
+    op b
+  | Ir.Load (d, a) ->
+    rg d;
+    rg a
+  | Ir.Store (a, v) ->
+    rg a;
+    op v
+  | Ir.Gep (d, b, sname, fidx) ->
+    rg d;
+    rg b;
+    check_struct p loc sname fidx
+  | Ir.Idx (d, b, esize, i) ->
+    rg d;
+    rg b;
+    op i;
+    if esize <= 0 then fail "%s: nonpositive element size" loc
+  | Ir.Alloc (d, sname) ->
+    rg d;
+    check_struct p loc sname 0
+  | Ir.Alloc_arr (d, sname, n) ->
+    rg d;
+    check_struct p loc sname 0;
+    op n
+  | Ir.Call (d, callee, args) -> begin
+    Option.iter rg d;
+    List.iter op args;
+    match Hashtbl.find_opt p.Ir.funcs callee with
+    | None -> fail "%s: call to unknown function %s" loc callee
+    | Some cf ->
+      if List.length args <> Array.length cf.Ir.params then
+        fail "%s: call to %s with %d args, expected %d" loc callee
+          (List.length args) (Array.length cf.Ir.params)
+  end
+  | Ir.Atomic_call (d, ab, args) ->
+    Option.iter rg d;
+    List.iter op args;
+    if ab < 0 || ab >= Array.length p.Ir.atomics then
+      fail "%s: unknown atomic block %d" loc ab;
+    let root = p.Ir.atomics.(ab).Ir.ab_func in
+    let rf = Ir.find_func p root in
+    if List.length args <> Array.length rf.Ir.params then
+      fail "%s: atomic call to %s with %d args, expected %d" loc root
+        (List.length args) (Array.length rf.Ir.params)
+  | Ir.Intr (d, _, args) ->
+    Option.iter rg d;
+    List.iter op args
+  | Ir.Alp a -> rg a.Ir.alp_addr
+
+let check_func p (f : Ir.func) =
+  if Array.length f.Ir.blocks = 0 then fail "function %s has no blocks" f.Ir.fname;
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun b ->
+      if Hashtbl.mem seen b.Ir.blabel then
+        fail "duplicate label %s in %s" b.Ir.blabel f.Ir.fname;
+      Hashtbl.add seen b.Ir.blabel ())
+    f.Ir.blocks;
+  Array.iteri
+    (fun bi b ->
+      let loc = Printf.sprintf "%s.%s" f.Ir.fname b.Ir.blabel in
+      Array.iter (check_inst p f loc) b.Ir.insts;
+      match b.Ir.term with
+      | Ir.Jmp l -> check_label f loc l
+      | Ir.Br (c, l1, l2) ->
+        check_operand f loc c;
+        check_label f loc l1;
+        check_label f loc l2
+      | Ir.Ret v ->
+        Option.iter (check_operand f loc) v;
+        ignore bi)
+    f.Ir.blocks
+
+let direct_callees (f : Ir.func) =
+  let acc = ref [] in
+  Ir.iter_insts f (fun _ _ inst ->
+      match Ir.callee inst.Ir.op with Some c -> acc := c :: !acc | None -> ());
+  !acc
+
+let atomic_reachable p =
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      match Hashtbl.find_opt p.Ir.funcs name with
+      | None -> ()
+      | Some f -> List.iter visit (direct_callees f)
+    end
+  in
+  Array.iter (fun a -> visit a.Ir.ab_func) p.Ir.atomics;
+  seen
+
+let check_no_nested_atomic p =
+  let reach = atomic_reachable p in
+  Hashtbl.iter
+    (fun name () ->
+      match Hashtbl.find_opt p.Ir.funcs name with
+      | None -> fail "atomic block references unknown function %s" name
+      | Some f ->
+        Ir.iter_insts f (fun _ _ inst ->
+            match inst.Ir.op with
+            | Ir.Atomic_call _ ->
+              fail "nested atomic call in %s (reachable from an atomic block)" name
+            | _ -> ()))
+    reach
+
+let program p =
+  Hashtbl.iter (fun _ f -> check_func p f) p.Ir.funcs;
+  check_no_nested_atomic p

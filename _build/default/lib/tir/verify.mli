@@ -1,0 +1,17 @@
+(** Static well-formedness checks over a whole TIR program.
+
+    Run before analysis or execution; errors here are programming mistakes
+    in workload construction, so they raise immediately. Checks: register
+    indices in range, branch targets exist, struct/field references valid,
+    callees exist with matching arity, atomic-block ids valid, no nested
+    atomic calls (no function reachable from an atomic block may contain
+    [Atomic_call]), and unique block labels. *)
+
+exception Invalid of string
+
+val program : Ir.program -> unit
+(** Raises [Invalid] with a description of the first problem found. *)
+
+val atomic_reachable : Ir.program -> (string, unit) Hashtbl.t
+(** Names of functions reachable (by direct call) from any atomic block's
+    root function, including the roots. *)

@@ -1,0 +1,1 @@
+lib/tstruct/hostmem.ml: Alloc Memory Stx_machine Stx_tir Types

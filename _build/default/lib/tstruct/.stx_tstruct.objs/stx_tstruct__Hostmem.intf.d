@@ -1,0 +1,1 @@
+lib/tstruct/hostmem.mli: Alloc Memory Stx_machine Stx_tir Types

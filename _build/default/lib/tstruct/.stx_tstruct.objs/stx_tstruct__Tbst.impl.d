@@ -1,0 +1,1 @@
+lib/tstruct/tbst.ml: Array Builder Hashtbl Hostmem Ir List Stx_tir Types

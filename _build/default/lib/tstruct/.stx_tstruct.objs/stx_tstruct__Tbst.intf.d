@@ -1,0 +1,1 @@
+lib/tstruct/tbst.mli: Alloc Ir Memory Stx_machine Stx_tir Types

@@ -1,0 +1,1 @@
+lib/tstruct/tcalqueue.ml: Builder Hashtbl Hostmem Ir List Stx_machine Stx_tir Types

@@ -1,0 +1,1 @@
+lib/tstruct/thash.ml: Builder Hashtbl Hostmem Ir List Stx_tir Tlist Types

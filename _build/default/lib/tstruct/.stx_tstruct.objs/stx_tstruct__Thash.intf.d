@@ -1,0 +1,1 @@
+lib/tstruct/thash.mli: Alloc Ir Memory Stx_machine Stx_tir Types

@@ -1,0 +1,1 @@
+lib/tstruct/tlist.ml: Builder Hashtbl Hostmem Ir List Stx_tir Types

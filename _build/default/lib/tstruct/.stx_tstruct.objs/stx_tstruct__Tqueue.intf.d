@@ -1,0 +1,1 @@
+lib/tstruct/tqueue.mli: Alloc Ir Memory Stx_machine Stx_tir Types

@@ -1,0 +1,1 @@
+lib/tstruct/trbt.ml: Builder Hashtbl Hostmem Ir List Printf Stx_tir Types

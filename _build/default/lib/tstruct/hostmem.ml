@@ -1,0 +1,8 @@
+open Stx_machine
+open Stx_tir
+
+let set mem s addr field v = Memory.store mem (addr + Types.field_index s field) v
+let get mem s addr field = Memory.load mem (addr + Types.field_index s field)
+let alloc_struct alloc s = Alloc.alloc_shared alloc (Types.size s)
+let alloc_array alloc s n = Alloc.alloc_shared alloc (n * Types.size s)
+let elem s base i = base + (i * Types.size s)

@@ -1,0 +1,21 @@
+open Stx_machine
+open Stx_tir
+
+(** Host-side access to struct fields in simulated memory, for workload
+    setup (built before the simulated threads start, so no cycles are
+    charged) and for test validation. Field offsets mirror the TIR layout:
+    one word per field, in declaration order. *)
+
+val set : Memory.t -> Types.strct -> int -> string -> int -> unit
+(** [set mem s addr field v] writes [addr.field <- v]. *)
+
+val get : Memory.t -> Types.strct -> int -> string -> int
+
+val alloc_struct : Alloc.t -> Types.strct -> int
+(** Shared-arena allocation of one struct. *)
+
+val alloc_array : Alloc.t -> Types.strct -> int -> int
+(** Contiguous array of [n] structs; returns the base address. *)
+
+val elem : Types.strct -> int -> int -> int
+(** [elem s base i] — address of element [i] in an array of [s]. *)

@@ -1,0 +1,154 @@
+open Stx_tir
+
+let node =
+  Types.make "bstnode"
+    [
+      ("key", Types.Scalar);
+      ("value", Types.Scalar);
+      ("left", Types.Ptr "bstnode");
+      ("right", Types.Ptr "bstnode");
+    ]
+
+let tree = Types.make "bsttree" [ ("root", Types.Ptr "bstnode") ]
+
+let lookup_fn = "stx_bst_lookup"
+let insert_fn = "stx_bst_insert"
+let update_fn = "stx_bst_update"
+
+(* walk to the node with [key]; shared by lookup and update *)
+let emit_walk b cur =
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0))
+    (fun b ->
+      let k = Builder.load b (Builder.gep b (Ir.Reg cur) "bstnode" "key") in
+      Builder.when_ b
+        (Builder.bin b Ir.Eq k (Builder.param b "key"))
+        (fun b -> Builder.jmp b "found");
+      Builder.if_ b
+        (Builder.bin b Ir.Lt (Builder.param b "key") k)
+        (fun b -> Builder.load_to b cur (Builder.gep b (Ir.Reg cur) "bstnode" "left"))
+        (fun b -> Builder.load_to b cur (Builder.gep b (Ir.Reg cur) "bstnode" "right")))
+
+let build_lookup p =
+  let b = Builder.create p lookup_fn ~params:[ "tree"; "key" ] in
+  let cur = Builder.reg b "cur" in
+  Builder.load_to b cur (Builder.gep b (Builder.param b "tree") "bsttree" "root");
+  emit_walk b cur;
+  Builder.ret b (Some (Ir.Imm (-1)));
+  Builder.block b "found";
+  let v = Builder.load b (Builder.gep b (Ir.Reg cur) "bstnode" "value") in
+  Builder.ret b (Some v);
+  ignore (Builder.finish b)
+
+let build_update p =
+  let b = Builder.create p update_fn ~params:[ "tree"; "key"; "delta" ] in
+  let cur = Builder.reg b "cur" in
+  Builder.load_to b cur (Builder.gep b (Builder.param b "tree") "bsttree" "root");
+  emit_walk b cur;
+  Builder.ret b (Some (Ir.Imm (-1)));
+  Builder.block b "found";
+  let v = Builder.load b (Builder.gep b (Ir.Reg cur) "bstnode" "value") in
+  let nv = Builder.bin b Ir.Add v (Builder.param b "delta") in
+  Builder.store b ~addr:(Builder.gep b (Ir.Reg cur) "bstnode" "value") nv;
+  Builder.ret b (Some nv);
+  ignore (Builder.finish b)
+
+let build_insert p =
+  let b = Builder.create p insert_fn ~params:[ "tree"; "key"; "val" ] in
+  let cur = Builder.reg b "cur" in
+  Builder.load_to b cur (Builder.gep b (Builder.param b "tree") "bsttree" "root");
+  Builder.when_ b
+    (Builder.bin b Ir.Eq (Ir.Reg cur) (Ir.Imm 0))
+    (fun b ->
+      let n = Builder.alloc b "bstnode" in
+      Builder.store b ~addr:(Builder.gep b n "bstnode" "key") (Builder.param b "key");
+      Builder.store b ~addr:(Builder.gep b n "bstnode" "value") (Builder.param b "val");
+      Builder.store b ~addr:(Builder.gep b n "bstnode" "left") (Ir.Imm 0);
+      Builder.store b ~addr:(Builder.gep b n "bstnode" "right") (Ir.Imm 0);
+      Builder.store b
+        ~addr:(Builder.gep b (Builder.param b "tree") "bsttree" "root")
+        n;
+      Builder.ret b (Some (Ir.Imm 1)));
+  Builder.while_ b
+    (fun _ -> Ir.Imm 1)
+    (fun b ->
+      let k = Builder.load b (Builder.gep b (Ir.Reg cur) "bstnode" "key") in
+      Builder.when_ b
+        (Builder.bin b Ir.Eq k (Builder.param b "key"))
+        (fun b ->
+          Builder.store b
+            ~addr:(Builder.gep b (Ir.Reg cur) "bstnode" "value")
+            (Builder.param b "val");
+          Builder.ret b (Some (Ir.Imm 0)));
+      let field = Builder.reg b "field" in
+      (* choose the child side; if empty, link a fresh node there *)
+      Builder.if_ b
+        (Builder.bin b Ir.Lt (Builder.param b "key") k)
+        (fun b -> Builder.mov b field (Builder.gep b (Ir.Reg cur) "bstnode" "left"))
+        (fun b -> Builder.mov b field (Builder.gep b (Ir.Reg cur) "bstnode" "right"));
+      let child = Builder.load b (Ir.Reg field) in
+      Builder.when_ b
+        (Builder.bin b Ir.Eq child (Ir.Imm 0))
+        (fun b ->
+          let n = Builder.alloc b "bstnode" in
+          Builder.store b ~addr:(Builder.gep b n "bstnode" "key") (Builder.param b "key");
+          Builder.store b ~addr:(Builder.gep b n "bstnode" "value") (Builder.param b "val");
+          Builder.store b ~addr:(Builder.gep b n "bstnode" "left") (Ir.Imm 0);
+          Builder.store b ~addr:(Builder.gep b n "bstnode" "right") (Ir.Imm 0);
+          Builder.store b ~addr:(Ir.Reg field) n;
+          Builder.ret b (Some (Ir.Imm 1)));
+      Builder.mov b cur child);
+  Builder.ret b (Some (Ir.Imm 0));
+  ignore (Builder.finish b)
+
+let register p =
+  if not (Hashtbl.mem p.Ir.structs "bstnode") then begin
+    Ir.add_struct p node;
+    Ir.add_struct p tree
+  end;
+  if not (Hashtbl.mem p.Ir.funcs lookup_fn) then begin
+    build_lookup p;
+    build_update p;
+    build_insert p
+  end
+
+let setup mem alloc ~pairs =
+  let t = Hostmem.alloc_struct alloc tree in
+  let sorted = List.sort_uniq (fun (a, _) (b, _) -> compare a b) pairs in
+  let arr = Array.of_list sorted in
+  let rec build lo hi =
+    if lo > hi then 0
+    else begin
+      let mid = (lo + hi) / 2 in
+      let k, v = arr.(mid) in
+      let n = Hostmem.alloc_struct alloc node in
+      Hostmem.set mem node n "key" k;
+      Hostmem.set mem node n "value" v;
+      Hostmem.set mem node n "left" (build lo (mid - 1));
+      Hostmem.set mem node n "right" (build (mid + 1) hi);
+      n
+    end
+  in
+  Hostmem.set mem tree t "root" (build 0 (Array.length arr - 1));
+  t
+
+let host_lookup mem t key =
+  let rec walk addr =
+    if addr = 0 then None
+    else
+      let k = Hostmem.get mem node addr "key" in
+      if k = key then Some (Hostmem.get mem node addr "value")
+      else if key < k then walk (Hostmem.get mem node addr "left")
+      else walk (Hostmem.get mem node addr "right")
+  in
+  walk (Hostmem.get mem tree t "root")
+
+let keys mem t =
+  let rec inorder addr acc =
+    if addr = 0 then acc
+    else
+      let acc = inorder (Hostmem.get mem node addr "right") acc in
+      let acc = Hostmem.get mem node addr "key" :: acc in
+      inorder (Hostmem.get mem node addr "left") acc
+  in
+  inorder (Hostmem.get mem tree t "root") []

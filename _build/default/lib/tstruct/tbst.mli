@@ -1,0 +1,30 @@
+open Stx_machine
+open Stx_tir
+
+(** Unbalanced binary search tree with a root-holder struct — the
+    relational tables of vacation. (The paper's vacation uses red-black
+    trees; a BST preserves the conflict signature — root-to-leaf pointer
+    chases with wandering conflict addresses — without the rebalancing
+    machinery. See DESIGN.md.)
+
+    TIR functions:
+    - [stx_bst_lookup tree key] → value, or -1 when absent
+    - [stx_bst_insert tree key val] → 1 if inserted, 0 if the key existed
+      (value updated)
+    - [stx_bst_update tree key delta] → new value, or -1 when absent *)
+
+val tree : Types.strct
+val node : Types.strct
+
+val register : Ir.program -> unit
+
+val lookup_fn : string
+val insert_fn : string
+val update_fn : string
+
+val setup : Memory.t -> Alloc.t -> pairs:(int * int) list -> int
+(** Build a balanced tree from the key/value pairs. *)
+
+val host_lookup : Memory.t -> int -> int -> int option
+val keys : Memory.t -> int -> int list
+(** In-order key list (for validating the BST invariant). *)

@@ -1,0 +1,133 @@
+open Stx_tir
+
+let cq =
+  Types.make "calqueue"
+    [
+      ("nbuckets", Types.Scalar);
+      ("capacity", Types.Scalar);
+      ("width", Types.Scalar);
+      ("buckets", Types.Ptr "word");
+    ]
+
+let insert_fn = "stx_cq_insert"
+let pop_fn = "stx_cq_pop"
+
+(* bucket layout: [count; item_0 .. item_{capacity-1}]; with capacity 7 a
+   bucket is exactly one cache line *)
+
+let build_insert p =
+  let b = Builder.create p insert_fn ~params:[ "cq"; "prio"; "data" ] in
+  let nb = Builder.load b (Builder.gep b (Builder.param b "cq") "calqueue" "nbuckets") in
+  let cap = Builder.load b (Builder.gep b (Builder.param b "cq") "calqueue" "capacity") in
+  let w = Builder.load b (Builder.gep b (Builder.param b "cq") "calqueue" "width") in
+  let bkts = Builder.load b (Builder.gep b (Builder.param b "cq") "calqueue" "buckets") in
+  let slot = Builder.reg b "slot" in
+  Builder.mov b slot (Builder.bin b Ir.Div (Builder.param b "prio") w);
+  Builder.when_ b
+    (Builder.bin b Ir.Ge (Ir.Reg slot) nb)
+    (fun b -> Builder.mov b slot (Builder.bin b Ir.Sub nb (Ir.Imm 1)));
+  let stride = Builder.bin b Ir.Add cap (Ir.Imm 1) in
+  let base = Builder.idx b bkts ~esize:1 (Builder.bin b Ir.Mul (Ir.Reg slot) stride) in
+  let cnt = Builder.load b base in
+  Builder.when_ b
+    (Builder.bin b Ir.Ge cnt cap)
+    (fun b -> Builder.ret b (Some (Ir.Imm 0)));
+  (* keep the bucket sorted ascending: scan for the insertion point (the
+     O(log n)-ish read work of a tree push), shift the tail, drop in *)
+  let pos = Builder.reg b "pos" in
+  Builder.mov b pos (Ir.Imm 0);
+  Builder.while_ b
+    (fun b ->
+      let in_range = Builder.bin b Ir.Lt (Ir.Reg pos) cnt in
+      Builder.bin b Ir.And in_range
+        (let item = Builder.idx b base ~esize:1 (Builder.bin b Ir.Add (Ir.Reg pos) (Ir.Imm 1)) in
+         let v = Builder.load b item in
+         Builder.bin b Ir.Le v (Builder.param b "data")))
+    (fun b -> Builder.bin_to b pos Ir.Add (Ir.Reg pos) (Ir.Imm 1));
+  let i = Builder.reg b "i" in
+  Builder.mov b i cnt;
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Gt (Ir.Reg i) (Ir.Reg pos))
+    (fun b ->
+      let src = Builder.idx b base ~esize:1 (Ir.Reg i) in
+      let dst = Builder.idx b base ~esize:1 (Builder.bin b Ir.Add (Ir.Reg i) (Ir.Imm 1)) in
+      Builder.store b ~addr:dst (Builder.load b src);
+      Builder.bin_to b i Ir.Sub (Ir.Reg i) (Ir.Imm 1));
+  let item = Builder.idx b base ~esize:1 (Builder.bin b Ir.Add (Ir.Reg pos) (Ir.Imm 1)) in
+  Builder.store b ~addr:item (Builder.param b "data");
+  Builder.store b ~addr:base (Builder.bin b Ir.Add cnt (Ir.Imm 1));
+  Builder.ret b (Some (Ir.Imm 1));
+  ignore (Builder.finish b)
+
+let build_pop p =
+  let b = Builder.create p pop_fn ~params:[ "cq" ] in
+  let nb = Builder.load b (Builder.gep b (Builder.param b "cq") "calqueue" "nbuckets") in
+  let cap = Builder.load b (Builder.gep b (Builder.param b "cq") "calqueue" "capacity") in
+  let bkts = Builder.load b (Builder.gep b (Builder.param b "cq") "calqueue" "buckets") in
+  let stride = Builder.bin b Ir.Add cap (Ir.Imm 1) in
+  Builder.for_ b ~from:(Ir.Imm 0) ~below:nb (fun b slot ->
+      let base = Builder.idx b bkts ~esize:1 (Builder.bin b Ir.Mul slot stride) in
+      let cnt = Builder.load b base in
+      Builder.when_ b
+        (Builder.bin b Ir.Gt cnt (Ir.Imm 0))
+        (fun b ->
+          let item = Builder.idx b base ~esize:1 cnt in
+          let d = Builder.load b item in
+          Builder.store b ~addr:base (Builder.bin b Ir.Sub cnt (Ir.Imm 1));
+          Builder.ret b (Some d)));
+  Builder.ret b (Some (Ir.Imm (-1)));
+  ignore (Builder.finish b)
+
+let register p =
+  if not (Hashtbl.mem p.Ir.structs "calqueue") then Ir.add_struct p cq;
+  if not (Hashtbl.mem p.Ir.funcs insert_fn) then begin
+    build_insert p;
+    build_pop p
+  end
+
+let fields mem q =
+  ( Hostmem.get mem cq q "nbuckets",
+    Hostmem.get mem cq q "capacity",
+    Hostmem.get mem cq q "width",
+    Hostmem.get mem cq q "buckets" )
+
+let host_insert mem q ~prio ~data =
+  let nb, cap, w, bkts = fields mem q in
+  let slot = min (prio / w) (nb - 1) in
+  let base = bkts + (slot * (cap + 1)) in
+  let cnt = Stx_machine.Memory.load mem base in
+  if cnt >= cap then false
+  else begin
+    Stx_machine.Memory.store mem (base + 1 + cnt) data;
+    Stx_machine.Memory.store mem base (cnt + 1);
+    true
+  end
+
+let setup mem alloc ~nbuckets ~capacity ~width ~init =
+  let q = Hostmem.alloc_struct alloc cq in
+  let bkts = Stx_machine.Alloc.alloc_shared alloc (nbuckets * (capacity + 1)) in
+  Hostmem.set mem cq q "nbuckets" nbuckets;
+  Hostmem.set mem cq q "capacity" capacity;
+  Hostmem.set mem cq q "width" width;
+  Hostmem.set mem cq q "buckets" bkts;
+  List.iter (fun (prio, data) -> ignore (host_insert mem q ~prio ~data)) init;
+  q
+
+let size mem q =
+  let nb, cap, _, bkts = fields mem q in
+  let total = ref 0 in
+  for slot = 0 to nb - 1 do
+    total := !total + Stx_machine.Memory.load mem (bkts + (slot * (cap + 1)))
+  done;
+  !total
+
+let drain_order mem q =
+  let nb, cap, _, bkts = fields mem q in
+  let acc = ref [] in
+  for slot = nb - 1 downto 0 do
+    let cnt = Stx_machine.Memory.load mem (bkts + (slot * (cap + 1))) in
+    for _ = 1 to cnt do
+      acc := slot :: !acc
+    done
+  done;
+  !acc

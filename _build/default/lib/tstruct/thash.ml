@@ -1,0 +1,75 @@
+open Stx_tir
+
+let table =
+  Types.make "htable" [ ("nbuckets", Types.Scalar); ("buckets", Types.Ptr "lnode") ]
+
+let lookup_fn = "stx_ht_lookup"
+let insert_fn = "stx_ht_insert"
+let delete_fn = "stx_ht_delete"
+
+(* each operation: load nbuckets, index the sentinel array, run the list op *)
+let build_op p fname list_fn =
+  let b = Builder.create p fname ~params:[ "ht"; "key" ] in
+  let nb = Builder.load b (Builder.gep b (Builder.param b "ht") "htable" "nbuckets") in
+  let slot = Builder.bin b Ir.Rem (Builder.param b "key") nb in
+  let buckets = Builder.load b (Builder.gep b (Builder.param b "ht") "htable" "buckets") in
+  let sentinel = Builder.idx b buckets ~esize:(Types.size Tlist.node) slot in
+  let r = Builder.call_v b list_fn [ sentinel; Builder.param b "key" ] in
+  Builder.ret b (Some r);
+  ignore (Builder.finish b)
+
+let register p =
+  Tlist.register p;
+  if not (Hashtbl.mem p.Ir.structs "htable") then Ir.add_struct p table;
+  if not (Hashtbl.mem p.Ir.funcs lookup_fn) then begin
+    build_op p lookup_fn Tlist.lookup_fn;
+    build_op p insert_fn Tlist.insert_fn;
+    build_op p delete_fn Tlist.delete_fn
+  end
+
+let bucket_of mem ht key =
+  let nb = Hostmem.get mem table ht "nbuckets" in
+  let buckets = Hostmem.get mem table ht "buckets" in
+  Hostmem.elem Tlist.node buckets (key mod nb)
+
+let host_insert mem alloc ht key =
+  let sentinel = bucket_of mem ht key in
+  let rec find prev =
+    let next = Hostmem.get mem Tlist.node prev "next" in
+    if next = 0 then prev
+    else if Hostmem.get mem Tlist.node next "key" >= key then prev
+    else find next
+  in
+  let prev = find sentinel in
+  let next = Hostmem.get mem Tlist.node prev "next" in
+  let dup = next <> 0 && Hostmem.get mem Tlist.node next "key" = key in
+  if not dup then begin
+    let n = Hostmem.alloc_struct alloc Tlist.node in
+    Hostmem.set mem Tlist.node n "key" key;
+    Hostmem.set mem Tlist.node n "next" next;
+    Hostmem.set mem Tlist.node prev "next" n
+  end
+
+let setup mem alloc ~nbuckets ~keys =
+  let ht = Hostmem.alloc_struct alloc table in
+  let buckets = Hostmem.alloc_array alloc Tlist.node nbuckets in
+  for i = 0 to nbuckets - 1 do
+    let s = Hostmem.elem Tlist.node buckets i in
+    Hostmem.set mem Tlist.node s "key" 0;
+    Hostmem.set mem Tlist.node s "next" 0
+  done;
+  Hostmem.set mem table ht "nbuckets" nbuckets;
+  Hostmem.set mem table ht "buckets" buckets;
+  List.iter (fun k -> host_insert mem alloc ht k) keys;
+  ht
+
+let mem memory ht key = Tlist.mem memory (bucket_of memory ht key) key
+
+let size memory ht =
+  let nb = Hostmem.get memory table ht "nbuckets" in
+  let buckets = Hostmem.get memory table ht "buckets" in
+  let total = ref 0 in
+  for i = 0 to nb - 1 do
+    total := !total + List.length (Tlist.to_list memory (Hostmem.elem Tlist.node buckets i))
+  done;
+  !total

@@ -1,0 +1,28 @@
+open Stx_machine
+open Stx_tir
+
+(** Fixed-size chained hash table over {!Tlist} buckets — genome's
+    "fixed-sized hash table... overloaded and prone to contention" and
+    memcached's key store.
+
+    TIR functions: [stx_ht_lookup ht key], [stx_ht_insert ht key],
+    [stx_ht_delete ht key] — each hashes the key to a bucket sentinel and
+    delegates to the list functions, reproducing Figure 3's anchor chain
+    (htable → bucket array → list nodes). *)
+
+val table : Types.strct
+(** [htable { nbuckets; buckets }]. *)
+
+val register : Ir.program -> unit
+
+val lookup_fn : string
+val insert_fn : string
+val delete_fn : string
+
+val setup : Memory.t -> Alloc.t -> nbuckets:int -> keys:int list -> int
+(** Allocate the table (bucket sentinels contiguous) and pre-insert
+    [keys]; returns the table address. *)
+
+val mem : Memory.t -> int -> int -> bool
+val size : Memory.t -> int -> int
+(** Total number of keys, for validation. *)

@@ -1,0 +1,107 @@
+open Stx_tir
+
+let node = Types.make "lnode" [ ("key", Types.Scalar); ("next", Types.Ptr "lnode") ]
+
+let lookup_fn = "stx_list_lookup"
+let insert_fn = "stx_list_insert"
+let delete_fn = "stx_list_delete"
+
+let build_lookup p =
+  let b = Builder.create p lookup_fn ~params:[ "head"; "key" ] in
+  let cur = Builder.reg b "cur" in
+  Builder.load_to b cur (Builder.gep b (Builder.param b "head") "lnode" "next");
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0))
+    (fun b ->
+      let k = Builder.load b (Builder.gep b (Ir.Reg cur) "lnode" "key") in
+      Builder.when_ b
+        (Builder.bin b Ir.Eq k (Builder.param b "key"))
+        (fun b -> Builder.ret b (Some (Ir.Imm 1)));
+      Builder.when_ b
+        (Builder.bin b Ir.Gt k (Builder.param b "key"))
+        (fun b -> Builder.ret b (Some (Ir.Imm 0)));
+      Builder.load_to b cur (Builder.gep b (Ir.Reg cur) "lnode" "next"));
+  Builder.ret b (Some (Ir.Imm 0));
+  ignore (Builder.finish b)
+
+let build_insert p =
+  let b = Builder.create p insert_fn ~params:[ "head"; "key" ] in
+  let prev = Builder.reg b "prev" and cur = Builder.reg b "cur" in
+  Builder.mov b prev (Builder.param b "head");
+  Builder.load_to b cur (Builder.gep b (Ir.Reg prev) "lnode" "next");
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0))
+    (fun b ->
+      let k = Builder.load b (Builder.gep b (Ir.Reg cur) "lnode" "key") in
+      Builder.when_ b
+        (Builder.bin b Ir.Eq k (Builder.param b "key"))
+        (fun b -> Builder.ret b (Some (Ir.Imm 0)));
+      Builder.when_ b
+        (Builder.bin b Ir.Gt k (Builder.param b "key"))
+        (fun b -> Builder.jmp b "splice");
+      Builder.mov b prev (Ir.Reg cur);
+      Builder.load_to b cur (Builder.gep b (Ir.Reg cur) "lnode" "next"));
+  Builder.jmp b "splice";
+  Builder.block b "splice";
+  let n = Builder.alloc b "lnode" in
+  Builder.store b ~addr:(Builder.gep b n "lnode" "key") (Builder.param b "key");
+  Builder.store b ~addr:(Builder.gep b n "lnode" "next") (Ir.Reg cur);
+  Builder.store b ~addr:(Builder.gep b (Ir.Reg prev) "lnode" "next") n;
+  Builder.ret b (Some (Ir.Imm 1));
+  ignore (Builder.finish b)
+
+let build_delete p =
+  let b = Builder.create p delete_fn ~params:[ "head"; "key" ] in
+  let prev = Builder.reg b "prev" and cur = Builder.reg b "cur" in
+  Builder.mov b prev (Builder.param b "head");
+  Builder.load_to b cur (Builder.gep b (Ir.Reg prev) "lnode" "next");
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0))
+    (fun b ->
+      let k = Builder.load b (Builder.gep b (Ir.Reg cur) "lnode" "key") in
+      Builder.when_ b
+        (Builder.bin b Ir.Eq k (Builder.param b "key"))
+        (fun b ->
+          let nxt = Builder.load b (Builder.gep b (Ir.Reg cur) "lnode" "next") in
+          Builder.store b ~addr:(Builder.gep b (Ir.Reg prev) "lnode" "next") nxt;
+          Builder.ret b (Some (Ir.Imm 1)));
+      Builder.when_ b
+        (Builder.bin b Ir.Gt k (Builder.param b "key"))
+        (fun b -> Builder.ret b (Some (Ir.Imm 0)));
+      Builder.mov b prev (Ir.Reg cur);
+      Builder.load_to b cur (Builder.gep b (Ir.Reg cur) "lnode" "next"));
+  Builder.ret b (Some (Ir.Imm 0));
+  ignore (Builder.finish b)
+
+let register p =
+  if not (Hashtbl.mem p.Ir.structs "lnode") then Ir.add_struct p node;
+  if not (Hashtbl.mem p.Ir.funcs lookup_fn) then begin
+    build_lookup p;
+    build_insert p;
+    build_delete p
+  end
+
+let setup mem alloc ~keys =
+  let sentinel = Hostmem.alloc_struct alloc node in
+  Hostmem.set mem node sentinel "key" 0;
+  Hostmem.set mem node sentinel "next" 0;
+  let sorted = List.sort_uniq compare keys in
+  let prev = ref sentinel in
+  List.iter
+    (fun k ->
+      let n = Hostmem.alloc_struct alloc node in
+      Hostmem.set mem node n "key" k;
+      Hostmem.set mem node n "next" 0;
+      Hostmem.set mem node !prev "next" n;
+      prev := n)
+    sorted;
+  sentinel
+
+let to_list memory sentinel =
+  let rec walk addr acc =
+    if addr = 0 then List.rev acc
+    else walk (Hostmem.get memory node addr "next") (Hostmem.get memory node addr "key" :: acc)
+  in
+  walk (Hostmem.get memory node sentinel "next") []
+
+let mem memory sentinel key = List.mem key (to_list memory sentinel)

@@ -1,0 +1,35 @@
+open Stx_machine
+open Stx_tir
+
+(** Sorted singly-linked integer list with a sentinel head — the IntSet
+    microbenchmark structure (list-lo / list-hi) and the bucket chain of
+    the hash table.
+
+    TIR functions registered by {!register}:
+    - [stx_list_lookup head key] → 1 if present else 0
+    - [stx_list_insert head key] → 1 if inserted, 0 if duplicate
+    - [stx_list_delete head key] → 1 if removed, 0 if absent
+
+    All three traverse from the sentinel, so the DSA summarizes every node
+    into one DSNode whose anchor sits in the traversal loop — the paper's
+    canonical coarse-grain / promotion case. *)
+
+val node : Types.strct
+(** [lnode { key; next }]. A sentinel is just a node with an unused key. *)
+
+val register : Ir.program -> unit
+(** Add the struct and the three functions. Idempotent per program. *)
+
+val lookup_fn : string
+val insert_fn : string
+val delete_fn : string
+
+(* host-side helpers *)
+
+val setup : Memory.t -> Alloc.t -> keys:int list -> int
+(** Build a sorted list with the given keys; returns the sentinel address. *)
+
+val to_list : Memory.t -> int -> int list
+(** Read back the keys, in order. *)
+
+val mem : Memory.t -> int -> int -> bool

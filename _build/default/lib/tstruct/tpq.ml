@@ -1,0 +1,125 @@
+open Stx_tir
+
+let node =
+  Types.make "pqnode"
+    [
+      ("prio", Types.Scalar);
+      ("data", Types.Scalar);
+      ("left", Types.Ptr "pqnode");
+      ("right", Types.Ptr "pqnode");
+    ]
+
+let pq = Types.make "pq" [ ("root", Types.Ptr "pqnode") ]
+
+let insert_fn = "stx_pq_insert"
+let pop_fn = "stx_pq_pop"
+
+let emit_new_node b =
+  let n = Builder.alloc b "pqnode" in
+  Builder.store b ~addr:(Builder.gep b n "pqnode" "prio") (Builder.param b "prio");
+  Builder.store b ~addr:(Builder.gep b n "pqnode" "data") (Builder.param b "data");
+  Builder.store b ~addr:(Builder.gep b n "pqnode" "left") (Ir.Imm 0);
+  Builder.store b ~addr:(Builder.gep b n "pqnode" "right") (Ir.Imm 0);
+  n
+
+let build_insert p =
+  let b = Builder.create p insert_fn ~params:[ "pq"; "prio"; "data" ] in
+  let cur = Builder.reg b "cur" in
+  Builder.load_to b cur (Builder.gep b (Builder.param b "pq") "pq" "root");
+  Builder.when_ b
+    (Builder.bin b Ir.Eq (Ir.Reg cur) (Ir.Imm 0))
+    (fun b ->
+      let n = emit_new_node b in
+      Builder.store b ~addr:(Builder.gep b (Builder.param b "pq") "pq" "root") n;
+      Builder.ret b None);
+  Builder.while_ b
+    (fun _ -> Ir.Imm 1)
+    (fun b ->
+      let k = Builder.load b (Builder.gep b (Ir.Reg cur) "pqnode" "prio") in
+      let field = Builder.reg b "field" in
+      Builder.if_ b
+        (Builder.bin b Ir.Lt (Builder.param b "prio") k)
+        (fun b -> Builder.mov b field (Builder.gep b (Ir.Reg cur) "pqnode" "left"))
+        (fun b -> Builder.mov b field (Builder.gep b (Ir.Reg cur) "pqnode" "right"));
+      let child = Builder.load b (Ir.Reg field) in
+      Builder.when_ b
+        (Builder.bin b Ir.Eq child (Ir.Imm 0))
+        (fun b ->
+          let n = emit_new_node b in
+          Builder.store b ~addr:(Ir.Reg field) n;
+          Builder.ret b None);
+      Builder.mov b cur child);
+  Builder.ret b None;
+  ignore (Builder.finish b)
+
+let build_pop p =
+  let b = Builder.create p pop_fn ~params:[ "pq" ] in
+  let cur = Builder.reg b "cur" and parent = Builder.reg b "parent" in
+  Builder.load_to b cur (Builder.gep b (Builder.param b "pq") "pq" "root");
+  Builder.when_ b
+    (Builder.bin b Ir.Eq (Ir.Reg cur) (Ir.Imm 0))
+    (fun b -> Builder.ret b (Some (Ir.Imm (-1))));
+  Builder.mov b parent (Ir.Imm 0);
+  let l = Builder.reg b "l" in
+  Builder.load_to b l (Builder.gep b (Ir.Reg cur) "pqnode" "left");
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Ne (Ir.Reg l) (Ir.Imm 0))
+    (fun b ->
+      Builder.mov b parent (Ir.Reg cur);
+      Builder.mov b cur (Ir.Reg l);
+      Builder.load_to b l (Builder.gep b (Ir.Reg cur) "pqnode" "left"));
+  (* cur is the minimum: replace it with its right child *)
+  let r = Builder.load b (Builder.gep b (Ir.Reg cur) "pqnode" "right") in
+  Builder.if_ b
+    (Builder.bin b Ir.Eq (Ir.Reg parent) (Ir.Imm 0))
+    (fun b -> Builder.store b ~addr:(Builder.gep b (Builder.param b "pq") "pq" "root") r)
+    (fun b -> Builder.store b ~addr:(Builder.gep b (Ir.Reg parent) "pqnode" "left") r);
+  let d = Builder.load b (Builder.gep b (Ir.Reg cur) "pqnode" "data") in
+  Builder.ret b (Some d);
+  ignore (Builder.finish b)
+
+let register p =
+  if not (Hashtbl.mem p.Ir.structs "pqnode") then begin
+    Ir.add_struct p node;
+    Ir.add_struct p pq
+  end;
+  if not (Hashtbl.mem p.Ir.funcs insert_fn) then begin
+    build_insert p;
+    build_pop p
+  end
+
+let host_insert mem alloc q ~prio ~data =
+  let n = Hostmem.alloc_struct alloc node in
+  Hostmem.set mem node n "prio" prio;
+  Hostmem.set mem node n "data" data;
+  Hostmem.set mem node n "left" 0;
+  Hostmem.set mem node n "right" 0;
+  let root = Hostmem.get mem pq q "root" in
+  if root = 0 then Hostmem.set mem pq q "root" n
+  else begin
+    let rec place cur =
+      let k = Hostmem.get mem node cur "prio" in
+      let field = if prio < k then "left" else "right" in
+      let child = Hostmem.get mem node cur field in
+      if child = 0 then Hostmem.set mem node cur field n else place child
+    in
+    place root
+  end
+
+let setup mem alloc ~init =
+  let q = Hostmem.alloc_struct alloc pq in
+  Hostmem.set mem pq q "root" 0;
+  List.iter (fun (prio, data) -> host_insert mem alloc q ~prio ~data) init;
+  q
+
+let to_sorted mem q =
+  let rec inorder addr acc =
+    if addr = 0 then acc
+    else
+      let acc = inorder (Hostmem.get mem node addr "right") acc in
+      let acc =
+        (Hostmem.get mem node addr "prio", Hostmem.get mem node addr "data") :: acc
+      in
+      inorder (Hostmem.get mem node addr "left") acc
+  in
+  inorder (Hostmem.get mem pq q "root") []

@@ -1,0 +1,25 @@
+open Stx_machine
+open Stx_tir
+
+(** Min-priority queue backed by an unbalanced BST keyed on priority — the
+    task pool of the branch-and-bound TSP solver. Pops chase the left
+    spine (the hot left-most node, as in the paper's B+-tree queue);
+    inserts descend to scattered leaves. Duplicate priorities go right.
+
+    TIR functions:
+    - [stx_pq_insert pq prio data]
+    - [stx_pq_pop pq] → data of the minimum-priority entry, or -1 when
+      empty *)
+
+val pq : Types.strct
+val node : Types.strct
+
+val register : Ir.program -> unit
+
+val insert_fn : string
+val pop_fn : string
+
+val setup : Memory.t -> Alloc.t -> init:(int * int) list -> int
+val host_insert : Memory.t -> Alloc.t -> int -> prio:int -> data:int -> unit
+val to_sorted : Memory.t -> int -> (int * int) list
+(** All (prio, data) pairs in priority order, for validation. *)

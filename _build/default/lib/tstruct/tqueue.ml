@@ -1,0 +1,81 @@
+open Stx_tir
+
+let qnode = Types.make "qnode" [ ("data", Types.Scalar); ("next", Types.Ptr "qnode") ]
+let queue = Types.make "queue" [ ("head", Types.Ptr "qnode"); ("tail", Types.Ptr "qnode") ]
+
+let push_fn = "stx_q_push"
+let pop_fn = "stx_q_pop"
+
+let build_push p =
+  let b = Builder.create p push_fn ~params:[ "q"; "v" ] in
+  let n = Builder.alloc b "qnode" in
+  Builder.store b ~addr:(Builder.gep b n "qnode" "data") (Builder.param b "v");
+  Builder.store b ~addr:(Builder.gep b n "qnode" "next") (Ir.Imm 0);
+  let t = Builder.load b (Builder.gep b (Builder.param b "q") "queue" "tail") in
+  Builder.if_ b
+    (Builder.bin b Ir.Eq t (Ir.Imm 0))
+    (fun b ->
+      Builder.store b ~addr:(Builder.gep b (Builder.param b "q") "queue" "head") n;
+      Builder.store b ~addr:(Builder.gep b (Builder.param b "q") "queue" "tail") n)
+    (fun b ->
+      Builder.store b ~addr:(Builder.gep b t "qnode" "next") n;
+      Builder.store b ~addr:(Builder.gep b (Builder.param b "q") "queue" "tail") n);
+  Builder.ret b None;
+  ignore (Builder.finish b)
+
+let build_pop p =
+  let b = Builder.create p pop_fn ~params:[ "q" ] in
+  let h = Builder.load b (Builder.gep b (Builder.param b "q") "queue" "head") in
+  Builder.when_ b
+    (Builder.bin b Ir.Eq h (Ir.Imm 0))
+    (fun b -> Builder.ret b (Some (Ir.Imm (-1))));
+  let nxt = Builder.load b (Builder.gep b h "qnode" "next") in
+  Builder.store b ~addr:(Builder.gep b (Builder.param b "q") "queue" "head") nxt;
+  Builder.when_ b
+    (Builder.bin b Ir.Eq nxt (Ir.Imm 0))
+    (fun b ->
+      Builder.store b ~addr:(Builder.gep b (Builder.param b "q") "queue" "tail") (Ir.Imm 0);
+      Builder.jmp b "out");
+  Builder.jmp b "out";
+  Builder.block b "out";
+  let d = Builder.load b (Builder.gep b h "qnode" "data") in
+  Builder.ret b (Some d);
+  ignore (Builder.finish b)
+
+let register p =
+  if not (Hashtbl.mem p.Ir.structs "qnode") then begin
+    Ir.add_struct p qnode;
+    Ir.add_struct p queue
+  end;
+  if not (Hashtbl.mem p.Ir.funcs push_fn) then begin
+    build_push p;
+    build_pop p
+  end
+
+let host_push mem alloc q v =
+  let n = Hostmem.alloc_struct alloc qnode in
+  Hostmem.set mem qnode n "data" v;
+  Hostmem.set mem qnode n "next" 0;
+  let t = Hostmem.get mem queue q "tail" in
+  if t = 0 then begin
+    Hostmem.set mem queue q "head" n;
+    Hostmem.set mem queue q "tail" n
+  end
+  else begin
+    Hostmem.set mem qnode t "next" n;
+    Hostmem.set mem queue q "tail" n
+  end
+
+let setup mem alloc ~init =
+  let q = Hostmem.alloc_struct alloc queue in
+  Hostmem.set mem queue q "head" 0;
+  Hostmem.set mem queue q "tail" 0;
+  List.iter (fun v -> host_push mem alloc q v) init;
+  q
+
+let to_list mem q =
+  let rec walk addr acc =
+    if addr = 0 then List.rev acc
+    else walk (Hostmem.get mem qnode addr "next") (Hostmem.get mem qnode addr "data" :: acc)
+  in
+  walk (Hostmem.get mem queue q "head") []

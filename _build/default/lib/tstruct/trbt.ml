@@ -1,0 +1,355 @@
+open Stx_tir
+
+let red = 1
+let black = 0
+
+let node =
+  Types.make "rbnode"
+    [
+      ("key", Types.Scalar);
+      ("value", Types.Scalar);
+      ("color", Types.Scalar);
+      ("left", Types.Ptr "rbnode");
+      ("right", Types.Ptr "rbnode");
+      ("parent", Types.Ptr "rbnode");
+    ]
+
+let tree = Types.make "rbtree" [ ("root", Types.Ptr "rbnode") ]
+
+let lookup_fn = "stx_rbt_lookup"
+let insert_fn = "stx_rbt_insert"
+let update_fn = "stx_rbt_update"
+let rot_left_fn = "stx_rbt_rot_left"
+let rot_right_fn = "stx_rbt_rot_right"
+
+let fld b base name = Builder.gep b base "rbnode" name
+let load_fld b base name = Builder.load b (fld b base name)
+
+(* --- lookup / update (plain BST walks) ---------------------------------- *)
+
+let emit_walk b cur =
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0))
+    (fun b ->
+      let k = load_fld b (Ir.Reg cur) "key" in
+      Builder.when_ b
+        (Builder.bin b Ir.Eq k (Builder.param b "key"))
+        (fun b -> Builder.jmp b "found");
+      Builder.if_ b
+        (Builder.bin b Ir.Lt (Builder.param b "key") k)
+        (fun b -> Builder.load_to b cur (fld b (Ir.Reg cur) "left"))
+        (fun b -> Builder.load_to b cur (fld b (Ir.Reg cur) "right")))
+
+let build_lookup p =
+  let b = Builder.create p lookup_fn ~params:[ "tree"; "key" ] in
+  let cur = Builder.reg b "cur" in
+  Builder.load_to b cur (Builder.gep b (Builder.param b "tree") "rbtree" "root");
+  emit_walk b cur;
+  Builder.ret b (Some (Ir.Imm (-1)));
+  Builder.block b "found";
+  Builder.ret b (Some (load_fld b (Ir.Reg cur) "value"));
+  ignore (Builder.finish b)
+
+let build_update p =
+  let b = Builder.create p update_fn ~params:[ "tree"; "key"; "delta" ] in
+  let cur = Builder.reg b "cur" in
+  Builder.load_to b cur (Builder.gep b (Builder.param b "tree") "rbtree" "root");
+  emit_walk b cur;
+  Builder.ret b (Some (Ir.Imm (-1)));
+  Builder.block b "found";
+  let v = load_fld b (Ir.Reg cur) "value" in
+  let nv = Builder.bin b Ir.Add v (Builder.param b "delta") in
+  Builder.store b ~addr:(fld b (Ir.Reg cur) "value") nv;
+  Builder.ret b (Some nv);
+  ignore (Builder.finish b)
+
+(* --- rotations (CLRS) ---------------------------------------------------- *)
+
+(* rotate left around x: [side]="right" lifts x's right child over x *)
+let build_rotation p fname ~side ~other =
+  let b = Builder.create p fname ~params:[ "tree"; "x" ] in
+  let x = Builder.param b "x" in
+  let y = Builder.reg b "y" in
+  Builder.load_to b y (fld b x side);
+  (* x.side = y.other; fix its parent *)
+  let y_other = load_fld b (Ir.Reg y) other in
+  Builder.store b ~addr:(fld b x side) y_other;
+  Builder.when_ b
+    (Builder.bin b Ir.Ne y_other (Ir.Imm 0))
+    (fun b -> Builder.store b ~addr:(fld b y_other "parent") x);
+  (* y.parent = x.parent; re-hang y where x was *)
+  let xp = load_fld b x "parent" in
+  Builder.store b ~addr:(fld b (Ir.Reg y) "parent") xp;
+  Builder.if_ b
+    (Builder.bin b Ir.Eq xp (Ir.Imm 0))
+    (fun b ->
+      Builder.store b
+        ~addr:(Builder.gep b (Builder.param b "tree") "rbtree" "root")
+        (Ir.Reg y))
+    (fun b ->
+      let xp_left = load_fld b xp "left" in
+      Builder.if_ b
+        (Builder.bin b Ir.Eq xp_left x)
+        (fun b -> Builder.store b ~addr:(fld b xp "left") (Ir.Reg y))
+        (fun b -> Builder.store b ~addr:(fld b xp "right") (Ir.Reg y)));
+  (* y.other = x; x.parent = y *)
+  Builder.store b ~addr:(fld b (Ir.Reg y) other) x;
+  Builder.store b ~addr:(fld b x "parent") (Ir.Reg y);
+  Builder.ret b None;
+  ignore (Builder.finish b)
+
+(* --- insert with fixup ---------------------------------------------------- *)
+
+(* one direction of the fixup loop body; [side]/[other] select the CLRS
+   left- or right-leaning case *)
+let emit_fixup_case b z ~side ~other ~rot_side ~rot_other =
+  let zp = Builder.reg b "zp" and zpp = Builder.reg b "zpp" in
+  Builder.load_to b zp (fld b (Ir.Reg z) "parent");
+  Builder.load_to b zpp (fld b (Ir.Reg zp) "parent");
+  let y = Builder.reg b "y" in
+  Builder.load_to b y (fld b (Ir.Reg zpp) other);
+  (* uncle's colour, null-safe *)
+  let ycolor = Builder.reg b "ycolor" in
+  Builder.mov b ycolor (Ir.Imm black);
+  Builder.when_ b
+    (Builder.bin b Ir.Ne (Ir.Reg y) (Ir.Imm 0))
+    (fun b -> Builder.load_to b ycolor (fld b (Ir.Reg y) "color"));
+  Builder.if_ b
+    (Builder.bin b Ir.Eq (Ir.Reg ycolor) (Ir.Imm red))
+    (fun b ->
+      (* case 1: red uncle — recolour and continue from the grandparent *)
+      Builder.store b ~addr:(fld b (Ir.Reg zp) "color") (Ir.Imm black);
+      Builder.store b ~addr:(fld b (Ir.Reg y) "color") (Ir.Imm black);
+      Builder.store b ~addr:(fld b (Ir.Reg zpp) "color") (Ir.Imm red);
+      Builder.mov b z (Ir.Reg zpp))
+    (fun b ->
+      (* case 2: z is the inner child — rotate it to the outside *)
+      let zp_side = load_fld b (Ir.Reg zp) other in
+      Builder.when_ b
+        (Builder.bin b Ir.Eq zp_side (Ir.Reg z))
+        (fun b ->
+          Builder.mov b z (Ir.Reg zp);
+          Builder.call b rot_side [ Builder.param b "tree"; Ir.Reg z ]);
+      (* case 3: outer child — recolour and rotate the grandparent *)
+      let zp2 = Builder.reg b "zp2" and zpp2 = Builder.reg b "zpp2" in
+      Builder.load_to b zp2 (fld b (Ir.Reg z) "parent");
+      Builder.load_to b zpp2 (fld b (Ir.Reg zp2) "parent");
+      Builder.store b ~addr:(fld b (Ir.Reg zp2) "color") (Ir.Imm black);
+      Builder.store b ~addr:(fld b (Ir.Reg zpp2) "color") (Ir.Imm red);
+      Builder.call b rot_other [ Builder.param b "tree"; Ir.Reg zpp2 ]);
+  ignore (side, rot_side)
+
+let build_insert p =
+  let b = Builder.create p insert_fn ~params:[ "tree"; "key"; "val" ] in
+  let parent = Builder.reg b "parent" and cur = Builder.reg b "cur" in
+  Builder.mov b parent (Ir.Imm 0);
+  Builder.load_to b cur (Builder.gep b (Builder.param b "tree") "rbtree" "root");
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0))
+    (fun b ->
+      let k = load_fld b (Ir.Reg cur) "key" in
+      Builder.when_ b
+        (Builder.bin b Ir.Eq k (Builder.param b "key"))
+        (fun b ->
+          Builder.store b ~addr:(fld b (Ir.Reg cur) "value") (Builder.param b "val");
+          Builder.ret b (Some (Ir.Imm 0)));
+      Builder.mov b parent (Ir.Reg cur);
+      Builder.if_ b
+        (Builder.bin b Ir.Lt (Builder.param b "key") k)
+        (fun b -> Builder.load_to b cur (fld b (Ir.Reg cur) "left"))
+        (fun b -> Builder.load_to b cur (fld b (Ir.Reg cur) "right")));
+  (* link the new red node under [parent] *)
+  let z = Builder.reg b "z" in
+  Builder.mov b z (Builder.alloc b "rbnode");
+  Builder.store b ~addr:(fld b (Ir.Reg z) "key") (Builder.param b "key");
+  Builder.store b ~addr:(fld b (Ir.Reg z) "value") (Builder.param b "val");
+  Builder.store b ~addr:(fld b (Ir.Reg z) "color") (Ir.Imm red);
+  Builder.store b ~addr:(fld b (Ir.Reg z) "left") (Ir.Imm 0);
+  Builder.store b ~addr:(fld b (Ir.Reg z) "right") (Ir.Imm 0);
+  Builder.store b ~addr:(fld b (Ir.Reg z) "parent") (Ir.Reg parent);
+  Builder.if_ b
+    (Builder.bin b Ir.Eq (Ir.Reg parent) (Ir.Imm 0))
+    (fun b ->
+      Builder.store b ~addr:(fld b (Ir.Reg z) "color") (Ir.Imm black);
+      Builder.store b
+        ~addr:(Builder.gep b (Builder.param b "tree") "rbtree" "root")
+        (Ir.Reg z);
+      Builder.ret b (Some (Ir.Imm 1)))
+    (fun b ->
+      let pk = load_fld b (Ir.Reg parent) "key" in
+      Builder.if_ b
+        (Builder.bin b Ir.Lt (Builder.param b "key") pk)
+        (fun b -> Builder.store b ~addr:(fld b (Ir.Reg parent) "left") (Ir.Reg z))
+        (fun b -> Builder.store b ~addr:(fld b (Ir.Reg parent) "right") (Ir.Reg z)));
+  (* fixup: while z's parent is red (null-safe short circuit by hand) *)
+  Builder.while_ b
+    (fun b ->
+      let go = Builder.reg b "go" in
+      Builder.mov b go (Ir.Imm 0);
+      let zp = Builder.load b (fld b (Ir.Reg z) "parent") in
+      Builder.when_ b
+        (Builder.bin b Ir.Ne zp (Ir.Imm 0))
+        (fun b ->
+          let c = Builder.load b (fld b zp "color") in
+          Builder.bin_to b go Ir.Eq c (Ir.Imm red));
+      Ir.Reg go)
+    (fun b ->
+      let zp = Builder.reg b "zp_h" and zpp = Builder.reg b "zpp_h" in
+      Builder.load_to b zp (fld b (Ir.Reg z) "parent");
+      Builder.load_to b zpp (fld b (Ir.Reg zp) "parent");
+      let zpp_left = load_fld b (Ir.Reg zpp) "left" in
+      Builder.if_ b
+        (Builder.bin b Ir.Eq zpp_left (Ir.Reg zp))
+        (fun b ->
+          emit_fixup_case b z ~side:"left" ~other:"right" ~rot_side:rot_left_fn
+            ~rot_other:rot_right_fn)
+        (fun b ->
+          emit_fixup_case b z ~side:"right" ~other:"left" ~rot_side:rot_right_fn
+            ~rot_other:rot_left_fn));
+  let root = Builder.load b (Builder.gep b (Builder.param b "tree") "rbtree" "root") in
+  Builder.store b ~addr:(fld b root "color") (Ir.Imm black);
+  Builder.ret b (Some (Ir.Imm 1));
+  ignore (Builder.finish b)
+
+let register p =
+  if not (Hashtbl.mem p.Ir.structs "rbnode") then begin
+    Ir.add_struct p node;
+    Ir.add_struct p tree
+  end;
+  if not (Hashtbl.mem p.Ir.funcs lookup_fn) then begin
+    build_rotation p rot_left_fn ~side:"right" ~other:"left";
+    build_rotation p rot_right_fn ~side:"left" ~other:"right";
+    build_lookup p;
+    build_update p;
+    build_insert p
+  end
+
+(* --- host-side mirror ----------------------------------------------------- *)
+
+let get mem n f = Hostmem.get mem node n f
+let set mem n f v = Hostmem.set mem node n f v
+
+let host_rotate mem t x ~side ~other =
+  let y = get mem x side in
+  let yo = get mem y other in
+  set mem x side yo;
+  if yo <> 0 then set mem yo "parent" x;
+  let xp = get mem x "parent" in
+  set mem y "parent" xp;
+  if xp = 0 then Hostmem.set mem tree t "root" y
+  else if get mem xp "left" = x then set mem xp "left" y
+  else set mem xp "right" y;
+  set mem y other x;
+  set mem x "parent" y
+
+let host_insert mem alloc t key value =
+  let rec find parent cur =
+    if cur = 0 then parent
+    else if get mem cur "key" = key then begin
+      set mem cur "value" value;
+      -1
+    end
+    else if key < get mem cur "key" then find cur (get mem cur "left")
+    else find cur (get mem cur "right")
+  in
+  let parent = find 0 (Hostmem.get mem tree t "root") in
+  if parent >= 0 then begin
+    let z = Hostmem.alloc_struct alloc node in
+    set mem z "key" key;
+    set mem z "value" value;
+    set mem z "color" red;
+    set mem z "left" 0;
+    set mem z "right" 0;
+    set mem z "parent" parent;
+    if parent = 0 then begin
+      set mem z "color" black;
+      Hostmem.set mem tree t "root" z
+    end
+    else begin
+      if key < get mem parent "key" then set mem parent "left" z
+      else set mem parent "right" z;
+      let zr = ref z in
+      let continue () =
+        let zp = get mem !zr "parent" in
+        zp <> 0 && get mem zp "color" = red
+      in
+      while continue () do
+        let zp = get mem !zr "parent" in
+        let zpp = get mem zp "parent" in
+        let side, other = if get mem zpp "left" = zp then ("left", "right") else ("right", "left") in
+        let y = get mem zpp other in
+        if y <> 0 && get mem y "color" = red then begin
+          set mem zp "color" black;
+          set mem y "color" black;
+          set mem zpp "color" red;
+          zr := zpp
+        end
+        else begin
+          if get mem zp other = !zr then begin
+            zr := zp;
+            host_rotate mem t !zr ~side:other ~other:side
+          end;
+          let zp2 = get mem !zr "parent" in
+          let zpp2 = get mem zp2 "parent" in
+          set mem zp2 "color" black;
+          set mem zpp2 "color" red;
+          host_rotate mem t zpp2 ~side ~other
+        end
+      done;
+      set mem (Hostmem.get mem tree t "root") "color" black
+    end
+  end
+
+let setup mem alloc ~pairs =
+  let t = Hostmem.alloc_struct alloc tree in
+  Hostmem.set mem tree t "root" 0;
+  List.iter (fun (k, v) -> host_insert mem alloc t k v) pairs;
+  t
+
+let host_lookup mem t key =
+  let rec walk n =
+    if n = 0 then None
+    else if get mem n "key" = key then Some (get mem n "value")
+    else if key < get mem n "key" then walk (get mem n "left")
+    else walk (get mem n "right")
+  in
+  walk (Hostmem.get mem tree t "root")
+
+let keys mem t =
+  let rec inorder n acc =
+    if n = 0 then acc
+    else inorder (get mem n "left") (get mem n "key" :: inorder (get mem n "right") acc)
+  in
+  inorder (Hostmem.get mem tree t "root") []
+
+let check_invariants mem t =
+  let root = Hostmem.get mem tree t "root" in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if root = 0 then Ok ()
+  else if get mem root "color" <> black then err "root is red"
+  else begin
+    let exception Bad of string in
+    (* returns black height; checks order, colours and parent links *)
+    let rec walk n lo hi =
+      if n = 0 then 1
+      else begin
+        let k = get mem n "key" in
+        (match lo with Some l when k <= l -> raise (Bad "order (low)") | _ -> ());
+        (match hi with Some h when k >= h -> raise (Bad "order (high)") | _ -> ());
+        let l = get mem n "left" and r = get mem n "right" in
+        if l <> 0 && get mem l "parent" <> n then raise (Bad "left parent link");
+        if r <> 0 && get mem r "parent" <> n then raise (Bad "right parent link");
+        if get mem n "color" = red then begin
+          if l <> 0 && get mem l "color" = red then raise (Bad "red-red (left)");
+          if r <> 0 && get mem r "color" = red then raise (Bad "red-red (right)")
+        end;
+        let bl = walk l lo (Some k) in
+        let br = walk r (Some k) hi in
+        if bl <> br then raise (Bad "black height");
+        bl + if get mem n "color" = black then 1 else 0
+      end
+    in
+    match walk root None None with
+    | (_ : int) -> Ok ()
+    | exception Bad msg -> err "%s" msg
+  end

@@ -1,0 +1,33 @@
+open Stx_machine
+open Stx_tir
+
+(** Red-black tree with parent pointers — vacation's actual table
+    structure in the paper (CLRS-style insert with recolouring and
+    rotations, all in TIR). Rebalancing adds transactional writes near the
+    root, which is precisely the extra conflict surface the plain BST
+    substitution lacked.
+
+    TIR functions:
+    - [stx_rbt_lookup tree key] → value, or -1 when absent
+    - [stx_rbt_insert tree key val] → 1 if inserted (with fixup), 0 if the
+      key existed (value updated)
+    - [stx_rbt_update tree key delta] → new value, or -1 when absent *)
+
+val tree : Types.strct
+val node : Types.strct
+
+val register : Ir.program -> unit
+
+val lookup_fn : string
+val insert_fn : string
+val update_fn : string
+
+val setup : Memory.t -> Alloc.t -> pairs:(int * int) list -> int
+(** Build a tree by host-side inserts (same algorithm as the TIR code). *)
+
+val host_lookup : Memory.t -> int -> int -> int option
+val keys : Memory.t -> int -> int list
+
+val check_invariants : Memory.t -> int -> (unit, string) result
+(** BST order, root blackness, no red-red edges, equal black heights, and
+    parent-pointer consistency. *)

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation for the simulator.
+
+    Every source of nondeterminism in a simulation run is drawn from one of
+    these streams, keyed by an explicit seed, so a run is exactly
+    reproducible. The generator is SplitMix64 (Steele, Lea & Flood 2014):
+    fast, well distributed, and trivially splittable into independent
+    per-thread streams. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh stream from [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent stream, advancing [t]. Used to give
+    each simulated thread its own stream from one master seed. *)
+
+val next : t -> int
+(** [next t] returns a uniformly distributed non-negative int (62 bits). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). Requires [n > 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] chooses a uniform element. Requires [a] nonempty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

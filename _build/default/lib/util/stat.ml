@@ -1,0 +1,45 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable total : float;
+}
+
+let create () =
+  { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; total = 0. }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  t.total <- t.total +. x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+let total t = t.total
+
+let harmonic_mean = function
+  | [] -> 0.
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    let denom = List.fold_left (fun acc x -> acc +. (1. /. x)) 0. xs in
+    n /. denom
+
+let geometric_mean = function
+  | [] -> 0.
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (log_sum /. n)
+
+let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den
+let percent part whole = 100. *. ratio part whole

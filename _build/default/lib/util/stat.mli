@@ -1,0 +1,37 @@
+(** Streaming statistics accumulators and summary helpers used by the
+    simulator's bookkeeping and the experiment harness. *)
+
+type t
+(** A running accumulator over a stream of float observations
+    (Welford's algorithm: numerically stable mean/variance). *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations; 0 if empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 with fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+(** Smallest observation; [infinity] if empty. *)
+
+val max : t -> float
+(** Largest observation; [neg_infinity] if empty. *)
+
+val total : t -> float
+
+val harmonic_mean : float list -> float
+(** Harmonic mean of positive values (the paper summarizes speedup
+    improvements this way); 0 on the empty list. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)
+
+val ratio : int -> int -> float
+(** [ratio num den] is [num /. den], or 0 when [den = 0]. *)
+
+val percent : int -> int -> float
+(** [percent part whole] in 0..100; 0 when [whole = 0]. *)

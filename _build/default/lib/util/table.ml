@@ -1,0 +1,70 @@
+type row = Cells of string list | Sep
+
+type t = { headers : string list; mutable rows : row list (* reversed *) }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let fmt_f ?(dec = 2) x = Printf.sprintf "%.*f" dec x
+let fmt_pct ?(dec = 0) x = Printf.sprintf "%.*f%%" dec x
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || String.contains "+-.%x" c) s
+
+let render t =
+  let ncols = List.length t.headers in
+  let normalize cells =
+    let rec take n = function
+      | _ when n = 0 -> []
+      | [] -> List.init n (fun _ -> "")
+      | c :: rest -> c :: take (n - 1) rest
+    in
+    take ncols cells
+  in
+  let rows = List.rev_map (function Cells c -> Cells (normalize c) | Sep -> Sep) t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let widen = function
+    | Sep -> ()
+    | Cells cells ->
+      List.iteri
+        (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+        cells
+  in
+  List.iter widen rows;
+  let buf = Buffer.create 256 in
+  let pad i c =
+    let w = widths.(i) in
+    let n = w - String.length c in
+    if looks_numeric c then String.make n ' ' ^ c else c ^ String.make n ' '
+  in
+  let line ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad i c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  line '-';
+  emit t.headers;
+  line '=';
+  List.iter (function Cells c -> emit c | Sep -> line '-') rows;
+  line '-';
+  Buffer.contents buf
+
+let print t = print_string (render t)

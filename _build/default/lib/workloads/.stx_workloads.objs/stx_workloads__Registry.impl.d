@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: List W_genome W_intruder W_kmeans W_labyrinth W_list W_memcached W_ssca2 W_tsp W_vacation Workload

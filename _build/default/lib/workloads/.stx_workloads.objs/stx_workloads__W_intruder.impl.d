@@ -1,0 +1,1 @@
+lib/workloads/w_intruder.ml: Alloc Array Builder Ir List Stx_machine Stx_sim Stx_tir Stx_tstruct Stx_util Tqueue Workload

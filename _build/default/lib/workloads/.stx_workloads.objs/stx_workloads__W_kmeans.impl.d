@@ -1,0 +1,1 @@
+lib/workloads/w_kmeans.ml: Alloc Array Builder Ir Printf Stx_machine Stx_sim Stx_tir Workload

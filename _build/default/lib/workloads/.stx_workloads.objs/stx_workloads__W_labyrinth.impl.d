@@ -1,0 +1,1 @@
+lib/workloads/w_labyrinth.ml: Alloc Array Builder Ir Printf Stx_machine Stx_sim Stx_tir Workload

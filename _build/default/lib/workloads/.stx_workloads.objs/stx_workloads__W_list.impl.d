@@ -1,0 +1,1 @@
+lib/workloads/w_list.ml: Array Builder Ir List Printf Stx_sim Stx_tir Stx_tstruct Stx_util Tlist Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_ssca2.ml: Alloc Array Builder Ir Printf Stx_machine Stx_sim Stx_tir Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_tsp.ml: Alloc Array Builder Ir List Memory Stx_machine Stx_sim Stx_tir Stx_tstruct Stx_util Tcalqueue Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Float Ir Machine Stx_compiler Stx_sim Stx_tir Verify

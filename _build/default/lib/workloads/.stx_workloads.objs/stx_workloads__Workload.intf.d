@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Ir Machine Stx_sim Stx_tir

@@ -1,0 +1,27 @@
+let all =
+  [
+    W_genome.bench;
+    W_intruder.bench;
+    W_kmeans.bench;
+    W_labyrinth.bench;
+    W_ssca2.bench;
+    W_vacation.bench;
+    W_list.list_lo;
+    W_list.list_hi;
+    W_tsp.bench;
+    W_memcached.bench;
+  ]
+
+let table1_set =
+  [
+    W_list.list_hi;
+    W_tsp.bench;
+    W_memcached.bench;
+    W_intruder.bench;
+    W_kmeans.bench;
+    W_vacation.bench;
+  ]
+
+let find name = List.find_opt (fun w -> w.Workload.name = name) all
+
+let names = List.map (fun w -> w.Workload.name) all

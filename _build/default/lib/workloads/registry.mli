@@ -1,0 +1,9 @@
+(** All benchmarks of the evaluation, in the paper's Table 4 order. *)
+
+val all : Workload.t list
+
+val table1_set : Workload.t list
+(** The six benchmarks of Table 1 (contention characterization). *)
+
+val find : string -> Workload.t option
+val names : string list

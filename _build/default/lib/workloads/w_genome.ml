@@ -1,0 +1,59 @@
+open Stx_tir
+open Stx_tstruct
+
+(* genome's dominant transaction (Figure 3 of the paper): insert a chunk of
+   gene segments into a fixed-size chained hash table. The table is
+   deliberately overloaded (long bucket chains), so conflict chains arise
+   across bucket lists: thread 1 touches lists A, B, D; thread 2 D and C...
+   Conflicting PCs sit in the list-traversal loop while the addresses
+   wander, which is exactly what locking promotion resolves by locking the
+   table as a whole (§5.2). *)
+
+let nbuckets = 128
+let segment_range = 2048
+let chunk = 4
+let total_chunks = 768
+
+let build () =
+  let p = Ir.create_program () in
+  Thash.register p;
+  (* one atomic block inserting a chunk of four segments *)
+  let b = Builder.create p "insert_chunk" ~params:[ "ht"; "k0"; "k1"; "k2"; "k3" ] in
+  List.iter
+    (fun k ->
+      ignore (Builder.call_v b Thash.insert_fn [ Builder.param b "ht"; Builder.param b k ]))
+    [ "k0"; "k1"; "k2"; "k3" ];
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab = Ir.add_atomic p ~name:"insert_chunk" ~func:"insert_chunk" in
+  let b = Builder.create p "main" ~params:[ "ht"; "chunks" ] in
+  Builder.for_ b ~from:(Ir.Imm 0) ~below:(Builder.param b "chunks") (fun b _ ->
+      let k0 = Builder.rng b (Ir.Imm segment_range) in
+      let k1 = Builder.rng b (Ir.Imm segment_range) in
+      let k2 = Builder.rng b (Ir.Imm segment_range) in
+      let k3 = Builder.rng b (Ir.Imm segment_range) in
+      Builder.atomic_call b ab [ Builder.param b "ht"; k0; k1; k2; k3 ]);
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  p
+
+let args ~scale env ~threads =
+  let ht =
+    Thash.setup env.Stx_sim.Machine.memory env.Stx_sim.Machine.alloc ~nbuckets ~keys:[]
+  in
+  let per = Workload.split ~total:(Workload.scaled scale total_chunks) ~threads in
+  Array.make threads [| ht; per |]
+
+let bench =
+  {
+    Workload.name = "genome";
+    Workload.source = "STAMP";
+    Workload.description =
+      Printf.sprintf "gene-segment dedup into a %d-bucket chained hash table" nbuckets;
+    Workload.contention = "med";
+    Workload.contention_source = "hash table of lists";
+    Workload.build = build;
+    Workload.args;
+  }
+
+let _ = chunk

@@ -1,0 +1,73 @@
+open Stx_tir
+open Stx_machine
+open Stx_tstruct
+
+(* intruder: network-intrusion detection, structured as in STAMP. A small
+   transaction pops a packet from the shared capture queue
+   (TMstream_getPacket); a long transaction then reassembles the flow —
+   most of it private decoding work plus a write to the packet's flow slot
+   — and enqueues the completed flow on the detector queue near the END
+   (TMdecoder_process). That late enqueue on a stable queue-tail address
+   is the paper's showcase: staggering serializes just the enqueue while
+   the decoding keeps overlapping. *)
+
+let total_packets = 1024
+let flows = 256
+let decode_work = 180
+
+let build () =
+  let p = Ir.create_program () in
+  Tqueue.register p;
+  let ab_pop = Ir.add_atomic p ~name:"stream_get_packet" ~func:Tqueue.pop_fn in
+  (* decoder_process(outq, flowtab, packet): the long transaction *)
+  let b = Builder.create p "decoder_process" ~params:[ "outq"; "flowtab"; "packet" ] in
+  Builder.work b (Ir.Imm decode_work);
+  let flow = Builder.bin b Ir.Rem (Builder.param b "packet") (Ir.Imm flows) in
+  (* reassembly state for this packet's flow *)
+  let slot = Builder.idx b (Builder.param b "flowtab") ~esize:1 flow in
+  let seen = Builder.load b slot in
+  Builder.store b ~addr:slot (Builder.bin b Ir.Add seen (Ir.Imm 1));
+  Builder.work b (Ir.Imm (decode_work / 3));
+  (* the flow is complete: hand it to the detector near the end of the tx *)
+  Builder.call b Tqueue.push_fn [ Builder.param b "outq"; flow ];
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab_decode = Ir.add_atomic p ~name:"decoder_process" ~func:"decoder_process" in
+  let b = Builder.create p "main" ~params:[ "inq"; "outq"; "flowtab" ] in
+  let go = Builder.reg b "go" in
+  Builder.mov b go (Ir.Imm 1);
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Ne (Ir.Reg go) (Ir.Imm 0))
+    (fun b ->
+      let packet = Builder.atomic_call_v b ab_pop [ Builder.param b "inq" ] in
+      Builder.if_ b
+        (Builder.bin b Ir.Eq packet (Ir.Imm (-1)))
+        (fun b -> Builder.mov b go (Ir.Imm 0))
+        (fun b ->
+          Builder.atomic_call b ab_decode
+            [ Builder.param b "outq"; Builder.param b "flowtab"; packet ]));
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  p
+
+let args ~scale env ~threads =
+  let mem = env.Stx_sim.Machine.memory and alloc = env.Stx_sim.Machine.alloc in
+  let rng = env.Stx_sim.Machine.setup_rng in
+  let n = Workload.scaled scale total_packets in
+  let inq =
+    Tqueue.setup mem alloc ~init:(List.init n (fun _ -> 1 + Stx_util.Rng.int rng 100_000))
+  in
+  let outq = Tqueue.setup mem alloc ~init:[] in
+  let flowtab = Alloc.alloc_shared alloc flows in
+  Array.make threads [| inq; outq; flowtab |]
+
+let bench =
+  {
+    Workload.name = "intruder";
+    Workload.source = "STAMP";
+    Workload.description = "packet capture + flow reassembly with a late enqueue";
+    Workload.contention = "high";
+    Workload.contention_source = "task queue";
+    Workload.build = build;
+    Workload.args;
+  }

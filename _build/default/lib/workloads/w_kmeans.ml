@@ -1,0 +1,60 @@
+open Stx_tir
+open Stx_machine
+
+(* kmeans: the assignment phase's accumulation transactions. Each point
+   update adds its coordinates into the chosen cluster's accumulator row
+   (a count plus [dims] partial sums). Rows are contiguous arrays, so each
+   cluster has a small stable set of cache lines: recurrent conflicting PC
+   AND address — precise mode locks per cluster, "close to what fine-grain
+   locking could achieve" (§6.2, Result 1). *)
+
+let clusters = 16
+let dims = 16
+let total_points = 2048
+let row_words = 1 + dims (* count + per-dimension sums *)
+
+let build () =
+  let p = Ir.create_program () in
+  (* update_center(centers, cluster, x): one transaction *)
+  let b = Builder.create p "update_center" ~params:[ "centers"; "cluster"; "x" ] in
+  let row =
+    Builder.idx b (Builder.param b "centers") ~esize:row_words (Builder.param b "cluster")
+  in
+  let cnt = Builder.load b row in
+  Builder.store b ~addr:row (Builder.bin b Ir.Add cnt (Ir.Imm 1));
+  Builder.for_ b ~from:(Ir.Imm 1) ~below:(Ir.Imm (dims + 1)) (fun b d ->
+      let slot = Builder.idx b row ~esize:1 d in
+      let v = Builder.load b slot in
+      (* x stands in for the point's coordinate in every dimension *)
+      Builder.store b ~addr:slot (Builder.bin b Ir.Add v (Builder.param b "x")));
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab = Ir.add_atomic p ~name:"update_center" ~func:"update_center" in
+  let b = Builder.create p "main" ~params:[ "centers"; "points" ] in
+  Builder.for_ b ~from:(Ir.Imm 0) ~below:(Builder.param b "points") (fun b _ ->
+      (* distance computation to pick the nearest cluster is private work *)
+      Builder.work b (Ir.Imm 60);
+      let c = Builder.rng b (Ir.Imm clusters) in
+      let x = Builder.rng b (Ir.Imm 1000) in
+      Builder.atomic_call b ab [ Builder.param b "centers"; c; x ]);
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  p
+
+let args ~scale env ~threads =
+  let alloc = env.Stx_sim.Machine.alloc in
+  let centers = Alloc.alloc_shared alloc (clusters * row_words) in
+  let per = Workload.split ~total:(Workload.scaled scale total_points) ~threads in
+  Array.make threads [| centers; per |]
+
+let bench =
+  {
+    Workload.name = "kmeans";
+    Workload.source = "STAMP";
+    Workload.description =
+      Printf.sprintf "cluster-centre accumulation, %d clusters x %d dims" clusters dims;
+    Workload.contention = "high";
+    Workload.contention_source = "arrays";
+    Workload.build = build;
+    Workload.args;
+  }

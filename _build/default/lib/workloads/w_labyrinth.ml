@@ -1,0 +1,74 @@
+open Stx_tir
+open Stx_machine
+
+(* labyrinth: maze routing over a shared grid. Each transaction plans a
+   path (a long private expansion over a snapshot) and then claims the
+   path's cells. Transactions are long and the claimed cells wander across
+   the grid, so conflicting addresses have no locality at all — only the
+   conflicting PC recurs, driving coarse-grain locking. *)
+
+let x = 16
+let y = 16
+let z = 3
+let total_paths = 192
+let plan_work = 700
+
+let cells = x * y * z
+
+let build () =
+  let p = Ir.create_program () in
+  (* route(grid, from, to, mark): plan, then claim a straight-ish path *)
+  let b = Builder.create p "route" ~params:[ "grid"; "src"; "dst"; "mark" ] in
+  Builder.work b (Ir.Imm plan_work);
+  (* claim cells between src and dst, stepping by a fixed stride *)
+  let cur = Builder.reg b "cur" in
+  Builder.mov b cur (Builder.param b "src");
+  let step = Builder.reg b "step" in
+  Builder.if_ b
+    (Builder.bin b Ir.Lt (Builder.param b "src") (Builder.param b "dst"))
+    (fun b -> Builder.mov b step (Ir.Imm 7))
+    (fun b -> Builder.mov b step (Ir.Imm (-7)));
+  let continue_ b =
+    Builder.bin b Ir.Gt
+      (Builder.bin b Ir.Mul
+         (Builder.bin b Ir.Sub (Builder.param b "dst") (Ir.Reg cur))
+         (Ir.Reg step))
+      (Ir.Imm 0)
+  in
+  Builder.while_ b continue_ (fun b ->
+      let cell = Builder.idx b (Builder.param b "grid") ~esize:1 (Ir.Reg cur) in
+      let occupied = Builder.load b cell in
+      (* routing around an occupied cell costs extra planning *)
+      Builder.when_ b
+        (Builder.bin b Ir.Ne occupied (Ir.Imm 0))
+        (fun b -> Builder.work b (Ir.Imm 20));
+      Builder.store b ~addr:cell (Builder.param b "mark");
+      Builder.bin_to b cur Ir.Add (Ir.Reg cur) (Ir.Reg step));
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab = Ir.add_atomic p ~name:"route_path" ~func:"route" in
+  let b = Builder.create p "main" ~params:[ "grid"; "paths" ] in
+  Builder.for_ b ~from:(Ir.Imm 0) ~below:(Builder.param b "paths") (fun b i ->
+      let src = Builder.rng b (Ir.Imm cells) in
+      let dst = Builder.rng b (Ir.Imm cells) in
+      let mark = Builder.bin b Ir.Add (Builder.thread_id b) (Builder.bin b Ir.Mul i (Ir.Imm 100)) in
+      Builder.atomic_call b ab [ Builder.param b "grid"; src; dst; mark ]);
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  p
+
+let args ~scale env ~threads =
+  let grid = Alloc.alloc_shared env.Stx_sim.Machine.alloc cells in
+  let per = Workload.split ~total:(Workload.scaled scale total_paths) ~threads in
+  Array.make threads [| grid; per |]
+
+let bench =
+  {
+    Workload.name = "labyrinth";
+    Workload.source = "STAMP";
+    Workload.description = Printf.sprintf "maze routing on a %dx%dx%d grid" x y z;
+    Workload.contention = "high";
+    Workload.contention_source = "routing grid";
+    Workload.build = build;
+    Workload.args;
+  }

@@ -1,0 +1,65 @@
+open Stx_tir
+open Stx_tstruct
+
+(* The IntSet sorted-list microbenchmark of the RSTM suite: a single
+   64-node shared list; every operation is one transaction. list-lo does
+   90/5/5 lookup/insert/delete, list-hi 60/20/20. Traversals read long
+   prefixes of the list, so writers abort every reader behind them: the
+   canonical wandering-address, stable-PC pattern that needs coarse-grain
+   locking (the paper locks the whole list, §6.2). *)
+
+let nodes = 64
+let key_range = 80
+let total_ops = 4096
+
+let build_prog ~pct_lookup ~pct_insert () =
+  let p = Ir.create_program () in
+  Tlist.register p;
+  let ab_l = Ir.add_atomic p ~name:"list_lookup" ~func:Tlist.lookup_fn in
+  let ab_i = Ir.add_atomic p ~name:"list_insert" ~func:Tlist.insert_fn in
+  let ab_d = Ir.add_atomic p ~name:"list_delete" ~func:Tlist.delete_fn in
+  let b = Builder.create p "main" ~params:[ "head"; "ops" ] in
+  Builder.for_ b ~from:(Ir.Imm 0) ~below:(Builder.param b "ops") (fun b _ ->
+      let key = Builder.rng b (Ir.Imm key_range) in
+      let dice = Builder.rng b (Ir.Imm 100) in
+      Builder.if_ b
+        (Builder.bin b Ir.Lt dice (Ir.Imm pct_lookup))
+        (fun b -> ignore (Builder.atomic_call_v b ab_l [ Builder.param b "head"; key ]))
+        (fun b ->
+          Builder.if_ b
+            (Builder.bin b Ir.Lt dice (Ir.Imm (pct_lookup + pct_insert)))
+            (fun b ->
+              ignore (Builder.atomic_call_v b ab_i [ Builder.param b "head"; key ]))
+            (fun b ->
+              ignore (Builder.atomic_call_v b ab_d [ Builder.param b "head"; key ]))));
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  p
+
+let args ~scale env ~threads =
+  let mem = env.Stx_sim.Machine.memory and alloc = env.Stx_sim.Machine.alloc in
+  let rng = env.Stx_sim.Machine.setup_rng in
+  (* every other key, so inserts and deletes both find work *)
+  let keys =
+    List.init nodes (fun _ -> 1 + Stx_util.Rng.int rng key_range)
+    |> List.sort_uniq compare
+  in
+  let head = Tlist.setup mem alloc ~keys in
+  let per = Workload.split ~total:(Workload.scaled scale total_ops) ~threads in
+  Array.make threads [| head; per |]
+
+let make name ~pct_lookup ~pct_insert ~pct_delete ~contention =
+  {
+    Workload.name;
+    Workload.source = "IntSet";
+    Workload.description =
+      Printf.sprintf "%d-node sorted list, %d%%/%d%%/%d%% lookup/insert/delete" nodes
+        pct_lookup pct_insert pct_delete;
+    Workload.contention;
+    Workload.contention_source = "linked-list";
+    Workload.build = build_prog ~pct_lookup ~pct_insert;
+    Workload.args;
+  }
+
+let list_lo = make "list-lo" ~pct_lookup:90 ~pct_insert:5 ~pct_delete:5 ~contention:"med"
+let list_hi = make "list-hi" ~pct_lookup:60 ~pct_insert:20 ~pct_delete:20 ~contention:"high"

@@ -1,0 +1,9 @@
+(** The IntSet sorted-list microbenchmarks (RSTM test suite): one shared
+    64-node list, operations as single transactions. *)
+
+val list_lo : Workload.t
+(** 90 % lookup / 5 % insert / 5 % delete — medium contention. *)
+
+val list_hi : Workload.t
+(** 60 % lookup / 20 % insert / 20 % delete — high contention; the paper's
+    worst-scaling benchmark. *)

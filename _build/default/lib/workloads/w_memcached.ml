@@ -1,0 +1,93 @@
+open Stx_tir
+open Stx_machine
+open Stx_tstruct
+
+(* memcached 1.4.9 with the network front end elided (as in the paper):
+   memslap-style get/set commands injected straight into the command
+   processor. Every command transaction touches the key hash table and
+   then updates the global statistics block in the middle of the
+   transaction — a handful of hot counters on one or two cache lines.
+   Those stable mid-transaction addresses are the paper's showcase for
+   serializing just the statistics suffix while the hash lookups overlap. *)
+
+let nbuckets = 64
+let key_range = 512
+let total_ops = 2048
+let pct_get = 70
+
+(* stats block layout: cmd_get, cmd_set, get_hits, get_misses, bytes *)
+let stats_words = 5
+
+let build () =
+  let p = Ir.create_program () in
+  Thash.register p;
+  (* process_get(ht, stats, key) *)
+  let b = Builder.create p "process_get" ~params:[ "ht"; "stats"; "key" ] in
+  let hit = Builder.call_v b Thash.lookup_fn [ Builder.param b "ht"; Builder.param b "key" ] in
+  let bump i delta =
+    let slot = Builder.idx b (Builder.param b "stats") ~esize:1 (Ir.Imm i) in
+    let v = Builder.load b slot in
+    Builder.store b ~addr:slot (Builder.bin b Ir.Add v delta)
+  in
+  bump 0 (Ir.Imm 1);
+  (* hits and misses update different counters on the stats lines *)
+  Builder.if_ b hit
+    (fun b ->
+      let slot = Builder.idx b (Builder.param b "stats") ~esize:1 (Ir.Imm 2) in
+      let v = Builder.load b slot in
+      Builder.store b ~addr:slot (Builder.bin b Ir.Add v (Ir.Imm 1)))
+    (fun b ->
+      let slot = Builder.idx b (Builder.param b "stats") ~esize:1 (Ir.Imm 3) in
+      let v = Builder.load b slot in
+      Builder.store b ~addr:slot (Builder.bin b Ir.Add v (Ir.Imm 1)));
+  bump 4 (Ir.Imm 64);
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  (* process_set(ht, stats, key) *)
+  let b = Builder.create p "process_set" ~params:[ "ht"; "stats"; "key" ] in
+  ignore (Builder.call_v b Thash.insert_fn [ Builder.param b "ht"; Builder.param b "key" ]);
+  let bump i delta =
+    let slot = Builder.idx b (Builder.param b "stats") ~esize:1 (Ir.Imm i) in
+    let v = Builder.load b slot in
+    Builder.store b ~addr:slot (Builder.bin b Ir.Add v delta)
+  in
+  bump 1 (Ir.Imm 1);
+  bump 4 (Ir.Imm 128);
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab_get = Ir.add_atomic p ~name:"process_get" ~func:"process_get" in
+  let ab_set = Ir.add_atomic p ~name:"process_set" ~func:"process_set" in
+  let b = Builder.create p "main" ~params:[ "ht"; "stats"; "ops" ] in
+  Builder.for_ b ~from:(Ir.Imm 0) ~below:(Builder.param b "ops") (fun b _ ->
+      let key = Builder.bin b Ir.Add (Builder.rng b (Ir.Imm key_range)) (Ir.Imm 1) in
+      Builder.if_ b
+        (Builder.bin b Ir.Lt (Builder.rng b (Ir.Imm 100)) (Ir.Imm pct_get))
+        (fun b ->
+          Builder.atomic_call b ab_get
+            [ Builder.param b "ht"; Builder.param b "stats"; key ])
+        (fun b ->
+          Builder.atomic_call b ab_set
+            [ Builder.param b "ht"; Builder.param b "stats"; key ]));
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  p
+
+let args ~scale env ~threads =
+  let mem = env.Stx_sim.Machine.memory and alloc = env.Stx_sim.Machine.alloc in
+  let rng = env.Stx_sim.Machine.setup_rng in
+  let keys = List.init 256 (fun _ -> 1 + Stx_util.Rng.int rng key_range) in
+  let ht = Thash.setup mem alloc ~nbuckets ~keys in
+  let stats = Alloc.alloc_shared alloc stats_words in
+  let per = Workload.split ~total:(Workload.scaled scale total_ops) ~threads in
+  Array.make threads [| ht; stats; per |]
+
+let bench =
+  {
+    Workload.name = "memcached";
+    Workload.source = "memcached-1.4.9";
+    Workload.description = "get/set command processing with global statistics updates";
+    Workload.contention = "high";
+    Workload.contention_source = "statistics information";
+    Workload.build = build;
+    Workload.args;
+  }

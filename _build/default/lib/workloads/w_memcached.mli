@@ -1,0 +1,4 @@
+(** The memcached benchmark. See the implementation header and DESIGN.md for the
+    contention signature and the fidelity notes of this port. *)
+
+val bench : Workload.t

@@ -1,0 +1,60 @@
+open Stx_tir
+open Stx_machine
+
+(* ssca2: kernel 1 builds the graph by inserting edges into per-node
+   adjacency arrays. Transactions are tiny (bump a degree counter, write
+   one slot) and the node space is large, so two threads rarely touch the
+   same node: the low-contention benchmark Staggered Transactions must not
+   slow down. *)
+
+let nodes = 1024
+let max_degree = 8
+let total_edges = 4096
+
+let build () =
+  let p = Ir.create_program () in
+  (* add_edge(deg, adj, node, target) *)
+  let b = Builder.create p "add_edge" ~params:[ "deg"; "adj"; "node"; "target" ] in
+  let dslot = Builder.idx b (Builder.param b "deg") ~esize:1 (Builder.param b "node") in
+  let d = Builder.load b dslot in
+  Builder.when_ b
+    (Builder.bin b Ir.Ge d (Ir.Imm max_degree))
+    (fun b -> Builder.ret b (Some (Ir.Imm 0)));
+  let base = Builder.bin b Ir.Mul (Builder.param b "node") (Ir.Imm max_degree) in
+  let slot =
+    Builder.idx b (Builder.param b "adj") ~esize:1 (Builder.bin b Ir.Add base d)
+  in
+  Builder.store b ~addr:slot (Builder.param b "target");
+  Builder.store b ~addr:dslot (Builder.bin b Ir.Add d (Ir.Imm 1));
+  Builder.ret b (Some (Ir.Imm 1));
+  ignore (Builder.finish b);
+  let ab = Ir.add_atomic p ~name:"add_edge" ~func:"add_edge" in
+  let b = Builder.create p "main" ~params:[ "deg"; "adj"; "edges" ] in
+  Builder.for_ b ~from:(Ir.Imm 0) ~below:(Builder.param b "edges") (fun b _ ->
+      let u = Builder.rng b (Ir.Imm nodes) in
+      let v = Builder.rng b (Ir.Imm nodes) in
+      ignore
+        (Builder.atomic_call_v b ab
+           [ Builder.param b "deg"; Builder.param b "adj"; u; v ]));
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  p
+
+let args ~scale env ~threads =
+  let alloc = env.Stx_sim.Machine.alloc in
+  let deg = Alloc.alloc_shared alloc nodes in
+  let adj = Alloc.alloc_shared alloc (nodes * max_degree) in
+  let per = Workload.split ~total:(Workload.scaled scale total_edges) ~threads in
+  Array.make threads [| deg; adj; per |]
+
+let bench =
+  {
+    Workload.name = "ssca2";
+    Workload.source = "STAMP";
+    Workload.description =
+      Printf.sprintf "graph construction, %d nodes, tiny transactions" nodes;
+    Workload.contention = "low";
+    Workload.contention_source = "adjacency arrays";
+    Workload.build = build;
+    Workload.args;
+  }

@@ -1,0 +1,85 @@
+open Stx_tir
+open Stx_machine
+open Stx_tstruct
+
+(* tsp: branch-and-bound over a shared best-first task pool. The paper
+   keeps candidate tours in a B+-tree priority queue with O(1) pop; the
+   pool here is the bucketed queue of {!Tcalqueue}, which shares the
+   property that matters: the head bucket (like the left-most leaf) is a
+   stable hot address across many pops, so the policy can serialize pops
+   precisely, while pushes scatter over other bucket lines. Expansion of a
+   partial tour is private work between transactions; completed tours
+   occasionally improve the global incumbent bound. *)
+
+let total_tasks = 768
+let expand_work = 120
+let children = 2
+let nbuckets = 64
+let capacity = 23
+let width = 16
+
+let build () =
+  let p = Ir.create_program () in
+  Tcalqueue.register p;
+  let ab_pop = Ir.add_atomic p ~name:"pool_pop" ~func:Tcalqueue.pop_fn in
+  let ab_push = Ir.add_atomic p ~name:"pool_push" ~func:Tcalqueue.insert_fn in
+  let b = Builder.create p "update_best" ~params:[ "best"; "tour" ] in
+  let cur = Builder.load b (Builder.param b "best") in
+  Builder.when_ b
+    (Builder.bin b Ir.Lt (Builder.param b "tour") cur)
+    (fun b ->
+      Builder.store b ~addr:(Builder.param b "best") (Builder.param b "tour");
+      Builder.ret b (Some (Ir.Imm 1)));
+  Builder.ret b (Some (Ir.Imm 0));
+  ignore (Builder.finish b);
+  let ab_best = Ir.add_atomic p ~name:"update_best" ~func:"update_best" in
+  let b = Builder.create p "main" ~params:[ "pq"; "best"; "steps" ] in
+  Builder.for_ b ~from:(Ir.Imm 0) ~below:(Builder.param b "steps") (fun b _ ->
+      let task = Builder.atomic_call_v b ab_pop [ Builder.param b "pq" ] in
+      Builder.when_ b
+        (Builder.bin b Ir.Ne task (Ir.Imm (-1)))
+        (fun b ->
+          (* expand the partial tour privately *)
+          Builder.work b (Ir.Imm expand_work);
+          (* a fraction of expansions complete a tour and try the bound *)
+          Builder.if_ b
+            (Builder.bin b Ir.Lt (Builder.rng b (Ir.Imm 100)) (Ir.Imm 20))
+            (fun b ->
+              let tour = Builder.bin b Ir.Add task (Builder.rng b (Ir.Imm 50)) in
+              ignore
+                (Builder.atomic_call_v b ab_best [ Builder.param b "best"; tour ]))
+            (fun b ->
+              (* otherwise push children with refined bounds *)
+              for _ = 1 to children do
+                let bound = Builder.bin b Ir.Add task (Builder.rng b (Ir.Imm 40)) in
+                ignore
+                  (Builder.atomic_call_v b ab_push
+                     [ Builder.param b "pq"; bound; bound ])
+              done)));
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  p
+
+let args ~scale env ~threads =
+  let mem = env.Stx_sim.Machine.memory and alloc = env.Stx_sim.Machine.alloc in
+  let rng = env.Stx_sim.Machine.setup_rng in
+  let n = Workload.scaled scale total_tasks in
+  let pq =
+    Tcalqueue.setup mem alloc ~nbuckets ~capacity ~width
+      ~init:(List.init n (fun _ -> let pr = 100 + Stx_util.Rng.int rng 900 in (pr, pr)))
+  in
+  let best = Alloc.alloc_shared alloc 1 in
+  Memory.store mem best max_int;
+  let per = Workload.split ~total:n ~threads in
+  Array.make threads [| pq; best; per |]
+
+let bench =
+  {
+    Workload.name = "tsp";
+    Workload.source = "ours";
+    Workload.description = "branch-and-bound TSP over a bucketed best-first task pool";
+    Workload.contention = "med";
+    Workload.contention_source = "priority queue";
+    Workload.build = build;
+    Workload.args;
+  }

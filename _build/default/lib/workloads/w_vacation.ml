@@ -1,0 +1,79 @@
+open Stx_tir
+open Stx_tstruct
+
+(* vacation: a travel-reservation database over red-black trees (cars,
+   flights, rooms), as in the paper. Most transactions are multi-table
+   queries; a minority reserve (decrement availability, whose rebalancing
+   writes land near the root). Contention is low and the touched nodes
+   wander over the trees, so the baseline already scales — the interesting
+   result is that staggering must not hurt while still trimming the
+   residual aborts (Result 1 / Figure 8). *)
+
+let relations = 128
+let total_txns = 2048
+let queries_per_txn = 4
+let pct_reserve = 30
+
+let build () =
+  let p = Ir.create_program () in
+  Trbt.register p;
+  (* one customer session: several lookups across tables, maybe a
+     reservation (an in-place availability update) *)
+  let b =
+    Builder.create p "session" ~params:[ "cars"; "flights"; "rooms"; "key"; "reserve" ]
+  in
+  List.iter
+    (fun tbl ->
+      ignore (Builder.call_v b Trbt.lookup_fn [ Builder.param b tbl; Builder.param b "key" ]))
+    [ "cars"; "flights"; "rooms"; "cars" ];
+  Builder.when_ b (Builder.param b "reserve") (fun b ->
+      ignore
+        (Builder.call_v b Trbt.update_fn
+           [ Builder.param b "flights"; Builder.param b "key"; Ir.Imm (-1) ]);
+      ignore
+        (Builder.call_v b Trbt.update_fn
+           [ Builder.param b "rooms"; Builder.param b "key"; Ir.Imm (-1) ]));
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab = Ir.add_atomic p ~name:"customer_session" ~func:"session" in
+  let b = Builder.create p "main" ~params:[ "cars"; "flights"; "rooms"; "txns" ] in
+  Builder.for_ b ~from:(Ir.Imm 0) ~below:(Builder.param b "txns") (fun b _ ->
+      let key = Builder.bin b Ir.Add (Builder.rng b (Ir.Imm relations)) (Ir.Imm 1) in
+      let reserve =
+        Builder.bin b Ir.Lt (Builder.rng b (Ir.Imm 100)) (Ir.Imm pct_reserve)
+      in
+      Builder.atomic_call b ab
+        [
+          Builder.param b "cars";
+          Builder.param b "flights";
+          Builder.param b "rooms";
+          key;
+          reserve;
+        ]);
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  p
+
+let args ~scale env ~threads =
+  let mem = env.Stx_sim.Machine.memory and alloc = env.Stx_sim.Machine.alloc in
+  let pairs = List.init relations (fun i -> (i + 1, 100)) in
+  let cars = Trbt.setup mem alloc ~pairs in
+  let flights = Trbt.setup mem alloc ~pairs in
+  let rooms = Trbt.setup mem alloc ~pairs in
+  let per = Workload.split ~total:(Workload.scaled scale total_txns) ~threads in
+  Array.make threads [| cars; flights; rooms; per |]
+
+let bench =
+  {
+    Workload.name = "vacation";
+    Workload.source = "STAMP";
+    Workload.description =
+      Printf.sprintf "travel reservations over %d-entry search trees (%d%% reserving)"
+        relations pct_reserve;
+    Workload.contention = "med";
+    Workload.contention_source = "red-black trees";
+    Workload.build = build;
+    Workload.args;
+  }
+
+let _ = queries_per_txn

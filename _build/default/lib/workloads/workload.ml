@@ -1,0 +1,26 @@
+open Stx_tir
+open Stx_sim
+
+type t = {
+  name : string;
+  source : string;
+  description : string;
+  contention : string;
+  contention_source : string;
+  build : unit -> Ir.program;
+  args : scale:float -> Machine.setup_env -> threads:int -> int array array;
+}
+
+let scaled scale n = max 1 (int_of_float (Float.round (scale *. float_of_int n)))
+
+let split ~total ~threads = max 1 (total / max 1 threads)
+
+let spec ?(instrument = true) ?(scale = 1.0) ?(pc_bits = 12) t =
+  let prog = t.build () in
+  Verify.program prog;
+  let compiled = Stx_compiler.Pipeline.compile ~pc_bits ~instrument prog in
+  {
+    Machine.compiled;
+    Machine.thread_main = "main";
+    Machine.thread_args = (fun env ~threads -> t.args ~scale env ~threads);
+  }

@@ -1,0 +1,31 @@
+open Stx_tir
+open Stx_sim
+
+(** Common shape of a benchmark: a fresh TIR program plus a setup function
+    that builds the shared structures in simulated memory and splits a
+    fixed total amount of work across the threads (so a 1-thread run and a
+    16-thread run do the same work, making speedups meaningful). *)
+
+type t = {
+  name : string;
+  source : string;  (** provenance, as in Table 4: STAMP, IntSet, etc. *)
+  description : string;
+  contention : string;  (** expected class: "low" / "med" / "high" *)
+  contention_source : string;  (** the hot structure, as in Table 1 *)
+  build : unit -> Ir.program;
+      (** a fresh, uninstrumented program (compiled per configuration) *)
+  args : scale:float -> Machine.setup_env -> threads:int -> int array array;
+      (** build shared state; returns each thread's argument vector for the
+          function named ["main"] *)
+}
+
+val spec : ?instrument:bool -> ?scale:float -> ?pc_bits:int -> t -> Machine.spec
+(** Compile a fresh copy of the program (with or without ALPs) and package
+    it for {!Machine.run}. [scale] multiplies the workload size; [pc_bits]
+    must match the machine's PC-tag width (default 12). *)
+
+val scaled : float -> int -> int
+(** [scaled scale n] = [max 1 (round (scale * n))]. *)
+
+val split : total:int -> threads:int -> int
+(** Per-thread share of [total] units of work (at least 1). *)

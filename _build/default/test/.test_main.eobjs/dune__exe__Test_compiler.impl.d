@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Anchors Array Builder Format Hashtbl Ir Layout List Option Pipeline String Stx_compiler Stx_tir Stx_workloads Types Unified Verify

@@ -1,0 +1,1 @@
+test/test_core.ml: Abcontext Advisory_lock Alcotest Alloc Array Builder Config Ir List Memory Mode Option Policy QCheck QCheck_alcotest Softcpc Stx_compiler Stx_core Stx_htm Stx_machine Stx_tir Types

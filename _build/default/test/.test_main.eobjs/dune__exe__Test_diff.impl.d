@@ -1,0 +1,1 @@
+test/test_diff.ml: Alloc Array Builder Config Ir List Machine Memory Mode Option Printf QCheck QCheck_alcotest Stx_compiler Stx_core Stx_machine Stx_sim Stx_tir

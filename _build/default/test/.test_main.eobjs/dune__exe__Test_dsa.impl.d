@@ -1,0 +1,1 @@
+test/test_dsa.ml: Alcotest Builder Dsa Dsnode Ir List Option QCheck QCheck_alcotest Stx_dsa Stx_tir Types Verify

@@ -1,0 +1,1 @@
+test/test_harness.ml: Ablations Alcotest Exp List Mode Option Registry Reports String Stx_core Stx_harness Stx_sim Stx_workloads Timeline Workload

@@ -1,0 +1,1 @@
+test/test_htm.ml: Alcotest Alloc Config Htm Memory QCheck QCheck_alcotest Stx_htm Stx_machine

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Alloc Cache Config Format Hierarchy List Memory QCheck QCheck_alcotest String Stx_machine

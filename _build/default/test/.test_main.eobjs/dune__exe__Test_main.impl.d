@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_compiler Test_core Test_diff Test_dsa Test_features Test_harness Test_htm Test_machine Test_sim Test_tir Test_tstruct Test_util Test_workloads

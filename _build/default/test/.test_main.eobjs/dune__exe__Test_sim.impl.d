@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Alloc Array Builder Config Ir List Machine Memory Mode Option Printf QCheck QCheck_alcotest Stats Stx_compiler Stx_core Stx_machine Stx_sim Stx_tir Types

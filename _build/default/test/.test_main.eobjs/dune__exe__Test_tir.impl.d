@@ -1,0 +1,1 @@
+test/test_tir.ml: Alcotest Array Builder Dom Format Hashtbl Ir Layout List Pp QCheck QCheck_alcotest String Stx_tir Types Verify

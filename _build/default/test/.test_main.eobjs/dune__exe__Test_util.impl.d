@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List QCheck QCheck_alcotest Rng Stat String Stx_util Table

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Config List Machine Mode Option Registry Stats Stx_core Stx_machine Stx_sim Stx_tir Stx_workloads Workload

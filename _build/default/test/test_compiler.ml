@@ -1,0 +1,282 @@
+open Stx_tir
+open Stx_compiler
+
+(* Fixture mirroring Figure 3: an atomic block that hashes a key into a
+   table of bucket lists and walks the chosen list. *)
+
+let node_ty = Types.make "lnode" [ ("key", Types.Scalar); ("next", Types.Ptr "lnode") ]
+
+let ht_ty =
+  Types.make "htable" [ ("nbuckets", Types.Scalar); ("buckets", Types.Ptr "bucket") ]
+
+let bucket_ty = Types.make "bucket" [ ("head", Types.Ptr "lnode") ]
+
+let build_fixture () =
+  let p = Ir.create_program () in
+  Ir.add_struct p node_ty;
+  Ir.add_struct p ht_ty;
+  Ir.add_struct p bucket_ty;
+  let b = Builder.create p "list_find" ~params:[ "head"; "key" ] in
+  let cur = Builder.reg b "cur" in
+  Builder.mov b cur (Builder.param b "head");
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0))
+    (fun b ->
+      let k = Builder.load b (Builder.gep b (Ir.Reg cur) "lnode" "key") in
+      Builder.when_ b
+        (Builder.bin b Ir.Eq k (Builder.param b "key"))
+        (fun b -> Builder.ret b (Some (Ir.Reg cur)));
+      Builder.load_to b cur (Builder.gep b (Ir.Reg cur) "lnode" "next"));
+  Builder.ret b (Some (Ir.Imm 0));
+  ignore (Builder.finish b);
+  let b = Builder.create p "ht_insert" ~params:[ "ht"; "key" ] in
+  let nb = Builder.load b (Builder.gep b (Builder.param b "ht") "htable" "nbuckets") in
+  let slot = Builder.bin b Ir.Rem (Builder.param b "key") nb in
+  let buckets =
+    Builder.load b (Builder.gep b (Builder.param b "ht") "htable" "buckets")
+  in
+  let bucket = Builder.idx b buckets ~esize:1 slot in
+  let head = Builder.load b (Builder.gep b bucket "bucket" "head") in
+  let found = Builder.call_v b "list_find" [ head; Builder.param b "key" ] in
+  Builder.ret b (Some found);
+  ignore (Builder.finish b);
+  let ab = Ir.add_atomic p ~name:"insert_ab" ~func:"ht_insert" in
+  (p, ab)
+
+let nth_access p func n =
+  let f = Ir.find_func p func in
+  let count = ref 0 in
+  let res = ref None in
+  Ir.iter_insts f (fun _ _ inst ->
+      if Ir.is_mem_access inst.Ir.op then begin
+        if !count = n && !res = None then res := Some inst.Ir.iid;
+        incr count
+      end);
+  Option.get !res
+
+let test_anchor_classification () =
+  let p, _ = build_fixture () in
+  let c = Pipeline.compile p in
+  let anchor func n =
+    match Anchors.entry_for c.Pipeline.anchors ~func ~iid:(nth_access p func n) with
+    | Some e -> e.Anchors.le_is_anchor
+    | None -> Alcotest.fail "entry missing"
+  in
+  Alcotest.(check bool) "nbuckets load is anchor" true (anchor "ht_insert" 0);
+  Alcotest.(check bool) "buckets load is non-anchor" false (anchor "ht_insert" 1);
+  Alcotest.(check bool) "head load is anchor" true (anchor "ht_insert" 2);
+  Alcotest.(check bool) "key load is anchor" true (anchor "list_find" 0);
+  Alcotest.(check bool) "next load is non-anchor" false (anchor "list_find" 1)
+
+let test_pioneer_links () =
+  let p, _ = build_fixture () in
+  let c = Pipeline.compile p in
+  (match
+     Anchors.entry_for c.Pipeline.anchors ~func:"ht_insert"
+       ~iid:(nth_access p "ht_insert" 1)
+   with
+  | Some e ->
+    Alcotest.(check (option int)) "buckets load pioneer = nbuckets load"
+      (Some (nth_access p "ht_insert" 0))
+      e.Anchors.le_pioneer
+  | None -> Alcotest.fail "missing");
+  match
+    Anchors.entry_for c.Pipeline.anchors ~func:"list_find"
+      ~iid:(nth_access p "list_find" 1)
+  with
+  | Some e ->
+    Alcotest.(check (option int)) "next load pioneer = key load"
+      (Some (nth_access p "list_find" 0))
+      e.Anchors.le_pioneer
+  | None -> Alcotest.fail "missing"
+
+let test_instrumentation_inserts_alps () =
+  let p, _ = build_fixture () in
+  let c = Pipeline.compile p in
+  let _, anchors = Pipeline.static_stats c in
+  Alcotest.(check int) "three anchors (as in Figure 3)" 3 anchors;
+  (* every anchor is immediately preceded by its ALP *)
+  Hashtbl.iter
+    (fun anchor_iid site ->
+      let found = ref false in
+      Hashtbl.iter
+        (fun _ (f : Ir.func) ->
+          Array.iter
+            (fun (b : Ir.block) ->
+              Array.iteri
+                (fun i inst ->
+                  match inst.Ir.op with
+                  | Ir.Alp a when a.Ir.alp_site = site ->
+                    Alcotest.(check int) "alp anchors its load" anchor_iid
+                      a.Ir.alp_anchor_iid;
+                    Alcotest.(check bool) "followed by the anchor" true
+                      (i + 1 < Array.length b.Ir.insts
+                      && b.Ir.insts.(i + 1).Ir.iid = anchor_iid);
+                    found := true
+                  | _ -> ())
+                b.Ir.insts)
+            f.Ir.blocks)
+        p.Ir.funcs;
+      Alcotest.(check bool) "alp present" true !found)
+    c.Pipeline.anchors.Anchors.anchor_sites
+
+let test_instrumented_program_still_verifies () =
+  let p, _ = build_fixture () in
+  let _ = Pipeline.compile p in
+  Verify.program p
+
+let test_unified_table_parents () =
+  let p, ab = build_fixture () in
+  let c = Pipeline.compile p in
+  let table = Pipeline.table_for c ~ab in
+  let entry_of_iid iid =
+    Array.to_list (Unified.entries table)
+    |> List.find_opt (fun e -> e.Unified.ue_iid = iid)
+  in
+  (* the head-load anchor's parent is the nbuckets anchor (htable node) *)
+  (match entry_of_iid (nth_access p "ht_insert" 2) with
+  | Some e -> (
+    match Unified.parent_of table e with
+    | Some parent ->
+      Alcotest.(check int) "head parent = nbuckets anchor"
+        (nth_access p "ht_insert" 0) parent.Unified.ue_iid
+    | None -> Alcotest.fail "head anchor has no parent")
+  | None -> Alcotest.fail "head entry missing");
+  (* the list key-load anchor's parent chain crosses the call boundary *)
+  match entry_of_iid (nth_access p "list_find" 0) with
+  | Some e -> (
+    match Unified.parent_of table e with
+    | Some parent ->
+      Alcotest.(check int) "list anchor parent = head anchor"
+        (nth_access p "ht_insert" 2) parent.Unified.ue_iid
+    | None -> Alcotest.fail "list anchor has no parent")
+  | None -> Alcotest.fail "list entry missing"
+
+let test_search_by_pc () =
+  let p, ab = build_fixture () in
+  let c = Pipeline.compile p in
+  let table = Pipeline.table_for c ~ab in
+  let iid = nth_access p "list_find" 1 in
+  let pc = Layout.pc_of_iid c.Pipeline.layout iid in
+  (match Unified.search_by_pc table pc with
+  | Some e -> Alcotest.(check int) "exact pc lookup" iid e.Unified.ue_iid
+  | None -> Alcotest.fail "pc lookup failed");
+  let low = Layout.truncate ~bits:12 pc in
+  match Unified.search_by_truncated_pc table low with
+  | Some e ->
+    (* small program: no aliasing, so the truncated lookup agrees *)
+    Alcotest.(check int) "truncated pc lookup" iid e.Unified.ue_iid
+  | None -> Alcotest.fail "truncated lookup failed"
+
+let test_anchor_of_resolves_pioneer () =
+  let p, ab = build_fixture () in
+  let c = Pipeline.compile p in
+  let table = Pipeline.table_for c ~ab in
+  let non_anchor =
+    Array.to_list (Unified.entries table)
+    |> List.find (fun e -> not e.Unified.ue_is_anchor)
+  in
+  match Unified.anchor_of table non_anchor with
+  | Some a -> Alcotest.(check bool) "resolves to anchor" true a.Unified.ue_is_anchor
+  | None -> Alcotest.fail "no anchor for non-anchor entry"
+
+let test_entry_of_site () =
+  let p, ab = build_fixture () in
+  let c = Pipeline.compile p in
+  let table = Pipeline.table_for c ~ab in
+  Hashtbl.iter
+    (fun _anchor_iid site ->
+      match Unified.entry_of_site table site with
+      | Some e ->
+        Alcotest.(check (option int)) "site matches" (Some site) e.Unified.ue_site
+      | None -> Alcotest.fail "site not in table")
+    c.Pipeline.anchors.Anchors.anchor_sites
+
+let test_naive_mode_instruments_everything () =
+  let p, _ = build_fixture () in
+  let c = Pipeline.compile ~mode:Anchors.Naive p in
+  let analyzed, anchors = Pipeline.static_stats c in
+  Alcotest.(check int) "all accesses instrumented" analyzed anchors;
+  Alcotest.(check bool) "more than dsa mode" true (anchors > 3)
+
+let test_pp_table () =
+  let p, ab = build_fixture () in
+  let c = Pipeline.compile p in
+  let s = Format.asprintf "%a" Unified.pp (Pipeline.table_for c ~ab) in
+  Alcotest.(check bool) "prints" true (String.length s > 40)
+
+(* structural invariants of every benchmark's compiled tables *)
+let test_invariants_all_benchmarks () =
+  List.iter
+    (fun w ->
+      let c = Pipeline.compile (w.Stx_workloads.Workload.build ()) in
+      Array.iter
+        (fun table ->
+          let entries = Unified.entries table in
+          Array.iter
+            (fun e ->
+              (* pioneers resolve to anchors *)
+              (match Unified.anchor_of table e with
+              | Some a ->
+                Alcotest.(check bool) "anchor_of yields anchor" true
+                  a.Unified.ue_is_anchor
+              | None ->
+                Alcotest.(check bool) "only non-anchors may fail to resolve"
+                  false e.Unified.ue_is_anchor);
+              (* parents are anchors and never self *)
+              (match Unified.parent_of table e with
+              | Some p ->
+                Alcotest.(check bool) "parent is anchor" true p.Unified.ue_is_anchor;
+                Alcotest.(check bool) "parent not self" true
+                  (p.Unified.ue_id <> e.Unified.ue_id)
+              | None -> ());
+              (* instrumented anchors carry a site and the site round-trips *)
+              match e.Unified.ue_site with
+              | Some site -> (
+                match Unified.entry_of_site table site with
+                | Some back ->
+                  Alcotest.(check (option int)) "site roundtrip" (Some site)
+                    back.Unified.ue_site
+                | None -> Alcotest.fail "site must be in the table")
+              | None -> ())
+            entries)
+        c.Pipeline.unified)
+    Stx_workloads.Registry.all
+
+let test_static_stats_sane_all_benchmarks () =
+  List.iter
+    (fun w ->
+      let c = Pipeline.compile (w.Stx_workloads.Workload.build ()) in
+      let lds, anchors = Pipeline.static_stats c in
+      Alcotest.(check bool)
+        (w.Stx_workloads.Workload.name ^ " has accesses")
+        true (lds > 0);
+      Alcotest.(check bool)
+        (w.Stx_workloads.Workload.name ^ " anchors <= accesses")
+        true
+        (anchors > 0 && anchors <= lds))
+    Stx_workloads.Registry.all
+
+let suite =
+  [
+    Alcotest.test_case "anchor classification (Algorithm 1)" `Quick
+      test_anchor_classification;
+    Alcotest.test_case "pioneer links" `Quick test_pioneer_links;
+    Alcotest.test_case "instrumentation inserts ALPs" `Quick
+      test_instrumentation_inserts_alps;
+    Alcotest.test_case "instrumented program verifies" `Quick
+      test_instrumented_program_still_verifies;
+    Alcotest.test_case "unified table parent chain (Figure 3)" `Quick
+      test_unified_table_parents;
+    Alcotest.test_case "search by pc" `Quick test_search_by_pc;
+    Alcotest.test_case "anchor_of resolves pioneers" `Quick
+      test_anchor_of_resolves_pioneer;
+    Alcotest.test_case "entry_of_site" `Quick test_entry_of_site;
+    Alcotest.test_case "naive mode instruments everything" `Quick
+      test_naive_mode_instruments_everything;
+    Alcotest.test_case "unified table prints" `Quick test_pp_table;
+    Alcotest.test_case "table invariants, all benchmarks" `Slow
+      test_invariants_all_benchmarks;
+    Alcotest.test_case "static stats sane, all benchmarks" `Quick
+      test_static_stats_sane_all_benchmarks;
+  ]

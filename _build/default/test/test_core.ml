@@ -1,0 +1,332 @@
+open Stx_tir
+open Stx_machine
+open Stx_core
+
+(* Fixture: a compiled mini program whose unified anchor table gives the
+   policy real entries to work with (a hashtable-of-lists atomic block with
+   a parent chain, as in Figure 3). *)
+
+let node_ty = Types.make "n" [ ("key", Types.Scalar); ("next", Types.Ptr "n") ]
+let box_ty = Types.make "box" [ ("head", Types.Ptr "n") ]
+
+let compile_fixture () =
+  let p = Ir.create_program () in
+  Ir.add_struct p node_ty;
+  Ir.add_struct p box_ty;
+  let b = Builder.create p "walk" ~params:[ "box" ] in
+  let cur = Builder.reg b "cur" in
+  Builder.load_to b cur (Builder.gep b (Builder.param b "box") "box" "head");
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0))
+    (fun b -> Builder.load_to b cur (Builder.gep b (Ir.Reg cur) "n" "next"));
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab = Ir.add_atomic p ~name:"walk" ~func:"walk" in
+  Stx_compiler.Pipeline.compile p |> fun c -> (c, ab)
+
+let table () =
+  let c, ab = compile_fixture () in
+  Stx_compiler.Pipeline.table_for c ~ab
+
+(* anchors: the box-head load (parent) and the list-node load (child) *)
+let anchors tbl =
+  Array.to_list (Stx_compiler.Unified.entries tbl)
+  |> List.filter (fun e -> e.Stx_compiler.Unified.ue_is_anchor)
+
+let params = Policy.default_params
+
+let fresh_ctx () =
+  let tbl = table () in
+  Abcontext.create ~ab:0 tbl
+
+(* --- advisory locks ---------------------------------------------------- *)
+
+let lock_fixture () =
+  let mem = Memory.create () in
+  let alloc = Alloc.create ~words_per_line:8 mem in
+  let htm = Stx_htm.Htm.create (Config.with_cores 4 Config.default) mem alloc in
+  Advisory_lock.create ~count:16 htm alloc
+
+let test_lock_acquire_release () =
+  let locks = lock_fixture () in
+  let idx = Advisory_lock.index_for locks ~addr:12345 in
+  Alcotest.(check bool) "acquire" true (Advisory_lock.try_acquire locks ~core:2 ~idx);
+  Alcotest.(check (option int)) "holder" (Some 2) (Advisory_lock.holder locks ~idx);
+  Alcotest.(check bool) "second acquire fails" false
+    (Advisory_lock.try_acquire locks ~core:3 ~idx);
+  let contended = ref false in
+  Advisory_lock.release locks ~core:2 ~idx ~contended;
+  Alcotest.(check bool) "contention observed" true !contended;
+  Alcotest.(check (option int)) "free" None (Advisory_lock.holder locks ~idx)
+
+let test_lock_uncontended_flag () =
+  let locks = lock_fixture () in
+  ignore (Advisory_lock.try_acquire locks ~core:0 ~idx:3);
+  let contended = ref true in
+  Advisory_lock.release locks ~core:0 ~idx:3 ~contended;
+  Alcotest.(check bool) "no contention" false !contended
+
+let test_lock_release_requires_holder () =
+  let locks = lock_fixture () in
+  ignore (Advisory_lock.try_acquire locks ~core:0 ~idx:5);
+  Alcotest.(check bool) "wrong releaser raises" true
+    (try
+       Advisory_lock.release locks ~core:1 ~idx:5 ~contended:(ref false);
+       false
+     with Invalid_argument _ -> true)
+
+let test_lock_same_line_same_lock () =
+  let locks = lock_fixture () in
+  Alcotest.(check int) "same line maps to one lock"
+    (Advisory_lock.index_for locks ~addr:800)
+    (Advisory_lock.index_for locks ~addr:807)
+
+let test_lock_waiter_counting () =
+  let locks = lock_fixture () in
+  Alcotest.(check int) "none" 0 (Advisory_lock.waiters locks ~idx:1);
+  Advisory_lock.add_waiter locks ~idx:1;
+  Advisory_lock.add_waiter locks ~idx:1;
+  Alcotest.(check int) "two" 2 (Advisory_lock.waiters locks ~idx:1);
+  Advisory_lock.remove_waiter locks ~idx:1;
+  Advisory_lock.remove_waiter locks ~idx:1;
+  Advisory_lock.remove_waiter locks ~idx:1;
+  Alcotest.(check int) "never negative" 0 (Advisory_lock.waiters locks ~idx:1)
+
+(* --- abcontext ---------------------------------------------------------- *)
+
+let test_history_ring () =
+  let ctx = fresh_ctx () in
+  for i = 1 to 12 do
+    Abcontext.append ctx
+      (Some { Abcontext.r_anchor = Some i; Abcontext.r_addr = Some i })
+  done;
+  (* ring size 8: entries 5..12 remain *)
+  Alcotest.(check int) "old entry gone" 0 (Abcontext.count_anchor ctx 4);
+  Alcotest.(check int) "recent entry present" 1 (Abcontext.count_anchor ctx 12)
+
+let test_counts () =
+  let ctx = fresh_ctx () in
+  for _ = 1 to 3 do
+    Abcontext.append ctx
+      (Some { Abcontext.r_anchor = Some 7; Abcontext.r_addr = Some 42 })
+  done;
+  Abcontext.append ctx None;
+  Alcotest.(check int) "anchor count" 3 (Abcontext.count_anchor ctx 7);
+  Alcotest.(check int) "addr count" 3 (Abcontext.count_addr ctx 42);
+  Alcotest.(check int) "abort density" 3 (Abcontext.abort_density ctx)
+
+let test_arm_and_tx_begin_restore () =
+  let ctx = fresh_ctx () in
+  Abcontext.arm ctx ~anchor:9 ~site:5 ~block_addr:64 ();
+  Alcotest.(check bool) "consume" true (Abcontext.consume_active ctx ~site:5);
+  Alcotest.(check bool) "consumed once" false (Abcontext.consume_active ctx ~site:5);
+  Abcontext.on_tx_begin ctx;
+  Alcotest.(check bool) "restored at next tx" true (Abcontext.consume_active ctx ~site:5)
+
+let test_address_matched () =
+  let ctx = fresh_ctx () in
+  Abcontext.arm ctx ~site:5 ~block_addr:64 ();
+  Alcotest.(check bool) "same line" true
+    (Abcontext.address_matched ctx ~words_per_line:8 ~addr:71);
+  Alcotest.(check bool) "other line" false
+    (Abcontext.address_matched ctx ~words_per_line:8 ~addr:72);
+  Abcontext.arm ctx ~site:5 ~block_addr:0 ();
+  Alcotest.(check bool) "wildcard" true
+    (Abcontext.address_matched ctx ~words_per_line:8 ~addr:72)
+
+let test_probe_due_period () =
+  let ctx = fresh_ctx () in
+  Abcontext.arm ctx ~site:1 ~block_addr:0 ();
+  let fired = ref 0 in
+  for _ = 1 to 16 do
+    if Abcontext.probe_due ctx ~period:4 then incr fired
+  done;
+  Alcotest.(check int) "one probe per period" 4 !fired;
+  Abcontext.disarm ctx;
+  Alcotest.(check bool) "no probe when disarmed" false
+    (Abcontext.probe_due ctx ~period:1)
+
+(* --- policy (Figure 6) -------------------------------------------------- *)
+
+let drive_aborts ctx anchor ~addr ~times ~retries =
+  let d = ref Policy.Training in
+  for _ = 1 to times do
+    d :=
+      Policy.activate params ctx ~anchor:(Some anchor) ~conf_addr:addr
+        ~line:(addr / 8) ~retries
+  done;
+  !d
+
+let test_policy_training_then_precise () =
+  let tbl = table () in
+  let ctx = Abcontext.create ~ab:0 tbl in
+  let anchor = List.hd (anchors tbl) in
+  (* first two aborts: not enough evidence *)
+  Alcotest.(check bool) "training first" true
+    (drive_aborts ctx anchor ~addr:64 ~times:1 ~retries:0 = Policy.Training);
+  Alcotest.(check bool) "still training" true
+    (drive_aborts ctx anchor ~addr:64 ~times:1 ~retries:0 = Policy.Training);
+  (* third and fourth: both PC and address recurrent -> precise *)
+  ignore (drive_aborts ctx anchor ~addr:64 ~times:1 ~retries:0);
+  let d = drive_aborts ctx anchor ~addr:64 ~times:1 ~retries:0 in
+  Alcotest.(check bool) "precise mode" true (d = Policy.Precise);
+  Alcotest.(check int) "block address set" 64 ctx.Abcontext.block_addr
+
+let test_policy_coarse_on_wandering_addresses () =
+  let tbl = table () in
+  let ctx = Abcontext.create ~ab:0 tbl in
+  let anchor = List.hd (anchors tbl) in
+  let d = ref Policy.Training in
+  List.iteri
+    (fun i addr ->
+      ignore i;
+      d :=
+        Policy.activate params ctx ~anchor:(Some anchor) ~conf_addr:addr
+          ~line:(addr / 8) ~retries:0)
+    [ 64; 128; 256; 512; 1024 ];
+  Alcotest.(check bool) "coarse mode" true (!d = Policy.Coarse);
+  Alcotest.(check int) "wild card address" 0 ctx.Abcontext.block_addr
+
+let test_policy_promotion () =
+  let tbl = table () in
+  let ctx = Abcontext.create ~ab:0 tbl in
+  (* the child anchor has a parent (box -> node edge) *)
+  let child =
+    anchors tbl
+    |> List.find (fun e -> e.Stx_compiler.Unified.ue_parent <> None)
+  in
+  let parent = Option.get (Stx_compiler.Unified.parent_of tbl child) in
+  (* wandering addresses, then an abort with many retries -> promote *)
+  List.iter
+    (fun addr ->
+      ignore
+        (Policy.activate params ctx ~anchor:(Some child) ~conf_addr:addr
+           ~line:(addr / 8) ~retries:0))
+    [ 64; 128; 256; 512 ];
+  let d =
+    Policy.activate params ctx ~anchor:(Some child) ~conf_addr:2048 ~line:256
+      ~retries:(params.Policy.prom_thr + 1)
+  in
+  Alcotest.(check bool) "promoted" true (d = Policy.Promoted);
+  Alcotest.(check int) "parent site armed"
+    (Option.get parent.Stx_compiler.Unified.ue_site)
+    ctx.Abcontext.armed_site
+
+let test_policy_no_anchor_is_training () =
+  let ctx = fresh_ctx () in
+  let d =
+    Policy.activate params ctx ~anchor:None ~conf_addr:64 ~line:8 ~retries:0
+  in
+  Alcotest.(check bool) "training" true (d = Policy.Training);
+  Alcotest.(check int) "disarmed" Abcontext.no_site ctx.Abcontext.armed_site
+
+let test_policy_decay_disarms () =
+  let tbl = table () in
+  let ctx = Abcontext.create ~ab:0 tbl in
+  let anchor = List.hd (anchors tbl) in
+  ignore (drive_aborts ctx anchor ~addr:64 ~times:4 ~retries:0);
+  Alcotest.(check bool) "armed" true (ctx.Abcontext.armed_site <> Abcontext.no_site);
+  (* uncontended-lock commits decay the evidence until the arm drops *)
+  for _ = 1 to 10 do
+    Policy.on_commit_uncontended_lock params ctx
+  done;
+  Alcotest.(check int) "disarmed by decay" Abcontext.no_site ctx.Abcontext.armed_site;
+  Alcotest.(check int) "history cleared" 0 (Abcontext.abort_density ctx)
+
+let test_policy_probe_streak_disarms () =
+  let tbl = table () in
+  let ctx = Abcontext.create ~ab:0 tbl in
+  let anchor = List.hd (anchors tbl) in
+  ignore (drive_aborts ctx anchor ~addr:64 ~times:4 ~retries:0);
+  Policy.on_probe_commit ctx;
+  Alcotest.(check bool) "one probe not enough" true
+    (ctx.Abcontext.armed_site <> Abcontext.no_site);
+  Policy.on_probe_commit ctx;
+  Alcotest.(check int) "two probes disarm" Abcontext.no_site ctx.Abcontext.armed_site
+
+let test_policy_resolve_anchor_via_pioneer () =
+  let tbl = table () in
+  let non_anchor =
+    Array.to_list (Stx_compiler.Unified.entries tbl)
+    |> List.find_opt (fun e -> not e.Stx_compiler.Unified.ue_is_anchor)
+  in
+  match non_anchor with
+  | None -> () (* fixture may classify everything as anchors *)
+  | Some e -> (
+    match Stx_compiler.Unified.anchor_of tbl e with
+    | Some a -> Alcotest.(check bool) "pioneer is anchor" true a.Stx_compiler.Unified.ue_is_anchor
+    | None -> Alcotest.fail "pioneer resolution failed")
+
+let test_addr_only_policy () =
+  let ctx = fresh_ctx () in
+  (* the count must exceed ADDR_THR before the decision, so the fourth
+     abort is the first to arm *)
+  for _ = 1 to 4 do
+    Policy.activate_addr_only params ctx ~conf_addr:64 ~line:8
+  done;
+  Alcotest.(check int) "entry pseudo site" Abcontext.entry_site ctx.Abcontext.armed_site;
+  Alcotest.(check int) "precise address" 64 ctx.Abcontext.block_addr
+
+(* --- softcpc ------------------------------------------------------------ *)
+
+let test_softcpc () =
+  let m = Softcpc.create () in
+  Alcotest.(check bool) "first note stores" true (Softcpc.note m ~line:5 ~site:3);
+  Alcotest.(check bool) "second note skips" false (Softcpc.note m ~line:5 ~site:9);
+  Alcotest.(check (option int)) "first writer wins" (Some 3) (Softcpc.lookup m ~line:5);
+  Alcotest.(check (option int)) "absent" None (Softcpc.lookup m ~line:6);
+  Alcotest.(check int) "size" 1 (Softcpc.size m)
+
+(* --- mode ---------------------------------------------------------------- *)
+
+let test_mode_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "roundtrip" true
+        (Mode.of_string (Mode.to_string m) = Some m))
+    Mode.all;
+  Alcotest.(check bool) "unknown" true (Mode.of_string "bogus" = None)
+
+let qcheck_ring_counts_bounded =
+  QCheck.Test.make ~name:"history counts never exceed ring size" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 40) (int_range 0 5))
+    (fun keys ->
+      let ctx = fresh_ctx () in
+      List.iter
+        (fun k ->
+          Abcontext.append ctx
+            (Some { Abcontext.r_anchor = Some k; Abcontext.r_addr = Some k }))
+        keys;
+      List.for_all (fun k -> Abcontext.count_anchor ctx k <= 8) [ 0; 1; 2; 3; 4; 5 ])
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "lock acquire/release" `Quick test_lock_acquire_release;
+    Alcotest.test_case "lock uncontended flag" `Quick test_lock_uncontended_flag;
+    Alcotest.test_case "lock release requires holder" `Quick
+      test_lock_release_requires_holder;
+    Alcotest.test_case "same line same lock" `Quick test_lock_same_line_same_lock;
+    Alcotest.test_case "lock waiter counting" `Quick test_lock_waiter_counting;
+    Alcotest.test_case "history ring" `Quick test_history_ring;
+    Alcotest.test_case "history counts" `Quick test_counts;
+    Alcotest.test_case "arm/consume/restore" `Quick test_arm_and_tx_begin_restore;
+    Alcotest.test_case "address matching" `Quick test_address_matched;
+    Alcotest.test_case "probe period" `Quick test_probe_due_period;
+    Alcotest.test_case "policy: training then precise" `Quick
+      test_policy_training_then_precise;
+    Alcotest.test_case "policy: coarse on wandering addresses" `Quick
+      test_policy_coarse_on_wandering_addresses;
+    Alcotest.test_case "policy: locking promotion" `Quick test_policy_promotion;
+    Alcotest.test_case "policy: no anchor -> training" `Quick
+      test_policy_no_anchor_is_training;
+    Alcotest.test_case "policy: decay disarms" `Quick test_policy_decay_disarms;
+    Alcotest.test_case "policy: probe streak disarms" `Quick
+      test_policy_probe_streak_disarms;
+    Alcotest.test_case "policy: pioneer resolution" `Quick
+      test_policy_resolve_anchor_via_pioneer;
+    Alcotest.test_case "policy: AddrOnly" `Quick test_addr_only_policy;
+    Alcotest.test_case "software cpc map" `Quick test_softcpc;
+    Alcotest.test_case "mode roundtrip" `Quick test_mode_roundtrip;
+    q qcheck_ring_counts_bounded;
+  ]

@@ -1,0 +1,151 @@
+open Stx_tir
+open Stx_machine
+open Stx_core
+open Stx_sim
+
+(* Differential testing of the interpreter: random straight-line programs
+   over a handful of registers and a small private scratch array are
+   executed both by the simulated machine and by a direct OCaml reference
+   evaluator; the full final state must agree. The same program is also run
+   wrapped in an atomic block, checking that transactional write-buffering
+   is invisible to single-threaded semantics. *)
+
+let nregs = 6
+let nslots = 12
+
+type rop =
+  | Const of int * int (* reg, value *)
+  | Bin of Ir.binop * int * int * int (* dst, a, b *)
+  | Store of int * int (* slot, src reg *)
+  | Load of int * int (* dst reg, slot *)
+
+let safe_binops =
+  [| Ir.Add; Ir.Sub; Ir.Mul; Ir.And; Ir.Or; Ir.Xor; Ir.Eq; Ir.Ne; Ir.Lt; Ir.Le |]
+
+let gen_rop =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, map2 (fun r v -> Const (r, v)) (int_bound (nregs - 1)) (int_range (-50) 50));
+        ( 4,
+          map3
+            (fun op (d, a) b -> Bin (safe_binops.(op), d, a, b))
+            (int_bound (Array.length safe_binops - 1))
+            (pair (int_bound (nregs - 1)) (int_bound (nregs - 1)))
+            (int_bound (nregs - 1)) );
+        (2, map2 (fun s r -> Store (s, r)) (int_bound (nslots - 1)) (int_bound (nregs - 1)));
+        (2, map2 (fun d s -> Load (d, s)) (int_bound (nregs - 1)) (int_bound (nslots - 1)));
+      ])
+
+let gen_prog = QCheck.Gen.(list_size (int_range 1 60) gen_rop)
+
+(* reference semantics; values stay within native int like the machine *)
+let reference ops =
+  let regs = Array.make nregs 0 in
+  let slots = Array.make nslots 0 in
+  let eval op a b =
+    match op with
+    | Ir.Add -> a + b
+    | Ir.Sub -> a - b
+    | Ir.Mul -> a * b
+    | Ir.And -> a land b
+    | Ir.Or -> a lor b
+    | Ir.Xor -> a lxor b
+    | Ir.Eq -> if a = b then 1 else 0
+    | Ir.Ne -> if a <> b then 1 else 0
+    | Ir.Lt -> if a < b then 1 else 0
+    | Ir.Le -> if a <= b then 1 else 0
+    | _ -> assert false
+  in
+  List.iter
+    (fun rop ->
+      match rop with
+      | Const (r, v) -> regs.(r) <- v
+      | Bin (op, d, a, b) -> regs.(d) <- eval op regs.(a) regs.(b)
+      | Store (s, r) -> slots.(s) <- regs.(r)
+      | Load (d, s) -> regs.(d) <- slots.(s))
+    ops;
+  (regs, slots)
+
+(* build a TIR function executing [ops] on (scratch, out) and dumping the
+   final registers to out..out+nregs-1 *)
+let build_body b ops =
+  let reg i = Builder.reg b (Printf.sprintf "r%d" i) in
+  for i = 0 to nregs - 1 do
+    Builder.mov b (reg i) (Ir.Imm 0)
+  done;
+  List.iter
+    (fun rop ->
+      match rop with
+      | Const (r, v) -> Builder.mov b (reg r) (Ir.Imm v)
+      | Bin (op, d, a, bb) ->
+        Builder.bin_to b (reg d) op (Ir.Reg (reg a)) (Ir.Reg (reg bb))
+      | Store (s, r) ->
+        Builder.store b
+          ~addr:(Builder.idx b (Builder.param b "scratch") ~esize:1 (Ir.Imm s))
+          (Ir.Reg (reg r))
+      | Load (d, s) ->
+        Builder.load_to b (reg d)
+          (Builder.idx b (Builder.param b "scratch") ~esize:1 (Ir.Imm s)))
+    ops;
+  for i = 0 to nregs - 1 do
+    Builder.store b
+      ~addr:(Builder.idx b (Builder.param b "out") ~esize:1 (Ir.Imm i))
+      (Ir.Reg (reg i))
+  done
+
+let run_machine ~transactional ops =
+  let p = Ir.create_program () in
+  let b = Builder.create p "body" ~params:[ "scratch"; "out" ] in
+  build_body b ops;
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab = Ir.add_atomic p ~name:"body" ~func:"body" in
+  let bm = Builder.create p "main" ~params:[ "scratch"; "out" ] in
+  if transactional then
+    Builder.atomic_call bm ab [ Builder.param bm "scratch"; Builder.param bm "out" ]
+  else Builder.call bm "body" [ Builder.param bm "scratch"; Builder.param bm "out" ];
+  Builder.ret bm None;
+  ignore (Builder.finish bm);
+  let compiled = Stx_compiler.Pipeline.compile p in
+  let memo = ref (0, 0, None) in
+  let spec =
+    {
+      Machine.compiled;
+      Machine.thread_main = "main";
+      Machine.thread_args =
+        (fun env ~threads ->
+          let scratch = Alloc.alloc_shared env.Machine.alloc nslots in
+          let out = Alloc.alloc_shared env.Machine.alloc nregs in
+          memo := (scratch, out, Some env.Machine.memory);
+          Array.make threads [| scratch; out |]);
+    }
+  in
+  ignore
+    (Machine.run ~seed:1
+       ~cfg:(Config.with_cores 1 Config.default)
+       ~mode:Mode.Staggered_hw spec);
+  let scratch, out, mem = !memo in
+  let mem = Option.get mem in
+  ( Array.init nregs (fun i -> Memory.load mem (out + i)),
+    Array.init nslots (fun i -> Memory.load mem (scratch + i)) )
+
+let agree ~transactional ops =
+  let ref_regs, ref_slots = reference ops in
+  let m_regs, m_slots = run_machine ~transactional ops in
+  ref_regs = m_regs && ref_slots = m_slots
+
+let qcheck_plain =
+  QCheck.Test.make ~name:"random programs: machine = reference (plain)" ~count:60
+    (QCheck.make ~print:(fun l -> string_of_int (List.length l)) gen_prog)
+    (fun ops -> agree ~transactional:false ops)
+
+let qcheck_tx =
+  QCheck.Test.make ~name:"random programs: machine = reference (transactional)"
+    ~count:60
+    (QCheck.make ~print:(fun l -> string_of_int (List.length l)) gen_prog)
+    (fun ops -> agree ~transactional:true ops)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [ q qcheck_plain; q qcheck_tx ]

@@ -1,0 +1,215 @@
+open Stx_tir
+open Stx_dsa
+
+(* Shared fixture: a genome-like program — a hash table whose buckets hold
+   sorted lists, mirroring Figure 3's structure. *)
+
+let node_ty = Types.make "lnode" [ ("key", Types.Scalar); ("next", Types.Ptr "lnode") ]
+
+let ht_ty =
+  Types.make "htable" [ ("nbuckets", Types.Scalar); ("buckets", Types.Ptr "bucket") ]
+
+let bucket_ty = Types.make "bucket" [ ("head", Types.Ptr "lnode") ]
+
+let build_fixture () =
+  let p = Ir.create_program () in
+  Ir.add_struct p node_ty;
+  Ir.add_struct p ht_ty;
+  Ir.add_struct p bucket_ty;
+  (* list_find(head) walks nodes *)
+  let b = Builder.create p "list_find" ~params:[ "head"; "key" ] in
+  let cur = Builder.reg b "cur" in
+  Builder.mov b cur (Builder.param b "head");
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0))
+    (fun b ->
+      let k = Builder.load b (Builder.gep b (Ir.Reg cur) "lnode" "key") in
+      Builder.when_ b
+        (Builder.bin b Ir.Eq k (Builder.param b "key"))
+        (fun b -> Builder.ret b (Some (Ir.Reg cur)));
+      Builder.load_to b cur (Builder.gep b (Ir.Reg cur) "lnode" "next"));
+  Builder.ret b (Some (Ir.Imm 0));
+  ignore (Builder.finish b);
+  (* ht_insert(ht, key): loads nbuckets, indexes buckets, walks the list *)
+  let b = Builder.create p "ht_insert" ~params:[ "ht"; "key" ] in
+  let nb = Builder.load b (Builder.gep b (Builder.param b "ht") "htable" "nbuckets") in
+  let slot = Builder.bin b Ir.Rem (Builder.param b "key") nb in
+  let buckets =
+    Builder.load b (Builder.gep b (Builder.param b "ht") "htable" "buckets")
+  in
+  let bucket = Builder.idx b buckets ~esize:1 slot in
+  let head = Builder.load b (Builder.gep b bucket "bucket" "head") in
+  let found = Builder.call_v b "list_find" [ head; Builder.param b "key" ] in
+  Builder.ret b (Some found);
+  ignore (Builder.finish b);
+  Verify.program p;
+  p
+
+let find_access p dsa ~func ~nth_pred =
+  (* nth load/store in layout order of [func] satisfying predicate index *)
+  let f = Ir.find_func p func in
+  let count = ref 0 in
+  let result = ref None in
+  Ir.iter_insts f (fun _ _ inst ->
+      if Ir.is_mem_access inst.Ir.op then begin
+        if !count = nth_pred && !result = None then result := Some inst.Ir.iid;
+        incr count
+      end);
+  match !result with
+  | Some iid -> Dsa.access_node dsa iid
+  | None -> None
+
+let test_list_nodes_unify () =
+  let p = build_fixture () in
+  let dsa = Dsa.analyze p in
+  (* both loads in list_find touch the same DSNode (the list summary) *)
+  match
+    ( find_access p dsa ~func:"list_find" ~nth_pred:0,
+      find_access p dsa ~func:"list_find" ~nth_pred:1 )
+  with
+  | Some (n1, f1), Some (n2, f2) ->
+    Alcotest.(check bool) "same node" true (Dsnode.same n1 n2);
+    Alcotest.(check bool) "different fields" true (f1 <> f2 || Dsnode.is_collapsed n1)
+  | _ -> Alcotest.fail "accesses not analyzed"
+
+let test_list_node_has_self_edge () =
+  let p = build_fixture () in
+  let dsa = Dsa.analyze p in
+  match find_access p dsa ~func:"list_find" ~nth_pred:1 with
+  | Some (n, _) ->
+    let next_field = Types.field_index node_ty "next" in
+    (match Dsnode.edge n next_field with
+    | Some tgt -> Alcotest.(check bool) "self edge" true (Dsnode.same n tgt)
+    | None -> Alcotest.fail "no next edge")
+  | None -> Alcotest.fail "no access"
+
+let test_ht_and_list_are_distinct_nodes () =
+  let p = build_fixture () in
+  let dsa = Dsa.analyze p in
+  match
+    ( find_access p dsa ~func:"ht_insert" ~nth_pred:0 (* nbuckets load *),
+      find_access p dsa ~func:"list_find" ~nth_pred:0 )
+  with
+  | Some (ht_node, _), Some (list_node, _) ->
+    Alcotest.(check bool) "distinct" false (Dsnode.same ht_node list_node);
+    Alcotest.(check (option string)) "ht typed" (Some "htable") (Dsnode.ty ht_node)
+  | _ -> Alcotest.fail "accesses not analyzed"
+
+let test_caller_reaches_list_via_edges () =
+  let p = build_fixture () in
+  let dsa = Dsa.analyze p in
+  (* In ht_insert's graph: htable --buckets--> bucket --head--> lnode clone.
+     The head load in ht_insert must be linked from the bucket node. *)
+  match find_access p dsa ~func:"ht_insert" ~nth_pred:2 (* head load *) with
+  | Some (bucket_node, _) ->
+    let head_field = 0 in
+    (match Dsnode.edge bucket_node head_field with
+    | Some _ -> ()
+    | None -> Alcotest.fail "bucket has no head edge")
+  | None -> Alcotest.fail "no access"
+
+let test_callsite_map_translates () =
+  let p = build_fixture () in
+  let dsa = Dsa.analyze p in
+  (* find the call instruction in ht_insert *)
+  let f = Ir.find_func p "ht_insert" in
+  let call_iid = ref None in
+  Ir.iter_insts f (fun _ _ inst ->
+      if Ir.callee inst.Ir.op = Some "list_find" then call_iid := Some inst.Ir.iid);
+  let call_iid = Option.get !call_iid in
+  (* list_find's own list node translates to a node in ht_insert's graph
+     that differs from the callee's node object (it was cloned) *)
+  match find_access p dsa ~func:"list_find" ~nth_pred:0 with
+  | Some (callee_node, _) ->
+    let caller_node = Dsa.map_callee_node dsa ~call_iid callee_node in
+    Alcotest.(check bool) "mapped to a clone" false (Dsnode.same callee_node caller_node)
+  | None -> Alcotest.fail "no callee access"
+
+let test_param_argument_unification () =
+  let p = build_fixture () in
+  let dsa = Dsa.analyze p in
+  (* the head loaded in ht_insert and the clone of list_find's node unify *)
+  let f = Ir.find_func p "ht_insert" in
+  let call_iid = ref None in
+  Ir.iter_insts f (fun _ _ inst ->
+      if Ir.callee inst.Ir.op = Some "list_find" then call_iid := Some inst.Ir.iid);
+  let call_iid = Option.get !call_iid in
+  match
+    ( find_access p dsa ~func:"ht_insert" ~nth_pred:2 (* head load: bucket node *),
+      find_access p dsa ~func:"list_find" ~nth_pred:0 )
+  with
+  | Some (bucket_node, _), Some (callee_list, _) ->
+    let caller_list = Dsa.map_callee_node dsa ~call_iid callee_list in
+    (match Dsnode.edge bucket_node 0 with
+    | Some head_target ->
+      Alcotest.(check bool) "head target unified with callee clone" true
+        (Dsnode.same head_target caller_list)
+    | None -> Alcotest.fail "no head edge")
+  | _ -> Alcotest.fail "accesses not analyzed"
+
+let test_unify_is_idempotent () =
+  let a = Dsnode.fresh ~ty:"x" () and b = Dsnode.fresh ~ty:"x" () in
+  Dsnode.unify a b;
+  Dsnode.unify a b;
+  Alcotest.(check bool) "same" true (Dsnode.same a b);
+  Alcotest.(check (option string)) "type kept" (Some "x") (Dsnode.ty a)
+
+let test_unify_type_mismatch_collapses () =
+  let a = Dsnode.fresh ~ty:"x" () and b = Dsnode.fresh ~ty:"y" () in
+  Dsnode.unify a b;
+  Alcotest.(check bool) "collapsed" true (Dsnode.is_collapsed a)
+
+let test_unify_cyclic_terminates () =
+  (* a -> a (self loop), b -> b; unify must terminate *)
+  let a = Dsnode.fresh () and b = Dsnode.fresh () in
+  Dsnode.unify (Dsnode.edge_or_create a 1 ~ty:None) a;
+  Dsnode.unify (Dsnode.edge_or_create b 1 ~ty:None) b;
+  Dsnode.unify a b;
+  Alcotest.(check bool) "merged" true (Dsnode.same a b)
+
+let test_collapse_merges_edges () =
+  let a = Dsnode.fresh () in
+  let t1 = Dsnode.edge_or_create a 0 ~ty:None in
+  let t2 = Dsnode.edge_or_create a 1 ~ty:None in
+  Dsnode.collapse a;
+  Alcotest.(check bool) "targets merged" true (Dsnode.same t1 t2);
+  Alcotest.(check int) "single edge" 1 (List.length (Dsnode.edges a))
+
+let test_accesses_analyzed_counts () =
+  let p = build_fixture () in
+  let dsa = Dsa.analyze p in
+  Alcotest.(check bool) "several accesses" true (Dsa.accesses_analyzed dsa >= 5)
+
+let qcheck_unify_commutative =
+  QCheck.Test.make ~name:"unify commutes on fresh pairs" ~count:100
+    QCheck.(pair bool bool)
+    (fun (collapse_a, collapse_b) ->
+      let mk c =
+        let n = Dsnode.fresh ~ty:"t" () in
+        if c then Dsnode.collapse n;
+        n
+      in
+      let a1 = mk collapse_a and b1 = mk collapse_b in
+      Dsnode.unify a1 b1;
+      let a2 = mk collapse_a and b2 = mk collapse_b in
+      Dsnode.unify b2 a2;
+      Dsnode.is_collapsed a1 = Dsnode.is_collapsed a2
+      && Dsnode.ty a1 = Dsnode.ty a2)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "list nodes unify into summary" `Quick test_list_nodes_unify;
+    Alcotest.test_case "list node has self edge" `Quick test_list_node_has_self_edge;
+    Alcotest.test_case "ht and list distinct" `Quick test_ht_and_list_are_distinct_nodes;
+    Alcotest.test_case "caller reaches list via edges" `Quick
+      test_caller_reaches_list_via_edges;
+    Alcotest.test_case "callsite map translates" `Quick test_callsite_map_translates;
+    Alcotest.test_case "param/arg unification" `Quick test_param_argument_unification;
+    Alcotest.test_case "unify idempotent" `Quick test_unify_is_idempotent;
+    Alcotest.test_case "type mismatch collapses" `Quick test_unify_type_mismatch_collapses;
+    Alcotest.test_case "cyclic unify terminates" `Quick test_unify_cyclic_terminates;
+    Alcotest.test_case "collapse merges edges" `Quick test_collapse_merges_edges;
+    Alcotest.test_case "accesses analyzed counted" `Quick test_accesses_analyzed_counts;
+    q qcheck_unify_commutative;
+  ]

@@ -1,0 +1,134 @@
+open Stx_tir
+open Stx_machine
+open Stx_core
+open Stx_sim
+open Stx_workloads
+
+(* Tests for the later features: read-only analysis, whole-transaction
+   scheduling, TSV export, per-atomic-block statistics, and the coherence
+   upgrade cost. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+(* --- read-only atomic-block analysis ------------------------------------ *)
+
+let test_read_only_analysis () =
+  let p = Ir.create_program () in
+  Stx_tstruct.Tlist.register p;
+  let ab_l = Ir.add_atomic p ~name:"lookup" ~func:Stx_tstruct.Tlist.lookup_fn in
+  let ab_i = Ir.add_atomic p ~name:"insert" ~func:Stx_tstruct.Tlist.insert_fn in
+  let b = Builder.create p "main" ~params:[ "head" ] in
+  ignore (Builder.atomic_call_v b ab_l [ Builder.param b "head"; Ir.Imm 1 ]);
+  ignore (Builder.atomic_call_v b ab_i [ Builder.param b "head"; Ir.Imm 1 ]);
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let c = Stx_compiler.Pipeline.compile p in
+  Alcotest.(check bool) "lookup is read-only" true
+    (Stx_compiler.Pipeline.is_read_only c ~ab:ab_l);
+  Alcotest.(check bool) "insert writes" false
+    (Stx_compiler.Pipeline.is_read_only c ~ab:ab_i)
+
+let test_read_only_through_calls () =
+  (* a wrapper that calls a writer is itself not read-only *)
+  let p = Ir.create_program () in
+  Stx_tstruct.Tlist.register p;
+  let b = Builder.create p "wrapper" ~params:[ "head" ] in
+  ignore (Builder.call_v b Stx_tstruct.Tlist.delete_fn [ Builder.param b "head"; Ir.Imm 3 ]);
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab = Ir.add_atomic p ~name:"wrapped_delete" ~func:"wrapper" in
+  let b = Builder.create p "main" ~params:[ "head" ] in
+  Builder.atomic_call b ab [ Builder.param b "head" ];
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let c = Stx_compiler.Pipeline.compile p in
+  Alcotest.(check bool) "writer through call detected" false
+    (Stx_compiler.Pipeline.is_read_only c ~ab)
+
+(* --- whole-transaction scheduling mode ----------------------------------- *)
+
+let test_tx_sched_serializes () =
+  let w = Option.get (Registry.find "list-hi") in
+  let run mode =
+    Machine.run ~seed:4
+      ~cfg:(Config.with_cores 8 Config.default)
+      ~mode
+      (Workload.spec ~instrument:(Mode.uses_alps mode) ~scale:0.2 w)
+  in
+  let base = run Mode.Baseline in
+  let sched = run Mode.Tx_sched in
+  Alcotest.(check bool) "txsched acquires per-block locks" true
+    (sched.Stats.lock_acquires > 0);
+  Alcotest.(check bool) "txsched reduces aborts" true
+    (sched.Stats.aborts < base.Stats.aborts);
+  Alcotest.(check int) "same commits" base.Stats.commits sched.Stats.commits
+
+(* --- TSV export ----------------------------------------------------------- *)
+
+let test_export_writes_tsv () =
+  let dir = Filename.temp_file "stx" "" in
+  Sys.remove dir;
+  let ctx = Stx_harness.Exp.create ~seed:2 ~scale:0.05 ~threads:2 () in
+  let paths = Stx_harness.Export.write_all ctx ~dir in
+  Alcotest.(check int) "four files" 4 (List.length paths);
+  List.iter
+    (fun path ->
+      let ic = open_in path in
+      let header = input_line ic in
+      let row = input_line ic in
+      close_in ic;
+      Alcotest.(check bool) "header has tabs" true (String.contains header '\t');
+      Alcotest.(check bool) "row has data" true (String.length row > 2))
+    paths
+
+(* --- per-atomic-block statistics ------------------------------------------ *)
+
+let test_per_ab_stats () =
+  let w = Option.get (Registry.find "intruder") in
+  let s =
+    Machine.run ~seed:2
+      ~cfg:(Config.with_cores 4 Config.default)
+      ~mode:Mode.Baseline
+      (Workload.spec ~instrument:false ~scale:0.1 w)
+  in
+  let ab0 = Stats.ab s 0 and ab1 = Stats.ab s 1 in
+  Alcotest.(check int) "per-ab commits sum to total" s.Stats.commits
+    (ab0.Stats.ab_commits + ab1.Stats.ab_commits);
+  Alcotest.(check int) "per-ab aborts sum to total" s.Stats.aborts
+    (ab0.Stats.ab_aborts + ab1.Stats.ab_aborts)
+
+(* --- coherence upgrade cost ------------------------------------------------ *)
+
+let test_write_upgrade_cost () =
+  let cfg = Config.with_cores 2 Config.default in
+  let h = Hierarchy.create cfg in
+  (* both cores read the line: shared everywhere *)
+  ignore (Hierarchy.access h ~core:0 ~line:42 ~write:false);
+  ignore (Hierarchy.access h ~core:1 ~line:42 ~write:false);
+  (* core 0 writes: pays at least the shared-level round trip *)
+  let c = Hierarchy.access h ~core:0 ~line:42 ~write:true in
+  Alcotest.(check bool) "upgrade cost" true (c >= cfg.Config.l3_latency);
+  (* now exclusive: a second write is an L1 hit *)
+  let c2 = Hierarchy.access h ~core:0 ~line:42 ~write:true in
+  Alcotest.(check int) "exclusive write hits L1" cfg.Config.l1_latency c2
+
+let test_mode_list_covers_tx_sched () =
+  Alcotest.(check int) "five modes" 5 (List.length Mode.all);
+  Alcotest.(check bool) "txsched parses" true
+    (Mode.of_string "TxSched" = Some Mode.Tx_sched)
+
+let suite =
+  [
+    Alcotest.test_case "read-only analysis" `Quick test_read_only_analysis;
+    Alcotest.test_case "read-only through calls" `Quick test_read_only_through_calls;
+    Alcotest.test_case "tx-sched serializes" `Quick test_tx_sched_serializes;
+    Alcotest.test_case "tsv export" `Quick test_export_writes_tsv;
+    Alcotest.test_case "per-ab stats" `Quick test_per_ab_stats;
+    Alcotest.test_case "coherence upgrade cost" `Quick test_write_upgrade_cost;
+    Alcotest.test_case "mode list covers tx-sched" `Quick test_mode_list_covers_tx_sched;
+  ]
+
+let _ = contains

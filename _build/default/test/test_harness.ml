@@ -1,0 +1,114 @@
+open Stx_core
+open Stx_workloads
+open Stx_harness
+
+(* Harness tests run at a small scale and thread count to stay fast. *)
+
+let ctx () = Exp.create ~seed:2 ~scale:0.08 ~threads:4 ()
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let test_exp_memoizes () =
+  let c = ctx () in
+  let w = Option.get (Registry.find "ssca2") in
+  let a = Exp.run c w Mode.Baseline in
+  let b = Exp.run c w Mode.Baseline in
+  Alcotest.(check bool) "same object" true (a == b)
+
+let test_exp_speedup_of_sequential_is_one () =
+  let c = ctx () in
+  let w = Option.get (Registry.find "ssca2") in
+  let seq = Exp.sequential c w in
+  Alcotest.(check (float 1e-9)) "speedup 1" 1.0 (Exp.speedup c w seq)
+
+let test_exp_rel_performance_baseline_is_one () =
+  let c = ctx () in
+  let w = Option.get (Registry.find "kmeans") in
+  Alcotest.(check (float 1e-9)) "baseline ratio 1" 1.0
+    (Exp.rel_performance c w Mode.Baseline)
+
+let test_table1_renders () =
+  let s = Reports.table1 (ctx ()) in
+  List.iter
+    (fun name -> Alcotest.(check bool) ("mentions " ^ name) true (contains s name))
+    [ "list-hi"; "memcached"; "W/U"; "LA" ]
+
+let test_table2_renders () =
+  let s = Reports.table2 () in
+  Alcotest.(check bool) "mentions L1" true (contains s "L1");
+  Alcotest.(check bool) "mentions PC tag" true (contains s "PC tag")
+
+let test_table4_covers_all_benchmarks () =
+  let s = Reports.table4 (ctx ()) in
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        ("mentions " ^ w.Workload.name)
+        true
+        (contains s w.Workload.name))
+    Registry.all
+
+let test_fig7_has_harmonic_mean () =
+  let s = Reports.fig7 (ctx ()) in
+  Alcotest.(check bool) "harmonic mean line" true (contains s "Harmonic mean")
+
+let test_fig8_renders () =
+  let s = Reports.fig8 (ctx ()) in
+  Alcotest.(check bool) "abort cut column" true (contains s "abort cut")
+
+let test_anchor_tables_report () =
+  let w = Option.get (Registry.find "genome") in
+  let s = Reports.anchor_tables w in
+  Alcotest.(check bool) "has anchors" true (contains s "unified anchor table")
+
+let test_fig1_timelines () =
+  let s = Reports.fig1 () in
+  Alcotest.(check bool) "has lanes" true (contains s "t0 ");
+  Alcotest.(check bool) "shows commits" true (contains s "C");
+  Alcotest.(check bool) "legend" true (contains s "advisory lock")
+
+let test_timeline_render_basics () =
+  let tl = Timeline.create ~threads:2 in
+  Timeline.handler tl ~time:0 (Stx_sim.Machine.Tx_begin { tid = 0; ab = 0; attempt = 0 });
+  Timeline.handler tl ~time:50 (Stx_sim.Machine.Tx_commit { tid = 0; ab = 0; cycles = 50 });
+  Timeline.handler tl ~time:20 (Stx_sim.Machine.Tx_begin { tid = 1; ab = 0; attempt = 0 });
+  Timeline.handler tl ~time:40 (Stx_sim.Machine.Tx_abort { tid = 1; ab = 0; conf_line = None });
+  let s = Timeline.render ~width:50 ~until_time:100 tl in
+  Alcotest.(check bool) "t0 lane" true (contains s "t0 ");
+  Alcotest.(check bool) "t1 lane" true (contains s "t1 ");
+  Alcotest.(check bool) "commit marker" true (contains s "C");
+  Alcotest.(check bool) "abort marker" true (contains s "X")
+
+let test_ablation_reports_render () =
+  (* the cheapest ablations at tiny scale; just exercise the rendering *)
+  let s = Ablations.pc_tag_width ~seed:2 ~scale:0.05 () in
+  Alcotest.(check bool) "tag table" true (contains s "tag bits")
+
+let test_scaling_report () =
+  let c = Exp.create ~seed:2 ~scale:0.05 ~threads:4 () in
+  let w = Option.get (Registry.find "ssca2") in
+  let s = Reports.scaling c w in
+  Alcotest.(check bool) "has thread column" true (contains s "Threads")
+
+let suite =
+  [
+    Alcotest.test_case "exp memoizes runs" `Quick test_exp_memoizes;
+    Alcotest.test_case "sequential speedup is 1" `Quick
+      test_exp_speedup_of_sequential_is_one;
+    Alcotest.test_case "baseline relative performance is 1" `Quick
+      test_exp_rel_performance_baseline_is_one;
+    Alcotest.test_case "table1 renders" `Slow test_table1_renders;
+    Alcotest.test_case "table2 renders" `Quick test_table2_renders;
+    Alcotest.test_case "table4 covers all benchmarks" `Slow
+      test_table4_covers_all_benchmarks;
+    Alcotest.test_case "fig7 has harmonic mean" `Slow test_fig7_has_harmonic_mean;
+    Alcotest.test_case "fig8 renders" `Slow test_fig8_renders;
+    Alcotest.test_case "anchor tables report" `Quick test_anchor_tables_report;
+    Alcotest.test_case "scaling report" `Quick test_scaling_report;
+    Alcotest.test_case "fig1 timelines" `Quick test_fig1_timelines;
+    Alcotest.test_case "timeline render basics" `Quick test_timeline_render_basics;
+    Alcotest.test_case "ablation renders" `Slow test_ablation_reports_render;
+  ]

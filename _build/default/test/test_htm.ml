@@ -1,0 +1,315 @@
+open Stx_machine
+open Stx_htm
+
+let cfg = Config.with_cores 4 Config.default
+
+let setup () =
+  let mem = Memory.create () in
+  let alloc = Alloc.create ~words_per_line:cfg.Config.words_per_line mem in
+  let htm = Htm.create cfg mem alloc in
+  (mem, alloc, htm)
+
+let test_commit_publishes () =
+  let mem, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_store htm ~core:0 ~addr:64 ~value:7 ~pc:1;
+  Alcotest.(check int) "not visible before commit" 0 (Memory.load mem 64);
+  Alcotest.(check bool) "commit ok" true (Htm.tx_commit htm ~core:0);
+  Alcotest.(check int) "visible after commit" 7 (Memory.load mem 64)
+
+let test_tx_load_sees_own_writes () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_store htm ~core:0 ~addr:64 ~value:9 ~pc:1;
+  Alcotest.(check int) "own write visible" 9 (Htm.tx_load htm ~core:0 ~addr:64 ~pc:2);
+  ignore (Htm.tx_commit htm ~core:0)
+
+let test_write_write_conflict () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_begin htm ~core:1;
+  Htm.tx_store htm ~core:0 ~addr:64 ~value:1 ~pc:1;
+  Htm.tx_store htm ~core:1 ~addr:64 ~value:2 ~pc:2;
+  (* requester (core 1) wins *)
+  (match Htm.status htm ~core:0 with
+  | Htm.Doomed (Htm.Conflict { conf_addr; _ }) ->
+    Alcotest.(check int) "conflict addr" 64 conf_addr
+  | _ -> Alcotest.fail "core 0 should be doomed");
+  Alcotest.(check bool) "core 1 still active" true (Htm.status htm ~core:1 = Htm.Active);
+  ignore (Htm.tx_cleanup htm ~core:0);
+  Alcotest.(check bool) "winner commits" true (Htm.tx_commit htm ~core:1)
+
+let test_read_write_conflict () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_begin htm ~core:1;
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:5);
+  Htm.tx_store htm ~core:1 ~addr:64 ~value:2 ~pc:6;
+  (match Htm.status htm ~core:0 with
+  | Htm.Doomed (Htm.Conflict _) -> ()
+  | _ -> Alcotest.fail "reader should be doomed by writer")
+
+let test_write_read_conflict () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_begin htm ~core:1;
+  Htm.tx_store htm ~core:0 ~addr:64 ~value:1 ~pc:1;
+  ignore (Htm.tx_load htm ~core:1 ~addr:64 ~pc:2);
+  (match Htm.status htm ~core:0 with
+  | Htm.Doomed (Htm.Conflict _) -> ()
+  | _ -> Alcotest.fail "writer should be doomed by reader (requester wins)")
+
+let test_read_read_no_conflict () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_begin htm ~core:1;
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:1);
+  ignore (Htm.tx_load htm ~core:1 ~addr:64 ~pc:2);
+  Alcotest.(check bool) "both active" true
+    (Htm.status htm ~core:0 = Htm.Active && Htm.status htm ~core:1 = Htm.Active);
+  Alcotest.(check bool) "both commit" true
+    (Htm.tx_commit htm ~core:0 && Htm.tx_commit htm ~core:1)
+
+let test_line_granularity () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_begin htm ~core:1;
+  (* addresses 64 and 65 share a cache line (8 words/line): false sharing *)
+  Htm.tx_store htm ~core:0 ~addr:64 ~value:1 ~pc:1;
+  Htm.tx_store htm ~core:1 ~addr:65 ~value:2 ~pc:2;
+  (match Htm.status htm ~core:0 with
+  | Htm.Doomed _ -> ()
+  | _ -> Alcotest.fail "same-line accesses must conflict");
+  (* different lines do not conflict *)
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_begin htm ~core:1;
+  Htm.tx_store htm ~core:0 ~addr:64 ~value:1 ~pc:1;
+  Htm.tx_store htm ~core:1 ~addr:72 ~value:2 ~pc:2;
+  Alcotest.(check bool) "different lines fine" true (Htm.status htm ~core:0 = Htm.Active)
+
+let test_conflicting_pc_tag () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_begin htm ~core:1;
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:0x1ABC);
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:0x9999);
+  (* second access must not overwrite the first-access tag *)
+  Htm.tx_store htm ~core:1 ~addr:64 ~value:1 ~pc:7;
+  match Htm.status htm ~core:0 with
+  | Htm.Doomed (Htm.Conflict { conf_pc = Some pc; _ }) ->
+    Alcotest.(check int) "12-bit truncated first-access pc" 0xABC pc
+  | _ -> Alcotest.fail "expected conflict with pc tag"
+
+let test_abort_discards_buffer () =
+  let mem, _, htm = setup () in
+  Memory.store mem 64 5;
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_store htm ~core:0 ~addr:64 ~value:99 ~pc:1;
+  Htm.tx_begin htm ~core:1;
+  Htm.tx_store htm ~core:1 ~addr:64 ~value:2 ~pc:2;
+  ignore (Htm.tx_cleanup htm ~core:0);
+  Alcotest.(check int) "loser's write discarded" 5 (Memory.load mem 64);
+  Alcotest.(check bool) "winner commits" true (Htm.tx_commit htm ~core:1);
+  Alcotest.(check int) "winner's write applied" 2 (Memory.load mem 64)
+
+let test_aborted_tx_stops_conflicting () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_store htm ~core:0 ~addr:64 ~value:1 ~pc:1;
+  Htm.tx_begin htm ~core:1;
+  Htm.tx_store htm ~core:1 ~addr:64 ~value:2 ~pc:2;
+  (* core 0 is doomed; its stale sets must not doom core 2's accesses *)
+  Htm.tx_begin htm ~core:2;
+  Htm.tx_store htm ~core:2 ~addr:64 ~value:3 ~pc:3;
+  (* core 1 was active and holding the line: it gets doomed by core 2 *)
+  Alcotest.(check bool) "core2 active" true (Htm.status htm ~core:2 = Htm.Active);
+  ignore (Htm.tx_cleanup htm ~core:0);
+  ignore (Htm.tx_cleanup htm ~core:1);
+  Alcotest.(check bool) "core2 commits" true (Htm.tx_commit htm ~core:2)
+
+let test_nt_ops_bypass_isolation () =
+  let mem, _, htm = setup () in
+  Memory.store mem 128 42;
+  Htm.tx_begin htm ~core:0;
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:1);
+  (* nt load inside core 0's tx sees committed memory, no read-set entry *)
+  Alcotest.(check int) "nt load" 42 (Htm.nt_load htm ~addr:128);
+  Alcotest.(check int) "read set only has line of 64" 1 (Htm.read_set_size htm ~core:0);
+  (* another thread nt-stores to 128: core 0 unaffected *)
+  Htm.nt_store htm ~core:1 ~addr:128 ~value:43;
+  Alcotest.(check bool) "still active" true (Htm.status htm ~core:0 = Htm.Active);
+  (* nt store to a transactionally-read line DOES abort *)
+  Htm.nt_store htm ~core:1 ~addr:64 ~value:9;
+  match Htm.status htm ~core:0 with
+  | Htm.Doomed _ -> ()
+  | _ -> Alcotest.fail "nt store to tx line must abort the tx"
+
+let test_nt_store_in_own_tx_no_self_abort () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:1);
+  Htm.nt_store htm ~core:0 ~addr:64 ~value:3;
+  Alcotest.(check bool) "no self abort" true (Htm.status htm ~core:0 = Htm.Active)
+
+let test_nt_cas () =
+  let _, _, htm = setup () in
+  Alcotest.(check bool) "cas 0->1" true
+    (Htm.nt_cas htm ~core:0 ~addr:64 ~expected:0 ~desired:1);
+  Alcotest.(check bool) "cas fails when stale" false
+    (Htm.nt_cas htm ~core:1 ~addr:64 ~expected:0 ~desired:2);
+  Alcotest.(check int) "value intact" 1 (Htm.nt_load htm ~addr:64)
+
+let test_global_lock_subscription () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_store htm ~core:0 ~addr:64 ~value:1 ~pc:1;
+  Alcotest.(check bool) "lock acquired" true (Htm.acquire_global_lock htm ~core:1);
+  Alcotest.(check bool) "commit fails under lock" false (Htm.tx_commit htm ~core:0);
+  (match Htm.status htm ~core:0 with
+  | Htm.Doomed Htm.Lock_subscription -> ()
+  | _ -> Alcotest.fail "expected lock-subscription abort");
+  ignore (Htm.tx_cleanup htm ~core:0);
+  Htm.release_global_lock htm;
+  Alcotest.(check bool) "lock released" false (Htm.global_lock_held htm)
+
+let test_irrevocable_store_aborts_txs () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:1);
+  Alcotest.(check bool) "lock" true (Htm.acquire_global_lock htm ~core:1);
+  (* irrevocable writer stomps the line core 0 read *)
+  Htm.nt_store htm ~core:1 ~addr:64 ~value:5;
+  (match Htm.status htm ~core:0 with
+  | Htm.Doomed _ -> ()
+  | _ -> Alcotest.fail "irrevocable store must abort readers");
+  Htm.release_global_lock htm
+
+let test_explicit_abort () =
+  let mem, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_store htm ~core:0 ~addr:64 ~value:9 ~pc:1;
+  Htm.tx_self_abort htm ~core:0;
+  (match Htm.tx_cleanup htm ~core:0 with
+  | Htm.Explicit -> ()
+  | _ -> Alcotest.fail "expected explicit reason");
+  Alcotest.(check int) "write discarded" 0 (Memory.load mem 64)
+
+let qcheck_serializability_two_txs =
+  (* two single-location increments: with requester-wins, any interleaving
+     where both commit must produce the serial result *)
+  QCheck.Test.make ~name:"no lost update between two committing txs" ~count:200
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let mem, _, htm = setup () in
+      Memory.store mem 64 0;
+      (* tx0 reads, tx1 writes the same line, interleaved per (a, b) *)
+      Htm.tx_begin htm ~core:0;
+      Htm.tx_begin htm ~core:1;
+      let v0 = Htm.tx_load htm ~core:0 ~addr:64 ~pc:1 in
+      (if a mod 2 = 0 then
+         match Htm.status htm ~core:1 with
+         | Htm.Active -> Htm.tx_store htm ~core:1 ~addr:64 ~value:(b + 1) ~pc:2
+         | _ -> ());
+      let commit0 =
+        match Htm.status htm ~core:0 with
+        | Htm.Active ->
+          Htm.tx_store htm ~core:0 ~addr:64 ~value:(v0 + 1) ~pc:3;
+          (match Htm.status htm ~core:0 with
+          | Htm.Active -> Htm.tx_commit htm ~core:0
+          | _ -> false)
+        | _ -> false
+      in
+      let commit1 =
+        match Htm.status htm ~core:1 with
+        | Htm.Active -> Htm.tx_commit htm ~core:1
+        | _ -> false
+      in
+      (* at most one of two conflicting txs commits *)
+      (not (commit0 && commit1)) || a mod 2 = 1)
+
+(* --- lazy (commit-time, committer-wins) variant ------------------------- *)
+
+let lazy_cfg = { (Config.with_cores 4 Config.default) with Config.lazy_htm = true }
+
+let setup_lazy () =
+  let mem = Memory.create () in
+  let alloc = Alloc.create ~words_per_line:lazy_cfg.Config.words_per_line mem in
+  let htm = Htm.create lazy_cfg mem alloc in
+  (mem, alloc, htm)
+
+let test_lazy_no_doom_before_commit () =
+  let _, _, htm = setup_lazy () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_begin htm ~core:1;
+  Htm.tx_store htm ~core:0 ~addr:64 ~value:1 ~pc:1;
+  Htm.tx_store htm ~core:1 ~addr:64 ~value:2 ~pc:2;
+  (* in lazy mode conflicting accesses coexist until someone commits *)
+  Alcotest.(check bool) "both alive" true
+    (Htm.status htm ~core:0 = Htm.Active && Htm.status htm ~core:1 = Htm.Active)
+
+let test_lazy_committer_wins () =
+  let mem, _, htm = setup_lazy () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_begin htm ~core:1;
+  Htm.tx_store htm ~core:0 ~addr:64 ~value:1 ~pc:1;
+  ignore (Htm.tx_load htm ~core:1 ~addr:64 ~pc:2);
+  Alcotest.(check bool) "committer succeeds" true (Htm.tx_commit htm ~core:0);
+  (match Htm.status htm ~core:1 with
+  | Htm.Doomed (Htm.Conflict { conf_pc = Some pc; _ }) ->
+    Alcotest.(check int) "victim's own first-access pc" 2 pc
+  | _ -> Alcotest.fail "reader must be doomed at commit");
+  ignore (Htm.tx_cleanup htm ~core:1);
+  Alcotest.(check int) "committer's value" 1 (Memory.load mem 64)
+
+let test_lazy_read_read_fine () =
+  let _, _, htm = setup_lazy () in
+  Htm.tx_begin htm ~core:0;
+  Htm.tx_begin htm ~core:1;
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:1);
+  ignore (Htm.tx_load htm ~core:1 ~addr:64 ~pc:2);
+  Alcotest.(check bool) "both commit" true
+    (Htm.tx_commit htm ~core:0 && Htm.tx_commit htm ~core:1)
+
+let test_lazy_nt_store_still_eager () =
+  let _, _, htm = setup_lazy () in
+  Htm.tx_begin htm ~core:0;
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:1);
+  (* nontransactional stores are immediately visible, so they must doom
+     conflicting transactions even under lazy detection *)
+  Htm.nt_store htm ~core:1 ~addr:64 ~value:9;
+  match Htm.status htm ~core:0 with
+  | Htm.Doomed _ -> ()
+  | _ -> Alcotest.fail "nt store must doom even in lazy mode"
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "commit publishes" `Quick test_commit_publishes;
+    Alcotest.test_case "tx load sees own writes" `Quick test_tx_load_sees_own_writes;
+    Alcotest.test_case "write-write conflict, requester wins" `Quick
+      test_write_write_conflict;
+    Alcotest.test_case "read-write conflict" `Quick test_read_write_conflict;
+    Alcotest.test_case "write-read conflict" `Quick test_write_read_conflict;
+    Alcotest.test_case "read-read no conflict" `Quick test_read_read_no_conflict;
+    Alcotest.test_case "line granularity" `Quick test_line_granularity;
+    Alcotest.test_case "conflicting PC tag (first access, truncated)" `Quick
+      test_conflicting_pc_tag;
+    Alcotest.test_case "abort discards write buffer" `Quick test_abort_discards_buffer;
+    Alcotest.test_case "doomed tx stops conflicting" `Quick
+      test_aborted_tx_stops_conflicting;
+    Alcotest.test_case "nt ops bypass isolation" `Quick test_nt_ops_bypass_isolation;
+    Alcotest.test_case "nt store no self-abort" `Quick test_nt_store_in_own_tx_no_self_abort;
+    Alcotest.test_case "nt cas" `Quick test_nt_cas;
+    Alcotest.test_case "global lock subscription" `Quick test_global_lock_subscription;
+    Alcotest.test_case "irrevocable store aborts txs" `Quick
+      test_irrevocable_store_aborts_txs;
+    Alcotest.test_case "explicit abort" `Quick test_explicit_abort;
+    Alcotest.test_case "lazy: no doom before commit" `Quick
+      test_lazy_no_doom_before_commit;
+    Alcotest.test_case "lazy: committer wins" `Quick test_lazy_committer_wins;
+    Alcotest.test_case "lazy: read-read fine" `Quick test_lazy_read_read_fine;
+    Alcotest.test_case "lazy: nt store still eager" `Quick
+      test_lazy_nt_store_still_eager;
+    q qcheck_serializability_two_txs;
+  ]

@@ -1,0 +1,167 @@
+open Stx_machine
+
+let cfg = Config.default
+
+let test_memory_roundtrip () =
+  let m = Memory.create () in
+  Memory.store m 8 42;
+  Alcotest.(check int) "load back" 42 (Memory.load m 8);
+  Alcotest.(check int) "fresh is zero" 0 (Memory.load m 9)
+
+let test_memory_growth () =
+  let m = Memory.create ~initial_words:16 () in
+  Memory.store m 1_000_000 7;
+  Alcotest.(check int) "grown load" 7 (Memory.load m 1_000_000);
+  Alcotest.(check int) "unwritten beyond capacity" 0 (Memory.load m 999_999)
+
+let test_memory_rejects_null () =
+  let m = Memory.create () in
+  Alcotest.check_raises "store to 0" (Invalid_argument "Memory: address must be positive")
+    (fun () -> Memory.store m 0 1);
+  Alcotest.check_raises "load of 0" (Invalid_argument "Memory: address must be positive")
+    (fun () -> ignore (Memory.load m 0))
+
+let test_line_of () =
+  Alcotest.(check int) "line 0" 0 (Memory.line_of ~words_per_line:8 7);
+  Alcotest.(check int) "line 1" 1 (Memory.line_of ~words_per_line:8 8)
+
+let test_alloc_disjoint () =
+  let m = Memory.create () in
+  let a = Alloc.create ~words_per_line:8 m in
+  let x = Alloc.alloc a ~thread:0 4 in
+  let y = Alloc.alloc a ~thread:0 4 in
+  Alcotest.(check bool) "disjoint" true (abs (x - y) >= 4);
+  Alcotest.(check bool) "nonnull" true (x > 0 && y > 0)
+
+let test_alloc_line_aligned () =
+  let m = Memory.create () in
+  let a = Alloc.create ~words_per_line:8 m in
+  for _ = 1 to 20 do
+    let p = Alloc.alloc a ~thread:1 3 in
+    Alcotest.(check int) "aligned" 0 (p mod 8)
+  done
+
+let test_alloc_threads_never_share_lines () =
+  let m = Memory.create () in
+  let a = Alloc.create ~words_per_line:8 m in
+  let lines t =
+    List.init 30 (fun _ -> Alloc.alloc a ~thread:t 2 / 8)
+  in
+  let l0 = lines 0 and l1 = lines 1 in
+  List.iter
+    (fun l -> Alcotest.(check bool) "no shared line" false (List.mem l l1))
+    l0
+
+let test_alloc_large_object () =
+  let m = Memory.create () in
+  let a = Alloc.create ~arena_words:64 ~words_per_line:8 m in
+  let p = Alloc.alloc a ~thread:0 1000 in
+  Memory.store m (p + 999) 5;
+  Alcotest.(check int) "large object usable" 5 (Memory.load m (p + 999))
+
+let test_alloc_rejects_nonpositive () =
+  let m = Memory.create () in
+  let a = Alloc.create ~words_per_line:8 m in
+  Alcotest.check_raises "zero alloc"
+    (Invalid_argument "Alloc.alloc: size must be positive") (fun () ->
+      ignore (Alloc.alloc a ~thread:0 0))
+
+let test_cache_hit_after_insert () =
+  let c = Cache.create ~lines:64 ~ways:4 in
+  Alcotest.(check bool) "miss first" false (Cache.probe c 5);
+  Cache.insert c 5;
+  Alcotest.(check bool) "hit after insert" true (Cache.probe c 5)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~lines:8 ~ways:2 in
+  (* set count = 4; lines 0,4,8 map to set 0 *)
+  Cache.insert c 0;
+  Cache.insert c 4;
+  Cache.insert c 8;
+  (* 0 was LRU, should be evicted *)
+  Alcotest.(check bool) "evicted" false (Cache.probe c 0);
+  Alcotest.(check bool) "kept 4" true (Cache.probe c 4);
+  Alcotest.(check bool) "kept 8" true (Cache.probe c 8)
+
+let test_cache_probe_refreshes_lru () =
+  let c = Cache.create ~lines:8 ~ways:2 in
+  Cache.insert c 0;
+  Cache.insert c 4;
+  ignore (Cache.probe c 0);
+  (* now 4 is LRU *)
+  Cache.insert c 8;
+  Alcotest.(check bool) "0 survives" true (Cache.probe c 0);
+  Alcotest.(check bool) "4 evicted" false (Cache.probe c 4)
+
+let test_cache_invalidate () =
+  let c = Cache.create ~lines:8 ~ways:2 in
+  Cache.insert c 3;
+  Cache.invalidate c 3;
+  Alcotest.(check bool) "gone" false (Cache.probe c 3)
+
+let test_hierarchy_latency_ladder () =
+  let h = Hierarchy.create cfg in
+  let first = Hierarchy.access h ~core:0 ~line:100 ~write:false in
+  Alcotest.(check int) "cold miss" cfg.Config.mem_latency first;
+  let second = Hierarchy.access h ~core:0 ~line:100 ~write:false in
+  Alcotest.(check int) "l1 hit" cfg.Config.l1_latency second
+
+let test_hierarchy_l3_sharing () =
+  let h = Hierarchy.create cfg in
+  ignore (Hierarchy.access h ~core:0 ~line:100 ~write:false);
+  let other = Hierarchy.access h ~core:1 ~line:100 ~write:false in
+  Alcotest.(check int) "other core hits shared l3" cfg.Config.l3_latency other
+
+let test_hierarchy_write_invalidates_peers () =
+  let h = Hierarchy.create cfg in
+  ignore (Hierarchy.access h ~core:0 ~line:100 ~write:false);
+  ignore (Hierarchy.access h ~core:1 ~line:100 ~write:true);
+  let again = Hierarchy.access h ~core:0 ~line:100 ~write:false in
+  Alcotest.(check int) "coherence miss back to l3" cfg.Config.l3_latency again
+
+let test_config_pp () =
+  let s = Format.asprintf "%a" Config.pp cfg in
+  Alcotest.(check bool) "mentions L1" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0))
+
+let qcheck_cache_insert_then_probe =
+  QCheck.Test.make ~name:"cache: inserted line probes true immediately" ~count:300
+    QCheck.(small_nat)
+    (fun line ->
+      let c = Cache.create ~lines:64 ~ways:4 in
+      Cache.insert c line;
+      Cache.probe c line)
+
+let qcheck_alloc_alignment =
+  QCheck.Test.make ~name:"alloc: always line aligned" ~count:200
+    QCheck.(pair (int_range 0 7) (int_range 1 64))
+    (fun (thread, size) ->
+      let m = Memory.create () in
+      let a = Alloc.create ~words_per_line:8 m in
+      Alloc.alloc a ~thread size mod 8 = 0)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "memory roundtrip" `Quick test_memory_roundtrip;
+    Alcotest.test_case "memory growth" `Quick test_memory_growth;
+    Alcotest.test_case "memory rejects null" `Quick test_memory_rejects_null;
+    Alcotest.test_case "line_of" `Quick test_line_of;
+    Alcotest.test_case "alloc disjoint" `Quick test_alloc_disjoint;
+    Alcotest.test_case "alloc line aligned" `Quick test_alloc_line_aligned;
+    Alcotest.test_case "alloc threads never share lines" `Quick
+      test_alloc_threads_never_share_lines;
+    Alcotest.test_case "alloc large object" `Quick test_alloc_large_object;
+    Alcotest.test_case "alloc rejects nonpositive" `Quick test_alloc_rejects_nonpositive;
+    Alcotest.test_case "cache hit after insert" `Quick test_cache_hit_after_insert;
+    Alcotest.test_case "cache lru eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache probe refreshes lru" `Quick test_cache_probe_refreshes_lru;
+    Alcotest.test_case "cache invalidate" `Quick test_cache_invalidate;
+    Alcotest.test_case "hierarchy latency ladder" `Quick test_hierarchy_latency_ladder;
+    Alcotest.test_case "hierarchy l3 sharing" `Quick test_hierarchy_l3_sharing;
+    Alcotest.test_case "hierarchy write invalidates peers" `Quick
+      test_hierarchy_write_invalidates_peers;
+    Alcotest.test_case "config pp" `Quick test_config_pp;
+    q qcheck_cache_insert_then_probe;
+    q qcheck_alloc_alignment;
+  ]

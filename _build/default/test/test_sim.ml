@@ -1,0 +1,350 @@
+open Stx_tir
+open Stx_machine
+open Stx_core
+open Stx_sim
+
+(* A shared-counter workload: every thread atomically increments the same
+   counter [iters] times. Maximum contention, trivially checkable result. *)
+
+let counter_ty = Types.make "counter" [ ("value", Types.Scalar) ]
+
+let build_counter_prog ~tx_work =
+  let p = Ir.create_program () in
+  Ir.add_struct p counter_ty;
+  let b = Builder.create p "add_one" ~params:[ "counter" ] in
+  let v = Builder.load b (Builder.gep b (Builder.param b "counter") "counter" "value") in
+  Builder.work b (Ir.Imm tx_work);
+  Builder.store b
+    ~addr:(Builder.gep b (Builder.param b "counter") "counter" "value")
+    (Builder.bin b Ir.Add v (Ir.Imm 1));
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab = Ir.add_atomic p ~name:"add_one" ~func:"add_one" in
+  let b = Builder.create p "main" ~params:[ "counter"; "iters" ] in
+  Builder.for_ b ~from:(Ir.Imm 0) ~below:(Builder.param b "iters") (fun b _ ->
+      Builder.atomic_call b ab [ Builder.param b "counter" ]);
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  p
+
+let counter_addr = ref 0
+
+let counter_spec ?(instrument = true) ?(tx_work = 50) ~iters () =
+  let p = build_counter_prog ~tx_work in
+  let compiled = Stx_compiler.Pipeline.compile ~instrument p in
+  {
+    Machine.compiled;
+    Machine.thread_main = "main";
+    Machine.thread_args =
+      (fun env ~threads ->
+        let addr = Alloc.alloc_shared env.Machine.alloc 1 in
+        counter_addr := addr;
+        Memory.store env.Machine.memory addr 0;
+        Array.make threads [| addr; iters |]);
+  }
+
+let run_counter ?(threads = 4) ?(iters = 20) ?(seed = 7) ~mode () =
+  let cfg = Config.with_cores threads Config.default in
+  let final = ref 0 in
+  let spec = counter_spec ~iters () in
+  let stats = Machine.run ~seed ~cfg ~mode spec in
+  (* re-run setup is not possible; read the counter through a fresh run's
+     memory instead we capture the address used during the run *)
+  ignore final;
+  stats
+
+(* run and also return the final counter value *)
+let run_counter_value ?(threads = 4) ?(iters = 20) ?(seed = 7) ~mode () =
+  let cfg = Config.with_cores threads Config.default in
+  let memo = ref None in
+  let spec0 = counter_spec ~iters () in
+  let spec =
+    {
+      spec0 with
+      Machine.thread_args =
+        (fun env ~threads ->
+          let r = spec0.Machine.thread_args env ~threads in
+          memo := Some env.Machine.memory;
+          r);
+    }
+  in
+  let stats = Machine.run ~seed ~cfg ~mode spec in
+  let v = Memory.load (Option.get !memo) !counter_addr in
+  (stats, v)
+
+let test_single_thread_correct () =
+  let stats, v = run_counter_value ~threads:1 ~iters:50 ~mode:Mode.Baseline () in
+  Alcotest.(check int) "final value" 50 v;
+  Alcotest.(check int) "commits" 50 stats.Stats.commits;
+  Alcotest.(check int) "no aborts alone" 0 stats.Stats.aborts
+
+let test_multithread_correct_all_modes () =
+  List.iter
+    (fun mode ->
+      let stats, v = run_counter_value ~threads:4 ~iters:25 ~mode () in
+      Alcotest.(check int)
+        (Mode.to_string mode ^ " final value")
+        100 v;
+      Alcotest.(check int) (Mode.to_string mode ^ " commits") 100 stats.Stats.commits)
+    Mode.all
+
+let test_contention_causes_aborts () =
+  let stats, _ = run_counter_value ~threads:8 ~iters:25 ~mode:Mode.Baseline () in
+  Alcotest.(check bool) "aborts happen" true (stats.Stats.aborts > 0);
+  Alcotest.(check bool) "wasted cycles accrue" true (stats.Stats.wasted_cycles > 0)
+
+let test_staggered_reduces_aborts () =
+  let base, _ = run_counter_value ~threads:8 ~iters:50 ~mode:Mode.Baseline () in
+  let stag, _ = run_counter_value ~threads:8 ~iters:50 ~mode:Mode.Staggered_hw () in
+  Alcotest.(check bool)
+    (Printf.sprintf "aborts reduced (%d -> %d)" base.Stats.aborts stag.Stats.aborts)
+    true
+    (stag.Stats.aborts < base.Stats.aborts);
+  Alcotest.(check bool) "locks were used" true (stag.Stats.lock_acquires > 0)
+
+let test_determinism () =
+  let run () =
+    let s, v = run_counter_value ~threads:6 ~iters:30 ~seed:42 ~mode:Mode.Staggered_hw () in
+    (s.Stats.commits, s.Stats.aborts, s.Stats.total_cycles, s.Stats.insts, v)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let test_seed_changes_schedule () =
+  let run seed =
+    let s, _ = run_counter_value ~threads:6 ~iters:30 ~seed ~mode:Mode.Baseline () in
+    s.Stats.total_cycles
+  in
+  (* different seeds give different backoff draws; cycles usually differ *)
+  let distinct =
+    List.sort_uniq compare [ run 1; run 2; run 3; run 4 ] |> List.length
+  in
+  Alcotest.(check bool) "some variation across seeds" true (distinct > 1)
+
+let test_events_emitted () =
+  let cfg = Config.with_cores 4 Config.default in
+  let begins = ref 0 and commits = ref 0 and aborts = ref 0 in
+  let spec = counter_spec ~iters:10 () in
+  let _ =
+    Machine.run ~seed:3 ~cfg ~mode:Mode.Staggered_hw
+      ~on_event:(fun ~time:_ ev ->
+        match ev with
+        | Machine.Tx_begin _ -> incr begins
+        | Machine.Tx_commit _ -> incr commits
+        | Machine.Tx_abort _ -> incr aborts
+        | _ -> ())
+      spec
+  in
+  Alcotest.(check int) "commits observed" 40 !commits;
+  Alcotest.(check bool) "begins >= commits" true (!begins >= !commits)
+
+let test_irrevocable_fallback () =
+  (* with 1 retry allowed, contended txs fall back to the global lock fast *)
+  let cfg = { (Config.with_cores 8 Config.default) with Config.max_retries = 1 } in
+  let spec = counter_spec ~iters:20 () in
+  let memo = ref None in
+  let spec =
+    {
+      spec with
+      Machine.thread_args =
+        (fun env ~threads ->
+          let r = spec.Machine.thread_args env ~threads in
+          memo := Some env.Machine.memory;
+          r);
+    }
+  in
+  let stats = Machine.run ~seed:5 ~cfg ~mode:Mode.Baseline spec in
+  Alcotest.(check bool) "irrevocable entries" true (stats.Stats.irrevocable_entries > 0);
+  Alcotest.(check int) "still correct" 160 (Memory.load (Option.get !memo) !counter_addr);
+  Alcotest.(check int) "all committed" 160 stats.Stats.commits
+
+let test_tx_stats_accounting () =
+  let stats, _ = run_counter_value ~threads:4 ~iters:20 ~mode:Mode.Baseline () in
+  Alcotest.(check bool) "tx cycles positive" true (stats.Stats.tx_mode_cycles > 0);
+  Alcotest.(check bool) "useful cycles positive" true (stats.Stats.useful_cycles > 0);
+  Alcotest.(check bool) "total cycles >= useful" true
+    (stats.Stats.total_cycles > 0);
+  Alcotest.(check bool) "insts counted" true (stats.Stats.insts > 0);
+  Alcotest.(check bool) "tx insts subset" true
+    (stats.Stats.tx_insts <= stats.Stats.insts)
+
+let test_explicit_abort_retries () =
+  (* a tx that aborts explicitly on its first attempt, then succeeds *)
+  let p = Ir.create_program () in
+  Ir.add_struct p counter_ty;
+  let b = Builder.create p "flaky" ~params:[ "counter" ] in
+  let v = Builder.load b (Builder.gep b (Builder.param b "counter") "counter" "value") in
+  (* abort while the counter is even; the increment below makes it odd *)
+  Builder.when_ b
+    (Builder.bin b Ir.Eq (Builder.bin b Ir.Rem v (Ir.Imm 2)) (Ir.Imm 0))
+    (fun b ->
+      Builder.store b
+        ~addr:(Builder.gep b (Builder.param b "counter") "counter" "value")
+        (Builder.bin b Ir.Add v (Ir.Imm 1));
+      Builder.abort_tx b);
+  Builder.store b
+    ~addr:(Builder.gep b (Builder.param b "counter") "counter" "value")
+    (Builder.bin b Ir.Add v (Ir.Imm 1));
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab = Ir.add_atomic p ~name:"flaky" ~func:"flaky" in
+  let b = Builder.create p "main" ~params:[ "counter" ] in
+  Builder.atomic_call b ab [ Builder.param b "counter" ];
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let compiled = Stx_compiler.Pipeline.compile p in
+  let memo = ref None in
+  let addr_ref = ref 0 in
+  let spec =
+    {
+      Machine.compiled;
+      Machine.thread_main = "main";
+      Machine.thread_args =
+        (fun env ~threads ->
+          let addr = Alloc.alloc_shared env.Machine.alloc 1 in
+          addr_ref := addr;
+          memo := Some env.Machine.memory;
+          Array.make threads [| addr |]);
+    }
+  in
+  let cfg = Config.with_cores 1 Config.default in
+  let stats = Machine.run ~cfg ~mode:Mode.Baseline spec in
+  (* every speculative attempt stores +1 then aborts; the store is rolled
+     back each time, so the parity never changes and the tx retries until
+     the irrevocable fallback (whose nt-stores are immediate) finishes it *)
+  Alcotest.(check int) "explicit abort every speculative attempt"
+    cfg.Config.max_retries stats.Stats.explicit_aborts;
+  Alcotest.(check int) "one commit" 1 stats.Stats.commits;
+  Alcotest.(check int) "went irrevocable" 1 stats.Stats.irrevocable_entries;
+  (* irrevocable: the even branch stores +1 (visible), Abort_tx is a no-op
+     outside speculation, then the second store writes v+1 again *)
+  Alcotest.(check int) "rollbacks left no trace" 1
+    (Memory.load (Option.get !memo) !addr_ref)
+
+let test_uninstrumented_faster_single_thread () =
+  let cfg = Config.with_cores 1 Config.default in
+  let run instrument =
+    let spec = counter_spec ~instrument ~iters:200 () in
+    (Machine.run ~seed:1 ~cfg ~mode:(if instrument then Mode.Staggered_hw else Mode.Baseline) spec)
+      .Stats.total_cycles
+  in
+  let plain = run false and instr = run true in
+  (* inactive ALPs cost a little, but less than 10% here *)
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead small (%d vs %d)" plain instr)
+    true
+    (instr >= plain && float_of_int instr < 1.10 *. float_of_int plain)
+
+let test_lazy_htm_counter_correct () =
+  (* the whole protocol stack on the lazy variant: still serializable *)
+  let cfg = { (Config.with_cores 6 Config.default) with Config.lazy_htm = true } in
+  List.iter
+    (fun mode ->
+      let memo = ref None in
+      let spec0 = counter_spec ~iters:20 () in
+      let spec =
+        {
+          spec0 with
+          Machine.thread_args =
+            (fun env ~threads ->
+              let r = spec0.Machine.thread_args env ~threads in
+              memo := Some env.Machine.memory;
+              r);
+        }
+      in
+      let stats = Machine.run ~seed:9 ~cfg ~mode spec in
+      Alcotest.(check int)
+        (Mode.to_string mode ^ " lazy correct")
+        120
+        (Memory.load (Option.get !memo) !counter_addr);
+      Alcotest.(check int) (Mode.to_string mode ^ " commits") 120 stats.Stats.commits)
+    [ Mode.Baseline; Mode.Staggered_hw ]
+
+let qcheck_counter_correct_any_schedule =
+  QCheck.Test.make ~name:"counter correct for any seed/threads/mode" ~count:25
+    QCheck.(triple (int_range 1 8) (int_range 1 100) (int_range 0 4))
+    (fun (threads, seed, mode_i) ->
+      let mode = List.nth Mode.all mode_i in
+      let iters = 10 in
+      let stats, v = run_counter_value ~threads ~iters ~seed ~mode () in
+      v = threads * iters && stats.Stats.commits = threads * iters)
+
+let run_trap_prog build_body =
+  let p = Ir.create_program () in
+  Ir.add_struct p counter_ty;
+  let b = Builder.create p "main" ~params:[ "arg" ] in
+  build_body b;
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let compiled = Stx_compiler.Pipeline.compile p in
+  let spec =
+    {
+      Machine.compiled;
+      Machine.thread_main = "main";
+      Machine.thread_args = (fun _ ~threads -> Array.make threads [| 0 |]);
+    }
+  in
+  Machine.run ~cfg:(Config.with_cores 1 Config.default) ~mode:Mode.Baseline spec
+
+let expect_trap name build_body =
+  Alcotest.(check bool) name true
+    (try
+       ignore (run_trap_prog build_body);
+       false
+     with Machine.Sim_error _ -> true)
+
+let test_traps () =
+  expect_trap "null dereference" (fun b ->
+      ignore (Builder.load b (Ir.Imm 0)));
+  expect_trap "division by zero" (fun b ->
+      ignore (Builder.bin b Ir.Div (Ir.Imm 1) (Ir.Imm 0)));
+  expect_trap "remainder by zero" (fun b ->
+      ignore (Builder.bin b Ir.Rem (Ir.Imm 1) (Ir.Imm 0)));
+  expect_trap "rng zero bound" (fun b -> ignore (Builder.rng b (Ir.Imm 0)))
+
+let test_max_steps_backstop () =
+  let p = Ir.create_program () in
+  let b = Builder.create p "main" ~params:[] in
+  Builder.while_ b (fun _ -> Ir.Imm 1) (fun b -> Builder.work b (Ir.Imm 1));
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let compiled = Stx_compiler.Pipeline.compile p in
+  let spec =
+    {
+      Machine.compiled;
+      Machine.thread_main = "main";
+      Machine.thread_args = (fun _ ~threads -> Array.make threads [||]);
+    }
+  in
+  Alcotest.(check bool) "runaway trapped" true
+    (try
+       ignore
+         (Machine.run ~max_steps:5000
+            ~cfg:(Config.with_cores 1 Config.default)
+            ~mode:Mode.Baseline spec);
+       false
+     with Machine.Sim_error _ -> true)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "single thread correct" `Quick test_single_thread_correct;
+    Alcotest.test_case "multithread correct, all modes" `Quick
+      test_multithread_correct_all_modes;
+    Alcotest.test_case "contention causes aborts" `Quick test_contention_causes_aborts;
+    Alcotest.test_case "staggered reduces aborts" `Quick test_staggered_reduces_aborts;
+    Alcotest.test_case "deterministic for a seed" `Quick test_determinism;
+    Alcotest.test_case "seed affects schedule" `Quick test_seed_changes_schedule;
+    Alcotest.test_case "events emitted" `Quick test_events_emitted;
+    Alcotest.test_case "irrevocable fallback" `Quick test_irrevocable_fallback;
+    Alcotest.test_case "stats accounting sane" `Quick test_tx_stats_accounting;
+    Alcotest.test_case "explicit abort retries and rolls back" `Quick
+      test_explicit_abort_retries;
+    Alcotest.test_case "instrumentation overhead small" `Quick
+      test_uninstrumented_faster_single_thread;
+    Alcotest.test_case "lazy HTM end to end correct" `Quick
+      test_lazy_htm_counter_correct;
+    Alcotest.test_case "program traps" `Quick test_traps;
+    Alcotest.test_case "max-steps backstop" `Quick test_max_steps_backstop;
+    q qcheck_counter_correct_any_schedule;
+  ]

@@ -1,0 +1,246 @@
+open Stx_tir
+
+(* A small program used across the tests: a linked-list node type and a
+   function that walks a list. *)
+
+let node_ty = Types.make "node" [ ("value", Types.Scalar); ("next", Types.Ptr "node") ]
+
+let build_list_walk () =
+  let p = Ir.create_program () in
+  Ir.add_struct p node_ty;
+  let b = Builder.create p "walk" ~params:[ "head" ] in
+  let cur = Builder.reg b "cur" in
+  Builder.mov b cur (Builder.param b "head");
+  let sum = Builder.reg b "sum" in
+  Builder.mov b sum (Ir.Imm 0);
+  Builder.while_ b
+    (fun b -> Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0))
+    (fun b ->
+      let v = Builder.load b (Builder.gep b (Ir.Reg cur) "node" "value") in
+      Builder.bin_to b sum Ir.Add (Ir.Reg sum) v;
+      Builder.load_to b cur (Builder.gep b (Ir.Reg cur) "node" "next"));
+  Builder.ret b (Some (Ir.Reg sum));
+  let f = Builder.finish b in
+  (p, f)
+
+let test_types_basics () =
+  Alcotest.(check int) "size" 2 (Types.size node_ty);
+  Alcotest.(check int) "field index" 1 (Types.field_index node_ty "next");
+  Alcotest.(check string) "field name" "value" (Types.field node_ty 0).Types.fname;
+  Alcotest.check_raises "unknown field" Not_found (fun () ->
+      ignore (Types.field_index node_ty "nope"))
+
+let test_builder_produces_blocks () =
+  let _, f = build_list_walk () in
+  Alcotest.(check bool) "several blocks" true (Array.length f.Ir.blocks >= 4);
+  Alcotest.(check string) "entry first" "entry" f.Ir.blocks.(0).Ir.blabel
+
+let test_builder_verifies () =
+  let p, _ = build_list_walk () in
+  Verify.program p
+
+let test_builder_rejects_unterminated () =
+  let p = Ir.create_program () in
+  let b = Builder.create p "f" ~params:[] in
+  Alcotest.(check bool) "finish raises" true
+    (try
+       ignore (Builder.finish b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_rejects_double_term () =
+  let p = Ir.create_program () in
+  let b = Builder.create p "f" ~params:[] in
+  Builder.ret b None;
+  Alcotest.(check bool) "second terminator raises" true
+    (try
+       Builder.ret b None;
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_if_join () =
+  let p = Ir.create_program () in
+  let b = Builder.create p "f" ~params:[ "x" ] in
+  let r = Builder.reg b "r" in
+  Builder.if_ b (Builder.param b "x")
+    (fun b -> Builder.mov b r (Ir.Imm 1))
+    (fun b -> Builder.mov b r (Ir.Imm 2));
+  Builder.ret b (Some (Ir.Reg r));
+  ignore (Builder.finish b);
+  Verify.program p
+
+let test_verify_catches_bad_callee () =
+  let p = Ir.create_program () in
+  let b = Builder.create p "f" ~params:[] in
+  Builder.call b "missing" [];
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  Alcotest.(check bool) "invalid" true
+    (try
+       Verify.program p;
+       false
+     with Verify.Invalid _ -> true)
+
+let test_verify_catches_arity () =
+  let p = Ir.create_program () in
+  let b = Builder.create p "g" ~params:[ "a"; "b" ] in
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let b = Builder.create p "f" ~params:[] in
+  Builder.call b "g" [ Ir.Imm 1 ];
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  Alcotest.(check bool) "invalid arity" true
+    (try
+       Verify.program p;
+       false
+     with Verify.Invalid _ -> true)
+
+let test_verify_rejects_nested_atomic () =
+  let p = Ir.create_program () in
+  let b = Builder.create p "inner" ~params:[] in
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab_inner = Ir.add_atomic p ~name:"inner_ab" ~func:"inner" in
+  let b = Builder.create p "outer" ~params:[] in
+  Builder.atomic_call b ab_inner [];
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  ignore (Ir.add_atomic p ~name:"outer_ab" ~func:"outer");
+  Alcotest.(check bool) "nested atomic rejected" true
+    (try
+       Verify.program p;
+       false
+     with Verify.Invalid _ -> true)
+
+let test_atomic_reachable () =
+  let p = Ir.create_program () in
+  let b = Builder.create p "leaf" ~params:[] in
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let b = Builder.create p "mid" ~params:[] in
+  Builder.call b "leaf" [];
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let b = Builder.create p "other" ~params:[] in
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  ignore (Ir.add_atomic p ~name:"ab" ~func:"mid");
+  let reach = Verify.atomic_reachable p in
+  Alcotest.(check bool) "mid reachable" true (Hashtbl.mem reach "mid");
+  Alcotest.(check bool) "leaf reachable" true (Hashtbl.mem reach "leaf");
+  Alcotest.(check bool) "other not reachable" false (Hashtbl.mem reach "other")
+
+let test_dom_straight_line () =
+  let _, f = build_list_walk () in
+  let d = Dom.compute f in
+  (* entry dominates every reachable block *)
+  Array.iteri
+    (fun i _ ->
+      if Dom.reachable d i then
+        Alcotest.(check bool) "entry dominates" true (Dom.dominates d 0 i))
+    f.Ir.blocks
+
+let test_dom_loop_head_dominates_body () =
+  let _, f = build_list_walk () in
+  let d = Dom.compute f in
+  let head = Ir.block_index f "while.head.0" in
+  let body = Ir.block_index f "while.body.1" in
+  let exit = Ir.block_index f "while.exit.2" in
+  Alcotest.(check bool) "head dom body" true (Dom.dominates d head body);
+  Alcotest.(check bool) "head dom exit" true (Dom.dominates d head exit);
+  Alcotest.(check bool) "body not dom exit" false (Dom.dominates d body exit)
+
+let test_dom_inst_dominance_same_block () =
+  let _, f = build_list_walk () in
+  let d = Dom.compute f in
+  Alcotest.(check bool) "earlier dominates later" true
+    (Dom.inst_dominates d (0, 0) (0, 1));
+  Alcotest.(check bool) "later does not dominate earlier" false
+    (Dom.inst_dominates d (0, 1) (0, 0));
+  Alcotest.(check bool) "irreflexive" false (Dom.inst_dominates d (0, 0) (0, 0))
+
+let test_dom_preorder_starts_at_entry () =
+  let _, f = build_list_walk () in
+  let d = Dom.compute f in
+  match Dom.preorder d with
+  | 0 :: _ -> ()
+  | _ -> Alcotest.fail "preorder must start at entry"
+
+let test_layout_unique_pcs () =
+  let p, _ = build_list_walk () in
+  let l = Layout.assign p in
+  let seen = Hashtbl.create 16 in
+  let f = Ir.find_func p "walk" in
+  Ir.iter_insts f (fun _ _ i ->
+      let pc = Layout.pc_of_iid l i.Ir.iid in
+      Alcotest.(check bool) "pc unique" false (Hashtbl.mem seen pc);
+      Hashtbl.add seen pc ());
+  Alcotest.(check bool) "counted" true (Layout.num_insts l > 0)
+
+let test_layout_roundtrip () =
+  let p, _ = build_list_walk () in
+  let l = Layout.assign p in
+  let f = Ir.find_func p "walk" in
+  Ir.iter_insts f (fun bi ii i ->
+      let pc = Layout.pc_of_iid l i.Ir.iid in
+      match Layout.loc_of_pc l pc with
+      | Some loc ->
+        Alcotest.(check string) "func" "walk" loc.Layout.l_func;
+        Alcotest.(check int) "block" bi loc.Layout.l_block;
+        Alcotest.(check int) "inst" ii loc.Layout.l_inst
+      | None -> Alcotest.fail "pc must resolve")
+
+let test_layout_truncate () =
+  Alcotest.(check int) "12-bit" 0xABC (Layout.truncate ~bits:12 0x1ABC);
+  Alcotest.(check int) "identity under 4k" 0x5 (Layout.truncate ~bits:12 0x5)
+
+let test_pp_renders () =
+  let p, f = build_list_walk () in
+  let s = Format.asprintf "%a" Pp.func f in
+  Alcotest.(check bool) "mentions gep" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun _ -> true));
+  let ps = Format.asprintf "%a" Pp.program p in
+  Alcotest.(check bool) "program printed" true (String.length ps > 0)
+
+let qcheck_dominance_transitive =
+  (* on the list-walk CFG, dominance must be transitive *)
+  QCheck.Test.make ~name:"dominance transitive on sample CFG" ~count:200
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, c) ->
+      let _, f = build_list_walk () in
+      let d = Dom.compute f in
+      let n = Array.length f.Ir.blocks in
+      let a = a mod n and b = b mod n and c = c mod n in
+      (not (Dom.dominates d a b && Dom.dominates d b c)) || Dom.dominates d a c)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "types basics" `Quick test_types_basics;
+    Alcotest.test_case "builder produces blocks" `Quick test_builder_produces_blocks;
+    Alcotest.test_case "builder output verifies" `Quick test_builder_verifies;
+    Alcotest.test_case "builder rejects unterminated" `Quick
+      test_builder_rejects_unterminated;
+    Alcotest.test_case "builder rejects double terminator" `Quick
+      test_builder_rejects_double_term;
+    Alcotest.test_case "builder if join" `Quick test_builder_if_join;
+    Alcotest.test_case "verify catches bad callee" `Quick test_verify_catches_bad_callee;
+    Alcotest.test_case "verify catches arity" `Quick test_verify_catches_arity;
+    Alcotest.test_case "verify rejects nested atomic" `Quick
+      test_verify_rejects_nested_atomic;
+    Alcotest.test_case "atomic reachable set" `Quick test_atomic_reachable;
+    Alcotest.test_case "dom entry dominates all" `Quick test_dom_straight_line;
+    Alcotest.test_case "dom loop head dominates body" `Quick
+      test_dom_loop_head_dominates_body;
+    Alcotest.test_case "dom inst dominance same block" `Quick
+      test_dom_inst_dominance_same_block;
+    Alcotest.test_case "dom preorder starts at entry" `Quick
+      test_dom_preorder_starts_at_entry;
+    Alcotest.test_case "layout unique pcs" `Quick test_layout_unique_pcs;
+    Alcotest.test_case "layout roundtrip" `Quick test_layout_roundtrip;
+    Alcotest.test_case "layout truncate" `Quick test_layout_truncate;
+    Alcotest.test_case "pp renders" `Quick test_pp_renders;
+    q qcheck_dominance_transitive;
+  ]

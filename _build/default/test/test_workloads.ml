@@ -1,0 +1,129 @@
+open Stx_machine
+open Stx_core
+open Stx_sim
+open Stx_workloads
+
+(* Every benchmark at a reduced scale: builds, verifies, runs under both the
+   baseline and the full staggered runtime, and produces sane statistics. *)
+
+let scale = 0.12
+let threads = 4
+
+let run ?(mode = Mode.Baseline) ?(seed = 3) w =
+  let spec = Workload.spec ~instrument:(Mode.uses_alps mode) ~scale w in
+  Machine.run ~seed ~cfg:(Config.with_cores threads Config.default) ~mode spec
+
+let test_all_build_and_verify () =
+  List.iter
+    (fun w ->
+      let p = w.Workload.build () in
+      Stx_tir.Verify.program p;
+      Alcotest.(check bool)
+        (w.Workload.name ^ " has atomic blocks")
+        true
+        (Array.length p.Stx_tir.Ir.atomics > 0))
+    Registry.all
+
+let test_all_run_baseline () =
+  List.iter
+    (fun w ->
+      let s = run w in
+      Alcotest.(check bool) (w.Workload.name ^ " commits") true (s.Stats.commits > 0);
+      Alcotest.(check bool)
+        (w.Workload.name ^ " spends time in TM")
+        true
+        (Stats.pct_tx_time s > 10.))
+    Registry.all
+
+let test_all_run_staggered () =
+  List.iter
+    (fun w ->
+      let base = run w in
+      let stag = run ~mode:Mode.Staggered_hw w in
+      (* same total work regardless of runtime; queue-driven benchmarks
+         (tsp) vary by a few transactions with the interleaving, because
+         an empty-pool pop skips the follow-up transactions *)
+      Alcotest.(check bool)
+        (w.Workload.name ^ " comparable commits")
+        true
+        (abs (base.Stats.commits - stag.Stats.commits) * 20 <= base.Stats.commits))
+    Registry.all
+
+let test_all_deterministic () =
+  List.iter
+    (fun w ->
+      let a = run ~mode:Mode.Staggered_hw ~seed:11 w in
+      let b = run ~mode:Mode.Staggered_hw ~seed:11 w in
+      Alcotest.(check bool)
+        (w.Workload.name ^ " deterministic")
+        true
+        ((a.Stats.commits, a.Stats.aborts, a.Stats.total_cycles, a.Stats.insts)
+        = (b.Stats.commits, b.Stats.aborts, b.Stats.total_cycles, b.Stats.insts)))
+    Registry.all
+
+let test_work_is_split () =
+  (* a 1-thread run and a 4-thread run commit the same number of txns for
+     partitioned workloads *)
+  List.iter
+    (fun name ->
+      let w = Option.get (Registry.find name) in
+      let s1 =
+        Machine.run ~seed:3
+          ~cfg:(Config.with_cores 1 Config.default)
+          ~mode:Mode.Baseline
+          (Workload.spec ~instrument:false ~scale w)
+      in
+      let s4 = run w in
+      Alcotest.(check bool)
+        (name ^ " comparable work")
+        true
+        (* allow rounding from the per-thread split *)
+        (abs (s1.Stats.commits - s4.Stats.commits) * 10 <= s1.Stats.commits * 2))
+    [ "kmeans"; "vacation"; "list-lo"; "genome" ]
+
+let test_registry_lookup () =
+  Alcotest.(check int) "ten benchmarks" 10 (List.length Registry.all);
+  Alcotest.(check int) "six in table 1" 6 (List.length Registry.table1_set);
+  Alcotest.(check bool) "find works" true (Registry.find "memcached" <> None);
+  Alcotest.(check bool) "find rejects" true (Registry.find "nope" = None);
+  let unique = List.sort_uniq compare Registry.names in
+  Alcotest.(check int) "names unique" 10 (List.length unique)
+
+let test_scale_changes_work () =
+  let w = Option.get (Registry.find "kmeans") in
+  let small =
+    Machine.run ~seed:1
+      ~cfg:(Config.with_cores 2 Config.default)
+      ~mode:Mode.Baseline
+      (Workload.spec ~instrument:false ~scale:0.05 w)
+  in
+  let big =
+    Machine.run ~seed:1
+      ~cfg:(Config.with_cores 2 Config.default)
+      ~mode:Mode.Baseline
+      (Workload.spec ~instrument:false ~scale:0.2 w)
+  in
+  Alcotest.(check bool) "more work at higher scale" true
+    (big.Stats.commits > small.Stats.commits)
+
+let test_intruder_drains_queue () =
+  let w = Option.get (Registry.find "intruder") in
+  let s = run w in
+  (* every packet is popped exactly once and every pop-tx commits; the
+     number of decode commits equals the number of packets *)
+  Alcotest.(check bool) "plenty of commits" true
+    (s.Stats.commits >= Workload.scaled scale 1024)
+
+let suite =
+  [
+    Alcotest.test_case "all benchmarks build and verify" `Quick
+      test_all_build_and_verify;
+    Alcotest.test_case "all benchmarks run (baseline)" `Slow test_all_run_baseline;
+    Alcotest.test_case "all benchmarks run (staggered, same work)" `Slow
+      test_all_run_staggered;
+    Alcotest.test_case "all benchmarks deterministic" `Slow test_all_deterministic;
+    Alcotest.test_case "work split across threads" `Slow test_work_is_split;
+    Alcotest.test_case "registry lookups" `Quick test_registry_lookup;
+    Alcotest.test_case "scale changes work" `Quick test_scale_changes_work;
+    Alcotest.test_case "intruder drains its queue" `Quick test_intruder_drains_queue;
+  ]
