@@ -79,8 +79,12 @@ let run_bechamel () =
   report "experiment pipeline (micro scale)" table_tests;
   report "simulator primitives" micro_tests
 
-let run_full () =
-  let c = Stx_harness.Exp.create ~seed:1 ~scale:1.0 ~threads:16 () in
+let run_full ~jobs () =
+  (* no result store here: the point of this driver is to exercise the
+     whole pipeline, but the sweep itself fans out over the domain pool *)
+  let c = Stx_harness.Exp.create ~seed:1 ~scale:1.0 ~threads:16 ~jobs () in
+  Stx_harness.Exp.prefetch ~progress:true c
+    (Stx_harness.Exp.standard_cells c @ Stx_harness.Reports.table3_cells c);
   let section title body = Printf.printf "\n==== %s ====\n%s\n%!" title body in
   section "Table 2 (simulator configuration)" (Stx_harness.Reports.table2 ());
   section "Figure 1 (staggering schematic, from real runs)"
@@ -94,5 +98,17 @@ let run_full () =
 
 let () =
   let skip_bechamel = Array.mem "--tables-only" Sys.argv in
+  let jobs =
+    (* --jobs N: domain-pool width for the full reproduction part *)
+    let rec find i =
+      if i + 1 >= Array.length Sys.argv then Domain.recommended_domain_count ()
+      else if Sys.argv.(i) = "--jobs" then
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some n when n >= 1 -> n
+        | _ -> failwith "--jobs expects a positive integer"
+      else find (i + 1)
+    in
+    find 1
+  in
   if not skip_bechamel then run_bechamel ();
-  run_full ()
+  run_full ~jobs ()

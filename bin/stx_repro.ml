@@ -1,5 +1,11 @@
 (* Reproduction driver: regenerate every table and figure of the paper's
-   evaluation, plus the ablation studies. *)
+   evaluation, plus the ablation studies.
+
+   Simulation cells are executed by the Stx_runner domain pool (--jobs)
+   and persisted in a content-addressed result store (--cache-dir /
+   --no-cache), so re-runs are incremental. Both are transparent: the
+   simulator is deterministic per (workload, mode, threads, seed, scale),
+   so every jobs/cache combination prints byte-identical reports. *)
 
 open Cmdliner
 open Stx_harness
@@ -16,21 +22,50 @@ let scale_arg =
 let threads_arg =
   Arg.(value & opt int 16 & info [ "threads" ] ~doc:"Simulated cores/threads.")
 
-let bench_arg =
+let jobs_arg =
   Arg.(
     value
-    & opt string "genome"
-    & info [ "bench" ] ~doc:"Benchmark name (see `stx_run --list`).")
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Simulations to run in parallel (OCaml domains). Defaults to the \
+           recommended domain count of this machine.")
 
-let ctx seed scale threads = Exp.create ~seed ~scale ~threads ()
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ]
+        ~doc:
+          "Result-store directory (default: \\$STAGGERED_TM_CACHE, else \
+           ~/.cache/staggered_tm).")
+
+let no_cache_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-cache" ] ~doc:"Neither read nor write the on-disk result store.")
+
+let ctx_term =
+  let make seed scale threads jobs cache_dir no_cache =
+    let store =
+      if no_cache then None else Some (Stx_runner.Store.create ?dir:cache_dir ())
+    in
+    Exp.create ~seed ~scale ~threads ~jobs ?store ()
+  in
+  Term.(
+    const make $ seed_arg $ scale_arg $ threads_arg $ jobs_arg $ cache_dir_arg
+    $ no_cache_arg)
 
 let section title body =
   Printf.printf "==== %s ====\n%s\n%!" title body
 
-let cmd_of name title render =
-  let run seed scale threads = section title (render (ctx seed scale threads)) in
-  Cmd.v (Cmd.info name ~doc:title)
-    Term.(const run $ seed_arg $ scale_arg $ threads_arg)
+let cmd_of name title cells render =
+  let run c =
+    Exp.prefetch ~progress:true c (cells c);
+    section title (render c)
+  in
+  Cmd.v (Cmd.info name ~doc:title) Term.(const run $ ctx_term)
 
 let fig1_cmd =
   Cmd.v (Cmd.info "fig1" ~doc:"Figure 1: the staggering schematic, from real runs")
@@ -39,6 +74,12 @@ let fig1_cmd =
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Simulator configuration (Table 2)")
     Term.(const (fun () -> section "Table 2" (Reports.table2 ())) $ const ())
+
+let bench_arg =
+  Arg.(
+    value
+    & opt string "genome"
+    & info [ "bench" ] ~doc:"Benchmark name (see `stx_run --list`).")
 
 let anchors_cmd =
   let run bench =
@@ -50,55 +91,56 @@ let anchors_cmd =
     (Cmd.info "anchors" ~doc:"Unified anchor tables of a benchmark (Figure 3)")
     Term.(const run $ bench_arg)
 
-let scaling_cmd =
-  let run seed scale threads bench =
+let per_bench_cmd name doc cells render =
+  let run c bench =
     match Stx_workloads.Registry.find bench with
     | Some w ->
-      section ("scaling: " ^ bench) (Reports.scaling (ctx seed scale threads) w)
+      Exp.prefetch ~progress:true c (cells c w);
+      section (name ^ ": " ^ bench) (render c w)
     | None -> prerr_endline ("unknown benchmark " ^ bench)
   in
-  Cmd.v (Cmd.info "scaling" ~doc:"Thread-count sweep for one benchmark")
-    Term.(const run $ seed_arg $ scale_arg $ threads_arg $ bench_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ ctx_term $ bench_arg)
+
+let scaling_cmd =
+  per_bench_cmd "scaling" "Thread-count sweep for one benchmark"
+    Reports.scaling_cells Reports.scaling
 
 let hotspots_cmd =
-  let run seed scale threads bench =
-    match Stx_workloads.Registry.find bench with
-    | Some w ->
-      section ("hotspots: " ^ bench) (Reports.hotspots (ctx seed scale threads) w)
-    | None -> prerr_endline ("unknown benchmark " ^ bench)
-  in
-  Cmd.v (Cmd.info "hotspots" ~doc:"Top conflicting lines/PCs of one benchmark")
-    Term.(const run $ seed_arg $ scale_arg $ threads_arg $ bench_arg)
+  per_bench_cmd "hotspots" "Top conflicting lines/PCs of one benchmark"
+    Reports.hotspot_cells Reports.hotspots
 
 let scaling_all_cmd =
-  let run seed scale threads =
-    let c = ctx seed scale threads in
+  let run c =
+    Exp.prefetch ~progress:true c
+      (List.concat_map (Reports.scaling_cells c) Stx_workloads.Registry.all);
     List.iter
       (fun w -> section ("scaling: " ^ w.Stx_workloads.Workload.name) (Reports.scaling c w))
       Stx_workloads.Registry.all
   in
   Cmd.v (Cmd.info "scaling-all" ~doc:"Thread sweeps for every benchmark")
-    Term.(const run $ seed_arg $ scale_arg $ threads_arg)
+    Term.(const run $ ctx_term)
 
 let fig7avg_cmd =
-  let run _seed scale threads =
+  let run c =
     section "Figure 7 (seed-averaged)"
-      (Reports.fig7_repeated ~scale ~threads ())
+      (Reports.fig7_repeated ~jobs:(Exp.jobs c) ?store:(Exp.store c)
+         ~scale:(Exp.scale c) ~threads:(Exp.threads c) ())
   in
   Cmd.v
     (Cmd.info "fig7-avg" ~doc:"Figure 7 averaged over 5 seeds (paper methodology)")
-    Term.(const run $ seed_arg $ scale_arg $ threads_arg)
+    Term.(const run $ ctx_term)
 
 let export_cmd =
   let out_arg =
     Arg.(value & opt string "results" & info [ "out" ] ~doc:"Output directory.")
   in
-  let run seed scale threads out =
-    let paths = Export.write_all (ctx seed scale threads) ~dir:out in
+  let run c out =
+    Exp.prefetch ~progress:true c (Export.cells c);
+    let paths = Export.write_all c ~dir:out in
     List.iter print_endline paths
   in
   Cmd.v (Cmd.info "export" ~doc:"Write the evaluation data as TSV files")
-    Term.(const run $ seed_arg $ scale_arg $ threads_arg $ out_arg)
+    Term.(const run $ ctx_term $ out_arg)
 
 let ablations_cmd =
   let run seed scale = section "ablations" (Ablations.all ~seed ~scale ()) in
@@ -106,8 +148,9 @@ let ablations_cmd =
     Term.(const run $ seed_arg $ scale_arg)
 
 let all_cmd =
-  let run seed scale threads =
-    let c = ctx seed scale threads in
+  let run c =
+    Exp.prefetch ~progress:true c
+      (Exp.standard_cells c @ Reports.table3_cells c);
     section "Table 2" (Reports.table2 ());
     section "Figure 1" (Reports.fig1 ());
     section "Table 1" (Reports.table1 c);
@@ -119,7 +162,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Every table and figure of the evaluation")
-    Term.(const run $ seed_arg $ scale_arg $ threads_arg)
+    Term.(const run $ ctx_term)
 
 let () =
   let info =
@@ -130,15 +173,20 @@ let () =
   in
   let cmds =
     [
-      cmd_of "table1" "Table 1: baseline HTM contention" Reports.table1;
+      cmd_of "table1" "Table 1: baseline HTM contention" Reports.table1_cells
+        Reports.table1;
       table2_cmd;
-      cmd_of "table3" "Table 3: instrumentation statistics" Reports.table3;
-      cmd_of "table4" "Table 4: benchmark characteristics" Reports.table4;
+      cmd_of "table3" "Table 3: instrumentation statistics" Reports.table3_cells
+        Reports.table3;
+      cmd_of "table4" "Table 4: benchmark characteristics" Reports.table4_cells
+        Reports.table4;
       cmd_of "granularity" "Whole-txn scheduling vs staggering (Result 2)"
-        Reports.granularity;
+        Reports.granularity_cells Reports.granularity;
       fig1_cmd;
-      cmd_of "fig7" "Figure 7: performance comparison" Reports.fig7;
-      cmd_of "fig8" "Figure 8: aborts and wasted cycles" Reports.fig8;
+      cmd_of "fig7" "Figure 7: performance comparison" Reports.fig7_cells
+        Reports.fig7;
+      cmd_of "fig8" "Figure 8: aborts and wasted cycles" Reports.fig8_cells
+        Reports.fig8;
       anchors_cmd;
       scaling_cmd;
       scaling_all_cmd;

@@ -46,7 +46,38 @@ let print_per_ab (spec : Machine.spec) (s : Stats.t) =
       atomics
   end
 
-let run list_benches bench mode threads seed scale trace =
+(* several benchmarks at once: fan out over the Stx_runner domain pool,
+   print each stats block in the requested order *)
+let run_many benches mode threads seed scale jobs =
+  let open Stx_runner in
+  let specs =
+    List.map
+      (fun w ->
+        Job.make ~workload:w.Workload.name ~mode ~threads ~seed ~scale)
+      benches
+  in
+  let batch = Sweep.run_batch ~jobs ~progress:true specs in
+  let failed = ref false in
+  List.iter2
+    (fun w (_, outcome) ->
+      match outcome with
+      | Pool.Done stats ->
+        print_stats w.Workload.name mode threads stats;
+        let spec = Workload.spec ~instrument:(Mode.uses_alps mode) ~scale w in
+        print_per_ab spec stats;
+        print_newline ()
+      | Pool.Failed msg ->
+        failed := true;
+        Printf.printf "%s / %s / %d threads: FAILED: %s\n\n" w.Workload.name
+          (Mode.to_string mode) threads msg
+      | Pool.Timed_out s ->
+        failed := true;
+        Printf.printf "%s / %s / %d threads: timed out after %.1fs\n\n"
+          w.Workload.name (Mode.to_string mode) threads s)
+    benches batch.Sweep.results;
+  if !failed then exit 1
+
+let run list_benches bench mode threads seed scale trace jobs =
   if list_benches then begin
     List.iter
       (fun w ->
@@ -55,12 +86,17 @@ let run list_benches bench mode threads seed scale trace =
       Registry.all;
     exit 0
   end;
-  let w =
-    match Registry.find bench with
-    | Some w -> w
-    | None ->
-      prerr_endline ("unknown benchmark: " ^ bench ^ " (try --list)");
-      exit 1
+  let benches =
+    if bench = "all" then Registry.all
+    else
+      List.map
+        (fun name ->
+          match Registry.find name with
+          | Some w -> w
+          | None ->
+            prerr_endline ("unknown benchmark: " ^ name ^ " (try --list)");
+            exit 1)
+        (String.split_on_char ',' bench)
   in
   let mode =
     match Mode.of_string mode with
@@ -69,43 +105,60 @@ let run list_benches bench mode threads seed scale trace =
       prerr_endline ("unknown mode: " ^ mode ^ " (HTM|AddrOnly|Staggered+SW|Staggered)");
       exit 1
   in
-  let cfg = Config.with_cores threads Config.default in
-  let on_event =
-    if trace then fun ~time ev ->
-      let msg =
-        match ev with
-        | Machine.Tx_begin { tid; ab; attempt } ->
-          Printf.sprintf "t%-2d begin ab%d attempt %d" tid ab attempt
-        | Machine.Tx_commit { tid; ab; cycles } ->
-          Printf.sprintf "t%-2d commit ab%d (%d cyc)" tid ab cycles
-        | Machine.Tx_abort { tid; ab; conf_line } ->
-          Printf.sprintf "t%-2d abort ab%d%s" tid ab
-            (match conf_line with
-            | Some l -> Printf.sprintf " on line %d" l
-            | None -> "")
-        | Machine.Tx_irrevocable { tid; ab } ->
-          Printf.sprintf "t%-2d irrevocable ab%d" tid ab
-        | Machine.Lock_acquired { tid; lock; _ } ->
-          Printf.sprintf "t%-2d lock %d acquired" tid lock
-        | Machine.Lock_waiting { tid; lock } ->
-          Printf.sprintf "t%-2d waiting on lock %d" tid lock
-        | Machine.Lock_timeout { tid; lock } ->
-          Printf.sprintf "t%-2d timed out on lock %d" tid lock
-      in
-      Printf.printf "[%10d] %s\n" time msg
-    else fun ~time:_ _ -> ()
-  in
-  let spec = Workload.spec ~instrument:(Mode.uses_alps mode) ~scale w in
-  let stats = Machine.run ~seed ~cfg ~mode ~on_event spec in
-  print_stats bench mode threads stats;
-  print_per_ab spec stats
+  match benches with
+  | [] ->
+    prerr_endline "no benchmark given (try --list)";
+    exit 1
+  | _ :: _ :: _ ->
+    if trace then begin
+      prerr_endline "--trace needs a single benchmark";
+      exit 1
+    end;
+    run_many benches mode threads seed scale jobs
+  | [ w ] ->
+    let cfg = Config.with_cores threads Config.default in
+    let on_event =
+      if trace then fun ~time ev ->
+        let msg =
+          match ev with
+          | Machine.Tx_begin { tid; ab; attempt } ->
+            Printf.sprintf "t%-2d begin ab%d attempt %d" tid ab attempt
+          | Machine.Tx_commit { tid; ab; cycles } ->
+            Printf.sprintf "t%-2d commit ab%d (%d cyc)" tid ab cycles
+          | Machine.Tx_abort { tid; ab; conf_line } ->
+            Printf.sprintf "t%-2d abort ab%d%s" tid ab
+              (match conf_line with
+              | Some l -> Printf.sprintf " on line %d" l
+              | None -> "")
+          | Machine.Tx_irrevocable { tid; ab } ->
+            Printf.sprintf "t%-2d irrevocable ab%d" tid ab
+          | Machine.Lock_acquired { tid; lock; _ } ->
+            Printf.sprintf "t%-2d lock %d acquired" tid lock
+          | Machine.Lock_waiting { tid; lock } ->
+            Printf.sprintf "t%-2d waiting on lock %d" tid lock
+          | Machine.Lock_timeout { tid; lock } ->
+            Printf.sprintf "t%-2d timed out on lock %d" tid lock
+        in
+        Printf.printf "[%10d] %s\n" time msg
+      else fun ~time:_ _ -> ()
+    in
+    let spec = Workload.spec ~instrument:(Mode.uses_alps mode) ~scale w in
+    let stats = Machine.run ~seed ~cfg ~mode ~on_event spec in
+    print_stats w.Workload.name mode threads stats;
+    print_per_ab spec stats
 
 let () =
   let list_arg =
     Arg.(value & flag & info [ "list" ] ~doc:"List available benchmarks.")
   in
   let bench_arg =
-    Arg.(value & opt string "list-hi" & info [ "bench"; "b" ] ~doc:"Benchmark.")
+    Arg.(
+      value
+      & opt string "list-hi"
+      & info [ "bench"; "b" ]
+          ~doc:
+            "Benchmark: a name, a comma-separated list, or \"all\". With \
+             several benchmarks the runs fan out over --jobs domains.")
   in
   let mode_arg =
     Arg.(
@@ -123,10 +176,17 @@ let () =
   let trace_arg =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print every runtime event.")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "jobs"; "j" ]
+          ~doc:"Parallel simulations when several benchmarks are given.")
+  in
   let term =
     Term.(
       const run $ list_arg $ bench_arg $ mode_arg $ threads_arg $ seed_arg
-      $ scale_arg $ trace_arg)
+      $ scale_arg $ trace_arg $ jobs_arg)
   in
   let info =
     Cmd.info "stx_run" ~version:"1.0"

@@ -325,6 +325,8 @@ let process_function t fname in_scc =
   process_ret t fname
 
 let analyze prog =
+  (* fresh, process-history-independent node ids per analysis (see Dsnode) *)
+  Dsnode.reset_ids ();
   let t =
     {
       prog;

@@ -7,9 +7,17 @@ type t = {
   edges_tbl : (int, t) Hashtbl.t;
 }
 
-let counter = ref 0
+(* Node ids are domain-local and reset per analysis (see {!reset_ids}):
+   parallel compiles in separate domains must not share a counter, and the
+   absolute id values feed hashtable iteration order downstream (anchor
+   parent completion), so a compile's output must not depend on how many
+   nodes earlier compiles in the same process allocated. *)
+let counter_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_ids () = Domain.DLS.get counter_key := 0
 
 let fresh ?ty () =
+  let counter = Domain.DLS.get counter_key in
   incr counter;
   {
     nid = !counter;

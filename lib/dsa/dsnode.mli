@@ -12,6 +12,12 @@ type t
 
 val fresh : ?ty:string -> unit -> t
 
+val reset_ids : unit -> unit
+(** Reset the (domain-local) node-id counter. {!Dsa.analyze} calls this on
+    entry so a program's analysis — and everything derived from node ids —
+    is identical no matter which domain runs it or what was compiled
+    before in the same process. *)
+
 val find : t -> t
 (** Union-find representative. All other accessors resolve through [find]. *)
 

@@ -1,39 +1,88 @@
-open Stx_machine
 open Stx_core
 open Stx_sim
 open Stx_workloads
+open Stx_runner
+
+type cell = Workload.t * Mode.t * int
 
 type t = {
   seed : int;
   scale : float;
   threads : int;
-  store : (string * string * int, Stats.t) Hashtbl.t;
+  jobs : int;
+  store : Store.t option;
+  memo : (string * string * int, Stats.t) Hashtbl.t;
 }
 
-let create ?(seed = 1) ?(scale = 1.0) ?(threads = 16) () =
-  { seed; scale; threads; store = Hashtbl.create 64 }
+let create ?(seed = 1) ?(scale = 1.0) ?(threads = 16) ?(jobs = 1) ?store () =
+  { seed; scale; threads; jobs; store; memo = Hashtbl.create 64 }
 
 let seed t = t.seed
 let scale t = t.scale
 let threads t = t.threads
+let jobs t = t.jobs
+let store t = t.store
 
 let mode_key m = Mode.to_string m
 
+let job_of t (w : Workload.t) mode ~threads =
+  Job.make ~workload:w.Workload.name ~mode ~threads ~seed:t.seed ~scale:t.scale
+
+let memo_key (w : Workload.t) mode threads = (w.Workload.name, mode_key mode, threads)
+
 let run_at t w mode ~threads =
-  let key = (w.Workload.name, mode_key mode, threads) in
-  match Hashtbl.find_opt t.store key with
+  let key = memo_key w mode threads in
+  match Hashtbl.find_opt t.memo key with
   | Some s -> s
   | None ->
-    let instrument = Mode.uses_alps mode in
-    let spec = Workload.spec ~instrument ~scale:t.scale w in
-    let cfg = Config.with_cores threads Config.default in
-    let s = Machine.run ~seed:t.seed ~cfg ~mode spec in
-    Hashtbl.add t.store key s;
+    let job = job_of t w mode ~threads in
+    let s =
+      match Option.bind t.store (fun st -> Store.load st ~key:(Job.digest job)) with
+      | Some s -> s
+      | None ->
+        let s = Sweep.run_job job in
+        Option.iter (fun st -> Store.save st ~key:(Job.digest job) s) t.store;
+        s
+    in
+    Hashtbl.add t.memo key s;
     s
 
 let run t w mode = run_at t w mode ~threads:t.threads
 
 let sequential t w = run_at t w Mode.Baseline ~threads:1
+
+let prefetch ?(progress = false) t cells =
+  let pending =
+    List.filter_map
+      (fun (w, mode, threads) ->
+        if Hashtbl.mem t.memo (memo_key w mode threads) then None
+        else Some ((w, mode, threads), job_of t w mode ~threads))
+      cells
+  in
+  if pending <> [] then begin
+    let batch =
+      Sweep.run_batch ?store:t.store ~jobs:t.jobs ~progress
+        (List.map snd pending)
+    in
+    List.iter2
+      (fun ((w, mode, threads), _) (_, outcome) ->
+        match outcome with
+        | Pool.Done s ->
+          let key = memo_key w mode threads in
+          if not (Hashtbl.mem t.memo key) then Hashtbl.add t.memo key s
+        | Pool.Failed _ | Pool.Timed_out _ ->
+          (* leave the cell empty: a later run_at retries it sequentially
+             and surfaces the error in its natural context *)
+          ())
+      pending batch.Sweep.results
+  end
+
+let standard_cells t =
+  List.concat_map
+    (fun w ->
+      (w, Mode.Baseline, 1)
+      :: List.map (fun m -> (w, m, t.threads)) Mode.all)
+    Registry.all
 
 let speedup t w (s : Stats.t) =
   let seq = sequential t w in

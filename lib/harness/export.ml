@@ -66,8 +66,18 @@ let fig8_rows ctx =
          ])
        Registry.all
 
+let cells ctx =
+  Reports.table1_cells ctx @ Reports.table4_cells ctx @ Reports.fig7_cells ctx
+  @ Reports.fig8_cells ctx
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
 let write_all ctx ~dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  mkdir_p dir;
   [
     write_file dir "table1.tsv" (table1_rows ctx);
     write_file dir "table4.tsv" (table4_rows ctx);

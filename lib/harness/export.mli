@@ -5,3 +5,7 @@
 val write_all : Exp.t -> dir:string -> string list
 (** Writes [table1.tsv], [table4.tsv], [fig7.tsv] and [fig8.tsv]; returns
     the paths written. Creates [dir] if needed. *)
+
+val cells : Exp.t -> Exp.cell list
+(** Every memo cell {!write_all} reads — prefetch these first to produce
+    the TSVs with the domain pool. *)

@@ -6,6 +6,53 @@ open Stx_workloads
 
 let yn share = if share >= 0.5 then "Y" else "N"
 
+(* The cells each report reads from the Exp memo — what a driver should
+   Exp.prefetch (through the domain pool) before rendering. Rendering
+   never depends on prefetch: a missing cell just simulates on demand. *)
+
+let seq_cells set = List.map (fun w -> (w, Mode.Baseline, 1)) set
+
+let at_modes ctx modes set =
+  List.concat_map
+    (fun w -> List.map (fun m -> (w, m, Exp.threads ctx)) modes)
+    set
+
+let table1_cells ctx =
+  seq_cells Registry.table1_set
+  @ at_modes ctx [ Mode.Baseline ] Registry.table1_set
+
+let table3_cells ctx =
+  List.concat_map
+    (fun w ->
+      [
+        (w, Mode.Baseline, 1);
+        (w, Mode.Staggered_hw, 1);
+        (w, Mode.Staggered_hw, Exp.threads ctx);
+      ])
+    Registry.all
+
+let table4_cells ctx =
+  seq_cells Registry.all @ at_modes ctx [ Mode.Baseline ] Registry.all
+
+let fig7_cells ctx =
+  at_modes ctx
+    [ Mode.Baseline; Mode.Addr_only; Mode.Staggered_sw; Mode.Staggered_hw ]
+    Registry.all
+
+let fig8_cells ctx = at_modes ctx [ Mode.Baseline; Mode.Staggered_hw ] Registry.all
+
+let granularity_cells ctx =
+  at_modes ctx [ Mode.Baseline; Mode.Tx_sched; Mode.Staggered_hw ] Registry.all
+
+let scaling_threads = [ 1; 2; 4; 8; 16 ]
+
+let scaling_cells _ctx w =
+  List.concat_map
+    (fun n -> [ (w, Mode.Baseline, n); (w, Mode.Staggered_hw, n) ])
+    scaling_threads
+
+let hotspot_cells ctx w = [ (w, Mode.Baseline, Exp.threads ctx) ]
+
 let table1 ctx =
   let t =
     Table.create
@@ -187,7 +234,16 @@ let fig8 ctx =
 
 (* the paper repeats each run 5 times and reports the average; this variant
    of Figure 7 does the same across seeds and also reports the spread *)
-let fig7_repeated ?(seeds = [ 1; 2; 3; 4; 5 ]) ~scale ~threads () =
+let fig7_repeated ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(jobs = 1) ?store ~scale ~threads
+    () =
+  let ctxs =
+    List.map
+      (fun seed ->
+        let ctx = Exp.create ~seed ~scale ~threads ~jobs ?store () in
+        Exp.prefetch ctx (fig8_cells ctx);
+        ctx)
+      seeds
+  in
   let t =
     Table.create [ "Benchmark"; "Staggered vs HTM (mean)"; "stddev"; "min"; "max" ]
   in
@@ -196,10 +252,8 @@ let fig7_repeated ?(seeds = [ 1; 2; 3; 4; 5 ]) ~scale ~threads () =
     (fun w ->
       let acc = Stat.create () in
       List.iter
-        (fun seed ->
-          let ctx = Exp.create ~seed ~scale ~threads () in
-          Stat.add acc (Exp.rel_performance ctx w Mode.Staggered_hw))
-        seeds;
+        (fun ctx -> Stat.add acc (Exp.rel_performance ctx w Mode.Staggered_hw))
+        ctxs;
       means := Stat.mean acc :: !means;
       Table.add_row t
         [

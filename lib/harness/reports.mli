@@ -34,9 +34,16 @@ val fig7 : Exp.t -> string
     AddrOnly / Staggered+SW / Staggered, with the harmonic-mean summary. *)
 
 val fig7_repeated :
-  ?seeds:int list -> scale:float -> threads:int -> unit -> string
+  ?seeds:int list ->
+  ?jobs:int ->
+  ?store:Stx_runner.Store.t ->
+  scale:float ->
+  threads:int ->
+  unit ->
+  string
 (** Figure 7 averaged over several seeds, with the spread — the paper's
-    repeat-5-times methodology. *)
+    repeat-5-times methodology. [jobs]/[store] parallelize and persist
+    the per-seed runs as in {!Exp.create}. *)
 
 val fig8 : Exp.t -> string
 (** Figure 8: (a) aborts per commit and (b) wasted/useful cycles, baseline
@@ -53,3 +60,19 @@ val hotspots : Exp.t -> Workload.t -> string
 val scaling : Exp.t -> Workload.t -> string
 (** Thread-count sweep (1..16) for baseline and Staggered — the curves
     behind the S column. *)
+
+(** {2 Prefetch cells}
+
+    The memo cells each report reads, for handing to {!Exp.prefetch}
+    (and thus the domain pool) before rendering. Prefetching is purely a
+    performance hint: a report renders identically without it, running
+    each missing cell on demand. *)
+
+val table1_cells : Exp.t -> Exp.cell list
+val table3_cells : Exp.t -> Exp.cell list
+val table4_cells : Exp.t -> Exp.cell list
+val fig7_cells : Exp.t -> Exp.cell list
+val fig8_cells : Exp.t -> Exp.cell list
+val granularity_cells : Exp.t -> Exp.cell list
+val scaling_cells : Exp.t -> Workload.t -> Exp.cell list
+val hotspot_cells : Exp.t -> Workload.t -> Exp.cell list

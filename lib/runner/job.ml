@@ -1,0 +1,30 @@
+open Stx_core
+
+type t = {
+  workload : string;
+  mode : Mode.t;
+  threads : int;
+  seed : int;
+  scale : float;
+}
+
+let spec_version = 1
+
+let make ~workload ~mode ~threads ~seed ~scale =
+  if threads < 1 then invalid_arg "Job.make: threads < 1";
+  if scale <= 0. then invalid_arg "Job.make: scale <= 0";
+  { workload; mode; threads; seed; scale }
+
+let label j =
+  Printf.sprintf "%s/%s/t%d" j.workload (Mode.to_string j.mode) j.threads
+
+(* %h is injective on floats (hex mantissa/exponent), so two jobs whose
+   scales differ by any amount get different canonical strings *)
+let canonical j =
+  Printf.sprintf "staggered_tm-job-v%d|workload=%s|mode=%s|threads=%d|seed=%d|scale=%h"
+    spec_version j.workload (Mode.to_string j.mode) j.threads j.seed j.scale
+
+let digest j = Digest.to_hex (Digest.string (canonical j))
+
+let compare a b = Stdlib.compare (canonical a) (canonical b)
+let equal a b = compare a b = 0

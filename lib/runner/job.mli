@@ -1,0 +1,38 @@
+open Stx_core
+
+(** The unit of work of the experiment engine: one deterministic
+    simulation, fully described by its inputs. Two jobs with equal specs
+    produce byte-identical statistics, which is what makes the on-disk
+    result store ({!Store}) sound. *)
+
+type t = private {
+  workload : string;  (** registry name, e.g. ["genome"] *)
+  mode : Mode.t;
+  threads : int;  (** simulated cores *)
+  seed : int;
+  scale : float;  (** workload size multiplier *)
+}
+
+val make :
+  workload:string -> mode:Mode.t -> threads:int -> seed:int -> scale:float -> t
+(** Raises [Invalid_argument] on [threads < 1] or [scale <= 0]. *)
+
+val label : t -> string
+(** Short human-readable form, ["genome/Staggered/t16"] — used by
+    {!Progress}. *)
+
+val canonical : t -> string
+(** The canonical spec string the digest is computed over. Includes
+    {!spec_version} and every field; [scale] is rendered with ["%h"] so
+    distinct floats never collide. *)
+
+val digest : t -> string
+(** Hex content digest of {!canonical} — the store key. Sensitive to every
+    field of the spec and to {!spec_version}. *)
+
+val spec_version : int
+(** Bump when the meaning of a job spec changes (new field, changed
+    semantics), invalidating all previously stored results. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool

@@ -1,0 +1,123 @@
+type 'a outcome =
+  | Done of 'a
+  | Failed of string
+  | Timed_out of float
+
+type event = Started of int | Finished of int
+
+type 'a shared = {
+  mu : Mutex.t;
+  cond : Condition.t;  (* signalled by workers when an event is queued *)
+  mutable next : int;  (* next job index to hand out *)
+  mutable finished : int;
+  events : event Queue.t;
+  results : 'a outcome option array;
+  thunks : (unit -> 'a) array;
+  timeout : float option;
+}
+
+let classify sh thunk =
+  let t0 = Unix.gettimeofday () in
+  match thunk () with
+  | v ->
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (match sh.timeout with
+    | Some limit when elapsed > limit -> Timed_out elapsed
+    | _ -> Done v)
+  | exception e -> Failed (Printexc.to_string e)
+
+let push_event sh ev =
+  Mutex.lock sh.mu;
+  Queue.push ev sh.events;
+  (match ev with Finished _ -> sh.finished <- sh.finished + 1 | Started _ -> ());
+  Condition.signal sh.cond;
+  Mutex.unlock sh.mu
+
+let take_job sh =
+  Mutex.lock sh.mu;
+  let i =
+    if sh.next < Array.length sh.thunks then begin
+      let i = sh.next in
+      sh.next <- sh.next + 1;
+      Some i
+    end
+    else None
+  in
+  Mutex.unlock sh.mu;
+  i
+
+let worker sh =
+  let rec loop () =
+    match take_job sh with
+    | None -> ()
+    | Some i ->
+      push_event sh (Started i);
+      let out = classify sh sh.thunks.(i) in
+      (* results are only read by the coordinator after it has seen the
+         Finished event, which is queued under the same mutex *)
+      sh.results.(i) <- Some out;
+      push_event sh (Finished i);
+      loop ()
+  in
+  loop ()
+
+let dispatch sh ~on_start ~on_done = function
+  | Started i -> on_start i
+  | Finished i ->
+    (match sh.results.(i) with
+    | Some out -> on_done i out
+    | None -> assert false)
+
+let nop1 _ = ()
+let nop2 _ _ = ()
+
+let map ?(jobs = Domain.recommended_domain_count ()) ?timeout ?(on_start = nop1)
+    ?(on_done = nop2) thunks =
+  let n = Array.length thunks in
+  let sh =
+    {
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      next = 0;
+      finished = 0;
+      events = Queue.create ();
+      results = Array.make n None;
+      thunks;
+      timeout;
+    }
+  in
+  if n = 0 then [||]
+  else begin
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then
+      (* no domains: run inline on the calling domain, same observable
+         behaviour (events in start/finish order per job) *)
+      for i = 0 to n - 1 do
+        on_start i;
+        let out = classify sh thunks.(i) in
+        sh.results.(i) <- Some out;
+        on_done i out
+      done
+    else begin
+      let domains = Array.init jobs (fun _ -> Domain.spawn (fun () -> worker sh)) in
+      (* The calling domain is the coordinator: it drains worker events and
+         runs the callbacks, so progress reporting never races. *)
+      let rec drain () =
+        Mutex.lock sh.mu;
+        while Queue.is_empty sh.events && sh.finished < n do
+          Condition.wait sh.cond sh.mu
+        done;
+        let pending = Queue.fold (fun acc ev -> ev :: acc) [] sh.events in
+        Queue.clear sh.events;
+        let all_done = sh.finished >= n in
+        Mutex.unlock sh.mu;
+        List.iter (dispatch sh ~on_start ~on_done) (List.rev pending);
+        if not (all_done && pending = []) then drain ()
+      in
+      drain ();
+      Array.iter Domain.join domains
+    end;
+    Array.map
+      (function Some out -> out | None -> Failed "job was never scheduled")
+      sh.results
+  end

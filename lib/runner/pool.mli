@@ -1,0 +1,30 @@
+(** A fixed-size pool of OCaml 5 domains draining a queue of jobs.
+
+    Results come back as an array in {e input order}, independent of
+    completion order, so a parallel sweep is observably identical to a
+    sequential one whenever the jobs themselves are deterministic. A job
+    that raises yields [Failed] instead of killing the sweep. *)
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of string  (** the job raised; [Printexc.to_string] of it *)
+  | Timed_out of float
+      (** the job overran the wall-clock budget; carries the elapsed
+          seconds. Domains cannot be pre-empted, so the timeout is
+          cooperative: the job runs to completion (the simulator's own
+          [max_steps] bounds runaways) but its result is discarded and
+          recorded as [Timed_out]. *)
+
+val map :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?on_start:(int -> unit) ->
+  ?on_done:(int -> 'a outcome -> unit) ->
+  (unit -> 'a) array ->
+  'a outcome array
+(** [map ~jobs thunks] runs every thunk and returns their outcomes in
+    input order. [jobs] (default [Domain.recommended_domain_count ()]) is
+    clamped to [1 .. Array.length thunks]; with [jobs = 1] everything runs
+    inline on the calling domain. [timeout] is a per-job wall-clock budget
+    in seconds. [on_start]/[on_done] are invoked with the job's index from
+    the calling (coordinating) domain only — never concurrently. *)

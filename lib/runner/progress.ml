@@ -1,0 +1,57 @@
+type t = {
+  out : out_channel;
+  total : int;
+  t0 : float;
+  mutable completed : int;
+  mutable running : string list;  (* most recently started first *)
+}
+
+let create ?(out = stderr) ~total () =
+  { out; total; t0 = Unix.gettimeofday (); completed = 0; running = [] }
+
+let note t fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.fprintf t.out "%s\n%!" msg)
+    fmt
+
+let eta t =
+  if t.completed = 0 then nan
+  else
+    let elapsed = Unix.gettimeofday () -. t.t0 in
+    elapsed /. float_of_int t.completed
+    *. float_of_int (t.total - t.completed)
+
+let fmt_span s =
+  if Float.is_nan s then "?"
+  else if s < 60. then Printf.sprintf "%.1fs" s
+  else Printf.sprintf "%dm%02ds" (int_of_float s / 60) (int_of_float s mod 60)
+
+let remove_first x l =
+  let rec go = function
+    | [] -> []
+    | y :: rest -> if y = x then rest else y :: go rest
+  in
+  go l
+
+let job_started t label = t.running <- label :: t.running
+
+let job_finished t label ~status =
+  t.completed <- t.completed + 1;
+  t.running <- remove_first label t.running;
+  let running =
+    match t.running with
+    | [] -> ""
+    | l ->
+      let shown = List.filteri (fun i _ -> i < 3) l in
+      let more = List.length l - List.length shown in
+      Printf.sprintf "; running %s%s" (String.concat " " shown)
+        (if more > 0 then Printf.sprintf " +%d" more else "")
+  in
+  Printf.fprintf t.out "[%d/%d] %s %s (eta %s%s)\n%!" t.completed t.total
+    label status (fmt_span (eta t)) running
+
+let finish t =
+  let elapsed = Unix.gettimeofday () -. t.t0 in
+  Printf.fprintf t.out "%d/%d jobs in %s\n%!" t.completed t.total
+    (fmt_span elapsed)

@@ -1,0 +1,19 @@
+(** Line-oriented progress for a batch of jobs: one line per completed
+    job with done/total, the labels still in flight, and an ETA from the
+    mean completion time so far. No terminal control sequences — safe to
+    pipe into a log file. Not thread-safe by design: {!Pool.map} invokes
+    its callbacks from the coordinating domain only. *)
+
+type t
+
+val create : ?out:out_channel -> total:int -> unit -> t
+(** [out] defaults to [stderr], keeping stdout clean for report text. *)
+
+val note : t -> ('a, unit, string, unit) format4 -> 'a
+(** Emit a free-form line (e.g. the cached/pending split of a batch). *)
+
+val job_started : t -> string -> unit
+val job_finished : t -> string -> status:string -> unit
+val finish : t -> unit
+val eta : t -> float
+(** Estimated seconds remaining; [nan] before the first completion. *)

@@ -1,0 +1,208 @@
+open Stx_sim
+
+let format_version = 1
+
+let magic = Printf.sprintf "staggered_tm-result v%d" format_version
+
+let default_dir () =
+  match Sys.getenv_opt "STAGGERED_TM_CACHE" with
+  | Some d when d <> "" -> d
+  | _ ->
+    let base =
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> d
+      | _ -> (
+        match Sys.getenv_opt "HOME" with
+        | Some h when h <> "" -> Filename.concat h ".cache"
+        | _ -> Filename.get_temp_dir_name ())
+    in
+    Filename.concat base "staggered_tm"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> () (* lost a benign race *)
+  end
+
+type t = { dir : string }
+
+let create ?dir () =
+  let root = match dir with Some d -> d | None -> default_dir () in
+  (* results of incompatible format versions live side by side *)
+  let dir = Filename.concat root (Printf.sprintf "v%d" format_version) in
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+let path t ~key = Filename.concat t.dir (key ^ ".stxr")
+
+(* --- codec -------------------------------------------------------------
+   A line-oriented text format: magic line, one "name value" line per
+   scalar counter, length-prefixed sections for the frequency tables and
+   the per-atomic-block records (entries key-sorted so encoding is a
+   function of the stats value alone), and a trailing "end" sentinel so a
+   truncated file can never decode. *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let encode (s : Stats.t) =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string b str; Buffer.add_char b '\n') fmt in
+  line "%s" magic;
+  line "threads %d" s.Stats.threads;
+  line "commits %d" s.Stats.commits;
+  line "aborts %d" s.Stats.aborts;
+  line "conflict_aborts %d" s.Stats.conflict_aborts;
+  line "lock_sub_aborts %d" s.Stats.lock_sub_aborts;
+  line "explicit_aborts %d" s.Stats.explicit_aborts;
+  line "irrevocable_entries %d" s.Stats.irrevocable_entries;
+  line "useful_cycles %d" s.Stats.useful_cycles;
+  line "wasted_cycles %d" s.Stats.wasted_cycles;
+  line "tx_mode_cycles %d" s.Stats.tx_mode_cycles;
+  line "lock_wait_cycles %d" s.Stats.lock_wait_cycles;
+  line "backoff_cycles %d" s.Stats.backoff_cycles;
+  line "total_cycles %d" s.Stats.total_cycles;
+  line "lock_acquires %d" s.Stats.lock_acquires;
+  line "lock_timeouts %d" s.Stats.lock_timeouts;
+  line "alps_executed %d" s.Stats.alps_executed;
+  line "alps_lock_attempts %d" s.Stats.alps_lock_attempts;
+  line "accuracy_hits %d" s.Stats.accuracy_hits;
+  line "accuracy_total %d" s.Stats.accuracy_total;
+  line "precise %d" s.Stats.precise;
+  line "coarse %d" s.Stats.coarse;
+  line "promoted %d" s.Stats.promoted;
+  line "training %d" s.Stats.training;
+  line "insts %d" s.Stats.insts;
+  line "tx_insts %d" s.Stats.tx_insts;
+  line "committed_tx_insts %d" s.Stats.committed_tx_insts;
+  let freq name tbl =
+    let entries = sorted_bindings tbl in
+    line "%s %d" name (List.length entries);
+    List.iter (fun (k, v) -> line "%d %d" k v) entries
+  in
+  freq "conf_addr" s.Stats.conf_addr_freq;
+  freq "conf_pc" s.Stats.conf_pc_freq;
+  let abs = sorted_bindings s.Stats.per_ab in
+  line "per_ab %d" (List.length abs);
+  List.iter
+    (fun (id, (a : Stats.ab_stat)) ->
+      line "%d %d %d %d %d" id a.Stats.ab_commits a.Stats.ab_aborts
+        a.Stats.ab_locks a.Stats.ab_irrevocable)
+    abs;
+  line "end";
+  Buffer.contents b
+
+exception Malformed
+
+let decode text =
+  let lines = String.split_on_char '\n' text in
+  let lines = ref lines in
+  let next () =
+    match !lines with
+    | l :: rest ->
+      lines := rest;
+      l
+    | [] -> raise Malformed
+  in
+  let scalar name =
+    match String.split_on_char ' ' (next ()) with
+    | [ n; v ] when n = name -> (
+      match int_of_string_opt v with Some i -> i | None -> raise Malformed)
+    | _ -> raise Malformed
+  in
+  let int_pair line =
+    match String.split_on_char ' ' line with
+    | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b -> (a, b)
+      | _ -> raise Malformed)
+    | _ -> raise Malformed
+  in
+  try
+    if next () <> magic then raise Malformed;
+    let threads = scalar "threads" in
+    let s = Stats.create ~threads in
+    s.Stats.commits <- scalar "commits";
+    s.Stats.aborts <- scalar "aborts";
+    s.Stats.conflict_aborts <- scalar "conflict_aborts";
+    s.Stats.lock_sub_aborts <- scalar "lock_sub_aborts";
+    s.Stats.explicit_aborts <- scalar "explicit_aborts";
+    s.Stats.irrevocable_entries <- scalar "irrevocable_entries";
+    s.Stats.useful_cycles <- scalar "useful_cycles";
+    s.Stats.wasted_cycles <- scalar "wasted_cycles";
+    s.Stats.tx_mode_cycles <- scalar "tx_mode_cycles";
+    s.Stats.lock_wait_cycles <- scalar "lock_wait_cycles";
+    s.Stats.backoff_cycles <- scalar "backoff_cycles";
+    s.Stats.total_cycles <- scalar "total_cycles";
+    s.Stats.lock_acquires <- scalar "lock_acquires";
+    s.Stats.lock_timeouts <- scalar "lock_timeouts";
+    s.Stats.alps_executed <- scalar "alps_executed";
+    s.Stats.alps_lock_attempts <- scalar "alps_lock_attempts";
+    s.Stats.accuracy_hits <- scalar "accuracy_hits";
+    s.Stats.accuracy_total <- scalar "accuracy_total";
+    s.Stats.precise <- scalar "precise";
+    s.Stats.coarse <- scalar "coarse";
+    s.Stats.promoted <- scalar "promoted";
+    s.Stats.training <- scalar "training";
+    s.Stats.insts <- scalar "insts";
+    s.Stats.tx_insts <- scalar "tx_insts";
+    s.Stats.committed_tx_insts <- scalar "committed_tx_insts";
+    let freq name tbl =
+      let n = scalar name in
+      for _ = 1 to n do
+        let k, v = int_pair (next ()) in
+        Hashtbl.replace tbl k v
+      done
+    in
+    freq "conf_addr" s.Stats.conf_addr_freq;
+    freq "conf_pc" s.Stats.conf_pc_freq;
+    let n = scalar "per_ab" in
+    for _ = 1 to n do
+      match String.split_on_char ' ' (next ()) |> List.map int_of_string_opt with
+      | [ Some id; Some c; Some a; Some l; Some i ] ->
+        let ab = Stats.ab s id in
+        ab.Stats.ab_commits <- c;
+        ab.Stats.ab_aborts <- a;
+        ab.Stats.ab_locks <- l;
+        ab.Stats.ab_irrevocable <- i
+      | _ -> raise Malformed
+    done;
+    if next () <> "end" then raise Malformed;
+    Some s
+  with Malformed -> None
+
+(* ---------------------------------------------------------------------- *)
+
+let load t ~key =
+  let file = path t ~key in
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> decode text
+  | exception _ -> None (* missing or unreadable: a miss, never an error *)
+
+let save t ~key stats =
+  let file = path t ~key in
+  (* write-then-rename: readers (and a kill -9) only ever see a complete
+     entry; the temp file lives in the same directory so the rename cannot
+     cross filesystems *)
+  let tmp = Filename.temp_file ~temp_dir:t.dir ("." ^ key) ".tmp" in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (encode stats));
+    Sys.rename tmp file
+  with
+  | () -> ()
+  | exception e ->
+    cleanup ();
+    raise e

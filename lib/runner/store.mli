@@ -1,0 +1,47 @@
+open Stx_sim
+
+(** A content-addressed on-disk store of simulation results, making
+    re-runs of the evaluation incremental across process invocations.
+
+    Entries are keyed by {!Job.digest} and live under
+    [<dir>/v<format_version>/<key>.stxr] — by default
+    [~/.cache/staggered_tm/] (respecting [XDG_CACHE_HOME], overridable
+    with the [STAGGERED_TM_CACHE] environment variable or [?dir]).
+    Writes are atomic (write to a temp file in the same directory, then
+    rename), so concurrent or killed runs never publish a partial entry;
+    corrupted, truncated, or foreign files decode to a cache miss.
+
+    Invalidation: the key covers every job-spec field plus
+    {!Job.spec_version}; this module's {!format_version} versions the
+    file encoding (a bump retires the whole [v<n>/] subdirectory). Bump
+    {!Job.spec_version} whenever a change to the simulator, compiler, or
+    workloads alters what a given job spec computes — stored results are
+    only as fresh as that discipline. *)
+
+type t
+
+val format_version : int
+(** Version of the on-disk encoding, part of the storage path. *)
+
+val default_dir : unit -> string
+
+val create : ?dir:string -> unit -> t
+(** Open (creating directories as needed) the store rooted at [dir]
+    (default {!default_dir}). *)
+
+val dir : t -> string
+(** The version-qualified directory entries are stored in. *)
+
+val path : t -> key:string -> string
+
+val load : t -> key:string -> Stats.t option
+(** [None] on missing, unreadable, or undecodable entries. *)
+
+val save : t -> key:string -> Stats.t -> unit
+(** Atomically publish [stats] under [key]. *)
+
+val encode : Stats.t -> string
+(** The deterministic text encoding (frequency tables key-sorted) — also
+    a convenient total representation for equality checks in tests. *)
+
+val decode : string -> Stats.t option

@@ -1,0 +1,96 @@
+open Stx_machine
+open Stx_core
+open Stx_sim
+open Stx_workloads
+
+let run_job (j : Job.t) : Stats.t =
+  match Registry.find j.Job.workload with
+  | None -> invalid_arg ("Sweep.run_job: unknown workload " ^ j.Job.workload)
+  | Some w ->
+    let instrument = Mode.uses_alps j.Job.mode in
+    let spec = Workload.spec ~instrument ~scale:j.Job.scale w in
+    let cfg = Config.with_cores j.Job.threads Config.default in
+    Machine.run ~seed:j.Job.seed ~cfg ~mode:j.Job.mode spec
+
+type batch = {
+  results : (Job.t * Stats.t Pool.outcome) list;
+  executed : int;
+  cached : int;
+}
+
+let status_of = function
+  | Pool.Done _ -> "done"
+  | Pool.Failed msg -> "FAILED: " ^ msg
+  | Pool.Timed_out s -> Printf.sprintf "TIMED OUT after %.1fs" s
+
+let run_batch ?store ?jobs ?timeout ?(progress = false) (specs : Job.t list) =
+  (* dedupe on the digest: each distinct spec simulates (or loads) once,
+     results fan back out to every occurrence in input order *)
+  let seen = Hashtbl.create 64 in
+  let uniq =
+    List.filter
+      (fun j ->
+        let key = Job.digest j in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      specs
+  in
+  let cached, pending =
+    List.partition_map
+      (fun j ->
+        match store with
+        | None -> Right j
+        | Some st -> (
+          match Store.load st ~key:(Job.digest j) with
+          | Some stats -> Left (j, Pool.Done stats)
+          | None -> Right j))
+      uniq
+  in
+  let reporter =
+    if progress then begin
+      let p = Progress.create ~total:(List.length pending) () in
+      if cached <> [] || pending = [] then
+        Progress.note p "%d unique jobs: %d cached, %d to run"
+          (List.length uniq) (List.length cached) (List.length pending);
+      Some p
+    end
+    else None
+  in
+  let pending_arr = Array.of_list pending in
+  let thunks = Array.map (fun j () -> run_job j) pending_arr in
+  let on_start i =
+    Option.iter
+      (fun p -> Progress.job_started p (Job.label pending_arr.(i)))
+      reporter
+  in
+  let on_done i out =
+    Option.iter
+      (fun p ->
+        Progress.job_finished p (Job.label pending_arr.(i))
+          ~status:(status_of out))
+      reporter
+  in
+  let outcomes = Pool.map ?jobs ?timeout ~on_start ~on_done thunks in
+  Option.iter (fun p -> if pending <> [] then Progress.finish p) reporter;
+  (* persist fresh successes; failures and timeouts are never cached *)
+  (match store with
+  | None -> ()
+  | Some st ->
+    Array.iteri
+      (fun i out ->
+        match out with
+        | Pool.Done stats -> Store.save st ~key:(Job.digest pending_arr.(i)) stats
+        | Pool.Failed _ | Pool.Timed_out _ -> ())
+      outcomes);
+  let by_key = Hashtbl.create 64 in
+  List.iter (fun (j, out) -> Hashtbl.replace by_key (Job.digest j) out) cached;
+  Array.iteri
+    (fun i out -> Hashtbl.replace by_key (Job.digest pending_arr.(i)) out)
+    outcomes;
+  let results =
+    List.map (fun j -> (j, Hashtbl.find by_key (Job.digest j))) specs
+  in
+  { results; executed = Array.length pending_arr; cached = List.length cached }

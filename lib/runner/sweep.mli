@@ -1,0 +1,35 @@
+open Stx_sim
+
+(** The experiment engine's front door: execute a batch of simulation
+    jobs on a {!Pool} of domains, consulting and feeding the {!Store}.
+
+    The simulator is deterministic per job, every job builds its own
+    compiled program and machine state, and outcomes are returned in
+    input order — so a batch at [jobs = 4] is result-identical to the
+    same batch at [jobs = 1], and a cached result is byte-identical to a
+    fresh one. *)
+
+val run_job : Job.t -> Stats.t
+(** Resolve the workload, compile it (with ALPs iff the mode uses them),
+    and run the simulation. Raises [Invalid_argument] on an unknown
+    workload name. *)
+
+type batch = {
+  results : (Job.t * Stats.t Pool.outcome) list;
+      (** one entry per input job, in input order *)
+  executed : int;  (** distinct simulations actually run *)
+  cached : int;  (** distinct jobs answered from the store *)
+}
+
+val run_batch :
+  ?store:Store.t ->
+  ?jobs:int ->
+  ?timeout:float ->
+  ?progress:bool ->
+  Job.t list ->
+  batch
+(** Duplicate specs (by digest) are computed once and fanned back out.
+    Fresh successful results are saved to [store]; [Failed] and
+    [Timed_out] outcomes are never cached, so a later run retries them.
+    [progress] (default off) reports per-job completion lines on stderr
+    from the coordinating domain. *)

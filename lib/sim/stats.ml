@@ -100,6 +100,56 @@ let ab t id =
 
 let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
+let add_into tbl key n =
+  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let merge a b =
+  let m = create ~threads:(max a.threads b.threads) in
+  m.commits <- a.commits + b.commits;
+  m.aborts <- a.aborts + b.aborts;
+  m.conflict_aborts <- a.conflict_aborts + b.conflict_aborts;
+  m.lock_sub_aborts <- a.lock_sub_aborts + b.lock_sub_aborts;
+  m.explicit_aborts <- a.explicit_aborts + b.explicit_aborts;
+  m.irrevocable_entries <- a.irrevocable_entries + b.irrevocable_entries;
+  m.useful_cycles <- a.useful_cycles + b.useful_cycles;
+  m.wasted_cycles <- a.wasted_cycles + b.wasted_cycles;
+  m.tx_mode_cycles <- a.tx_mode_cycles + b.tx_mode_cycles;
+  m.lock_wait_cycles <- a.lock_wait_cycles + b.lock_wait_cycles;
+  m.backoff_cycles <- a.backoff_cycles + b.backoff_cycles;
+  (* total_cycles is a makespan, not a counter: concurrent shards overlap *)
+  m.total_cycles <- max a.total_cycles b.total_cycles;
+  m.lock_acquires <- a.lock_acquires + b.lock_acquires;
+  m.lock_timeouts <- a.lock_timeouts + b.lock_timeouts;
+  m.alps_executed <- a.alps_executed + b.alps_executed;
+  m.alps_lock_attempts <- a.alps_lock_attempts + b.alps_lock_attempts;
+  m.accuracy_hits <- a.accuracy_hits + b.accuracy_hits;
+  m.accuracy_total <- a.accuracy_total + b.accuracy_total;
+  m.precise <- a.precise + b.precise;
+  m.coarse <- a.coarse + b.coarse;
+  m.promoted <- a.promoted + b.promoted;
+  m.training <- a.training + b.training;
+  m.insts <- a.insts + b.insts;
+  m.tx_insts <- a.tx_insts + b.tx_insts;
+  m.committed_tx_insts <- a.committed_tx_insts + b.committed_tx_insts;
+  let union dst src = Hashtbl.iter (fun k v -> add_into dst k v) src in
+  union m.conf_addr_freq a.conf_addr_freq;
+  union m.conf_addr_freq b.conf_addr_freq;
+  union m.conf_pc_freq a.conf_pc_freq;
+  union m.conf_pc_freq b.conf_pc_freq;
+  let add_abs src =
+    Hashtbl.iter
+      (fun id (x : ab_stat) ->
+        let d = ab m id in
+        d.ab_commits <- d.ab_commits + x.ab_commits;
+        d.ab_aborts <- d.ab_aborts + x.ab_aborts;
+        d.ab_locks <- d.ab_locks + x.ab_locks;
+        d.ab_irrevocable <- d.ab_irrevocable + x.ab_irrevocable)
+      src
+  in
+  add_abs a.per_ab;
+  add_abs b.per_ab;
+  m
+
 let note_conflict t ~conf_line ~conf_pc =
   bump t.conf_addr_freq conf_line;
   match conf_pc with Some pc -> bump t.conf_pc_freq pc | None -> ()

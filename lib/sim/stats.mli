@@ -58,3 +58,11 @@ val note_conflict : t -> conf_line:int -> conf_pc:int option -> unit
 
 val ab : t -> int -> ab_stat
 (** The (created-on-demand) per-atomic-block record. *)
+
+val merge : t -> t -> t
+(** Combine two runs' statistics into a fresh value (the runner's
+    aggregation path): counters sum, frequency tables union by summing
+    per-key counts, per-atomic-block records sum field-wise, and the
+    makespan-like fields take the max — [total_cycles] because the shards
+    of a partitioned run overlap in time, [threads] because it is a
+    capacity, not a count. *)

@@ -1,0 +1,234 @@
+open Stx_core
+open Stx_runner
+
+(* Tiny jobs so the suite stays fast: small workloads, low scale, few
+   threads. Everything here is deterministic, which is the property the
+   whole subsystem rests on. *)
+
+let job ?(workload = "ssca2") ?(mode = Mode.Baseline) ?(threads = 2) ?(seed = 3)
+    ?(scale = 0.05) () =
+  Job.make ~workload ~mode ~threads ~seed ~scale
+
+let small_batch () =
+  [
+    job ();
+    job ~mode:Mode.Staggered_hw ();
+    job ~workload:"kmeans" ();
+    job ~workload:"kmeans" ~mode:Mode.Staggered_hw ();
+  ]
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "stxr-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    dir
+
+let outcomes_encoded batch =
+  List.map
+    (fun (j, out) ->
+      match out with
+      | Pool.Done s -> (Job.label j, Store.encode s)
+      | Pool.Failed m -> (Job.label j, "failed: " ^ m)
+      | Pool.Timed_out _ -> (Job.label j, "timeout"))
+    batch.Sweep.results
+
+(* --- pool ------------------------------------------------------------- *)
+
+let test_pool_results_in_input_order () =
+  let thunks = Array.init 16 (fun i () -> i * i) in
+  let out = Pool.map ~jobs:4 thunks in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Pool.Done v -> Alcotest.(check int) "value" (i * i) v
+      | _ -> Alcotest.fail "job failed")
+    out
+
+let test_pool_jobs1_equals_jobs4 () =
+  let specs = small_batch () in
+  let seq = Sweep.run_batch ~jobs:1 specs in
+  let par = Sweep.run_batch ~jobs:4 specs in
+  Alcotest.(check (list (pair string string)))
+    "identical results regardless of parallelism" (outcomes_encoded seq)
+    (outcomes_encoded par)
+
+let test_pool_exception_isolated () =
+  let thunks =
+    [|
+      (fun () -> 1);
+      (fun () -> failwith "boom");
+      (fun () -> 3);
+    |]
+  in
+  let out = Pool.map ~jobs:2 thunks in
+  (match out.(1) with
+  | Pool.Failed msg ->
+    Alcotest.(check bool) "message kept" true (String.length msg > 0)
+  | _ -> Alcotest.fail "expected Failed");
+  (match (out.(0), out.(2)) with
+  | Pool.Done 1, Pool.Done 3 -> ()
+  | _ -> Alcotest.fail "neighbours unaffected by the crash")
+
+let test_pool_timeout () =
+  let thunks =
+    [| (fun () -> 1); (fun () -> Unix.sleepf 0.05; 2); (fun () -> 3) |]
+  in
+  let out = Pool.map ~jobs:2 ~timeout:0.01 thunks in
+  (match out.(1) with
+  | Pool.Timed_out elapsed ->
+    Alcotest.(check bool) "elapsed recorded" true (elapsed >= 0.01)
+  | _ -> Alcotest.fail "expected Timed_out");
+  match (out.(0), out.(2)) with
+  | Pool.Done 1, Pool.Done 3 -> ()
+  | _ -> Alcotest.fail "fast jobs unaffected by the slow one"
+
+let test_pool_callbacks_balanced () =
+  let started = ref 0 and finished = ref 0 in
+  let thunks = Array.init 10 (fun i () -> i) in
+  ignore
+    (Pool.map ~jobs:3
+       ~on_start:(fun _ -> incr started)
+       ~on_done:(fun _ _ -> incr finished)
+       thunks);
+  Alcotest.(check int) "every job started" 10 !started;
+  Alcotest.(check int) "every job finished" 10 !finished
+
+(* --- digest ----------------------------------------------------------- *)
+
+let test_digest_sensitive_to_every_field () =
+  let base = job () in
+  let variants =
+    [
+      ("workload", job ~workload:"kmeans" ());
+      ("mode", job ~mode:Mode.Staggered_hw ());
+      ("threads", job ~threads:4 ());
+      ("seed", job ~seed:4 ());
+      ("scale", job ~scale:0.0500001 ());
+    ]
+  in
+  List.iter
+    (fun (field, j) ->
+      Alcotest.(check bool)
+        (field ^ " changes the digest")
+        false
+        (Job.digest base = Job.digest j))
+    variants;
+  Alcotest.(check string) "digest is a function of the spec" (Job.digest base)
+    (Job.digest (job ()))
+
+(* --- store ------------------------------------------------------------ *)
+
+let test_store_round_trip () =
+  let dir = fresh_dir () in
+  let st = Store.create ~dir () in
+  let stats = Sweep.run_job (job ()) in
+  let key = Job.digest (job ()) in
+  Alcotest.(check bool) "miss before save" true (Store.load st ~key = None);
+  Store.save st ~key stats;
+  match Store.load st ~key with
+  | None -> Alcotest.fail "expected a hit after save"
+  | Some loaded ->
+    Alcotest.(check string) "byte-identical round trip" (Store.encode stats)
+      (Store.encode loaded)
+
+let test_store_cache_hit_skips_simulation () =
+  let dir = fresh_dir () in
+  let st = Store.create ~dir () in
+  let specs = small_batch () in
+  let cold = Sweep.run_batch ~store:st ~jobs:2 specs in
+  Alcotest.(check int) "cold run simulates everything" 4 cold.Sweep.executed;
+  Alcotest.(check int) "cold run has no hits" 0 cold.Sweep.cached;
+  let warm = Sweep.run_batch ~store:st ~jobs:2 specs in
+  Alcotest.(check int) "warm run simulates nothing" 0 warm.Sweep.executed;
+  Alcotest.(check int) "warm run is all hits" 4 warm.Sweep.cached;
+  Alcotest.(check (list (pair string string)))
+    "cached results identical to fresh ones" (outcomes_encoded cold)
+    (outcomes_encoded warm)
+
+let test_store_corrupt_entries_are_misses () =
+  let dir = fresh_dir () in
+  let st = Store.create ~dir () in
+  let stats = Sweep.run_job (job ()) in
+  let key = Job.digest (job ()) in
+  Store.save st ~key stats;
+  let file = Store.path st ~key in
+  let full = In_channel.with_open_bin file In_channel.input_all in
+  (* truncated: cut the file mid-way, losing the "end" sentinel *)
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full / 2)));
+  Alcotest.(check bool) "truncated entry is a miss" true
+    (Store.load st ~key = None);
+  (* garbage: syntactically wrong from the first line *)
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc "not a result file\n");
+  Alcotest.(check bool) "garbage entry is a miss" true
+    (Store.load st ~key = None);
+  (* wrong magic version *)
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc
+        ("staggered_tm-result v999\n"
+        ^ String.concat "\n" (List.tl (String.split_on_char '\n' full))));
+  Alcotest.(check bool) "foreign version is a miss" true
+    (Store.load st ~key = None);
+  (* and a batch over the corrupted store recomputes, then repairs it *)
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc "not a result file\n");
+  let b = Sweep.run_batch ~store:st ~jobs:1 [ job () ] in
+  Alcotest.(check int) "corrupted entry recomputed" 1 b.Sweep.executed;
+  match Store.load st ~key with
+  | Some repaired ->
+    Alcotest.(check string) "store repaired" (Store.encode stats)
+      (Store.encode repaired)
+  | None -> Alcotest.fail "expected the recomputed entry to be saved"
+
+let test_store_failures_not_cached () =
+  let dir = fresh_dir () in
+  let st = Store.create ~dir () in
+  (* an unknown workload makes run_job raise inside the pool *)
+  let failing =
+    Job.make ~workload:"no-such-benchmark" ~mode:Mode.Baseline ~threads:2
+      ~seed:1 ~scale:0.05
+  in
+  let b = Sweep.run_batch ~store:st ~jobs:2 [ failing ] in
+  (match b.Sweep.results with
+  | [ (_, Pool.Failed _) ] -> ()
+  | _ -> Alcotest.fail "expected a Failed outcome");
+  Alcotest.(check bool) "failure left no store entry" true
+    (Store.load st ~key:(Job.digest failing) = None)
+
+let test_batch_dedupes_duplicate_specs () =
+  let j = job () in
+  let b = Sweep.run_batch ~jobs:2 [ j; j; j ] in
+  Alcotest.(check int) "one simulation for three copies" 1 b.Sweep.executed;
+  Alcotest.(check int) "three results returned" 3
+    (List.length b.Sweep.results)
+
+let suite =
+  [
+    Alcotest.test_case "pool keeps input order" `Quick
+      test_pool_results_in_input_order;
+    Alcotest.test_case "jobs=1 and jobs=4 identical" `Quick
+      test_pool_jobs1_equals_jobs4;
+    Alcotest.test_case "exception isolated to its job" `Quick
+      test_pool_exception_isolated;
+    Alcotest.test_case "timeout recorded, others unaffected" `Quick
+      test_pool_timeout;
+    Alcotest.test_case "callbacks balanced" `Quick test_pool_callbacks_balanced;
+    Alcotest.test_case "digest sensitive to every field" `Quick
+      test_digest_sensitive_to_every_field;
+    Alcotest.test_case "store round trip" `Quick test_store_round_trip;
+    Alcotest.test_case "warm cache runs zero simulations" `Quick
+      test_store_cache_hit_skips_simulation;
+    Alcotest.test_case "corrupt/truncated entries are misses" `Quick
+      test_store_corrupt_entries_are_misses;
+    Alcotest.test_case "failures are not cached" `Quick
+      test_store_failures_not_cached;
+    Alcotest.test_case "duplicate specs deduped" `Quick
+      test_batch_dedupes_duplicate_specs;
+  ]

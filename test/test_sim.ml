@@ -325,9 +325,64 @@ let test_max_steps_backstop () =
        false
      with Machine.Sim_error _ -> true)
 
+(* Stats.merge: sum counters, union frequency tables, max makespans *)
+
+let stats_fixture ~threads ~commits ~total ~line ~ab_commits =
+  let s = Stats.create ~threads in
+  s.Stats.commits <- commits;
+  s.Stats.aborts <- commits / 2;
+  s.Stats.useful_cycles <- 10 * commits;
+  s.Stats.total_cycles <- total;
+  Stats.note_conflict s ~conf_line:line ~conf_pc:(Some (line land 0xfff));
+  let ab = Stats.ab s 0 in
+  ab.Stats.ab_commits <- ab_commits;
+  s
+
+let test_merge_sums_counters () =
+  let a = stats_fixture ~threads:4 ~commits:10 ~total:1000 ~line:7 ~ab_commits:3 in
+  let b = stats_fixture ~threads:2 ~commits:6 ~total:900 ~line:9 ~ab_commits:2 in
+  let m = Stats.merge a b in
+  Alcotest.(check int) "commits sum" 16 m.Stats.commits;
+  Alcotest.(check int) "aborts sum" 8 m.Stats.aborts;
+  Alcotest.(check int) "useful sum" 160 m.Stats.useful_cycles;
+  Alcotest.(check int) "makespan is max" 1000 m.Stats.total_cycles;
+  Alcotest.(check int) "threads is max" 4 m.Stats.threads
+
+let test_merge_unions_freq_tables () =
+  let a = stats_fixture ~threads:1 ~commits:2 ~total:10 ~line:7 ~ab_commits:1 in
+  Stats.note_conflict a ~conf_line:7 ~conf_pc:None;
+  let b = stats_fixture ~threads:1 ~commits:2 ~total:10 ~line:7 ~ab_commits:1 in
+  let m = Stats.merge a b in
+  (* line 7: twice in a, once in b *)
+  Alcotest.(check (option int)) "addr counts sum" (Some 3)
+    (Hashtbl.find_opt m.Stats.conf_addr_freq 7);
+  Alcotest.(check (option int)) "pc counts sum" (Some 2)
+    (Hashtbl.find_opt m.Stats.conf_pc_freq 7)
+
+let test_merge_per_ab_and_neutrality () =
+  let a = stats_fixture ~threads:2 ~commits:4 ~total:50 ~line:1 ~ab_commits:4 in
+  let b = stats_fixture ~threads:2 ~commits:2 ~total:40 ~line:2 ~ab_commits:2 in
+  let m = Stats.merge a b in
+  Alcotest.(check int) "ab commits sum" 6 (Stats.ab m 0).Stats.ab_commits;
+  (* merging with a fresh (all-zero) stats value changes nothing *)
+  let z = Stats.merge a (Stats.create ~threads:1) in
+  Alcotest.(check int) "zero is neutral: commits" a.Stats.commits z.Stats.commits;
+  Alcotest.(check int) "zero is neutral: makespan" a.Stats.total_cycles
+    z.Stats.total_cycles;
+  Alcotest.(check (option int)) "zero is neutral: freq" (Some 1)
+    (Hashtbl.find_opt z.Stats.conf_addr_freq 1);
+  (* inputs are not mutated *)
+  Alcotest.(check int) "left input untouched" 4 a.Stats.commits
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
+    Alcotest.test_case "merge sums counters, maxes makespan" `Quick
+      test_merge_sums_counters;
+    Alcotest.test_case "merge unions frequency tables" `Quick
+      test_merge_unions_freq_tables;
+    Alcotest.test_case "merge per-ab and neutrality" `Quick
+      test_merge_per_ab_and_neutrality;
     Alcotest.test_case "single thread correct" `Quick test_single_thread_correct;
     Alcotest.test_case "multithread correct, all modes" `Quick
       test_multithread_correct_all_modes;
