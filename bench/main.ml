@@ -96,19 +96,58 @@ let run_full ~jobs () =
   section "Figure 8 (aborts and wasted cycles)" (Stx_harness.Reports.fig8 c);
   section "Serialization granularity (Result 2)" (Stx_harness.Reports.granularity c)
 
+(* --trace FILE: run the reference workload once with a full-capture
+   trace, export Chrome trace_event JSON and reconcile stream vs stats *)
+let run_traced ~file () =
+  let open Stx_workloads in
+  let w =
+    match Registry.find "list-hi" with
+    | Some w -> w
+    | None -> failwith "list-hi workload missing from the registry"
+  in
+  let threads = 8 in
+  let tr = Stx_trace.Trace.create ~threads () in
+  let mode = Stx_core.Mode.Staggered_hw in
+  let spec = Workload.spec ~instrument:(Stx_core.Mode.uses_alps mode) ~scale:1.0 w in
+  let stats =
+    Stx_sim.Machine.run ~seed:1
+      ~cfg:(Stx_machine.Config.with_cores threads Stx_machine.Config.default)
+      ~mode
+      ~on_event:(Stx_trace.Trace.handler tr)
+      spec
+  in
+  Stx_trace.Trace.write_chrome tr ~file;
+  Printf.printf "trace: %d events (%d commits, %d aborts) -> %s\n%!"
+    (Stx_trace.Trace.length tr) stats.Stx_sim.Stats.commits
+    stats.Stx_sim.Stats.aborts file;
+  match Stx_trace.Trace.check tr stats with
+  | Ok () -> Printf.printf "trace check: ok\n%!"
+  | Error errs ->
+    Printf.printf "trace check: FAILED\n";
+    List.iter (fun e -> Printf.printf "  %s\n" e) errs;
+    exit 1
+
 let () =
   let skip_bechamel = Array.mem "--tables-only" Sys.argv in
-  let jobs =
-    (* --jobs N: domain-pool width for the full reproduction part *)
+  let flag_value name =
     let rec find i =
-      if i + 1 >= Array.length Sys.argv then Domain.recommended_domain_count ()
-      else if Sys.argv.(i) = "--jobs" then
-        match int_of_string_opt Sys.argv.(i + 1) with
-        | Some n when n >= 1 -> n
-        | _ -> failwith "--jobs expects a positive integer"
+      if i + 1 >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
       else find (i + 1)
     in
     find 1
   in
-  if not skip_bechamel then run_bechamel ();
-  run_full ~jobs ()
+  let jobs =
+    (* --jobs N: domain-pool width for the full reproduction part *)
+    match flag_value "--jobs" with
+    | None -> Domain.recommended_domain_count ()
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> n
+      | _ -> failwith "--jobs expects a positive integer")
+  in
+  match flag_value "--trace" with
+  | Some file -> run_traced ~file ()
+  | None ->
+    if not skip_bechamel then run_bechamel ();
+    run_full ~jobs ()

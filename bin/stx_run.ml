@@ -110,42 +110,39 @@ let run list_benches bench mode threads seed scale trace jobs =
     prerr_endline "no benchmark given (try --list)";
     exit 1
   | _ :: _ :: _ ->
-    if trace then begin
+    if trace <> None then begin
       prerr_endline "--trace needs a single benchmark";
       exit 1
     end;
     run_many benches mode threads seed scale jobs
   | [ w ] ->
     let cfg = Config.with_cores threads Config.default in
+    let tr =
+      match trace with
+      | None -> None
+      | Some _ -> Some (Stx_trace.Trace.create ~threads ())
+    in
     let on_event =
-      if trace then fun ~time ev ->
-        let msg =
-          match ev with
-          | Machine.Tx_begin { tid; ab; attempt } ->
-            Printf.sprintf "t%-2d begin ab%d attempt %d" tid ab attempt
-          | Machine.Tx_commit { tid; ab; cycles } ->
-            Printf.sprintf "t%-2d commit ab%d (%d cyc)" tid ab cycles
-          | Machine.Tx_abort { tid; ab; conf_line } ->
-            Printf.sprintf "t%-2d abort ab%d%s" tid ab
-              (match conf_line with
-              | Some l -> Printf.sprintf " on line %d" l
-              | None -> "")
-          | Machine.Tx_irrevocable { tid; ab } ->
-            Printf.sprintf "t%-2d irrevocable ab%d" tid ab
-          | Machine.Lock_acquired { tid; lock; _ } ->
-            Printf.sprintf "t%-2d lock %d acquired" tid lock
-          | Machine.Lock_waiting { tid; lock } ->
-            Printf.sprintf "t%-2d waiting on lock %d" tid lock
-          | Machine.Lock_timeout { tid; lock } ->
-            Printf.sprintf "t%-2d timed out on lock %d" tid lock
-        in
-        Printf.printf "[%10d] %s\n" time msg
-      else fun ~time:_ _ -> ()
+      match tr with
+      | Some tr -> Stx_trace.Trace.handler tr
+      | None -> fun ~time:_ _ -> ()
     in
     let spec = Workload.spec ~instrument:(Mode.uses_alps mode) ~scale w in
     let stats = Machine.run ~seed ~cfg ~mode ~on_event spec in
     print_stats w.Workload.name mode threads stats;
-    print_per_ab spec stats
+    print_per_ab spec stats;
+    match (trace, tr) with
+    | Some file, Some tr -> (
+      Stx_trace.Trace.write_chrome tr ~file;
+      Printf.printf "  trace              %d events -> %s (chrome://tracing, Perfetto)\n"
+        (Stx_trace.Trace.length tr) file;
+      match Stx_trace.Trace.check tr stats with
+      | Ok () -> Printf.printf "  trace check        ok (events reconcile with stats)\n%!"
+      | Error errs ->
+        Printf.printf "  trace check        FAILED:\n";
+        List.iter (fun e -> Printf.printf "    %s\n" e) errs;
+        exit 1)
+    | _ -> ()
 
 let () =
   let list_arg =
@@ -174,7 +171,15 @@ let () =
     Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Workload scale.")
   in
   let trace_arg =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print every runtime event.")
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record every runtime event, write the stream to $(docv) as \
+             Chrome trace_event JSON (open in chrome://tracing or Perfetto), \
+             and cross-check the event stream against the printed statistics \
+             (non-zero exit on divergence). Single benchmark only.")
   in
   let jobs_arg =
     Arg.(

@@ -51,7 +51,9 @@ let scaling_cells _ctx w =
     (fun n -> [ (w, Mode.Baseline, n); (w, Mode.Staggered_hw, n) ])
     scaling_threads
 
-let hotspot_cells ctx w = [ (w, Mode.Baseline, Exp.threads ctx) ]
+(* hotspots runs its own traced simulation (the attribution needs the
+   event stream, not just the cached counters), so nothing to prefetch *)
+let hotspot_cells _ctx _w = []
 
 let table1 ctx =
   let t =
@@ -370,41 +372,88 @@ let anchor_tables w =
   Buffer.contents buf
 
 let hotspots ctx w =
-  let s = Exp.run ctx w Mode.Baseline in
-  let top tbl n =
-    Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl []
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
-    |> List.filteri (fun i _ -> i < n)
+  (* trace-backed: rerun the baseline with a full-capture trace attached.
+     The frequency tables could come from the cached counters, but the
+     aggressor -> victim attribution only exists in the event stream — and
+     replaying it through Trace.check keeps the two accounting paths
+     honest on the way *)
+  let module Trace = Stx_trace.Trace in
+  let threads = Exp.threads ctx in
+  let tr = Trace.create ~threads () in
+  let spec = Workload.spec ~instrument:false ~scale:(Exp.scale ctx) w in
+  let stats =
+    Machine.run ~seed:(Exp.seed ctx)
+      ~cfg:(Config.with_cores threads Config.default)
+      ~mode:Mode.Baseline
+      ~on_event:(Trace.handler tr)
+      spec
   in
-  let total tbl = Hashtbl.fold (fun _ c acc -> acc + c) tbl 0 in
+  let a = Trace.abort_attribution tr in
+  let take n l = List.filteri (fun i _ -> i < n) l in
   let t = Table.create [ "conflicting line"; "aborts"; "share" ] in
-  let addr_total = total s.Stats.conf_addr_freq in
   List.iter
     (fun (line, c) ->
       Table.add_row t
         [
           string_of_int line;
           string_of_int c;
-          Table.fmt_pct (Stat.percent c addr_total);
+          Table.fmt_pct (Stat.percent c a.Trace.conflict_aborts);
         ])
-    (top s.Stats.conf_addr_freq 8);
+    (take 8 a.Trace.by_line);
   let t2 = Table.create [ "conflicting PC tag"; "aborts"; "share" ] in
-  let pc_total = total s.Stats.conf_pc_freq in
   List.iter
     (fun (pc, c) ->
       Table.add_row t2
         [
           Printf.sprintf "0x%03x" pc;
           string_of_int c;
-          Table.fmt_pct (Stat.percent c pc_total);
+          Table.fmt_pct (Stat.percent c a.Trace.conflict_aborts);
         ])
-    (top s.Stats.conf_pc_freq 8);
+    (take 8 a.Trace.by_pc);
+  let t3 = Table.create [ "atomic block"; "conflict aborts"; "share" ] in
+  List.iter
+    (fun (ab, c) ->
+      Table.add_row t3
+        [
+          Printf.sprintf "ab%d" ab;
+          string_of_int c;
+          Table.fmt_pct (Stat.percent c a.Trace.conflict_aborts);
+        ])
+    (take 8 a.Trace.by_ab);
+  (* aggressor -> victim matrix, aggressors with casualties only *)
+  let tm =
+    Table.create
+      ("agg \\ vic" :: List.init threads (fun v -> Printf.sprintf "t%d" v))
+  in
+  for agg = 0 to threads - 1 do
+    let row_total = Array.fold_left ( + ) 0 a.Trace.agg_matrix.(agg) in
+    if row_total > 0 then
+      Table.add_row tm
+        (Printf.sprintf "t%d" agg
+        :: List.init threads (fun v ->
+               match a.Trace.agg_matrix.(agg).(v) with
+               | 0 -> "."
+               | c -> string_of_int c))
+  done;
+  let health =
+    match Trace.check tr stats with
+    | Ok () -> ""
+    | Error errs ->
+      "\nWARNING: trace/stats divergence detected:\n  "
+      ^ String.concat "\n  " errs ^ "\n"
+  in
   Printf.sprintf
     "Conflict hot spots of %s (baseline, %d threads): the raw material the
-     locking policy works from.
+     locking policy works from. Trace-backed: %d events, %d conflict aborts
+     (%d of them without an attributable aggressor).
 %s
-%s"
-    w.Workload.name (Exp.threads ctx) (Table.render t) (Table.render t2)
+%s
+%s
+Aggressor -> victim conflict aborts (rows: aggressor core; '.' = 0):
+%s%s"
+    w.Workload.name threads (Trace.length tr) a.Trace.conflict_aborts
+    a.Trace.unattributed (Table.render t) (Table.render t2) (Table.render t3)
+    (Table.render tm) health
 
 let scaling ctx w =
   let t = Table.create [ "Threads"; "HTM speedup"; "Staggered speedup" ] in

@@ -1,19 +1,28 @@
 open Stx_sim
 
-(** ASCII execution timelines — the Figure 1 diagram, reconstructed from a
-    real run's event stream. Each thread is a lane; time flows left to
-    right. Lane characters: ['.'] idle / non-transactional, ['='] inside a
-    transaction, ['w'] waiting on an advisory lock, ['X'] the moment a
-    transaction aborts, ['C'] a commit, ['L'] an advisory-lock
-    acquisition. *)
+(** ASCII execution timelines — the Figure 1 diagram, rendered from a
+    {!Stx_trace.Trace} of a real run's event stream. Each thread is a
+    lane; time flows left to right. Lane backgrounds: ['.'] idle /
+    non-transactional, ['='] inside a speculative transaction, ['I']
+    inside an irrevocable transaction, ['w'] waiting on an advisory lock,
+    ['b'] backing off (or spinning for the global lock) after an abort.
+    Markers: ['X'] abort, ['C'] commit, ['L'] advisory-lock acquisition,
+    ['T'] advisory-lock wait timeout. *)
 
 type t
 
 val create : threads:int -> t
+(** A fresh full-capture trace to render later. *)
+
+val of_trace : Stx_trace.Trace.t -> t
+(** Render an existing trace (recorded with {!Stx_trace.Trace.handler})
+    instead of building a private one. *)
 
 val handler : t -> time:int -> Machine.event -> unit
 (** Pass as [Machine.run]'s [on_event]. *)
 
 val render : ?width:int -> ?from_time:int -> ?until_time:int -> t -> string
-(** Render the [from_time, until_time) window (defaults to the whole run)
-    into [width] (default 100) columns. *)
+(** Render the [from_time, until_time] window (defaults to the whole run)
+    into [width] (default 100) columns. Events before [from_time] only
+    advance the replayed lane state — they paint no marker — and events
+    after [until_time] are ignored. *)

@@ -1,7 +1,12 @@
 open Stx_machine
 
 type abort_reason =
-  | Conflict of { conf_addr : int; conf_pc : int option; conf_pc_full : int option }
+  | Conflict of {
+      conf_addr : int;
+      conf_pc : int option;
+      conf_pc_full : int option;
+      aggressor : int;
+    }
   | Lock_subscription
   | Explicit
 
@@ -71,9 +76,9 @@ let discard_speculative t core =
   Hashtbl.reset c.tags;
   Hashtbl.reset c.wbuf
 
-(* requester-wins: doom the victim, delivering the conflicting address and
-   the victim's own PC tag for the line *)
-let doom t ~victim ~conf_addr =
+(* requester-wins: doom the victim, delivering the conflicting address, the
+   victim's own PC tag for the line, and the aggressor (requester) core *)
+let doom t ~requester ~victim ~conf_addr =
   let c = t.cores.(victim) in
   match c.st with
   | Active ->
@@ -92,7 +97,8 @@ let doom t ~victim ~conf_addr =
     (* [conf_pc_full] is a simulator oracle used only to score the runtime's
        anchor identification (the "Accuracy" column of Table 3); the modelled
        hardware delivers only the truncated [conf_pc]. *)
-    c.st <- Doomed (Conflict { conf_addr; conf_pc; conf_pc_full = full });
+    c.st <-
+      Doomed (Conflict { conf_addr; conf_pc; conf_pc_full = full; aggressor = requester });
     t.conflicts <- t.conflicts + 1
   | Idle | Doomed _ -> ()
 
@@ -100,7 +106,7 @@ let doom_mask t ~requester ~mask ~conf_addr =
   let mask = mask land lnot (1 lsl requester) in
   if mask <> 0 then
     for v = 0 to Array.length t.cores - 1 do
-      if mask land (1 lsl v) <> 0 then doom t ~victim:v ~conf_addr
+      if mask land (1 lsl v) <> 0 then doom t ~requester ~victim:v ~conf_addr
     done
 
 let require_active t core op =

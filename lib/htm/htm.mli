@@ -21,9 +21,15 @@ open Stx_machine
     hardware transactions subscribe to it immediately before commit. *)
 
 type abort_reason =
-  | Conflict of { conf_addr : int; conf_pc : int option; conf_pc_full : int option }
+  | Conflict of {
+      conf_addr : int;
+      conf_pc : int option;
+      conf_pc_full : int option;
+      aggressor : int;
+    }
       (** data conflict; [conf_pc] is the victim's (truncated) PC tag for
-          the conflicting line, when the hardware provides it *)
+          the conflicting line, when the hardware provides it; [aggressor]
+          is the core whose (requester-wins) access doomed the victim *)
   | Lock_subscription  (** the global lock was held at commit time *)
   | Explicit  (** the program executed an explicit abort *)
 

@@ -1,13 +1,14 @@
 type t = {
   out : out_channel;
   total : int;
+  now : unit -> float;
   t0 : float;
   mutable completed : int;
   mutable running : string list;  (* most recently started first *)
 }
 
-let create ?(out = stderr) ~total () =
-  { out; total; t0 = Unix.gettimeofday (); completed = 0; running = [] }
+let create ?(out = stderr) ?(now = Unix.gettimeofday) ~total () =
+  { out; total; now; t0 = now (); completed = 0; running = [] }
 
 let note t fmt =
   Printf.ksprintf
@@ -18,9 +19,13 @@ let note t fmt =
 let eta t =
   if t.completed = 0 then nan
   else
-    let elapsed = Unix.gettimeofday () -. t.t0 in
-    elapsed /. float_of_int t.completed
-    *. float_of_int (t.total - t.completed)
+    let elapsed = t.now () -. t.t0 in
+    let per_job = elapsed /. float_of_int t.completed in
+    (* the remaining jobs drain across every worker still in flight, not
+       one after another: serial extrapolation over-estimates a parallel
+       batch by roughly the worker count *)
+    let workers = max 1 (List.length t.running) in
+    per_job *. float_of_int (t.total - t.completed) /. float_of_int workers
 
 let fmt_span s =
   if Float.is_nan s then "?"
@@ -52,6 +57,6 @@ let job_finished t label ~status =
     label status (fmt_span (eta t)) running
 
 let finish t =
-  let elapsed = Unix.gettimeofday () -. t.t0 in
+  let elapsed = t.now () -. t.t0 in
   Printf.fprintf t.out "%d/%d jobs in %s\n%!" t.completed t.total
     (fmt_span elapsed)

@@ -6,8 +6,11 @@
 
 type t
 
-val create : ?out:out_channel -> total:int -> unit -> t
-(** [out] defaults to [stderr], keeping stdout clean for report text. *)
+val create :
+  ?out:out_channel -> ?now:(unit -> float) -> total:int -> unit -> t
+(** [out] defaults to [stderr], keeping stdout clean for report text.
+    [now] (default [Unix.gettimeofday]) is the clock — injectable so the
+    ETA arithmetic is testable. *)
 
 val note : t -> ('a, unit, string, unit) format4 -> 'a
 (** Emit a free-form line (e.g. the cached/pending split of a batch). *)
@@ -16,4 +19,6 @@ val job_started : t -> string -> unit
 val job_finished : t -> string -> status:string -> unit
 val finish : t -> unit
 val eta : t -> float
-(** Estimated seconds remaining; [nan] before the first completion. *)
+(** Estimated seconds remaining: mean completion time so far, times the
+    jobs left, divided by the jobs currently in flight (they drain in
+    parallel). [nan] before the first completion. *)

@@ -1,6 +1,6 @@
 open Stx_sim
 
-let format_version = 1
+let format_version = 2
 
 let magic = Printf.sprintf "staggered_tm-result v%d" format_version
 
@@ -66,6 +66,7 @@ let encode (s : Stats.t) =
   line "lock_wait_cycles %d" s.Stats.lock_wait_cycles;
   line "backoff_cycles %d" s.Stats.backoff_cycles;
   line "total_cycles %d" s.Stats.total_cycles;
+  line "thread_cycles %d" s.Stats.thread_cycles;
   line "lock_acquires %d" s.Stats.lock_acquires;
   line "lock_timeouts %d" s.Stats.lock_timeouts;
   line "alps_executed %d" s.Stats.alps_executed;
@@ -138,6 +139,7 @@ let decode text =
     s.Stats.lock_wait_cycles <- scalar "lock_wait_cycles";
     s.Stats.backoff_cycles <- scalar "backoff_cycles";
     s.Stats.total_cycles <- scalar "total_cycles";
+    s.Stats.thread_cycles <- scalar "thread_cycles";
     s.Stats.lock_acquires <- scalar "lock_acquires";
     s.Stats.lock_timeouts <- scalar "lock_timeouts";
     s.Stats.alps_executed <- scalar "alps_executed";

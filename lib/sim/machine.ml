@@ -8,14 +8,36 @@ exception Sim_error of string
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
 
+type abort_kind = Conflict | Lock_subscription | Explicit
+
 type event =
-  | Tx_begin of { tid : int; ab : int; attempt : int }
-  | Tx_commit of { tid : int; ab : int; cycles : int }
-  | Tx_abort of { tid : int; ab : int; conf_line : int option }
+  | Tx_begin of { tid : int; ab : int; attempt : int; probe : bool }
+  | Tx_commit of {
+      tid : int;
+      ab : int;
+      cycles : int;
+      irrevocable : bool;
+      probe : bool;
+    }
+  | Tx_abort of {
+      tid : int;
+      ab : int;
+      kind : abort_kind;
+      conf_line : int option;
+      conf_pc : int option;
+      aggressor : int option;
+      cycles : int;
+      probe : bool;
+    }
   | Tx_irrevocable of { tid : int; ab : int }
+  | Alp_executed of { tid : int; ab : int; site : int; fired : bool }
+  | Lock_attempt of { tid : int; lock : int; line : int }
   | Lock_acquired of { tid : int; lock : int; line : int }
+  | Lock_released of { tid : int; lock : int; committed : bool }
   | Lock_waiting of { tid : int; lock : int }
   | Lock_timeout of { tid : int; lock : int }
+  | Backoff_start of { tid : int }
+  | Backoff_end of { tid : int }
 
 type setup_env = { memory : Memory.t; alloc : Alloc.t; setup_rng : Stx_util.Rng.t }
 
@@ -33,7 +55,7 @@ type frame = {
   ret_dst : Ir.reg option; (* destination register in the parent frame *)
 }
 
-type wait = Lock_spin of { idx : int; deadline : int } | Global_spin
+type wait = Lock_spin of { idx : int; line : int; deadline : int } | Global_spin
 
 type txstate = {
   tx_ab : int;
@@ -125,6 +147,7 @@ let request_lock m th ~addr =
   | Some tx ->
     m.stats.Stats.alps_lock_attempts <- m.stats.Stats.alps_lock_attempts + 1;
     let idx = Advisory_lock.index_for m.locks ~addr in
+    emit m th (Lock_attempt { tid = th.tid; lock = idx; line = line_of m addr });
     let cost =
       mem_latency m th ~addr:(Advisory_lock.lock_addr m.locks idx) ~write:true
     in
@@ -146,7 +169,10 @@ let request_lock m th ~addr =
       if Advisory_lock.waiters m.locks ~idx >= m.max_waiters then ()
       else begin
         Advisory_lock.add_waiter m.locks ~idx;
-        th.wait <- Some (Lock_spin { idx; deadline = th.time + m.lock_timeout });
+        th.wait <-
+          Some
+            (Lock_spin
+               { idx; line = line_of m addr; deadline = th.time + m.lock_timeout });
         emit m th (Lock_waiting { tid = th.tid; lock = idx })
       end
     end
@@ -162,6 +188,7 @@ let release_lock m th ~committed =
       Advisory_lock.release m.locks ~core:th.tid ~idx ~contended;
       tx.tx_lock <- None;
       charge m th (mem_latency m th ~addr:(Advisory_lock.lock_addr m.locks idx) ~write:true);
+      emit m th (Lock_released { tid = th.tid; lock = idx; committed });
       if committed && not !contended then
         Policy.on_commit_uncontended_lock m.policy th.contexts.(tx.tx_ab))
 
@@ -191,7 +218,14 @@ let begin_attempt m th =
         ctx.Abcontext.active_site <- Abcontext.no_site;
         tx.tx_is_probe <- true
       end;
-      emit m th (Tx_begin { tid = th.tid; ab = tx.tx_ab; attempt = tx.tx_attempt });
+      emit m th
+        (Tx_begin
+           {
+             tid = th.tid;
+             ab = tx.tx_ab;
+             attempt = tx.tx_attempt;
+             probe = tx.tx_is_probe;
+           });
       (* AddrOnly and TxSched place their single pseudo-ALP at the very
          top of the atomic block *)
       (match m.mode with
@@ -212,6 +246,12 @@ let begin_attempt m th =
         end
       | Mode.Baseline | Mode.Staggered_sw | Mode.Staggered_hw -> ())
     end
+    else
+      (* irrevocable attempts begin too: the trace needs a uniform
+         begin/commit bracket per attempt, speculative or not *)
+      emit m th
+        (Tx_begin
+           { tid = th.tid; ab = tx.tx_ab; attempt = tx.tx_attempt; probe = false })
 
 let start_atomic m th ~ab ~dst ~args =
   let tx =
@@ -262,13 +302,21 @@ let finish_tx m th (tx : txstate) retval =
   let ab = Stats.ab m.stats tx.tx_ab in
   ab.Stats.ab_commits <- ab.Stats.ab_commits + 1;
   if tx.tx_irrevocable then ab.Stats.ab_irrevocable <- ab.Stats.ab_irrevocable + 1;
-  emit m th (Tx_commit { tid = th.tid; ab = tx.tx_ab; cycles = th.time - tx.tx_start })
+  emit m th
+    (Tx_commit
+       {
+         tid = th.tid;
+         ab = tx.tx_ab;
+         cycles = th.time - tx.tx_start;
+         irrevocable = tx.tx_irrevocable;
+         probe = tx.tx_is_probe;
+       })
 
 (* identify the anchor the abort traces back to, per the configured
    conflicting-PC scheme, and score it against the full-PC oracle *)
 let identify_anchor m th table reason =
   match reason with
-  | Htm.Conflict { conf_addr; conf_pc; conf_pc_full } ->
+  | Htm.Conflict { conf_addr; conf_pc; conf_pc_full; _ } ->
     let line = line_of m conf_addr in
     let runtime_anchor =
       match m.mode with
@@ -313,7 +361,8 @@ let handle_abort m th =
     release_lock m th ~committed:false;
     charge m th (m.cfg.Config.abort_cost + m.cfg.Config.handler_cost);
     m.stats.Stats.aborts <- m.stats.Stats.aborts + 1;
-    m.stats.Stats.wasted_cycles <- m.stats.Stats.wasted_cycles + (th.time - tx.tx_start);
+    let wasted = th.time - tx.tx_start in
+    m.stats.Stats.wasted_cycles <- m.stats.Stats.wasted_cycles + wasted;
     (Stats.ab m.stats tx.tx_ab).Stats.ab_aborts
     <- (Stats.ab m.stats tx.tx_ab).Stats.ab_aborts + 1;
     let table = Pipeline.table_for m.compiled ~ab:tx.tx_ab in
@@ -349,7 +398,24 @@ let handle_abort m th =
       m.stats.Stats.lock_sub_aborts <- m.stats.Stats.lock_sub_aborts + 1
     | Htm.Explicit ->
       m.stats.Stats.explicit_aborts <- m.stats.Stats.explicit_aborts + 1);
-    emit m th (Tx_abort { tid = th.tid; ab = tx.tx_ab; conf_line = !conf });
+    let kind, abort_conf_pc, aggressor =
+      match reason with
+      | Htm.Conflict { conf_pc; aggressor; _ } -> (Conflict, conf_pc, Some aggressor)
+      | Htm.Lock_subscription -> (Lock_subscription, None, None)
+      | Htm.Explicit -> (Explicit, None, None)
+    in
+    emit m th
+      (Tx_abort
+         {
+           tid = th.tid;
+           ab = tx.tx_ab;
+           kind;
+           conf_line = !conf;
+           conf_pc = abort_conf_pc;
+           aggressor;
+           cycles = wasted;
+           probe = tx.tx_is_probe;
+         });
     th.contexts.(tx.tx_ab).Abcontext.probe_streak <- 0;
     tx.tx_is_probe <- false;
     pop_to_base th tx;
@@ -363,8 +429,10 @@ let handle_abort m th =
       let base = m.cfg.Config.backoff_base * tx.tx_attempt in
       let jitter = Stx_util.Rng.int th.rng (max 1 base) in
       let delay = (base / 2) + jitter in
+      emit m th (Backoff_start { tid = th.tid });
       charge m th delay;
       m.stats.Stats.backoff_cycles <- m.stats.Stats.backoff_cycles + delay;
+      emit m th (Backoff_end { tid = th.tid });
       begin_attempt m th
     end
 
@@ -387,14 +455,23 @@ let exec_alp m th (a : Ir.alp) =
           charge m th m.cfg.Config.l1_latency
       end;
       let ctx = th.contexts.(tx.tx_ab) in
-      if
+      let fired =
         ctx.Abcontext.active_site = a.Ir.alp_site
         && Abcontext.address_matched ctx ~words_per_line:(wpl m) ~addr
-      then begin
+      in
+      emit m th
+        (Alp_executed { tid = th.tid; ab = tx.tx_ab; site = a.Ir.alp_site; fired });
+      if fired then begin
         ignore (Abcontext.consume_active ctx ~site:a.Ir.alp_site);
         request_lock m th ~addr
       end
     end
+    else
+      (* a null-address ALP still executed: the trace must tally with
+         stats.alps_executed, so it gets an (unfired) event too *)
+      emit m th
+        (Alp_executed
+           { tid = th.tid; ab = tx.tx_ab; site = a.Ir.alp_site; fired = false })
   | _ -> ()
 
 let exec_intr m th f dst intr args =
@@ -568,7 +645,7 @@ let step m th =
   then handle_abort m th
   else
     match th.wait with
-    | Some (Lock_spin { idx; deadline }) ->
+    | Some (Lock_spin { idx; line; deadline }) ->
       spin_wait m th;
       let tx = Option.get th.tx in
       if Advisory_lock.try_acquire m.locks ~core:th.tid ~idx then begin
@@ -579,7 +656,7 @@ let step m th =
         (Stats.ab m.stats tx.tx_ab).Stats.ab_locks
         <- (Stats.ab m.stats tx.tx_ab).Stats.ab_locks + 1;
         th.wait <- None;
-        emit m th (Lock_acquired { tid = th.tid; lock = idx; line = 0 })
+        emit m th (Lock_acquired { tid = th.tid; lock = idx; line })
       end
       else if th.time >= deadline then begin
         Advisory_lock.remove_waiter m.locks ~idx;
@@ -694,4 +771,7 @@ let run ?(seed = 1) ?(policy = Policy.default_params) ?(lock_timeout = 100_000)
   done;
   if Htm.global_lock_held htm then trap "global lock still held at end of run";
   Array.iter (fun th -> stats.Stats.total_cycles <- max stats.Stats.total_cycles th.time) threads;
+  Array.iter
+    (fun th -> stats.Stats.thread_cycles <- stats.Stats.thread_cycles + th.time)
+    threads;
   stats

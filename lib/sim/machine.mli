@@ -19,14 +19,40 @@ exception Sim_error of string
 (** A program-level trap: null dereference, division by zero, runaway
     simulation, etc. *)
 
+type abort_kind = Conflict | Lock_subscription | Explicit
+
 type event =
-  | Tx_begin of { tid : int; ab : int; attempt : int }
-  | Tx_commit of { tid : int; ab : int; cycles : int }
-  | Tx_abort of { tid : int; ab : int; conf_line : int option }
+  | Tx_begin of { tid : int; ab : int; attempt : int; probe : bool }
+      (** one per hardware attempt AND per irrevocable (re)start, so every
+          commit closes a begin *)
+  | Tx_commit of {
+      tid : int;
+      ab : int;
+      cycles : int;  (** cycles of the committing attempt *)
+      irrevocable : bool;
+      probe : bool;
+    }
+  | Tx_abort of {
+      tid : int;
+      ab : int;
+      kind : abort_kind;
+      conf_line : int option;  (** conflicting cache line, data conflicts *)
+      conf_pc : int option;  (** the victim's (truncated) PC tag *)
+      aggressor : int option;  (** core whose access doomed the victim *)
+      cycles : int;  (** cycles wasted by the aborted attempt *)
+      probe : bool;
+    }
   | Tx_irrevocable of { tid : int; ab : int }
+      (** global lock acquired; an irrevocable [Tx_begin] follows *)
+  | Alp_executed of { tid : int; ab : int; site : int; fired : bool }
+      (** a dynamic ALP instruction; [fired] when it went for its lock *)
+  | Lock_attempt of { tid : int; lock : int; line : int }
   | Lock_acquired of { tid : int; lock : int; line : int }
+  | Lock_released of { tid : int; lock : int; committed : bool }
   | Lock_waiting of { tid : int; lock : int }
   | Lock_timeout of { tid : int; lock : int }
+  | Backoff_start of { tid : int }
+  | Backoff_end of { tid : int }
 
 type setup_env = { memory : Memory.t; alloc : Alloc.t; setup_rng : Stx_util.Rng.t }
 

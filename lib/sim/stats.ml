@@ -19,6 +19,7 @@ type t = {
   mutable lock_wait_cycles : int;
   mutable backoff_cycles : int;
   mutable total_cycles : int;
+  mutable thread_cycles : int;
   mutable lock_acquires : int;
   mutable lock_timeouts : int;
   mutable alps_executed : int;
@@ -52,6 +53,7 @@ let create ~threads =
     lock_wait_cycles = 0;
     backoff_cycles = 0;
     total_cycles = 0;
+    thread_cycles = 0;
     lock_acquires = 0;
     lock_timeouts = 0;
     alps_executed = 0;
@@ -73,8 +75,18 @@ let create ~threads =
 let aborts_per_commit t = Stx_util.Stat.ratio t.aborts t.commits
 let wasted_over_useful t = Stx_util.Stat.ratio t.wasted_cycles t.useful_cycles
 let pct_irrevocable t = Stx_util.Stat.percent t.irrevocable_entries t.commits
-(* tx_mode_cycles aggregates across threads; total_cycles is the makespan *)
-let pct_tx_time t = Stx_util.Stat.percent t.tx_mode_cycles (t.total_cycles * t.threads)
+(* tx_mode_cycles aggregates across threads, so the denominator must too:
+   thread_cycles (the sum of final thread-local clocks, accumulated at run
+   end and summed by [merge]). Recomputing it as total_cycles * threads
+   skews merged values — merge maxes both factors, so two sequential
+   same-thread runs would divide a summed numerator by an un-summed
+   denominator and report > 100%. The fallback covers hand-built records
+   that never ran (fixtures, old store entries). *)
+let pct_tx_time t =
+  let denom =
+    if t.thread_cycles > 0 then t.thread_cycles else t.total_cycles * t.threads
+  in
+  Stx_util.Stat.percent t.tx_mode_cycles denom
 let accuracy t = Stx_util.Stat.percent t.accuracy_hits t.accuracy_total
 
 let locality ?(top = 1) freq =
@@ -116,8 +128,11 @@ let merge a b =
   m.tx_mode_cycles <- a.tx_mode_cycles + b.tx_mode_cycles;
   m.lock_wait_cycles <- a.lock_wait_cycles + b.lock_wait_cycles;
   m.backoff_cycles <- a.backoff_cycles + b.backoff_cycles;
-  (* total_cycles is a makespan, not a counter: concurrent shards overlap *)
+  (* total_cycles is a makespan, not a counter: concurrent shards overlap.
+     thread_cycles is a counter: every thread's clock keeps ticking in its
+     own run, so the %TM denominator sums. *)
   m.total_cycles <- max a.total_cycles b.total_cycles;
+  m.thread_cycles <- a.thread_cycles + b.thread_cycles;
   m.lock_acquires <- a.lock_acquires + b.lock_acquires;
   m.lock_timeouts <- a.lock_timeouts + b.lock_timeouts;
   m.alps_executed <- a.alps_executed + b.alps_executed;

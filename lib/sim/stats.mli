@@ -22,6 +22,9 @@ type t = {
   mutable lock_wait_cycles : int;  (** spinning on advisory locks *)
   mutable backoff_cycles : int;
   mutable total_cycles : int;  (** makespan: max thread-local clock *)
+  mutable thread_cycles : int;
+      (** sum of final thread-local clocks — the %TM-time denominator,
+          accumulated at run end and summed (not maxed) by {!merge} *)
   mutable lock_acquires : int;
   mutable lock_timeouts : int;
   mutable alps_executed : int;  (** dynamic ALP instructions *)
@@ -48,6 +51,10 @@ val pct_irrevocable : t -> float
 (** Percentage of committed transactions that ran irrevocably. *)
 
 val pct_tx_time : t -> float
+(** [tx_mode_cycles] over [thread_cycles] (with a [total_cycles * threads]
+    fallback for records that never ran a simulation). Stays ≤ 100% under
+    {!merge}, because both sides of the ratio sum. *)
+
 val accuracy : t -> float
 
 val locality : ?top:int -> (int, int) Hashtbl.t -> float

@@ -1,0 +1,512 @@
+open Stx_sim
+
+type entry = { time : int; ev : Machine.event }
+
+type t = {
+  n_threads : int;
+  capacity : int; (* 0 = unbounded (full capture) *)
+  mutable arr : entry array;
+  mutable len : int;
+  mutable head : int;
+  mutable n_dropped : int;
+}
+
+let dummy = { time = 0; ev = Machine.Backoff_start { tid = 0 } }
+
+let create ?capacity ~threads () =
+  let capacity =
+    match capacity with
+    | None -> 0
+    | Some c ->
+      if c <= 0 then invalid_arg "Trace.create: capacity must be positive";
+      c
+  in
+  let initial = if capacity = 0 then 1024 else capacity in
+  {
+    n_threads = threads;
+    capacity;
+    arr = Array.make initial dummy;
+    len = 0;
+    head = 0;
+    n_dropped = 0;
+  }
+
+let handler t ~time ev =
+  let e = { time; ev } in
+  if t.capacity = 0 then begin
+    if t.len = Array.length t.arr then begin
+      let bigger = Array.make (2 * t.len) dummy in
+      Array.blit t.arr 0 bigger 0 t.len;
+      t.arr <- bigger
+    end;
+    t.arr.(t.len) <- e;
+    t.len <- t.len + 1
+  end
+  else if t.len < t.capacity then begin
+    t.arr.((t.head + t.len) mod t.capacity) <- e;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* ring full: the oldest event makes room *)
+    t.arr.(t.head) <- e;
+    t.head <- (t.head + 1) mod t.capacity;
+    t.n_dropped <- t.n_dropped + 1
+  end
+
+let length t = t.len
+let dropped t = t.n_dropped
+let threads t = t.n_threads
+
+let iter t f =
+  let cap = Array.length t.arr in
+  for i = 0 to t.len - 1 do
+    let e = t.arr.((t.head + i) mod cap) in
+    f ~time:e.time e.ev
+  done
+
+let events t =
+  let acc = ref [] in
+  iter t (fun ~time ev -> acc := (time, ev) :: !acc);
+  List.rev !acc
+
+(* --- invariant checking ------------------------------------------------ *)
+
+(* per-thread replay state: what the protocol allows next *)
+type attempt = { a_ab : int; mutable a_lock : int option; mutable a_acquires : int }
+
+type tstate = {
+  mutable last_time : int;
+  mutable open_attempt : attempt option;
+  mutable waiting : int option; (* advisory lock index being spun on *)
+  mutable backoff_since : int option;
+}
+
+type ab_tally = {
+  mutable t_commits : int;
+  mutable t_aborts : int;
+  mutable t_locks : int;
+  mutable t_irrevocable : int;
+}
+
+let check t (stats : Stats.t) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  if t.n_dropped > 0 then begin
+    err
+      "%d events dropped by the ring buffer; a truncated stream cannot be \
+       reconciled (use full capture)"
+      t.n_dropped;
+    Error (List.rev !errs)
+  end
+  else begin
+    let n = t.n_threads in
+    let states =
+      Array.init n (fun _ ->
+          { last_time = 0; open_attempt = None; waiting = None; backoff_since = None })
+    in
+    let st tid =
+      if tid < 0 || tid >= n then begin
+        err "event names thread %d but the trace covers %d threads" tid n;
+        None
+      end
+      else Some states.(tid)
+    in
+    let commits = ref 0 and aborts = ref 0 in
+    let conflict_aborts = ref 0 and lock_sub_aborts = ref 0 and explicit_aborts = ref 0 in
+    let irrevocable = ref 0 and acquires = ref 0 and timeouts = ref 0 in
+    let alps = ref 0 and lock_attempts = ref 0 in
+    let useful = ref 0 and wasted = ref 0 and backoff = ref 0 in
+    let abs : (int, ab_tally) Hashtbl.t = Hashtbl.create 8 in
+    let ab_tally id =
+      match Hashtbl.find_opt abs id with
+      | Some a -> a
+      | None ->
+        let a = { t_commits = 0; t_aborts = 0; t_locks = 0; t_irrevocable = 0 } in
+        Hashtbl.add abs id a;
+        a
+    in
+    iter t (fun ~time ev ->
+        let tid =
+          match ev with
+          | Machine.Tx_begin { tid; _ }
+          | Machine.Tx_commit { tid; _ }
+          | Machine.Tx_abort { tid; _ }
+          | Machine.Tx_irrevocable { tid; _ }
+          | Machine.Alp_executed { tid; _ }
+          | Machine.Lock_attempt { tid; _ }
+          | Machine.Lock_acquired { tid; _ }
+          | Machine.Lock_released { tid; _ }
+          | Machine.Lock_waiting { tid; _ }
+          | Machine.Lock_timeout { tid; _ }
+          | Machine.Backoff_start { tid }
+          | Machine.Backoff_end { tid } -> tid
+        in
+        match st tid with
+        | None -> ()
+        | Some s ->
+          if time < s.last_time then
+            err "thread %d: clock went backwards (%d after %d)" tid time s.last_time;
+          s.last_time <- time;
+          (match ev with
+          | Machine.Tx_begin { ab; _ } ->
+            (match s.open_attempt with
+            | Some _ -> err "thread %d: begin at %d while an attempt is open" tid time
+            | None -> ());
+            s.open_attempt <- Some { a_ab = ab; a_lock = None; a_acquires = 0 }
+          | Machine.Tx_commit { ab; cycles; irrevocable = irr; _ } ->
+            (match s.open_attempt with
+            | None -> err "thread %d: commit at %d with no open attempt" tid time
+            | Some a ->
+              if a.a_ab <> ab then
+                err "thread %d: commit names ab%d but the open attempt is ab%d" tid
+                  ab a.a_ab;
+              if a.a_lock <> None then
+                err "thread %d: advisory lock still held at commit (time %d)" tid time);
+            incr commits;
+            useful := !useful + cycles;
+            let tally = ab_tally ab in
+            tally.t_commits <- tally.t_commits + 1;
+            if irr then tally.t_irrevocable <- tally.t_irrevocable + 1;
+            s.open_attempt <- None;
+            s.waiting <- None
+          | Machine.Tx_abort { ab; kind; cycles; _ } ->
+            (match s.open_attempt with
+            | None -> err "thread %d: abort at %d with no open attempt" tid time
+            | Some a ->
+              if a.a_ab <> ab then
+                err "thread %d: abort names ab%d but the open attempt is ab%d" tid ab
+                  a.a_ab;
+              if a.a_lock <> None then
+                err "thread %d: advisory lock still held at abort (time %d)" tid time);
+            incr aborts;
+            (match kind with
+            | Machine.Conflict -> incr conflict_aborts
+            | Machine.Lock_subscription -> incr lock_sub_aborts
+            | Machine.Explicit -> incr explicit_aborts);
+            wasted := !wasted + cycles;
+            (ab_tally ab).t_aborts <- (ab_tally ab).t_aborts + 1;
+            s.open_attempt <- None;
+            s.waiting <- None
+          | Machine.Tx_irrevocable _ ->
+            if s.open_attempt <> None then
+              err "thread %d: irrevocable entry at %d inside an open attempt" tid time;
+            incr irrevocable
+          | Machine.Alp_executed _ ->
+            if s.open_attempt = None then
+              err "thread %d: ALP executed at %d outside a transaction" tid time;
+            incr alps
+          | Machine.Lock_attempt _ ->
+            (match s.open_attempt with
+            | None -> err "thread %d: lock attempt at %d outside a transaction" tid time
+            | Some a ->
+              if a.a_lock <> None then
+                err "thread %d: lock attempt at %d while already holding a lock" tid
+                  time);
+            incr lock_attempts
+          | Machine.Lock_acquired { lock; _ } ->
+            (match s.open_attempt with
+            | None -> err "thread %d: lock acquired at %d outside a transaction" tid time
+            | Some a ->
+              if a.a_lock <> None then
+                err "thread %d: second advisory lock acquired at %d" tid time;
+              if a.a_acquires >= 1 then
+                err "thread %d: more than one advisory lock acquisition in one attempt"
+                  tid;
+              a.a_lock <- Some lock;
+              a.a_acquires <- a.a_acquires + 1;
+              (ab_tally a.a_ab).t_locks <- (ab_tally a.a_ab).t_locks + 1);
+            incr acquires;
+            s.waiting <- None
+          | Machine.Lock_released { lock; _ } -> (
+            match s.open_attempt with
+            | None -> err "thread %d: lock released at %d outside a transaction" tid time
+            | Some a -> (
+              match a.a_lock with
+              | Some l when l = lock -> a.a_lock <- None
+              | _ -> err "thread %d: released lock %d it does not hold" tid lock))
+          | Machine.Lock_waiting { lock; _ } ->
+            if s.open_attempt = None then
+              err "thread %d: lock wait at %d outside a transaction" tid time;
+            s.waiting <- Some lock
+          | Machine.Lock_timeout { lock; _ } ->
+            if s.waiting <> Some lock then
+              err "thread %d: timeout on lock %d it was not waiting for" tid lock;
+            s.waiting <- None;
+            incr timeouts
+          | Machine.Backoff_start _ ->
+            if s.open_attempt <> None then
+              err "thread %d: backoff started at %d inside an open attempt" tid time;
+            if s.backoff_since <> None then
+              err "thread %d: nested backoff at %d" tid time;
+            s.backoff_since <- Some time
+          | Machine.Backoff_end _ -> (
+            match s.backoff_since with
+            | None -> err "thread %d: backoff ended at %d without a start" tid time
+            | Some t0 ->
+              backoff := !backoff + (time - t0);
+              s.backoff_since <- None)));
+    Array.iteri
+      (fun tid s ->
+        if s.open_attempt <> None then
+          err "thread %d: attempt still open at end of trace" tid;
+        if s.backoff_since <> None then
+          err "thread %d: backoff still open at end of trace" tid)
+      states;
+    (* reconcile the replayed counters against the inline ones *)
+    let eq name trace stats =
+      if trace <> stats then err "%s: trace says %d, stats say %d" name trace stats
+    in
+    eq "commits" !commits stats.Stats.commits;
+    eq "aborts" !aborts stats.Stats.aborts;
+    eq "conflict aborts" !conflict_aborts stats.Stats.conflict_aborts;
+    eq "lock-subscription aborts" !lock_sub_aborts stats.Stats.lock_sub_aborts;
+    eq "explicit aborts" !explicit_aborts stats.Stats.explicit_aborts;
+    eq "irrevocable entries" !irrevocable stats.Stats.irrevocable_entries;
+    eq "lock acquires" !acquires stats.Stats.lock_acquires;
+    eq "lock timeouts" !timeouts stats.Stats.lock_timeouts;
+    eq "ALPs executed" !alps stats.Stats.alps_executed;
+    eq "ALP lock attempts" !lock_attempts stats.Stats.alps_lock_attempts;
+    eq "useful cycles" !useful stats.Stats.useful_cycles;
+    eq "wasted cycles" !wasted stats.Stats.wasted_cycles;
+    eq "backoff cycles" !backoff stats.Stats.backoff_cycles;
+    if stats.Stats.tx_mode_cycles < !useful + !wasted + !backoff then
+      err "tx_mode_cycles (%d) below useful+wasted+backoff (%d)"
+        stats.Stats.tx_mode_cycles
+        (!useful + !wasted + !backoff);
+    if stats.Stats.thread_cycles > 0 && stats.Stats.tx_mode_cycles > stats.Stats.thread_cycles
+    then
+      err "tx_mode_cycles (%d) exceeds thread_cycles (%d)" stats.Stats.tx_mode_cycles
+        stats.Stats.thread_cycles;
+    Hashtbl.iter
+      (fun id (tr : ab_tally) ->
+        match Hashtbl.find_opt stats.Stats.per_ab id with
+        | None -> err "ab%d: seen in trace but absent from stats" id
+        | Some (st : Stats.ab_stat) ->
+          eq (Printf.sprintf "ab%d commits" id) tr.t_commits st.Stats.ab_commits;
+          eq (Printf.sprintf "ab%d aborts" id) tr.t_aborts st.Stats.ab_aborts;
+          eq (Printf.sprintf "ab%d locks" id) tr.t_locks st.Stats.ab_locks;
+          eq
+            (Printf.sprintf "ab%d irrevocable" id)
+            tr.t_irrevocable st.Stats.ab_irrevocable)
+      abs;
+    Hashtbl.iter
+      (fun id (st : Stats.ab_stat) ->
+        if
+          (not (Hashtbl.mem abs id))
+          && st.Stats.ab_commits + st.Stats.ab_aborts + st.Stats.ab_locks
+             + st.Stats.ab_irrevocable
+             > 0
+        then err "ab%d: counted in stats but absent from trace" id)
+      stats.Stats.per_ab;
+    match List.rev !errs with [] -> Ok () | es -> Error es
+  end
+
+let check_exn t stats =
+  match check t stats with
+  | Ok () -> ()
+  | Error es -> failwith ("trace/stats divergence:\n  " ^ String.concat "\n  " es)
+
+(* --- abort attribution ------------------------------------------------- *)
+
+type attribution = {
+  agg_matrix : int array array;
+  unattributed : int;
+  by_line : (int * int) list;
+  by_pc : (int * int) list;
+  by_ab : (int * int) list;
+  conflict_aborts : int;
+}
+
+let abort_attribution t =
+  let n = t.n_threads in
+  let matrix = Array.make_matrix n n 0 in
+  let unattributed = ref 0 and total = ref 0 in
+  let lines = Hashtbl.create 32 in
+  let pcs = Hashtbl.create 32 in
+  let abs = Hashtbl.create 8 in
+  let bump tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  iter t (fun ~time:_ ev ->
+      match ev with
+      | Machine.Tx_abort
+          { tid; ab; kind = Machine.Conflict; conf_line; conf_pc; aggressor; _ } ->
+        incr total;
+        bump abs ab;
+        (match conf_line with Some l -> bump lines l | None -> ());
+        (match conf_pc with Some pc -> bump pcs pc | None -> ());
+        (match aggressor with
+        | Some a when a >= 0 && a < n && tid >= 0 && tid < n ->
+          matrix.(a).(tid) <- matrix.(a).(tid) + 1
+        | _ -> incr unattributed)
+      | _ -> ());
+  let ranked tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (k1, c1) (k2, c2) ->
+           if c1 <> c2 then compare (c2 : int) c1 else compare (k1 : int) k2)
+  in
+  {
+    agg_matrix = matrix;
+    unattributed = !unattributed;
+    by_line = ranked lines;
+    by_pc = ranked pcs;
+    by_ab = ranked abs;
+    conflict_aborts = !total;
+  }
+
+(* --- Chrome trace_event export ----------------------------------------- *)
+
+(* every generated string is ASCII, but stay safe anyway *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_chrome_json t =
+  let b = Buffer.create 65536 in
+  let first = ref true in
+  let obj fields =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%s" k v))
+      fields;
+    Buffer.add_char b '}'
+  in
+  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let int i = string_of_int i in
+  let bool v = if v then "true" else "false" in
+  let opt_int = function Some i -> int i | None -> "null" in
+  let args fields =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) fields)
+    ^ "}"
+  in
+  let span ~name ~ts ~dur ~tid ~args:a =
+    obj
+      [
+        ("name", str name); ("cat", str "sim"); ("ph", str "X"); ("ts", int ts);
+        ("dur", int dur); ("pid", int 0); ("tid", int tid); ("args", a);
+      ]
+  in
+  let instant ~name ~ts ~tid ~args:a =
+    obj
+      [
+        ("name", str name); ("cat", str "sim"); ("ph", str "i"); ("ts", int ts);
+        ("s", str "t"); ("pid", int 0); ("tid", int tid); ("args", a);
+      ]
+  in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  for tid = 0 to t.n_threads - 1 do
+    obj
+      [
+        ("name", str "thread_name"); ("ph", str "M"); ("pid", int 0);
+        ("tid", int tid);
+        ("args", args [ ("name", str (Printf.sprintf "core %d" tid)) ]);
+      ]
+  done;
+  let n = t.n_threads in
+  let tx_open = Array.make n None (* (start, ab, attempt, probe) *) in
+  let lock_open = Array.make n None (* (start, lock, line) *) in
+  let wait_open = Array.make n None (* (start, lock) *) in
+  let backoff_open = Array.make n None (* start *) in
+  let close_wait ~time ~tid ~outcome =
+    if tid >= 0 && tid < n then
+      match wait_open.(tid) with
+      | Some (t0, lock) ->
+        span
+          ~name:(Printf.sprintf "wait lock%d" lock)
+          ~ts:t0 ~dur:(time - t0) ~tid
+          ~args:(args [ ("lock", int lock); ("outcome", str outcome) ]);
+        wait_open.(tid) <- None
+      | None -> ()
+  in
+  let close_tx ~time ~tid ~ab ~outcome extra =
+    if tid >= 0 && tid < n then
+      match tx_open.(tid) with
+      | Some (t0, _, attempt, probe) ->
+        span
+          ~name:(Printf.sprintf "ab%d" ab)
+          ~ts:t0 ~dur:(time - t0) ~tid
+          ~args:
+            (args
+               ([ ("attempt", int attempt); ("probe", bool probe);
+                  ("outcome", str outcome) ]
+               @ extra));
+        tx_open.(tid) <- None
+      | None -> ()
+  in
+  iter t (fun ~time ev ->
+      match ev with
+      | Machine.Tx_begin { tid; ab; attempt; probe } ->
+        if tid >= 0 && tid < n then tx_open.(tid) <- Some (time, ab, attempt, probe)
+      | Machine.Tx_commit { tid; ab; irrevocable; _ } ->
+        close_tx ~time ~tid ~ab ~outcome:"commit"
+          [ ("irrevocable", bool irrevocable) ]
+      | Machine.Tx_abort { tid; ab; kind; conf_line; conf_pc; aggressor; _ } ->
+        close_wait ~time ~tid ~outcome:"abort";
+        close_tx ~time ~tid ~ab ~outcome:"abort" [];
+        let reason =
+          match kind with
+          | Machine.Conflict -> "conflict"
+          | Machine.Lock_subscription -> "lock_subscription"
+          | Machine.Explicit -> "explicit"
+        in
+        instant ~name:"abort" ~ts:time ~tid
+          ~args:
+            (args
+               [
+                 ("reason", str reason); ("victim", int tid);
+                 ("aggressor", opt_int aggressor);
+                 ("conf_line", opt_int conf_line); ("conf_pc", opt_int conf_pc);
+               ])
+      | Machine.Tx_irrevocable { tid; ab } ->
+        instant ~name:"irrevocable" ~ts:time ~tid ~args:(args [ ("ab", int ab) ])
+      | Machine.Alp_executed { tid; ab; site; fired } ->
+        instant ~name:"alp" ~ts:time ~tid
+          ~args:(args [ ("ab", int ab); ("site", int site); ("fired", bool fired) ])
+      | Machine.Lock_attempt _ -> ()
+      | Machine.Lock_acquired { tid; lock; line } ->
+        close_wait ~time ~tid ~outcome:"acquired";
+        if tid >= 0 && tid < n then lock_open.(tid) <- Some (time, lock, line)
+      | Machine.Lock_released { tid; lock; committed } ->
+        if tid >= 0 && tid < n then (
+          match lock_open.(tid) with
+          | Some (t0, l, line) when l = lock ->
+            span
+              ~name:(Printf.sprintf "lock%d" lock)
+              ~ts:t0 ~dur:(time - t0) ~tid
+              ~args:(args [ ("line", int line); ("committed", bool committed) ]);
+            lock_open.(tid) <- None
+          | _ -> ())
+      | Machine.Lock_waiting { tid; lock } ->
+        if tid >= 0 && tid < n then wait_open.(tid) <- Some (time, lock)
+      | Machine.Lock_timeout { tid; _ } -> close_wait ~time ~tid ~outcome:"timeout"
+      | Machine.Backoff_start { tid } ->
+        if tid >= 0 && tid < n then backoff_open.(tid) <- Some time
+      | Machine.Backoff_end { tid } ->
+        if tid >= 0 && tid < n then (
+          match backoff_open.(tid) with
+          | Some t0 ->
+            span ~name:"backoff" ~ts:t0 ~dur:(time - t0) ~tid ~args:(args []);
+            backoff_open.(tid) <- None
+          | None -> ()));
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write_chrome t ~file =
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json t))

@@ -70,17 +70,101 @@ let test_fig1_timelines () =
   Alcotest.(check bool) "shows commits" true (contains s "C");
   Alcotest.(check bool) "legend" true (contains s "advisory lock")
 
+let begin_ev tid time tl =
+  Timeline.handler tl ~time
+    (Stx_sim.Machine.Tx_begin { tid; ab = 0; attempt = 0; probe = false })
+
+let commit_ev ?(irrevocable = false) tid time cycles tl =
+  Timeline.handler tl ~time
+    (Stx_sim.Machine.Tx_commit { tid; ab = 0; cycles; irrevocable; probe = false })
+
+let abort_ev tid time cycles tl =
+  Timeline.handler tl ~time
+    (Stx_sim.Machine.Tx_abort
+       {
+         tid;
+         ab = 0;
+         kind = Stx_sim.Machine.Conflict;
+         conf_line = None;
+         conf_pc = None;
+         aggressor = None;
+         cycles;
+         probe = false;
+       })
+
+(* the rendered lane body for one thread, without the "tN |...|" frame *)
+let lane s tid =
+  let prefix = Printf.sprintf "t%-2d |" tid in
+  match
+    List.find_opt
+      (fun l -> String.length l > String.length prefix
+                && String.sub l 0 (String.length prefix) = prefix)
+      (String.split_on_char '\n' s)
+  with
+  | Some l ->
+    String.sub l (String.length prefix) (String.length l - String.length prefix - 1)
+  | None -> Alcotest.failf "no lane for thread %d in:\n%s" tid s
+
 let test_timeline_render_basics () =
   let tl = Timeline.create ~threads:2 in
-  Timeline.handler tl ~time:0 (Stx_sim.Machine.Tx_begin { tid = 0; ab = 0; attempt = 0 });
-  Timeline.handler tl ~time:50 (Stx_sim.Machine.Tx_commit { tid = 0; ab = 0; cycles = 50 });
-  Timeline.handler tl ~time:20 (Stx_sim.Machine.Tx_begin { tid = 1; ab = 0; attempt = 0 });
-  Timeline.handler tl ~time:40 (Stx_sim.Machine.Tx_abort { tid = 1; ab = 0; conf_line = None });
+  begin_ev 0 0 tl;
+  commit_ev 0 50 50 tl;
+  begin_ev 1 20 tl;
+  abort_ev 1 40 20 tl;
   let s = Timeline.render ~width:50 ~until_time:100 tl in
   Alcotest.(check bool) "t0 lane" true (contains s "t0 ");
   Alcotest.(check bool) "t1 lane" true (contains s "t1 ");
-  Alcotest.(check bool) "commit marker" true (contains s "C");
-  Alcotest.(check bool) "abort marker" true (contains s "X")
+  Alcotest.(check bool) "commit marker" true (contains (lane s 0) "C");
+  Alcotest.(check bool) "abort marker" true (contains (lane s 1) "X");
+  (* what follows an abort is backoff, not more transaction *)
+  Alcotest.(check bool) "post-abort backoff" true (contains (lane s 1) "b");
+  Alcotest.(check bool) "post-abort not in-tx" false (contains (lane s 1) "Xb=")
+
+let test_timeline_windowing () =
+  let tl = Timeline.create ~threads:1 in
+  begin_ev 0 5 tl;
+  commit_ev 0 10 5 tl;
+  (* both events precede the window: they may steer the lane state, but
+     must not paint markers at column 0 *)
+  let s = Timeline.render ~width:40 ~from_time:100 ~until_time:200 tl in
+  let l = lane s 0 in
+  Alcotest.(check bool) "no pre-window commit marker" false (contains l "C");
+  Alcotest.(check string) "idle lane" (String.make 40 '.') l;
+  (* a begin before the window opens the window in-tx, still without
+     painting a marker *)
+  let tl2 = Timeline.create ~threads:1 in
+  begin_ev 0 5 tl2;
+  commit_ev 0 150 145 tl2;
+  let s2 = Timeline.render ~width:40 ~from_time:100 ~until_time:200 tl2 in
+  let l2 = lane s2 0 in
+  Alcotest.(check char) "window opens in-tx" '=' l2.[0];
+  Alcotest.(check bool) "commit inside window marked" true (contains l2 "C")
+
+let test_timeline_irrevocable_and_timeout () =
+  let tl = Timeline.create ~threads:1 in
+  let ev = Timeline.handler tl in
+  begin_ev 0 0 tl;
+  abort_ev 0 10 10 tl;
+  ev ~time:20 (Stx_sim.Machine.Tx_irrevocable { tid = 0; ab = 0 });
+  begin_ev 0 22 tl;
+  commit_ev ~irrevocable:true 0 80 58 tl;
+  let s = Timeline.render ~width:50 ~until_time:100 tl in
+  let l = lane s 0 in
+  Alcotest.(check bool) "irrevocable background" true (contains l "I");
+  Alcotest.(check bool) "backoff/global-spin stall shown" true (contains l "b");
+  (* the irrevocable attempt paints 'I' right up to its commit, not '=' *)
+  Alcotest.(check char) "irrevocable up to the commit" 'I' l.[String.index l 'C' - 1];
+  (* lock timeouts keep their own marker instead of masquerading as Begin *)
+  let tl2 = Timeline.create ~threads:1 in
+  let ev2 = Timeline.handler tl2 in
+  begin_ev 0 0 tl2;
+  ev2 ~time:20 (Stx_sim.Machine.Lock_waiting { tid = 0; lock = 3 });
+  ev2 ~time:40 (Stx_sim.Machine.Lock_timeout { tid = 0; lock = 3 });
+  commit_ev 0 80 80 tl2;
+  let s2 = Timeline.render ~width:50 ~until_time:100 tl2 in
+  let l2 = lane s2 0 in
+  Alcotest.(check bool) "wait marker" true (contains l2 "w");
+  Alcotest.(check bool) "timeout marker" true (contains l2 "T")
 
 let test_ablation_reports_render () =
   (* the cheapest ablations at tiny scale; just exercise the rendering *)
@@ -110,5 +194,8 @@ let suite =
     Alcotest.test_case "scaling report" `Quick test_scaling_report;
     Alcotest.test_case "fig1 timelines" `Quick test_fig1_timelines;
     Alcotest.test_case "timeline render basics" `Quick test_timeline_render_basics;
+    Alcotest.test_case "timeline windowing" `Quick test_timeline_windowing;
+    Alcotest.test_case "timeline irrevocable and timeout" `Quick
+      test_timeline_irrevocable_and_timeout;
     Alcotest.test_case "ablation renders" `Slow test_ablation_reports_render;
   ]

@@ -1,0 +1,313 @@
+open Stx_core
+open Stx_sim
+open Stx_workloads
+module Trace = Stx_trace.Trace
+
+(* The trace recorder, its invariant checker, and the Chrome exporter.
+   Runs stay tiny (low scale, 4 threads) to keep the suite fast. *)
+
+let threads = 4
+
+let run_traced ?capacity ?(scale = 0.05) ~mode w =
+  let tr = Trace.create ?capacity ~threads () in
+  let spec = Workload.spec ~instrument:(Mode.uses_alps mode) ~scale w in
+  let stats =
+    Machine.run ~seed:3
+      ~cfg:(Stx_machine.Config.with_cores threads Stx_machine.Config.default)
+      ~mode
+      ~on_event:(Trace.handler tr)
+      spec
+  in
+  (tr, stats)
+
+let all_modes =
+  [ Mode.Baseline; Mode.Addr_only; Mode.Staggered_sw; Mode.Staggered_hw ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+(* every workload x every mode: the replayed event stream must reconcile
+   with the inline counters *)
+let test_check_green_everywhere () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun mode ->
+          let tr, stats = run_traced ~mode w in
+          match Trace.check tr stats with
+          | Ok () -> ()
+          | Error errs ->
+            Alcotest.failf "%s / %s:\n  %s" w.Workload.name (Mode.to_string mode)
+              (String.concat "\n  " errs))
+        all_modes)
+    Registry.all
+
+(* deliberately corrupting any counter must trip the checker *)
+let test_check_detects_corruption () =
+  let w = Option.get (Registry.find "list-hi") in
+  let tr, stats = run_traced ~mode:Mode.Staggered_hw w in
+  let expect_divergence name bump restore =
+    bump ();
+    (match Trace.check tr stats with
+    | Ok () -> Alcotest.failf "corrupted %s went undetected" name
+    | Error _ -> ());
+    restore ();
+    match Trace.check tr stats with
+    | Ok () -> ()
+    | Error errs ->
+      Alcotest.failf "restore of %s left divergence: %s" name
+        (String.concat "; " errs)
+  in
+  expect_divergence "commits"
+    (fun () -> stats.Stats.commits <- stats.Stats.commits + 1)
+    (fun () -> stats.Stats.commits <- stats.Stats.commits - 1);
+  expect_divergence "aborts"
+    (fun () -> stats.Stats.aborts <- stats.Stats.aborts - 1)
+    (fun () -> stats.Stats.aborts <- stats.Stats.aborts + 1);
+  expect_divergence "lock_acquires"
+    (fun () -> stats.Stats.lock_acquires <- stats.Stats.lock_acquires + 1)
+    (fun () -> stats.Stats.lock_acquires <- stats.Stats.lock_acquires - 1);
+  expect_divergence "useful_cycles"
+    (fun () -> stats.Stats.useful_cycles <- stats.Stats.useful_cycles + 7)
+    (fun () -> stats.Stats.useful_cycles <- stats.Stats.useful_cycles - 7);
+  let ab0 = Stats.ab stats 0 in
+  expect_divergence "per-ab commits"
+    (fun () -> ab0.Stats.ab_commits <- ab0.Stats.ab_commits + 1)
+    (fun () -> ab0.Stats.ab_commits <- ab0.Stats.ab_commits - 1)
+
+(* a ring-mode trace is bounded — and refuses to vouch for anything *)
+let test_ring_bounds_and_refuses () =
+  let w = Option.get (Registry.find "list-hi") in
+  let tr, stats = run_traced ~capacity:128 ~mode:Mode.Staggered_hw w in
+  Alcotest.(check int) "ring length" 128 (Trace.length tr);
+  Alcotest.(check bool) "dropped some" true (Trace.dropped tr > 0);
+  match Trace.check tr stats with
+  | Ok () -> Alcotest.fail "a truncated trace must not reconcile"
+  | Error (e :: _) ->
+    Alcotest.(check bool) "mentions dropped events" true (contains e "dropped")
+  | Error [] -> Alcotest.fail "empty error list"
+
+let test_attribution_accounts_every_conflict () =
+  let w = Option.get (Registry.find "memcached") in
+  let tr, stats = run_traced ~mode:Mode.Baseline w in
+  let a = Trace.abort_attribution tr in
+  Alcotest.(check int) "conflict aborts" stats.Stats.conflict_aborts
+    a.Trace.conflict_aborts;
+  let attributed =
+    Array.fold_left
+      (fun acc row -> Array.fold_left ( + ) acc row)
+      0 a.Trace.agg_matrix
+  in
+  Alcotest.(check int) "matrix + unattributed covers all"
+    a.Trace.conflict_aborts
+    (attributed + a.Trace.unattributed);
+  Alcotest.(check int) "by_ab sums to total" a.Trace.conflict_aborts
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 a.Trace.by_ab);
+  (* no self-aborts: requester-wins dooms *other* cores *)
+  Array.iteri
+    (fun i row ->
+      Alcotest.(check int) (Printf.sprintf "no self-abort t%d" i) 0 row.(i))
+    a.Trace.agg_matrix
+
+(* --- Chrome JSON round trip ------------------------------------------- *)
+
+(* a deliberately small JSON reader: just enough to prove the exporter's
+   output is well-formed and re-count its events (no json library in the
+   dependency set, by design) *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let fail_at msg = failwith (Printf.sprintf "%s at byte %d" msg !pos) in
+  let rec skip_ws () =
+    match peek () with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c = if peek () <> c then fail_at (Printf.sprintf "expected %c" c); advance () in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance (); Buffer.contents b
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | 'n' -> Buffer.add_char b '\n'; advance ()
+        | 'u' ->
+          advance ();
+          for _ = 1 to 4 do advance () done;
+          Buffer.add_char b '?'
+        | c -> Buffer.add_char b c; advance ());
+        go ()
+      | '\000' -> fail_at "unterminated string"
+      | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> number ()
+  and literal lit v = String.iter expect lit; v
+  and number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while is_num_char (peek ()) do advance () done;
+    if !pos = start then fail_at "expected a value";
+    Num (float_of_string (String.sub s start (!pos - start)))
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then (advance (); Arr [])
+    else
+      let rec items acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' -> advance (); items (v :: acc)
+        | ']' -> advance (); Arr (List.rev (v :: acc))
+        | _ -> fail_at "expected , or ]"
+      in
+      items []
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then (advance (); Obj [])
+    else
+      let rec members acc =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' -> advance (); members ((k, v) :: acc)
+        | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+        | _ -> fail_at "expected , or }"
+      in
+      members []
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail_at "trailing garbage";
+  v
+
+let field name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let test_chrome_roundtrip () =
+  let w = Option.get (Registry.find "list-hi") in
+  let tr, stats = run_traced ~mode:Mode.Staggered_hw w in
+  let file = Filename.temp_file "stx_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Trace.write_chrome tr ~file;
+      let text =
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let doc = parse_json text in
+      let events =
+        match field "traceEvents" doc with
+        | Some (Arr l) -> l
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      Alcotest.(check bool) "has events" true (List.length events > 0);
+      let count p = List.length (List.filter p events) in
+      let abort_instants =
+        count (fun e ->
+            field "ph" e = Some (Str "i") && field "name" e = Some (Str "abort"))
+      in
+      Alcotest.(check int) "abort instants = Stats.aborts" stats.Stats.aborts
+        abort_instants;
+      let commit_spans =
+        count (fun e ->
+            field "ph" e = Some (Str "X")
+            &&
+            match field "args" e with
+            | Some a -> field "outcome" a = Some (Str "commit")
+            | None -> false)
+      in
+      Alcotest.(check int) "commit spans = Stats.commits" stats.Stats.commits
+        commit_spans;
+      let lanes =
+        count (fun e -> field "name" e = Some (Str "thread_name"))
+      in
+      Alcotest.(check int) "one metadata lane per core" threads lanes;
+      (* spans never run backwards *)
+      List.iter
+        (fun e ->
+          match (field "ph" e, field "dur" e) with
+          | Some (Str "X"), Some (Num d) ->
+            Alcotest.(check bool) "non-negative duration" true (d >= 0.)
+          | _ -> ())
+        events)
+
+(* --- %TM accounting under merge ---------------------------------------- *)
+
+(* two sequential shards on the same cores: the old total_cycles * threads
+   denominator maxed while the numerator summed, reporting > 100% TM *)
+let test_merge_keeps_pct_tx_time_bounded () =
+  let mk () =
+    let s = Stats.create ~threads:4 in
+    s.Stats.total_cycles <- 1000;
+    s.Stats.thread_cycles <- 4000;
+    s.Stats.tx_mode_cycles <- 3600;
+    s
+  in
+  let one = mk () in
+  Alcotest.(check (float 1e-6)) "single shard" 90.0 (Stats.pct_tx_time one);
+  let m = Stats.merge (mk ()) (mk ()) in
+  Alcotest.(check (float 1e-6)) "merged stays 90%" 90.0 (Stats.pct_tx_time m);
+  Alcotest.(check bool) "merged <= 100%" true (Stats.pct_tx_time m <= 100.0)
+
+let test_merged_real_runs_stay_bounded () =
+  let w = Option.get (Registry.find "ssca2") in
+  let _, a = run_traced ~mode:Mode.Staggered_hw w in
+  let _, b = run_traced ~mode:Mode.Baseline w in
+  let m = Stats.merge a b in
+  Alcotest.(check bool) "merged %TM <= 100" true (Stats.pct_tx_time m <= 100.0);
+  Alcotest.(check int) "thread_cycles sum" (a.Stats.thread_cycles + b.Stats.thread_cycles)
+    m.Stats.thread_cycles
+
+let suite =
+  [
+    Alcotest.test_case "checker green on every workload x mode" `Slow
+      test_check_green_everywhere;
+    Alcotest.test_case "checker detects corrupted counters" `Quick
+      test_check_detects_corruption;
+    Alcotest.test_case "ring mode bounds memory, refuses to check" `Quick
+      test_ring_bounds_and_refuses;
+    Alcotest.test_case "attribution accounts every conflict" `Quick
+      test_attribution_accounts_every_conflict;
+    Alcotest.test_case "chrome JSON round trip" `Quick test_chrome_roundtrip;
+    Alcotest.test_case "merge keeps %TM bounded" `Quick
+      test_merge_keeps_pct_tx_time_bounded;
+    Alcotest.test_case "merged real runs stay bounded" `Quick
+      test_merged_real_runs_stay_bounded;
+  ]
