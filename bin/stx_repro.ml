@@ -147,6 +147,166 @@ let ablations_cmd =
   Cmd.v (Cmd.info "ablations" ~doc:"Design-choice ablation studies")
     Term.(const run $ seed_arg $ scale_arg)
 
+(* ---------------------------------------------------------------- *)
+(* stx_repro lint: static conflict analysis + trace cross-validation *)
+
+let lint_cmd =
+  let open Stx_analysis in
+  let bench_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "bench" ]
+          ~doc:"Benchmark name, comma-separated list, or \"all\".")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt string "both"
+      & info [ "mode" ]
+          ~doc:"Anchor-selection mode to lint: $(b,dsa), $(b,naive) or \
+                $(b,both).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt string "text"
+      & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,tsv).")
+  in
+  let validate_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "validate" ]
+          ~doc:
+            "Run a traced Staggered simulation per benchmark and \
+             cross-validate the static conflict graph against the dynamic \
+             conflict edges (non-zero exit on a soundness violation).")
+  in
+  let validate_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "validate-trace" ] ~docv:"FILE"
+          ~doc:
+            "Cross-validate against a raw event capture written by \
+             $(b,stx_run --raw-trace). Single benchmark only; the \
+             capture's workload metadata must match.")
+  in
+  let run c bench mode format validate vtrace =
+    let benches =
+      if bench = "all" then Stx_workloads.Registry.all
+      else
+        List.map
+          (fun name ->
+            match Stx_workloads.Registry.find name with
+            | Some w -> w
+            | None ->
+              prerr_endline ("unknown benchmark " ^ name);
+              exit 1)
+          (String.split_on_char ',' bench)
+    in
+    let modes =
+      match mode with
+      | "dsa" -> [ Stx_compiler.Anchors.Dsa_guided ]
+      | "naive" -> [ Stx_compiler.Anchors.Naive ]
+      | "both" -> [ Stx_compiler.Anchors.Dsa_guided; Stx_compiler.Anchors.Naive ]
+      | m ->
+        prerr_endline ("unknown mode " ^ m ^ " (dsa|naive|both)");
+        exit 1
+    in
+    let format =
+      match format with
+      | "text" -> Driver.Text
+      | "tsv" -> Driver.Tsv
+      | f ->
+        prerr_endline ("unknown format " ^ f ^ " (text|tsv)");
+        exit 1
+    in
+    (match (vtrace, benches) with
+    | Some _, _ :: _ :: _ ->
+      prerr_endline "--validate-trace needs a single --bench";
+      exit 1
+    | _ -> ());
+    let mode_name = function
+      | Stx_compiler.Anchors.Dsa_guided -> "dsa"
+      | Stx_compiler.Anchors.Naive -> "naive"
+    in
+    let failed = ref false in
+    let check_validation analysis v =
+      print_string (Driver.render_validation ~format analysis v);
+      if not (Validate.sound v) then failed := true
+    in
+    List.iter
+      (fun w ->
+        let analyses =
+          List.map
+            (fun m ->
+              let spec =
+                Stx_workloads.Workload.spec ~anchor_mode:m
+                  ~scale:(Exp.scale c) w
+              in
+              let name =
+                Printf.sprintf "%s/%s" w.Stx_workloads.Workload.name
+                  (mode_name m)
+              in
+              (m, spec, Driver.analyze ~name spec.Stx_sim.Machine.compiled))
+            modes
+        in
+        List.iter
+          (fun (_, _, a) ->
+            print_string (Driver.render ~format a);
+            if Driver.has_errors a then failed := true)
+          analyses;
+        (* validation uses the Dsa_guided compile when linted, else the
+           first one — the conflict graph is instrumentation-independent *)
+        let _, vspec, vanalysis =
+          match
+            List.find_opt
+              (fun (m, _, _) -> m = Stx_compiler.Anchors.Dsa_guided)
+              analyses
+          with
+          | Some x -> x
+          | None -> List.hd analyses
+        in
+        if validate then begin
+          let threads = Exp.threads c in
+          let cfg =
+            Stx_machine.Config.with_cores threads Stx_machine.Config.default
+          in
+          let tr = Stx_trace.Trace.create ~threads () in
+          let (_ : Stx_sim.Stats.t) =
+            Stx_sim.Machine.run ~seed:(Exp.seed c) ~cfg
+              ~mode:Stx_core.Mode.Staggered_hw
+              ~on_event:(Stx_trace.Trace.handler tr) vspec
+          in
+          check_validation vanalysis (Driver.validate vanalysis tr)
+        end;
+        match vtrace with
+        | None -> ()
+        | Some file ->
+          let tr, meta = Stx_trace.Trace.read_events ~file in
+          (match List.assoc_opt "workload" meta with
+          | Some wl when wl <> w.Stx_workloads.Workload.name ->
+            Printf.eprintf
+              "capture %s was recorded on workload %s, not %s\n" file wl
+              w.Stx_workloads.Workload.name;
+            exit 1
+          | _ -> ());
+          check_validation vanalysis (Driver.validate vanalysis tr))
+      benches;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static conflict analysis: lint the compiler's anchor/ALP \
+          decisions and (optionally) cross-validate the static conflict \
+          graph against a simulation's dynamic conflicts")
+    Term.(
+      const run $ ctx_term $ bench_arg $ mode_arg $ format_arg $ validate_arg
+      $ validate_trace_arg)
+
 let all_cmd =
   let run c =
     Exp.prefetch ~progress:true c
@@ -194,6 +354,7 @@ let () =
       fig7avg_cmd;
       export_cmd;
       ablations_cmd;
+      lint_cmd;
       all_cmd;
     ]
   in

@@ -77,7 +77,7 @@ let run_many benches mode threads seed scale jobs =
     benches batch.Sweep.results;
   if !failed then exit 1
 
-let run list_benches bench mode threads seed scale trace jobs =
+let run list_benches bench mode threads seed scale trace raw_trace lint jobs =
   if list_benches then begin
     List.iter
       (fun w ->
@@ -110,17 +110,17 @@ let run list_benches bench mode threads seed scale trace jobs =
     prerr_endline "no benchmark given (try --list)";
     exit 1
   | _ :: _ :: _ ->
-    if trace <> None then begin
-      prerr_endline "--trace needs a single benchmark";
+    if trace <> None || raw_trace <> None || lint then begin
+      prerr_endline "--trace/--raw-trace/--lint need a single benchmark";
       exit 1
     end;
     run_many benches mode threads seed scale jobs
   | [ w ] ->
     let cfg = Config.with_cores threads Config.default in
     let tr =
-      match trace with
-      | None -> None
-      | Some _ -> Some (Stx_trace.Trace.create ~threads ())
+      if trace <> None || raw_trace <> None then
+        Some (Stx_trace.Trace.create ~threads ())
+      else None
     in
     let on_event =
       match tr with
@@ -128,10 +128,35 @@ let run list_benches bench mode threads seed scale trace jobs =
       | None -> fun ~time:_ _ -> ()
     in
     let spec = Workload.spec ~instrument:(Mode.uses_alps mode) ~scale w in
+    let lint_errors =
+      lint
+      &&
+      let a =
+        Stx_analysis.Driver.analyze ~name:w.Workload.name
+          spec.Machine.compiled
+      in
+      print_string (Stx_analysis.Driver.render a);
+      Stx_analysis.Driver.has_errors a
+    in
     let stats = Machine.run ~seed ~cfg ~mode ~on_event spec in
     print_stats w.Workload.name mode threads stats;
     print_per_ab spec stats;
-    match (trace, tr) with
+    (match (raw_trace, tr) with
+    | Some file, Some tr ->
+      let meta =
+        [
+          ("workload", w.Workload.name);
+          ("mode", Mode.to_string mode);
+          ("threads", string_of_int threads);
+          ("seed", string_of_int seed);
+          ("scale", string_of_float scale);
+        ]
+      in
+      Stx_trace.Trace.write_events ~meta tr ~file;
+      Printf.printf "  raw trace          %d events -> %s (stx_repro lint --validate-trace)\n"
+        (Stx_trace.Trace.length tr) file
+    | _ -> ());
+    (match (trace, tr) with
     | Some file, Some tr -> (
       Stx_trace.Trace.write_chrome tr ~file;
       Printf.printf "  trace              %d events -> %s (chrome://tracing, Perfetto)\n"
@@ -142,7 +167,8 @@ let run list_benches bench mode threads seed scale trace jobs =
         Printf.printf "  trace check        FAILED:\n";
         List.iter (fun e -> Printf.printf "    %s\n" e) errs;
         exit 1)
-    | _ -> ()
+    | _ -> ());
+    if lint_errors then exit 1
 
 let () =
   let list_arg =
@@ -181,6 +207,26 @@ let () =
              and cross-check the event stream against the printed statistics \
              (non-zero exit on divergence). Single benchmark only.")
   in
+  let raw_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw-trace" ] ~docv:"FILE"
+          ~doc:
+            "Record every runtime event and write the stream to $(docv) in \
+             the raw line-oriented codec, replayable by $(b,stx_repro lint \
+             --validate-trace). Single benchmark only.")
+  in
+  let lint_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "lint" ]
+          ~doc:
+            "Run the static conflict analysis over the compiled program and \
+             print its report before simulating; exit non-zero if it emits \
+             error diagnostics. Single benchmark only.")
+  in
   let jobs_arg =
     Arg.(
       value
@@ -191,7 +237,7 @@ let () =
   let term =
     Term.(
       const run $ list_arg $ bench_arg $ mode_arg $ threads_arg $ seed_arg
-      $ scale_arg $ trace_arg $ jobs_arg)
+      $ scale_arg $ trace_arg $ raw_trace_arg $ lint_arg $ jobs_arg)
   in
   let info =
     Cmd.info "stx_run" ~version:"1.0"

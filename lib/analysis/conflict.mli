@@ -1,0 +1,62 @@
+open Stx_tir
+open Stx_dsa
+
+(** The static conflict graph over atomic blocks.
+
+    Each atomic block's may-read / may-write summary is lifted from its
+    root function's graph plane into a common whole-program plane: a
+    depth-first walk from the program's entry functions composes the
+    DSA's call-site node mappings (exactly as {!Stx_compiler.Unified}
+    does when building anchor tables), translating each block's footprint
+    at every [Atomic_call] site it is reached through. Code executed
+    outside any atomic block contributes a separate "outside" footprint.
+
+    A directed edge [src -> dst] means a running instance of [src] can
+    doom a hardware transaction of block [dst] under the simulator's
+    requester-wins protocol:
+
+    - a transactional {e write} of [src] dooms any transaction that read
+      {e or} wrote the node;
+    - a transactional {e read} of [src] dooms any transaction that wrote
+      the node;
+    - a non-transactional (outside) {e write} dooms readers and writers,
+      while outside reads doom nobody.
+
+    Self-edges ([src = dst]) are real: two threads in the same block
+    conflict on shared nodes. *)
+
+type t
+
+type source = Ab of int | Outside
+
+val compute : Ir.program -> Dsa.t -> Summary.t -> t
+
+val n_abs : t -> int
+
+val may_doom : t -> src:source -> dst:int -> bool
+
+val witness : t -> src:source -> dst:int -> int list
+(** Whole-program node ids both footprints meet on (empty when no
+    edge). *)
+
+val edges : t -> (source * int) list
+(** Every predicted edge, [Ab] sources first, then [Outside]. *)
+
+val footprint : t -> ab:int -> int * int
+(** [(may-read, may-write)] node counts in the whole-program plane. *)
+
+val outside_footprint : t -> int * int
+
+val to_global : t -> ab:int -> int -> int list
+(** The whole-program node ids a block-local node id (a [ue_node] of the
+    block's unified table) was translated to — one per call path the
+    block is reached through. Empty for an id the walk never saw. *)
+
+val prone : t -> ab:int -> store:bool -> int -> bool
+(** Whether an access of the block-local node can be doomed by anyone:
+    for a load, some block or outside code may write it; for a store,
+    additionally some block may (transactionally) read it. *)
+
+val never_written : t -> ab:int -> int -> bool
+(** No block and no outside code ever writes the block-local node — an
+    advisory lock guarding it serializes accesses to read-only data. *)

@@ -1,0 +1,78 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  ab : int option;
+  func : string option;
+  iid : int option;
+  message : string;
+}
+
+let clean s =
+  String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
+
+let make ?ab ?func ?iid ~code ~severity message =
+  { code; severity; ab; func; iid; message = clean message }
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare_diag a b =
+  let c = compare (rank a.severity) (rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c = compare a.ab b.ab in
+      if c <> 0 then c
+      else
+        let c = compare a.func b.func in
+        if c <> 0 then c
+        else
+          let c = compare a.iid b.iid in
+          if c <> 0 then c else compare a.message b.message
+
+let sort l = List.sort compare_diag l
+
+let count sev l = List.length (List.filter (fun d -> d.severity = sev) l)
+let has_errors l = List.exists (fun d -> d.severity = Error) l
+
+let render_text d =
+  let buf = Buffer.create 80 in
+  Buffer.add_string buf (severity_label d.severity);
+  Buffer.add_char buf '[';
+  Buffer.add_string buf d.code;
+  Buffer.add_char buf ']';
+  (match d.ab with
+  | Some ab -> Buffer.add_string buf (Printf.sprintf " ab=%d" ab)
+  | None -> ());
+  (match (d.func, d.iid) with
+  | Some f, Some i -> Buffer.add_string buf (Printf.sprintf " %s#%d" f i)
+  | Some f, None -> Buffer.add_string buf (" " ^ f)
+  | None, Some i -> Buffer.add_string buf (Printf.sprintf " #%d" i)
+  | None, None -> ());
+  Buffer.add_string buf ": ";
+  Buffer.add_string buf d.message;
+  Buffer.contents buf
+
+let tsv_header = "severity\tcode\tab\tfunc\tiid\tmessage"
+
+let opt_int = function Some i -> string_of_int i | None -> "-"
+let opt_str = function Some s -> s | None -> "-"
+
+let render_tsv d =
+  String.concat "\t"
+    [
+      severity_label d.severity;
+      d.code;
+      opt_int d.ab;
+      opt_str d.func;
+      opt_int d.iid;
+      d.message;
+    ]

@@ -1,0 +1,42 @@
+(** Diagnostics: stable codes, severities, and renderers.
+
+    Codes are append-only and never recycled:
+
+    - [STX101] (error) — conflict-prone access with no anchor coverage
+    - [STX102] (warning) — advisory lock over never-written data
+    - [STX103] (warning) — lock-order hazard between anchored nodes
+    - [STX104] (error/warning) — read-only classification disagreement
+    - [STX105] (warning) — truncated-PC tag collision in a unified table *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** stable machine code, e.g. ["STX101"] *)
+  severity : severity;
+  ab : int option;  (** atomic block concerned *)
+  func : string option;  (** function of the offending instruction *)
+  iid : int option;  (** offending instruction *)
+  message : string;  (** single line, human-oriented *)
+}
+
+val make :
+  ?ab:int -> ?func:string -> ?iid:int -> code:string -> severity:severity
+  -> string -> t
+
+val severity_label : severity -> string
+
+val sort : t list -> t list
+(** Errors first, then warnings, then infos; within a severity by code,
+    block, function and instruction. *)
+
+val count : severity -> t list -> int
+val has_errors : t list -> bool
+
+val render_text : t -> string
+(** One line: [error[STX101] ab=1 list_insert#37: message]. *)
+
+val tsv_header : string
+
+val render_tsv : t -> string
+(** Tab-separated [severity code ab func iid message], missing fields as
+    [-]; messages never contain tabs or newlines. *)

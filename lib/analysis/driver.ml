@@ -1,0 +1,150 @@
+open Stx_tir
+open Stx_compiler
+
+type t = {
+  a_name : string;
+  a_pipeline : Pipeline.t;
+  a_summary : Summary.t;
+  a_graph : Conflict.t;
+  a_diags : Diag.t list;
+}
+
+type format = Text | Tsv
+
+let analyze ?(name = "program") (p : Pipeline.t) =
+  Verify.program p.Pipeline.prog;
+  let summary = Summary.compute p.Pipeline.prog p.Pipeline.dsa in
+  let graph = Conflict.compute p.Pipeline.prog p.Pipeline.dsa summary in
+  let diags = Lints.all p summary graph in
+  {
+    a_name = name;
+    a_pipeline = p;
+    a_summary = summary;
+    a_graph = graph;
+    a_diags = diags;
+  }
+
+let has_errors t = Diag.has_errors t.a_diags
+
+let mode_label = function
+  | Anchors.Dsa_guided -> "dsa"
+  | Anchors.Naive -> "naive"
+
+let render_text t =
+  let buf = Buffer.create 1024 in
+  let p = t.a_pipeline in
+  let prog = p.Pipeline.prog in
+  let nabs = Array.length prog.Ir.atomics in
+  Buffer.add_string buf
+    (Printf.sprintf "== static conflict analysis: %s (mode=%s%s) ==\n"
+       t.a_name (mode_label p.Pipeline.mode)
+       (if p.Pipeline.instrumented then "" else ", uninstrumented"));
+  Buffer.add_string buf "-- atomic-block footprints (whole-program nodes) --\n";
+  Array.iter
+    (fun (a : Ir.atomic) ->
+      let r, w = Conflict.footprint t.a_graph ~ab:a.Ir.ab_id in
+      Buffer.add_string buf
+        (Printf.sprintf "  ab%d %-16s reads=%-3d writes=%-3d%s\n" a.Ir.ab_id
+           a.Ir.ab_name r w
+           (if p.Pipeline.read_only.(a.Ir.ab_id) then "  [read-only]" else "")))
+    prog.Ir.atomics;
+  let orr, ow = Conflict.outside_footprint t.a_graph in
+  Buffer.add_string buf
+    (Printf.sprintf "  outside%-13s reads=%-3d writes=%-3d\n" "" orr ow);
+  Buffer.add_string buf "-- conflict graph (row dooms column) --\n";
+  Buffer.add_string buf "          ";
+  for j = 0 to nabs - 1 do
+    Buffer.add_string buf (Printf.sprintf " ab%-3d" j)
+  done;
+  Buffer.add_char buf '\n';
+  let row label src =
+    Buffer.add_string buf (Printf.sprintf "  %-8s" label);
+    for j = 0 to nabs - 1 do
+      Buffer.add_string buf
+        (if Conflict.may_doom t.a_graph ~src ~dst:j then "  x   " else "  .   ")
+    done;
+    Buffer.add_char buf '\n'
+  in
+  for i = 0 to nabs - 1 do
+    row (Printf.sprintf "ab%d" i) (Conflict.Ab i)
+  done;
+  row "outside" Conflict.Outside;
+  Buffer.add_string buf
+    (Printf.sprintf "-- diagnostics: %d error(s), %d warning(s), %d info --\n"
+       (Diag.count Diag.Error t.a_diags)
+       (Diag.count Diag.Warning t.a_diags)
+       (Diag.count Diag.Info t.a_diags));
+  List.iter
+    (fun d ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (Diag.render_text d);
+      Buffer.add_char buf '\n')
+    t.a_diags;
+  Buffer.contents buf
+
+let render_tsv t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("name\t" ^ Diag.tsv_header ^ "\n");
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (t.a_name ^ "\t" ^ Diag.render_tsv d ^ "\n"))
+    t.a_diags;
+  Buffer.contents buf
+
+let render ?(format = Text) t =
+  match format with Text -> render_text t | Tsv -> render_tsv t
+
+let validate t trace = Validate.run t.a_graph trace
+
+let render_validation ?(format = Text) t (v : Validate.t) =
+  match format with
+  | Text ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "== trace validation: %s ==\n" t.a_name);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "conflict aborts: %d (unattributed %d, ambiguous %d)\n"
+         v.Validate.v_conflict_aborts v.Validate.v_unattributed
+         v.Validate.v_ambiguous);
+    List.iter
+      (fun (e : Validate.edge) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-8s -> ab%-3d %6d abort(s)\n"
+             (Validate.source_label e.Validate.e_src)
+             e.Validate.e_dst e.Validate.e_count))
+      v.Validate.v_edges;
+    if Validate.sound v then
+      Buffer.add_string buf "soundness: OK (every dynamic edge predicted)\n"
+    else begin
+      Buffer.add_string buf "soundness: VIOLATED — unpredicted edges:\n";
+      List.iter
+        (fun (e : Validate.edge) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-8s -> ab%-3d %6d abort(s)  [UNPREDICTED]\n"
+               (Validate.source_label e.Validate.e_src)
+               e.Validate.e_dst e.Validate.e_count))
+        v.Validate.v_unsound
+    end;
+    Buffer.add_string buf
+      (Printf.sprintf "precision: %d/%d static edges observed (%.2f)\n"
+         v.Validate.v_observed v.Validate.v_predicted (Validate.precision v));
+    Buffer.contents buf
+  | Tsv ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "name\tedge\tsrc\tdst\tcount\tpredicted\n";
+    let line pred (e : Validate.edge) =
+      Buffer.add_string buf
+        (Printf.sprintf "%s\tedge\t%s\tab%d\t%d\t%s\n" t.a_name
+           (Validate.source_label e.Validate.e_src)
+           e.Validate.e_dst e.Validate.e_count pred)
+    in
+    List.iter (line "yes")
+      (List.filter
+         (fun e -> not (List.mem e v.Validate.v_unsound))
+         v.Validate.v_edges);
+    List.iter (line "no") v.Validate.v_unsound;
+    Buffer.add_string buf
+      (Printf.sprintf "%s\tprecision\t-\t-\t%d\t%d\n" t.a_name
+         v.Validate.v_observed v.Validate.v_predicted);
+    Buffer.contents buf

@@ -1,0 +1,33 @@
+open Stx_compiler
+open Stx_trace
+
+(** One-call entry point: run the whole static analysis over a compiled
+    program and render the results. *)
+
+type t = {
+  a_name : string;
+  a_pipeline : Pipeline.t;
+  a_summary : Summary.t;
+  a_graph : Conflict.t;
+  a_diags : Diag.t list;  (** sorted: errors first *)
+}
+
+type format = Text | Tsv
+
+val analyze : ?name:string -> Pipeline.t -> t
+(** Summaries, conflict graph, and all five lints. Also re-verifies the
+    instrumented program ({!Stx_tir.Verify.program}), so a compiler pass
+    that broke the IR fails here rather than in the simulator. *)
+
+val has_errors : t -> bool
+
+val render : ?format:format -> t -> string
+(** [Text]: a report with per-block footprints, the conflict matrix and
+    the diagnostics. [Tsv]: one machine-readable row per diagnostic,
+    prefixed by the analysis name, with a header line. *)
+
+val validate : t -> Trace.t -> Validate.t
+
+val render_validation : ?format:format -> t -> Validate.t -> string
+(** [Text]: observed/unsound edge listing plus the precision summary.
+    [Tsv]: [name edge src dst count predicted] rows. *)

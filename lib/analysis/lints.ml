@@ -1,0 +1,274 @@
+open Stx_tir
+open Stx_compiler
+
+(* iid -> is-store, over the whole (instrumented) program *)
+let store_map prog =
+  let m = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ f ->
+      Ir.iter_insts f (fun _ _ inst ->
+          match inst.Ir.op with
+          | Ir.Load _ -> Hashtbl.replace m inst.Ir.iid false
+          | Ir.Store _ -> Hashtbl.replace m inst.Ir.iid true
+          | _ -> ()))
+    prog.Ir.funcs;
+  m
+
+(* ---------------------------------------------------------------- *)
+(* STX101: conflict-prone access without anchor coverage             *)
+
+let missed_anchor_entries ~instrumented ~ab ~is_store ~prone entries =
+  let resolve (e : Unified.entry) =
+    if e.Unified.ue_is_anchor then Some e
+    else
+      match e.Unified.ue_pioneer with
+      | Some p -> Some entries.(p)
+      | None -> None
+  in
+  Array.to_list entries
+  |> List.concat_map (fun (e : Unified.entry) ->
+         let store = is_store e.Unified.ue_iid in
+         if not (prone ~store e.Unified.ue_node) then []
+         else
+           match resolve e with
+           | None ->
+             [
+               Diag.make ~ab ~func:e.Unified.ue_func ~iid:e.Unified.ue_iid
+                 ~code:"STX101" ~severity:Diag.Error
+                 (Printf.sprintf
+                    "conflict-prone %s of node %d reaches no anchor in its \
+                     unified table"
+                    (if store then "store" else "load")
+                    e.Unified.ue_node);
+             ]
+           | Some a when instrumented && a.Unified.ue_site = None ->
+             [
+               Diag.make ~ab ~func:e.Unified.ue_func ~iid:e.Unified.ue_iid
+                 ~code:"STX101" ~severity:Diag.Error
+                 (Printf.sprintf
+                    "conflict-prone %s of node %d resolves to anchor %s#%d \
+                     which has no ALP site"
+                    (if store then "store" else "load")
+                    e.Unified.ue_node a.Unified.ue_func a.Unified.ue_iid);
+             ]
+           | Some _ -> [])
+
+let missed_anchor (p : Pipeline.t) graph =
+  let stores = store_map p.Pipeline.prog in
+  let is_store iid = try Hashtbl.find stores iid with Not_found -> false in
+  Array.to_list p.Pipeline.unified
+  |> List.concat_map (fun table ->
+         let ab = Unified.ab_id table in
+         missed_anchor_entries ~instrumented:p.Pipeline.instrumented ~ab
+           ~is_store
+           ~prone:(fun ~store lid -> Conflict.prone graph ~ab ~store lid)
+           (Unified.entries table))
+
+(* ---------------------------------------------------------------- *)
+(* STX102: advisory lock over never-written data                     *)
+
+let dead_alp (p : Pipeline.t) graph =
+  Array.to_list p.Pipeline.unified
+  |> List.concat_map (fun table ->
+         let ab = Unified.ab_id table in
+         Array.to_list (Unified.entries table)
+         |> List.concat_map (fun (e : Unified.entry) ->
+                if
+                  e.Unified.ue_is_anchor
+                  && Conflict.never_written graph ~ab e.Unified.ue_node
+                then
+                  let site =
+                    match e.Unified.ue_site with
+                    | Some s -> Printf.sprintf " (ALP site %d)" s
+                    | None -> ""
+                  in
+                  [
+                    Diag.make ~ab ~func:e.Unified.ue_func
+                      ~iid:e.Unified.ue_iid ~code:"STX102"
+                      ~severity:Diag.Warning
+                      (Printf.sprintf
+                         "anchor%s guards node %d which nothing ever \
+                          writes; its advisory lock only serializes \
+                          read-only data"
+                         site e.Unified.ue_node);
+                  ]
+                else []))
+
+(* ---------------------------------------------------------------- *)
+(* STX103: lock-order hazard                                         *)
+
+(* Tarjan over an int-keyed adjacency table; returns SCCs of size >= 2. *)
+let sccs_of adj =
+  let index = Hashtbl.create 16 in
+  let low = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !next;
+    Hashtbl.replace low v !next;
+    incr next;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace low v
+            (min (Hashtbl.find low v) (Hashtbl.find low w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace low v
+            (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (try !(Hashtbl.find adj v) with Not_found -> []);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      let comp = pop [] in
+      if List.length comp >= 2 then out := List.sort compare comp :: !out
+    end
+  in
+  Hashtbl.iter (fun v _ -> if not (Hashtbl.mem index v) then strongconnect v) adj;
+  List.rev !out
+
+let lock_order (p : Pipeline.t) graph =
+  let adj : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let edge_abs : (int * int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let add_edge ab x y =
+    let l =
+      match Hashtbl.find_opt adj x with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.add adj x l;
+        l
+    in
+    if not (List.mem y !l) then l := y :: !l;
+    if not (Hashtbl.mem adj y) then Hashtbl.add adj y (ref []);
+    let abs =
+      match Hashtbl.find_opt edge_abs (x, y) with
+      | Some a -> a
+      | None ->
+        let a = ref [] in
+        Hashtbl.add edge_abs (x, y) a;
+        a
+    in
+    if not (List.mem ab !abs) then abs := ab :: !abs
+  in
+  Array.iter
+    (fun table ->
+      let ab = Unified.ab_id table in
+      let anchors =
+        Array.to_list (Unified.entries table)
+        |> List.filter (fun (e : Unified.entry) -> e.Unified.ue_is_anchor)
+      in
+      let globals (e : Unified.entry) =
+        Conflict.to_global graph ~ab e.Unified.ue_node
+      in
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+          List.iter
+            (fun b ->
+              List.iter
+                (fun ga ->
+                  List.iter
+                    (fun gb -> if ga <> gb then add_edge ab ga gb)
+                    (globals b))
+                (globals a))
+            rest;
+          pairs rest
+      in
+      pairs anchors)
+    p.Pipeline.unified;
+  sccs_of adj
+  |> List.map (fun comp ->
+         let in_comp g = List.mem g comp in
+         let abs =
+           Hashtbl.fold
+             (fun (x, y) abs acc ->
+               if in_comp x && in_comp y then !abs @ acc else acc)
+             edge_abs []
+           |> List.sort_uniq compare
+         in
+         Diag.make ~code:"STX103" ~severity:Diag.Warning
+           (Printf.sprintf
+              "anchored nodes {%s} are acquired in conflicting orders by \
+               atomic blocks {%s}: convoy hazard (deadlock under a runtime \
+               that stacks ALP locks)"
+              (String.concat "," (List.map string_of_int comp))
+              (String.concat "," (List.map string_of_int abs))))
+
+(* ---------------------------------------------------------------- *)
+(* STX104: read-only classification disagreement                     *)
+
+let read_only ?claimed (p : Pipeline.t) sums =
+  let claimed = match claimed with Some c -> c | None -> p.Pipeline.read_only in
+  let prog = p.Pipeline.prog in
+  Array.to_list prog.Ir.atomics
+  |> List.concat_map (fun (a : Ir.atomic) ->
+         let ab = a.Ir.ab_id in
+         let f = a.Ir.ab_func in
+         let ro = not (Summary.may_write sums f) in
+         match (claimed.(ab), ro) with
+         | true, false ->
+           [
+             Diag.make ~ab ~func:f ~code:"STX104" ~severity:Diag.Error
+               (Printf.sprintf
+                  "block '%s' is classified read-only but its may-write \
+                   summary is non-empty: the runtime would skip conflict \
+                   precautions unsoundly"
+                  a.Ir.ab_name);
+           ]
+         | false, true ->
+           [
+             Diag.make ~ab ~func:f ~code:"STX104" ~severity:Diag.Warning
+               (Printf.sprintf
+                  "block '%s' never writes by its may-write summary but is \
+                   not classified read-only (missed optimization)"
+                  a.Ir.ab_name);
+           ]
+         | _ -> [])
+
+(* ---------------------------------------------------------------- *)
+(* STX105: truncated-PC tag collisions                               *)
+
+let truncated_pc (p : Pipeline.t) =
+  let pc_of iid =
+    try Some (Layout.pc_of_iid p.Pipeline.layout iid) with Not_found -> None
+  in
+  Array.to_list p.Pipeline.unified
+  |> List.concat_map (fun table ->
+         let ab = Unified.ab_id table in
+         let entries = Unified.entries table in
+         Unified.collisions table
+         |> List.map (fun (tag, ids) ->
+                let describe id =
+                  let e = entries.(id) in
+                  match pc_of e.Unified.ue_iid with
+                  | Some pc ->
+                    Printf.sprintf "%d(%s#%d@0x%x)" id e.Unified.ue_func
+                      e.Unified.ue_iid pc
+                  | None ->
+                    Printf.sprintf "%d(%s#%d)" id e.Unified.ue_func
+                      e.Unified.ue_iid
+                in
+                Diag.make ~ab ~code:"STX105" ~severity:Diag.Warning
+                  (Printf.sprintf
+                     "truncated-PC tag 0x%03x is shared by entries %s; \
+                      hardware lookups silently resolve to entry %s"
+                     tag
+                     (String.concat " " (List.map describe ids))
+                     (describe (List.hd ids)))))
+
+let all p sums graph =
+  Diag.sort
+    (missed_anchor p graph @ dead_alp p graph @ lock_order p graph
+   @ read_only p sums @ truncated_pc p)

@@ -1,0 +1,44 @@
+open Stx_compiler
+
+(** The five lints over a compiled program. Each returns its diagnostics
+    unsorted; {!all} concatenates and sorts them. *)
+
+val missed_anchor_entries :
+  instrumented:bool ->
+  ab:int ->
+  is_store:(int -> bool) ->
+  prone:(store:bool -> int -> bool) ->
+  Unified.entry array ->
+  Diag.t list
+(** Core of the missed-anchor lint over a bare entry array (exposed so
+    tests can fabricate tables): every entry whose block-local node is
+    conflict-prone must resolve — itself or through its pioneer — to an
+    anchor, and on an instrumented program that anchor must carry an ALP
+    site. [STX101], error. *)
+
+val missed_anchor : Pipeline.t -> Conflict.t -> Diag.t list
+
+val dead_alp : Pipeline.t -> Conflict.t -> Diag.t list
+(** Anchors guarding nodes nothing in the program ever writes: their
+    advisory locks serialize read-only data and are pure overhead.
+    [STX102], warning. *)
+
+val lock_order : Pipeline.t -> Conflict.t -> Diag.t list
+(** Cycles in the anchored-node acquisition order across atomic blocks
+    (table order approximates execution order). The simulated runtime
+    holds at most one advisory lock per attempt, so a cycle cannot
+    deadlock it, but it convoys and would deadlock any runtime that
+    stacks ALP locks. [STX103], warning. *)
+
+val read_only : ?claimed:bool array -> Pipeline.t -> Summary.t -> Diag.t list
+(** Cross-check the pipeline's per-block read-only classification
+    against the may-write summaries. A block claimed read-only that may
+    write is unsound (error); the reverse is pessimization (warning).
+    [claimed] overrides [Pipeline.read_only] (for tests). [STX104]. *)
+
+val truncated_pc : Pipeline.t -> Diag.t list
+(** Unified-table tags where several distinct instruction PCs fold onto
+    one hardware tag, so [search_by_truncated_pc] can return the wrong
+    entry. [STX105], warning. *)
+
+val all : Pipeline.t -> Summary.t -> Conflict.t -> Diag.t list

@@ -1,0 +1,96 @@
+open Stx_tir
+open Stx_dsa
+
+type fsum = {
+  s_reads : (int, Dsnode.t) Hashtbl.t;
+  s_writes : (int, Dsnode.t) Hashtbl.t;
+  mutable s_allocates : bool;
+  mutable s_unknown_writes : bool;
+}
+
+type t = (string, fsum) Hashtbl.t
+
+let fresh () =
+  {
+    s_reads = Hashtbl.create 8;
+    s_writes = Hashtbl.create 8;
+    s_allocates = false;
+    s_unknown_writes = false;
+  }
+
+let add set node =
+  let n = Dsnode.find node in
+  Hashtbl.replace set (Dsnode.id n) n
+
+(* Snapshot before inserting: a self-recursive call absorbs a summary into
+   itself, and adding to a hashtable mid-[iter] is unspecified. *)
+let nodes set = Hashtbl.fold (fun _ n acc -> n :: acc) set []
+
+let size s =
+  Hashtbl.length s.s_reads + Hashtbl.length s.s_writes
+  + (if s.s_allocates then 1 else 0)
+  + if s.s_unknown_writes then 1 else 0
+
+let compute prog dsa =
+  let sums : t = Hashtbl.create 16 in
+  let get f =
+    match Hashtbl.find_opt sums f with
+    | Some s -> s
+    | None ->
+      let s = fresh () in
+      Hashtbl.add sums f s;
+      s
+  in
+  let absorb ~call_iid callee self =
+    let c = get callee in
+    let tr n = Dsa.map_callee_node dsa ~call_iid n in
+    List.iter (fun n -> add self.s_reads (tr n)) (nodes c.s_reads);
+    List.iter (fun n -> add self.s_writes (tr n)) (nodes c.s_writes);
+    if c.s_allocates then self.s_allocates <- true;
+    if c.s_unknown_writes then self.s_unknown_writes <- true
+  in
+  let transfer fname =
+    let f = Ir.find_func prog fname in
+    let self = get fname in
+    Ir.iter_insts f (fun _ _ inst ->
+        match inst.Ir.op with
+        | Ir.Load _ -> (
+          match Dsa.access_node dsa inst.Ir.iid with
+          | Some (n, _) -> add self.s_reads n
+          | None -> ())
+        | Ir.Store _ -> (
+          match Dsa.access_node dsa inst.Ir.iid with
+          | Some (n, _) -> add self.s_writes n
+          | None -> self.s_unknown_writes <- true)
+        | Ir.Alloc _ | Ir.Alloc_arr _ -> self.s_allocates <- true
+        | Ir.Call (_, g, _) when Hashtbl.mem prog.Ir.funcs g ->
+          absorb ~call_iid:inst.Ir.iid g self
+        | Ir.Atomic_call (_, ab, _) ->
+          absorb ~call_iid:inst.Ir.iid prog.Ir.atomics.(ab).Ir.ab_func self
+        | _ -> ())
+  in
+  List.iter
+    (fun scc ->
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun fname ->
+            let before = size (get fname) in
+            transfer fname;
+            if size (get fname) <> before then changed := true)
+          scc
+      done)
+    (Dsa.call_sccs prog);
+  sums
+
+let find t f = Hashtbl.find t f
+
+let may_write t f =
+  match Hashtbl.find_opt t f with
+  | None -> true
+  | Some s ->
+    Hashtbl.length s.s_writes > 0 || s.s_allocates || s.s_unknown_writes
+
+let reads s = nodes s.s_reads
+let writes s = nodes s.s_writes

@@ -1,0 +1,43 @@
+open Stx_tir
+open Stx_dsa
+
+(** Bottom-up interprocedural may-read / may-write summaries.
+
+    One summary per function: the set of DSNodes any execution of the
+    function may load from or store to, including everything its callees
+    (direct and atomic) may access, each callee contribution translated
+    into the caller's points-to graph along the call-site node mappings
+    the bottom-up DSA recorded. Summaries are computed in the same
+    callees-first SCC order as the DSA itself ({!Stx_dsa.Dsa.call_sccs}),
+    iterating recursive components to a fixpoint.
+
+    Node sets are keyed by representative node id; for a function [f] the
+    ids live in [f]'s own graph plane, so the summary of an atomic root
+    is directly comparable with the [ue_node] ids of that block's
+    {!Stx_compiler.Unified} table. *)
+
+type fsum = {
+  s_reads : (int, Dsnode.t) Hashtbl.t;  (** node id -> node, may-load *)
+  s_writes : (int, Dsnode.t) Hashtbl.t;  (** node id -> node, may-store *)
+  mutable s_allocates : bool;
+      (** an [Alloc]/[Alloc_arr] is reachable (counts as a write for
+          read-only classification, mirroring [Pipeline]) *)
+  mutable s_unknown_writes : bool;
+      (** a reachable store the DSA did not classify — forces the
+          function out of the read-only class conservatively *)
+}
+
+type t
+
+val compute : Ir.program -> Dsa.t -> t
+(** Summaries for every function of the program. *)
+
+val find : t -> string -> fsum
+(** @raise Not_found for a function the program does not define. *)
+
+val may_write : t -> string -> bool
+(** The function (or a callee) may store, allocate, or perform an
+    unclassified write — i.e. it is {e not} read-only. *)
+
+val reads : fsum -> Dsnode.t list
+val writes : fsum -> Dsnode.t list

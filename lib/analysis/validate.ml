@@ -1,0 +1,116 @@
+open Stx_sim
+open Stx_trace
+
+type edge = { e_src : Conflict.source; e_dst : int; e_count : int }
+
+type t = {
+  v_edges : edge list;
+  v_unsound : edge list;
+  v_conflict_aborts : int;
+  v_unattributed : int;
+  v_ambiguous : int;
+  v_predicted : int;
+  v_observed : int;
+}
+
+let source_label = function
+  | Conflict.Ab ab -> Printf.sprintf "ab%d" ab
+  | Conflict.Outside -> "outside"
+
+let run graph trace =
+  let nt = Trace.threads trace in
+  (* Per thread, newest-first list of (event index, source) transitions:
+     [Some ab] while a block's transaction is (re)running, [None] for
+     outside code. An aborted attempt keeps its block as a plausible
+     source — its speculative accesses may already have doomed someone —
+     so only a commit pushes [None]. *)
+  let hist = Array.make nt [ (0, None) ] in
+  let begin_idx = Array.make nt 0 in
+  let counts : (Conflict.source * int, int ref) Hashtbl.t = Hashtbl.create 32 in
+  let unsound : (Conflict.source * int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let observed : (Conflict.source * int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let bump tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> incr r
+    | None -> Hashtbl.add tbl key (ref 1)
+  in
+  let conflicts = ref 0 in
+  let unattributed = ref 0 in
+  let ambiguous = ref 0 in
+  let idx = ref 0 in
+  Trace.iter trace (fun ~time:_ ev ->
+      let i = !idx in
+      incr idx;
+      match ev with
+      | Machine.Tx_begin { tid; ab; _ } -> (
+        match hist.(tid) with
+        | (_, Some cur) :: _ when cur = ab ->
+          (* retry: the attempt window opened at the first begin *)
+          ()
+        | _ ->
+          begin_idx.(tid) <- i;
+          hist.(tid) <- (i, Some ab) :: hist.(tid))
+      | Machine.Tx_commit { tid; _ } -> hist.(tid) <- (i, None) :: hist.(tid)
+      | Machine.Tx_abort { tid; ab; kind = Machine.Conflict; aggressor; _ }
+        -> (
+        incr conflicts;
+        match aggressor with
+        | Some a when a >= 0 && a < nt && a <> tid ->
+          (* candidate sources: what the aggressor ran inside the
+             victim's attempt window, newest first *)
+          let b = begin_idx.(tid) in
+          let rec collect = function
+            | [] -> []
+            | (start, src) :: rest ->
+              if start <= b then [ src ] else src :: collect rest
+          in
+          let cands = List.sort_uniq compare (collect hist.(a)) in
+          if List.length cands > 1 then incr ambiguous;
+          let to_src = function
+            | Some s -> Conflict.Ab s
+            | None -> Conflict.Outside
+          in
+          let predicting =
+            List.filter
+              (fun src -> Conflict.may_doom graph ~src ~dst:ab)
+              (List.map to_src cands)
+          in
+          (* prefer attributing to a block over outside code *)
+          let order = function Conflict.Ab _ -> 0 | Conflict.Outside -> 1 in
+          (match List.sort (fun a b -> compare (order a) (order b)) predicting with
+          | src :: _ ->
+            bump counts (src, ab);
+            Hashtbl.replace observed (src, ab) ()
+          | [] ->
+            let src = to_src (List.hd cands) in
+            bump counts (src, ab);
+            bump unsound (src, ab))
+        | _ -> incr unattributed)
+      | _ -> ());
+  let dump tbl =
+    Hashtbl.fold
+      (fun (src, dst) r acc -> { e_src = src; e_dst = dst; e_count = !r } :: acc)
+      tbl []
+    |> List.sort (fun a b ->
+           let c = compare b.e_count a.e_count in
+           if c <> 0 then c else compare (a.e_src, a.e_dst) (b.e_src, b.e_dst))
+  in
+  let static = Conflict.edges graph in
+  let observed_static =
+    List.length (List.filter (fun e -> Hashtbl.mem observed e) static)
+  in
+  {
+    v_edges = dump counts;
+    v_unsound = dump unsound;
+    v_conflict_aborts = !conflicts;
+    v_unattributed = !unattributed;
+    v_ambiguous = !ambiguous;
+    v_predicted = List.length static;
+    v_observed = observed_static;
+  }
+
+let sound t = t.v_unsound = []
+
+let precision t =
+  if t.v_predicted = 0 then 1.0
+  else float_of_int t.v_observed /. float_of_int t.v_predicted

@@ -1,0 +1,40 @@
+open Stx_trace
+
+(** Trace-backed validation of the static conflict graph.
+
+    Replays a captured event stream and attributes every dynamic
+    conflict abort to the source the aggressor core could have been
+    executing when it doomed the victim. The event stream does not
+    timestamp the dooming access itself, so attribution works over an
+    interval: the candidate sources are everything the aggressor ran —
+    atomic blocks and outside code — between the victim's (first) begin
+    of the aborted transaction and the abort event. An abort is
+    {e predicted} when any candidate source has a static edge to the
+    victim's block; it is a {e soundness violation} when none does.
+
+    Precision is the fraction of predicted static edges that were ever
+    observed dynamically. *)
+
+type edge = { e_src : Conflict.source; e_dst : int; e_count : int }
+
+type t = {
+  v_edges : edge list;
+      (** observed conflict edges, attributed (descending count) *)
+  v_unsound : edge list;  (** observed but not statically predicted *)
+  v_conflict_aborts : int;  (** total conflict aborts replayed *)
+  v_unattributed : int;  (** conflict aborts with no usable aggressor *)
+  v_ambiguous : int;  (** aborts whose attribution had several candidates *)
+  v_predicted : int;  (** static edges in the conflict graph *)
+  v_observed : int;  (** static edges observed at least once *)
+}
+
+val run : Conflict.t -> Trace.t -> t
+
+val sound : t -> bool
+(** No dynamic conflict edge escaped the static graph. *)
+
+val precision : t -> float
+(** [v_observed / v_predicted]; [1.0] when nothing was predicted. *)
+
+val source_label : Conflict.source -> string
+(** ["ab3"] or ["outside"]. *)

@@ -4,6 +4,8 @@ type t = {
   prog : Ir.program;
   dsa : Stx_dsa.Dsa.t;
   anchors : Anchors.t;
+  mode : Anchors.mode;
+  instrumented : bool;
   unified : Unified.table array;
   layout : Layout.t;
   pc_bits : int;
@@ -40,7 +42,17 @@ let compile ?(pc_bits = 12) ?(mode = Anchors.Dsa_guided) ?(instrument = true) pr
   let unified = Unified.build prog dsa anchors in
   let layout = Layout.assign prog in
   Array.iter (fun table -> Unified.index_by_pc table layout ~pc_bits) unified;
-  { prog; dsa; anchors; unified; layout; pc_bits; read_only = compute_read_only prog }
+  {
+    prog;
+    dsa;
+    anchors;
+    mode;
+    instrumented = instrument;
+    unified;
+    layout;
+    pc_bits;
+    read_only = compute_read_only prog;
+  }
 
 let table_for t ~ab = t.unified.(ab)
 

@@ -9,6 +9,8 @@ type t = {
   prog : Ir.program;  (** the (instrumented) program *)
   dsa : Stx_dsa.Dsa.t;
   anchors : Anchors.t;
+  mode : Anchors.mode;  (** anchor-selection mode this compile used *)
+  instrumented : bool;  (** whether ALPs were inserted *)
   unified : Unified.table array;  (** indexed by atomic-block id *)
   layout : Layout.t;
   pc_bits : int;

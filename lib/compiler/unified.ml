@@ -18,6 +18,9 @@ type table = {
   by_pc : (int, int) Hashtbl.t;
   by_low : (int, int) Hashtbl.t; (* truncated pc -> first entry id *)
   by_site : (int, int) Hashtbl.t;
+  mutable t_collisions : (int * int list) list;
+      (* truncated tags shared by several entries, with the entry ids in
+         table (= resolution) order; filled by index_by_pc *)
 }
 
 let ab_id t = t.t_ab
@@ -127,6 +130,7 @@ let build prog dsa (anch : Anchors.t) =
         by_pc = Hashtbl.create 64;
         by_low = Hashtbl.create 64;
         by_site = Hashtbl.create 64;
+        t_collisions = [];
       }
     in
     Array.iter
@@ -142,21 +146,46 @@ let build prog dsa (anch : Anchors.t) =
 let index_by_pc t layout ~pc_bits =
   Hashtbl.reset t.by_pc;
   Hashtbl.reset t.by_low;
+  let sharers : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
   Array.iter
     (fun e ->
       match Layout.pc_of_iid layout e.ue_iid with
       | pc ->
         if not (Hashtbl.mem t.by_pc pc) then Hashtbl.add t.by_pc pc e.ue_id;
         let low = Layout.truncate ~bits:pc_bits pc in
-        if not (Hashtbl.mem t.by_low low) then Hashtbl.add t.by_low low e.ue_id
+        if not (Hashtbl.mem t.by_low low) then Hashtbl.add t.by_low low e.ue_id;
+        (match Hashtbl.find_opt sharers low with
+        | Some l -> l := e.ue_id :: !l
+        | None -> Hashtbl.add sharers low (ref [ e.ue_id ]))
       | exception Not_found -> ())
-    t.t_entries
+    t.t_entries;
+  t.t_collisions <-
+    Hashtbl.fold
+      (fun low l acc ->
+        (* entries of one table may legitimately share a full PC (the same
+           instruction visited through several call paths); only distinct
+           PCs folding onto one tag are a hardware ambiguity *)
+        let ids = List.sort_uniq compare !l in
+        let pcs =
+          List.sort_uniq compare
+            (List.map (fun i -> Layout.pc_of_iid layout t.t_entries.(i).ue_iid) ids)
+        in
+        if List.length pcs > 1 then (low, List.rev !l) :: acc else acc)
+      sharers []
+    |> List.sort compare
 
 let search_by_pc t pc =
   Option.map (fun i -> t.t_entries.(i)) (Hashtbl.find_opt t.by_pc pc)
 
 let search_by_truncated_pc t low =
   Option.map (fun i -> t.t_entries.(i)) (Hashtbl.find_opt t.by_low low)
+
+let collisions t = t.t_collisions
+
+let collision_count t =
+  List.fold_left (fun acc (_, ids) -> acc + List.length ids - 1) 0 t.t_collisions
+
+let tag_ambiguous t low = List.mem_assoc low t.t_collisions
 
 let entry_of_site t site =
   Option.map (fun i -> t.t_entries.(i)) (Hashtbl.find_opt t.by_site site)

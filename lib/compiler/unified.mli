@@ -44,6 +44,20 @@ val search_by_truncated_pc : table -> int -> entry option
     ambiguities resolve to the first entry in table order (a modelled
     source of inaccuracy). *)
 
+val collisions : table -> (int * int list) list
+(** Truncated tags onto which entries with several {e distinct} full PCs
+    fold, each with the colliding entry ids in table order — the first id
+    is the one {!search_by_truncated_pc} silently resolves to. Tags in
+    ascending order. Empty until {!index_by_pc} has run. *)
+
+val collision_count : table -> int
+(** Entries shadowed behind another entry's identical truncated tag: the
+    number of table rows {!search_by_truncated_pc} can never return. *)
+
+val tag_ambiguous : table -> int -> bool
+(** Whether a truncated-PC lookup of this tag is a guess between several
+    distinct instructions. *)
+
 val entry_of_site : table -> int -> entry option
 (** The entry describing the anchor with the given ALP site id. *)
 

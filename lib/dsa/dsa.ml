@@ -372,3 +372,5 @@ let map_callee_node t ~call_iid n =
     | None -> Dsnode.find n)
 
 let accesses_analyzed t = t.analyzed
+
+let call_sccs = sccs

@@ -19,6 +19,12 @@ type t
 val analyze : Ir.program -> t
 (** Runs both stages. The program should already pass {!Verify.program}. *)
 
+val call_sccs : Ir.program -> string list list
+(** Strongly connected components of the call graph (direct and atomic
+    calls), callees first — the bottom-up processing order of the analysis
+    itself, exposed for clients that propagate their own per-function
+    summaries the same way (e.g. {!Stx_analysis.Summary}). *)
+
 val access_node : t -> int -> (Dsnode.t * int) option
 (** [access_node t iid] — the DSNode and field accessed by the load/store
     with instruction id [iid], if the analysis saw one. *)

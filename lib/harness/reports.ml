@@ -400,7 +400,11 @@ let hotspots ctx w =
           Table.fmt_pct (Stat.percent c a.Trace.conflict_aborts);
         ])
     (take 8 a.Trace.by_line);
-  let t2 = Table.create [ "conflicting PC tag"; "aborts"; "share" ] in
+  let unified = spec.Machine.compiled.Stx_compiler.Pipeline.unified in
+  let tag_ambiguous pc =
+    Array.exists (fun tb -> Stx_compiler.Unified.tag_ambiguous tb pc) unified
+  in
+  let t2 = Table.create [ "conflicting PC tag"; "aborts"; "share"; "lookup" ] in
   List.iter
     (fun (pc, c) ->
       Table.add_row t2
@@ -408,6 +412,7 @@ let hotspots ctx w =
           Printf.sprintf "0x%03x" pc;
           string_of_int c;
           Table.fmt_pct (Stat.percent c a.Trace.conflict_aborts);
+          (if tag_ambiguous pc then "ambiguous" else "unique");
         ])
     (take 8 a.Trace.by_pc);
   let t3 = Table.create [ "atomic block"; "conflict aborts"; "share" ] in
@@ -442,6 +447,29 @@ let hotspots ctx w =
       "\nWARNING: trace/stats divergence detected:\n  "
       ^ String.concat "\n  " errs ^ "\n"
   in
+  let collisions =
+    let per_table =
+      Array.to_list unified
+      |> List.concat_map (fun tb ->
+             match Stx_compiler.Unified.collisions tb with
+             | [] -> []
+             | cs ->
+               [
+                 Printf.sprintf "  ab%d: %d shadowed entr(ies) behind tag(s) %s"
+                   (Stx_compiler.Unified.ab_id tb)
+                   (Stx_compiler.Unified.collision_count tb)
+                   (String.concat " "
+                      (List.map
+                         (fun (tag, _) -> Printf.sprintf "0x%03x" tag)
+                         cs));
+               ])
+    in
+    match per_table with
+    | [] -> "Truncated-PC tags are collision-free in every unified table.\n"
+    | ls ->
+      "Truncated-PC tag collisions (hardware lookups resolve to the first \
+       entry):\n" ^ String.concat "\n" ls ^ "\n"
+  in
   Printf.sprintf
     "Conflict hot spots of %s (baseline, %d threads): the raw material the
      locking policy works from. Trace-backed: %d events, %d conflict aborts
@@ -449,11 +477,12 @@ let hotspots ctx w =
 %s
 %s
 %s
+%s
 Aggressor -> victim conflict aborts (rows: aggressor core; '.' = 0):
 %s%s"
     w.Workload.name threads (Trace.length tr) a.Trace.conflict_aborts
     a.Trace.unattributed (Table.render t) (Table.render t2) (Table.render t3)
-    (Table.render tm) health
+    collisions (Table.render tm) health
 
 let scaling ctx w =
   let t = Table.create [ "Threads"; "HTM speedup"; "Staggered speedup" ] in

@@ -81,6 +81,115 @@ let check_inst p f loc (inst : Ir.inst) =
     List.iter op args
   | Ir.Alp a -> rg a.Ir.alp_addr
 
+(* Definite assignment: every register a reachable instruction reads must
+   be written on every path from the entry (parameters are written by the
+   call itself). Forward must-dataflow over the CFG — in(b) is the
+   intersection of out(pred) — then a straight-line walk of each block.
+   Catches both plain use-before-def and the subtler join-point reads
+   where only one branch arm assigned. *)
+let reads_of = function
+  | Ir.Mov (_, v) -> [ v ]
+  | Ir.Bin (_, _, a, b) -> [ a; b ]
+  | Ir.Load (_, a) -> [ Ir.Reg a ]
+  | Ir.Store (a, v) -> [ Ir.Reg a; v ]
+  | Ir.Gep (_, b, _, _) -> [ Ir.Reg b ]
+  | Ir.Idx (_, b, _, i) -> [ Ir.Reg b; i ]
+  | Ir.Alloc _ -> []
+  | Ir.Alloc_arr (_, _, n) -> [ n ]
+  | Ir.Call (_, _, args) | Ir.Atomic_call (_, _, args) | Ir.Intr (_, _, args) ->
+    args
+  | Ir.Alp a -> [ Ir.Reg a.Ir.alp_addr ]
+
+let check_def_before_use (f : Ir.func) =
+  let nblocks = Array.length f.Ir.blocks in
+  let nregs = f.Ir.nregs in
+  if nregs > 0 then begin
+    (* reachable blocks, by DFS over CFG successors *)
+    let reachable = Array.make nblocks false in
+    let rec visit i =
+      if not reachable.(i) then begin
+        reachable.(i) <- true;
+        List.iter visit (Dom.successors f i)
+      end
+    in
+    visit 0;
+    let preds = Array.make nblocks [] in
+    Array.iteri
+      (fun i _ ->
+        if reachable.(i) then
+          List.iter (fun s -> preds.(s) <- i :: preds.(s)) (Dom.successors f i))
+      f.Ir.blocks;
+    let entry_in = Array.make nregs false in
+    for r = 0 to Array.length f.Ir.params - 1 do
+      if r < nregs then entry_in.(r) <- true
+    done;
+    let defined_in b =
+      let s = Array.make nregs false in
+      Array.iter
+        (fun i ->
+          match Ir.defined_reg i.Ir.op with Some d -> s.(d) <- true | None -> ())
+        f.Ir.blocks.(b).Ir.insts;
+      s
+    in
+    let gen = Array.init nblocks defined_in in
+    (* out(b) starts at top so the intersection only shrinks *)
+    let out = Array.init nblocks (fun _ -> Array.make nregs true) in
+    let in_of b =
+      (* the entry executes first with only its parameters assigned, no
+         matter what any back edge would bring in *)
+      if b = 0 then Array.copy entry_in
+      else
+        match preds.(b) with
+        | [] -> Array.copy entry_in
+        | p :: rest ->
+          let s = Array.copy out.(p) in
+          List.iter
+            (fun q -> Array.iteri (fun r v -> s.(r) <- v && out.(q).(r)) s)
+            rest;
+          s
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = 0 to nblocks - 1 do
+        if reachable.(b) then begin
+          let i = in_of b in
+          let o = Array.mapi (fun r v -> v || gen.(b).(r)) i in
+          if o <> out.(b) then begin
+            out.(b) <- o;
+            changed := true
+          end
+        end
+      done
+    done;
+    Array.iteri
+      (fun b blk ->
+        if reachable.(b) then begin
+          let loc = Printf.sprintf "%s.%s" f.Ir.fname blk.Ir.blabel in
+          let live = in_of b in
+          let use v =
+            match v with
+            | Ir.Imm _ -> ()
+            | Ir.Reg r ->
+              if r >= 0 && r < nregs && not live.(r) then
+                fail "%s: register %d read before assignment on some path in %s"
+                  loc r f.Ir.fname
+          in
+          Array.iter
+            (fun inst ->
+              List.iter use (reads_of inst.Ir.op);
+              match Ir.defined_reg inst.Ir.op with
+              | Some d -> if d >= 0 && d < nregs then live.(d) <- true
+              | None -> ())
+            blk.Ir.insts;
+          match blk.Ir.term with
+          | Ir.Jmp _ -> ()
+          | Ir.Br (c, _, _) -> use c
+          | Ir.Ret v -> Option.iter use v
+        end)
+      f.Ir.blocks
+  end
+
 let check_func p (f : Ir.func) =
   if Array.length f.Ir.blocks = 0 then fail "function %s has no blocks" f.Ir.fname;
   let seen = Hashtbl.create 8 in
@@ -138,6 +247,26 @@ let check_no_nested_atomic p =
             | _ -> ()))
     reach
 
+(* ALPs guard anchors inside transactions; one in code no atomic block can
+   reach is either dead instrumentation or a misplaced insertion *)
+let check_alp_placement p =
+  let reach = atomic_reachable p in
+  Hashtbl.iter
+    (fun name (f : Ir.func) ->
+      if not (Hashtbl.mem reach name) then
+        Ir.iter_insts f (fun _ _ inst ->
+            match inst.Ir.op with
+            | Ir.Alp a ->
+              fail "Alp site %d in %s, which no atomic block reaches" a.Ir.alp_site
+                name
+            | _ -> ()))
+    p.Ir.funcs
+
 let program p =
-  Hashtbl.iter (fun _ f -> check_func p f) p.Ir.funcs;
-  check_no_nested_atomic p
+  Hashtbl.iter
+    (fun _ f ->
+      check_func p f;
+      check_def_before_use f)
+    p.Ir.funcs;
+  check_no_nested_atomic p;
+  check_alp_placement p

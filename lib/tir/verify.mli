@@ -5,7 +5,10 @@
     indices in range, branch targets exist, struct/field references valid,
     callees exist with matching arity, atomic-block ids valid, no nested
     atomic calls (no function reachable from an atomic block may contain
-    [Atomic_call]), and unique block labels. *)
+    [Atomic_call]), unique block labels, definite assignment (a register a
+    reachable instruction reads must be written on every path from the
+    entry; parameters count as written), and [Alp] placement ([Alp]
+    instructions only in atomic-reachable functions). *)
 
 exception Invalid of string
 

@@ -510,3 +510,204 @@ let write_chrome t ~file =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_chrome_json t))
+
+(* --- raw event codec ---------------------------------------------------- *)
+
+(* One event per line, whitespace-separated, a versioned header up front.
+   The Chrome export is for human eyes; this form round-trips, so a capture
+   written by one process (stx_run --raw-trace) can be replayed by another
+   (stx_repro lint --validate-trace). Option fields print as "-". *)
+
+let codec_magic = "stx-trace"
+let codec_version = 1
+
+let opt = function None -> "-" | Some v -> string_of_int v
+let flag b = if b then "1" else "0"
+
+let kind_tag = function
+  | Machine.Conflict -> "conflict"
+  | Machine.Lock_subscription -> "locksub"
+  | Machine.Explicit -> "explicit"
+
+let event_line time ev =
+  match ev with
+  | Machine.Tx_begin { tid; ab; attempt; probe } ->
+    Printf.sprintf "%d begin %d %d %d %s" time tid ab attempt (flag probe)
+  | Machine.Tx_commit { tid; ab; cycles; irrevocable; probe } ->
+    Printf.sprintf "%d commit %d %d %d %s %s" time tid ab cycles (flag irrevocable)
+      (flag probe)
+  | Machine.Tx_abort { tid; ab; kind; conf_line; conf_pc; aggressor; cycles; probe }
+    ->
+    Printf.sprintf "%d abort %d %d %s %s %s %s %d %s" time tid ab (kind_tag kind)
+      (opt conf_line) (opt conf_pc) (opt aggressor) cycles (flag probe)
+  | Machine.Tx_irrevocable { tid; ab } ->
+    Printf.sprintf "%d irrevocable %d %d" time tid ab
+  | Machine.Alp_executed { tid; ab; site; fired } ->
+    Printf.sprintf "%d alp %d %d %d %s" time tid ab site (flag fired)
+  | Machine.Lock_attempt { tid; lock; line } ->
+    Printf.sprintf "%d lock-attempt %d %d %d" time tid lock line
+  | Machine.Lock_acquired { tid; lock; line } ->
+    Printf.sprintf "%d lock-acquired %d %d %d" time tid lock line
+  | Machine.Lock_released { tid; lock; committed } ->
+    Printf.sprintf "%d lock-released %d %d %s" time tid lock (flag committed)
+  | Machine.Lock_waiting { tid; lock } ->
+    Printf.sprintf "%d lock-waiting %d %d" time tid lock
+  | Machine.Lock_timeout { tid; lock } ->
+    Printf.sprintf "%d lock-timeout %d %d" time tid lock
+  | Machine.Backoff_start { tid } -> Printf.sprintf "%d backoff-start %d" time tid
+  | Machine.Backoff_end { tid } -> Printf.sprintf "%d backoff-end %d" time tid
+
+let write_events ?(meta = []) t ~file =
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s %d\n" codec_magic codec_version;
+      Printf.fprintf oc "threads %d\n" t.n_threads;
+      Printf.fprintf oc "dropped %d\n" t.n_dropped;
+      List.iter
+        (fun (k, v) ->
+          if String.contains k ' ' || String.contains k '\n' || String.contains v '\n'
+          then invalid_arg "Trace.write_events: meta keys/values must be line-safe";
+          Printf.fprintf oc "meta %s %s\n" k v)
+        meta;
+      Printf.fprintf oc "events %d\n" t.len;
+      iter t (fun ~time ev -> output_string oc (event_line time ev ^ "\n")))
+
+exception Codec_error of string
+
+let codec_fail fmt = Printf.ksprintf (fun s -> raise (Codec_error s)) fmt
+
+let parse_event line lineno =
+  let fields =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  in
+  let num s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> codec_fail "line %d: expected an integer, got %S" lineno s
+  in
+  let num_opt s = if s = "-" then None else Some (num s) in
+  let bool s =
+    match s with
+    | "0" -> false
+    | "1" -> true
+    | _ -> codec_fail "line %d: expected a 0/1 flag, got %S" lineno s
+  in
+  let kind s =
+    match s with
+    | "conflict" -> Machine.Conflict
+    | "locksub" -> Machine.Lock_subscription
+    | "explicit" -> Machine.Explicit
+    | _ -> codec_fail "line %d: unknown abort kind %S" lineno s
+  in
+  match fields with
+  | time :: "begin" :: [ tid; ab; attempt; probe ] ->
+    ( num time,
+      Machine.Tx_begin
+        { tid = num tid; ab = num ab; attempt = num attempt; probe = bool probe } )
+  | time :: "commit" :: [ tid; ab; cycles; irrevocable; probe ] ->
+    ( num time,
+      Machine.Tx_commit
+        {
+          tid = num tid;
+          ab = num ab;
+          cycles = num cycles;
+          irrevocable = bool irrevocable;
+          probe = bool probe;
+        } )
+  | time :: "abort" :: [ tid; ab; k; conf_line; conf_pc; aggressor; cycles; probe ]
+    ->
+    ( num time,
+      Machine.Tx_abort
+        {
+          tid = num tid;
+          ab = num ab;
+          kind = kind k;
+          conf_line = num_opt conf_line;
+          conf_pc = num_opt conf_pc;
+          aggressor = num_opt aggressor;
+          cycles = num cycles;
+          probe = bool probe;
+        } )
+  | time :: "irrevocable" :: [ tid; ab ] ->
+    (num time, Machine.Tx_irrevocable { tid = num tid; ab = num ab })
+  | time :: "alp" :: [ tid; ab; site; fired ] ->
+    ( num time,
+      Machine.Alp_executed
+        { tid = num tid; ab = num ab; site = num site; fired = bool fired } )
+  | time :: "lock-attempt" :: [ tid; lock; line ] ->
+    ( num time,
+      Machine.Lock_attempt { tid = num tid; lock = num lock; line = num line } )
+  | time :: "lock-acquired" :: [ tid; lock; line ] ->
+    ( num time,
+      Machine.Lock_acquired { tid = num tid; lock = num lock; line = num line } )
+  | time :: "lock-released" :: [ tid; lock; committed ] ->
+    ( num time,
+      Machine.Lock_released
+        { tid = num tid; lock = num lock; committed = bool committed } )
+  | time :: "lock-waiting" :: [ tid; lock ] ->
+    (num time, Machine.Lock_waiting { tid = num tid; lock = num lock })
+  | time :: "lock-timeout" :: [ tid; lock ] ->
+    (num time, Machine.Lock_timeout { tid = num tid; lock = num lock })
+  | time :: "backoff-start" :: [ tid ] ->
+    (num time, Machine.Backoff_start { tid = num tid })
+  | time :: "backoff-end" :: [ tid ] ->
+    (num time, Machine.Backoff_end { tid = num tid })
+  | _ -> codec_fail "line %d: unparseable event %S" lineno line
+
+let read_events ~file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lineno = ref 0 in
+      let next () =
+        incr lineno;
+        match input_line ic with
+        | l -> l
+        | exception End_of_file -> codec_fail "line %d: unexpected end of file" !lineno
+      in
+      (match String.split_on_char ' ' (next ()) with
+      | [ magic; v ] when magic = codec_magic ->
+        if int_of_string_opt v <> Some codec_version then
+          codec_fail "unsupported %s version %s (expected %d)" codec_magic v
+            codec_version
+      | _ -> codec_fail "not an %s capture" codec_magic);
+      let threads =
+        match String.split_on_char ' ' (next ()) with
+        | [ "threads"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> n
+          | _ -> codec_fail "bad threads header")
+        | _ -> codec_fail "missing threads header"
+      in
+      let dropped =
+        match String.split_on_char ' ' (next ()) with
+        | [ "dropped"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> n
+          | _ -> codec_fail "bad dropped header")
+        | _ -> codec_fail "missing dropped header"
+      in
+      let meta = ref [] in
+      let rec header () =
+        let line = next () in
+        match String.split_on_char ' ' line with
+        | "meta" :: k :: rest ->
+          meta := (k, String.concat " " rest) :: !meta;
+          header ()
+        | [ "events"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> n
+          | _ -> codec_fail "bad events header")
+        | _ -> codec_fail "line %d: expected meta or events header" !lineno
+      in
+      let count = header () in
+      let t = create ~threads () in
+      for _ = 1 to count do
+        let time, ev = parse_event (next ()) !lineno in
+        handler t ~time ev
+      done;
+      t.n_dropped <- dropped;
+      (t, List.rev !meta))

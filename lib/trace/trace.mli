@@ -98,3 +98,23 @@ val to_chrome_json : t -> string
 
 val write_chrome : t -> file:string -> unit
 (** {!to_chrome_json} to [file] (truncating). *)
+
+(** {2 Raw event codec}
+
+    The Chrome export is for human eyes; this line-oriented text form
+    round-trips, so a capture written by one run ([stx_run --raw-trace])
+    can be replayed later by another process ([stx_repro lint
+    --validate-trace]). *)
+
+exception Codec_error of string
+
+val write_events : ?meta:(string * string) list -> t -> file:string -> unit
+(** Write the retained stream with a versioned header and optional
+    [meta] key/value pairs (e.g. workload, mode, seed — single-line
+    values only). *)
+
+val read_events : file:string -> t * (string * string) list
+(** Parse a {!write_events} capture back into a full-capture trace plus
+    its metadata. The original ring-drop count is preserved, so {!check}
+    still refuses a truncated capture.
+    @raise Codec_error on malformed input or an unsupported version. *)

@@ -15,10 +15,13 @@ let scaled scale n = max 1 (int_of_float (Float.round (scale *. float_of_int n))
 
 let split ~total ~threads = max 1 (total / max 1 threads)
 
-let spec ?(instrument = true) ?(scale = 1.0) ?(pc_bits = 12) t =
+let spec ?(instrument = true) ?(anchor_mode = Stx_compiler.Anchors.Dsa_guided)
+    ?(scale = 1.0) ?(pc_bits = 12) t =
   let prog = t.build () in
   Verify.program prog;
-  let compiled = Stx_compiler.Pipeline.compile ~pc_bits ~instrument prog in
+  let compiled =
+    Stx_compiler.Pipeline.compile ~pc_bits ~mode:anchor_mode ~instrument prog
+  in
   {
     Machine.compiled;
     Machine.thread_main = "main";

@@ -19,10 +19,18 @@ type t = {
           function named ["main"] *)
 }
 
-val spec : ?instrument:bool -> ?scale:float -> ?pc_bits:int -> t -> Machine.spec
+val spec :
+  ?instrument:bool ->
+  ?anchor_mode:Stx_compiler.Anchors.mode ->
+  ?scale:float ->
+  ?pc_bits:int ->
+  t ->
+  Machine.spec
 (** Compile a fresh copy of the program (with or without ALPs) and package
-    it for {!Machine.run}. [scale] multiplies the workload size; [pc_bits]
-    must match the machine's PC-tag width (default 12). *)
+    it for {!Machine.run}. [anchor_mode] selects the anchor classification
+    ([Dsa_guided] by default, [Naive] instruments every access); [scale]
+    multiplies the workload size; [pc_bits] must match the machine's
+    PC-tag width (default 12). *)
 
 val scaled : float -> int -> int
 (** [scaled scale n] = [max 1 (round (scale * n))]. *)

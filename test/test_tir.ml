@@ -113,6 +113,65 @@ let test_verify_rejects_nested_atomic () =
        false
      with Verify.Invalid _ -> true)
 
+let expect_invalid name f =
+  Alcotest.(check bool) name true
+    (try
+       f ();
+       false
+     with Verify.Invalid _ -> true)
+
+let test_verify_use_before_def () =
+  let p = Ir.create_program () in
+  let b = Builder.create p "f" ~params:[] in
+  let r = Builder.reg b "r" in
+  let s = Builder.reg b "s" in
+  Builder.mov b s (Ir.Reg r);
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  expect_invalid "straight-line use before def" (fun () -> Verify.program p)
+
+let test_verify_one_armed_join () =
+  let p = Ir.create_program () in
+  let b = Builder.create p "f" ~params:[ "x" ] in
+  let r = Builder.reg b "r" in
+  Builder.if_ b (Builder.param b "x")
+    (fun b -> Builder.mov b r (Ir.Imm 1))
+    (fun _ -> ());
+  Builder.ret b (Some (Ir.Reg r));
+  ignore (Builder.finish b);
+  expect_invalid "read of register assigned on one arm only" (fun () ->
+      Verify.program p)
+
+let test_verify_loop_carried_def_ok () =
+  (* assigned before the loop, read and reassigned inside: fine *)
+  let p = Ir.create_program () in
+  let b = Builder.create p "f" ~params:[ "n" ] in
+  let acc = Builder.reg b "acc" in
+  Builder.mov b acc (Ir.Imm 0);
+  Builder.for_ b ~from:(Ir.Imm 0) ~below:(Builder.param b "n") (fun b i ->
+      Builder.bin_to b acc Ir.Add (Ir.Reg acc) i);
+  Builder.ret b (Some (Ir.Reg acc));
+  ignore (Builder.finish b);
+  Verify.program p
+
+let test_verify_rejects_stray_alp () =
+  (* an ALP in a function no atomic block reaches is dead or misplaced *)
+  let p = Ir.create_program () in
+  let b = Builder.create p "f" ~params:[ "ptr" ] in
+  let v = Builder.load b (Builder.param b "ptr") in
+  ignore v;
+  Builder.ret b None;
+  let f = Builder.finish b in
+  let alp =
+    {
+      Ir.iid = Ir.fresh_iid p;
+      Ir.op = Ir.Alp { Ir.alp_site = 1; Ir.alp_addr = 0; Ir.alp_anchor_iid = 0 };
+    }
+  in
+  let blk = f.Ir.blocks.(0) in
+  blk.Ir.insts <- Array.append [| alp |] blk.Ir.insts;
+  expect_invalid "stray ALP rejected" (fun () -> Verify.program p)
+
 let test_atomic_reachable () =
   let p = Ir.create_program () in
   let b = Builder.create p "leaf" ~params:[] in
@@ -230,6 +289,12 @@ let suite =
     Alcotest.test_case "verify catches arity" `Quick test_verify_catches_arity;
     Alcotest.test_case "verify rejects nested atomic" `Quick
       test_verify_rejects_nested_atomic;
+    Alcotest.test_case "verify use before def" `Quick test_verify_use_before_def;
+    Alcotest.test_case "verify one-armed join" `Quick test_verify_one_armed_join;
+    Alcotest.test_case "verify loop-carried def ok" `Quick
+      test_verify_loop_carried_def_ok;
+    Alcotest.test_case "verify rejects stray alp" `Quick
+      test_verify_rejects_stray_alp;
     Alcotest.test_case "atomic reachable set" `Quick test_atomic_reachable;
     Alcotest.test_case "dom entry dominates all" `Quick test_dom_straight_line;
     Alcotest.test_case "dom loop head dominates body" `Quick
