@@ -105,6 +105,71 @@ let scaling_cmd =
   per_bench_cmd "scaling" "Thread-count sweep for one benchmark"
     Reports.scaling_cells Reports.scaling
 
+let profile_cmd =
+  per_bench_cmd "profile"
+    "Per-atomic-block phase profile: speculative prefix vs serialized suffix"
+    Reports.profile_cells Reports.profile
+
+let bench_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_stx.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the schema-versioned snapshot.")
+  in
+  let compare_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"BASELINE.json"
+          ~doc:
+            "Compare this run against an earlier snapshot and exit non-zero \
+             if any cell's throughput regressed past the threshold.")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float 0.2
+      & info [ "threshold" ]
+          ~doc:
+            "Relative throughput change that counts as a regression or \
+             improvement (0.2 = \u{00b1}20%).")
+  in
+  let run c out cmp threshold =
+    Exp.prefetch ~progress:true c (Bench.suite_cells c);
+    let t = Bench.suite c in
+    Bench.write t ~file:out;
+    print_string (Bench.render t);
+    Printf.printf "wrote %s\n%!" out;
+    match cmp with
+    | None -> ()
+    | Some file -> (
+      match Bench.read ~file with
+      | Error e ->
+        prerr_endline e;
+        exit 1
+      | Ok baseline ->
+        if
+          (baseline.Bench.seed, baseline.Bench.scale, baseline.Bench.threads)
+          <> (t.Bench.seed, t.Bench.scale, t.Bench.threads)
+        then
+          Printf.printf
+            "note: baseline %s was taken at seed %d scale %g threads %d, this \
+             run at seed %d scale %g threads %d\n"
+            file baseline.Bench.seed baseline.Bench.scale
+            baseline.Bench.threads t.Bench.seed t.Bench.scale t.Bench.threads;
+        let cs = Bench.compare_runs ~threshold ~baseline t in
+        print_string (Bench.render_compare cs);
+        if Bench.regressions cs <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the Figure 7 suite, write a machine-readable BENCH_stx.json \
+          snapshot, and optionally gate against a baseline snapshot")
+    Term.(const run $ ctx_term $ out_arg $ compare_arg $ threshold_arg)
+
 let hotspots_cmd =
   per_bench_cmd "hotspots" "Top conflicting lines/PCs of one benchmark"
     Reports.hotspot_cells Reports.hotspots
@@ -351,6 +416,8 @@ let () =
       scaling_cmd;
       scaling_all_cmd;
       hotspots_cmd;
+      profile_cmd;
+      bench_cmd;
       fig7avg_cmd;
       export_cmd;
       ablations_cmd;

@@ -61,7 +61,8 @@ let run_many benches mode threads seed scale jobs =
   List.iter2
     (fun w (_, outcome) ->
       match outcome with
-      | Pool.Done stats ->
+      | Pool.Done r ->
+        let stats = r.Stx_metrics.Run.stats in
         print_stats w.Workload.name mode threads stats;
         let spec = Workload.spec ~instrument:(Mode.uses_alps mode) ~scale w in
         print_per_ab spec stats;
@@ -77,7 +78,8 @@ let run_many benches mode threads seed scale jobs =
     benches batch.Sweep.results;
   if !failed then exit 1
 
-let run list_benches bench mode threads seed scale trace raw_trace lint jobs =
+let run list_benches bench mode threads seed scale trace raw_trace metrics lint
+    jobs =
   if list_benches then begin
     List.iter
       (fun w ->
@@ -110,8 +112,8 @@ let run list_benches bench mode threads seed scale trace raw_trace lint jobs =
     prerr_endline "no benchmark given (try --list)";
     exit 1
   | _ :: _ :: _ ->
-    if trace <> None || raw_trace <> None || lint then begin
-      prerr_endline "--trace/--raw-trace/--lint need a single benchmark";
+    if trace <> None || raw_trace <> None || metrics <> None || lint then begin
+      prerr_endline "--trace/--raw-trace/--metrics/--lint need a single benchmark";
       exit 1
     end;
     run_many benches mode threads seed scale jobs
@@ -122,10 +124,24 @@ let run list_benches bench mode threads seed scale trace raw_trace lint jobs =
         Some (Stx_trace.Trace.create ~threads ())
       else None
     in
+    let collector =
+      match metrics with
+      | Some _ -> Some (Stx_metrics.Collect.create ())
+      | None -> None
+    in
     let on_event =
-      match tr with
-      | Some tr -> Stx_trace.Trace.handler tr
-      | None -> fun ~time:_ _ -> ()
+      let trace_h =
+        match tr with
+        | Some tr -> Stx_trace.Trace.handler tr
+        | None -> fun ~time:_ _ -> ()
+      in
+      match collector with
+      | None -> trace_h
+      | Some c ->
+        let metrics_h = Stx_metrics.Collect.handler c in
+        fun ~time ev ->
+          trace_h ~time ev;
+          metrics_h ~time ev
     in
     let spec = Workload.spec ~instrument:(Mode.uses_alps mode) ~scale w in
     let lint_errors =
@@ -141,6 +157,23 @@ let run list_benches bench mode threads seed scale trace raw_trace lint jobs =
     let stats = Machine.run ~seed ~cfg ~mode ~on_event spec in
     print_stats w.Workload.name mode threads stats;
     print_per_ab spec stats;
+    (match (metrics, collector) with
+    | Some file, Some c ->
+      let reg = Stx_metrics.Collect.registry c in
+      let oc = open_out file in
+      output_string oc (Stx_metrics.Registry.to_json_string reg);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "  metrics            %d series -> %s\n"
+        (Stx_metrics.Registry.cardinality reg) file;
+      (match Stx_metrics.Collect.check reg stats with
+      | Ok () ->
+        Printf.printf "  metrics check      ok (registry reconciles with stats)\n%!"
+      | Error errs ->
+        Printf.printf "  metrics check      FAILED:\n";
+        List.iter (fun e -> Printf.printf "    %s\n" e) errs;
+        exit 1)
+    | _ -> ());
     (match (raw_trace, tr) with
     | Some file, Some tr ->
       let meta =
@@ -217,6 +250,19 @@ let () =
              the raw line-oriented codec, replayable by $(b,stx_repro lint \
              --validate-trace). Single benchmark only.")
   in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Collect the full metrics registry (latency/retry/set-size \
+             histograms, advisory-lock wait and backoff distributions, the \
+             per-atomic-block phase profile) during the run, write it to \
+             $(docv) as a stable versioned JSON snapshot, and reconcile it \
+             against the printed statistics (non-zero exit on divergence). \
+             Single benchmark only.")
+  in
   let lint_arg =
     Arg.(
       value
@@ -237,7 +283,8 @@ let () =
   let term =
     Term.(
       const run $ list_arg $ bench_arg $ mode_arg $ threads_arg $ seed_arg
-      $ scale_arg $ trace_arg $ raw_trace_arg $ lint_arg $ jobs_arg)
+      $ scale_arg $ trace_arg $ raw_trace_arg $ metrics_arg $ lint_arg
+      $ jobs_arg)
   in
   let info =
     Cmd.info "stx_run" ~version:"1.0"

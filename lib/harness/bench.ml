@@ -1,0 +1,289 @@
+open Stx_util
+open Stx_core
+open Stx_sim
+open Stx_workloads
+module J = Stx_metrics.Json
+module Mreg = Stx_metrics.Registry
+module Hist = Stx_metrics.Hist
+module Collect = Stx_metrics.Collect
+
+type entry = {
+  workload : string;
+  mode : string;
+  throughput : float;
+  abort_rate : float;
+  p99_latency : int;
+  prefix_share : float;
+  suffix_share : float;
+}
+
+type t = {
+  schema_version : int;
+  seed : int;
+  scale : float;
+  threads : int;
+  entries : entry list;
+}
+
+let schema_version = 1
+
+let suite_modes =
+  [ Mode.Baseline; Mode.Addr_only; Mode.Staggered_sw; Mode.Staggered_hw ]
+
+let suite_cells ctx =
+  List.concat_map
+    (fun w -> List.map (fun m -> (w, m, Exp.threads ctx)) suite_modes)
+    Registry.all
+
+let entry_of_run ~workload ~mode (r : Stx_metrics.Run.t) =
+  let s = r.Stx_metrics.Run.stats in
+  let reg = r.Stx_metrics.Run.metrics in
+  let throughput =
+    1_000_000. *. Stat.ratio s.Stats.commits (max 1 s.Stats.total_cycles)
+  in
+  let attempts = s.Stats.commits + s.Stats.aborts in
+  let abort_rate = Stat.ratio s.Stats.aborts (max 1 attempts) in
+  let p99_latency =
+    match
+      Mreg.histogram reg "stx_tx_latency_cycles" [ ("outcome", "commit") ]
+    with
+    | Some h -> Hist.p99 h
+    | None -> 0
+  in
+  let phase p = Collect.phase_total reg p in
+  let prefix = phase Collect.Prefix in
+  let suffix = phase Collect.Suffix in
+  let committed =
+    prefix + phase Collect.Lock_wait + suffix + phase Collect.Irrevocable
+  in
+  {
+    workload;
+    mode = Mode.to_string mode;
+    throughput;
+    abort_rate;
+    p99_latency;
+    prefix_share = Stat.ratio prefix (max 1 committed);
+    suffix_share = Stat.ratio suffix (max 1 committed);
+  }
+
+let suite ctx =
+  let entries =
+    List.concat_map
+      (fun (w : Workload.t) ->
+        List.map
+          (fun m ->
+            entry_of_run ~workload:w.Workload.name ~mode:m
+              (Exp.measure ctx w m))
+          suite_modes)
+      Registry.all
+    |> List.sort (fun a b ->
+           compare (a.workload, a.mode) (b.workload, b.mode))
+  in
+  {
+    schema_version;
+    seed = Exp.seed ctx;
+    scale = Exp.scale ctx;
+    threads = Exp.threads ctx;
+    entries;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec *)
+
+let entry_to_json e =
+  J.Obj
+    [
+      ("workload", J.Str e.workload);
+      ("mode", J.Str e.mode);
+      ("throughput", J.Float e.throughput);
+      ("abort_rate", J.Float e.abort_rate);
+      ("p99_latency_cycles", J.Int e.p99_latency);
+      ("prefix_share", J.Float e.prefix_share);
+      ("suffix_share", J.Float e.suffix_share);
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ("schema", J.Str "stx-bench");
+      ("version", J.Int t.schema_version);
+      ("seed", J.Int t.seed);
+      ("scale", J.Float t.scale);
+      ("threads", J.Int t.threads);
+      ("entries", J.List (List.map entry_to_json t.entries));
+    ]
+
+let to_json_string t = J.to_string (to_json t)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let req what o = match o with Some v -> Ok v | None -> Error ("bench snapshot: missing or ill-typed " ^ what)
+
+let entry_of_json j =
+  let* workload = req "workload" (Option.bind (J.member "workload" j) J.as_string) in
+  let* mode = req "mode" (Option.bind (J.member "mode" j) J.as_string) in
+  let* throughput = req "throughput" (Option.bind (J.member "throughput" j) J.as_float) in
+  let* abort_rate = req "abort_rate" (Option.bind (J.member "abort_rate" j) J.as_float) in
+  let* p99_latency =
+    req "p99_latency_cycles" (Option.bind (J.member "p99_latency_cycles" j) J.as_int)
+  in
+  let* prefix_share =
+    req "prefix_share" (Option.bind (J.member "prefix_share" j) J.as_float)
+  in
+  let* suffix_share =
+    req "suffix_share" (Option.bind (J.member "suffix_share" j) J.as_float)
+  in
+  Ok { workload; mode; throughput; abort_rate; p99_latency; prefix_share; suffix_share }
+
+let of_json j =
+  let* schema = req "schema" (Option.bind (J.member "schema" j) J.as_string) in
+  let* () = if schema = "stx-bench" then Ok () else Error ("bench snapshot: schema is " ^ schema ^ ", wanted stx-bench") in
+  let* version = req "version" (Option.bind (J.member "version" j) J.as_int) in
+  let* () =
+    if version = schema_version then Ok ()
+    else
+      Error
+        (Printf.sprintf "bench snapshot: version %d, this build reads %d"
+           version schema_version)
+  in
+  let* seed = req "seed" (Option.bind (J.member "seed" j) J.as_int) in
+  let* scale = req "scale" (Option.bind (J.member "scale" j) J.as_float) in
+  let* threads = req "threads" (Option.bind (J.member "threads" j) J.as_int) in
+  let* entries = req "entries" (Option.bind (J.member "entries" j) J.as_list) in
+  let* entries =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* e = entry_of_json e in
+        Ok (e :: acc))
+      (Ok []) entries
+  in
+  Ok { schema_version = version; seed; scale; threads; entries = List.rev entries }
+
+let of_json_string s =
+  match J.parse s with Ok j -> of_json j | Error e -> Error ("bench snapshot: " ^ e)
+
+let write t ~file =
+  let oc = open_out file in
+  output_string oc (to_json_string t);
+  output_char oc '\n';
+  close_out oc
+
+let read ~file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | s -> of_json_string s
+  | exception Sys_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* rendering *)
+
+let render t =
+  let tbl =
+    Table.create
+      [
+        "Benchmark"; "Mode"; "thr (c/Mcyc)"; "abort rate"; "p99 lat";
+        "prefix%"; "suffix%";
+      ]
+  in
+  List.iter
+    (fun e ->
+      Table.add_row tbl
+        [
+          e.workload;
+          e.mode;
+          Table.fmt_f ~dec:1 e.throughput;
+          Table.fmt_pct ~dec:1 (100. *. e.abort_rate);
+          string_of_int e.p99_latency;
+          Table.fmt_pct ~dec:1 (100. *. e.prefix_share);
+          Table.fmt_pct ~dec:1 (100. *. e.suffix_share);
+        ])
+    t.entries;
+  Printf.sprintf
+    "Bench suite (seed %d, scale %g, %d threads): throughput in commits per\n\
+     million simulated cycles; prefix/suffix as shares of committed tx cycles.\n"
+    t.seed t.scale t.threads
+  ^ Table.render tbl
+
+(* ------------------------------------------------------------------ *)
+(* regression gating *)
+
+type verdict = Improved | Neutral | Regressed | Added | Removed
+
+type comparison = {
+  c_workload : string;
+  c_mode : string;
+  c_old : entry option;
+  c_new : entry option;
+  ratio : float;
+  verdict : verdict;
+}
+
+let verdict_label = function
+  | Improved -> "improved"
+  | Neutral -> "ok"
+  | Regressed -> "REGRESSED"
+  | Added -> "added"
+  | Removed -> "removed"
+
+let compare_runs ?(threshold = 0.2) ~baseline fresh =
+  if not (threshold > 0. && threshold < 1.) then
+    invalid_arg "Bench.compare_runs: threshold must be in (0, 1)";
+  let key (e : entry) = (e.workload, e.mode) in
+  let index entries =
+    let h = Hashtbl.create 64 in
+    List.iter (fun e -> Hashtbl.replace h (key e) e) entries;
+    h
+  in
+  let old_by = index baseline.entries and new_by = index fresh.entries in
+  let keys =
+    List.sort_uniq compare
+      (List.map key baseline.entries @ List.map key fresh.entries)
+  in
+  List.map
+    (fun ((w, m) as k) ->
+      let c_old = Hashtbl.find_opt old_by k in
+      let c_new = Hashtbl.find_opt new_by k in
+      let ratio, verdict =
+        match (c_old, c_new) with
+        | None, Some _ -> (nan, Added)
+        | Some _, None -> (nan, Removed)
+        | None, None -> assert false
+        | Some o, Some n ->
+          if o.throughput = 0. && n.throughput = 0. then (1., Neutral)
+          else
+            let r = n.throughput /. o.throughput in
+            if r < 1. -. threshold then (r, Regressed)
+            else if r > 1. +. threshold then (r, Improved)
+            else (r, Neutral)
+      in
+      { c_workload = w; c_mode = m; c_old; c_new; ratio; verdict })
+    keys
+
+let regressions = List.filter (fun c -> c.verdict = Regressed)
+
+let render_compare comparisons =
+  let tbl =
+    Table.create
+      [ "Benchmark"; "Mode"; "baseline thr"; "new thr"; "ratio"; "verdict" ]
+  in
+  let thr = function Some e -> Table.fmt_f ~dec:1 e.throughput | None -> "-" in
+  List.iter
+    (fun c ->
+      Table.add_row tbl
+        [
+          c.c_workload;
+          c.c_mode;
+          thr c.c_old;
+          thr c.c_new;
+          (if Float.is_nan c.ratio then "-" else Table.fmt_f ~dec:2 c.ratio);
+          verdict_label c.verdict;
+        ])
+    comparisons;
+  let count v = List.length (List.filter (fun c -> c.verdict = v) comparisons) in
+  Table.render tbl
+  ^ Printf.sprintf
+      "%d cells: %d ok, %d improved, %d regressed, %d added, %d removed\n"
+      (List.length comparisons) (count Neutral) (count Improved)
+      (count Regressed) (count Added) (count Removed)
+
+let workload_names ws = List.map (fun (w : Workload.t) -> w.Workload.name) ws

@@ -1,0 +1,84 @@
+open Stx_workloads
+
+(** The machine-readable bench pipeline: run the Figure 7 suite (every
+    benchmark under every runtime mode), distill each cell into a small
+    set of headline numbers, write them as a schema-versioned
+    [BENCH_stx.json], and gate later runs against an earlier snapshot.
+
+    The simulator is deterministic, so two snapshots taken at the same
+    (seed, scale, threads) differ only when the code changed — which is
+    exactly what {!compare} is for: CI keeps a committed baseline and
+    fails the build when throughput moves past a threshold. *)
+
+type entry = {
+  workload : string;
+  mode : string;  (** [Mode.to_string] *)
+  throughput : float;  (** commits per million simulated cycles *)
+  abort_rate : float;  (** aborts / (commits + aborts) *)
+  p99_latency : int;  (** p99 committed-attempt latency, cycles *)
+  prefix_share : float;
+      (** speculative-prefix cycles / committed tx cycles *)
+  suffix_share : float;
+      (** serialized-suffix cycles / committed tx cycles *)
+}
+
+type t = {
+  schema_version : int;
+  seed : int;
+  scale : float;
+  threads : int;
+  entries : entry list;  (** sorted by (workload, mode) *)
+}
+
+val schema_version : int
+(** Stamped into the snapshot ({b 1}); {!read} rejects other versions. *)
+
+val suite_cells : Exp.t -> Exp.cell list
+(** What to [Exp.prefetch] before {!suite}: the full Figure 7 matrix. *)
+
+val suite : Exp.t -> t
+(** Run (or fetch from the context's memo/store) every benchmark under
+    every mode and distill the entries. *)
+
+val to_json_string : t -> string
+val of_json_string : string -> (t, string) result
+
+val write : t -> file:string -> unit
+val read : file:string -> (t, string) result
+
+val render : t -> string
+(** The snapshot as a table, for the terminal. *)
+
+(** {2 Regression gating} *)
+
+type verdict =
+  | Improved
+  | Neutral
+  | Regressed
+  | Added  (** only in the new snapshot *)
+  | Removed  (** only in the baseline *)
+
+type comparison = {
+  c_workload : string;
+  c_mode : string;
+  c_old : entry option;
+  c_new : entry option;
+  ratio : float;  (** new/old throughput; [nan] unless both present *)
+  verdict : verdict;
+}
+
+val compare_runs : ?threshold:float -> baseline:t -> t -> comparison list
+(** Match entries by (workload, mode) and judge the throughput ratio:
+    below [1 - threshold] is [Regressed], above [1 + threshold] is
+    [Improved], else [Neutral]. [threshold] defaults to 0.2 (±20%).
+    Raises [Invalid_argument] on a threshold outside (0, 1). *)
+
+val regressions : comparison list -> comparison list
+(** The [Regressed] subset — non-empty means the gate should fail. *)
+
+val render_compare : comparison list -> string
+(** One row per cell with both throughputs, the ratio and the verdict,
+    plus a closing summary line. *)
+
+val workload_names : Workload.t list -> string list
+(** Names in registry order (a convenience for drivers). *)

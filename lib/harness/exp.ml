@@ -1,5 +1,6 @@
 open Stx_core
 open Stx_sim
+open Stx_metrics
 open Stx_workloads
 open Stx_runner
 
@@ -11,7 +12,7 @@ type t = {
   threads : int;
   jobs : int;
   store : Store.t option;
-  memo : (string * string * int, Stats.t) Hashtbl.t;
+  memo : (string * string * int, Run.t) Hashtbl.t;
 }
 
 let create ?(seed = 1) ?(scale = 1.0) ?(threads = 16) ?(jobs = 1) ?store () =
@@ -30,24 +31,27 @@ let job_of t (w : Workload.t) mode ~threads =
 
 let memo_key (w : Workload.t) mode threads = (w.Workload.name, mode_key mode, threads)
 
-let run_at t w mode ~threads =
+let measure_at t w mode ~threads =
   let key = memo_key w mode threads in
   match Hashtbl.find_opt t.memo key with
-  | Some s -> s
+  | Some r -> r
   | None ->
     let job = job_of t w mode ~threads in
-    let s =
+    let r =
       match Option.bind t.store (fun st -> Store.load st ~key:(Job.digest job)) with
-      | Some s -> s
+      | Some r -> r
       | None ->
-        let s = Sweep.run_job job in
-        Option.iter (fun st -> Store.save st ~key:(Job.digest job) s) t.store;
-        s
+        let r = Sweep.run_job job in
+        Option.iter (fun st -> Store.save st ~key:(Job.digest job) r) t.store;
+        r
     in
-    Hashtbl.add t.memo key s;
-    s
+    Hashtbl.add t.memo key r;
+    r
 
+let measure t w mode = measure_at t w mode ~threads:t.threads
+let run_at t w mode ~threads = (measure_at t w mode ~threads).Run.stats
 let run t w mode = run_at t w mode ~threads:t.threads
+let metrics t w mode = (measure t w mode).Run.metrics
 
 let sequential t w = run_at t w Mode.Baseline ~threads:1
 
@@ -67,9 +71,9 @@ let prefetch ?(progress = false) t cells =
     List.iter2
       (fun ((w, mode, threads), _) (_, outcome) ->
         match outcome with
-        | Pool.Done s ->
+        | Pool.Done r ->
           let key = memo_key w mode threads in
-          if not (Hashtbl.mem t.memo key) then Hashtbl.add t.memo key s
+          if not (Hashtbl.mem t.memo key) then Hashtbl.add t.memo key r
         | Pool.Failed _ | Pool.Timed_out _ ->
           (* leave the cell empty: a later run_at retries it sequentially
              and surfaces the error in its natural context *)

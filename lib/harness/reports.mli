@@ -61,6 +61,15 @@ val scaling : Exp.t -> Workload.t -> string
 (** Thread-count sweep (1..16) for baseline and Staggered — the curves
     behind the S column. *)
 
+val profile : Exp.t -> Workload.t -> string
+(** Per-atomic-block phase profile of one benchmark under every runtime
+    mode: committed transaction cycles split at the first advisory-lock
+    acquire into speculative prefix, lock wait and serialized suffix
+    (plus irrevocable, wasted and backoff cycles), with the latency and
+    retry distributions beneath. The paper's core claim made visible:
+    the baseline serializes nothing (no suffix), staggered modes
+    serialize only the conflicting portion. *)
+
 (** {2 Prefetch cells}
 
     The memo cells each report reads, for handing to {!Exp.prefetch}
@@ -76,3 +85,4 @@ val fig8_cells : Exp.t -> Exp.cell list
 val granularity_cells : Exp.t -> Exp.cell list
 val scaling_cells : Exp.t -> Workload.t -> Exp.cell list
 val hotspot_cells : Exp.t -> Workload.t -> Exp.cell list
+val profile_cells : Exp.t -> Workload.t -> Exp.cell list

@@ -18,6 +18,8 @@ type core_state = {
   write_set : (int, unit) Hashtbl.t;
   tags : (int, int) Hashtbl.t; (* line -> full pc of first tx access *)
   wbuf : (int, int) Hashtbl.t; (* addr -> speculative value *)
+  mutable last_rset : int; (* set sizes when speculative state was *)
+  mutable last_wset : int; (* last discarded (commit or doom) *)
 }
 
 type t = {
@@ -39,6 +41,8 @@ let create (cfg : Config.t) memory alloc =
       write_set = Hashtbl.create 64;
       tags = Hashtbl.create 64;
       wbuf = Hashtbl.create 64;
+      last_rset = 0;
+      last_wset = 0;
     }
   in
   let lock_addr = Alloc.alloc_shared alloc 1 in
@@ -69,6 +73,8 @@ let mask_clear tbl line core =
 
 let discard_speculative t core =
   let c = t.cores.(core) in
+  c.last_rset <- Hashtbl.length c.read_set;
+  c.last_wset <- Hashtbl.length c.write_set;
   Hashtbl.iter (fun line () -> mask_clear t.readers line core) c.read_set;
   Hashtbl.iter (fun line () -> mask_clear t.writers line core) c.write_set;
   Hashtbl.reset c.read_set;
@@ -196,6 +202,10 @@ let tx_cleanup t ~core =
 
 let read_set_size t ~core = Hashtbl.length t.cores.(core).read_set
 let write_set_size t ~core = Hashtbl.length t.cores.(core).write_set
+
+let last_set_sizes t ~core =
+  let c = t.cores.(core) in
+  (c.last_rset, c.last_wset)
 
 let nt_load t ~addr = Memory.load t.memory addr
 

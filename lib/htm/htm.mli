@@ -70,6 +70,13 @@ val tx_cleanup : t -> core:int -> abort_reason
 val read_set_size : t -> core:int -> int
 val write_set_size : t -> core:int -> int
 
+val last_set_sizes : t -> core:int -> int * int
+(** Read/write-set sizes (lines) captured the last time the core's
+    speculative state was discarded — at commit publication, or at the
+    moment the transaction was doomed (by then the live sets have been
+    reset, so a post-hoc {!read_set_size} would report 0). The
+    simulator reads this when it emits commit/abort events. *)
+
 val nt_load : t -> addr:int -> int
 val nt_store : t -> core:int -> addr:int -> value:int -> unit
 (** [core] identifies the requester so its own transaction (if any) is not

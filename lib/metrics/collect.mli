@@ -1,0 +1,82 @@
+open Stx_sim
+
+(** The metrics collector: folds the {!Stx_sim.Machine} event stream into
+    a {!Registry}.
+
+    The same fold runs in two places — online, composed onto a live run's
+    [on_event] hook, and offline, replaying a full {!Stx_trace.Trace}
+    capture ({!of_trace}). Because both paths execute this one state
+    machine over the same stream, the two registries must be {b equal},
+    and {!check} reconciles either of them against the run's [Stats] with
+    the same discipline as [Trace.check]: exact equalities wherever the
+    simulator's accounting permits, explicit inequalities where it does
+    not (see {!check}).
+
+    {2 Metrics populated}
+
+    Histograms (cycle values unless noted):
+    - [stx_tx_latency_cycles{outcome=commit|abort}] — per-attempt latency
+    - [stx_tx_retries{}] — aborted attempts preceding each commit
+    - [stx_rset_lines{outcome=...}], [stx_wset_lines{outcome=...}] —
+      read/write-set size (cache lines) when the attempt ended
+    - [stx_lock_wait_cycles{outcome=acquired|timeout|aborted}] — advisory
+      lock wait episodes (only episodes that actually spun)
+    - [stx_backoff_cycles{}] — per-backoff delay
+    - [stx_irrevocable_cycles{}] — latency of irrevocable commits
+
+    Phase counters, the per-atomic-block profile:
+    [stx_phase_cycles{ab=N,phase=P}] with [P] one of
+    - [prefix] — speculative cycles before the first advisory-lock
+      acquire (the whole attempt, for lock-free commits)
+    - [lock_wait] — spinning on advisory locks inside committed attempts
+    - [suffix] — serialized cycles from first acquire to commit
+    - [irrevocable] — committed cycles under the global lock
+    - [backoff] — inter-attempt polite backoff
+    - [wasted] — cycles of aborted attempts
+
+    Mirror counters for reconciliation: [stx_commits],
+    [stx_aborts{kind=...}], [stx_irrevocable_entries],
+    [stx_lock_acquires], [stx_lock_timeouts], [stx_alps_executed],
+    [stx_alps_fired]. *)
+
+type t
+
+val create : unit -> t
+
+val handler : t -> time:int -> Machine.event -> unit
+(** Shaped like [Machine.run]'s [?on_event], same as [Trace.handler]. *)
+
+val registry : t -> Registry.t
+(** The registry being populated (live — callers must not mutate). *)
+
+val of_trace : Stx_trace.Trace.t -> Registry.t
+(** Replay a full capture through a fresh collector. *)
+
+val check : Registry.t -> Stats.t -> (unit, string list) result
+(** Reconcile a collected registry against the run's inline counters.
+    Exact: commits, aborts by kind, irrevocable entries, lock
+    acquires/timeouts, ALP executions and firings, commit-latency sum =
+    [useful_cycles], abort-latency sum = [wasted_cycles], backoff sum =
+    [backoff_cycles], retries observations = commits, and the phase
+    identities [prefix + lock_wait + suffix + irrevocable =
+    useful_cycles], [wasted = wasted_cycles], [backoff =
+    backoff_cycles]. Bounded: acquired+timed-out wait episodes sum to at
+    most [lock_wait_cycles] (an episode cut short by an abort folds its
+    tail spin into the abort path, so the tracked episodes undercount).
+    [Error] carries one message per divergence. *)
+
+(** {2 Phase profile readout} *)
+
+type phase = Prefix | Lock_wait | Suffix | Irrevocable | Backoff | Wasted
+
+val phases : phase list
+(** In presentation order. *)
+
+val phase_label : phase -> string
+
+val phase_cycles : Registry.t -> ab:int -> phase -> int
+val abs_profiled : Registry.t -> int list
+(** Atomic blocks with any phase attribution, ascending. *)
+
+val phase_total : Registry.t -> phase -> int
+(** Summed over atomic blocks. *)

@@ -1,0 +1,117 @@
+(* Values are cycle counts, set sizes and retry counts: non-negative ints
+   far below 2^62, so 63 buckets (value 0 plus one per bit width) cover
+   the whole domain. *)
+
+let nbuckets = 63
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int; (* max_int while empty *)
+  mutable max_v : int;
+  buckets : int array;
+}
+
+let create () =
+  { count = 0; sum = 0; min_v = max_int; max_v = 0; buckets = Array.make nbuckets 0 }
+
+let is_empty t = t.count = 0
+
+let bucket_index v =
+  let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
+  bits 0 v
+
+let bucket_lower k = if k = 0 then 0 else 1 lsl (k - 1)
+let bucket_upper k = if k = 0 then 0 else (1 lsl k) - 1
+
+let add t v =
+  if v < 0 then invalid_arg "Hist.add: negative value";
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  let k = bucket_index v in
+  t.buckets.(k) <- t.buckets.(k) + 1
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+let quantile t q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Hist.quantile: q outside [0,1]";
+  if t.count = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+    let k = ref 0 and cum = ref t.buckets.(0) in
+    while !cum < rank do
+      incr k;
+      cum := !cum + t.buckets.(!k)
+    done;
+    max (min_value t) (min t.max_v (bucket_upper !k))
+  end
+
+let p50 t = quantile t 0.5
+let p90 t = quantile t 0.9
+let p99 t = quantile t 0.99
+
+let merge a b =
+  let t = create () in
+  t.count <- a.count + b.count;
+  t.sum <- a.sum + b.sum;
+  t.min_v <- min a.min_v b.min_v;
+  t.max_v <- max a.max_v b.max_v;
+  Array.iteri (fun i c -> t.buckets.(i) <- c + b.buckets.(i)) a.buckets;
+  t
+
+let buckets t =
+  let acc = ref [] in
+  for k = nbuckets - 1 downto 0 do
+    if t.buckets.(k) > 0 then acc := (k, t.buckets.(k)) :: !acc
+  done;
+  !acc
+
+let restore ~count ~sum ~min_value ~max_value pairs =
+  let t = create () in
+  let ok = ref (count >= 0 && sum >= 0 && max_value >= 0) in
+  let total = ref 0 and last = ref (-1) in
+  List.iter
+    (fun (k, c) ->
+      if k <= !last || k >= nbuckets || c <= 0 then ok := false
+      else begin
+        last := k;
+        total := !total + c;
+        t.buckets.(k) <- c
+      end)
+    pairs;
+  if (not !ok) || !total <> count then None
+  else begin
+    t.count <- count;
+    t.sum <- sum;
+    t.min_v <- (if count = 0 then max_int else min_value);
+    t.max_v <- max_value;
+    (* an empty histogram has canonical extrema; a populated one must
+       place its extrema in its outermost occupied buckets *)
+    if count = 0 then
+      if sum = 0 && min_value = 0 && max_value = 0 then Some t else None
+    else
+      match (buckets t, List.rev (buckets t)) with
+      | (lo, _) :: _, (hi, _) :: _
+        when bucket_index min_value = lo
+             && bucket_index max_value = hi
+             && min_value <= max_value ->
+        Some t
+      | _ -> None
+  end
+
+let equal a b =
+  a.count = b.count && a.sum = b.sum
+  && (a.count = 0 || (a.min_v = b.min_v && a.max_v = b.max_v))
+  && a.buckets = b.buckets
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "empty"
+  else
+    Format.fprintf ppf "n=%d sum=%d min=%d p50=%d p99=%d max=%d" t.count t.sum
+      (min_value t) (p50 t) (p99 t) t.max_v

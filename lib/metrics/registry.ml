@@ -1,0 +1,336 @@
+type labels = (string * string) list
+type value = Counter of int | Gauge of int | Histogram of Hist.t
+
+type cell = C of int ref | G of int ref | H of Hist.t
+
+type t = { tbl : (string * labels, cell) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+(* --- key validation -------------------------------------------------- *)
+
+let name_ok s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let label_value_ok s =
+  s <> ""
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | ':' | '+' | '-' ->
+           true
+         | _ -> false)
+       s
+
+let key name labels =
+  if not (name_ok name) then
+    invalid_arg (Printf.sprintf "Registry: bad metric name %S" name);
+  let labels = List.sort (fun (a, _) (b, _) -> compare (a : string) b) labels in
+  let rec check = function
+    | [] -> ()
+    | (k, v) :: rest ->
+      if not (name_ok k) then
+        invalid_arg (Printf.sprintf "Registry: bad label name %S" k);
+      if not (label_value_ok v) then
+        invalid_arg (Printf.sprintf "Registry: bad label value %S" v);
+      (match rest with
+      | (k', _) :: _ when k' = k ->
+        invalid_arg (Printf.sprintf "Registry: duplicate label %S" k)
+      | _ -> ());
+      check rest
+  in
+  check labels;
+  (name, labels)
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let cell t key mk =
+  match Hashtbl.find_opt t.tbl key with
+  | Some c -> c
+  | None ->
+    let c = mk () in
+    Hashtbl.add t.tbl key c;
+    c
+
+let type_clash (name, _) have want =
+  invalid_arg
+    (Printf.sprintf "Registry: %s is a %s, used as a %s" name (kind_name have)
+       want)
+
+let inc t ?(by = 1) name labels =
+  if by < 0 then invalid_arg "Registry.inc: negative increment";
+  let k = key name labels in
+  match cell t k (fun () -> C (ref 0)) with
+  | C r -> r := !r + by
+  | c -> type_clash k c "counter"
+
+let set_gauge t name labels v =
+  let k = key name labels in
+  match cell t k (fun () -> G (ref v)) with
+  | G r -> if v > !r then r := v
+  | c -> type_clash k c "gauge"
+
+let observe t name labels v =
+  let k = key name labels in
+  match cell t k (fun () -> H (Hist.create ())) with
+  | H h -> Hist.add h v
+  | c -> type_clash k c "histogram"
+
+let find t name labels = Hashtbl.find_opt t.tbl (key name labels)
+
+let counter_value t name labels =
+  match find t name labels with Some (C r) -> !r | _ -> 0
+
+let gauge_value t name labels =
+  match find t name labels with Some (G r) -> !r | _ -> 0
+
+let histogram t name labels =
+  match find t name labels with Some (H h) -> Some h | _ -> None
+
+(* --- ordered iteration ----------------------------------------------- *)
+
+let sorted t =
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.tbl []
+  |> List.sort (fun ((n1, l1), _) ((n2, l2), _) ->
+         match compare (n1 : string) n2 with 0 -> compare l1 l2 | c -> c)
+
+let export = function
+  | C r -> Counter !r
+  | G r -> Gauge !r
+  | H h -> Histogram h
+
+let fold f t init =
+  List.fold_left
+    (fun acc ((name, labels), c) -> f name labels (export c) acc)
+    init (sorted t)
+
+let cardinality t = Hashtbl.length t.tbl
+
+(* --- merge / compare -------------------------------------------------- *)
+
+let merge a b =
+  let t = create () in
+  let put ((name, _) as k) c =
+    match (Hashtbl.find_opt t.tbl k, c) with
+    | None, C r -> Hashtbl.add t.tbl k (C (ref !r))
+    | None, G r -> Hashtbl.add t.tbl k (G (ref !r))
+    | None, H h -> Hashtbl.add t.tbl k (H (Hist.merge h (Hist.create ())))
+    | Some (C r0), C r -> r0 := !r0 + !r
+    | Some (G r0), G r -> if !r > !r0 then r0 := !r
+    | Some (H h0), H h -> Hashtbl.replace t.tbl k (H (Hist.merge h0 h))
+    | Some have, want ->
+      invalid_arg
+        (Printf.sprintf "Registry.merge: %s is a %s on one side, a %s on the other"
+           name (kind_name have) (kind_name want))
+  in
+  Hashtbl.iter put a.tbl;
+  Hashtbl.iter put b.tbl;
+  t
+
+let label_string labels =
+  if labels = [] then "-"
+  else String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let diff a b =
+  let describe (name, labels) = Printf.sprintf "%s{%s}" name (label_string labels) in
+  let errs = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let rec walk xs ys =
+    match (xs, ys) with
+    | [], [] -> ()
+    | (k, _) :: rest, [] ->
+      note "%s present only on the left" (describe k);
+      walk rest []
+    | [], (k, _) :: rest ->
+      note "%s present only on the right" (describe k);
+      walk [] rest
+    | ((k1, c1) :: r1 as l1), ((k2, c2) :: r2 as l2) ->
+      let cmp =
+        match compare (fst k1 : string) (fst k2) with
+        | 0 -> compare (snd k1) (snd k2)
+        | c -> c
+      in
+      if cmp < 0 then begin
+        note "%s present only on the left" (describe k1);
+        walk r1 l2
+      end
+      else if cmp > 0 then begin
+        note "%s present only on the right" (describe k2);
+        walk l1 r2
+      end
+      else begin
+        (match (c1, c2) with
+        | C a, C b when !a <> !b ->
+          note "%s: counter %d vs %d" (describe k1) !a !b
+        | G a, G b when !a <> !b -> note "%s: gauge %d vs %d" (describe k1) !a !b
+        | H a, H b when not (Hist.equal a b) ->
+          note "%s: histogram (%s) vs (%s)" (describe k1)
+            (Format.asprintf "%a" Hist.pp a)
+            (Format.asprintf "%a" Hist.pp b)
+        | C _, C _ | G _, G _ | H _, H _ -> ()
+        | a, b ->
+          note "%s: %s vs %s" (describe k1) (kind_name a) (kind_name b));
+        walk r1 r2
+      end
+  in
+  walk (sorted a) (sorted b);
+  List.rev !errs
+
+let equal a b = diff a b = []
+
+(* --- exporters -------------------------------------------------------- *)
+
+let schema_version = 1
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let metric_json (name, labels) c =
+  let base = [ ("name", Json.Str name); ("labels", labels_json labels) ] in
+  match c with
+  | C r -> Json.Obj (base @ [ ("type", Json.Str "counter"); ("value", Json.Int !r) ])
+  | G r -> Json.Obj (base @ [ ("type", Json.Str "gauge"); ("value", Json.Int !r) ])
+  | H h ->
+    Json.Obj
+      (base
+      @ [
+          ("type", Json.Str "histogram");
+          ("count", Json.Int (Hist.count h));
+          ("sum", Json.Int (Hist.sum h));
+          ("min", Json.Int (Hist.min_value h));
+          ("max", Json.Int (Hist.max_value h));
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (k, c) -> Json.List [ Json.Int k; Json.Int c ])
+                 (Hist.buckets h)) );
+        ])
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str "stx-metrics");
+      ("version", Json.Int schema_version);
+      ("metrics", Json.List (List.map (fun (k, c) -> metric_json k c) (sorted t)));
+    ]
+
+let to_json_string t = Json.to_string (to_json t)
+
+let prom_labels labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+    ^ "}"
+
+let to_prometheus t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let last_name = ref "" in
+  List.iter
+    (fun ((name, labels), c) ->
+      if name <> !last_name then begin
+        last_name := name;
+        line "# TYPE %s %s" name (kind_name c)
+      end;
+      match c with
+      | C r -> line "%s%s %d" name (prom_labels labels) !r
+      | G r -> line "%s%s %d" name (prom_labels labels) !r
+      | H h ->
+        let cum = ref 0 in
+        List.iter
+          (fun (k, cnt) ->
+            cum := !cum + cnt;
+            line "%s_bucket%s %d" name
+              (prom_labels (labels @ [ ("le", string_of_int (Hist.bucket_upper k)) ]))
+              !cum)
+          (Hist.buckets h);
+        line "%s_bucket%s %d" name
+          (prom_labels (labels @ [ ("le", "+Inf") ]))
+          (Hist.count h);
+        line "%s_sum%s %d" name (prom_labels labels) (Hist.sum h);
+        line "%s_count%s %d" name (prom_labels labels) (Hist.count h))
+    (sorted t);
+  Buffer.contents b
+
+(* --- store codec ------------------------------------------------------ *)
+
+let encode t =
+  List.map
+    (fun ((name, labels), c) ->
+      let ls = label_string labels in
+      match c with
+      | C r -> Printf.sprintf "counter %s %s %d" name ls !r
+      | G r -> Printf.sprintf "gauge %s %s %d" name ls !r
+      | H h ->
+        let pairs = Hist.buckets h in
+        Printf.sprintf "hist %s %s %d %d %d %d %d%s" name ls (Hist.count h)
+          (Hist.sum h) (Hist.min_value h) (Hist.max_value h) (List.length pairs)
+          (String.concat ""
+             (List.map (fun (k, c) -> Printf.sprintf " %d %d" k c) pairs)))
+    (sorted t)
+
+let parse_labels s =
+  if s = "-" then Some []
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | p :: rest -> (
+        match String.index_opt p '=' with
+        | None -> None
+        | Some i ->
+          let k = String.sub p 0 i
+          and v = String.sub p (i + 1) (String.length p - i - 1) in
+          if name_ok k && label_value_ok v then go ((k, v) :: acc) rest else None)
+    in
+    go [] parts
+
+let decode lines =
+  let t = create () in
+  let ok = ref true in
+  let int_of s = match int_of_string_opt s with Some n -> n | None -> ok := false; 0 in
+  List.iter
+    (fun ln ->
+      if !ok then
+        match String.split_on_char ' ' ln with
+        | [ "counter"; name; ls; v ] when name_ok name -> (
+          match parse_labels ls with
+          | Some labels ->
+            let v = int_of v in
+            if !ok then Hashtbl.replace t.tbl (name, labels) (C (ref v))
+          | None -> ok := false)
+        | [ "gauge"; name; ls; v ] when name_ok name -> (
+          match parse_labels ls with
+          | Some labels ->
+            let v = int_of v in
+            if !ok then Hashtbl.replace t.tbl (name, labels) (G (ref v))
+          | None -> ok := false)
+        | "hist" :: name :: ls :: count :: sum :: mn :: mx :: npairs :: rest
+          when name_ok name -> (
+          match parse_labels ls with
+          | Some labels ->
+            let count = int_of count
+            and sum = int_of sum
+            and mn = int_of mn
+            and mx = int_of mx
+            and npairs = int_of npairs in
+            let rec pairs acc = function
+              | [] -> Some (List.rev acc)
+              | k :: c :: rest -> pairs ((int_of k, int_of c) :: acc) rest
+              | _ -> None
+            in
+            (match pairs [] rest with
+            | Some ps when List.length ps = npairs && !ok -> (
+              match
+                Hist.restore ~count ~sum ~min_value:mn ~max_value:mx ps
+              with
+              | Some h -> Hashtbl.replace t.tbl (name, labels) (H h)
+              | None -> ok := false)
+            | _ -> ok := false)
+          | None -> ok := false)
+        | _ -> ok := false)
+    lines;
+  if !ok then Some t else None

@@ -1,0 +1,26 @@
+open Stx_sim
+
+type t = { stats : Stats.t; metrics : Registry.t }
+
+let simulate ?seed ?policy ?lock_timeout ?locks ?max_waiters ?max_steps
+    ?on_event ~cfg ~mode spec =
+  let c = Collect.create () in
+  let hook =
+    match on_event with
+    | None -> Collect.handler c
+    | Some f ->
+      fun ~time ev ->
+        Collect.handler c ~time ev;
+        f ~time ev
+  in
+  let stats =
+    Machine.run ?seed ?policy ?lock_timeout ?locks ?max_waiters ?max_steps
+      ~on_event:hook ~cfg ~mode spec
+  in
+  { stats; metrics = Collect.registry c }
+
+let merge a b =
+  {
+    stats = Stats.merge a.stats b.stats;
+    metrics = Registry.merge a.metrics b.metrics;
+  }

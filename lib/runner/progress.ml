@@ -1,14 +1,25 @@
+module Hist = Stx_metrics.Hist
+
 type t = {
   out : out_channel;
   total : int;
   now : unit -> float;
   t0 : float;
   mutable completed : int;
-  mutable running : string list;  (* most recently started first *)
+  mutable running : (string * float) list;  (* most recently started first *)
+  durations : Hist.t;  (* per-job wall time, milliseconds *)
 }
 
 let create ?(out = stderr) ?(now = Unix.gettimeofday) ~total () =
-  { out; total; now; t0 = now (); completed = 0; running = [] }
+  {
+    out;
+    total;
+    now;
+    t0 = now ();
+    completed = 0;
+    running = [];
+    durations = Hist.create ();
+  }
 
 let note t fmt =
   Printf.ksprintf
@@ -32,31 +43,54 @@ let fmt_span s =
   else if s < 60. then Printf.sprintf "%.1fs" s
   else Printf.sprintf "%dm%02ds" (int_of_float s / 60) (int_of_float s mod 60)
 
-let remove_first x l =
+let remove_first label l =
   let rec go = function
-    | [] -> []
-    | y :: rest -> if y = x then rest else y :: go rest
+    | [] -> (None, [])
+    | ((y, _) as entry) :: rest ->
+      if y = label then (Some entry, rest)
+      else
+        let found, rest' = go rest in
+        (found, entry :: rest')
   in
   go l
 
-let job_started t label = t.running <- label :: t.running
+let job_started t label = t.running <- (label, t.now ()) :: t.running
 
 let job_finished t label ~status =
   t.completed <- t.completed + 1;
-  t.running <- remove_first label t.running;
+  let started, running = remove_first label t.running in
+  t.running <- running;
+  (match started with
+  | Some (_, at) ->
+    Hist.add t.durations (int_of_float (Float.max 0. ((t.now () -. at) *. 1000.)))
+  | None -> ());
   let running =
     match t.running with
     | [] -> ""
     | l ->
       let shown = List.filteri (fun i _ -> i < 3) l in
       let more = List.length l - List.length shown in
-      Printf.sprintf "; running %s%s" (String.concat " " shown)
+      Printf.sprintf "; running %s%s"
+        (String.concat " " (List.map fst shown))
         (if more > 0 then Printf.sprintf " +%d" more else "")
   in
   Printf.fprintf t.out "[%d/%d] %s %s (eta %s%s)\n%!" t.completed t.total
     label status (fmt_span (eta t)) running
 
+let wall_summary t =
+  if Hist.is_empty t.durations then None
+  else
+    let span_of_ms ms = fmt_span (float_of_int ms /. 1000.) in
+    Some
+      (Printf.sprintf "job wall-time p50 %s p95 %s max %s"
+         (span_of_ms (Hist.p50 t.durations))
+         (span_of_ms (Hist.quantile t.durations 0.95))
+         (span_of_ms (Hist.max_value t.durations)))
+
 let finish t =
   let elapsed = t.now () -. t.t0 in
-  Printf.fprintf t.out "%d/%d jobs in %s\n%!" t.completed t.total
-    (fmt_span elapsed)
+  let summary =
+    match wall_summary t with None -> "" | Some s -> Printf.sprintf " (%s)" s
+  in
+  Printf.fprintf t.out "%d/%d jobs in %s%s\n%!" t.completed t.total
+    (fmt_span elapsed) summary

@@ -17,7 +17,17 @@ val note : t -> ('a, unit, string, unit) format4 -> 'a
 
 val job_started : t -> string -> unit
 val job_finished : t -> string -> status:string -> unit
+
 val finish : t -> unit
+(** The closing line: jobs completed, batch wall time, and (once at
+    least one job's start was observed) the {!wall_summary}. *)
+
+val wall_summary : t -> string option
+(** Per-job wall-time distribution — p50/p95/max over a
+    {!Stx_metrics.Hist} of started-to-finished spans, at millisecond
+    resolution. [None] before the first completed job that was also
+    observed starting. *)
+
 val eta : t -> float
 (** Estimated seconds remaining: mean completion time so far, times the
     jobs left, divided by the jobs currently in flight (they drain in

@@ -1,6 +1,9 @@
 open Stx_sim
+open Stx_metrics
 
-let format_version = 2
+(* v3 appended the metrics-registry section (histogram payloads) to
+   every entry *)
+let format_version = 3
 
 let magic = Printf.sprintf "staggered_tm-result v%d" format_version
 
@@ -49,7 +52,8 @@ let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
 
-let encode (s : Stats.t) =
+let encode (r : Run.t) =
+  let s = r.Run.stats in
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun str -> Buffer.add_string b str; Buffer.add_char b '\n') fmt in
   line "%s" magic;
@@ -94,6 +98,9 @@ let encode (s : Stats.t) =
       line "%d %d %d %d %d" id a.Stats.ab_commits a.Stats.ab_aborts
         a.Stats.ab_locks a.Stats.ab_irrevocable)
     abs;
+  let mlines = Registry.encode r.Run.metrics in
+  line "metrics %d" (List.length mlines);
+  List.iter (fun l -> line "%s" l) mlines;
   line "end";
   Buffer.contents b
 
@@ -173,8 +180,15 @@ let decode text =
         ab.Stats.ab_irrevocable <- i
       | _ -> raise Malformed
     done;
+    let n = scalar "metrics" in
+    let mlines = List.init n (fun _ -> next ()) in
+    let metrics =
+      match Registry.decode mlines with
+      | Some reg -> reg
+      | None -> raise Malformed
+    in
     if next () <> "end" then raise Malformed;
-    Some s
+    Some { Run.stats = s; metrics }
   with Malformed -> None
 
 (* ---------------------------------------------------------------------- *)
@@ -190,7 +204,7 @@ let load t ~key =
   | text -> decode text
   | exception _ -> None (* missing or unreadable: a miss, never an error *)
 
-let save t ~key stats =
+let save t ~key run =
   let file = path t ~key in
   (* write-then-rename: readers (and a kill -9) only ever see a complete
      entry; the temp file lives in the same directory so the rename cannot
@@ -201,7 +215,7 @@ let save t ~key stats =
     let oc = open_out_bin tmp in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (encode stats));
+      (fun () -> output_string oc (encode run));
     Sys.rename tmp file
   with
   | () -> ()

@@ -1,4 +1,4 @@
-open Stx_sim
+open Stx_metrics
 
 (** A content-addressed on-disk store of simulation results, making
     re-runs of the evaluation incremental across process invocations.
@@ -34,14 +34,15 @@ val dir : t -> string
 
 val path : t -> key:string -> string
 
-val load : t -> key:string -> Stats.t option
+val load : t -> key:string -> Run.t option
 (** [None] on missing, unreadable, or undecodable entries. *)
 
-val save : t -> key:string -> Stats.t -> unit
-(** Atomically publish [stats] under [key]. *)
+val save : t -> key:string -> Run.t -> unit
+(** Atomically publish the measured run under [key]. *)
 
-val encode : Stats.t -> string
-(** The deterministic text encoding (frequency tables key-sorted) — also
-    a convenient total representation for equality checks in tests. *)
+val encode : Run.t -> string
+(** The deterministic text encoding (frequency tables key-sorted, the
+    metrics registry in its own key-sorted section) — also a convenient
+    total representation for equality checks in tests. *)
 
-val decode : string -> Stats.t option
+val decode : string -> Run.t option

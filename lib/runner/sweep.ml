@@ -1,19 +1,19 @@
 open Stx_machine
 open Stx_core
-open Stx_sim
+open Stx_metrics
 open Stx_workloads
 
-let run_job (j : Job.t) : Stats.t =
+let run_job (j : Job.t) : Run.t =
   match Registry.find j.Job.workload with
   | None -> invalid_arg ("Sweep.run_job: unknown workload " ^ j.Job.workload)
   | Some w ->
     let instrument = Mode.uses_alps j.Job.mode in
     let spec = Workload.spec ~instrument ~scale:j.Job.scale w in
     let cfg = Config.with_cores j.Job.threads Config.default in
-    Machine.run ~seed:j.Job.seed ~cfg ~mode:j.Job.mode spec
+    Run.simulate ~seed:j.Job.seed ~cfg ~mode:j.Job.mode spec
 
 type batch = {
-  results : (Job.t * Stats.t Pool.outcome) list;
+  results : (Job.t * Run.t Pool.outcome) list;
   executed : int;
   cached : int;
 }
@@ -45,7 +45,7 @@ let run_batch ?store ?jobs ?timeout ?(progress = false) (specs : Job.t list) =
         | None -> Right j
         | Some st -> (
           match Store.load st ~key:(Job.digest j) with
-          | Some stats -> Left (j, Pool.Done stats)
+          | Some run -> Left (j, Pool.Done run)
           | None -> Right j))
       uniq
   in
@@ -82,7 +82,7 @@ let run_batch ?store ?jobs ?timeout ?(progress = false) (specs : Job.t list) =
     Array.iteri
       (fun i out ->
         match out with
-        | Pool.Done stats -> Store.save st ~key:(Job.digest pending_arr.(i)) stats
+        | Pool.Done run -> Store.save st ~key:(Job.digest pending_arr.(i)) run
         | Pool.Failed _ | Pool.Timed_out _ -> ())
       outcomes);
   let by_key = Hashtbl.create 64 in

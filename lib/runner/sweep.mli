@@ -1,4 +1,4 @@
-open Stx_sim
+open Stx_metrics
 
 (** The experiment engine's front door: execute a batch of simulation
     jobs on a {!Pool} of domains, consulting and feeding the {!Store}.
@@ -9,13 +9,13 @@ open Stx_sim
     same batch at [jobs = 1], and a cached result is byte-identical to a
     fresh one. *)
 
-val run_job : Job.t -> Stats.t
+val run_job : Job.t -> Run.t
 (** Resolve the workload, compile it (with ALPs iff the mode uses them),
-    and run the simulation. Raises [Invalid_argument] on an unknown
-    workload name. *)
+    and run the simulation with the metrics collector attached. Raises
+    [Invalid_argument] on an unknown workload name. *)
 
 type batch = {
-  results : (Job.t * Stats.t Pool.outcome) list;
+  results : (Job.t * Run.t Pool.outcome) list;
       (** one entry per input job, in input order *)
   executed : int;  (** distinct simulations actually run *)
   cached : int;  (** distinct jobs answered from the store *)

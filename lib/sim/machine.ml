@@ -17,6 +17,8 @@ type event =
       ab : int;
       cycles : int;
       irrevocable : bool;
+      rset : int;
+      wset : int;
       probe : bool;
     }
   | Tx_abort of {
@@ -27,6 +29,8 @@ type event =
       conf_pc : int option;
       aggressor : int option;
       cycles : int;
+      rset : int;
+      wset : int;
       probe : bool;
     }
   | Tx_irrevocable of { tid : int; ab : int }
@@ -280,7 +284,7 @@ let pop_to_base th (tx : txstate) =
   in
   th.stack <- drop th.stack
 
-let finish_tx m th (tx : txstate) retval =
+let finish_tx m th (tx : txstate) ~rset ~wset retval =
   th.tx <- None;
   (match (tx.tx_dst, th.stack) with
   | Some d, f :: _ -> f.regs.(d) <- retval
@@ -309,6 +313,8 @@ let finish_tx m th (tx : txstate) retval =
          ab = tx.tx_ab;
          cycles = th.time - tx.tx_start;
          irrevocable = tx.tx_irrevocable;
+         rset;
+         wset;
          probe = tx.tx_is_probe;
        })
 
@@ -358,6 +364,9 @@ let handle_abort m th =
   | None -> ()
   | Some tx ->
     let reason = Htm.tx_cleanup m.htm ~core:th.tid in
+    (* set sizes at doom time: the live sets were reset when the
+       transaction was doomed, possibly long before this handler ran *)
+    let rset, wset = Htm.last_set_sizes m.htm ~core:th.tid in
     release_lock m th ~committed:false;
     charge m th (m.cfg.Config.abort_cost + m.cfg.Config.handler_cost);
     m.stats.Stats.aborts <- m.stats.Stats.aborts + 1;
@@ -414,6 +423,8 @@ let handle_abort m th =
            conf_pc = abort_conf_pc;
            aggressor;
            cycles = wasted;
+           rset;
+           wset;
            probe = tx.tx_is_probe;
          });
     th.contexts.(tx.tx_ab).Abcontext.probe_streak <- 0;
@@ -514,13 +525,15 @@ let do_return m th retval =
       if tx.tx_irrevocable then begin
         release_lock m th ~committed:true;
         Htm.release_global_lock m.htm;
-        finish_tx m th tx retval
+        (* irrevocable execution is non-speculative: no read/write sets *)
+        finish_tx m th tx ~rset:0 ~wset:0 retval
       end
       else begin
         charge m th m.cfg.Config.commit_cost;
         if Htm.tx_commit m.htm ~core:th.tid then begin
+          let rset, wset = Htm.last_set_sizes m.htm ~core:th.tid in
           release_lock m th ~committed:true;
-          finish_tx m th tx retval
+          finish_tx m th tx ~rset ~wset retval
         end
         else handle_abort m th
       end

@@ -30,6 +30,8 @@ type event =
       ab : int;
       cycles : int;  (** cycles of the committing attempt *)
       irrevocable : bool;
+      rset : int;  (** read-set lines at commit (0 when irrevocable) *)
+      wset : int;  (** write-set lines at commit *)
       probe : bool;
     }
   | Tx_abort of {
@@ -40,6 +42,8 @@ type event =
       conf_pc : int option;  (** the victim's (truncated) PC tag *)
       aggressor : int option;  (** core whose access doomed the victim *)
       cycles : int;  (** cycles wasted by the aborted attempt *)
+      rset : int;  (** read-set lines when the attempt was doomed *)
+      wset : int;  (** write-set lines when the attempt was doomed *)
       probe : bool;
     }
   | Tx_irrevocable of { tid : int; ab : int }

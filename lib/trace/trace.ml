@@ -340,11 +340,8 @@ let abort_attribution t =
           matrix.(a).(tid) <- matrix.(a).(tid) + 1
         | _ -> incr unattributed)
       | _ -> ());
-  let ranked tbl =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-    |> List.sort (fun (k1, c1) (k2, c2) ->
-           if c1 <> c2 then compare (c2 : int) c1 else compare (k1 : int) k2)
-  in
+  (* count ties broken by key, so the report is hash-seed independent *)
+  let ranked = Stx_util.Stat.ranked in
   {
     agg_matrix = matrix;
     unattributed = !unattributed;
@@ -451,10 +448,12 @@ let to_chrome_json t =
       match ev with
       | Machine.Tx_begin { tid; ab; attempt; probe } ->
         if tid >= 0 && tid < n then tx_open.(tid) <- Some (time, ab, attempt, probe)
-      | Machine.Tx_commit { tid; ab; irrevocable; _ } ->
+      | Machine.Tx_commit { tid; ab; irrevocable; rset; wset; _ } ->
         close_tx ~time ~tid ~ab ~outcome:"commit"
-          [ ("irrevocable", bool irrevocable) ]
-      | Machine.Tx_abort { tid; ab; kind; conf_line; conf_pc; aggressor; _ } ->
+          [ ("irrevocable", bool irrevocable); ("rset", int rset);
+            ("wset", int wset) ]
+      | Machine.Tx_abort
+          { tid; ab; kind; conf_line; conf_pc; aggressor; rset; wset; _ } ->
         close_wait ~time ~tid ~outcome:"abort";
         close_tx ~time ~tid ~ab ~outcome:"abort" [];
         let reason =
@@ -470,6 +469,7 @@ let to_chrome_json t =
                  ("reason", str reason); ("victim", int tid);
                  ("aggressor", opt_int aggressor);
                  ("conf_line", opt_int conf_line); ("conf_pc", opt_int conf_pc);
+                 ("rset", int rset); ("wset", int wset);
                ])
       | Machine.Tx_irrevocable { tid; ab } ->
         instant ~name:"irrevocable" ~ts:time ~tid ~args:(args [ ("ab", int ab) ])
@@ -519,7 +519,9 @@ let write_chrome t ~file =
    (stx_repro lint --validate-trace). Option fields print as "-". *)
 
 let codec_magic = "stx-trace"
-let codec_version = 1
+
+(* v2 added read/write-set sizes to commit and abort lines *)
+let codec_version = 2
 
 let opt = function None -> "-" | Some v -> string_of_int v
 let flag b = if b then "1" else "0"
@@ -533,13 +535,15 @@ let event_line time ev =
   match ev with
   | Machine.Tx_begin { tid; ab; attempt; probe } ->
     Printf.sprintf "%d begin %d %d %d %s" time tid ab attempt (flag probe)
-  | Machine.Tx_commit { tid; ab; cycles; irrevocable; probe } ->
-    Printf.sprintf "%d commit %d %d %d %s %s" time tid ab cycles (flag irrevocable)
-      (flag probe)
-  | Machine.Tx_abort { tid; ab; kind; conf_line; conf_pc; aggressor; cycles; probe }
+  | Machine.Tx_commit { tid; ab; cycles; irrevocable; rset; wset; probe } ->
+    Printf.sprintf "%d commit %d %d %d %s %d %d %s" time tid ab cycles
+      (flag irrevocable) rset wset (flag probe)
+  | Machine.Tx_abort
+      { tid; ab; kind; conf_line; conf_pc; aggressor; cycles; rset; wset; probe }
     ->
-    Printf.sprintf "%d abort %d %d %s %s %s %s %d %s" time tid ab (kind_tag kind)
-      (opt conf_line) (opt conf_pc) (opt aggressor) cycles (flag probe)
+    Printf.sprintf "%d abort %d %d %s %s %s %s %d %d %d %s" time tid ab
+      (kind_tag kind) (opt conf_line) (opt conf_pc) (opt aggressor) cycles rset
+      wset (flag probe)
   | Machine.Tx_irrevocable { tid; ab } ->
     Printf.sprintf "%d irrevocable %d %d" time tid ab
   | Machine.Alp_executed { tid; ab; site; fired } ->
@@ -606,7 +610,7 @@ let parse_event line lineno =
     ( num time,
       Machine.Tx_begin
         { tid = num tid; ab = num ab; attempt = num attempt; probe = bool probe } )
-  | time :: "commit" :: [ tid; ab; cycles; irrevocable; probe ] ->
+  | time :: "commit" :: [ tid; ab; cycles; irrevocable; rset; wset; probe ] ->
     ( num time,
       Machine.Tx_commit
         {
@@ -614,9 +618,13 @@ let parse_event line lineno =
           ab = num ab;
           cycles = num cycles;
           irrevocable = bool irrevocable;
+          rset = num rset;
+          wset = num wset;
           probe = bool probe;
         } )
-  | time :: "abort" :: [ tid; ab; k; conf_line; conf_pc; aggressor; cycles; probe ]
+  | time
+    :: "abort"
+    :: [ tid; ab; k; conf_line; conf_pc; aggressor; cycles; rset; wset; probe ]
     ->
     ( num time,
       Machine.Tx_abort
@@ -628,6 +636,8 @@ let parse_event line lineno =
           conf_pc = num_opt conf_pc;
           aggressor = num_opt aggressor;
           cycles = num cycles;
+          rset = num rset;
+          wset = num wset;
           probe = bool probe;
         } )
   | time :: "irrevocable" :: [ tid; ab ] ->

@@ -333,6 +333,8 @@ let test_validation_detects_unpredicted_edge () =
          conf_pc = None;
          aggressor = Some 0;
          cycles = 5;
+         rset = 1;
+         wset = 1;
          probe = false;
        });
   let v = Validate.run g tr in

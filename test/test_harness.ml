@@ -76,7 +76,8 @@ let begin_ev tid time tl =
 
 let commit_ev ?(irrevocable = false) tid time cycles tl =
   Timeline.handler tl ~time
-    (Stx_sim.Machine.Tx_commit { tid; ab = 0; cycles; irrevocable; probe = false })
+    (Stx_sim.Machine.Tx_commit
+       { tid; ab = 0; cycles; irrevocable; rset = 0; wset = 0; probe = false })
 
 let abort_ev tid time cycles tl =
   Timeline.handler tl ~time
@@ -89,6 +90,8 @@ let abort_ev tid time cycles tl =
          conf_pc = None;
          aggressor = None;
          cycles;
+         rset = 0;
+         wset = 0;
          probe = false;
        })
 

@@ -202,6 +202,102 @@ let test_store_failures_not_cached () =
   Alcotest.(check bool) "failure left no store entry" true
     (Store.load st ~key:(Job.digest failing) = None)
 
+let test_store_persists_metrics () =
+  let dir = fresh_dir () in
+  let st = Store.create ~dir () in
+  let fresh = Sweep.run_job (job ~mode:Mode.Staggered_hw ()) in
+  let key = Job.digest (job ~mode:Mode.Staggered_hw ()) in
+  Store.save st ~key fresh;
+  match Store.load st ~key with
+  | None -> Alcotest.fail "expected a hit"
+  | Some loaded ->
+    Alcotest.(check (list string)) "registry survives the round trip" []
+      (Stx_metrics.Registry.diff fresh.Stx_metrics.Run.metrics
+         loaded.Stx_metrics.Run.metrics);
+    (* and the persisted registry still reconciles with the stats *)
+    (match
+       Stx_metrics.Collect.check loaded.Stx_metrics.Run.metrics
+         loaded.Stx_metrics.Run.stats
+     with
+    | Ok () -> ()
+    | Error errs ->
+      Alcotest.fail
+        ("loaded registry diverges from loaded stats:\n  "
+       ^ String.concat "\n  " errs))
+
+let test_store_corrupt_metrics_section_is_miss () =
+  let dir = fresh_dir () in
+  let st = Store.create ~dir () in
+  let r = Sweep.run_job (job ~mode:Mode.Staggered_hw ()) in
+  let key = Job.digest (job ~mode:Mode.Staggered_hw ()) in
+  Store.save st ~key r;
+  let file = Store.path st ~key in
+  let full = In_channel.with_open_bin file In_channel.input_all in
+  let corrupt f =
+    Out_channel.with_open_bin file (fun oc ->
+        Out_channel.output_string oc (f full))
+  in
+  let replace_line pred repl s =
+    String.split_on_char '\n' s
+    |> List.map (fun l -> if pred l then repl l else l)
+    |> String.concat "\n"
+  in
+  let starts p l =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  (* a histogram line whose bucket payload no longer adds up *)
+  corrupt
+    (replace_line (starts "hist stx_tx_retries") (fun l -> l ^ " 40 1"));
+  Alcotest.(check bool) "tampered histogram is a miss" true
+    (Store.load st ~key = None);
+  (* a metrics count that disagrees with the lines that follow *)
+  corrupt (fun _ ->
+      replace_line (starts "metrics ") (fun _ -> "metrics 100000") full);
+  Alcotest.(check bool) "oversized metrics section is a miss" true
+    (Store.load st ~key = None);
+  (* restore, and prove the original decodes again *)
+  corrupt (fun _ -> full);
+  Alcotest.(check bool) "pristine entry is a hit" true
+    (Store.load st ~key <> None)
+
+(* --- progress ---------------------------------------------------------- *)
+
+let test_progress_wall_summary_injectable_clock () =
+  let now = ref 0. in
+  let buf = Filename.temp_file "stx-progress" ".log" in
+  let oc = open_out buf in
+  let p = Progress.create ~out:oc ~now:(fun () -> !now) ~total:3 () in
+  Alcotest.(check bool) "no summary before any job" true
+    (Progress.wall_summary p = None);
+  (* three jobs: 0.100s, 0.200s, 1.600s of injected wall time *)
+  Progress.job_started p "a";
+  now := 0.1;
+  Progress.job_finished p "a" ~status:"ok";
+  Progress.job_started p "b";
+  now := 0.3;
+  Progress.job_finished p "b" ~status:"ok";
+  Progress.job_started p "c";
+  now := 1.9;
+  Progress.job_finished p "c" ~status:"ok";
+  (match Progress.wall_summary p with
+  | None -> Alcotest.fail "expected a summary"
+  | Some s ->
+    (* the p50 rank lands on the 200ms observation, whose bucket's upper
+       bound is 255ms; the p95 and max clamp to the exact 1600ms maximum *)
+    Alcotest.(check string) "quantiles from the injected clock"
+      "job wall-time p50 0.3s p95 1.6s max 1.6s" s);
+  Progress.finish p;
+  close_out oc;
+  let log = In_channel.with_open_text buf In_channel.input_all in
+  Sys.remove buf;
+  Alcotest.(check bool) "closing line carries the summary" true
+    (let sub = "job wall-time p50" in
+     let rec find i =
+       i + String.length sub <= String.length log
+       && (String.sub log i (String.length sub) = sub || find (i + 1))
+     in
+     find 0)
+
 let test_batch_dedupes_duplicate_specs () =
   let j = job () in
   let b = Sweep.run_batch ~jobs:2 [ j; j; j ] in
@@ -229,6 +325,12 @@ let suite =
       test_store_corrupt_entries_are_misses;
     Alcotest.test_case "failures are not cached" `Quick
       test_store_failures_not_cached;
+    Alcotest.test_case "metrics registry persisted with stats" `Quick
+      test_store_persists_metrics;
+    Alcotest.test_case "corrupt metrics section is a miss" `Quick
+      test_store_corrupt_metrics_section_is_miss;
+    Alcotest.test_case "progress wall-time summary (injected clock)" `Quick
+      test_progress_wall_summary_injectable_clock;
     Alcotest.test_case "duplicate specs deduped" `Quick
       test_batch_dedupes_duplicate_specs;
   ]
