@@ -97,8 +97,9 @@ let run_full ~jobs () =
   section "Serialization granularity (Result 2)" (Stx_harness.Reports.granularity c)
 
 (* --trace FILE: run the reference workload once with a full-capture
-   trace, export Chrome trace_event JSON and reconcile stream vs stats *)
-let run_traced ~file () =
+   trace, export Chrome trace_event JSON and reconcile stream vs stats;
+   --policy LABEL reruns it under a non-default HTM policy bundle *)
+let run_traced ~policy ~file () =
   let open Stx_workloads in
   let w =
     match Registry.find "list-hi" with
@@ -110,7 +111,7 @@ let run_traced ~file () =
   let mode = Stx_core.Mode.Staggered_hw in
   let spec = Workload.spec ~instrument:(Stx_core.Mode.uses_alps mode) ~scale:1.0 w in
   let stats =
-    Stx_sim.Machine.run ~seed:1
+    Stx_sim.Machine.run ~seed:1 ~htm_policy:policy
       ~cfg:(Stx_machine.Config.with_cores threads Stx_machine.Config.default)
       ~mode
       ~on_event:(Stx_trace.Trace.handler tr)
@@ -146,8 +147,16 @@ let () =
       | Some n when n >= 1 -> n
       | _ -> failwith "--jobs expects a positive integer")
   in
+  let policy =
+    match flag_value "--policy" with
+    | None -> Stx_policy.default
+    | Some l -> (
+      match Stx_policy.of_label l with
+      | Ok p -> p
+      | Error e -> failwith ("--policy: " ^ e))
+  in
   match flag_value "--trace" with
-  | Some file -> run_traced ~file ()
+  | Some file -> run_traced ~policy ~file ()
   | None ->
     if not skip_bechamel then run_bechamel ();
     run_full ~jobs ()

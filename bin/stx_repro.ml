@@ -46,16 +46,60 @@ let no_cache_arg =
     & flag
     & info [ "no-cache" ] ~doc:"Neither read nor write the on-disk result store.")
 
+let policy_term =
+  let policy_arg =
+    Arg.(
+      value
+      & opt string "requester-wins"
+      & info [ "policy" ]
+          ~doc:
+            "Conflict-resolution policy: $(b,requester-wins), \
+             $(b,responder-wins) or $(b,timestamp).")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt string "unbounded"
+      & info [ "capacity" ]
+          ~doc:
+            "HTM capacity policy: $(b,unbounded) or $(b,bounded:R:W) (hard \
+             read/write-set line budgets).")
+  in
+  let fallback_arg =
+    Arg.(
+      value
+      & opt string "polite"
+      & info [ "fallback" ]
+          ~doc:
+            "Fallback policy: $(b,polite[:N]) or \
+             $(b,backoff[:N[:BASE[:MAXEXP[:SEED]]]]).")
+  in
+  let make p cap f =
+    let axis flag parse v =
+      match parse v with
+      | Ok x -> x
+      | Error msg ->
+        Printf.eprintf "bad --%s %s: %s\n" flag v msg;
+        exit 1
+    in
+    Stx_policy.make
+      ~resolution:(axis "policy" Stx_policy.Resolution.of_string p)
+      ~capacity:(axis "capacity" Stx_policy.Capacity.of_string cap)
+      ~fallback:(axis "fallback" Stx_policy.Fallback.of_string f)
+      ()
+  in
+  Term.(const make $ policy_arg $ capacity_arg $ fallback_arg)
+
 let ctx_term =
-  let make seed scale threads jobs cache_dir no_cache =
+  let make seed scale threads jobs cache_dir no_cache policy =
     let store =
       if no_cache then None else Some (Stx_runner.Store.create ?dir:cache_dir ())
     in
-    Exp.create ~seed ~scale ~threads ~jobs ?store ()
+    Exp.create ~seed ~scale ~threads ~jobs ~policy ?store ()
   in
   Term.(
     const make $ seed_arg $ scale_arg $ threads_arg $ jobs_arg $ cache_dir_arg
-    $ no_cache_arg)
+    $ no_cache_arg $ policy_term)
 
 let section title body =
   Printf.printf "==== %s ====\n%s\n%!" title body
@@ -315,7 +359,11 @@ let lint_cmd =
                 Printf.sprintf "%s/%s" w.Stx_workloads.Workload.name
                   (mode_name m)
               in
-              (m, spec, Driver.analyze ~name spec.Stx_sim.Machine.compiled))
+              ( m,
+                spec,
+                Driver.analyze ~name
+                  ~resolution:(Exp.policy c).Stx_policy.resolution
+                  spec.Stx_sim.Machine.compiled ))
             modes
         in
         List.iter
@@ -341,7 +389,8 @@ let lint_cmd =
           in
           let tr = Stx_trace.Trace.create ~threads () in
           let (_ : Stx_sim.Stats.t) =
-            Stx_sim.Machine.run ~seed:(Exp.seed c) ~cfg
+            Stx_sim.Machine.run ~seed:(Exp.seed c)
+              ~htm_policy:(Exp.policy c) ~cfg
               ~mode:Stx_core.Mode.Staggered_hw
               ~on_event:(Stx_trace.Trace.handler tr) vspec
           in
@@ -371,6 +420,100 @@ let lint_cmd =
     Term.(
       const run $ ctx_term $ bench_arg $ mode_arg $ format_arg $ validate_arg
       $ validate_trace_arg)
+
+(* ---------------------------------------------------------------- *)
+(* stx_repro policies: conflict-resolution comparison table          *)
+
+let policies_cmd =
+  let quick_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "quick" ]
+          ~doc:
+            "Small inputs (scale 0.05, 4 threads) — the CI smoke \
+             configuration.")
+  in
+  let run c bench quick =
+    let w =
+      match Stx_workloads.Registry.find bench with
+      | Some w -> w
+      | None ->
+        prerr_endline ("unknown benchmark " ^ bench);
+        exit 1
+    in
+    let scale = if quick then 0.05 else Exp.scale c in
+    let threads = if quick then 4 else Exp.threads c in
+    let seed = Exp.seed c in
+    let base = Exp.policy c in
+    let modes = [ Stx_core.Mode.Baseline; Stx_core.Mode.Staggered_hw ] in
+    let failed = ref false in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "%s, seed %d, scale %g, %d threads (capacity %s, fallback %s)\n"
+         w.Stx_workloads.Workload.name seed scale threads
+         (Stx_policy.Capacity.to_string base.Stx_policy.capacity)
+         (Stx_policy.Fallback.to_string base.Stx_policy.fallback));
+    Buffer.add_string buf
+      (Printf.sprintf "%-13s %-15s %8s %8s %9s %9s %6s %10s %12s  %s\n" "mode"
+         "resolution" "commits" "aborts" "conflict" "capacity" "irrev"
+         "ab/commit" "cycles" "checks");
+    List.iter
+      (fun mode ->
+        let spec =
+          Stx_workloads.Workload.spec
+            ~instrument:(Stx_core.Mode.uses_alps mode) ~scale w
+        in
+        let cfg =
+          Stx_machine.Config.with_cores threads Stx_machine.Config.default
+        in
+        List.iter
+          (fun resolution ->
+            let htm_policy = { base with Stx_policy.resolution } in
+            let tr = Stx_trace.Trace.create ~threads () in
+            let r =
+              Stx_metrics.Run.simulate ~seed ~htm_policy ~cfg ~mode
+                ~on_event:(Stx_trace.Trace.handler tr) spec
+            in
+            let s = r.Stx_metrics.Run.stats in
+            let errs =
+              (match Stx_trace.Trace.check tr s with
+              | Ok () -> []
+              | Error es -> List.map (fun e -> "trace: " ^ e) es)
+              @
+              match Stx_metrics.Collect.check r.Stx_metrics.Run.metrics s with
+              | Ok () -> []
+              | Error es -> List.map (fun e -> "metrics: " ^ e) es
+            in
+            if errs <> [] then failed := true;
+            Buffer.add_string buf
+              (Printf.sprintf "%-13s %-15s %8d %8d %9d %9d %6d %10.2f %12d  %s\n"
+                 (Stx_core.Mode.to_string mode)
+                 (Stx_policy.Resolution.to_string resolution)
+                 s.Stx_sim.Stats.commits s.Stx_sim.Stats.aborts
+                 s.Stx_sim.Stats.conflict_aborts
+                 s.Stx_sim.Stats.capacity_aborts
+                 s.Stx_sim.Stats.irrevocable_entries
+                 (Stx_sim.Stats.aborts_per_commit s)
+                 s.Stx_sim.Stats.total_cycles
+                 (if errs = [] then "ok" else "FAILED"));
+            List.iter
+              (fun e -> Buffer.add_string buf ("    " ^ e ^ "\n"))
+              errs)
+          Stx_policy.Resolution.all)
+      modes;
+    section ("policies: " ^ bench) (Buffer.contents buf);
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "policies"
+       ~doc:
+         "Compare the conflict-resolution policies (requester-wins, \
+          responder-wins, timestamp) on one benchmark, cross-checking the \
+          trace and metrics pipelines under each (non-zero exit on any \
+          reconciliation failure)")
+    Term.(const run $ ctx_term $ bench_arg $ quick_arg)
 
 let all_cmd =
   let run c =
@@ -422,6 +565,7 @@ let () =
       export_cmd;
       ablations_cmd;
       lint_cmd;
+      policies_cmd;
       all_cmd;
     ]
   in

@@ -10,9 +10,9 @@ open Stx_workloads
 let print_stats name mode threads (s : Stats.t) =
   Printf.printf "%s / %s / %d threads\n" name (Mode.to_string mode) threads;
   Printf.printf "  commits            %d\n" s.Stats.commits;
-  Printf.printf "  aborts             %d (conflict %d, lock-subscription %d, explicit %d)\n"
+  Printf.printf "  aborts             %d (conflict %d, lock-subscription %d, explicit %d, capacity %d)\n"
     s.Stats.aborts s.Stats.conflict_aborts s.Stats.lock_sub_aborts
-    s.Stats.explicit_aborts;
+    s.Stats.explicit_aborts s.Stats.capacity_aborts;
   Printf.printf "  aborts per commit  %.2f\n" (Stats.aborts_per_commit s);
   Printf.printf "  irrevocable        %d (%.1f%%)\n" s.Stats.irrevocable_entries
     (Stats.pct_irrevocable s);
@@ -46,14 +46,29 @@ let print_per_ab (spec : Machine.spec) (s : Stats.t) =
       atomics
   end
 
+let parse_policy resolution capacity fallback =
+  let axis flag parse v =
+    match parse v with
+    | Ok x -> x
+    | Error msg ->
+      Printf.eprintf "bad --%s %s: %s\n" flag v msg;
+      exit 1
+  in
+  Stx_policy.make
+    ~resolution:(axis "policy" Stx_policy.Resolution.of_string resolution)
+    ~capacity:(axis "capacity" Stx_policy.Capacity.of_string capacity)
+    ~fallback:(axis "fallback" Stx_policy.Fallback.of_string fallback)
+    ()
+
 (* several benchmarks at once: fan out over the Stx_runner domain pool,
    print each stats block in the requested order *)
-let run_many benches mode threads seed scale jobs =
+let run_many benches mode threads seed scale jobs policy =
   let open Stx_runner in
   let specs =
     List.map
       (fun w ->
-        Job.make ~workload:w.Workload.name ~mode ~threads ~seed ~scale)
+        Job.make ~policy ~workload:w.Workload.name ~mode ~threads ~seed ~scale
+          ())
       benches
   in
   let batch = Sweep.run_batch ~jobs ~progress:true specs in
@@ -79,7 +94,8 @@ let run_many benches mode threads seed scale jobs =
   if !failed then exit 1
 
 let run list_benches bench mode threads seed scale trace raw_trace metrics lint
-    jobs =
+    jobs policy_s capacity_s fallback_s =
+  let htm_policy = parse_policy policy_s capacity_s fallback_s in
   if list_benches then begin
     List.iter
       (fun w ->
@@ -116,7 +132,7 @@ let run list_benches bench mode threads seed scale trace raw_trace metrics lint
       prerr_endline "--trace/--raw-trace/--metrics/--lint need a single benchmark";
       exit 1
     end;
-    run_many benches mode threads seed scale jobs
+    run_many benches mode threads seed scale jobs htm_policy
   | [ w ] ->
     let cfg = Config.with_cores threads Config.default in
     let tr =
@@ -126,7 +142,7 @@ let run list_benches bench mode threads seed scale trace raw_trace metrics lint
     in
     let collector =
       match metrics with
-      | Some _ -> Some (Stx_metrics.Collect.create ())
+      | Some _ -> Some (Stx_metrics.Collect.create ~policy:htm_policy ())
       | None -> None
     in
     let on_event =
@@ -154,8 +170,10 @@ let run list_benches bench mode threads seed scale trace raw_trace metrics lint
       print_string (Stx_analysis.Driver.render a);
       Stx_analysis.Driver.has_errors a
     in
-    let stats = Machine.run ~seed ~cfg ~mode ~on_event spec in
+    let stats = Machine.run ~seed ~htm_policy ~cfg ~mode ~on_event spec in
     print_stats w.Workload.name mode threads stats;
+    if not (Stx_policy.equal htm_policy Stx_policy.default) then
+      Printf.printf "  policy             %s\n" (Stx_policy.label htm_policy);
     print_per_ab spec stats;
     (match (metrics, collector) with
     | Some file, Some c ->
@@ -183,6 +201,7 @@ let run list_benches bench mode threads seed scale trace raw_trace metrics lint
           ("threads", string_of_int threads);
           ("seed", string_of_int seed);
           ("scale", string_of_float scale);
+          ("policy", Stx_policy.label htm_policy);
         ]
       in
       Stx_trace.Trace.write_events ~meta tr ~file;
@@ -280,11 +299,44 @@ let () =
       & info [ "jobs"; "j" ]
           ~doc:"Parallel simulations when several benchmarks are given.")
   in
+  let policy_arg =
+    Arg.(
+      value
+      & opt string "requester-wins"
+      & info [ "policy" ]
+          ~doc:
+            "Conflict-resolution policy: requester-wins (the paper's \
+             hardware), responder-wins (suicide on conflict with an \
+             established owner), or timestamp (karma: the older transaction \
+             wins).")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt string "unbounded"
+      & info [ "capacity" ]
+          ~doc:
+            "HTM capacity policy: unbounded, or bounded:R:W for a hard \
+             limit of R read-set and W write-set cache lines (exceeding \
+             either aborts with the capacity reason and goes straight to \
+             the irrevocable fallback).")
+  in
+  let fallback_arg =
+    Arg.(
+      value
+      & opt string "polite"
+      & info [ "fallback" ]
+          ~doc:
+            "Fallback policy: polite[:N] (linear polite delay, irrevocable \
+             after N attempts) or backoff[:N[:BASE[:MAXEXP[:SEED]]]] \
+             (exponential randomized backoff from a dedicated PRNG \
+             stream).")
+  in
   let term =
     Term.(
       const run $ list_arg $ bench_arg $ mode_arg $ threads_arg $ seed_arg
       $ scale_arg $ trace_arg $ raw_trace_arg $ metrics_arg $ lint_arg
-      $ jobs_arg)
+      $ jobs_arg $ policy_arg $ capacity_arg $ fallback_arg)
   in
   let info =
     Cmd.info "stx_run" ~version:"1.0"

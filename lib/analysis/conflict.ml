@@ -7,6 +7,7 @@ type source = Ab of int | Outside
 
 type t = {
   c_nabs : int;
+  c_resolution : Stx_policy.Resolution.t;
   c_reads : iset array;  (* per ab, whole-program plane *)
   c_writes : iset array;
   c_out_reads : iset;
@@ -53,7 +54,8 @@ let roots prog =
   | [] -> Hashtbl.fold (fun name _ acc -> name :: acc) prog.Ir.funcs []
   | rs -> List.sort compare rs
 
-let compute prog dsa (sums : Summary.t) =
+let compute ?(resolution = Stx_policy.Resolution.Requester_wins) prog dsa
+    (sums : Summary.t) =
   let nabs = Array.length prog.Ir.atomics in
   let c_reads = Array.init nabs (fun _ -> iset ()) in
   let c_writes = Array.init nabs (fun _ -> iset ()) in
@@ -112,7 +114,16 @@ let compute prog dsa (sums : Summary.t) =
   Array.iter (union_into ~into:c_all_reads) c_reads;
   Array.iter (union_into ~into:c_all_writes) c_writes;
   (* Requester-wins: src's writes doom dst's readers and writers; src's
-     transactional reads doom dst's writers; outside reads doom nobody. *)
+     transactional reads doom dst's writers; outside reads doom nobody.
+     Responder-wins inverts the roles — dst dooms itself when its own
+     request hits src's established footprint — and timestamp allows
+     either direction depending on transaction age. On transactional
+     pairs the three formulas are extensionally equal (intersection
+     commutes and read/read pairs never conflict), so the matrix itself
+     is resolution-invariant; that invariance is what keeps the trace
+     validator sound under every policy. The parameter fixes which
+     formula is actually evaluated and is recorded for downstream
+     consumers ({!resolution}). *)
   let witnesses src_reads src_writes j =
     let w =
       inter src_writes c_reads.(j)
@@ -123,14 +134,33 @@ let compute prog dsa (sums : Summary.t) =
     in
     List.sort_uniq compare w
   in
+  let responder_witnesses i j =
+    inter c_writes.(j) c_reads.(i)
+    @ inter c_writes.(j) c_writes.(i)
+    @ inter c_reads.(j) c_writes.(i)
+  in
+  let tx_witnesses i j =
+    match resolution with
+    | Stx_policy.Resolution.Requester_wins ->
+      witnesses (Some c_reads.(i)) c_writes.(i) j
+    | Stx_policy.Resolution.Responder_wins ->
+      List.sort_uniq compare (responder_witnesses i j)
+    | Stx_policy.Resolution.Timestamp ->
+      List.sort_uniq compare
+        (witnesses (Some c_reads.(i)) c_writes.(i) j
+        @ responder_witnesses i j)
+  in
+  (* the outside row is policy-independent: nontransactional stores win
+     under every resolution (they cannot abort), nt loads doom nobody *)
   let c_matrix =
     Array.init (nabs + 1) (fun i ->
         Array.init nabs (fun j ->
-            if i < nabs then witnesses (Some c_reads.(i)) c_writes.(i) j
+            if i < nabs then tx_witnesses i j
             else witnesses None c_out_writes j))
   in
   {
     c_nabs = nabs;
+    c_resolution = resolution;
     c_reads;
     c_writes;
     c_out_reads;
@@ -142,6 +172,7 @@ let compute prog dsa (sums : Summary.t) =
   }
 
 let n_abs t = t.c_nabs
+let resolution t = t.c_resolution
 
 let row t = function Ab i -> t.c_matrix.(i) | Outside -> t.c_matrix.(t.c_nabs)
 

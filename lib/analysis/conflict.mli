@@ -12,8 +12,9 @@ open Stx_dsa
     outside any atomic block contributes a separate "outside" footprint.
 
     A directed edge [src -> dst] means a running instance of [src] can
-    doom a hardware transaction of block [dst] under the simulator's
-    requester-wins protocol:
+    cause a hardware transaction of block [dst] to abort under the
+    chosen conflict-resolution policy. For the default requester-wins
+    protocol:
 
     - a transactional {e write} of [src] dooms any transaction that read
       {e or} wrote the node;
@@ -22,6 +23,15 @@ open Stx_dsa
     - a non-transactional (outside) {e write} dooms readers and writers,
       while outside reads doom nobody.
 
+    Under responder-wins the roles invert ([dst] self-dooms when its own
+    request hits [src]'s established footprint) and under timestamp
+    either direction can abort [dst] depending on age — but on
+    transactional pairs all three formulas compute the {e same} witness
+    set (intersection commutes; read/read pairs never conflict), so the
+    matrix is resolution-invariant and trace validation stays sound for
+    every policy. The outside row is policy-independent outright:
+    nontransactional stores win under every resolution.
+
     Self-edges ([src = dst]) are real: two threads in the same block
     conflict on shared nodes. *)
 
@@ -29,9 +39,14 @@ type t
 
 type source = Ab of int | Outside
 
-val compute : Ir.program -> Dsa.t -> Summary.t -> t
+val compute :
+  ?resolution:Stx_policy.Resolution.t -> Ir.program -> Dsa.t -> Summary.t -> t
+(** [resolution] defaults to [Requester_wins] (the paper's hardware). *)
 
 val n_abs : t -> int
+
+val resolution : t -> Stx_policy.Resolution.t
+(** The conflict-resolution policy the graph was computed under. *)
 
 val may_doom : t -> src:source -> dst:int -> bool
 

@@ -11,10 +11,12 @@ type t = {
 
 type format = Text | Tsv
 
-let analyze ?(name = "program") (p : Pipeline.t) =
+let analyze ?(name = "program") ?resolution (p : Pipeline.t) =
   Verify.program p.Pipeline.prog;
   let summary = Summary.compute p.Pipeline.prog p.Pipeline.dsa in
-  let graph = Conflict.compute p.Pipeline.prog p.Pipeline.dsa summary in
+  let graph =
+    Conflict.compute ?resolution p.Pipeline.prog p.Pipeline.dsa summary
+  in
   let diags = Lints.all p summary graph in
   {
     a_name = name;
@@ -35,10 +37,16 @@ let render_text t =
   let p = t.a_pipeline in
   let prog = p.Pipeline.prog in
   let nabs = Array.length prog.Ir.atomics in
+  let resolution_label =
+    match Conflict.resolution t.a_graph with
+    | Stx_policy.Resolution.Requester_wins -> "" (* the default: omit *)
+    | r -> ", resolution=" ^ Stx_policy.Resolution.to_string r
+  in
   Buffer.add_string buf
-    (Printf.sprintf "== static conflict analysis: %s (mode=%s%s) ==\n"
+    (Printf.sprintf "== static conflict analysis: %s (mode=%s%s%s) ==\n"
        t.a_name (mode_label p.Pipeline.mode)
-       (if p.Pipeline.instrumented then "" else ", uninstrumented"));
+       (if p.Pipeline.instrumented then "" else ", uninstrumented")
+       resolution_label);
   Buffer.add_string buf "-- atomic-block footprints (whole-program nodes) --\n";
   Array.iter
     (fun (a : Ir.atomic) ->

@@ -14,10 +14,13 @@ type t = {
 
 type format = Text | Tsv
 
-val analyze : ?name:string -> Pipeline.t -> t
-(** Summaries, conflict graph, and all five lints. Also re-verifies the
-    instrumented program ({!Stx_tir.Verify.program}), so a compiler pass
-    that broke the IR fails here rather than in the simulator. *)
+val analyze : ?name:string -> ?resolution:Stx_policy.Resolution.t -> Pipeline.t -> t
+(** Summaries, conflict graph, and all five lints. [resolution] (default
+    [Requester_wins]) selects the conflict-resolution policy the graph —
+    and the resolution-aware STX103 lint — are computed under. Also
+    re-verifies the instrumented program ({!Stx_tir.Verify.program}), so
+    a compiler pass that broke the IR fails here rather than in the
+    simulator. *)
 
 val has_errors : t -> bool
 

@@ -188,6 +188,28 @@ let lock_order (p : Pipeline.t) graph =
       in
       pairs anchors)
     p.Pipeline.unified;
+  (* the hazard's weight depends on the conflict-resolution policy the
+     graph was computed under: requester-wins and responder-wins both
+     allow the blocks of a cycle to doom each other (or themselves)
+     indefinitely, while timestamp karma bounds the damage — the oldest
+     transaction always progresses — so the cycle convoys but cannot
+     livelock the hardware path *)
+  let severity, hazard =
+    match Conflict.resolution graph with
+    | Stx_policy.Resolution.Requester_wins ->
+      ( Diag.Warning,
+        "convoy hazard (deadlock under a runtime that stacks ALP locks)" )
+    | Stx_policy.Resolution.Responder_wins ->
+      ( Diag.Warning,
+        "convoy hazard (deadlock under a runtime that stacks ALP locks; \
+         under responder-wins a requester that hits a held node suicides \
+         instead of clearing it, compounding the convoy)" )
+    | Stx_policy.Resolution.Timestamp ->
+      ( Diag.Info,
+        "convoy hazard (deadlock under a runtime that stacks ALP locks; \
+         timestamp resolution bounds the livelock — the oldest \
+         transaction always progresses)" )
+  in
   sccs_of adj
   |> List.map (fun comp ->
          let in_comp g = List.mem g comp in
@@ -198,13 +220,13 @@ let lock_order (p : Pipeline.t) graph =
              edge_abs []
            |> List.sort_uniq compare
          in
-         Diag.make ~code:"STX103" ~severity:Diag.Warning
+         Diag.make ~code:"STX103" ~severity
            (Printf.sprintf
               "anchored nodes {%s} are acquired in conflicting orders by \
-               atomic blocks {%s}: convoy hazard (deadlock under a runtime \
-               that stacks ALP locks)"
+               atomic blocks {%s}: %s"
               (String.concat "," (List.map string_of_int comp))
-              (String.concat "," (List.map string_of_int abs))))
+              (String.concat "," (List.map string_of_int abs))
+              hazard))
 
 (* ---------------------------------------------------------------- *)
 (* STX104: read-only classification disagreement                     *)

@@ -28,7 +28,11 @@ val lock_order : Pipeline.t -> Conflict.t -> Diag.t list
     (table order approximates execution order). The simulated runtime
     holds at most one advisory lock per attempt, so a cycle cannot
     deadlock it, but it convoys and would deadlock any runtime that
-    stacks ALP locks. [STX103], warning. *)
+    stacks ALP locks. Resolution-aware via [Conflict.resolution]: a
+    warning under requester-wins and responder-wins (whose mutual dooms
+    can repeat indefinitely), downgraded to info under timestamp karma
+    (the oldest transaction always progresses, so the cycle cannot
+    livelock the hardware path). [STX103]. *)
 
 val read_only : ?claimed:bool array -> Pipeline.t -> Summary.t -> Diag.t list
 (** Cross-check the pipeline's per-block read-only classification

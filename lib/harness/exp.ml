@@ -11,23 +11,29 @@ type t = {
   scale : float;
   threads : int;
   jobs : int;
+  policy : Stx_policy.t;
   store : Store.t option;
   memo : (string * string * int, Run.t) Hashtbl.t;
 }
 
-let create ?(seed = 1) ?(scale = 1.0) ?(threads = 16) ?(jobs = 1) ?store () =
-  { seed; scale; threads; jobs; store; memo = Hashtbl.create 64 }
+let create ?(seed = 1) ?(scale = 1.0) ?(threads = 16) ?(jobs = 1)
+    ?(policy = Stx_policy.default) ?store () =
+  { seed; scale; threads; jobs; policy; store; memo = Hashtbl.create 64 }
 
 let seed t = t.seed
 let scale t = t.scale
 let threads t = t.threads
 let jobs t = t.jobs
+let policy t = t.policy
 let store t = t.store
 
 let mode_key m = Mode.to_string m
 
+(* the memo key omits the policy: a context runs every cell under its
+   one bundle, so the (workload, mode, threads) coordinate is unique *)
 let job_of t (w : Workload.t) mode ~threads =
-  Job.make ~workload:w.Workload.name ~mode ~threads ~seed:t.seed ~scale:t.scale
+  Job.make ~policy:t.policy ~workload:w.Workload.name ~mode ~threads
+    ~seed:t.seed ~scale:t.scale ()
 
 let memo_key (w : Workload.t) mode threads = (w.Workload.name, mode_key mode, threads)
 

@@ -25,17 +25,21 @@ val create :
   ?scale:float ->
   ?threads:int ->
   ?jobs:int ->
+  ?policy:Stx_policy.t ->
   ?store:Stx_runner.Store.t ->
   unit ->
   t
 (** [threads] defaults to 16 (the paper's machine); [scale] to 1.0.
     [jobs] (default 1) is the domain-pool width used by {!prefetch};
-    [store] (default none) persists results across invocations. *)
+    [policy] (default {!Stx_policy.default}) is the HTM policy bundle
+    every cell of the context runs under; [store] (default none)
+    persists results across invocations. *)
 
 val seed : t -> int
 val scale : t -> float
 val threads : t -> int
 val jobs : t -> int
+val policy : t -> Stx_policy.t
 val store : t -> Stx_runner.Store.t option
 
 val run : t -> Workload.t -> Mode.t -> Stats.t

@@ -8,6 +8,7 @@ type abort_reason =
       aggressor : int;
     }
   | Lock_subscription
+  | Capacity
   | Explicit
 
 type status = Idle | Active | Doomed of abort_reason
@@ -20,19 +21,22 @@ type core_state = {
   wbuf : (int, int) Hashtbl.t; (* addr -> speculative value *)
   mutable last_rset : int; (* set sizes when speculative state was *)
   mutable last_wset : int; (* last discarded (commit or doom) *)
+  mutable ts : int; (* begin timestamp (karma); 0 = never begun *)
 }
 
 type t = {
   cfg : Config.t;
+  policy : Stx_policy.t;
   memory : Memory.t;
   cores : core_state array;
   readers : (int, int) Hashtbl.t; (* line -> bitmask of reader cores *)
   writers : (int, int) Hashtbl.t;
   lock_addr : int;
   mutable conflicts : int;
+  mutable ts_counter : int;
 }
 
-let create (cfg : Config.t) memory alloc =
+let create ?(policy = Stx_policy.default) (cfg : Config.t) memory alloc =
   if cfg.Config.cores > 62 then invalid_arg "Htm.create: at most 62 cores";
   let mk _ =
     {
@@ -43,20 +47,24 @@ let create (cfg : Config.t) memory alloc =
       wbuf = Hashtbl.create 64;
       last_rset = 0;
       last_wset = 0;
+      ts = 0;
     }
   in
   let lock_addr = Alloc.alloc_shared alloc 1 in
   {
     cfg;
+    policy;
     memory;
     cores = Array.init cfg.Config.cores mk;
     readers = Hashtbl.create 1024;
     writers = Hashtbl.create 1024;
     lock_addr;
     conflicts = 0;
+    ts_counter = 0;
   }
 
 let config t = t.cfg
+let policy t = t.policy
 
 let line_of t addr = Memory.line_of ~words_per_line:t.cfg.Config.words_per_line addr
 
@@ -82,6 +90,10 @@ let discard_speculative t core =
   Hashtbl.reset c.tags;
   Hashtbl.reset c.wbuf
 
+let truncate_pc t pc =
+  if t.cfg.Config.pc_tag_bits >= 62 then pc
+  else pc land ((1 lsl t.cfg.Config.pc_tag_bits) - 1)
+
 (* requester-wins: doom the victim, delivering the conflicting address, the
    victim's own PC tag for the line, and the aggressor (requester) core *)
 let doom t ~requester ~victim ~conf_addr =
@@ -92,12 +104,7 @@ let doom t ~requester ~victim ~conf_addr =
     let full = Hashtbl.find_opt c.tags line in
     let conf_pc =
       if t.cfg.Config.pc_tag_bits <= 0 then None
-      else
-        Option.map
-          (fun pc ->
-            if t.cfg.Config.pc_tag_bits >= 62 then pc
-            else pc land ((1 lsl t.cfg.Config.pc_tag_bits) - 1))
-          full
+      else Option.map (truncate_pc t) full
     in
     discard_speculative t victim;
     (* [conf_pc_full] is a simulator oracle used only to score the runtime's
@@ -115,17 +122,104 @@ let doom_mask t ~requester ~mask ~conf_addr =
       if mask land (1 lsl v) <> 0 then doom t ~requester ~victim:v ~conf_addr
     done
 
+(* suicide: the requester dooms itself, naming the (surviving) responder as
+   the aggressor. [full_pc] is the requester's own PC for the access (or its
+   first-access tag for the line, at lazy commit). *)
+let self_doom t ~core ~conf_addr ~full_pc ~aggressor =
+  let c = t.cores.(core) in
+  let conf_pc =
+    if t.cfg.Config.pc_tag_bits <= 0 then None
+    else Option.map (truncate_pc t) full_pc
+  in
+  discard_speculative t core;
+  c.st <-
+    Doomed (Conflict { conf_addr; conf_pc; conf_pc_full = full_pc; aggressor });
+  t.conflicts <- t.conflicts + 1
+
+let lowest_core mask =
+  let rec go v = if mask land (1 lsl v) <> 0 then v else go (v + 1) in
+  go 0
+
+(* the oldest opponent in [mask] that outranks the requester's timestamp
+   (smaller = older = wins), if any *)
+let older_opponent t ~core mask =
+  let my_ts = t.cores.(core).ts in
+  let best = ref None in
+  for v = 0 to Array.length t.cores - 1 do
+    if mask land (1 lsl v) <> 0 then begin
+      let ts = t.cores.(v).ts in
+      if ts < my_ts then
+        match !best with
+        | Some (bts, _) when bts <= ts -> ()
+        | _ -> best := Some (ts, v)
+    end
+  done;
+  Option.map snd !best
+
+(* Resolve a conflict between a speculative requester on [core] and the
+   transactions in [mask] (every core in the readers/writers masks is
+   [Active]: doomed and committed cores leave the masks when their
+   speculative state is discarded). Returns [true] when the requester
+   survives and the access may proceed. *)
+let resolve t ~core ~conf_addr ~full_pc ~mask =
+  let mask = mask land lnot (1 lsl core) in
+  if mask = 0 then true
+  else
+    match t.policy.Stx_policy.resolution with
+    | Stx_policy.Resolution.Requester_wins ->
+      for v = 0 to Array.length t.cores - 1 do
+        if mask land (1 lsl v) <> 0 then doom t ~requester:core ~victim:v ~conf_addr
+      done;
+      true
+    | Stx_policy.Resolution.Responder_wins ->
+      self_doom t ~core ~conf_addr ~full_pc ~aggressor:(lowest_core mask);
+      false
+    | Stx_policy.Resolution.Timestamp -> (
+      match older_opponent t ~core mask with
+      | Some v ->
+        self_doom t ~core ~conf_addr ~full_pc ~aggressor:v;
+        false
+      | None ->
+        for v = 0 to Array.length t.cores - 1 do
+          if mask land (1 lsl v) <> 0 then doom t ~requester:core ~victim:v ~conf_addr
+        done;
+        true)
+
+(* The transaction tried to grow a set past its budget: discard, then patch
+   the captured sizes to include the line that did not fit — so the abort
+   event reports the footprint at the moment the budget was exceeded rather
+   than the post-reset 0/0. *)
+let capacity_doom t ~core ~read =
+  let c = t.cores.(core) in
+  discard_speculative t core;
+  if read then c.last_rset <- c.last_rset + 1 else c.last_wset <- c.last_wset + 1;
+  c.st <- Doomed Capacity
+
+let read_budget t =
+  match t.policy.Stx_policy.capacity with
+  | Stx_policy.Capacity.Unbounded -> max_int
+  | Stx_policy.Capacity.Bounded { read_lines; _ } -> read_lines
+
+let write_budget t =
+  match t.policy.Stx_policy.capacity with
+  | Stx_policy.Capacity.Unbounded -> max_int
+  | Stx_policy.Capacity.Bounded { write_lines; _ } -> write_lines
+
 let require_active t core op =
   match t.cores.(core).st with
   | Active -> ()
   | Idle | Doomed _ ->
     invalid_arg (Printf.sprintf "Htm.%s: core %d has no active transaction" op core)
 
-let tx_begin t ~core =
+let tx_begin ?(fresh = true) t ~core =
   let c = t.cores.(core) in
   (match c.st with
   | Idle -> ()
   | Active | Doomed _ -> invalid_arg "Htm.tx_begin: transaction already in flight");
+  if fresh || c.ts = 0 then begin
+    t.ts_counter <- t.ts_counter + 1;
+    c.ts <- t.ts_counter
+  end;
   c.st <- Active
 
 let tag_first_access c line pc =
@@ -135,31 +229,56 @@ let tx_load t ~core ~addr ~pc =
   require_active t core "tx_load";
   let c = t.cores.(core) in
   let line = line_of t addr in
-  if not t.cfg.Config.lazy_htm then
-    doom_mask t ~requester:core ~mask:(mask_find t.writers line) ~conf_addr:addr;
-  tag_first_access c line pc;
-  if not (Hashtbl.mem c.read_set line) then begin
+  let survived =
+    t.cfg.Config.lazy_htm
+    || resolve t ~core ~conf_addr:addr ~full_pc:(Some pc)
+         ~mask:(mask_find t.writers line)
+  in
+  if not survived then
+    (* self-doomed: the speculative state (including the write buffer) is
+       gone; hand back committed memory, the value is dead anyway *)
+    Memory.load t.memory addr
+  else if Hashtbl.mem c.read_set line then begin
+    tag_first_access c line pc;
+    match Hashtbl.find_opt c.wbuf addr with
+    | Some v -> v
+    | None -> Memory.load t.memory addr
+  end
+  else if Hashtbl.length c.read_set >= read_budget t then begin
+    capacity_doom t ~core ~read:true;
+    Memory.load t.memory addr
+  end
+  else begin
+    tag_first_access c line pc;
     Hashtbl.add c.read_set line ();
-    mask_set t.readers line core
-  end;
-  match Hashtbl.find_opt c.wbuf addr with
-  | Some v -> v
-  | None -> Memory.load t.memory addr
+    mask_set t.readers line core;
+    match Hashtbl.find_opt c.wbuf addr with
+    | Some v -> v
+    | None -> Memory.load t.memory addr
+  end
 
 let tx_store t ~core ~addr ~value ~pc =
   require_active t core "tx_store";
   let c = t.cores.(core) in
   let line = line_of t addr in
-  if not t.cfg.Config.lazy_htm then
-    doom_mask t ~requester:core
-      ~mask:(mask_find t.readers line lor mask_find t.writers line)
-      ~conf_addr:addr;
-  tag_first_access c line pc;
-  if not (Hashtbl.mem c.write_set line) then begin
+  let survived =
+    t.cfg.Config.lazy_htm
+    || resolve t ~core ~conf_addr:addr ~full_pc:(Some pc)
+         ~mask:(mask_find t.readers line lor mask_find t.writers line)
+  in
+  if not survived then ()
+  else if Hashtbl.mem c.write_set line then begin
+    tag_first_access c line pc;
+    Hashtbl.replace c.wbuf addr value
+  end
+  else if Hashtbl.length c.write_set >= write_budget t then
+    capacity_doom t ~core ~read:false
+  else begin
+    tag_first_access c line pc;
     Hashtbl.add c.write_set line ();
-    mask_set t.writers line core
-  end;
-  Hashtbl.replace c.wbuf addr value
+    mask_set t.writers line core;
+    Hashtbl.replace c.wbuf addr value
+  end
 
 let tx_commit t ~core =
   require_active t core "tx_commit";
@@ -171,19 +290,40 @@ let tx_commit t ~core =
     false
   end
   else begin
-    (* lazy mode: the committer wins — every transaction that read or
-       wrote a line this write set touches is doomed now, at commit time *)
-    if t.cfg.Config.lazy_htm then
-      Hashtbl.iter
-        (fun line () ->
-          doom_mask t ~requester:core
-            ~mask:(mask_find t.readers line lor mask_find t.writers line)
-            ~conf_addr:(line * t.cfg.Config.words_per_line))
-        c.write_set;
-    Hashtbl.iter (fun addr v -> Memory.store t.memory addr v) c.wbuf;
-    discard_speculative t core;
-    c.st <- Idle;
-    true
+    (* lazy mode: conflicts surface at commit time — under requester-wins
+       the committer dooms every transaction that touched a line this write
+       set covers; under the other policies the committer itself may lose
+       (so snapshot the lines first: a self-doom resets the set mid-walk) *)
+    if t.cfg.Config.lazy_htm then begin
+      match t.policy.Stx_policy.resolution with
+      | Stx_policy.Resolution.Requester_wins ->
+        Hashtbl.iter
+          (fun line () ->
+            doom_mask t ~requester:core
+              ~mask:(mask_find t.readers line lor mask_find t.writers line)
+              ~conf_addr:(line * t.cfg.Config.words_per_line))
+          c.write_set
+      | Stx_policy.Resolution.Responder_wins | Stx_policy.Resolution.Timestamp
+        ->
+        let lines = Hashtbl.fold (fun l () acc -> l :: acc) c.write_set [] in
+        List.iter
+          (fun line ->
+            if c.st = Active then
+              ignore
+                (resolve t ~core
+                   ~conf_addr:(line * t.cfg.Config.words_per_line)
+                   ~full_pc:(Hashtbl.find_opt c.tags line)
+                   ~mask:
+                     (mask_find t.readers line lor mask_find t.writers line)))
+          lines
+    end;
+    if c.st <> Active then false
+    else begin
+      Hashtbl.iter (fun addr v -> Memory.store t.memory addr v) c.wbuf;
+      discard_speculative t core;
+      c.st <- Idle;
+      true
+    end
   end
 
 let tx_self_abort t ~core =
@@ -209,6 +349,8 @@ let last_set_sizes t ~core =
 
 let nt_load t ~addr = Memory.load t.memory addr
 
+(* a nontransactional store cannot be rolled back, so it wins under every
+   resolution policy — like any nonspeculative agent's write *)
 let nt_store t ~core ~addr ~value =
   let line = line_of t addr in
   doom_mask t ~requester:core

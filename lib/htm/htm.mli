@@ -10,6 +10,14 @@ open Stx_machine
     access — delivered, truncated to the configured width, as the
     "conflicting PC" when that line is the source of an abort.
 
+    Conflict resolution, set capacity, and (in the runtime above) the
+    fallback schedule are pluggable via {!Stx_policy}: the bundle given to
+    {!create} selects requester-wins (the paper's eager ASF point),
+    responder-wins (the requester suicides), or timestamp/karma (the older
+    transaction survives); and an optional bounded read/write-set budget
+    whose overflow dooms the transaction with the [Capacity] reason. The
+    default bundle reproduces the original hard-coded behaviour exactly.
+
     Nontransactional loads and stores — the feature Staggered Transactions
     requires (§4) — bypass the write buffer and the read/write sets: an
     nt-load sees only committed state and never aborts anyone; an nt-store
@@ -27,34 +35,52 @@ type abort_reason =
       conf_pc_full : int option;
       aggressor : int;
     }
-      (** data conflict; [conf_pc] is the victim's (truncated) PC tag for
-          the conflicting line, when the hardware provides it; [aggressor]
-          is the core whose (requester-wins) access doomed the victim *)
+      (** data conflict; [conf_pc] is the doomed core's (truncated) PC for
+          the conflicting access, when the hardware provides it;
+          [aggressor] is the surviving core — under requester-wins the
+          requester whose access doomed the victim, under responder-wins
+          or timestamp possibly the established owner the requester lost
+          to *)
   | Lock_subscription  (** the global lock was held at commit time *)
+  | Capacity
+      (** the read/write-set budget of a [Bounded] capacity policy was
+          exceeded *)
   | Explicit  (** the program executed an explicit abort *)
 
 type status = Idle | Active | Doomed of abort_reason
 
 type t
 
-val create : Config.t -> Memory.t -> Alloc.t -> t
-(** Allocates the global-lock word out of [Alloc]. *)
+val create : ?policy:Stx_policy.t -> Config.t -> Memory.t -> Alloc.t -> t
+(** Allocates the global-lock word out of [Alloc]. [policy] (default
+    {!Stx_policy.default}) fixes the conflict-resolution and capacity
+    behaviour for the life of the HTM. *)
 
 val config : t -> Config.t
+val policy : t -> Stx_policy.t
 
 val status : t -> core:int -> status
 
-val tx_begin : t -> core:int -> unit
-(** Start a transaction. The core must be [Idle]. *)
+val tx_begin : ?fresh:bool -> t -> core:int -> unit
+(** Start a transaction. The core must be [Idle]. [fresh] (default true)
+    assigns a new begin timestamp; the runtime passes [~fresh:false] on
+    retries so that, under the [Timestamp] resolution policy, a
+    repeatedly-aborted transaction keeps its (old) priority instead of
+    being reborn young — the karma that rules out livelock. *)
 
 val tx_load : t -> core:int -> addr:int -> pc:int -> int
-(** Transactional load: joins the read set, records the PC tag on first
-    access, aborts conflicting writers elsewhere, reads through the local
-    write buffer. The core must be [Active]. *)
+(** Transactional load: resolves conflicts with writers elsewhere per the
+    resolution policy, then joins the read set (unless the budget of a
+    [Bounded] capacity is exhausted — a [Capacity] self-doom), records
+    the PC tag on first access, and reads through the local write buffer.
+    The core must be [Active]. If the policy dooms the requester itself,
+    the returned value is the committed memory word (the transaction is
+    dead; the value is never observable). *)
 
 val tx_store : t -> core:int -> addr:int -> value:int -> pc:int -> unit
-(** Transactional store: joins the write set, aborts conflicting readers
-    and writers elsewhere, buffers the value. *)
+(** Transactional store: resolves conflicts with readers and writers
+    elsewhere per the resolution policy, joins the write set (or
+    [Capacity]-dooms on budget exhaustion), and buffers the value. *)
 
 val tx_commit : t -> core:int -> bool
 (** Subscribe to the global lock, then atomically publish the write buffer.
@@ -74,13 +100,18 @@ val last_set_sizes : t -> core:int -> int * int
 (** Read/write-set sizes (lines) captured the last time the core's
     speculative state was discarded — at commit publication, or at the
     moment the transaction was doomed (by then the live sets have been
-    reset, so a post-hoc {!read_set_size} would report 0). The
-    simulator reads this when it emits commit/abort events. *)
+    reset, so a post-hoc {!read_set_size} would report 0). A
+    [Capacity]-doomed transaction reports the footprint at the moment the
+    budget was exceeded, counting the line that did not fit — never the
+    post-reset 0/0. The simulator reads this when it emits commit/abort
+    events. *)
 
 val nt_load : t -> addr:int -> int
 val nt_store : t -> core:int -> addr:int -> value:int -> unit
 (** [core] identifies the requester so its own transaction (if any) is not
-    self-aborted; pass the executing core. *)
+    self-aborted; pass the executing core. A nontransactional store cannot
+    roll back, so it dooms conflicting transactions under {e every}
+    resolution policy. *)
 
 val nt_cas : t -> core:int -> addr:int -> expected:int -> desired:int -> bool
 
@@ -93,4 +124,5 @@ val acquire_global_lock : t -> core:int -> bool
 val release_global_lock : t -> unit
 
 val conflicts_caused : t -> int
-(** Total requester-wins aborts inflicted, for diagnostics. *)
+(** Total conflict aborts inflicted (by any resolution outcome, including
+    self-dooms), for diagnostics. *)

@@ -26,6 +26,7 @@ let outcome_abort = [ ("outcome", "abort") ]
 let kind_label = function
   | Machine.Conflict -> "conflict"
   | Machine.Lock_subscription -> "lock_subscription"
+  | Machine.Capacity -> "capacity"
   | Machine.Explicit -> "explicit"
 
 type phase = Prefix | Lock_wait | Suffix | Irrevocable | Backoff | Wasted
@@ -61,9 +62,20 @@ type tstate = {
   mutable cur_ab : int;  (* for attributing backoff between attempts *)
 }
 
-type t = { reg : Registry.t; threads : (int, tstate) Hashtbl.t }
+type t = {
+  reg : Registry.t;
+  threads : (int, tstate) Hashtbl.t;
+  pol : (string * string) list;
+      (* the policy label, appended to every series this collector writes *)
+}
 
-let create () = { reg = Registry.create (); threads = Hashtbl.create 16 }
+let create ?(policy = Stx_policy.default) () =
+  {
+    reg = Registry.create ();
+    threads = Hashtbl.create 16;
+    pol = [ ("policy", Stx_policy.label policy) ];
+  }
+
 let registry t = t.reg
 
 let tstate t tid =
@@ -75,7 +87,7 @@ let tstate t tid =
     st
 
 let add_phase t ~ab p c =
-  if c > 0 then Registry.inc t.reg ~by:c m_phase (phase_labels ~ab p)
+  if c > 0 then Registry.inc t.reg ~by:c m_phase (phase_labels ~ab p @ t.pol)
 
 (* close an open wait episode, returning its span *)
 let end_wait a ~time =
@@ -88,7 +100,9 @@ let end_wait a ~time =
     Some d
 
 let handler t ~time ev =
-  let reg = t.reg in
+  (* every series carries the collector's policy label *)
+  let inc ?by name labels = Registry.inc t.reg ?by name (labels @ t.pol) in
+  let observe name labels v = Registry.observe t.reg name (labels @ t.pol) v in
   match (ev : Machine.event) with
   | Machine.Tx_begin { tid; ab; attempt; probe = _ } ->
     let st = tstate t tid in
@@ -106,37 +120,37 @@ let handler t ~time ev =
     let st = tstate t tid in
     match st.cur with Some a -> a.at_wait_since <- Some time | None -> ())
   | Machine.Lock_acquired { tid; lock = _; line = _ } -> (
-    Registry.inc reg m_lock_acquires [];
+    inc m_lock_acquires [];
     let st = tstate t tid in
     match st.cur with
     | Some a ->
       (match end_wait a ~time with
-      | Some d -> Registry.observe reg m_lock_wait [ ("outcome", "acquired") ] d
+      | Some d -> observe m_lock_wait [ ("outcome", "acquired") ] d
       | None -> ());
       if a.at_first_acquire = None then a.at_first_acquire <- Some time
     | None -> ())
   | Machine.Lock_timeout { tid; lock = _ } -> (
-    Registry.inc reg m_lock_timeouts [];
+    inc m_lock_timeouts [];
     let st = tstate t tid in
     match st.cur with
     | Some a -> (
       match end_wait a ~time with
-      | Some d -> Registry.observe reg m_lock_wait [ ("outcome", "timeout") ] d
+      | Some d -> observe m_lock_wait [ ("outcome", "timeout") ] d
       | None -> ())
     | None -> ())
-  | Machine.Lock_attempt _ -> Registry.inc reg m_lock_attempts []
+  | Machine.Lock_attempt _ -> inc m_lock_attempts []
   | Machine.Lock_released _ -> ()
   | Machine.Tx_commit { tid; ab; cycles; irrevocable; rset; wset; probe = _ } ->
-    Registry.inc reg m_commits [];
-    Registry.observe reg m_latency outcome_commit cycles;
-    Registry.observe reg m_rset outcome_commit rset;
-    Registry.observe reg m_wset outcome_commit wset;
+    inc m_commits [];
+    observe m_latency outcome_commit cycles;
+    observe m_rset outcome_commit rset;
+    observe m_wset outcome_commit wset;
     let st = tstate t tid in
     (match st.cur with
     | Some a ->
-      Registry.observe reg m_retries [] a.at_attempt;
+      observe m_retries [] a.at_attempt;
       if irrevocable then begin
-        Registry.observe reg m_irrevocable [] cycles;
+        observe m_irrevocable [] cycles;
         add_phase t ~ab Irrevocable cycles
       end
       else begin
@@ -154,16 +168,16 @@ let handler t ~time ev =
     | None ->
       (* commit without a begin: degraded stream; count everything as
          prefix so the cycle identities still hold *)
-      Registry.observe reg m_retries [] 0;
+      observe m_retries [] 0;
       add_phase t ~ab (if irrevocable then Irrevocable else Prefix) cycles);
     st.cur <- None
   | Machine.Tx_abort
       { tid; ab; kind; cycles; rset; wset; conf_line = _; conf_pc = _;
         aggressor = _; probe = _ } ->
-    Registry.inc reg m_aborts [ ("kind", kind_label kind) ];
-    Registry.observe reg m_latency outcome_abort cycles;
-    Registry.observe reg m_rset outcome_abort rset;
-    Registry.observe reg m_wset outcome_abort wset;
+    inc m_aborts [ ("kind", kind_label kind) ];
+    observe m_latency outcome_abort cycles;
+    observe m_rset outcome_abort rset;
+    observe m_wset outcome_abort wset;
     add_phase t ~ab Wasted cycles;
     let st = tstate t tid in
     (match st.cur with
@@ -172,17 +186,17 @@ let handler t ~time ev =
          queued; the episode's tail (plus abort costs charged before
          emission) is already inside the wasted cycles *)
       match end_wait a ~time with
-      | Some d -> Registry.observe reg m_lock_wait [ ("outcome", "aborted") ] d
+      | Some d -> observe m_lock_wait [ ("outcome", "aborted") ] d
       | None -> ())
     | None -> ());
     st.cur <- None;
     st.cur_ab <- ab
   | Machine.Tx_irrevocable { tid; ab } ->
-    Registry.inc reg m_irrevocable_entries [];
+    inc m_irrevocable_entries [];
     (tstate t tid).cur_ab <- ab
   | Machine.Alp_executed { fired; _ } ->
-    Registry.inc reg m_alps_executed [];
-    if fired then Registry.inc reg m_alps_fired []
+    inc m_alps_executed [];
+    if fired then inc m_alps_fired []
   | Machine.Backoff_start { tid } -> (tstate t tid).backoff_since <- Some time
   | Machine.Backoff_end { tid } -> (
     let st = tstate t tid in
@@ -190,18 +204,34 @@ let handler t ~time ev =
     | Some t0 ->
       st.backoff_since <- None;
       let d = time - t0 in
-      Registry.observe reg m_backoff [] d;
+      observe m_backoff [] d;
       add_phase t ~ab:st.cur_ab Backoff d
     | None -> ())
 
-let of_trace tr =
-  let t = create () in
+let of_trace ?policy tr =
+  let t = create ?policy () in
   Stx_trace.Trace.iter tr (fun ~time ev -> handler t ~time ev);
   t.reg
 
 (* --- phase readout ---------------------------------------------------- *)
 
-let phase_cycles reg ~ab p = Registry.counter_value reg m_phase (phase_labels ~ab p)
+(* Readers match by label subset: a series written with the policy label
+   (or any future dimension) still satisfies a query that does not name
+   it, so profile/bench/check work unchanged across policy bundles — and
+   sum across bundles when a merged registry holds several. *)
+
+let label_subset sub super =
+  List.for_all (fun (k, v) -> List.assoc_opt k super = Some v) sub
+
+let counter_sum reg name labels =
+  Registry.fold
+    (fun n ls v acc ->
+      match v with
+      | Registry.Counter c when n = name && label_subset labels ls -> acc + c
+      | _ -> acc)
+    reg 0
+
+let phase_cycles reg ~ab p = counter_sum reg m_phase (phase_labels ~ab p)
 
 let abs_profiled reg =
   Registry.fold
@@ -220,9 +250,13 @@ let phase_total reg p =
 (* --- reconciliation against the inline counters ----------------------- *)
 
 let hist_stats reg name labels =
-  match Registry.histogram reg name labels with
-  | Some h -> (Hist.count h, Hist.sum h)
-  | None -> (0, 0)
+  Registry.fold
+    (fun n ls v ((count, sum) as acc) ->
+      match v with
+      | Registry.Histogram h when n = name && label_subset labels ls ->
+        (count + Hist.count h, sum + Hist.sum h)
+      | _ -> acc)
+    reg (0, 0)
 
 let check reg (stats : Stats.t) =
   let errs = ref [] in
@@ -230,13 +264,15 @@ let check reg (stats : Stats.t) =
   let eq what got want =
     if got <> want then note "%s: registry %d vs stats %d" what got want
   in
-  let counter name labels = Registry.counter_value reg name labels in
+  let counter name labels = counter_sum reg name labels in
   eq "commits" (counter m_commits []) stats.Stats.commits;
   eq "conflict aborts" (counter m_aborts [ ("kind", "conflict") ])
     stats.Stats.conflict_aborts;
   eq "lock-subscription aborts"
     (counter m_aborts [ ("kind", "lock_subscription") ])
     stats.Stats.lock_sub_aborts;
+  eq "capacity aborts" (counter m_aborts [ ("kind", "capacity") ])
+    stats.Stats.capacity_aborts;
   eq "explicit aborts" (counter m_aborts [ ("kind", "explicit") ])
     stats.Stats.explicit_aborts;
   eq "irrevocable entries" (counter m_irrevocable_entries [])

@@ -37,11 +37,19 @@ open Stx_sim
     Mirror counters for reconciliation: [stx_commits],
     [stx_aborts{kind=...}], [stx_irrevocable_entries],
     [stx_lock_acquires], [stx_lock_timeouts], [stx_alps_executed],
-    [stx_alps_fired]. *)
+    [stx_alps_fired].
+
+    Every series additionally carries [policy=<label>], the
+    {!Stx_policy.label} of the bundle the run executed under. The readers
+    below ({!phase_cycles}, {!phase_total}, {!check}) match series by
+    label {e subset}, so they read a single-policy registry transparently
+    and sum across bundles in a merged one. *)
 
 type t
 
-val create : unit -> t
+val create : ?policy:Stx_policy.t -> unit -> t
+(** [policy] (default {!Stx_policy.default}) is stamped as the [policy]
+    label on every series; pass the bundle the machine runs under. *)
 
 val handler : t -> time:int -> Machine.event -> unit
 (** Shaped like [Machine.run]'s [?on_event], same as [Trace.handler]. *)
@@ -49,8 +57,10 @@ val handler : t -> time:int -> Machine.event -> unit
 val registry : t -> Registry.t
 (** The registry being populated (live — callers must not mutate). *)
 
-val of_trace : Stx_trace.Trace.t -> Registry.t
-(** Replay a full capture through a fresh collector. *)
+val of_trace : ?policy:Stx_policy.t -> Stx_trace.Trace.t -> Registry.t
+(** Replay a full capture through a fresh collector. Pass the same
+    [policy] as the run that produced the trace for registries that
+    compare equal to the online collector's. *)
 
 val check : Registry.t -> Stats.t -> (unit, string list) result
 (** Reconcile a collected registry against the run's inline counters.

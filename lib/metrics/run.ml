@@ -2,9 +2,9 @@ open Stx_sim
 
 type t = { stats : Stats.t; metrics : Registry.t }
 
-let simulate ?seed ?policy ?lock_timeout ?locks ?max_waiters ?max_steps
-    ?on_event ~cfg ~mode spec =
-  let c = Collect.create () in
+let simulate ?seed ?policy ?htm_policy ?lock_timeout ?locks ?max_waiters
+    ?max_steps ?on_event ~cfg ~mode spec =
+  let c = Collect.create ?policy:htm_policy () in
   let hook =
     match on_event with
     | None -> Collect.handler c
@@ -14,8 +14,8 @@ let simulate ?seed ?policy ?lock_timeout ?locks ?max_waiters ?max_steps
         f ~time ev
   in
   let stats =
-    Machine.run ?seed ?policy ?lock_timeout ?locks ?max_waiters ?max_steps
-      ~on_event:hook ~cfg ~mode spec
+    Machine.run ?seed ?policy ?htm_policy ?lock_timeout ?locks ?max_waiters
+      ?max_steps ~on_event:hook ~cfg ~mode spec
   in
   { stats; metrics = Collect.registry c }
 

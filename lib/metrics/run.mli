@@ -9,6 +9,7 @@ type t = { stats : Stats.t; metrics : Registry.t }
 val simulate :
   ?seed:int ->
   ?policy:Stx_core.Policy.params ->
+  ?htm_policy:Stx_policy.t ->
   ?lock_timeout:int ->
   ?locks:int ->
   ?max_waiters:int ->

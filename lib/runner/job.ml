@@ -6,23 +6,32 @@ type t = {
   threads : int;
   seed : int;
   scale : float;
+  policy : Stx_policy.t;
 }
 
-let spec_version = 1
+(* v2 added the HTM policy bundle to the spec *)
+let spec_version = 2
 
-let make ~workload ~mode ~threads ~seed ~scale =
+let make ?(policy = Stx_policy.default) ~workload ~mode ~threads ~seed ~scale
+    () =
   if threads < 1 then invalid_arg "Job.make: threads < 1";
   if scale <= 0. then invalid_arg "Job.make: scale <= 0";
-  { workload; mode; threads; seed; scale }
+  { workload; mode; threads; seed; scale; policy }
 
 let label j =
-  Printf.sprintf "%s/%s/t%d" j.workload (Mode.to_string j.mode) j.threads
+  let base =
+    Printf.sprintf "%s/%s/t%d" j.workload (Mode.to_string j.mode) j.threads
+  in
+  if Stx_policy.equal j.policy Stx_policy.default then base
+  else base ^ "/" ^ Stx_policy.label j.policy
 
 (* %h is injective on floats (hex mantissa/exponent), so two jobs whose
    scales differ by any amount get different canonical strings *)
 let canonical j =
-  Printf.sprintf "staggered_tm-job-v%d|workload=%s|mode=%s|threads=%d|seed=%d|scale=%h"
+  Printf.sprintf
+    "staggered_tm-job-v%d|workload=%s|mode=%s|threads=%d|seed=%d|scale=%h|policy=%s"
     spec_version j.workload (Mode.to_string j.mode) j.threads j.seed j.scale
+    (Stx_policy.label j.policy)
 
 let digest j = Digest.to_hex (Digest.string (canonical j))
 

@@ -11,15 +11,25 @@ type t = private {
   threads : int;  (** simulated cores *)
   seed : int;
   scale : float;  (** workload size multiplier *)
+  policy : Stx_policy.t;  (** HTM policy bundle the machine runs under *)
 }
 
 val make :
-  workload:string -> mode:Mode.t -> threads:int -> seed:int -> scale:float -> t
-(** Raises [Invalid_argument] on [threads < 1] or [scale <= 0]. *)
+  ?policy:Stx_policy.t ->
+  workload:string ->
+  mode:Mode.t ->
+  threads:int ->
+  seed:int ->
+  scale:float ->
+  unit ->
+  t
+(** [policy] defaults to {!Stx_policy.default}. Raises
+    [Invalid_argument] on [threads < 1] or [scale <= 0]. *)
 
 val label : t -> string
 (** Short human-readable form, ["genome/Staggered/t16"] — used by
-    {!Progress}. *)
+    {!Progress}. Jobs under a non-default policy append its
+    {!Stx_policy.label} as a fourth segment. *)
 
 val canonical : t -> string
 (** The canonical spec string the digest is computed over. Includes

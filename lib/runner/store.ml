@@ -1,9 +1,10 @@
 open Stx_sim
 open Stx_metrics
 
-(* v3 appended the metrics-registry section (histogram payloads) to
-   every entry *)
-let format_version = 3
+(* v4 added the capacity-abort counter and the per-policy tally
+   section; v3 appended the metrics-registry section (histogram
+   payloads) to every entry *)
+let format_version = 4
 
 let magic = Printf.sprintf "staggered_tm-result v%d" format_version
 
@@ -63,6 +64,7 @@ let encode (r : Run.t) =
   line "conflict_aborts %d" s.Stats.conflict_aborts;
   line "lock_sub_aborts %d" s.Stats.lock_sub_aborts;
   line "explicit_aborts %d" s.Stats.explicit_aborts;
+  line "capacity_aborts %d" s.Stats.capacity_aborts;
   line "irrevocable_entries %d" s.Stats.irrevocable_entries;
   line "useful_cycles %d" s.Stats.useful_cycles;
   line "wasted_cycles %d" s.Stats.wasted_cycles;
@@ -98,6 +100,18 @@ let encode (r : Run.t) =
       line "%d %d %d %d %d" id a.Stats.ab_commits a.Stats.ab_aborts
         a.Stats.ab_locks a.Stats.ab_irrevocable)
     abs;
+  (* policy labels never contain spaces (the label charset is
+     [a-zA-Z0-9_.:+-]), so a space-separated record is unambiguous *)
+  let pols =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.Stats.per_policy []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+  in
+  line "per_policy %d" (List.length pols);
+  List.iter
+    (fun (lbl, (p : Stats.pol_stat)) ->
+      line "%s %d %d %d %d" lbl p.Stats.p_commits p.Stats.p_aborts
+        p.Stats.p_capacity p.Stats.p_irrevocable)
+    pols;
   let mlines = Registry.encode r.Run.metrics in
   line "metrics %d" (List.length mlines);
   List.iter (fun l -> line "%s" l) mlines;
@@ -139,6 +153,7 @@ let decode text =
     s.Stats.conflict_aborts <- scalar "conflict_aborts";
     s.Stats.lock_sub_aborts <- scalar "lock_sub_aborts";
     s.Stats.explicit_aborts <- scalar "explicit_aborts";
+    s.Stats.capacity_aborts <- scalar "capacity_aborts";
     s.Stats.irrevocable_entries <- scalar "irrevocable_entries";
     s.Stats.useful_cycles <- scalar "useful_cycles";
     s.Stats.wasted_cycles <- scalar "wasted_cycles";
@@ -178,6 +193,25 @@ let decode text =
         ab.Stats.ab_aborts <- a;
         ab.Stats.ab_locks <- l;
         ab.Stats.ab_irrevocable <- i
+      | _ -> raise Malformed
+    done;
+    let n = scalar "per_policy" in
+    for _ = 1 to n do
+      match String.split_on_char ' ' (next ()) with
+      | [ lbl; c; a; cap; i ] -> (
+        match
+          ( int_of_string_opt c,
+            int_of_string_opt a,
+            int_of_string_opt cap,
+            int_of_string_opt i )
+        with
+        | Some c, Some a, Some cap, Some i ->
+          let p = Stats.policy_tally s lbl in
+          p.Stats.p_commits <- c;
+          p.Stats.p_aborts <- a;
+          p.Stats.p_capacity <- cap;
+          p.Stats.p_irrevocable <- i
+        | _ -> raise Malformed)
       | _ -> raise Malformed
     done;
     let n = scalar "metrics" in

@@ -10,7 +10,8 @@ let run_job (j : Job.t) : Run.t =
     let instrument = Mode.uses_alps j.Job.mode in
     let spec = Workload.spec ~instrument ~scale:j.Job.scale w in
     let cfg = Config.with_cores j.Job.threads Config.default in
-    Run.simulate ~seed:j.Job.seed ~cfg ~mode:j.Job.mode spec
+    Run.simulate ~seed:j.Job.seed ~htm_policy:j.Job.policy ~cfg
+      ~mode:j.Job.mode spec
 
 type batch = {
   results : (Job.t * Run.t Pool.outcome) list;

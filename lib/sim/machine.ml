@@ -8,7 +8,7 @@ exception Sim_error of string
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
 
-type abort_kind = Conflict | Lock_subscription | Explicit
+type abort_kind = Conflict | Lock_subscription | Capacity | Explicit
 
 type event =
   | Tx_begin of { tid : int; ab : int; attempt : int; probe : bool }
@@ -83,6 +83,9 @@ type thread = {
   mutable wait : wait option;
   mutable tx : txstate option;
   rng : Stx_util.Rng.t;
+  backoff_rng : Stx_util.Rng.t;
+      (* dedicated stream for the Backoff fallback policy, so the backoff
+         schedule never perturbs the workload's own random choices *)
   contexts : Abcontext.t array;
   softcpc : Softcpc.t;
 }
@@ -91,6 +94,8 @@ type m = {
   cfg : Config.t;
   mode : Mode.t;
   policy : Policy.params;
+  htm_policy : Stx_policy.t;
+  retry_budget : int; (* hardware attempts before going irrevocable *)
   lock_timeout : int;
   max_waiters : int;
   compiled : Pipeline.t;
@@ -210,7 +215,9 @@ let begin_attempt m th =
     tx.tx_held_lock <- false;
     charge m th 5;
     if not tx.tx_irrevocable then begin
-      Htm.tx_begin m.htm ~core:th.tid;
+      (* a retry keeps its begin timestamp: under the Timestamp resolution
+         policy an aborted transaction ages into priority *)
+      Htm.tx_begin ~fresh:(tx.tx_attempt = 0) m.htm ~core:th.tid;
       let ctx = th.contexts.(tx.tx_ab) in
       Abcontext.on_tx_begin ctx;
       (* speculation probe: periodically run without the ALP to re-measure
@@ -352,7 +359,7 @@ let identify_anchor m th table reason =
       | _ -> ())
     | _ -> ());
     (Some (conf_addr, line), runtime_anchor)
-  | Htm.Lock_subscription | Htm.Explicit -> (None, None)
+  | Htm.Lock_subscription | Htm.Capacity | Htm.Explicit -> (None, None)
 
 let handle_abort m th =
   (match th.wait with
@@ -405,12 +412,16 @@ let handle_abort m th =
         | Policy.Training -> m.stats.Stats.training <- m.stats.Stats.training + 1))
     | Htm.Lock_subscription ->
       m.stats.Stats.lock_sub_aborts <- m.stats.Stats.lock_sub_aborts + 1
+    | Htm.Capacity ->
+      (* not a contention signal: no conflict tallies, no ALP activation *)
+      m.stats.Stats.capacity_aborts <- m.stats.Stats.capacity_aborts + 1
     | Htm.Explicit ->
       m.stats.Stats.explicit_aborts <- m.stats.Stats.explicit_aborts + 1);
     let kind, abort_conf_pc, aggressor =
       match reason with
       | Htm.Conflict { conf_pc; aggressor; _ } -> (Conflict, conf_pc, Some aggressor)
       | Htm.Lock_subscription -> (Lock_subscription, None, None)
+      | Htm.Capacity -> (Capacity, None, None)
       | Htm.Explicit -> (Explicit, None, None)
     in
     emit m th
@@ -431,15 +442,31 @@ let handle_abort m th =
     tx.tx_is_probe <- false;
     pop_to_base th tx;
     tx.tx_attempt <- tx.tx_attempt + 1;
-    if tx.tx_attempt >= m.cfg.Config.max_retries then begin
+    let give_up =
+      match reason with
+      (* a capacity overflow is a property of the footprint, not of the
+         interleaving: retrying cannot shrink it, so go irrevocable now *)
+      | Htm.Capacity -> true
+      | _ -> tx.tx_attempt >= m.retry_budget
+    in
+    if give_up then begin
       (* fall back to irrevocable execution under the global lock *)
       th.wait <- Some Global_spin
     end
     else begin
-      (* polite backoff: mean delay proportional to the retry count *)
-      let base = m.cfg.Config.backoff_base * tx.tx_attempt in
-      let jitter = Stx_util.Rng.int th.rng (max 1 base) in
-      let delay = (base / 2) + jitter in
+      let delay =
+        match m.htm_policy.Stx_policy.fallback with
+        | Stx_policy.Fallback.Polite _ ->
+          (* polite backoff: mean delay proportional to the retry count *)
+          let base = m.cfg.Config.backoff_base * tx.tx_attempt in
+          let jitter = Stx_util.Rng.int th.rng (max 1 base) in
+          (base / 2) + jitter
+        | Stx_policy.Fallback.Backoff { base; max_exp; _ } ->
+          (* exponential randomized backoff with a capped exponent, drawn
+             from the dedicated per-thread stream *)
+          let e = min tx.tx_attempt max_exp in
+          Stx_util.Rng.int th.backoff_rng (max 1 (base * (1 lsl e)))
+      in
       emit m th (Backoff_start { tid = th.tid });
       charge m th delay;
       m.stats.Stats.backoff_cycles <- m.stats.Stats.backoff_cycles + delay;
@@ -700,12 +727,13 @@ let step m th =
 (* ------------------------------------------------------------------ *)
 (* the run loop                                                        *)
 
-let run ?(seed = 1) ?(policy = Policy.default_params) ?(lock_timeout = 100_000)
-    ?(locks = 256) ?(max_waiters = 2) ?(max_steps = 400_000_000)
+let run ?(seed = 1) ?(policy = Policy.default_params)
+    ?(htm_policy = Stx_policy.default) ?(lock_timeout = 100_000) ?(locks = 256)
+    ?(max_waiters = 2) ?(max_steps = 400_000_000)
     ?(on_event = fun ~time:_ _ -> ()) ~cfg ~mode spec =
   let memory = Memory.create () in
   let allocator = Alloc.create ~words_per_line:cfg.Config.words_per_line memory in
-  let htm = Htm.create cfg memory allocator in
+  let htm = Htm.create ~policy:htm_policy cfg memory allocator in
   let locks = Advisory_lock.create ~count:locks htm allocator in
   let hier = Hierarchy.create cfg in
   let master = Stx_util.Rng.create seed in
@@ -716,6 +744,11 @@ let run ?(seed = 1) ?(policy = Policy.default_params) ?(lock_timeout = 100_000)
     invalid_arg "Machine.run: thread_args must cover every thread";
   let stats = Stats.create ~threads:nthreads in
   let n_abs = Array.length spec.compiled.Pipeline.prog.Ir.atomics in
+  let backoff_seed =
+    match htm_policy.Stx_policy.fallback with
+    | Stx_policy.Fallback.Backoff { seed = s; _ } -> s
+    | Stx_policy.Fallback.Polite _ -> 0
+  in
   let mk_thread tid =
     {
       tid;
@@ -725,6 +758,7 @@ let run ?(seed = 1) ?(policy = Policy.default_params) ?(lock_timeout = 100_000)
       wait = None;
       tx = None;
       rng = Stx_util.Rng.split master;
+      backoff_rng = Stx_util.Rng.create (backoff_seed + ((tid + 1) * 65599));
       contexts =
         Array.init n_abs (fun ab ->
             Abcontext.create ~ab (Pipeline.table_for spec.compiled ~ab));
@@ -737,6 +771,10 @@ let run ?(seed = 1) ?(policy = Policy.default_params) ?(lock_timeout = 100_000)
       cfg;
       mode;
       policy;
+      htm_policy;
+      retry_budget =
+        Stx_policy.Fallback.retry_budget htm_policy.Stx_policy.fallback
+          ~default:cfg.Config.max_retries;
       lock_timeout;
       max_waiters;
       compiled = spec.compiled;
@@ -787,4 +825,12 @@ let run ?(seed = 1) ?(policy = Policy.default_params) ?(lock_timeout = 100_000)
   Array.iter
     (fun th -> stats.Stats.thread_cycles <- stats.Stats.thread_cycles + th.time)
     threads;
+  (* file this run's totals under its own policy bundle so merged sweeps
+     across policies can be ranked per bundle *)
+  let pol = Stats.policy_tally stats (Stx_policy.label htm_policy) in
+  pol.Stats.p_commits <- pol.Stats.p_commits + stats.Stats.commits;
+  pol.Stats.p_aborts <- pol.Stats.p_aborts + stats.Stats.aborts;
+  pol.Stats.p_capacity <- pol.Stats.p_capacity + stats.Stats.capacity_aborts;
+  pol.Stats.p_irrevocable <-
+    pol.Stats.p_irrevocable + stats.Stats.irrevocable_entries;
   stats

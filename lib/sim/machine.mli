@@ -9,17 +9,22 @@ open Stx_core
     At every step the runnable thread with the smallest local clock (ties
     by id) executes one instruction and is charged its cycle cost — memory
     operations pay the hierarchy latency of {!Stx_machine.Hierarchy}.
-    Atomic calls follow the paper's runtime protocol: up to
-    [cfg.max_retries] hardware attempts with polite backoff, then
-    irrevocable execution under the global lock. ALPs consult the
-    thread's ABContext and acquire advisory locks (spinning with a
-    timeout); the Figure 6 policy runs in the abort handler. *)
+    Atomic calls follow the paper's runtime protocol: a bounded number of
+    hardware attempts separated by backoff, then irrevocable execution
+    under the global lock. The retry budget and backoff schedule come from
+    the {!Stx_policy.Fallback} policy of the [htm_policy] bundle (default:
+    [cfg.max_retries] attempts with polite backoff, the seed behaviour);
+    the bundle's resolution and capacity policies govern the HTM itself.
+    A [Capacity] abort goes irrevocable immediately — the footprint will
+    not shrink on retry. ALPs consult the thread's ABContext and acquire
+    advisory locks (spinning with a timeout); the Figure 6 policy runs in
+    the abort handler. *)
 
 exception Sim_error of string
 (** A program-level trap: null dereference, division by zero, runaway
     simulation, etc. *)
 
-type abort_kind = Conflict | Lock_subscription | Explicit
+type abort_kind = Conflict | Lock_subscription | Capacity | Explicit
 
 type event =
   | Tx_begin of { tid : int; ab : int; attempt : int; probe : bool }
@@ -71,6 +76,7 @@ type spec = {
 val run :
   ?seed:int ->
   ?policy:Policy.params ->
+  ?htm_policy:Stx_policy.t ->
   ?lock_timeout:int ->
   ?locks:int ->
   ?max_waiters:int ->
@@ -80,9 +86,12 @@ val run :
   mode:Mode.t ->
   spec ->
   Stats.t
-(** Deterministic for a given [(seed, cfg, mode, spec)]. [lock_timeout]
-    defaults to 100_000 cycles; [locks] to 256; [max_waiters] (default 2)
-    caps the spinners per advisory lock — an ALP finding a full queue
-    proceeds speculatively, keeping the mechanism a stagger rather than a
-    convoy; [max_steps] bounds the total instruction count as a runaway
-    backstop. *)
+(** Deterministic for a given [(seed, cfg, mode, htm_policy, spec)].
+    [policy] is the ALP activation policy (Figure 6); [htm_policy]
+    (default {!Stx_policy.default}, the paper's hardware point) bundles
+    conflict resolution, set capacity, and the fallback schedule.
+    [lock_timeout] defaults to 100_000 cycles; [locks] to 256;
+    [max_waiters] (default 2) caps the spinners per advisory lock — an
+    ALP finding a full queue proceeds speculatively, keeping the
+    mechanism a stagger rather than a convoy; [max_steps] bounds the
+    total instruction count as a runaway backstop. *)

@@ -5,6 +5,13 @@ type ab_stat = {
   mutable ab_irrevocable : int;
 }
 
+type pol_stat = {
+  mutable p_commits : int;
+  mutable p_aborts : int;
+  mutable p_capacity : int;
+  mutable p_irrevocable : int;
+}
+
 type t = {
   threads : int;
   mutable commits : int;
@@ -12,6 +19,7 @@ type t = {
   mutable conflict_aborts : int;
   mutable lock_sub_aborts : int;
   mutable explicit_aborts : int;
+  mutable capacity_aborts : int;
   mutable irrevocable_entries : int;
   mutable useful_cycles : int;
   mutable wasted_cycles : int;
@@ -36,6 +44,7 @@ type t = {
   conf_addr_freq : (int, int) Hashtbl.t;
   conf_pc_freq : (int, int) Hashtbl.t;
   per_ab : (int, ab_stat) Hashtbl.t;
+  per_policy : (string, pol_stat) Hashtbl.t;
 }
 
 let create ~threads =
@@ -46,6 +55,7 @@ let create ~threads =
     conflict_aborts = 0;
     lock_sub_aborts = 0;
     explicit_aborts = 0;
+    capacity_aborts = 0;
     irrevocable_entries = 0;
     useful_cycles = 0;
     wasted_cycles = 0;
@@ -70,6 +80,7 @@ let create ~threads =
     conf_addr_freq = Hashtbl.create 64;
     conf_pc_freq = Hashtbl.create 64;
     per_ab = Hashtbl.create 8;
+    per_policy = Hashtbl.create 4;
   }
 
 let aborts_per_commit t = Stx_util.Stat.ratio t.aborts t.commits
@@ -110,6 +121,14 @@ let ab t id =
     Hashtbl.add t.per_ab id a;
     a
 
+let policy_tally t label =
+  match Hashtbl.find_opt t.per_policy label with
+  | Some p -> p
+  | None ->
+    let p = { p_commits = 0; p_aborts = 0; p_capacity = 0; p_irrevocable = 0 } in
+    Hashtbl.add t.per_policy label p;
+    p
+
 let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
 let add_into tbl key n =
@@ -122,6 +141,7 @@ let merge a b =
   m.conflict_aborts <- a.conflict_aborts + b.conflict_aborts;
   m.lock_sub_aborts <- a.lock_sub_aborts + b.lock_sub_aborts;
   m.explicit_aborts <- a.explicit_aborts + b.explicit_aborts;
+  m.capacity_aborts <- a.capacity_aborts + b.capacity_aborts;
   m.irrevocable_entries <- a.irrevocable_entries + b.irrevocable_entries;
   m.useful_cycles <- a.useful_cycles + b.useful_cycles;
   m.wasted_cycles <- a.wasted_cycles + b.wasted_cycles;
@@ -163,6 +183,18 @@ let merge a b =
   in
   add_abs a.per_ab;
   add_abs b.per_ab;
+  let add_pols src =
+    Hashtbl.iter
+      (fun label (x : pol_stat) ->
+        let d = policy_tally m label in
+        d.p_commits <- d.p_commits + x.p_commits;
+        d.p_aborts <- d.p_aborts + x.p_aborts;
+        d.p_capacity <- d.p_capacity + x.p_capacity;
+        d.p_irrevocable <- d.p_irrevocable + x.p_irrevocable)
+      src
+  in
+  add_pols a.per_policy;
+  add_pols b.per_policy;
   m
 
 let note_conflict t ~conf_line ~conf_pc =

@@ -8,6 +8,16 @@ type ab_stat = {
   mutable ab_irrevocable : int;
 }
 
+type pol_stat = {
+  mutable p_commits : int;
+  mutable p_aborts : int;
+  mutable p_capacity : int;
+  mutable p_irrevocable : int;
+}
+(** Per-policy-bundle tally, keyed by {!Stx_policy.label} in
+    [per_policy]. A single run contributes one entry (its own bundle);
+    {!merge} unions them so a sweep across policies can be ranked. *)
+
 type t = {
   threads : int;
   mutable commits : int;
@@ -15,6 +25,9 @@ type t = {
   mutable conflict_aborts : int;
   mutable lock_sub_aborts : int;
   mutable explicit_aborts : int;
+  mutable capacity_aborts : int;
+      (** read/write-set budget exceeded (only under a [Bounded] capacity
+          policy; always 0 at the paper's hardware point) *)
   mutable irrevocable_entries : int;  (** txns forced into irrevocable mode *)
   mutable useful_cycles : int;  (** cycles of committed attempts *)
   mutable wasted_cycles : int;  (** cycles of aborted attempts *)
@@ -41,6 +54,8 @@ type t = {
   conf_addr_freq : (int, int) Hashtbl.t;  (** conflicting line -> aborts *)
   conf_pc_freq : (int, int) Hashtbl.t;  (** conflicting PC tag -> aborts *)
   per_ab : (int, ab_stat) Hashtbl.t;  (** per-atomic-block breakdown *)
+  per_policy : (string, pol_stat) Hashtbl.t;
+      (** per-policy-bundle breakdown, keyed by policy label *)
 }
 
 val create : threads:int -> t
@@ -65,6 +80,9 @@ val note_conflict : t -> conf_line:int -> conf_pc:int option -> unit
 
 val ab : t -> int -> ab_stat
 (** The (created-on-demand) per-atomic-block record. *)
+
+val policy_tally : t -> string -> pol_stat
+(** The (created-on-demand) per-policy record for a policy label. *)
 
 val merge : t -> t -> t
 (** Combine two runs' statistics into a fresh value (the runner's

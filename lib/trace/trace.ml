@@ -113,6 +113,7 @@ let check t (stats : Stats.t) =
     in
     let commits = ref 0 and aborts = ref 0 in
     let conflict_aborts = ref 0 and lock_sub_aborts = ref 0 and explicit_aborts = ref 0 in
+    let capacity_aborts = ref 0 in
     let irrevocable = ref 0 and acquires = ref 0 and timeouts = ref 0 in
     let alps = ref 0 and lock_attempts = ref 0 in
     let useful = ref 0 and wasted = ref 0 and backoff = ref 0 in
@@ -182,6 +183,7 @@ let check t (stats : Stats.t) =
             (match kind with
             | Machine.Conflict -> incr conflict_aborts
             | Machine.Lock_subscription -> incr lock_sub_aborts
+            | Machine.Capacity -> incr capacity_aborts
             | Machine.Explicit -> incr explicit_aborts);
             wasted := !wasted + cycles;
             (ab_tally ab).t_aborts <- (ab_tally ab).t_aborts + 1;
@@ -260,6 +262,7 @@ let check t (stats : Stats.t) =
     eq "aborts" !aborts stats.Stats.aborts;
     eq "conflict aborts" !conflict_aborts stats.Stats.conflict_aborts;
     eq "lock-subscription aborts" !lock_sub_aborts stats.Stats.lock_sub_aborts;
+    eq "capacity aborts" !capacity_aborts stats.Stats.capacity_aborts;
     eq "explicit aborts" !explicit_aborts stats.Stats.explicit_aborts;
     eq "irrevocable entries" !irrevocable stats.Stats.irrevocable_entries;
     eq "lock acquires" !acquires stats.Stats.lock_acquires;
@@ -460,6 +463,7 @@ let to_chrome_json t =
           match kind with
           | Machine.Conflict -> "conflict"
           | Machine.Lock_subscription -> "lock_subscription"
+          | Machine.Capacity -> "capacity"
           | Machine.Explicit -> "explicit"
         in
         instant ~name:"abort" ~ts:time ~tid
@@ -520,8 +524,9 @@ let write_chrome t ~file =
 
 let codec_magic = "stx-trace"
 
-(* v2 added read/write-set sizes to commit and abort lines *)
-let codec_version = 2
+(* v2 added read/write-set sizes to commit and abort lines; v3 added the
+   "capacity" abort kind (bounded-capacity policy overflow) *)
+let codec_version = 3
 
 let opt = function None -> "-" | Some v -> string_of_int v
 let flag b = if b then "1" else "0"
@@ -529,6 +534,7 @@ let flag b = if b then "1" else "0"
 let kind_tag = function
   | Machine.Conflict -> "conflict"
   | Machine.Lock_subscription -> "locksub"
+  | Machine.Capacity -> "capacity"
   | Machine.Explicit -> "explicit"
 
 let event_line time ev =
@@ -602,6 +608,7 @@ let parse_event line lineno =
     match s with
     | "conflict" -> Machine.Conflict
     | "locksub" -> Machine.Lock_subscription
+    | "capacity" -> Machine.Capacity
     | "explicit" -> Machine.Explicit
     | _ -> codec_fail "line %d: unknown abort kind %S" lineno s
   in

@@ -47,4 +47,4 @@ let percent part whole = 100. *. ratio part whole
 let ranked tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (k1, c1) (k2, c2) ->
-         if c1 <> c2 then compare (c2 : int) c1 else compare (k1 : int) k2)
+         if c1 <> c2 then compare (c2 : int) c1 else compare k1 k2)

@@ -36,8 +36,9 @@ val ratio : int -> int -> float
 val percent : int -> int -> float
 (** [percent part whole] in 0..100; 0 when [whole = 0]. *)
 
-val ranked : (int, int) Hashtbl.t -> (int * int) list
+val ranked : ('k, int) Hashtbl.t -> ('k * int) list
 (** A frequency table as a ranking: count descending, count ties broken
-    by key ascending. [Hashtbl.fold] order varies with the hash seed and
-    the OCaml version, so every report that prints a ranking must come
+    by key ascending (polymorphic compare — keys are ints or strings in
+    practice). [Hashtbl.fold] order varies with the hash seed and the
+    OCaml version, so every report that prints a ranking must come
     through here to stay byte-stable. *)

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "staggered_tm"
-    [ ("util", Test_util.suite); ("machine", Test_machine.suite); ("tir", Test_tir.suite); ("dsa", Test_dsa.suite); ("compiler", Test_compiler.suite); ("htm", Test_htm.suite); ("sim", Test_sim.suite); ("tstruct", Test_tstruct.suite); ("core", Test_core.suite); ("workloads", Test_workloads.suite); ("harness", Test_harness.suite); ("trace", Test_trace.suite); ("analysis", Test_analysis.suite); ("runner", Test_runner.suite); ("metrics", Test_metrics.suite); ("differential", Test_diff.suite); ("features", Test_features.suite) ]
+    [ ("util", Test_util.suite); ("machine", Test_machine.suite); ("tir", Test_tir.suite); ("dsa", Test_dsa.suite); ("compiler", Test_compiler.suite); ("htm", Test_htm.suite); ("sim", Test_sim.suite); ("tstruct", Test_tstruct.suite); ("core", Test_core.suite); ("workloads", Test_workloads.suite); ("harness", Test_harness.suite); ("trace", Test_trace.suite); ("analysis", Test_analysis.suite); ("runner", Test_runner.suite); ("metrics", Test_metrics.suite); ("differential", Test_diff.suite); ("features", Test_features.suite); ("policy", Test_policy.suite) ]

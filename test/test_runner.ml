@@ -5,9 +5,9 @@ open Stx_runner
    threads. Everything here is deterministic, which is the property the
    whole subsystem rests on. *)
 
-let job ?(workload = "ssca2") ?(mode = Mode.Baseline) ?(threads = 2) ?(seed = 3)
-    ?(scale = 0.05) () =
-  Job.make ~workload ~mode ~threads ~seed ~scale
+let job ?policy ?(workload = "ssca2") ?(mode = Mode.Baseline) ?(threads = 2)
+    ?(seed = 3) ?(scale = 0.05) () =
+  Job.make ?policy ~workload ~mode ~threads ~seed ~scale ()
 
 let small_batch () =
   [
@@ -193,7 +193,7 @@ let test_store_failures_not_cached () =
   (* an unknown workload makes run_job raise inside the pool *)
   let failing =
     Job.make ~workload:"no-such-benchmark" ~mode:Mode.Baseline ~threads:2
-      ~seed:1 ~scale:0.05
+      ~seed:1 ~scale:0.05 ()
   in
   let b = Sweep.run_batch ~store:st ~jobs:2 [ failing ] in
   (match b.Sweep.results with
