@@ -515,6 +515,121 @@ let policies_cmd =
           reconciliation failure)")
     Term.(const run $ ctx_term $ bench_arg $ quick_arg)
 
+let serve_cmd =
+  let module Serve = Stx_serve.Serve in
+  let module Arrival = Stx_serve.Arrival in
+  let module Keys = Stx_serve.Keys in
+  let rates_arg =
+    Arg.(
+      value
+      & opt string "2,6,10,14"
+      & info [ "rates" ]
+          ~doc:
+            "Comma-separated offered rates to sweep, requests per kilocycle \
+             (Poisson arrivals).")
+  in
+  let serve_bench_arg =
+    Arg.(
+      value
+      & opt string "memcached"
+      & info [ "bench" ] ~doc:"Served workload (see `stx_serve --list`).")
+  in
+  let keys_arg =
+    Arg.(
+      value
+      & opt string "zipf:0.9"
+      & info [ "keys" ] ~doc:"Key popularity: $(b,uniform) or $(b,zipf:THETA).")
+  in
+  let horizon_arg =
+    Arg.(
+      value
+      & opt int 50_000
+      & info [ "horizon" ] ~doc:"Cycles during which requests arrive.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~doc:"Sub-runs per cell.")
+  in
+  let serve_seed_arg =
+    Arg.(value & opt int 5 & info [ "seed" ] ~doc:"Serving seed.")
+  in
+  let run bench rates_s keys_s horizon shards threads seed jobs =
+    let die msg =
+      prerr_endline msg;
+      exit 1
+    in
+    let service =
+      match Stx_workloads.Registry.find_service bench with
+      | Some s -> s
+      | None -> die ("unknown service: " ^ bench ^ " (see stx_serve --list)")
+    in
+    let keys =
+      match Keys.of_string keys_s with
+      | Ok k -> k
+      | Error e -> die ("bad --keys " ^ keys_s ^ ": " ^ e)
+    in
+    let rates =
+      List.map
+        (fun r ->
+          match float_of_string_opt (String.trim r) with
+          | Some f when f > 0.0 -> f
+          | _ -> die ("bad rate: " ^ r))
+        (String.split_on_char ',' rates_s)
+    in
+    let modes =
+      [ Stx_core.Mode.Baseline; Stx_core.Mode.Addr_only;
+        Stx_core.Mode.Staggered_sw; Stx_core.Mode.Staggered_hw ]
+    in
+    let buf = Buffer.create 2048 in
+    let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    pf "open-loop %s: Poisson arrivals, %s keys, 70%% get, horizon %d cycles,\n"
+      bench keys_s horizon;
+    pf "%d threads x %d shards, seed %d; rates in requests/kilocycle,\n"
+      threads shards seed;
+    pf "latencies in cycles (sojourn: arrival to commit)\n\n";
+    pf "%-8s %-13s %-9s %-8s %-8s %-8s %-8s %s\n" "offered" "mode" "achieved"
+      "p50" "p95" "p99" "p99.9" "sat";
+    let failed = ref false in
+    List.iter
+      (fun rate ->
+        List.iter
+          (fun mode ->
+            let cfg =
+              Serve.config ~mode ~threads ~seed ~keys ~horizon ~shards
+                ~arrival:(Arrival.Poisson { rate }) service
+            in
+            let report = Serve.run ~jobs cfg in
+            if report.Serve.errors <> [] then begin
+              failed := true;
+              List.iter (fun e -> pf "  RECONCILIATION: %s\n" e)
+                report.Serve.errors
+            end;
+            let q p =
+              match Serve.sojourn report with
+              | Some h -> Stx_metrics.Hist.quantile h p
+              | None -> 0
+            in
+            pf "%-8.2f %-13s %-9.2f %-8d %-8d %-8d %-8d %s\n"
+              report.Serve.offered
+              (Stx_core.Mode.to_string mode)
+              report.Serve.achieved (q 0.50) (q 0.95) (q 0.99) (q 0.999)
+              (if report.Serve.saturated then "yes" else ""))
+          modes;
+        pf "\n")
+      rates;
+    section ("serve: " ^ bench) (Buffer.contents buf);
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Offered-load sweep of the open-loop serving harness: achieved \
+          throughput and sojourn-latency tail per runtime mode, showing \
+          where each mode saturates (non-zero exit on any reconciliation \
+          failure)")
+    Term.(
+      const run $ serve_bench_arg $ rates_arg $ keys_arg $ horizon_arg
+      $ shards_arg $ threads_arg $ serve_seed_arg $ jobs_arg)
+
 let all_cmd =
   let run c =
     Exp.prefetch ~progress:true c
@@ -566,6 +681,7 @@ let () =
       ablations_cmd;
       lint_cmd;
       policies_cmd;
+      serve_cmd;
       all_cmd;
     ]
   in

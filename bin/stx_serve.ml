@@ -1,0 +1,211 @@
+(* Drive a workload open-loop: synthesize a seeded request stream, run it
+   through the simulated machine's injector, and report SLO-style
+   latency — what the closed-loop runner cannot measure. *)
+
+open Cmdliner
+open Stx_core
+open Stx_workloads
+module Serve = Stx_serve.Serve
+module Arrival = Stx_serve.Arrival
+module Keys = Stx_serve.Keys
+
+let parse_policy resolution capacity fallback =
+  let axis flag parse v =
+    match parse v with
+    | Ok x -> x
+    | Error msg ->
+      Printf.eprintf "bad --%s %s: %s\n" flag v msg;
+      exit 1
+  in
+  Stx_policy.make
+    ~resolution:(axis "policy" Stx_policy.Resolution.of_string resolution)
+    ~capacity:(axis "capacity" Stx_policy.Capacity.of_string capacity)
+    ~fallback:(axis "fallback" Stx_policy.Fallback.of_string fallback)
+    ()
+
+let run list_services bench arrival_s keys_s pct_get key_range horizon threads
+    seed shards jobs mode_s metrics check policy_s capacity_s fallback_s =
+  if list_services then begin
+    List.iter
+      (fun s ->
+        let w = s.Workload.sv_bench in
+        Printf.printf "%-10s %-14s %s\n" w.Workload.name w.Workload.source
+          w.Workload.description)
+      Registry.services;
+    exit 0
+  end;
+  let die msg =
+    prerr_endline msg;
+    exit 1
+  in
+  let service =
+    match Registry.find_service bench with
+    | Some s -> s
+    | None ->
+      die
+        ("unknown service: " ^ bench ^ " (one of "
+        ^ String.concat ", " Registry.service_names
+        ^ ")")
+  in
+  let arrival =
+    match Arrival.of_string arrival_s with
+    | Ok a -> a
+    | Error e -> die ("bad --arrival " ^ arrival_s ^ ": " ^ e)
+  in
+  let keys =
+    match Keys.of_string keys_s with
+    | Ok k -> k
+    | Error e -> die ("bad --keys " ^ keys_s ^ ": " ^ e)
+  in
+  let mode =
+    match Mode.of_string mode_s with
+    | Some m -> m
+    | None -> die ("unknown mode: " ^ mode_s ^ " (HTM|AddrOnly|Staggered+SW|Staggered)")
+  in
+  let htm_policy = parse_policy policy_s capacity_s fallback_s in
+  let cfg =
+    Serve.config ~mode ~htm_policy ~threads ~seed ~keys ~pct_get ?key_range
+      ~horizon ~shards ~arrival service
+  in
+  let report = Serve.run ~jobs cfg in
+  print_string (Serve.render cfg report);
+  (match metrics with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc
+      (Stx_metrics.Registry.to_json_string report.Serve.registry);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "  metrics            %d series -> %s\n"
+      (Stx_metrics.Registry.cardinality report.Serve.registry)
+      file);
+  if report.Serve.errors <> [] then exit 1;
+  if check then Printf.printf "  check              ok\n%!"
+
+let () =
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List workloads with a serving face.")
+  in
+  let bench_arg =
+    Arg.(
+      value
+      & opt string "memcached"
+      & info [ "bench"; "b" ] ~doc:"Workload to serve (see --list).")
+  in
+  let arrival_arg =
+    Arg.(
+      value
+      & opt string "poisson:2"
+      & info [ "arrival"; "a" ] ~docv:"PROC"
+          ~doc:
+            "Arrival process: $(b,fixed:RATE), $(b,poisson:RATE), or \
+             $(b,bursty:RATE:ON:OFF). Rates are requests per kilocycle of \
+             simulated time; bursty windows are in cycles.")
+  in
+  let keys_arg =
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "keys"; "k" ] ~docv:"MODEL"
+          ~doc:"Key popularity: $(b,uniform) or $(b,zipf:THETA).")
+  in
+  let pct_get_arg =
+    Arg.(
+      value
+      & opt int 70
+      & info [ "pct-get" ] ~doc:"Read share of the request mix, 0..100.")
+  in
+  let key_range_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "key-range" ]
+          ~doc:"Key universe (default: the workload's own).")
+  in
+  let horizon_arg =
+    Arg.(
+      value
+      & opt int 100_000
+      & info [ "horizon" ] ~doc:"Cycles during which requests arrive.")
+  in
+  let threads_arg =
+    Arg.(value & opt int 16 & info [ "threads"; "t" ] ~doc:"Cores per shard.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed.") in
+  let shards_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "shards" ]
+          ~doc:
+            "Independent sub-runs, each at 1/shards of the offered rate. \
+             Part of the experiment's identity (changing it changes the \
+             result); parallelism comes from --jobs.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "jobs"; "j" ]
+          ~doc:"Domains running shards; never affects the result.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt string "Staggered"
+      & info [ "mode"; "m" ] ~doc:"HTM | AddrOnly | Staggered+SW | Staggered.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the merged metrics registry (simulator series plus the \
+             stx_req_* serving plane) to $(docv) as the versioned JSON \
+             snapshot.")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "check" ]
+          ~doc:
+            "Print a confirmation line when the always-on reconciliation \
+             (request lifecycle invariants and the metrics-vs-stats \
+             cross-check in every shard) passes. Divergences exit non-zero \
+             regardless.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt string "requester-wins"
+      & info [ "policy" ] ~doc:"Conflict-resolution policy (see stx_run).")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt string "unbounded"
+      & info [ "capacity" ] ~doc:"HTM capacity policy (see stx_run).")
+  in
+  let fallback_arg =
+    Arg.(
+      value
+      & opt string "polite"
+      & info [ "fallback" ] ~doc:"Fallback policy (see stx_run).")
+  in
+  let term =
+    Term.(
+      const run $ list_arg $ bench_arg $ arrival_arg $ keys_arg $ pct_get_arg
+      $ key_range_arg $ horizon_arg $ threads_arg $ seed_arg $ shards_arg
+      $ jobs_arg $ mode_arg $ metrics_arg $ check_arg $ policy_arg
+      $ capacity_arg $ fallback_arg)
+  in
+  let info =
+    Cmd.info "stx_serve" ~version:"1.0"
+      ~doc:
+        "Open-loop serving harness: request-driven load with SLO latency \
+         reporting"
+  in
+  exit (Cmd.eval (Cmd.v info term))

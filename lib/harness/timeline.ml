@@ -71,7 +71,7 @@ let render ?(width = 100) ?(from_time = 0) ?until_time t =
       state.(tid) <- `Backoff;
       None
     | Machine.Backoff_end _ | Machine.Alp_executed _ | Machine.Lock_attempt _
-    | Machine.Lock_released _ ->
+    | Machine.Lock_released _ | Machine.Req_dispatch _ | Machine.Req_done _ ->
       None
   in
   Trace.iter t (fun ~time ev ->
@@ -88,7 +88,9 @@ let render ?(width = 100) ?(from_time = 0) ?until_time t =
         | Machine.Lock_waiting { tid; _ }
         | Machine.Lock_timeout { tid; _ }
         | Machine.Backoff_start { tid }
-        | Machine.Backoff_end { tid } -> tid
+        | Machine.Backoff_end { tid }
+        | Machine.Req_dispatch { tid; _ }
+        | Machine.Req_done { tid; _ } -> tid
       in
       if tid >= 0 && tid < threads && time <= tmax then
         if time < from_time then

@@ -207,6 +207,11 @@ let handler t ~time ev =
       observe m_backoff [] d;
       add_phase t ~ab:st.cur_ab Backoff d
     | None -> ())
+  | Machine.Req_dispatch _ | Machine.Req_done _ ->
+    (* request lifecycle is the serving harness's plane (Stx_serve); the
+       transaction-level registry ignores it so serve and closed-loop
+       runs of one workload stay directly comparable *)
+    ()
 
 let of_trace ?policy tr =
   let t = create ?policy () in

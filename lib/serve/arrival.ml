@@ -1,0 +1,90 @@
+type t =
+  | Fixed of { rate : float }
+  | Poisson of { rate : float }
+  | Bursty of { rate : float; on : int; off : int }
+
+let rate = function
+  | Fixed { rate } | Poisson { rate } | Bursty { rate; _ } -> rate
+
+let check_rate r = if r <= 0.0 || not (Float.is_finite r) then Error "rate must be positive" else Ok r
+
+let scale t f =
+  match t with
+  | Fixed { rate } -> Fixed { rate = rate *. f }
+  | Poisson { rate } -> Poisson { rate = rate *. f }
+  | Bursty b -> Bursty { b with rate = b.rate *. f }
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let num v = match float_of_string_opt v with
+    | Some f -> check_rate f
+    | None -> Error ("not a number: " ^ v)
+  in
+  match String.split_on_char ':' s with
+  | [ "fixed"; r ] ->
+    let* rate = num r in
+    Ok (Fixed { rate })
+  | [ "poisson"; r ] ->
+    let* rate = num r in
+    Ok (Poisson { rate })
+  | [ "bursty"; r; on; off ] -> (
+    let* rate = num r in
+    match (int_of_string_opt on, int_of_string_opt off) with
+    | Some on, Some off when on > 0 && off >= 0 -> Ok (Bursty { rate; on; off })
+    | _ -> Error "bursty windows must be ON > 0 and OFF >= 0 cycles")
+  | _ -> Error "expected fixed:RATE, poisson:RATE, or bursty:RATE:ON:OFF"
+
+let to_string = function
+  | Fixed { rate } -> Printf.sprintf "fixed:%g" rate
+  | Poisson { rate } -> Printf.sprintf "poisson:%g" rate
+  | Bursty { rate; on; off } -> Printf.sprintf "bursty:%g:%d:%d" rate on off
+
+(* mean inter-arrival gap in cycles for a rate in requests/kilocycle *)
+let mean_gap rate = 1000.0 /. rate
+
+let exponential rng ~mean =
+  (* inversion; 1 - u keeps the argument of log away from 0 *)
+  let u = Stx_util.Rng.float rng 1.0 in
+  -.mean *. log (1.0 -. u)
+
+let generate ~rng ~horizon t =
+  if horizon <= 0 then invalid_arg "Arrival.generate: horizon must be positive";
+  let out = ref [] and n = ref 0 in
+  let push time =
+    out := time :: !out;
+    incr n
+  in
+  (match t with
+  | Fixed { rate } ->
+    let gap = mean_gap rate in
+    let i = ref 0 in
+    let next () = int_of_float (float_of_int !i *. gap) in
+    while next () < horizon do
+      push (next ());
+      incr i
+    done
+  | Poisson { rate } ->
+    let mean = mean_gap rate in
+    let acc = ref (exponential rng ~mean) in
+    while int_of_float !acc < horizon do
+      push (int_of_float !acc);
+      acc := !acc +. exponential rng ~mean
+    done
+  | Bursty { rate; on; off } ->
+    (* draw a Poisson process on the active-time axis at the boosted
+       in-burst rate, then map active time onto the wall clock by
+       inserting the silent windows *)
+    let boost = float_of_int (on + off) /. float_of_int on in
+    let mean = mean_gap (rate *. boost) in
+    let wall active =
+      let k = active / on in
+      (k * (on + off)) + (active - (k * on))
+    in
+    let acc = ref (exponential rng ~mean) in
+    while wall (int_of_float !acc) < horizon do
+      push (wall (int_of_float !acc));
+      acc := !acc +. exponential rng ~mean
+    done);
+  let a = Array.make !n 0 in
+  List.iteri (fun i v -> a.(!n - 1 - i) <- v) !out;
+  a

@@ -1,0 +1,32 @@
+(** Deterministic open-loop arrival processes.
+
+    Rates are denominated in requests per kilocycle of simulated time, so
+    they read naturally against the simulator's cycle clock (a rate of
+    [2.0] is one request every 500 cycles on average). Every process is a
+    pure function of its parameters, the horizon and the RNG stream, so a
+    seeded arrival schedule is exactly reproducible. *)
+
+type t =
+  | Fixed of { rate : float }  (** evenly spaced, no randomness *)
+  | Poisson of { rate : float }  (** exponential inter-arrival times *)
+  | Bursty of { rate : float; on : int; off : int }
+      (** Poisson arrivals gated to alternating windows of [on] active
+          cycles and [off] silent cycles, starting active at time 0. The
+          in-burst rate is raised by [(on + off) / on] so the long-run
+          average still matches [rate]. *)
+
+val rate : t -> float
+(** Long-run average rate, requests per kilocycle. *)
+
+val scale : t -> float -> t
+(** Multiply the rate, keeping the shape (burst windows unchanged) —
+    the sharding driver thins a process by [1/shards] with this. *)
+
+val of_string : string -> (t, string) result
+(** [fixed:RATE], [poisson:RATE], or [bursty:RATE:ON:OFF]. *)
+
+val to_string : t -> string
+
+val generate : rng:Stx_util.Rng.t -> horizon:int -> t -> int array
+(** Arrival timestamps in [0, horizon), non-decreasing. [Fixed] ignores
+    the RNG; the others consume it. *)

@@ -1,0 +1,48 @@
+type t = Uniform | Zipf of float
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "uniform" ] -> Ok Uniform
+  | [ "zipf"; th ] -> (
+    match float_of_string_opt th with
+    | Some theta when theta > 0.0 && Float.is_finite theta -> Ok (Zipf theta)
+    | Some _ -> Error "zipf theta must be positive"
+    | None -> Error ("not a number: " ^ th))
+  | _ -> Error "expected uniform or zipf:THETA"
+
+let to_string = function
+  | Uniform -> "uniform"
+  | Zipf theta -> Printf.sprintf "zipf:%g" theta
+
+type sampler =
+  | S_uniform of int
+  | S_zipf of float array  (** cumulative weights; key = index + 1 *)
+
+let create t ~range =
+  if range < 1 then invalid_arg "Keys.create: range must be positive";
+  match t with
+  | Uniform -> S_uniform range
+  | Zipf theta ->
+    if theta <= 0.0 || not (Float.is_finite theta) then
+      invalid_arg "Keys.create: zipf theta must be positive";
+    let cdf = Array.make range 0.0 in
+    let acc = ref 0.0 in
+    for r = 1 to range do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int r) theta);
+      cdf.(r - 1) <- !acc
+    done;
+    S_zipf cdf
+
+let sample s rng =
+  match s with
+  | S_uniform range -> 1 + Stx_util.Rng.int rng range
+  | S_zipf cdf ->
+    let total = cdf.(Array.length cdf - 1) in
+    let u = Stx_util.Rng.float rng total in
+    (* smallest index with cdf.(i) > u *)
+    let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo + 1

@@ -1,0 +1,24 @@
+(** Key-popularity models for synthesized requests.
+
+    Keys live in [1 .. range]. The Zipfian model gives rank [r] weight
+    [1 / r^theta] (rank 1 is the hottest key); sampling walks a
+    precomputed cumulative table by binary search, so a draw is O(log
+    range) and exactly reproducible from the RNG stream. *)
+
+type t =
+  | Uniform
+  | Zipf of float  (** skew exponent theta > 0 *)
+
+val of_string : string -> (t, string) result
+(** [uniform] or [zipf:THETA]. *)
+
+val to_string : t -> string
+
+type sampler
+
+val create : t -> range:int -> sampler
+(** Raises [Invalid_argument] if [range < 1] or a Zipf theta is not
+    positive and finite. *)
+
+val sample : sampler -> Stx_util.Rng.t -> int
+(** A key in [1 .. range]. *)

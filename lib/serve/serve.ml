@@ -1,0 +1,277 @@
+open Stx_core
+open Stx_machine
+open Stx_sim
+open Stx_workloads
+module Rng = Stx_util.Rng
+module Hist = Stx_metrics.Hist
+module Registry = Stx_metrics.Registry
+module Collect = Stx_metrics.Collect
+
+type config = {
+  service : Workload.service;
+  mode : Mode.t;
+  htm_policy : Stx_policy.t;
+  threads : int;
+  seed : int;
+  arrival : Arrival.t;
+  keys : Keys.t;
+  pct_get : int;
+  key_range : int option;
+  horizon : int;
+  shards : int;
+}
+
+let config ?(mode = Mode.Staggered_hw) ?(htm_policy = Stx_policy.default)
+    ?(threads = 16) ?(seed = 1) ?(keys = Keys.Uniform) ?(pct_get = 70)
+    ?key_range ?(horizon = 100_000) ?(shards = 2) ~arrival service =
+  if threads < 1 then invalid_arg "Serve.config: threads must be positive";
+  if shards < 1 then invalid_arg "Serve.config: shards must be positive";
+  if horizon < 1 then invalid_arg "Serve.config: horizon must be positive";
+  if pct_get < 0 || pct_get > 100 then
+    invalid_arg "Serve.config: pct_get must be in 0..100";
+  {
+    service;
+    mode;
+    htm_policy;
+    threads;
+    seed;
+    arrival;
+    keys;
+    pct_get;
+    key_range;
+    horizon;
+    shards;
+  }
+
+type report = {
+  requests : int;
+  makespan : int;
+  offered : float;
+  achieved : float;
+  saturated : bool;
+  stats : Stats.t;
+  registry : Registry.t;
+  errors : string list;
+}
+
+(* one synthesized request and its lifecycle timestamps *)
+type req = {
+  at : int;  (* enqueue: the arrival timestamp *)
+  write : bool;
+  key : int;
+  mutable dispatched : int;  (* first-dispatch time, -1 until then *)
+  mutable completed : int;  (* commit time of its transaction *)
+  mutable core : int;
+}
+
+(* number of elements of the sorted [ats] that are <= [now] *)
+let arrived_by ats now =
+  let lo = ref 0 and hi = ref (Array.length ats) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ats.(mid) <= now then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let run_shard cfg ~shard ~shard_seed =
+  (* independent streams per concern, so the arrival schedule, the
+     get/set mix and the key draws never perturb one another *)
+  let master = Rng.create shard_seed in
+  let arr_rng = Rng.split master in
+  let mix_rng = Rng.split master in
+  let key_rng = Rng.split master in
+  let sim_seed = Rng.next master in
+  let key_range =
+    Option.value cfg.key_range ~default:cfg.service.Workload.sv_key_range
+  in
+  let sampler = Keys.create cfg.keys ~range:key_range in
+  let arrival = Arrival.scale cfg.arrival (1.0 /. float_of_int cfg.shards) in
+  let ats = Arrival.generate ~rng:arr_rng ~horizon:cfg.horizon arrival in
+  let reqs =
+    Array.map
+      (fun at ->
+        {
+          at;
+          write = Rng.int mix_rng 100 >= cfg.pct_get;
+          key = Keys.sample sampler key_rng;
+          dispatched = -1;
+          completed = -1;
+          core = -1;
+        })
+      ats
+  in
+  let n = Array.length reqs in
+  let spec, synth =
+    Workload.service_spec ~instrument:(Mode.uses_alps cfg.mode) ~key_range
+      cfg.service
+  in
+  let sreg = Registry.create () in
+  let max_depth = ref 0 in
+  let next = ref 0 in
+  let injector ~tid ~now =
+    if !next >= n then Machine.Drained
+    else
+      let r = reqs.(!next) in
+      if r.at > now then Machine.Idle_until r.at
+      else begin
+        let req = !next in
+        let depth = arrived_by ats now - req in
+        if depth > !max_depth then max_depth := depth;
+        Registry.observe sreg "stx_req_queue_depth" [] depth;
+        let mk = Option.get !synth in
+        let { Workload.rq_ab; rq_args } = mk ~write:r.write ~key:r.key in
+        r.dispatched <- now;
+        r.core <- tid;
+        incr next;
+        Machine.Inject { req; ab = rq_ab; args = rq_args }
+      end
+  in
+  let collector = Collect.create ~policy:cfg.htm_policy () in
+  let dispatch_events = ref 0 and done_events = ref 0 in
+  let on_event ~time ev =
+    Collect.handler collector ~time ev;
+    match ev with
+    | Machine.Req_dispatch _ -> incr dispatch_events
+    | Machine.Req_done { req; _ } ->
+      reqs.(req).completed <- time;
+      incr done_events
+    | _ -> ()
+  in
+  let mcfg = Config.with_cores cfg.threads Config.default in
+  let stats =
+    Machine.run ~seed:sim_seed ~htm_policy:cfg.htm_policy ~cfg:mcfg
+      ~mode:cfg.mode ~on_event ~injector spec
+  in
+  (* fold the lifecycle into the serving-plane metrics *)
+  Array.iter
+    (fun r ->
+      if r.completed >= 0 then begin
+        Registry.observe sreg "stx_req_sojourn_cycles" [] (r.completed - r.at);
+        Registry.observe sreg "stx_req_wait_cycles" [] (r.dispatched - r.at);
+        Registry.observe sreg "stx_req_service_cycles" []
+          (r.completed - r.dispatched);
+        Registry.inc sreg
+          ~by:(r.completed - r.dispatched)
+          "stx_req_busy_cycles"
+          [ ("core", string_of_int r.core) ]
+      end)
+    reqs;
+  if n > 0 then Registry.inc sreg ~by:n "stx_req_offered" [];
+  let completed =
+    Array.fold_left (fun a r -> if r.completed >= 0 then a + 1 else a) 0 reqs
+  in
+  if completed > 0 then Registry.inc sreg ~by:completed "stx_req_completed" [];
+  Registry.set_gauge sreg "stx_req_queue_depth_max" [] !max_depth;
+  (* reconciliation: the serving plane's own invariants, then the event
+     stream against the simulator's counters *)
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  if !dispatch_events <> n then
+    err "shard %d: %d dispatch events for %d requests" shard !dispatch_events n;
+  if !done_events <> n then
+    err "shard %d: %d done events for %d requests" shard !done_events n;
+  Array.iteri
+    (fun i r ->
+      if r.completed < 0 then err "shard %d: request %d never completed" shard i
+      else if not (r.at <= r.dispatched && r.dispatched <= r.completed) then
+        err "shard %d: request %d timestamps out of order (%d/%d/%d)" shard i
+          r.at r.dispatched r.completed)
+    reqs;
+  (match Collect.check (Collect.registry collector) stats with
+  | Ok () -> ()
+  | Error es -> List.iter (fun e -> err "shard %d: %s" shard e) es);
+  let registry = Registry.merge (Collect.registry collector) sreg in
+  (stats, registry, n, List.rev !errors)
+
+let run ?jobs cfg =
+  let seeds =
+    let r = Rng.create cfg.seed in
+    Array.init cfg.shards (fun _ -> Rng.next r)
+  in
+  let thunks =
+    Array.init cfg.shards (fun i () ->
+        run_shard cfg ~shard:i ~shard_seed:seeds.(i))
+  in
+  let outcomes = Stx_runner.Pool.map ?jobs thunks in
+  let shards =
+    Array.mapi
+      (fun i -> function
+        | Stx_runner.Pool.Done r -> r
+        | Stx_runner.Pool.Failed msg ->
+          failwith (Printf.sprintf "serve shard %d failed: %s" i msg)
+        | Stx_runner.Pool.Timed_out s ->
+          failwith (Printf.sprintf "serve shard %d timed out after %.1fs" i s))
+      outcomes
+  in
+  let stats, registry, requests, errors =
+    Array.fold_left
+      (fun (sa, ra, na, ea) (s, r, n, e) ->
+        match sa with
+        | None -> (Some s, r, n, e)
+        | Some sa -> (Some (Stats.merge sa s), Registry.merge ra r, na + n, ea @ e))
+      (None, Registry.create (), 0, [])
+      shards
+  in
+  let stats = Option.get stats in
+  let makespan = stats.Stats.total_cycles in
+  let per_kcycle count cycles =
+    if cycles <= 0 then 0.0 else float_of_int count *. 1000.0 /. float_of_int cycles
+  in
+  let offered = per_kcycle requests cfg.horizon in
+  let achieved = per_kcycle requests makespan in
+  let saturated = requests > 0 && achieved < 0.9 *. offered in
+  { requests; makespan; offered; achieved; saturated; stats; registry; errors }
+
+let sojourn report = Registry.histogram report.registry "stx_req_sojourn_cycles" []
+
+let occupancy report =
+  if report.makespan <= 0 then 0.0
+  else
+    let busy =
+      Registry.fold
+        (fun name _ v acc ->
+          match v with
+          | Registry.Counter c when name = "stx_req_busy_cycles" -> acc + c
+          | _ -> acc)
+        report.registry 0
+    in
+    let denom = report.stats.Stats.threads * report.makespan in
+    float_of_int busy /. float_of_int (max 1 denom)
+
+let render cfg report =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "%s / %s / %d threads x %d shards / %s keys %s (%d%% get)\n"
+    cfg.service.Workload.sv_bench.Workload.name
+    (Mode.to_string cfg.mode) cfg.threads cfg.shards
+    (Arrival.to_string cfg.arrival) (Keys.to_string cfg.keys) cfg.pct_get;
+  pf "  requests           %d over %d cycles\n" report.requests cfg.horizon;
+  pf "  offered            %.3f req/kcycle\n" report.offered;
+  pf "  achieved           %.3f req/kcycle (makespan %d)%s\n" report.achieved
+    report.makespan
+    (if report.saturated then "  SATURATED" else "");
+  let line name key =
+    match Registry.histogram report.registry key [] with
+    | None -> ()
+    | Some h ->
+      pf "  %-18s p50 %-7d p95 %-7d p99 %-7d p99.9 %-7d max %d\n" name
+        (Hist.p50 h)
+        (Hist.quantile h 0.95)
+        (Hist.p99 h)
+        (Hist.quantile h 0.999)
+        (Hist.max_value h)
+  in
+  line "sojourn cycles" "stx_req_sojourn_cycles";
+  line "wait cycles" "stx_req_wait_cycles";
+  line "service cycles" "stx_req_service_cycles";
+  pf "  queue depth max    %d\n"
+    (Registry.gauge_value report.registry "stx_req_queue_depth_max" []);
+  pf "  core occupancy     %.1f%%\n" (100.0 *. occupancy report);
+  pf "  commits/aborts     %d/%d (irrevocable %d)\n" report.stats.Stats.commits
+    report.stats.Stats.aborts report.stats.Stats.irrevocable_entries;
+  (match report.errors with
+  | [] -> pf "  reconciliation     ok\n"
+  | es ->
+    pf "  reconciliation     FAILED:\n";
+    List.iter (fun e -> pf "    %s\n" e) es);
+  Buffer.contents b

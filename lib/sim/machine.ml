@@ -42,6 +42,13 @@ type event =
   | Lock_timeout of { tid : int; lock : int }
   | Backoff_start of { tid : int }
   | Backoff_end of { tid : int }
+  | Req_dispatch of { tid : int; req : int; ab : int }
+  | Req_done of { tid : int; req : int; ab : int }
+
+type injection =
+  | Inject of { req : int; ab : int; args : int array }
+  | Idle_until of int
+  | Drained
 
 type setup_env = { memory : Memory.t; alloc : Alloc.t; setup_rng : Stx_util.Rng.t }
 
@@ -86,6 +93,7 @@ type thread = {
   backoff_rng : Stx_util.Rng.t;
       (* dedicated stream for the Backoff fallback policy, so the backoff
          schedule never perturbs the workload's own random choices *)
+  mutable cur_req : int; (* request being served under an injector; -1 idle *)
   contexts : Abcontext.t array;
   softcpc : Softcpc.t;
 }
@@ -107,6 +115,7 @@ type m = {
   allocator : Alloc.t;
   stats : Stats.t;
   on_event : time:int -> event -> unit;
+  injector : (tid:int -> now:int -> injection) option;
   mutable steps : int;
   max_steps : int;
 }
@@ -323,7 +332,11 @@ let finish_tx m th (tx : txstate) ~rset ~wset retval =
          rset;
          wset;
          probe = tx.tx_is_probe;
-       })
+       });
+  if th.cur_req >= 0 then begin
+    emit m th (Req_done { tid = th.tid; req = th.cur_req; ab = tx.tx_ab });
+    th.cur_req <- -1
+  end
 
 (* identify the anchor the abort traces back to, per the configured
    conflicting-PC scheme, and score it against the full-PC oracle *)
@@ -569,7 +582,10 @@ let do_return m th retval =
       (match (frame.ret_dst, rest) with
       | Some d, parent :: _ -> parent.regs.(d) <- retval
       | _ -> ());
-      if rest = [] then th.finished <- true
+      (* under an injector the empty stack is the "ready for the next
+         request" state, handled by [step]; without one it is the end of
+         the thread's program *)
+      if rest = [] && m.injector = None then th.finished <- true
     end
 
 let exec_inst m th (inst : Ir.inst) =
@@ -714,15 +730,36 @@ let step m th =
         emit m th (Tx_irrevocable { tid = th.tid; ab = tx.tx_ab });
         begin_attempt m th
       end
-    | None ->
-      let f = frame_of th in
-      let insts = f.func.Ir.blocks.(f.bi).Ir.insts in
-      if f.ip < Array.length insts then begin
-        let inst = insts.(f.ip) in
-        f.ip <- f.ip + 1;
-        exec_inst m th inst
-      end
-      else exec_term m th
+    | None -> (
+      match th.stack with
+      | [] -> (
+        (* only reachable under an injector: the thread has no program of
+           its own and asks the request source for its next work item *)
+        match m.injector with
+        | None -> trap "thread %d stepped with no frame" th.tid
+        | Some inject -> (
+          match inject ~tid:th.tid ~now:th.time with
+          | Inject { req; ab; args } ->
+            if ab < 0 || ab >= Array.length m.compiled.Pipeline.prog.Ir.atomics
+            then trap "injected request %d names unknown atomic block %d" req ab;
+            th.cur_req <- req;
+            emit m th (Req_dispatch { tid = th.tid; req; ab });
+            charge m th 2;
+            start_atomic m th ~ab ~dst:None ~args
+          | Idle_until t ->
+            (* idle until the next arrival; always make progress so an
+               ill-behaved injector cannot stall the event loop *)
+            th.time <- max t (th.time + 1)
+          | Drained -> th.finished <- true))
+      | _ :: _ ->
+        let f = frame_of th in
+        let insts = f.func.Ir.blocks.(f.bi).Ir.insts in
+        if f.ip < Array.length insts then begin
+          let inst = insts.(f.ip) in
+          f.ip <- f.ip + 1;
+          exec_inst m th inst
+        end
+        else exec_term m th)
 
 (* ------------------------------------------------------------------ *)
 (* the run loop                                                        *)
@@ -730,7 +767,7 @@ let step m th =
 let run ?(seed = 1) ?(policy = Policy.default_params)
     ?(htm_policy = Stx_policy.default) ?(lock_timeout = 100_000) ?(locks = 256)
     ?(max_waiters = 2) ?(max_steps = 400_000_000)
-    ?(on_event = fun ~time:_ _ -> ()) ~cfg ~mode spec =
+    ?(on_event = fun ~time:_ _ -> ()) ?injector ~cfg ~mode spec =
   let memory = Memory.create () in
   let allocator = Alloc.create ~words_per_line:cfg.Config.words_per_line memory in
   let htm = Htm.create ~policy:htm_policy cfg memory allocator in
@@ -759,6 +796,7 @@ let run ?(seed = 1) ?(policy = Policy.default_params)
       tx = None;
       rng = Stx_util.Rng.split master;
       backoff_rng = Stx_util.Rng.create (backoff_seed + ((tid + 1) * 65599));
+      cur_req = -1;
       contexts =
         Array.init n_abs (fun ab ->
             Abcontext.create ~ab (Pipeline.table_for spec.compiled ~ab));
@@ -785,6 +823,7 @@ let run ?(seed = 1) ?(policy = Policy.default_params)
       threads;
       stats;
       on_event;
+      injector;
       steps = 0;
       max_steps;
       allocator;

@@ -62,6 +62,26 @@ type event =
   | Lock_timeout of { tid : int; lock : int }
   | Backoff_start of { tid : int }
   | Backoff_end of { tid : int }
+  | Req_dispatch of { tid : int; req : int; ab : int }
+      (** an injected request left the arrival queue and began service on
+          core [tid] (serving runs only; see {!injection}) *)
+  | Req_done of { tid : int; req : int; ab : int }
+      (** the request's transaction committed — emitted right after the
+          closing [Tx_commit], at the same timestamp *)
+
+(** What the request source tells an idle core (a core whose call stack
+    is empty) when polled. This is the open-loop serving hook: instead of
+    running a fixed per-thread program to completion, every core asks the
+    injector for its next unit of work, timestamped on the simulated
+    clock. *)
+type injection =
+  | Inject of { req : int; ab : int; args : int array }
+      (** run atomic block [ab] with [args] as request [req] now *)
+  | Idle_until of int
+      (** no request ready; sleep until this simulated time (a poll that
+          does not advance past [now] still moves the clock by one cycle,
+          so the event loop always progresses) *)
+  | Drained  (** no further requests will arrive: the core retires *)
 
 type setup_env = { memory : Memory.t; alloc : Alloc.t; setup_rng : Stx_util.Rng.t }
 
@@ -82,11 +102,19 @@ val run :
   ?max_waiters:int ->
   ?max_steps:int ->
   ?on_event:(time:int -> event -> unit) ->
+  ?injector:(tid:int -> now:int -> injection) ->
   cfg:Config.t ->
   mode:Mode.t ->
   spec ->
   Stats.t
 (** Deterministic for a given [(seed, cfg, mode, htm_policy, spec)].
+    [injector], when given, turns the run request-driven: each thread
+    still executes [thread_main] first (a serving spec makes that a
+    trivial return), and from then on an empty call stack polls the
+    injector for the next request instead of finishing the thread;
+    brackets of [Req_dispatch]/[Req_done] events report each request's
+    service interval. Without [injector] behaviour is bit-for-bit the
+    closed-loop machine.
     [policy] is the ALP activation policy (Figure 6); [htm_policy]
     (default {!Stx_policy.default}, the paper's hardware point) bundles
     conflict resolution, set capacity, and the fallback schedule.

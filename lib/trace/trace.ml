@@ -79,6 +79,7 @@ type tstate = {
   mutable open_attempt : attempt option;
   mutable waiting : int option; (* advisory lock index being spun on *)
   mutable backoff_since : int option;
+  mutable open_req : int option; (* injected request being served *)
 }
 
 type ab_tally = {
@@ -102,7 +103,13 @@ let check t (stats : Stats.t) =
     let n = t.n_threads in
     let states =
       Array.init n (fun _ ->
-          { last_time = 0; open_attempt = None; waiting = None; backoff_since = None })
+          {
+            last_time = 0;
+            open_attempt = None;
+            waiting = None;
+            backoff_since = None;
+            open_req = None;
+          })
     in
     let st tid =
       if tid < 0 || tid >= n then begin
@@ -140,7 +147,9 @@ let check t (stats : Stats.t) =
           | Machine.Lock_waiting { tid; _ }
           | Machine.Lock_timeout { tid; _ }
           | Machine.Backoff_start { tid }
-          | Machine.Backoff_end { tid } -> tid
+          | Machine.Backoff_end { tid }
+          | Machine.Req_dispatch { tid; _ }
+          | Machine.Req_done { tid; _ } -> tid
         in
         match st tid with
         | None -> ()
@@ -246,13 +255,37 @@ let check t (stats : Stats.t) =
             | None -> err "thread %d: backoff ended at %d without a start" tid time
             | Some t0 ->
               backoff := !backoff + (time - t0);
-              s.backoff_since <- None)));
+              s.backoff_since <- None)
+          | Machine.Req_dispatch { req; _ } ->
+            (match s.open_req with
+            | Some r ->
+              err "thread %d: request %d dispatched at %d while request %d is \
+                   in flight"
+                tid req time r
+            | None -> ());
+            if s.open_attempt <> None then
+              err "thread %d: request %d dispatched at %d inside an open attempt"
+                tid req time;
+            s.open_req <- Some req
+          | Machine.Req_done { req; _ } -> (
+            match s.open_req with
+            | Some r when r = req -> s.open_req <- None
+            | Some r ->
+              err "thread %d: request %d done at %d but request %d is in flight"
+                tid req time r;
+              s.open_req <- None
+            | None ->
+              err "thread %d: request %d done at %d without a dispatch" tid req
+                time)));
     Array.iteri
       (fun tid s ->
         if s.open_attempt <> None then
           err "thread %d: attempt still open at end of trace" tid;
         if s.backoff_since <> None then
-          err "thread %d: backoff still open at end of trace" tid)
+          err "thread %d: backoff still open at end of trace" tid;
+        match s.open_req with
+        | Some r -> err "thread %d: request %d still in flight at end of trace" tid r
+        | None -> ())
       states;
     (* reconcile the replayed counters against the inline ones *)
     let eq name trace stats =
@@ -421,6 +454,7 @@ let to_chrome_json t =
   let lock_open = Array.make n None (* (start, lock, line) *) in
   let wait_open = Array.make n None (* (start, lock) *) in
   let backoff_open = Array.make n None (* start *) in
+  let req_open = Array.make n None (* (start, req) *) in
   let close_wait ~time ~tid ~outcome =
     if tid >= 0 && tid < n then
       match wait_open.(tid) with
@@ -505,7 +539,17 @@ let to_chrome_json t =
           | Some t0 ->
             span ~name:"backoff" ~ts:t0 ~dur:(time - t0) ~tid ~args:(args []);
             backoff_open.(tid) <- None
-          | None -> ()));
+          | None -> ())
+      | Machine.Req_dispatch { tid; req; _ } ->
+        if tid >= 0 && tid < n then req_open.(tid) <- Some (time, req)
+      | Machine.Req_done { tid; req; ab } ->
+        if tid >= 0 && tid < n then (
+          match req_open.(tid) with
+          | Some (t0, r) when r = req ->
+            span ~name:"request" ~ts:t0 ~dur:(time - t0) ~tid
+              ~args:(args [ ("req", int req); ("ab", int ab) ]);
+            req_open.(tid) <- None
+          | _ -> ()));
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents b
 
@@ -525,8 +569,9 @@ let write_chrome t ~file =
 let codec_magic = "stx-trace"
 
 (* v2 added read/write-set sizes to commit and abort lines; v3 added the
-   "capacity" abort kind (bounded-capacity policy overflow) *)
-let codec_version = 3
+   "capacity" abort kind (bounded-capacity policy overflow); v4 added the
+   req-dispatch/req-done lines of request-driven serving runs *)
+let codec_version = 4
 
 let opt = function None -> "-" | Some v -> string_of_int v
 let flag b = if b then "1" else "0"
@@ -566,6 +611,10 @@ let event_line time ev =
     Printf.sprintf "%d lock-timeout %d %d" time tid lock
   | Machine.Backoff_start { tid } -> Printf.sprintf "%d backoff-start %d" time tid
   | Machine.Backoff_end { tid } -> Printf.sprintf "%d backoff-end %d" time tid
+  | Machine.Req_dispatch { tid; req; ab } ->
+    Printf.sprintf "%d req-dispatch %d %d %d" time tid req ab
+  | Machine.Req_done { tid; req; ab } ->
+    Printf.sprintf "%d req-done %d %d %d" time tid req ab
 
 let write_events ?(meta = []) t ~file =
   let oc = open_out_bin file in
@@ -671,6 +720,10 @@ let parse_event line lineno =
     (num time, Machine.Backoff_start { tid = num tid })
   | time :: "backoff-end" :: [ tid ] ->
     (num time, Machine.Backoff_end { tid = num tid })
+  | time :: "req-dispatch" :: [ tid; req; ab ] ->
+    (num time, Machine.Req_dispatch { tid = num tid; req = num req; ab = num ab })
+  | time :: "req-done" :: [ tid; req; ab ] ->
+    (num time, Machine.Req_done { tid = num tid; req = num req; ab = num ab })
   | _ -> codec_fail "line %d: unparseable event %S" lineno line
 
 let read_events ~file =

@@ -25,3 +25,17 @@ let table1_set =
 let find name = List.find_opt (fun w -> w.Workload.name = name) all
 
 let names = List.map (fun w -> w.Workload.name) all
+
+let services =
+  [
+    W_memcached.service;
+    W_vacation.service;
+    W_list.service_lo;
+    W_list.service_hi;
+  ]
+
+let find_service name =
+  List.find_opt (fun s -> s.Workload.sv_bench.Workload.name = name) services
+
+let service_names =
+  List.map (fun s -> s.Workload.sv_bench.Workload.name) services

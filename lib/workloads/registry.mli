@@ -7,3 +7,9 @@ val table1_set : Workload.t list
 
 val find : string -> Workload.t option
 val names : string list
+
+val services : Workload.service list
+(** The workloads with an open-loop serving face (see {!Stx_serve}). *)
+
+val find_service : string -> Workload.service option
+val service_names : string list

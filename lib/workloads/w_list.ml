@@ -36,7 +36,7 @@ let build_prog ~pct_lookup ~pct_insert () =
   ignore (Builder.finish b);
   p
 
-let args ~scale env ~threads =
+let setup_list ~key_range env =
   let mem = env.Stx_sim.Machine.memory and alloc = env.Stx_sim.Machine.alloc in
   let rng = env.Stx_sim.Machine.setup_rng in
   (* every other key, so inserts and deletes both find work *)
@@ -44,7 +44,10 @@ let args ~scale env ~threads =
     List.init nodes (fun _ -> 1 + Stx_util.Rng.int rng key_range)
     |> List.sort_uniq compare
   in
-  let head = Tlist.setup mem alloc ~keys in
+  Tlist.setup mem alloc ~keys
+
+let args ~scale env ~threads =
+  let head = setup_list ~key_range env in
   let per = Workload.split ~total:(Workload.scaled scale total_ops) ~threads in
   Array.make threads [| head; per |]
 
@@ -63,3 +66,27 @@ let make name ~pct_lookup ~pct_insert ~pct_delete ~contention =
 
 let list_lo = make "list-lo" ~pct_lookup:90 ~pct_insert:5 ~pct_delete:5 ~contention:"med"
 let list_hi = make "list-hi" ~pct_lookup:60 ~pct_insert:20 ~pct_delete:20 ~contention:"high"
+
+(* serving face: a read request is a lookup; a write request alternates
+   between insert and delete by key parity, so the list's size stays
+   roughly stable under sustained load. The lookup/update ratio comes
+   from the driver's mix, so both list flavours share one service. *)
+let service_of bench =
+  {
+    Workload.sv_bench = bench;
+    Workload.sv_key_range = key_range;
+    Workload.sv_setup =
+      (fun ~key_range ~abs env ~threads:_ ->
+        let head = setup_list ~key_range env in
+        let ab_l = abs "list_lookup" in
+        let ab_i = abs "list_insert" in
+        let ab_d = abs "list_delete" in
+        fun ~write ~key ->
+          let ab =
+            if not write then ab_l else if key land 1 = 0 then ab_i else ab_d
+          in
+          { Workload.rq_ab = ab; Workload.rq_args = [| head; key |] });
+  }
+
+let service_lo = service_of list_lo
+let service_hi = service_of list_hi

@@ -7,3 +7,9 @@ val list_lo : Workload.t
 val list_hi : Workload.t
 (** 60 % lookup / 20 % insert / 20 % delete — high contention; the paper's
     worst-scaling benchmark. *)
+
+val service_lo : Workload.service
+val service_hi : Workload.service
+(** Open-loop faces of {!list_lo} / {!list_hi}: read requests look up,
+    write requests insert or delete by key parity. The read/write ratio
+    comes from the driver's mix, so the two differ only in provenance. *)

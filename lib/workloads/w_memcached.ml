@@ -8,17 +8,26 @@ open Stx_tstruct
    then updates the global statistics block in the middle of the
    transaction — a handful of hot counters on one or two cache lines.
    Those stable mid-transaction addresses are the paper's showcase for
-   serializing just the statistics suffix while the hash lookups overlap. *)
+   serializing just the statistics suffix while the hash lookups overlap.
 
-let nbuckets = 64
-let key_range = 512
-let total_ops = 2048
-let pct_get = 70
+   The workload constants are parameters with the paper's values as
+   defaults, so the closed-loop benchmark and the open-loop serving
+   harness (Stx_serve) drive one definition. *)
+
+type params = {
+  nbuckets : int;  (** hash-table buckets *)
+  key_range : int;  (** keys are drawn from [1 .. key_range] *)
+  total_ops : int;  (** closed-loop op budget, split across threads *)
+  pct_get : int;  (** closed-loop get percentage (the rest are sets) *)
+}
+
+let default_params =
+  { nbuckets = 64; key_range = 512; total_ops = 2048; pct_get = 70 }
 
 (* stats block layout: cmd_get, cmd_set, get_hits, get_misses, bytes *)
 let stats_words = 5
 
-let build () =
+let build_with p_ () =
   let p = Ir.create_program () in
   Thash.register p;
   (* process_get(ht, stats, key) *)
@@ -59,9 +68,11 @@ let build () =
   let ab_set = Ir.add_atomic p ~name:"process_set" ~func:"process_set" in
   let b = Builder.create p "main" ~params:[ "ht"; "stats"; "ops" ] in
   Builder.for_ b ~from:(Ir.Imm 0) ~below:(Builder.param b "ops") (fun b _ ->
-      let key = Builder.bin b Ir.Add (Builder.rng b (Ir.Imm key_range)) (Ir.Imm 1) in
+      let key =
+        Builder.bin b Ir.Add (Builder.rng b (Ir.Imm p_.key_range)) (Ir.Imm 1)
+      in
       Builder.if_ b
-        (Builder.bin b Ir.Lt (Builder.rng b (Ir.Imm 100)) (Ir.Imm pct_get))
+        (Builder.bin b Ir.Lt (Builder.rng b (Ir.Imm 100)) (Ir.Imm p_.pct_get))
         (fun b ->
           Builder.atomic_call b ab_get
             [ Builder.param b "ht"; Builder.param b "stats"; key ])
@@ -72,22 +83,47 @@ let build () =
   ignore (Builder.finish b);
   p
 
-let args ~scale env ~threads =
+(* shared setup: hash table pre-filled from the seed stream, plus the
+   global statistics block — identical for closed-loop and serving runs *)
+let setup_shared p_ env =
   let mem = env.Stx_sim.Machine.memory and alloc = env.Stx_sim.Machine.alloc in
   let rng = env.Stx_sim.Machine.setup_rng in
-  let keys = List.init 256 (fun _ -> 1 + Stx_util.Rng.int rng key_range) in
-  let ht = Thash.setup mem alloc ~nbuckets ~keys in
+  let keys = List.init 256 (fun _ -> 1 + Stx_util.Rng.int rng p_.key_range) in
+  let ht = Thash.setup mem alloc ~nbuckets:p_.nbuckets ~keys in
   let stats = Alloc.alloc_shared alloc stats_words in
-  let per = Workload.split ~total:(Workload.scaled scale total_ops) ~threads in
+  (ht, stats)
+
+let args_with p_ ~scale env ~threads =
+  let ht, stats = setup_shared p_ env in
+  let per = Workload.split ~total:(Workload.scaled scale p_.total_ops) ~threads in
   Array.make threads [| ht; stats; per |]
 
-let bench =
+let bench_with p_ =
   {
     Workload.name = "memcached";
     Workload.source = "memcached-1.4.9";
     Workload.description = "get/set command processing with global statistics updates";
     Workload.contention = "high";
     Workload.contention_source = "statistics information";
-    Workload.build = build;
-    Workload.args;
+    Workload.build = build_with p_;
+    Workload.args = args_with p_;
   }
+
+let bench = bench_with default_params
+
+let service_with p_ =
+  {
+    Workload.sv_bench = bench_with p_;
+    Workload.sv_key_range = p_.key_range;
+    Workload.sv_setup =
+      (fun ~key_range ~abs env ~threads:_ ->
+        let ht, stats = setup_shared { p_ with key_range } env in
+        let ab_get = abs "process_get" and ab_set = abs "process_set" in
+        fun ~write ~key ->
+          {
+            Workload.rq_ab = (if write then ab_set else ab_get);
+            Workload.rq_args = [| ht; stats; key |];
+          });
+  }
+
+let service = service_with default_params

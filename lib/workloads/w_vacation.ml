@@ -54,12 +54,16 @@ let build () =
   ignore (Builder.finish b);
   p
 
-let args ~scale env ~threads =
+let setup_tables ~key_range env =
   let mem = env.Stx_sim.Machine.memory and alloc = env.Stx_sim.Machine.alloc in
-  let pairs = List.init relations (fun i -> (i + 1, 100)) in
+  let pairs = List.init key_range (fun i -> (i + 1, 100)) in
   let cars = Trbt.setup mem alloc ~pairs in
   let flights = Trbt.setup mem alloc ~pairs in
   let rooms = Trbt.setup mem alloc ~pairs in
+  (cars, flights, rooms)
+
+let args ~scale env ~threads =
+  let cars, flights, rooms = setup_tables ~key_range:relations env in
   let per = Workload.split ~total:(Workload.scaled scale total_txns) ~threads in
   Array.make threads [| cars; flights; rooms; per |]
 
@@ -74,6 +78,24 @@ let bench =
     Workload.contention_source = "red-black trees";
     Workload.build = build;
     Workload.args;
+  }
+
+(* serving face: one customer session per request; a write request is a
+   reserving session *)
+let service =
+  {
+    Workload.sv_bench = bench;
+    Workload.sv_key_range = relations;
+    Workload.sv_setup =
+      (fun ~key_range ~abs env ~threads:_ ->
+        let cars, flights, rooms = setup_tables ~key_range env in
+        let ab = abs "customer_session" in
+        fun ~write ~key ->
+          {
+            Workload.rq_ab = ab;
+            Workload.rq_args =
+              [| cars; flights; rooms; key; (if write then 1 else 0) |];
+          });
   }
 
 let _ = queries_per_txn

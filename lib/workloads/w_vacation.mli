@@ -2,3 +2,7 @@
     contention signature and the fidelity notes of this port. *)
 
 val bench : Workload.t
+
+val service : Workload.service
+(** Open-loop face: one customer session per request; write requests
+    reserve. *)

@@ -27,3 +27,58 @@ let spec ?(instrument = true) ?(anchor_mode = Stx_compiler.Anchors.Dsa_guided)
     Machine.thread_main = "main";
     Machine.thread_args = (fun env ~threads -> t.args ~scale env ~threads);
   }
+
+(* ------------------------------------------------------------------ *)
+(* request-driven serving                                              *)
+
+type request = { rq_ab : int; rq_args : int array }
+
+type service = {
+  sv_bench : t;
+  sv_key_range : int;
+  sv_setup :
+    key_range:int ->
+    abs:(string -> int) ->
+    Machine.setup_env ->
+    threads:int ->
+    (write:bool -> key:int -> request);
+}
+
+let service_entry = "stx_serve_idle"
+
+let service_spec ?(instrument = true)
+    ?(anchor_mode = Stx_compiler.Anchors.Dsa_guided) ?(pc_bits = 12) ?key_range
+    sv =
+  let key_range = Option.value key_range ~default:sv.sv_key_range in
+  if key_range < 1 then
+    invalid_arg "Workload.service_spec: key_range must be positive";
+  let prog = sv.sv_bench.build () in
+  (* the serving entry point: each core's own program is a no-op — all
+     real work arrives through the machine's request injector *)
+  let b = Builder.create prog service_entry ~params:[] in
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  Verify.program prog;
+  let compiled =
+    Stx_compiler.Pipeline.compile ~pc_bits ~mode:anchor_mode ~instrument prog
+  in
+  let abs name =
+    match
+      Array.find_opt (fun a -> a.Ir.ab_name = name) prog.Ir.atomics
+    with
+    | Some a -> a.Ir.ab_id
+    | None ->
+      invalid_arg ("Workload.service_spec: unknown atomic block " ^ name)
+  in
+  let synth = ref None in
+  let spec =
+    {
+      Machine.compiled;
+      Machine.thread_main = service_entry;
+      Machine.thread_args =
+        (fun env ~threads ->
+          synth := Some (sv.sv_setup ~key_range ~abs env ~threads);
+          Array.make threads [||]);
+    }
+  in
+  (spec, synth)

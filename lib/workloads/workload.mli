@@ -37,3 +37,44 @@ val scaled : float -> int -> int
 
 val split : total:int -> threads:int -> int
 (** Per-thread share of [total] units of work (at least 1). *)
+
+(** {2 Request-driven serving}
+
+    A service is the open-loop face of a workload: the same shared
+    structures and atomic blocks, but driven one request at a time by the
+    serving harness ({!Stx_serve}) through {!Machine.run}'s injector
+    instead of a fixed per-thread op budget. *)
+
+type request = { rq_ab : int; rq_args : int array }
+(** One synthesized request: invoke atomic block [rq_ab] with
+    [rq_args]. *)
+
+type service = {
+  sv_bench : t;  (** the underlying workload (program, provenance) *)
+  sv_key_range : int;  (** default key universe; keys are [1 .. range] *)
+  sv_setup :
+    key_range:int ->
+    abs:(string -> int) ->
+    Machine.setup_env ->
+    threads:int ->
+    (write:bool -> key:int -> request);
+      (** build the shared state and return the request synthesizer;
+          [abs] resolves an atomic block's name to its id *)
+}
+
+val service_entry : string
+(** Name of the no-op thread entry compiled into serving specs
+    (["stx_serve_idle"]). *)
+
+val service_spec :
+  ?instrument:bool ->
+  ?anchor_mode:Stx_compiler.Anchors.mode ->
+  ?pc_bits:int ->
+  ?key_range:int ->
+  service ->
+  Machine.spec * (write:bool -> key:int -> request) option ref
+(** Compile the service's program with a no-op serving entry appended and
+    package it for {!Machine.run}. The returned ref is filled with the
+    request synthesizer when the machine runs the spec's setup (i.e.
+    inside [Machine.run], before any injector poll); [key_range]
+    overrides the service's default key universe. *)
