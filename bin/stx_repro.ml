@@ -71,8 +71,9 @@ let policy_term =
       & opt string "polite"
       & info [ "fallback" ]
           ~doc:
-            "Fallback policy: $(b,polite[:N]) or \
-             $(b,backoff[:N[:BASE[:MAXEXP[:SEED]]]]).")
+            "Fallback policy: $(b,polite[:N]), \
+             $(b,backoff[:N[:BASE[:MAXEXP[:SEED]]]]), or \
+             $(b,htm-stm-lock[:N[:S]]) (alias $(b,stm)).")
   in
   let make p cap f =
     let axis flag parse v =
@@ -515,6 +516,110 @@ let policies_cmd =
           reconciliation failure)")
     Term.(const run $ ctx_term $ bench_arg $ quick_arg)
 
+(* stx_repro hybrid: lock-only vs htm-stm-lock fallback comparison    *)
+
+let hybrid_cmd =
+  let quick_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "quick" ]
+          ~doc:
+            "Small inputs (scale 0.05, 4 threads) — the CI smoke \
+             configuration.")
+  in
+  let run c quick =
+    let scale = if quick then 0.05 else Exp.scale c in
+    let threads = if quick then 4 else Exp.threads c in
+    let seed = Exp.seed c in
+    let base = Exp.policy c in
+    let hw_retries = 4 and stm_retries = 8 in
+    let lock_only =
+      { base with Stx_policy.fallback = Stx_policy.Fallback.Polite { retries = Some hw_retries } }
+    in
+    let hybrid =
+      { base with
+        Stx_policy.fallback =
+          Stx_policy.Fallback.Stm_tier { retries = Some hw_retries; stm_retries } }
+    in
+    let modes =
+      [ Stx_core.Mode.Baseline; Stx_core.Mode.Addr_only;
+        Stx_core.Mode.Staggered_sw; Stx_core.Mode.Staggered_hw ]
+    in
+    let failed = ref false in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "seed %d, scale %g, %d threads: %s vs %s\n" seed scale threads
+         (Stx_policy.Fallback.to_string lock_only.Stx_policy.fallback)
+         (Stx_policy.Fallback.to_string hybrid.Stx_policy.fallback));
+    Buffer.add_string buf
+      (Printf.sprintf "%-11s %-13s %9s %7s %12s %9s %7s %7s %12s %7s  %s\n"
+         "bench" "mode" "commits" "irrev" "cycles" "commits" "irrev" "stm"
+         "cycles" "d-irrev" "checks");
+    let cell w mode htm_policy =
+      let spec =
+        Stx_workloads.Workload.spec
+          ~instrument:(Stx_core.Mode.uses_alps mode) ~scale w
+      in
+      let cfg = Stx_machine.Config.with_cores threads Stx_machine.Config.default in
+      let tr = Stx_trace.Trace.create ~threads () in
+      let r =
+        Stx_metrics.Run.simulate ~seed ~htm_policy ~cfg ~mode
+          ~on_event:(Stx_trace.Trace.handler tr) spec
+      in
+      let s = r.Stx_metrics.Run.stats in
+      let errs =
+        (match Stx_trace.Trace.check tr s with
+        | Ok () -> []
+        | Error es -> List.map (fun e -> "trace: " ^ e) es)
+        @
+        match Stx_metrics.Collect.check r.Stx_metrics.Run.metrics s with
+        | Ok () -> []
+        | Error es -> List.map (fun e -> "metrics: " ^ e) es
+      in
+      (s, errs)
+    in
+    List.iter
+      (fun (w : Stx_workloads.Workload.t) ->
+        List.iter
+          (fun mode ->
+            let ls, lerrs = cell w mode lock_only in
+            let hs, herrs = cell w mode hybrid in
+            let errs = lerrs @ herrs in
+            if errs <> [] then failed := true;
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "%-11s %-13s %9d %7d %12d %9d %7d %7d %12d %7d  %s\n"
+                 w.Stx_workloads.Workload.name
+                 (Stx_core.Mode.to_string mode)
+                 ls.Stx_sim.Stats.commits ls.Stx_sim.Stats.irrevocable_entries
+                 ls.Stx_sim.Stats.total_cycles hs.Stx_sim.Stats.commits
+                 hs.Stx_sim.Stats.irrevocable_entries
+                 hs.Stx_sim.Stats.stm_commits hs.Stx_sim.Stats.total_cycles
+                 (hs.Stx_sim.Stats.irrevocable_entries
+                 - ls.Stx_sim.Stats.irrevocable_entries)
+                 (if errs = [] then "ok" else "FAILED"));
+            List.iter (fun e -> Buffer.add_string buf ("    " ^ e ^ "\n")) errs)
+          modes)
+      Stx_workloads.Registry.all;
+    Buffer.add_string buf
+      "left: lock-only fallback; right: htm-stm-lock. stm: software-tier \
+       commits. d-irrev: hybrid minus lock-only irrevocable entries\n\
+       (negative = the software tier absorbed work the global lock used to \
+       serialize).\n";
+    section "hybrid: lock-only vs htm-stm-lock" (Buffer.contents buf);
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "hybrid"
+       ~doc:
+         "Compare the lock-only fallback against the htm-stm-lock software \
+          tier on every benchmark and mode, cross-checking the trace and \
+          metrics pipelines in every cell (non-zero exit on any \
+          reconciliation failure)")
+    Term.(const run $ ctx_term $ quick_arg)
+
 let serve_cmd =
   let module Serve = Stx_serve.Serve in
   let module Arrival = Stx_serve.Arrival in
@@ -681,6 +786,7 @@ let () =
       ablations_cmd;
       lint_cmd;
       policies_cmd;
+      hybrid_cmd;
       serve_cmd;
       all_cmd;
     ]

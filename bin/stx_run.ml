@@ -14,6 +14,15 @@ let print_stats name mode threads (s : Stats.t) =
     s.Stats.aborts s.Stats.conflict_aborts s.Stats.lock_sub_aborts
     s.Stats.explicit_aborts s.Stats.capacity_aborts;
   Printf.printf "  aborts per commit  %.2f\n" (Stats.aborts_per_commit s);
+  if s.Stats.stm_commits + s.Stats.stm_aborts + s.Stats.stm_conflict_aborts > 0 then begin
+    Printf.printf
+      "  stm tier           %d commits, %d aborts (validation %d, hw-owned %d, \
+       lock-subscription %d)\n"
+      s.Stats.stm_commits s.Stats.stm_aborts s.Stats.stm_validation_aborts
+      s.Stats.stm_hw_owned_aborts s.Stats.stm_locksub_aborts;
+    Printf.printf "  stm interference   %d hw aborts by stm commits, %d validation cycles\n"
+      s.Stats.stm_conflict_aborts s.Stats.stm_validation_cycles
+  end;
   Printf.printf "  irrevocable        %d (%.1f%%)\n" s.Stats.irrevocable_entries
     (Stats.pct_irrevocable s);
   Printf.printf "  cycles (makespan)  %d\n" s.Stats.total_cycles;
@@ -328,9 +337,11 @@ let () =
       & info [ "fallback" ]
           ~doc:
             "Fallback policy: polite[:N] (linear polite delay, irrevocable \
-             after N attempts) or backoff[:N[:BASE[:MAXEXP[:SEED]]]] \
+             after N attempts), backoff[:N[:BASE[:MAXEXP[:SEED]]]] \
              (exponential randomized backoff from a dedicated PRNG \
-             stream).")
+             stream), or htm-stm-lock[:N[:S]] (alias stm) — N hardware \
+             attempts, then a TL2-style software tier for S attempts, \
+             then the global lock.")
   in
   let term =
     Term.(

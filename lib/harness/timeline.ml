@@ -32,6 +32,7 @@ let render ?(width = 100) ?(from_time = 0) ?until_time t =
     | `Idle -> '.'
     | `Tx -> '='
     | `Irrev -> 'I'
+    | `Stm -> 'S'
     | `Wait -> 'w'
     | `Backoff -> 'b'
   in
@@ -70,6 +71,15 @@ let render ?(width = 100) ?(from_time = 0) ?until_time t =
     | Machine.Backoff_start _ ->
       state.(tid) <- `Backoff;
       None
+    | Machine.Stm_begin _ ->
+      state.(tid) <- `Stm;
+      None
+    | Machine.Stm_commit _ ->
+      state.(tid) <- `Idle;
+      Some 'C'
+    | Machine.Stm_abort _ ->
+      state.(tid) <- `Backoff;
+      Some 'X'
     | Machine.Backoff_end _ | Machine.Alp_executed _ | Machine.Lock_attempt _
     | Machine.Lock_released _ | Machine.Req_dispatch _ | Machine.Req_done _ ->
       None
@@ -90,7 +100,10 @@ let render ?(width = 100) ?(from_time = 0) ?until_time t =
         | Machine.Backoff_start { tid }
         | Machine.Backoff_end { tid }
         | Machine.Req_dispatch { tid; _ }
-        | Machine.Req_done { tid; _ } -> tid
+        | Machine.Req_done { tid; _ }
+        | Machine.Stm_begin { tid; _ }
+        | Machine.Stm_commit { tid; _ }
+        | Machine.Stm_abort { tid; _ } -> tid
       in
       if tid >= 0 && tid < threads && time <= tmax then
         if time < from_time then
@@ -110,8 +123,8 @@ let render ?(width = 100) ?(from_time = 0) ?until_time t =
   let buf = Buffer.create ((width + 8) * threads) in
   Buffer.add_string buf
     (Printf.sprintf
-       "cycles %d..%d  (. idle  = in-tx  I irrevocable  w waiting  b backoff  X \
-        abort  C commit  L lock  T timeout)\n"
+       "cycles %d..%d  (. idle  = in-tx  I irrevocable  S stm  w waiting  b \
+        backoff  X abort  C commit  L lock  T timeout)\n"
        from_time tmax);
   Array.iteri
     (fun tid lane ->

@@ -10,6 +10,7 @@ type abort_reason =
   | Lock_subscription
   | Capacity
   | Explicit
+  | Stm_conflict of { conf_addr : int; aggressor : int }
 
 type status = Idle | Active | Doomed of abort_reason
 
@@ -34,6 +35,7 @@ type t = {
   lock_addr : int;
   mutable conflicts : int;
   mutable ts_counter : int;
+  mutable on_publish : (line:int -> unit) option;
 }
 
 let create ?(policy = Stx_policy.default) (cfg : Config.t) memory alloc =
@@ -61,7 +63,13 @@ let create ?(policy = Stx_policy.default) (cfg : Config.t) memory alloc =
     lock_addr;
     conflicts = 0;
     ts_counter = 0;
+    on_publish = None;
   }
+
+let set_on_publish t f = t.on_publish <- f
+
+let note_publish t line =
+  match t.on_publish with Some f -> f ~line | None -> ()
 
 let config t = t.cfg
 let policy t = t.policy
@@ -320,6 +328,10 @@ let tx_commit t ~core =
     if c.st <> Active then false
     else begin
       Hashtbl.iter (fun addr v -> Memory.store t.memory addr v) c.wbuf;
+      (* published lines are visible to the software tier too: bump their
+         STM version words so a software reader that raced this commit
+         fails validation instead of observing a torn snapshot *)
+      Hashtbl.iter (fun line () -> note_publish t line) c.write_set;
       discard_speculative t core;
       c.st <- Idle;
       true
@@ -356,6 +368,7 @@ let nt_store t ~core ~addr ~value =
   doom_mask t ~requester:core
     ~mask:(mask_find t.readers line lor mask_find t.writers line)
     ~conf_addr:addr;
+  note_publish t line;
   Memory.store t.memory addr value
 
 let nt_cas t ~core ~addr ~expected ~desired =
@@ -374,3 +387,33 @@ let acquire_global_lock t ~core =
 let release_global_lock t = Memory.store t.memory t.lock_addr 0
 
 let conflicts_caused t = t.conflicts
+
+(* --- software-tier interop -------------------------------------------- *)
+
+let readers_mask t ~line = mask_find t.readers line
+let writers_mask t ~line = mask_find t.writers line
+
+(* an STM commit wins against speculative hardware readers and writers for
+   the same reason a nontransactional store does: its published values are
+   already durable, so the hardware transactions it raced are doomed — with
+   a dedicated reason so the runtime can count cross-tier friction *)
+let stm_doom t ~aggressor ~victim ~conf_addr =
+  let c = t.cores.(victim) in
+  match c.st with
+  | Active ->
+    discard_speculative t victim;
+    c.st <- Doomed (Stm_conflict { conf_addr; aggressor });
+    t.conflicts <- t.conflicts + 1
+  | Idle | Doomed _ -> ()
+
+let stm_publish t ~core ~addr ~value =
+  let line = line_of t addr in
+  let mask =
+    (mask_find t.readers line lor mask_find t.writers line)
+    land lnot (1 lsl core)
+  in
+  if mask <> 0 then
+    for v = 0 to Array.length t.cores - 1 do
+      if mask land (1 lsl v) <> 0 then stm_doom t ~aggressor:core ~victim:v ~conf_addr:addr
+    done;
+  Memory.store t.memory addr value

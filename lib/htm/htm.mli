@@ -46,6 +46,10 @@ type abort_reason =
       (** the read/write-set budget of a [Bounded] capacity policy was
           exceeded *)
   | Explicit  (** the program executed an explicit abort *)
+  | Stm_conflict of { conf_addr : int; aggressor : int }
+      (** a concurrent software-tier commit ({!stm_publish}) published a
+          line in this transaction's footprint; [aggressor] is the
+          committing STM thread's core *)
 
 type status = Idle | Active | Doomed of abort_reason
 
@@ -126,3 +130,35 @@ val release_global_lock : t -> unit
 val conflicts_caused : t -> int
 (** Total conflict aborts inflicted (by any resolution outcome, including
     self-dooms), for diagnostics. *)
+
+(** {2 Software-tier interop}
+
+    The hybrid fallback runs a TL2-style software tier ([Stx_stm]) beside
+    the hardware. The two directions of the contract live here: a
+    committing software transaction publishes through {!stm_publish},
+    which dooms every speculative hardware reader or writer of the line
+    ([Stm_conflict] — durable values always win); and every hardware
+    publication (lazy commit or nontransactional store) announces its
+    lines through the {!set_on_publish} hook so the software tier can
+    advance its version clock and keep readers opaque. *)
+
+val readers_mask : t -> line:int -> int
+(** Bitmask of cores speculatively reading [line]. *)
+
+val writers_mask : t -> line:int -> int
+(** Bitmask of cores speculatively writing [line]. The software tier
+    refuses to commit a write to a hardware-owned line (it defers instead
+    of dooming the hardware optimistically). *)
+
+val stm_publish : t -> core:int -> addr:int -> value:int -> unit
+(** Publish one committed software-tier word: dooms every speculative
+    hardware reader/writer of the enclosing line with [Stm_conflict]
+    (excepting [core] itself), then stores to memory. Does {e not} fire
+    the {!set_on_publish} hook — the software tier stamps its own version
+    words. *)
+
+val set_on_publish : t -> (line:int -> unit) option -> unit
+(** Install (or clear) the publication hook. Called once per write-set
+    line when a hardware transaction commits, and once per
+    nontransactional store, before any event is observable to other
+    threads' loads. *)

@@ -19,6 +19,9 @@ let m_lock_acquires = "stx_lock_acquires"
 let m_lock_timeouts = "stx_lock_timeouts"
 let m_alps_executed = "stx_alps_executed"
 let m_alps_fired = "stx_alps_fired"
+let m_stm_commits = "stx_stm_commits"
+let m_stm_aborts = "stx_stm_aborts"
+let m_stm_vcycles = "stx_stm_validation_cycles"
 
 let outcome_commit = [ ("outcome", "commit") ]
 let outcome_abort = [ ("outcome", "abort") ]
@@ -28,16 +31,24 @@ let kind_label = function
   | Machine.Lock_subscription -> "lock_subscription"
   | Machine.Capacity -> "capacity"
   | Machine.Explicit -> "explicit"
+  | Machine.Stm_conflict -> "stm_conflict"
 
-type phase = Prefix | Lock_wait | Suffix | Irrevocable | Backoff | Wasted
+let stm_kind_label = function
+  | Machine.Stm_validation -> "stm_validation"
+  | Machine.Stm_hw_owned -> "stm_hw_owned"
+  | Machine.Stm_locksub -> "stm_lock_subscription"
+  | Machine.Stm_explicit -> "stm_explicit"
 
-let phases = [ Prefix; Lock_wait; Suffix; Irrevocable; Backoff; Wasted ]
+type phase = Prefix | Lock_wait | Suffix | Irrevocable | Stm | Backoff | Wasted
+
+let phases = [ Prefix; Lock_wait; Suffix; Irrevocable; Stm; Backoff; Wasted ]
 
 let phase_label = function
   | Prefix -> "prefix"
   | Lock_wait -> "lock_wait"
   | Suffix -> "suffix"
   | Irrevocable -> "irrevocable"
+  | Stm -> "stm"
   | Backoff -> "backoff"
   | Wasted -> "wasted"
 
@@ -212,6 +223,44 @@ let handler t ~time ev =
        transaction-level registry ignores it so serve and closed-loop
        runs of one workload stay directly comparable *)
     ()
+  | Machine.Stm_begin { tid; ab; attempt } ->
+    let st = tstate t tid in
+    st.cur <-
+      Some
+        {
+          at_ab = ab;
+          at_attempt = attempt;
+          at_first_acquire = None;
+          at_wait_since = None;
+          at_wait = 0;
+        };
+    st.cur_ab <- ab
+  | Machine.Stm_commit { tid; ab; cycles; vcycles; rset; wset } ->
+    inc m_commits [];
+    inc m_stm_commits [];
+    if vcycles > 0 then inc ~by:vcycles m_stm_vcycles [];
+    observe m_latency outcome_commit cycles;
+    observe m_rset outcome_commit rset;
+    observe m_wset outcome_commit wset;
+    let st = tstate t tid in
+    (match st.cur with
+    | Some a -> observe m_retries [] a.at_attempt
+    | None -> observe m_retries [] 0);
+    (* the whole software attempt is one phase: its validation traffic is
+       reported through m_stm_vcycles, not a phase split *)
+    add_phase t ~ab Stm cycles;
+    st.cur <- None
+  | Machine.Stm_abort { tid; ab; kind; cycles; vcycles; rset; wset } ->
+    inc m_aborts [ ("kind", stm_kind_label kind) ];
+    inc m_stm_aborts [ ("kind", stm_kind_label kind) ];
+    if vcycles > 0 then inc ~by:vcycles m_stm_vcycles [];
+    observe m_latency outcome_abort cycles;
+    observe m_rset outcome_abort rset;
+    observe m_wset outcome_abort wset;
+    add_phase t ~ab Wasted cycles;
+    let st = tstate t tid in
+    st.cur <- None;
+    st.cur_ab <- ab
 
 let of_trace ?policy tr =
   let t = create ?policy () in
@@ -280,6 +329,21 @@ let check reg (stats : Stats.t) =
     stats.Stats.capacity_aborts;
   eq "explicit aborts" (counter m_aborts [ ("kind", "explicit") ])
     stats.Stats.explicit_aborts;
+  eq "stm-conflict aborts" (counter m_aborts [ ("kind", "stm_conflict") ])
+    stats.Stats.stm_conflict_aborts;
+  eq "stm commits" (counter m_stm_commits []) stats.Stats.stm_commits;
+  eq "stm aborts" (counter m_stm_aborts []) stats.Stats.stm_aborts;
+  eq "stm validation aborts"
+    (counter m_stm_aborts [ ("kind", "stm_validation") ])
+    stats.Stats.stm_validation_aborts;
+  eq "stm hw-owned aborts"
+    (counter m_stm_aborts [ ("kind", "stm_hw_owned") ])
+    stats.Stats.stm_hw_owned_aborts;
+  eq "stm lock-subscription aborts"
+    (counter m_stm_aborts [ ("kind", "stm_lock_subscription") ])
+    stats.Stats.stm_locksub_aborts;
+  eq "stm validation cycles" (counter m_stm_vcycles [])
+    stats.Stats.stm_validation_cycles;
   eq "irrevocable entries" (counter m_irrevocable_entries [])
     stats.Stats.irrevocable_entries;
   eq "lock attempts" (counter m_lock_attempts []) stats.Stats.alps_lock_attempts;
@@ -313,7 +377,7 @@ let check reg (stats : Stats.t) =
   eq "irrevocable-duration count" ic irrevocable_commits;
   eq "phase useful identity"
     (phase_total reg Prefix + phase_total reg Lock_wait + phase_total reg Suffix
-   + phase_total reg Irrevocable)
+   + phase_total reg Irrevocable + phase_total reg Stm)
     stats.Stats.useful_cycles;
   eq "phase wasted identity" (phase_total reg Wasted) stats.Stats.wasted_cycles;
   eq "phase backoff identity" (phase_total reg Backoff) stats.Stats.backoff_cycles;

@@ -31,13 +31,23 @@ open Stx_sim
     - [lock_wait] — spinning on advisory locks inside committed attempts
     - [suffix] — serialized cycles from first acquire to commit
     - [irrevocable] — committed cycles under the global lock
+    - [stm] — committed software-tier attempts ([htm-stm-lock] fallback;
+      one undivided phase — their version-word traffic is reported by the
+      [stx_stm_validation_cycles] counter instead)
     - [backoff] — inter-attempt polite backoff
-    - [wasted] — cycles of aborted attempts
+    - [wasted] — cycles of aborted attempts (either tier)
 
     Mirror counters for reconciliation: [stx_commits],
     [stx_aborts{kind=...}], [stx_irrevocable_entries],
     [stx_lock_acquires], [stx_lock_timeouts], [stx_alps_executed],
-    [stx_alps_fired].
+    [stx_alps_fired]; and for the software tier [stx_stm_commits],
+    [stx_stm_aborts{kind=...}] (kinds [stm_validation], [stm_hw_owned],
+    [stm_lock_subscription], [stm_explicit] — the same labels the
+    hardware-side [stx_aborts] uses for its [stm_conflict] kind), and
+    [stx_stm_validation_cycles]. Software commits and aborts also feed
+    [stx_commits], [stx_tx_latency_cycles], the set-size histograms and
+    [stx_tx_retries], matching the [Stats] convention that the global
+    commit/abort counters include the software tier.
 
     Every series additionally carries [policy=<label>], the
     {!Stx_policy.label} of the bundle the run executed under. The readers
@@ -67,8 +77,10 @@ val check : Registry.t -> Stats.t -> (unit, string list) result
     Exact: commits, aborts by kind, irrevocable entries, lock
     acquires/timeouts, ALP executions and firings, commit-latency sum =
     [useful_cycles], abort-latency sum = [wasted_cycles], backoff sum =
-    [backoff_cycles], retries observations = commits, and the phase
-    identities [prefix + lock_wait + suffix + irrevocable =
+    [backoff_cycles], retries observations = commits, the software-tier
+    counters ([stx_stm_commits], [stx_stm_aborts] total and by kind,
+    [stx_stm_validation_cycles]) against their [Stats] fields, and the
+    phase identities [prefix + lock_wait + suffix + irrevocable + stm =
     useful_cycles], [wasted = wasted_cycles], [backoff =
     backoff_cycles]. Bounded: acquired+timed-out wait episodes sum to at
     most [lock_wait_cycles] (an episode cut short by an abort folds its
@@ -77,7 +89,7 @@ val check : Registry.t -> Stats.t -> (unit, string list) result
 
 (** {2 Phase profile readout} *)
 
-type phase = Prefix | Lock_wait | Suffix | Irrevocable | Backoff | Wasted
+type phase = Prefix | Lock_wait | Suffix | Irrevocable | Stm | Backoff | Wasted
 
 val phases : phase list
 (** In presentation order. *)

@@ -10,10 +10,18 @@ type t = {
   mutable min_v : int; (* max_int while empty *)
   mutable max_v : int;
   buckets : int array;
+  bmax : int array; (* largest value observed per bucket; 0 where empty *)
 }
 
 let create () =
-  { count = 0; sum = 0; min_v = max_int; max_v = 0; buckets = Array.make nbuckets 0 }
+  {
+    count = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = 0;
+    buckets = Array.make nbuckets 0;
+    bmax = Array.make nbuckets 0;
+  }
 
 let is_empty t = t.count = 0
 
@@ -31,7 +39,8 @@ let add t v =
   if v < t.min_v then t.min_v <- v;
   if v > t.max_v then t.max_v <- v;
   let k = bucket_index v in
-  t.buckets.(k) <- t.buckets.(k) + 1
+  t.buckets.(k) <- t.buckets.(k) + 1;
+  if v > t.bmax.(k) then t.bmax.(k) <- v
 
 let count t = t.count
 let sum t = t.sum
@@ -49,7 +58,10 @@ let quantile t q =
       incr k;
       cum := !cum + t.buckets.(!k)
     done;
-    max (min_value t) (min t.max_v (bucket_upper !k))
+    (* the rank bucket is occupied, so its per-bucket max is an actually
+       observed value — at most one bucket above the true order statistic,
+       never an invented boundary like bucket_upper *)
+    t.bmax.(!k)
   end
 
 let p50 t = quantile t 0.5
@@ -63,6 +75,7 @@ let merge a b =
   t.min_v <- min a.min_v b.min_v;
   t.max_v <- max a.max_v b.max_v;
   Array.iteri (fun i c -> t.buckets.(i) <- c + b.buckets.(i)) a.buckets;
+  Array.iteri (fun i m -> t.bmax.(i) <- max m b.bmax.(i)) a.bmax;
   t
 
 let buckets t =
@@ -72,19 +85,30 @@ let buckets t =
   done;
   !acc
 
-let restore ~count ~sum ~min_value ~max_value pairs =
+let buckets_full t =
+  let acc = ref [] in
+  for k = nbuckets - 1 downto 0 do
+    if t.buckets.(k) > 0 then acc := (k, t.buckets.(k), t.bmax.(k)) :: !acc
+  done;
+  !acc
+
+let restore ~count ~sum ~min_value ~max_value triples =
   let t = create () in
   let ok = ref (count >= 0 && sum >= 0 && max_value >= 0) in
   let total = ref 0 and last = ref (-1) in
   List.iter
-    (fun (k, c) ->
-      if k <= !last || k >= nbuckets || c <= 0 then ok := false
+    (fun (k, c, m) ->
+      if
+        k <= !last || k >= nbuckets || c <= 0 || m < bucket_lower k
+        || m > bucket_upper k
+      then ok := false
       else begin
         last := k;
         total := !total + c;
-        t.buckets.(k) <- c
+        t.buckets.(k) <- c;
+        t.bmax.(k) <- m
       end)
-    pairs;
+    triples;
   if (not !ok) || !total <> count then None
   else begin
     t.count <- count;
@@ -92,7 +116,8 @@ let restore ~count ~sum ~min_value ~max_value pairs =
     t.min_v <- (if count = 0 then max_int else min_value);
     t.max_v <- max_value;
     (* an empty histogram has canonical extrema; a populated one must
-       place its extrema in its outermost occupied buckets *)
+       place its extrema in its outermost occupied buckets, and the top
+       bucket's observed max must be the global max *)
     if count = 0 then
       if sum = 0 && min_value = 0 && max_value = 0 then Some t else None
     else
@@ -100,7 +125,9 @@ let restore ~count ~sum ~min_value ~max_value pairs =
       | (lo, _) :: _, (hi, _) :: _
         when bucket_index min_value = lo
              && bucket_index max_value = hi
-             && min_value <= max_value ->
+             && min_value <= max_value
+             && t.bmax.(hi) = max_value
+             && t.bmax.(lo) >= min_value ->
         Some t
       | _ -> None
   end
@@ -108,7 +135,7 @@ let restore ~count ~sum ~min_value ~max_value pairs =
 let equal a b =
   a.count = b.count && a.sum = b.sum
   && (a.count = 0 || (a.min_v = b.min_v && a.max_v = b.max_v))
-  && a.buckets = b.buckets
+  && a.buckets = b.buckets && a.bmax = b.bmax
 
 let pp ppf t =
   if t.count = 0 then Format.fprintf ppf "empty"

@@ -2,11 +2,12 @@
 
     Bucket 0 holds the value 0 exactly; bucket [k >= 1] holds the range
     [2^(k-1) .. 2^k - 1], so boundaries are powers of two and a value's
-    bucket is its bit width. Count, sum, min and max are tracked exactly;
-    quantiles are resolved to the upper bound of the covering bucket and
-    clamped into [min .. max], which makes them deterministic, monotone
-    in the requested rank, and never more than one bucket (a factor of
-    two) away from the true order statistic.
+    bucket is its bit width. Count, sum, min, max and a per-bucket max are
+    tracked exactly; quantiles resolve to the largest value actually
+    observed in the covering bucket, which makes them deterministic,
+    monotone in the requested rank, always an observed value, and never
+    more than one bucket (a factor of two) above the true nearest-rank
+    order statistic.
 
     {!merge} is associative and commutative and builds a fresh value, the
     same discipline as [Stats.merge], so sharded runs aggregate to the
@@ -35,8 +36,10 @@ val mean : t -> float
 (** Exact ([sum]/[count]); 0 on an empty histogram. *)
 
 val quantile : t -> float -> int
-(** [quantile t q] for [0 <= q <= 1] by nearest rank over the buckets;
-    0 on an empty histogram. Raises [Invalid_argument] outside [0,1]. *)
+(** [quantile t q] for [0 <= q <= 1] by nearest rank over the buckets,
+    reported as the largest observed value in the rank's bucket — always
+    a value that was actually added; 0 on an empty histogram. Raises
+    [Invalid_argument] outside [0,1]. *)
 
 val p50 : t -> int
 val p90 : t -> int
@@ -47,6 +50,10 @@ val merge : t -> t -> t
 
 val buckets : t -> (int * int) list
 (** Non-empty buckets as [(index, count)], index ascending. *)
+
+val buckets_full : t -> (int * int * int) list
+(** Non-empty buckets as [(index, count, observed_max)], index ascending;
+    the serialization shape. *)
 
 val bucket_index : int -> int
 (** The bucket a value falls into: 0 for 0, bit width otherwise. *)
@@ -62,12 +69,14 @@ val restore :
   sum:int ->
   min_value:int ->
   max_value:int ->
-  (int * int) list ->
+  (int * int * int) list ->
   t option
-(** Rebuild a histogram from its serialized parts (the store codec's
-    decode path). [None] when the parts are not internally consistent:
-    bucket counts must be positive, indices in range and strictly
-    ascending, and total to [count]. *)
+(** Rebuild a histogram from its serialized
+    [(index, count, observed_max)] parts (the store codec's decode path).
+    [None] when the parts are not internally consistent: bucket counts
+    must be positive, indices in range and strictly ascending, totalling
+    [count]; each observed max must lie inside its bucket and the
+    outermost ones must agree with the global extrema. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

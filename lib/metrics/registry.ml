@@ -204,8 +204,8 @@ let metric_json (name, labels) c =
           ( "buckets",
             Json.List
               (List.map
-                 (fun (k, c) -> Json.List [ Json.Int k; Json.Int c ])
-                 (Hist.buckets h)) );
+                 (fun (k, c, m) -> Json.List [ Json.Int k; Json.Int c; Json.Int m ])
+                 (Hist.buckets_full h)) );
         ])
 
 let to_json t =
@@ -265,11 +265,14 @@ let encode t =
       | C r -> Printf.sprintf "counter %s %s %d" name ls !r
       | G r -> Printf.sprintf "gauge %s %s %d" name ls !r
       | H h ->
-        let pairs = Hist.buckets h in
+        let triples = Hist.buckets_full h in
         Printf.sprintf "hist %s %s %d %d %d %d %d%s" name ls (Hist.count h)
-          (Hist.sum h) (Hist.min_value h) (Hist.max_value h) (List.length pairs)
+          (Hist.sum h) (Hist.min_value h) (Hist.max_value h)
+          (List.length triples)
           (String.concat ""
-             (List.map (fun (k, c) -> Printf.sprintf " %d %d" k c) pairs)))
+             (List.map
+                (fun (k, c, m) -> Printf.sprintf " %d %d %d" k c m)
+                triples)))
     (sorted t)
 
 let parse_labels s =
@@ -317,12 +320,13 @@ let decode lines =
             and mn = int_of mn
             and mx = int_of mx
             and npairs = int_of npairs in
-            let rec pairs acc = function
+            let rec triples acc = function
               | [] -> Some (List.rev acc)
-              | k :: c :: rest -> pairs ((int_of k, int_of c) :: acc) rest
+              | k :: c :: m :: rest ->
+                triples ((int_of k, int_of c, int_of m) :: acc) rest
               | _ -> None
             in
-            (match pairs [] rest with
+            (match triples [] rest with
             | Some ps when List.length ps = npairs && !ok -> (
               match
                 Hist.restore ~count ~sum ~min_value:mn ~max_value:mx ps

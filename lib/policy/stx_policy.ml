@@ -53,12 +53,22 @@ module Fallback = struct
   type t =
     | Polite of { retries : int option }
     | Backoff of { retries : int; base : int; max_exp : int; seed : int }
+    | Stm_tier of { retries : int option; stm_retries : int }
+
+  (* software attempts before the STM tier gives up and takes the lock *)
+  let stm_retries_default = 8
 
   let to_string = function
     | Polite { retries = None } -> "polite"
     | Polite { retries = Some n } -> Printf.sprintf "polite:%d" n
     | Backoff { retries; base; max_exp; seed } ->
       Printf.sprintf "backoff:%d:%d:%d:%d" retries base max_exp seed
+    | Stm_tier { retries = None; stm_retries }
+      when stm_retries = stm_retries_default -> "htm-stm-lock"
+    | Stm_tier { retries = None; stm_retries } ->
+      Printf.sprintf "stm:%d" stm_retries
+    | Stm_tier { retries = Some r; stm_retries } ->
+      Printf.sprintf "htm-stm-lock:%d:%d" r stm_retries
 
   (* defaults for a bare "backoff": a 10-attempt budget matching the seed
      machine config, a modest base delay, and a cap of 2^8 periods *)
@@ -90,10 +100,33 @@ module Fallback = struct
           (Printf.sprintf
              "bad backoff spec %S (expected backoff[:retries[:base[:max_exp[:seed]]]])"
              s))
+    | [ "stm" ] -> Ok (Stm_tier { retries = None; stm_retries = stm_retries_default })
+    | [ "stm"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> Ok (Stm_tier { retries = None; stm_retries = n })
+      | _ -> Error (Printf.sprintf "stm retry budget must be > 0 in %S" s))
+    | [ "htm-stm-lock" ] ->
+      Ok (Stm_tier { retries = None; stm_retries = stm_retries_default })
+    | [ "htm-stm-lock"; r ] -> (
+      match int_of_string_opt r with
+      | Some r when r >= 0 ->
+        Ok (Stm_tier { retries = Some r; stm_retries = stm_retries_default })
+      | _ ->
+        Error (Printf.sprintf "hardware retry budget must be >= 0 in %S" s))
+    | [ "htm-stm-lock"; r; n ] -> (
+      match (int_of_string_opt r, int_of_string_opt n) with
+      | Some r, Some n when r >= 0 && n > 0 ->
+        Ok (Stm_tier { retries = Some r; stm_retries = n })
+      | _ ->
+        Error
+          (Printf.sprintf
+             "bad htm-stm-lock spec %S (hardware retries >= 0, stm retries > 0)"
+             s))
     | _ ->
       Error
         (Printf.sprintf
-           "unknown fallback policy %S (expected polite[:N] or backoff[:...])"
+           "unknown fallback policy %S (expected polite[:N], backoff[:...], \
+            htm-stm-lock[:R[:S]], or stm[:N])"
            s)
 
   let retry_budget t ~default =
@@ -101,6 +134,8 @@ module Fallback = struct
     | Polite { retries = None } -> default
     | Polite { retries = Some n } -> n
     | Backoff { retries; _ } -> retries
+    | Stm_tier { retries = None; _ } -> default
+    | Stm_tier { retries = Some n; _ } -> n
 end
 
 type t = {

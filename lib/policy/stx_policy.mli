@@ -66,9 +66,23 @@ module Fallback : sig
             PRNG stream derived from [seed] and the thread id — so
             changing the backoff policy never perturbs the workload's own
             random choices. *)
+    | Stm_tier of { retries : int option; stm_retries : int }
+        (** The hybrid three-tier fallback (htm → stm → lock): after
+            [retries] failed hardware attempts (default: the machine
+            config's [max_retries]) — or immediately on a [Capacity]
+            abort — the transaction re-executes in the TL2-style software
+            tier ({!Stx_stm}) instead of going irrevocable. Only after
+            [stm_retries] failed software attempts does it acquire the
+            global lock, which now backstops STM validation livelock
+            rather than every hardware failure. Parses from
+            ["htm-stm-lock[:R[:S]]"] or ["stm[:N]"]. *)
 
   val to_string : t -> string
   val of_string : string -> (t, string) result
+
+  val stm_retries_default : int
+  (** Software attempts a bare ["htm-stm-lock"]/["stm"] allows before the
+      transaction gives up on the STM tier and goes irrevocable. *)
 
   val retry_budget : t -> default:int -> int
   (** Number of hardware attempts before going irrevocable. *)

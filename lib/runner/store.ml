@@ -1,10 +1,11 @@
 open Stx_sim
 open Stx_metrics
 
-(* v4 added the capacity-abort counter and the per-policy tally
-   section; v3 appended the metrics-registry section (histogram
-   payloads) to every entry *)
-let format_version = 4
+(* v5 widened histogram bucket payloads to (index, count, observed max)
+   triples and added the stm counter section; v4 added the
+   capacity-abort counter and the per-policy tally section; v3 appended
+   the metrics-registry section to every entry *)
+let format_version = 5
 
 let magic = Printf.sprintf "staggered_tm-result v%d" format_version
 
@@ -65,6 +66,13 @@ let encode (r : Run.t) =
   line "lock_sub_aborts %d" s.Stats.lock_sub_aborts;
   line "explicit_aborts %d" s.Stats.explicit_aborts;
   line "capacity_aborts %d" s.Stats.capacity_aborts;
+  line "stm_conflict_aborts %d" s.Stats.stm_conflict_aborts;
+  line "stm_commits %d" s.Stats.stm_commits;
+  line "stm_aborts %d" s.Stats.stm_aborts;
+  line "stm_validation_aborts %d" s.Stats.stm_validation_aborts;
+  line "stm_hw_owned_aborts %d" s.Stats.stm_hw_owned_aborts;
+  line "stm_locksub_aborts %d" s.Stats.stm_locksub_aborts;
+  line "stm_validation_cycles %d" s.Stats.stm_validation_cycles;
   line "irrevocable_entries %d" s.Stats.irrevocable_entries;
   line "useful_cycles %d" s.Stats.useful_cycles;
   line "wasted_cycles %d" s.Stats.wasted_cycles;
@@ -154,6 +162,13 @@ let decode text =
     s.Stats.lock_sub_aborts <- scalar "lock_sub_aborts";
     s.Stats.explicit_aborts <- scalar "explicit_aborts";
     s.Stats.capacity_aborts <- scalar "capacity_aborts";
+    s.Stats.stm_conflict_aborts <- scalar "stm_conflict_aborts";
+    s.Stats.stm_commits <- scalar "stm_commits";
+    s.Stats.stm_aborts <- scalar "stm_aborts";
+    s.Stats.stm_validation_aborts <- scalar "stm_validation_aborts";
+    s.Stats.stm_hw_owned_aborts <- scalar "stm_hw_owned_aborts";
+    s.Stats.stm_locksub_aborts <- scalar "stm_locksub_aborts";
+    s.Stats.stm_validation_cycles <- scalar "stm_validation_cycles";
     s.Stats.irrevocable_entries <- scalar "irrevocable_entries";
     s.Stats.useful_cycles <- scalar "useful_cycles";
     s.Stats.wasted_cycles <- scalar "wasted_cycles";

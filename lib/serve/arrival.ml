@@ -6,7 +6,24 @@ type t =
 let rate = function
   | Fixed { rate } | Poisson { rate } | Bursty { rate; _ } -> rate
 
-let check_rate r = if r <= 0.0 || not (Float.is_finite r) then Error "rate must be positive" else Ok r
+(* The integer cycle grid can only hold so many arrivals per cycle: the
+   generator caps co-timestamped arrivals at [max_per_cycle] and spills
+   the overflow to the next cycle, so a rate above 1000 * max_per_cycle
+   requests/kilocycle is unsatisfiable and rejected at parse time. This
+   also bounds the generation loop: before the cap, a huge Fixed rate
+   truncated the gap to (near) zero and [next ()] never advanced. *)
+let max_per_cycle = 8
+let max_rate = 1000.0 *. float_of_int max_per_cycle
+
+let check_rate r =
+  if r <= 0.0 || not (Float.is_finite r) then Error "rate must be positive"
+  else if r > max_rate then
+    Error
+      (Printf.sprintf
+         "rate must be <= %g requests/kilocycle (the cycle grid holds at \
+          most %d arrivals per cycle)"
+         max_rate max_per_cycle)
+  else Ok r
 
 let scale t f =
   match t with
@@ -49,8 +66,24 @@ let exponential rng ~mean =
 
 let generate ~rng ~horizon t =
   if horizon <= 0 then invalid_arg "Arrival.generate: horizon must be positive";
+  (match check_rate (rate t) with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Arrival.generate: " ^ e));
   let out = ref [] and n = ref 0 in
+  (* enforce the per-cycle cap: the processes hand us non-decreasing raw
+     timestamps; an overfull cycle spills into the next one (count is
+     preserved, so a burst can land at or just past the horizon) *)
+  let last = ref (-1) and at_last = ref 0 in
   let push time =
+    let time = max time !last in
+    let time =
+      if time = !last && !at_last >= max_per_cycle then time + 1 else time
+    in
+    if time = !last then incr at_last
+    else begin
+      last := time;
+      at_last := 1
+    end;
     out := time :: !out;
     incr n
   in

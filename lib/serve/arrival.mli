@@ -18,6 +18,13 @@ type t =
 val rate : t -> float
 (** Long-run average rate, requests per kilocycle. *)
 
+val max_per_cycle : int
+(** Most arrivals the generator will place on one cycle; an overfull
+    cycle spills into the next. Bounds the admissible rate at
+    [1000 * max_per_cycle] requests/kilocycle — {!of_string} rejects
+    anything above it (a Fixed rate past the grid used to spin the
+    generator forever) and {!generate} refuses hand-built values too. *)
+
 val scale : t -> float -> t
 (** Multiply the rate, keeping the shape (burst windows unchanged) —
     the sharding driver thins a process by [1/shards] with this. *)
@@ -28,5 +35,8 @@ val of_string : string -> (t, string) result
 val to_string : t -> string
 
 val generate : rng:Stx_util.Rng.t -> horizon:int -> t -> int array
-(** Arrival timestamps in [0, horizon), non-decreasing. [Fixed] ignores
-    the RNG; the others consume it. *)
+(** Arrival timestamps, non-decreasing, drawn on [0, horizon) — at most
+    {!max_per_cycle} per cycle, with overfull cycles spilling forward
+    (possibly to or past the horizon; the count is preserved). [Fixed]
+    ignores the RNG; the others consume it. Raises [Invalid_argument] on
+    a non-positive horizon or a rate {!of_string} would reject. *)

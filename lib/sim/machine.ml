@@ -3,12 +3,20 @@ open Stx_machine
 open Stx_compiler
 open Stx_htm
 open Stx_core
+module Stm = Stx_stm.Stm
 
 exception Sim_error of string
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
 
-type abort_kind = Conflict | Lock_subscription | Capacity | Explicit
+type abort_kind =
+  | Conflict
+  | Lock_subscription
+  | Capacity
+  | Explicit
+  | Stm_conflict (* a software-tier commit published into the footprint *)
+
+type stm_abort_kind = Stm_validation | Stm_hw_owned | Stm_locksub | Stm_explicit
 
 type event =
   | Tx_begin of { tid : int; ab : int; attempt : int; probe : bool }
@@ -44,6 +52,24 @@ type event =
   | Backoff_end of { tid : int }
   | Req_dispatch of { tid : int; req : int; ab : int }
   | Req_done of { tid : int; req : int; ab : int }
+  | Stm_begin of { tid : int; ab : int; attempt : int }
+  | Stm_commit of {
+      tid : int;
+      ab : int;
+      cycles : int;
+      vcycles : int; (* version-word traffic charged at commit *)
+      rset : int;
+      wset : int;
+    }
+  | Stm_abort of {
+      tid : int;
+      ab : int;
+      kind : stm_abort_kind;
+      cycles : int;
+      vcycles : int;
+      rset : int;
+      wset : int;
+    }
 
 type injection =
   | Inject of { req : int; ab : int; args : int array }
@@ -80,6 +106,8 @@ type txstate = {
   mutable tx_held_lock : bool; (* a lock was held at some point this attempt *)
   mutable tx_is_probe : bool; (* this attempt deliberately skipped its ALP *)
   mutable tx_irrevocable : bool;
+  mutable tx_stm : bool; (* attempt runs on the software tier *)
+  mutable tx_stm_attempts : int; (* software attempts so far *)
 }
 
 type thread = {
@@ -110,6 +138,8 @@ type m = {
   memory : Memory.t;
   hier : Hierarchy.t;
   htm : Htm.t;
+  stm : Stm.t option; (* software tier, Stm_tier fallback only *)
+  stm_retries : int; (* software attempts before the global lock *)
   locks : Advisory_lock.t;
   threads : thread array;
   allocator : Alloc.t;
@@ -131,7 +161,16 @@ let emit m (th : thread) ev = m.on_event ~time:th.time ev
 let in_tx th = th.tx <> None
 
 let speculative th =
-  match th.tx with Some tx -> not tx.tx_irrevocable | None -> false
+  match th.tx with
+  | Some tx -> (not tx.tx_irrevocable) && not tx.tx_stm
+  | None -> false
+
+let stm_active th = match th.tx with Some tx -> tx.tx_stm | None -> false
+
+let the_stm m =
+  match m.stm with
+  | Some stm -> stm
+  | None -> trap "software tier used without the htm-stm-lock fallback"
 
 let charge m th c =
   th.time <- th.time + c;
@@ -223,7 +262,15 @@ let begin_attempt m th =
     tx.tx_insts <- 0;
     tx.tx_held_lock <- false;
     charge m th 5;
-    if not tx.tx_irrevocable then begin
+    if tx.tx_stm then begin
+      (* software-tier attempts skip the ALP machinery: the stagger is a
+         hardware-contention device; the software tier already serializes
+         through validation *)
+      Stm.tx_begin (the_stm m) ~core:th.tid;
+      emit m th
+        (Stm_begin { tid = th.tid; ab = tx.tx_ab; attempt = tx.tx_attempt })
+    end
+    else if not tx.tx_irrevocable then begin
       (* a retry keeps its begin timestamp: under the Timestamp resolution
          policy an aborted transaction ages into priority *)
       Htm.tx_begin ~fresh:(tx.tx_attempt = 0) m.htm ~core:th.tid;
@@ -287,6 +334,8 @@ let start_atomic m th ~ab ~dst ~args =
       tx_held_lock = false;
       tx_is_probe = false;
       tx_irrevocable = false;
+      tx_stm = false;
+      tx_stm_attempts = 0;
     }
   in
   th.tx <- Some tx;
@@ -338,6 +387,34 @@ let finish_tx m th (tx : txstate) ~rset ~wset retval =
     th.cur_req <- -1
   end
 
+(* a software-tier commit: same bookkeeping as a hardware commit minus
+   the ALP history (software attempts never arm or probe) *)
+let finish_stm_tx m th (tx : txstate) ~rset ~wset ~vcycles retval =
+  th.tx <- None;
+  (match (tx.tx_dst, th.stack) with
+  | Some d, f :: _ -> f.regs.(d) <- retval
+  | _ -> ());
+  m.stats.Stats.commits <- m.stats.Stats.commits + 1;
+  m.stats.Stats.stm_commits <- m.stats.Stats.stm_commits + 1;
+  m.stats.Stats.useful_cycles <- m.stats.Stats.useful_cycles + (th.time - tx.tx_start);
+  m.stats.Stats.committed_tx_insts <- m.stats.Stats.committed_tx_insts + tx.tx_insts;
+  let ab = Stats.ab m.stats tx.tx_ab in
+  ab.Stats.ab_commits <- ab.Stats.ab_commits + 1;
+  emit m th
+    (Stm_commit
+       {
+         tid = th.tid;
+         ab = tx.tx_ab;
+         cycles = th.time - tx.tx_start;
+         vcycles;
+         rset;
+         wset;
+       });
+  if th.cur_req >= 0 then begin
+    emit m th (Req_done { tid = th.tid; req = th.cur_req; ab = tx.tx_ab });
+    th.cur_req <- -1
+  end
+
 (* identify the anchor the abort traces back to, per the configured
    conflicting-PC scheme, and score it against the full-PC oracle *)
 let identify_anchor m th table reason =
@@ -372,7 +449,8 @@ let identify_anchor m th table reason =
       | _ -> ())
     | _ -> ());
     (Some (conf_addr, line), runtime_anchor)
-  | Htm.Lock_subscription | Htm.Capacity | Htm.Explicit -> (None, None)
+  | Htm.Lock_subscription | Htm.Capacity | Htm.Explicit | Htm.Stm_conflict _ ->
+    (None, None)
 
 let handle_abort m th =
   (match th.wait with
@@ -429,13 +507,21 @@ let handle_abort m th =
       (* not a contention signal: no conflict tallies, no ALP activation *)
       m.stats.Stats.capacity_aborts <- m.stats.Stats.capacity_aborts + 1
     | Htm.Explicit ->
-      m.stats.Stats.explicit_aborts <- m.stats.Stats.explicit_aborts + 1);
+      m.stats.Stats.explicit_aborts <- m.stats.Stats.explicit_aborts + 1
+    | Htm.Stm_conflict { conf_addr; _ } ->
+      (* cross-tier friction: the software commit carries no PC tag, so
+         there is no anchor to activate — tally the line only *)
+      m.stats.Stats.stm_conflict_aborts <- m.stats.Stats.stm_conflict_aborts + 1;
+      let line = line_of m conf_addr in
+      conf := Some line;
+      Stats.note_conflict m.stats ~conf_line:line ~conf_pc:None);
     let kind, abort_conf_pc, aggressor =
       match reason with
       | Htm.Conflict { conf_pc; aggressor; _ } -> (Conflict, conf_pc, Some aggressor)
       | Htm.Lock_subscription -> (Lock_subscription, None, None)
       | Htm.Capacity -> (Capacity, None, None)
       | Htm.Explicit -> (Explicit, None, None)
+      | Htm.Stm_conflict { aggressor; _ } -> (Stm_conflict, None, Some aggressor)
     in
     emit m th
       (Tx_abort
@@ -463,13 +549,23 @@ let handle_abort m th =
       | _ -> tx.tx_attempt >= m.retry_budget
     in
     if give_up then begin
-      (* fall back to irrevocable execution under the global lock *)
-      th.wait <- Some Global_spin
+      match m.stm with
+      | Some _ ->
+        (* the hybrid fallback interposes the software tier between the
+           hardware retries and the irrevocable lock: capacity overflows
+           in particular fit there, since the software tier has no
+           footprint budget *)
+        tx.tx_stm <- true;
+        tx.tx_stm_attempts <- 0;
+        begin_attempt m th
+      | None ->
+        (* fall back to irrevocable execution under the global lock *)
+        th.wait <- Some Global_spin
     end
     else begin
       let delay =
         match m.htm_policy.Stx_policy.fallback with
-        | Stx_policy.Fallback.Polite _ ->
+        | Stx_policy.Fallback.Polite _ | Stx_policy.Fallback.Stm_tier _ ->
           (* polite backoff: mean delay proportional to the retry count *)
           let base = m.cfg.Config.backoff_base * tx.tx_attempt in
           let jitter = Stx_util.Rng.int th.rng (max 1 base) in
@@ -487,13 +583,78 @@ let handle_abort m th =
       begin_attempt m th
     end
 
+(* a software-tier attempt died (failed validation, deferred to hardware
+   ownership, the global lock, or an explicit abort): account it, then
+   retry on the software tier or — once the software budget is spent —
+   queue for the irrevocable lock, which now only backstops validation
+   livelock *)
+let handle_stm_abort m th ~vcycles =
+  match th.tx with
+  | None -> ()
+  | Some tx ->
+    let stm = the_stm m in
+    let kind = Stm.tx_cleanup stm ~core:th.tid in
+    let rset, wset = Stm.last_set_sizes stm ~core:th.tid in
+    charge m th (m.cfg.Config.abort_cost + m.cfg.Config.handler_cost);
+    m.stats.Stats.aborts <- m.stats.Stats.aborts + 1;
+    m.stats.Stats.stm_aborts <- m.stats.Stats.stm_aborts + 1;
+    (match kind with
+    | Stm.Validation ->
+      m.stats.Stats.stm_validation_aborts <- m.stats.Stats.stm_validation_aborts + 1
+    | Stm.Hw_owned ->
+      m.stats.Stats.stm_hw_owned_aborts <- m.stats.Stats.stm_hw_owned_aborts + 1
+    | Stm.Locksub ->
+      m.stats.Stats.stm_locksub_aborts <- m.stats.Stats.stm_locksub_aborts + 1
+    | Stm.Explicit -> ());
+    let wasted = th.time - tx.tx_start in
+    m.stats.Stats.wasted_cycles <- m.stats.Stats.wasted_cycles + wasted;
+    (Stats.ab m.stats tx.tx_ab).Stats.ab_aborts
+    <- (Stats.ab m.stats tx.tx_ab).Stats.ab_aborts + 1;
+    let ev_kind =
+      match kind with
+      | Stm.Validation -> Stm_validation
+      | Stm.Hw_owned -> Stm_hw_owned
+      | Stm.Locksub -> Stm_locksub
+      | Stm.Explicit -> Stm_explicit
+    in
+    emit m th
+      (Stm_abort
+         {
+           tid = th.tid;
+           ab = tx.tx_ab;
+           kind = ev_kind;
+           cycles = wasted;
+           vcycles;
+           rset;
+           wset;
+         });
+    pop_to_base th tx;
+    tx.tx_attempt <- tx.tx_attempt + 1;
+    tx.tx_stm_attempts <- tx.tx_stm_attempts + 1;
+    if tx.tx_stm_attempts >= m.stm_retries then begin
+      tx.tx_stm <- false;
+      th.wait <- Some Global_spin
+    end
+    else begin
+      (* polite backoff, same schedule as the hardware tier's *)
+      let base = m.cfg.Config.backoff_base * tx.tx_stm_attempts in
+      let jitter = Stx_util.Rng.int th.rng (max 1 base) in
+      let delay = (base / 2) + jitter in
+      emit m th (Backoff_start { tid = th.tid });
+      charge m th delay;
+      m.stats.Stats.backoff_cycles <- m.stats.Stats.backoff_cycles + delay;
+      emit m th (Backoff_end { tid = th.tid });
+      begin_attempt m th
+    end
+
 (* ------------------------------------------------------------------ *)
 (* instruction execution                                               *)
 
 let exec_alp m th (a : Ir.alp) =
   charge m th m.cfg.Config.alp_inactive_cost;
   match th.tx with
-  | Some tx when not tx.tx_irrevocable && Mode.uses_alps m.mode ->
+  | Some tx
+    when (not tx.tx_irrevocable) && (not tx.tx_stm) && Mode.uses_alps m.mode ->
     m.stats.Stats.alps_executed <- m.stats.Stats.alps_executed + 1;
     let f = frame_of th in
     let addr = f.regs.(a.Ir.alp_addr) in
@@ -547,6 +708,13 @@ let exec_intr m th f dst intr args =
       Htm.tx_self_abort m.htm ~core:th.tid;
       handle_abort m th
     end
+    else if stm_active th then begin
+      let stm = the_stm m in
+      (match Stm.status stm ~core:th.tid with
+      | Stm.Active -> Stm.tx_self_abort stm ~core:th.tid
+      | Stm.Idle | Stm.Doomed _ -> ());
+      handle_stm_abort m th ~vcycles:0
+    end
   | _ -> trap "bad intrinsic arity"
 
 let do_return m th retval =
@@ -567,6 +735,42 @@ let do_return m th retval =
         Htm.release_global_lock m.htm;
         (* irrevocable execution is non-speculative: no read/write sets *)
         finish_tx m th tx ~rset:0 ~wset:0 retval
+      end
+      else if tx.tx_stm then begin
+        let stm = the_stm m in
+        charge m th m.cfg.Config.commit_cost;
+        (* version-word traffic the TL2 commit would execute: one probe
+           per read line to re-validate, one RMW per write stripe to lock
+           and stamp, then the publication stores themselves — charged
+           before the (atomic) protocol step so the latencies land inside
+           the attempt *)
+        let vcycles =
+          List.fold_left
+            (fun acc line ->
+              acc
+              + mem_latency m th ~addr:(Stm.version_addr stm ~line) ~write:false)
+            0
+            (Stm.read_set_lines stm ~core:th.tid)
+        in
+        let vcycles =
+          List.fold_left
+            (fun acc line ->
+              acc
+              + mem_latency m th ~addr:(Stm.version_addr stm ~line) ~write:true)
+            vcycles
+            (Stm.write_set_lines stm ~core:th.tid)
+        in
+        charge m th vcycles;
+        m.stats.Stats.stm_validation_cycles <-
+          m.stats.Stats.stm_validation_cycles + vcycles;
+        List.iter
+          (fun addr -> charge m th (mem_latency m th ~addr ~write:true))
+          (Stm.write_addrs stm ~core:th.tid);
+        if Stm.tx_commit stm ~core:th.tid then begin
+          let rset, wset = Stm.last_set_sizes stm ~core:th.tid in
+          finish_stm_tx m th tx ~rset ~wset ~vcycles retval
+        end
+        else handle_stm_abort m th ~vcycles
       end
       else begin
         charge m th m.cfg.Config.commit_cost;
@@ -637,6 +841,15 @@ let exec_inst m th (inst : Ir.inst) =
       if speculative th then
         Htm.tx_load m.htm ~core:th.tid ~addr
           ~pc:(Layout.pc_of_iid m.compiled.Pipeline.layout inst.Ir.iid)
+      else if stm_active th then begin
+        (* every software read also probes the line's version word *)
+        let stm = the_stm m in
+        charge m th
+          (mem_latency m th
+             ~addr:(Stm.version_addr stm ~line:(line_of m addr))
+             ~write:false);
+        Stm.tx_load stm ~core:th.tid ~addr
+      end
       else Htm.nt_load m.htm ~addr
     in
     f.regs.(d) <- v
@@ -648,6 +861,8 @@ let exec_inst m th (inst : Ir.inst) =
     if speculative th then
       Htm.tx_store m.htm ~core:th.tid ~addr ~value
         ~pc:(Layout.pc_of_iid m.compiled.Pipeline.layout inst.Ir.iid)
+    else if stm_active th then
+      Stm.tx_store (the_stm m) ~core:th.tid ~addr ~value
     else Htm.nt_store m.htm ~core:th.tid ~addr ~value
   | Ir.Alloc (d, sname) ->
     charge m th 20;
@@ -699,6 +914,12 @@ let step m th =
   (* a doomed speculative transaction aborts before doing anything else *)
   if speculative th && (match Htm.status m.htm ~core:th.tid with Htm.Doomed _ -> true | _ -> false)
   then handle_abort m th
+  else if
+    stm_active th
+    && (match Stm.status (the_stm m) ~core:th.tid with
+       | Stm.Doomed _ -> true
+       | _ -> false)
+  then handle_stm_abort m th ~vcycles:0
   else
     match th.wait with
     | Some (Lock_spin { idx; line; deadline }) ->
@@ -772,6 +993,17 @@ let run ?(seed = 1) ?(policy = Policy.default_params)
   let allocator = Alloc.create ~words_per_line:cfg.Config.words_per_line memory in
   let htm = Htm.create ~policy:htm_policy cfg memory allocator in
   let locks = Advisory_lock.create ~count:locks htm allocator in
+  (* the software tier (and its version-word table in simulated memory)
+     exists only under the hybrid fallback, so every other bundle keeps
+     the seed's exact allocation layout *)
+  let stm, stm_retries =
+    match htm_policy.Stx_policy.fallback with
+    | Stx_policy.Fallback.Stm_tier { stm_retries; _ } ->
+      let s = Stm.create htm memory allocator in
+      Htm.set_on_publish htm (Some (fun ~line -> Stm.note_published s ~line));
+      (Some s, stm_retries)
+    | Stx_policy.Fallback.Polite _ | Stx_policy.Fallback.Backoff _ -> (None, 0)
+  in
   let hier = Hierarchy.create cfg in
   let master = Stx_util.Rng.create seed in
   let env = { memory; alloc = allocator; setup_rng = Stx_util.Rng.split master } in
@@ -784,7 +1016,7 @@ let run ?(seed = 1) ?(policy = Policy.default_params)
   let backoff_seed =
     match htm_policy.Stx_policy.fallback with
     | Stx_policy.Fallback.Backoff { seed = s; _ } -> s
-    | Stx_policy.Fallback.Polite _ -> 0
+    | Stx_policy.Fallback.Polite _ | Stx_policy.Fallback.Stm_tier _ -> 0
   in
   let mk_thread tid =
     {
@@ -819,6 +1051,8 @@ let run ?(seed = 1) ?(policy = Policy.default_params)
       memory;
       hier;
       htm;
+      stm;
+      stm_retries;
       locks;
       threads;
       stats;
@@ -860,6 +1094,17 @@ let run ?(seed = 1) ?(policy = Policy.default_params)
     | None -> ()
   done;
   if Htm.global_lock_held htm then trap "global lock still held at end of run";
+  (match stm with
+  | Some s ->
+    Array.iteri
+      (fun core th ->
+        ignore th;
+        match Stm.status s ~core with
+        | Stm.Idle -> ()
+        | Stm.Active | Stm.Doomed _ ->
+          trap "software transaction still live on core %d at end of run" core)
+      threads
+  | None -> ());
   Array.iter (fun th -> stats.Stats.total_cycles <- max stats.Stats.total_cycles th.time) threads;
   Array.iter
     (fun th -> stats.Stats.thread_cycles <- stats.Stats.thread_cycles + th.time)

@@ -11,7 +11,12 @@ open Stx_core
     operations pay the hierarchy latency of {!Stx_machine.Hierarchy}.
     Atomic calls follow the paper's runtime protocol: a bounded number of
     hardware attempts separated by backoff, then irrevocable execution
-    under the global lock. The retry budget and backoff schedule come from
+    under the global lock. Under the [htm-stm-lock] fallback a TL2-style
+    software tier ([Stx_stm]) interposes between the two: exhausted
+    hardware retries (and [Capacity] aborts, whose footprints the
+    software tier can hold) run as software transactions, and the global
+    lock only backstops a software attempt budget spent on validation
+    livelock. The retry budget and backoff schedule come from
     the {!Stx_policy.Fallback} policy of the [htm_policy] bundle (default:
     [cfg.max_retries] attempts with polite backoff, the seed behaviour);
     the bundle's resolution and capacity policies govern the HTM itself.
@@ -24,7 +29,19 @@ exception Sim_error of string
 (** A program-level trap: null dereference, division by zero, runaway
     simulation, etc. *)
 
-type abort_kind = Conflict | Lock_subscription | Capacity | Explicit
+type abort_kind =
+  | Conflict
+  | Lock_subscription
+  | Capacity
+  | Explicit
+  | Stm_conflict
+      (** a concurrent software-tier commit published into this hardware
+          transaction's footprint (hybrid fallback only) *)
+
+type stm_abort_kind = Stm_validation | Stm_hw_owned | Stm_locksub | Stm_explicit
+(** Why a software-tier attempt died: read-set validation failure,
+    deference to a hardware-owned write line, the global lock held at
+    commit, or an explicit program abort. *)
 
 type event =
   | Tx_begin of { tid : int; ab : int; attempt : int; probe : bool }
@@ -67,7 +84,29 @@ type event =
           core [tid] (serving runs only; see {!injection}) *)
   | Req_done of { tid : int; req : int; ab : int }
       (** the request's transaction committed — emitted right after the
-          closing [Tx_commit], at the same timestamp *)
+          closing [Tx_commit] (or [Stm_commit]), at the same timestamp *)
+  | Stm_begin of { tid : int; ab : int; attempt : int }
+      (** a software-tier attempt started ([htm-stm-lock] fallback);
+          [attempt] continues the hardware attempt numbering *)
+  | Stm_commit of {
+      tid : int;
+      ab : int;
+      cycles : int;  (** cycles of the committing software attempt *)
+      vcycles : int;
+          (** version-word latency charged at commit (validation probes
+              plus stripe lock/stamp traffic; inside [cycles]) *)
+      rset : int;  (** read-set lines at commit *)
+      wset : int;  (** write-set lines at commit *)
+    }
+  | Stm_abort of {
+      tid : int;
+      ab : int;
+      kind : stm_abort_kind;
+      cycles : int;
+      vcycles : int;
+      rset : int;
+      wset : int;
+    }
 
 (** What the request source tells an idle core (a core whose call stack
     is empty) when polled. This is the open-loop serving hook: instead of

@@ -20,6 +20,14 @@ type t = {
   mutable lock_sub_aborts : int;
   mutable explicit_aborts : int;
   mutable capacity_aborts : int;
+  mutable stm_conflict_aborts : int;
+      (* hardware aborts inflicted by a software-tier commit *)
+  mutable stm_commits : int;
+  mutable stm_aborts : int;
+  mutable stm_validation_aborts : int;
+  mutable stm_hw_owned_aborts : int;
+  mutable stm_locksub_aborts : int;
+  mutable stm_validation_cycles : int;
   mutable irrevocable_entries : int;
   mutable useful_cycles : int;
   mutable wasted_cycles : int;
@@ -56,6 +64,13 @@ let create ~threads =
     lock_sub_aborts = 0;
     explicit_aborts = 0;
     capacity_aborts = 0;
+    stm_conflict_aborts = 0;
+    stm_commits = 0;
+    stm_aborts = 0;
+    stm_validation_aborts = 0;
+    stm_hw_owned_aborts = 0;
+    stm_locksub_aborts = 0;
+    stm_validation_cycles = 0;
     irrevocable_entries = 0;
     useful_cycles = 0;
     wasted_cycles = 0;
@@ -142,6 +157,13 @@ let merge a b =
   m.lock_sub_aborts <- a.lock_sub_aborts + b.lock_sub_aborts;
   m.explicit_aborts <- a.explicit_aborts + b.explicit_aborts;
   m.capacity_aborts <- a.capacity_aborts + b.capacity_aborts;
+  m.stm_conflict_aborts <- a.stm_conflict_aborts + b.stm_conflict_aborts;
+  m.stm_commits <- a.stm_commits + b.stm_commits;
+  m.stm_aborts <- a.stm_aborts + b.stm_aborts;
+  m.stm_validation_aborts <- a.stm_validation_aborts + b.stm_validation_aborts;
+  m.stm_hw_owned_aborts <- a.stm_hw_owned_aborts + b.stm_hw_owned_aborts;
+  m.stm_locksub_aborts <- a.stm_locksub_aborts + b.stm_locksub_aborts;
+  m.stm_validation_cycles <- a.stm_validation_cycles + b.stm_validation_cycles;
   m.irrevocable_entries <- a.irrevocable_entries + b.irrevocable_entries;
   m.useful_cycles <- a.useful_cycles + b.useful_cycles;
   m.wasted_cycles <- a.wasted_cycles + b.wasted_cycles;

@@ -28,6 +28,21 @@ type t = {
   mutable capacity_aborts : int;
       (** read/write-set budget exceeded (only under a [Bounded] capacity
           policy; always 0 at the paper's hardware point) *)
+  mutable stm_conflict_aborts : int;
+      (** hardware aborts inflicted by a concurrent software-tier commit
+          publishing into the transaction's footprint (only under the
+          [htm-stm-lock] fallback) *)
+  mutable stm_commits : int;  (** software-tier commits (also in [commits]) *)
+  mutable stm_aborts : int;  (** software-tier aborts (also in [aborts]) *)
+  mutable stm_validation_aborts : int;
+      (** software attempts failing read-set validation *)
+  mutable stm_hw_owned_aborts : int;
+      (** software commits deferring to a hardware-owned write line *)
+  mutable stm_locksub_aborts : int;
+      (** software commits refused because the global lock was held *)
+  mutable stm_validation_cycles : int;
+      (** memory latency spent probing version words (commit-time
+          re-validation; also inside [useful_cycles]/[wasted_cycles]) *)
   mutable irrevocable_entries : int;  (** txns forced into irrevocable mode *)
   mutable useful_cycles : int;  (** cycles of committed attempts *)
   mutable wasted_cycles : int;  (** cycles of aborted attempts *)

@@ -1,0 +1,242 @@
+open Stx_machine
+open Stx_htm
+
+(* A TL2-style software transaction tier.
+
+   Shared state lives in the simulated memory so the software tier is
+   subject to the same coherence story as everything else: a striped
+   table of per-cache-line version words (one word per stripe, encoded
+   [2*version + lock_bit]) and a global version clock held host-side
+   (the clock itself is only ever advanced inside a commit, which the
+   discrete-event machine executes atomically, so it needs no simulated
+   word). Reads validate against the clock value snapshotted at begin;
+   writes buffer; commit locks the write stripes, re-validates the read
+   set, publishes through {!Htm.stm_publish} (dooming speculative
+   hardware holders), and stamps fresh versions. *)
+
+type abort_kind = Validation | Hw_owned | Locksub | Explicit
+
+type status = Idle | Active | Doomed of abort_kind
+
+type core_state = {
+  mutable st : status;
+  mutable rv : int; (* clock snapshot at begin; reads validate against it *)
+  read_set : (int, int) Hashtbl.t; (* line -> version word at first read *)
+  write_lines : (int, unit) Hashtbl.t;
+  wbuf : (int, int) Hashtbl.t; (* addr -> buffered value *)
+  mutable last_rset : int; (* set sizes when the buffered state was *)
+  mutable last_wset : int; (* last discarded (commit or doom) *)
+}
+
+type t = {
+  htm : Htm.t;
+  memory : Memory.t;
+  words_per_line : int;
+  nslots : int;
+  base : int; (* first version word *)
+  mutable clock : int;
+  cores : core_state array;
+}
+
+let create ?(nslots = 256) htm memory alloc =
+  let cfg = Htm.config htm in
+  let base = Alloc.alloc_shared alloc nslots in
+  let mk _ =
+    {
+      st = Idle;
+      rv = 0;
+      read_set = Hashtbl.create 64;
+      write_lines = Hashtbl.create 64;
+      wbuf = Hashtbl.create 64;
+      last_rset = 0;
+      last_wset = 0;
+    }
+  in
+  {
+    htm;
+    memory;
+    words_per_line = cfg.Config.words_per_line;
+    nslots;
+    base;
+    clock = 0;
+    cores = Array.init cfg.Config.cores mk;
+  }
+
+let nslots t = t.nslots
+let clock t = t.clock
+let status t ~core = t.cores.(core).st
+
+(* Fibonacci hashing of the cache-line index, as the advisory-lock table
+   does; distinct lines may alias to one stripe, which can only produce
+   spurious validation aborts, never a missed conflict *)
+let slot_of t ~line = line * 0x9E3779B1 land max_int mod t.nslots
+
+let version_addr t ~line = t.base + slot_of t ~line
+
+let line_of t addr = Memory.line_of ~words_per_line:t.words_per_line addr
+
+let discard c =
+  c.last_rset <- Hashtbl.length c.read_set;
+  c.last_wset <- Hashtbl.length c.write_lines;
+  Hashtbl.reset c.read_set;
+  Hashtbl.reset c.write_lines;
+  Hashtbl.reset c.wbuf
+
+let doom t ~core kind =
+  let c = t.cores.(core) in
+  discard c;
+  c.st <- Doomed kind
+
+let tx_begin t ~core =
+  let c = t.cores.(core) in
+  (match c.st with
+  | Idle -> ()
+  | Active | Doomed _ -> invalid_arg "Stm.tx_begin: transaction already in flight");
+  c.st <- Active;
+  c.rv <- t.clock;
+  Hashtbl.reset c.read_set;
+  Hashtbl.reset c.write_lines;
+  Hashtbl.reset c.wbuf
+
+let tx_load t ~core ~addr =
+  let c = t.cores.(core) in
+  match c.st with
+  | Idle -> invalid_arg "Stm.tx_load: core has no active transaction"
+  | Doomed _ ->
+    (* dead transaction: hand back committed memory, the value is never
+       observable *)
+    Memory.load t.memory addr
+  | Active -> (
+    match Hashtbl.find_opt c.wbuf addr with
+    | Some v -> v
+    | None -> (
+      let line = line_of t addr in
+      let va = version_addr t ~line in
+      let w = Memory.load t.memory va in
+      match Hashtbl.find_opt c.read_set line with
+      | Some recorded ->
+        if w <> recorded then begin
+          doom t ~core Validation;
+          Memory.load t.memory addr
+        end
+        else Memory.load t.memory addr
+      | None ->
+        if w land 1 = 1 || w asr 1 > c.rv then begin
+          doom t ~core Validation;
+          Memory.load t.memory addr
+        end
+        else begin
+          Hashtbl.add c.read_set line w;
+          Memory.load t.memory addr
+        end))
+
+let tx_store t ~core ~addr ~value =
+  let c = t.cores.(core) in
+  match c.st with
+  | Idle -> invalid_arg "Stm.tx_store: core has no active transaction"
+  | Doomed _ -> ()
+  | Active ->
+    Hashtbl.replace c.write_lines (line_of t addr) ();
+    Hashtbl.replace c.wbuf addr value
+
+let read_set_lines t ~core =
+  Hashtbl.fold (fun l _ acc -> l :: acc) t.cores.(core).read_set []
+  |> List.sort compare
+
+let write_set_lines t ~core =
+  Hashtbl.fold (fun l () acc -> l :: acc) t.cores.(core).write_lines []
+  |> List.sort compare
+
+let write_addrs t ~core =
+  Hashtbl.fold (fun a _ acc -> a :: acc) t.cores.(core).wbuf []
+  |> List.sort compare
+
+let tx_commit t ~core =
+  let c = t.cores.(core) in
+  match c.st with
+  | Idle -> invalid_arg "Stm.tx_commit: core has no active transaction"
+  | Doomed _ -> false
+  | Active ->
+    if Htm.global_lock_held t.htm then begin
+      doom t ~core Locksub;
+      false
+    end
+    else if
+      (* the hardware tier keeps priority on lines it is speculatively
+         writing: defer rather than publish over a buffered update *)
+      Hashtbl.fold
+        (fun line () acc -> acc || Htm.writers_mask t.htm ~line <> 0)
+        c.write_lines false
+    then begin
+      doom t ~core Hw_owned;
+      false
+    end
+    else begin
+      (* write lines can alias to one stripe; lock each stripe once *)
+      let slots =
+        Hashtbl.fold (fun line () acc -> slot_of t ~line :: acc) c.write_lines []
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun s ->
+          let a = t.base + s in
+          Memory.store t.memory a (Memory.load t.memory a lor 1))
+        slots;
+      let own_slot line = List.mem (slot_of t ~line) slots in
+      let valid =
+        Hashtbl.fold
+          (fun line recorded acc ->
+            acc
+            &&
+            let w = Memory.load t.memory (version_addr t ~line) in
+            let w = if own_slot line then w land lnot 1 else w in
+            w = recorded)
+          c.read_set true
+      in
+      if not valid then begin
+        List.iter
+          (fun s ->
+            let a = t.base + s in
+            Memory.store t.memory a (Memory.load t.memory a land lnot 1))
+          slots;
+        doom t ~core Validation;
+        false
+      end
+      else begin
+        t.clock <- t.clock + 1;
+        let wv = t.clock in
+        Hashtbl.iter
+          (fun addr value -> Htm.stm_publish t.htm ~core ~addr ~value)
+          c.wbuf;
+        List.iter
+          (fun s -> Memory.store t.memory (t.base + s) (2 * wv))
+          slots;
+        discard c;
+        c.st <- Idle;
+        true
+      end
+    end
+
+let tx_self_abort t ~core =
+  match t.cores.(core).st with
+  | Active -> doom t ~core Explicit
+  | Idle | Doomed _ -> invalid_arg "Stm.tx_self_abort: transaction not active"
+
+let tx_cleanup t ~core =
+  let c = t.cores.(core) in
+  match c.st with
+  | Doomed kind ->
+    c.st <- Idle;
+    kind
+  | Idle | Active -> invalid_arg "Stm.tx_cleanup: transaction not doomed"
+
+let last_set_sizes t ~core =
+  let c = t.cores.(core) in
+  (c.last_rset, c.last_wset)
+
+(* a hardware publication (lazy commit or nontransactional store) landed
+   on [line]: advance the clock and stamp the stripe so software readers
+   serialized before the publication fail validation *)
+let note_published t ~line =
+  t.clock <- t.clock + 1;
+  Memory.store t.memory (version_addr t ~line) (2 * t.clock)

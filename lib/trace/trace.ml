@@ -72,7 +72,12 @@ let events t =
 (* --- invariant checking ------------------------------------------------ *)
 
 (* per-thread replay state: what the protocol allows next *)
-type attempt = { a_ab : int; mutable a_lock : int option; mutable a_acquires : int }
+type attempt = {
+  a_ab : int;
+  a_stm : bool; (* a software-tier attempt: advisory locks are forbidden *)
+  mutable a_lock : int option;
+  mutable a_acquires : int;
+}
 
 type tstate = {
   mutable last_time : int;
@@ -120,7 +125,10 @@ let check t (stats : Stats.t) =
     in
     let commits = ref 0 and aborts = ref 0 in
     let conflict_aborts = ref 0 and lock_sub_aborts = ref 0 and explicit_aborts = ref 0 in
-    let capacity_aborts = ref 0 in
+    let capacity_aborts = ref 0 and stm_conflict_aborts = ref 0 in
+    let stm_commits = ref 0 and stm_aborts = ref 0 in
+    let stm_validation = ref 0 and stm_hw_owned = ref 0 and stm_locksub = ref 0 in
+    let stm_vcycles = ref 0 in
     let irrevocable = ref 0 and acquires = ref 0 and timeouts = ref 0 in
     let alps = ref 0 and lock_attempts = ref 0 in
     let useful = ref 0 and wasted = ref 0 and backoff = ref 0 in
@@ -149,7 +157,10 @@ let check t (stats : Stats.t) =
           | Machine.Backoff_start { tid }
           | Machine.Backoff_end { tid }
           | Machine.Req_dispatch { tid; _ }
-          | Machine.Req_done { tid; _ } -> tid
+          | Machine.Req_done { tid; _ }
+          | Machine.Stm_begin { tid; _ }
+          | Machine.Stm_commit { tid; _ }
+          | Machine.Stm_abort { tid; _ } -> tid
         in
         match st tid with
         | None -> ()
@@ -162,7 +173,7 @@ let check t (stats : Stats.t) =
             (match s.open_attempt with
             | Some _ -> err "thread %d: begin at %d while an attempt is open" tid time
             | None -> ());
-            s.open_attempt <- Some { a_ab = ab; a_lock = None; a_acquires = 0 }
+            s.open_attempt <- Some { a_ab = ab; a_stm = false; a_lock = None; a_acquires = 0 }
           | Machine.Tx_commit { ab; cycles; irrevocable = irr; _ } ->
             (match s.open_attempt with
             | None -> err "thread %d: commit at %d with no open attempt" tid time
@@ -170,6 +181,9 @@ let check t (stats : Stats.t) =
               if a.a_ab <> ab then
                 err "thread %d: commit names ab%d but the open attempt is ab%d" tid
                   ab a.a_ab;
+              if a.a_stm then
+                err "thread %d: hardware commit at %d closes a software attempt" tid
+                  time;
               if a.a_lock <> None then
                 err "thread %d: advisory lock still held at commit (time %d)" tid time);
             incr commits;
@@ -186,6 +200,9 @@ let check t (stats : Stats.t) =
               if a.a_ab <> ab then
                 err "thread %d: abort names ab%d but the open attempt is ab%d" tid ab
                   a.a_ab;
+              if a.a_stm then
+                err "thread %d: hardware abort at %d closes a software attempt" tid
+                  time;
               if a.a_lock <> None then
                 err "thread %d: advisory lock still held at abort (time %d)" tid time);
             incr aborts;
@@ -193,7 +210,59 @@ let check t (stats : Stats.t) =
             | Machine.Conflict -> incr conflict_aborts
             | Machine.Lock_subscription -> incr lock_sub_aborts
             | Machine.Capacity -> incr capacity_aborts
-            | Machine.Explicit -> incr explicit_aborts);
+            | Machine.Explicit -> incr explicit_aborts
+            | Machine.Stm_conflict -> incr stm_conflict_aborts);
+            wasted := !wasted + cycles;
+            (ab_tally ab).t_aborts <- (ab_tally ab).t_aborts + 1;
+            s.open_attempt <- None;
+            s.waiting <- None
+          | Machine.Stm_begin { ab; _ } ->
+            (match s.open_attempt with
+            | Some _ ->
+              err "thread %d: software begin at %d while an attempt is open" tid time
+            | None -> ());
+            s.open_attempt <- Some { a_ab = ab; a_stm = true; a_lock = None; a_acquires = 0 }
+          | Machine.Stm_commit { ab; cycles; vcycles; _ } ->
+            (match s.open_attempt with
+            | None -> err "thread %d: software commit at %d with no open attempt" tid time
+            | Some a ->
+              if a.a_ab <> ab then
+                err "thread %d: software commit names ab%d but the open attempt is ab%d"
+                  tid ab a.a_ab;
+              if not a.a_stm then
+                err "thread %d: software commit at %d closes a hardware attempt" tid
+                  time);
+            if vcycles > cycles then
+              err "thread %d: software commit at %d has vcycles %d > cycles %d" tid
+                time vcycles cycles;
+            incr commits;
+            incr stm_commits;
+            stm_vcycles := !stm_vcycles + vcycles;
+            useful := !useful + cycles;
+            (ab_tally ab).t_commits <- (ab_tally ab).t_commits + 1;
+            s.open_attempt <- None;
+            s.waiting <- None
+          | Machine.Stm_abort { ab; kind; cycles; vcycles; _ } ->
+            (match s.open_attempt with
+            | None -> err "thread %d: software abort at %d with no open attempt" tid time
+            | Some a ->
+              if a.a_ab <> ab then
+                err "thread %d: software abort names ab%d but the open attempt is ab%d"
+                  tid ab a.a_ab;
+              if not a.a_stm then
+                err "thread %d: software abort at %d closes a hardware attempt" tid
+                  time);
+            if vcycles > cycles then
+              err "thread %d: software abort at %d has vcycles %d > cycles %d" tid
+                time vcycles cycles;
+            incr aborts;
+            incr stm_aborts;
+            stm_vcycles := !stm_vcycles + vcycles;
+            (match kind with
+            | Machine.Stm_validation -> incr stm_validation
+            | Machine.Stm_hw_owned -> incr stm_hw_owned
+            | Machine.Stm_locksub -> incr stm_locksub
+            | Machine.Stm_explicit -> ());
             wasted := !wasted + cycles;
             (ab_tally ab).t_aborts <- (ab_tally ab).t_aborts + 1;
             s.open_attempt <- None;
@@ -203,13 +272,19 @@ let check t (stats : Stats.t) =
               err "thread %d: irrevocable entry at %d inside an open attempt" tid time;
             incr irrevocable
           | Machine.Alp_executed _ ->
-            if s.open_attempt = None then
-              err "thread %d: ALP executed at %d outside a transaction" tid time;
+            (match s.open_attempt with
+            | None -> err "thread %d: ALP executed at %d outside a transaction" tid time
+            | Some a ->
+              if a.a_stm then
+                err "thread %d: ALP executed at %d inside a software attempt" tid time);
             incr alps
           | Machine.Lock_attempt _ ->
             (match s.open_attempt with
             | None -> err "thread %d: lock attempt at %d outside a transaction" tid time
             | Some a ->
+              if a.a_stm then
+                err "thread %d: advisory lock attempt at %d inside a software attempt"
+                  tid time;
               if a.a_lock <> None then
                 err "thread %d: lock attempt at %d while already holding a lock" tid
                   time);
@@ -218,6 +293,9 @@ let check t (stats : Stats.t) =
             (match s.open_attempt with
             | None -> err "thread %d: lock acquired at %d outside a transaction" tid time
             | Some a ->
+              if a.a_stm then
+                err "thread %d: advisory lock acquired at %d inside a software attempt"
+                  tid time;
               if a.a_lock <> None then
                 err "thread %d: second advisory lock acquired at %d" tid time;
               if a.a_acquires >= 1 then
@@ -297,6 +375,13 @@ let check t (stats : Stats.t) =
     eq "lock-subscription aborts" !lock_sub_aborts stats.Stats.lock_sub_aborts;
     eq "capacity aborts" !capacity_aborts stats.Stats.capacity_aborts;
     eq "explicit aborts" !explicit_aborts stats.Stats.explicit_aborts;
+    eq "stm-conflict aborts" !stm_conflict_aborts stats.Stats.stm_conflict_aborts;
+    eq "stm commits" !stm_commits stats.Stats.stm_commits;
+    eq "stm aborts" !stm_aborts stats.Stats.stm_aborts;
+    eq "stm validation aborts" !stm_validation stats.Stats.stm_validation_aborts;
+    eq "stm hw-owned aborts" !stm_hw_owned stats.Stats.stm_hw_owned_aborts;
+    eq "stm lock-subscription aborts" !stm_locksub stats.Stats.stm_locksub_aborts;
+    eq "stm validation cycles" !stm_vcycles stats.Stats.stm_validation_cycles;
     eq "irrevocable entries" !irrevocable stats.Stats.irrevocable_entries;
     eq "lock acquires" !acquires stats.Stats.lock_acquires;
     eq "lock timeouts" !timeouts stats.Stats.lock_timeouts;
@@ -499,6 +584,7 @@ let to_chrome_json t =
           | Machine.Lock_subscription -> "lock_subscription"
           | Machine.Capacity -> "capacity"
           | Machine.Explicit -> "explicit"
+          | Machine.Stm_conflict -> "stm_conflict"
         in
         instant ~name:"abort" ~ts:time ~tid
           ~args:
@@ -549,7 +635,29 @@ let to_chrome_json t =
             span ~name:"request" ~ts:t0 ~dur:(time - t0) ~tid
               ~args:(args [ ("req", int req); ("ab", int ab) ]);
             req_open.(tid) <- None
-          | _ -> ()));
+          | _ -> ())
+      | Machine.Stm_begin { tid; ab; attempt } ->
+        if tid >= 0 && tid < n then tx_open.(tid) <- Some (time, ab, attempt, false)
+      | Machine.Stm_commit { tid; ab; vcycles; rset; wset; _ } ->
+        close_tx ~time ~tid ~ab ~outcome:"commit"
+          [ ("tier", str "stm"); ("vcycles", int vcycles); ("rset", int rset);
+            ("wset", int wset) ]
+      | Machine.Stm_abort { tid; ab; kind; vcycles; rset; wset; _ } ->
+        close_tx ~time ~tid ~ab ~outcome:"abort" [ ("tier", str "stm") ];
+        let reason =
+          match kind with
+          | Machine.Stm_validation -> "stm_validation"
+          | Machine.Stm_hw_owned -> "stm_hw_owned"
+          | Machine.Stm_locksub -> "stm_lock_subscription"
+          | Machine.Stm_explicit -> "stm_explicit"
+        in
+        instant ~name:"abort" ~ts:time ~tid
+          ~args:
+            (args
+               [
+                 ("reason", str reason); ("victim", int tid);
+                 ("vcycles", int vcycles); ("rset", int rset); ("wset", int wset);
+               ]));
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents b
 
@@ -570,8 +678,10 @@ let codec_magic = "stx-trace"
 
 (* v2 added read/write-set sizes to commit and abort lines; v3 added the
    "capacity" abort kind (bounded-capacity policy overflow); v4 added the
-   req-dispatch/req-done lines of request-driven serving runs *)
-let codec_version = 4
+   req-dispatch/req-done lines of request-driven serving runs; v5 added
+   the "stmconf" abort kind and the stm-begin/stm-commit/stm-abort lines
+   of the software fallback tier *)
+let codec_version = 5
 
 let opt = function None -> "-" | Some v -> string_of_int v
 let flag b = if b then "1" else "0"
@@ -581,6 +691,13 @@ let kind_tag = function
   | Machine.Lock_subscription -> "locksub"
   | Machine.Capacity -> "capacity"
   | Machine.Explicit -> "explicit"
+  | Machine.Stm_conflict -> "stmconf"
+
+let stm_kind_tag = function
+  | Machine.Stm_validation -> "validation"
+  | Machine.Stm_hw_owned -> "hwowned"
+  | Machine.Stm_locksub -> "locksub"
+  | Machine.Stm_explicit -> "explicit"
 
 let event_line time ev =
   match ev with
@@ -615,6 +732,14 @@ let event_line time ev =
     Printf.sprintf "%d req-dispatch %d %d %d" time tid req ab
   | Machine.Req_done { tid; req; ab } ->
     Printf.sprintf "%d req-done %d %d %d" time tid req ab
+  | Machine.Stm_begin { tid; ab; attempt } ->
+    Printf.sprintf "%d stm-begin %d %d %d" time tid ab attempt
+  | Machine.Stm_commit { tid; ab; cycles; vcycles; rset; wset } ->
+    Printf.sprintf "%d stm-commit %d %d %d %d %d %d" time tid ab cycles vcycles
+      rset wset
+  | Machine.Stm_abort { tid; ab; kind; cycles; vcycles; rset; wset } ->
+    Printf.sprintf "%d stm-abort %d %d %s %d %d %d %d" time tid ab
+      (stm_kind_tag kind) cycles vcycles rset wset
 
 let write_events ?(meta = []) t ~file =
   let oc = open_out_bin file in
@@ -659,7 +784,16 @@ let parse_event line lineno =
     | "locksub" -> Machine.Lock_subscription
     | "capacity" -> Machine.Capacity
     | "explicit" -> Machine.Explicit
+    | "stmconf" -> Machine.Stm_conflict
     | _ -> codec_fail "line %d: unknown abort kind %S" lineno s
+  in
+  let stm_kind s =
+    match s with
+    | "validation" -> Machine.Stm_validation
+    | "hwowned" -> Machine.Stm_hw_owned
+    | "locksub" -> Machine.Stm_locksub
+    | "explicit" -> Machine.Stm_explicit
+    | _ -> codec_fail "line %d: unknown software abort kind %S" lineno s
   in
   match fields with
   | time :: "begin" :: [ tid; ab; attempt; probe ] ->
@@ -724,6 +858,32 @@ let parse_event line lineno =
     (num time, Machine.Req_dispatch { tid = num tid; req = num req; ab = num ab })
   | time :: "req-done" :: [ tid; req; ab ] ->
     (num time, Machine.Req_done { tid = num tid; req = num req; ab = num ab })
+  | time :: "stm-begin" :: [ tid; ab; attempt ] ->
+    ( num time,
+      Machine.Stm_begin { tid = num tid; ab = num ab; attempt = num attempt } )
+  | time :: "stm-commit" :: [ tid; ab; cycles; vcycles; rset; wset ] ->
+    ( num time,
+      Machine.Stm_commit
+        {
+          tid = num tid;
+          ab = num ab;
+          cycles = num cycles;
+          vcycles = num vcycles;
+          rset = num rset;
+          wset = num wset;
+        } )
+  | time :: "stm-abort" :: [ tid; ab; k; cycles; vcycles; rset; wset ] ->
+    ( num time,
+      Machine.Stm_abort
+        {
+          tid = num tid;
+          ab = num ab;
+          kind = stm_kind k;
+          cycles = num cycles;
+          vcycles = num vcycles;
+          rset = num rset;
+          wset = num wset;
+        } )
   | _ -> codec_fail "line %d: unparseable event %S" lineno line
 
 let read_events ~file =

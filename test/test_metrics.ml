@@ -58,7 +58,7 @@ let test_hist_restore_round_trip () =
   match
     Hist.restore ~count:(Hist.count h) ~sum:(Hist.sum h)
       ~min_value:(Hist.min_value h) ~max_value:(Hist.max_value h)
-      (Hist.buckets h)
+      (Hist.buckets_full h)
   with
   | None -> Alcotest.fail "restore rejected its own encode"
   | Some h' -> Alcotest.(check bool) "equal" true (Hist.equal h h')
@@ -69,13 +69,17 @@ let test_hist_restore_rejects_inconsistent () =
       (Hist.restore ~count ~sum ~min_value ~max_value pairs = None)
   in
   reject "count mismatch" ~count:3 ~sum:6 ~min_value:2 ~max_value:4
-    [ (2, 2) ];
+    [ (2, 2, 3) ];
   reject "descending bucket indices" ~count:2 ~sum:10 ~min_value:2 ~max_value:8
-    [ (4, 1); (2, 1) ];
+    [ (4, 1, 8); (2, 1, 3) ];
   reject "index out of range" ~count:1 ~sum:1 ~min_value:1 ~max_value:1
-    [ (99, 1) ];
+    [ (99, 1, 1) ];
   reject "max outside its bucket" ~count:1 ~sum:2 ~min_value:2 ~max_value:9
-    [ (2, 1) ];
+    [ (2, 1, 2) ];
+  reject "bucket max outside its bucket" ~count:1 ~sum:2 ~min_value:2
+    ~max_value:2 [ (2, 1, 5) ];
+  reject "top bucket max disagrees with global max" ~count:1 ~sum:2
+    ~min_value:2 ~max_value:3 [ (2, 1, 2) ];
   reject "nonempty empty hist" ~count:0 ~sum:3 ~min_value:0 ~max_value:0 []
 
 (* --- histogram properties ---------------------------------------------- *)
@@ -127,6 +131,17 @@ let prop_quantile_within_bucket_of_truth =
       let got = Hist.quantile h q in
       Hist.bucket_index got = Hist.bucket_index truth
       || got >= Hist.min_value h && got <= Hist.max_value h)
+
+let prop_quantile_is_observed =
+  (* the per-bucket observed max guarantees a quantile is never a bucket
+     bound nobody recorded — it is always one of the added values *)
+  QCheck.Test.make ~name:"quantile is always an observed value" ~count:200
+    QCheck.(pair values (float_range 0. 1.))
+    (fun (l, q) ->
+      l = []
+      ||
+      let h = hist_of l in
+      List.mem (Hist.quantile h q) l)
 
 (* --- json -------------------------------------------------------------- *)
 
@@ -247,7 +262,7 @@ let test_registry_json_golden () =
    ^ "{\"name\":\"stx_commits\",\"labels\":{},\"type\":\"counter\",\"value\":5},"
    ^ "{\"name\":\"stx_depth\",\"labels\":{\"q\":\"a\"},\"type\":\"gauge\",\"value\":7},"
    ^ "{\"name\":\"stx_lat\",\"labels\":{\"outcome\":\"commit\"},\"type\":\"histogram\","
-   ^ "\"count\":3,\"sum\":11,\"min\":0,\"max\":6,\"buckets\":[[0,1],[3,2]]}]}")
+   ^ "\"count\":3,\"sum\":11,\"min\":0,\"max\":6,\"buckets\":[[0,1,0],[3,2,6]]}]}")
     (Registry.to_json_string (sample_registry ()))
 
 let test_registry_prometheus_golden () =
@@ -277,9 +292,9 @@ let test_registry_codec_rejects_corruption () =
   in
   reject "garbage line" (lines @ [ "wibble" ]);
   reject "non-numeric counter" [ "counter stx_commits - five" ];
-  reject "bad hist payload" [ "hist stx_lat - 3 11 0 6 2 0 1" ];
+  reject "bad hist payload" [ "hist stx_lat - 3 11 0 6 2 0 1 0" ];
   reject "inconsistent hist"
-    [ "hist stx_lat - 99 11 0 6 2 0 1 3 2" ]
+    [ "hist stx_lat - 99 11 0 6 2 0 1 0 3 2 6" ]
 
 (* --- online vs trace replay, every workload x mode --------------------- *)
 
@@ -501,6 +516,7 @@ let suite =
     q prop_bucket_boundaries;
     q prop_quantile_monotone;
     q prop_quantile_within_bucket_of_truth;
+    q prop_quantile_is_observed;
     Alcotest.test_case "json round trip" `Quick test_json_round_trip;
     Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
     Alcotest.test_case "json keeps int/float distinct" `Quick

@@ -119,6 +119,77 @@ let test_bursty_average_rate () =
     true
     (Float.abs (got -. 2.0) < 0.3)
 
+let test_arrival_extreme_rates_terminate () =
+  (* a Fixed rate whose gap truncates to zero used to spin the generator
+     forever; the per-cycle cap now bounds every admissible rate *)
+  let rng = Rng.create 5 in
+  let horizon = 1_000 in
+  let ats =
+    Arrival.generate ~rng ~horizon
+      (Arrival.Fixed { rate = 1000.0 *. float_of_int Arrival.max_per_cycle })
+  in
+  Alcotest.(check int) "grid saturated: max_per_cycle arrivals every cycle"
+    (horizon * Arrival.max_per_cycle)
+    (Array.length ats);
+  Alcotest.(check bool) "inadmissible rate rejected at parse time" true
+    (Result.is_error (Arrival.of_string "fixed:8001"));
+  Alcotest.(check bool) "infinite rate rejected" true
+    (Result.is_error (Arrival.of_string "poisson:inf"));
+  Alcotest.check_raises "generate refuses a hand-built inadmissible rate"
+    (Invalid_argument
+       "Arrival.generate: rate must be <= 8000 requests/kilocycle (the cycle \
+        grid holds at most 8 arrivals per cycle)") (fun () ->
+      ignore (Arrival.generate ~rng ~horizon (Arrival.Fixed { rate = 9000.0 })))
+
+let arrival_gen =
+  QCheck.Gen.(
+    let rate = map (fun r -> Float.max 0.1 r) (float_bound_exclusive 8000.0) in
+    oneof
+      [
+        map (fun rate -> Arrival.Fixed { rate }) rate;
+        map (fun rate -> Arrival.Poisson { rate }) rate;
+        map2
+          (fun rate (on, off) -> Arrival.Bursty { rate; on; off })
+          rate
+          (pair (int_range 1 2_000) (int_range 0 2_000));
+      ])
+
+let arrival_arb =
+  QCheck.make arrival_gen ~print:(fun a -> Arrival.to_string a)
+
+let prop_arrival_sorted_and_capped =
+  QCheck.Test.make ~name:"arrivals non-decreasing, per-cycle cap respected"
+    ~count:100
+    QCheck.(pair arrival_arb (int_range 1 20_000))
+    (fun (a, horizon) ->
+      let rng = Rng.create 17 in
+      let ats = Arrival.generate ~rng ~horizon a in
+      let ok = ref true in
+      let at_cycle = ref 0 and last = ref (-1) in
+      Array.iter
+        (fun at ->
+          if at < !last then ok := false;
+          if at = !last then incr at_cycle else at_cycle := 1;
+          if !at_cycle > Arrival.max_per_cycle then ok := false;
+          last := at)
+        ats;
+      !ok)
+
+let prop_fixed_count_tracks_rate =
+  QCheck.Test.make ~name:"fixed arrival count ~ rate * horizon / 1000"
+    ~count:100
+    QCheck.(
+      pair
+        (map (fun r -> Float.max 0.1 r) (float_bound_exclusive 8000.0))
+        (int_range 100 20_000))
+    (fun (rate, horizon) ->
+      let rng = Rng.create 23 in
+      let n =
+        Array.length (Arrival.generate ~rng ~horizon (Arrival.Fixed { rate }))
+      in
+      let expected = rate *. float_of_int horizon /. 1000.0 in
+      Float.abs (float_of_int n -. expected) <= 2.0 +. (0.01 *. expected))
+
 let test_arrival_of_string () =
   Alcotest.(check bool) "fixed" true
     (Arrival.of_string "fixed:2" = Ok (Arrival.Fixed { rate = 2.0 }));
@@ -272,6 +343,10 @@ let suite =
       test_bursty_average_rate;
     Alcotest.test_case "arrival parsing and round-trip" `Quick
       test_arrival_of_string;
+    Alcotest.test_case "extreme arrival rates terminate" `Quick
+      test_arrival_extreme_rates_terminate;
+    QCheck_alcotest.to_alcotest prop_arrival_sorted_and_capped;
+    QCheck_alcotest.to_alcotest prop_fixed_count_tracks_rate;
     Alcotest.test_case "serve: clean reconciliation, full accounting" `Quick
       test_serve_clean_and_accounted;
     Alcotest.test_case "serve: jobs count never changes the result" `Quick
