@@ -303,7 +303,18 @@ let lint_cmd =
              $(b,stx_run --raw-trace). Single benchmark only; the \
              capture's workload metadata must match.")
   in
-  let run c bench mode format validate vtrace =
+  let stripes_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "stripes" ]
+          ~doc:
+            "Run the STX109 STM lock-stripe aliasing lint over the \
+             validation trace: hot conflicting lines that hash onto the \
+             same striped write-lock. Needs $(b,--validate) or \
+             $(b,--validate-trace).")
+  in
+  let run c bench mode format validate vtrace stripes =
     let benches =
       if bench = "all" then Stx_workloads.Registry.all
       else
@@ -338,6 +349,10 @@ let lint_cmd =
       prerr_endline "--validate-trace needs a single --bench";
       exit 1
     | _ -> ());
+    if stripes && (not validate) && vtrace = None then begin
+      prerr_endline "--stripes needs a trace: add --validate or --validate-trace";
+      exit 1
+    end;
     let mode_name = function
       | Stx_compiler.Anchors.Dsa_guided -> "dsa"
       | Stx_compiler.Anchors.Naive -> "naive"
@@ -346,6 +361,24 @@ let lint_cmd =
     let check_validation analysis v =
       print_string (Driver.render_validation ~format analysis v);
       if not (Validate.sound v) then failed := true
+    in
+    let check_stripes name tr =
+      if stripes then begin
+        let diags = Lints.stripe_aliasing tr in
+        match format with
+        | Driver.Text ->
+          Printf.printf "== stripe aliasing: %s ==\n" name;
+          if diags = [] then
+            print_string "  no aliased stripes among hot conflicting lines\n"
+          else
+            List.iter
+              (fun d -> Printf.printf "  %s\n" (Diag.render_text d))
+              diags
+        | Driver.Tsv ->
+          List.iter
+            (fun d -> Printf.printf "%s\t%s\n" name (Diag.render_tsv d))
+            diags
+      end
     in
     List.iter
       (fun w ->
@@ -364,12 +397,14 @@ let lint_cmd =
                 spec,
                 Driver.analyze ~name
                   ~resolution:(Exp.policy c).Stx_policy.resolution
+                  ~capacity:(Exp.policy c).Stx_policy.capacity
                   spec.Stx_sim.Machine.compiled ))
             modes
         in
         List.iter
           (fun (_, _, a) ->
             print_string (Driver.render ~format a);
+            print_string (Driver.render_layout ~format a);
             if Driver.has_errors a then failed := true)
           analyses;
         (* validation uses the Dsa_guided compile when linted, else the
@@ -395,7 +430,8 @@ let lint_cmd =
               ~mode:Stx_core.Mode.Staggered_hw
               ~on_event:(Stx_trace.Trace.handler tr) vspec
           in
-          check_validation vanalysis (Driver.validate vanalysis tr)
+          check_validation vanalysis (Driver.validate vanalysis tr);
+          check_stripes w.Stx_workloads.Workload.name tr
         end;
         match vtrace with
         | None -> ()
@@ -408,7 +444,8 @@ let lint_cmd =
               w.Stx_workloads.Workload.name;
             exit 1
           | _ -> ());
-          check_validation vanalysis (Driver.validate vanalysis tr))
+          check_validation vanalysis (Driver.validate vanalysis tr);
+          check_stripes w.Stx_workloads.Workload.name tr)
       benches;
     if !failed then exit 1
   in
@@ -420,7 +457,7 @@ let lint_cmd =
           graph against a simulation's dynamic conflicts")
     Term.(
       const run $ ctx_term $ bench_arg $ mode_arg $ format_arg $ validate_arg
-      $ validate_trace_arg)
+      $ validate_trace_arg $ stripes_arg)
 
 (* ---------------------------------------------------------------- *)
 (* stx_repro policies: conflict-resolution comparison table          *)

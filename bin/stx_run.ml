@@ -174,9 +174,10 @@ let run list_benches bench mode threads seed scale trace raw_trace metrics lint
       &&
       let a =
         Stx_analysis.Driver.analyze ~name:w.Workload.name
-          spec.Machine.compiled
+          ~capacity:htm_policy.Stx_policy.capacity spec.Machine.compiled
       in
       print_string (Stx_analysis.Driver.render a);
+      print_string (Stx_analysis.Driver.render_layout a);
       Stx_analysis.Driver.has_errors a
     in
     let stats = Machine.run ~seed ~htm_policy ~cfg ~mode ~on_event spec in

@@ -5,6 +5,8 @@ type iset = (int, unit) Hashtbl.t
 
 type source = Ab of int | Outside
 
+type fset = (int * int, unit) Hashtbl.t  (* (global id, field) *)
+
 type t = {
   c_nabs : int;
   c_resolution : Stx_policy.Resolution.t;
@@ -12,6 +14,11 @@ type t = {
   c_writes : iset array;
   c_out_reads : iset;
   c_out_writes : iset;
+  c_read_fields : fset array;  (* field refinement of c_reads *)
+  c_write_fields : fset array;
+  c_out_read_fields : fset;
+  c_out_write_fields : fset;
+  c_node_of_gid : (int, Dsnode.t) Hashtbl.t;  (* witness node per global id *)
   c_to_global : (int, iset) Hashtbl.t array;  (* local node id -> global ids *)
   c_all_reads : iset;  (* union over blocks *)
   c_all_writes : iset;
@@ -61,6 +68,11 @@ let compute ?(resolution = Stx_policy.Resolution.Requester_wins) prog dsa
   let c_writes = Array.init nabs (fun _ -> iset ()) in
   let c_out_reads = iset () in
   let c_out_writes = iset () in
+  let c_read_fields : fset array = Array.init nabs (fun _ -> Hashtbl.create 16) in
+  let c_write_fields : fset array = Array.init nabs (fun _ -> Hashtbl.create 16) in
+  let c_out_read_fields : fset = Hashtbl.create 16 in
+  let c_out_write_fields : fset = Hashtbl.create 16 in
+  let c_node_of_gid : (int, Dsnode.t) Hashtbl.t = Hashtbl.create 64 in
   let c_to_global = Array.init nabs (fun _ -> Hashtbl.create 16) in
   let record_global ~ab lid gid =
     let tbl = c_to_global.(ab) in
@@ -81,16 +93,33 @@ let compute ?(resolution = Stx_policy.Resolution.Requester_wins) prog dsa
     else
       let f = Ir.find_func prog fname in
       let active = fname :: active in
-      let gid n = Dsnode.id (Dsnode.find (translate n)) in
+      (* global representative: record a witness node per global id so the
+         line plane can recover type/shape information from an id alone.
+         A field index folds to 0 when the *global* node is collapsed —
+         unification may collapse a node some plane still saw as typed. *)
+      let register n =
+        let g = Dsnode.find n in
+        let gi = Dsnode.id g in
+        if not (Hashtbl.mem c_node_of_gid gi) then Hashtbl.add c_node_of_gid gi g;
+        g
+      in
+      let grep n = register (translate n) in
+      let gfield g fld = if Dsnode.is_collapsed g then 0 else fld in
       Ir.iter_insts f (fun _ _ inst ->
           match inst.Ir.op with
           | Ir.Load _ -> (
             match Dsa.access_node dsa inst.Ir.iid with
-            | Some (n, _) -> iadd c_out_reads (gid n)
+            | Some (n, fld) ->
+              let g = grep n in
+              iadd c_out_reads (Dsnode.id g);
+              Hashtbl.replace c_out_read_fields (Dsnode.id g, gfield g fld) ()
             | None -> ())
           | Ir.Store _ -> (
             match Dsa.access_node dsa inst.Ir.iid with
-            | Some (n, _) -> iadd c_out_writes (gid n)
+            | Some (n, fld) ->
+              let g = grep n in
+              iadd c_out_writes (Dsnode.id g);
+              Hashtbl.replace c_out_write_fields (Dsnode.id g, gfield g fld) ()
             | None -> ())
           | Ir.Call (_, g, _) when Hashtbl.mem prog.Ir.funcs g ->
             let tr n = translate (Dsa.map_callee_node dsa ~call_iid:inst.Ir.iid n) in
@@ -101,12 +130,18 @@ let compute ?(resolution = Stx_policy.Resolution.Requester_wins) prog dsa
             let s = Summary.find sums g in
             let lift dst n =
               let lid = Dsnode.id (Dsnode.find n) in
-              let gi = Dsnode.id (Dsnode.find (tr n)) in
+              let gi = Dsnode.id (register (tr n)) in
               iadd dst gi;
               record_global ~ab lid gi
             in
+            let lift_field dst (n, fld) =
+              let gr = register (tr n) in
+              Hashtbl.replace dst (Dsnode.id gr, gfield gr fld) ()
+            in
             List.iter (lift c_reads.(ab)) (Summary.reads s);
-            List.iter (lift c_writes.(ab)) (Summary.writes s)
+            List.iter (lift c_writes.(ab)) (Summary.writes s);
+            List.iter (lift_field c_read_fields.(ab)) (Summary.read_fields s);
+            List.iter (lift_field c_write_fields.(ab)) (Summary.write_fields s)
           | _ -> ())
   in
   List.iter (fun r -> visit r Dsnode.find []) (roots prog);
@@ -165,6 +200,11 @@ let compute ?(resolution = Stx_policy.Resolution.Requester_wins) prog dsa
     c_writes;
     c_out_reads;
     c_out_writes;
+    c_read_fields;
+    c_write_fields;
+    c_out_read_fields;
+    c_out_write_fields;
+    c_node_of_gid;
     c_to_global;
     c_all_reads;
     c_all_writes;
@@ -193,6 +233,15 @@ let edges t =
 
 let footprint t ~ab = (Hashtbl.length t.c_reads.(ab), Hashtbl.length t.c_writes.(ab))
 let outside_footprint t = (Hashtbl.length t.c_out_reads, Hashtbl.length t.c_out_writes)
+
+let fset_elems (s : fset) =
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) s [])
+
+let read_fields t ~ab = fset_elems t.c_read_fields.(ab)
+let write_fields t ~ab = fset_elems t.c_write_fields.(ab)
+let outside_read_fields t = fset_elems t.c_out_read_fields
+let outside_write_fields t = fset_elems t.c_out_write_fields
+let node_of_global t gid = Hashtbl.find_opt t.c_node_of_gid gid
 
 let to_global t ~ab lid =
   match Hashtbl.find_opt t.c_to_global.(ab) lid with

@@ -62,6 +62,27 @@ val footprint : t -> ab:int -> int * int
 
 val outside_footprint : t -> int * int
 
+val read_fields : t -> ab:int -> (int * int) list
+(** The field-granular may-read footprint of a block: sorted
+    [(global node id, field)] pairs in the whole-program plane. Accesses
+    to a node that is collapsed {e after} whole-program unification fold
+    onto field 0, even when a callee plane still saw it typed. The node
+    ids projected from these pairs are exactly the ids {!footprint}
+    counts. *)
+
+val write_fields : t -> ab:int -> (int * int) list
+(** Field-granular may-write footprint, mirroring {!read_fields}. *)
+
+val outside_read_fields : t -> (int * int) list
+(** Field-granular footprint of code outside every atomic block. *)
+
+val outside_write_fields : t -> (int * int) list
+
+val node_of_global : t -> int -> Dsnode.t option
+(** A witness {!Dsnode.t} for a whole-program node id seen during the
+    walk (its type/shape drives the line-placement model); [None] for an
+    id the walk never produced. *)
+
 val to_global : t -> ab:int -> int -> int list
 (** The whole-program node ids a block-local node id (a [ue_node] of the
     block's unified table) was translated to — one per call path the

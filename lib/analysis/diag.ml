@@ -9,11 +9,8 @@ type t = {
   message : string;
 }
 
-let clean s =
-  String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
-
 let make ?ab ?func ?iid ~code ~severity message =
-  { code; severity; ab; func; iid; message = clean message }
+  { code; severity; ab; func; iid; message }
 
 let severity_label = function
   | Error -> "error"
@@ -38,10 +35,15 @@ let compare_diag a b =
           let c = compare a.iid b.iid in
           if c <> 0 then c else compare a.message b.message
 
-let sort l = List.sort compare_diag l
+(* stable: equal-keyed diagnostics keep their emission order, so renders
+   can never flake on a sort-implementation detail *)
+let sort l = List.stable_sort compare_diag l
 
 let count sev l = List.length (List.filter (fun d -> d.severity = sev) l)
 let has_errors l = List.exists (fun d -> d.severity = Error) l
+
+let one_line s =
+  String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
 
 let render_text d =
   let buf = Buffer.create 80 in
@@ -58,13 +60,27 @@ let render_text d =
   | None, Some i -> Buffer.add_string buf (Printf.sprintf " #%d" i)
   | None, None -> ());
   Buffer.add_string buf ": ";
-  Buffer.add_string buf d.message;
+  Buffer.add_string buf (one_line d.message);
   Buffer.contents buf
 
 let tsv_header = "severity\tcode\tab\tfunc\tiid\tmessage"
 
 let opt_int = function Some i -> string_of_int i | None -> "-"
 let opt_str = function Some s -> s | None -> "-"
+
+(* a message is arbitrary text; the TSV cell must survive embedded field
+   and record separators losslessly *)
+let tsv_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 let render_tsv d =
   String.concat "\t"
@@ -74,5 +90,5 @@ let render_tsv d =
       opt_int d.ab;
       opt_str d.func;
       opt_int d.iid;
-      d.message;
+      tsv_escape d.message;
     ]

@@ -6,7 +6,16 @@
     - [STX102] (warning) — advisory lock over never-written data
     - [STX103] (warning) — lock-order hazard between anchored nodes
     - [STX104] (error/warning) — read-only classification disagreement
-    - [STX105] (warning) — truncated-PC tag collision in a unified table *)
+    - [STX105] (warning) — truncated-PC tag collision in a unified table
+    - [STX106] (warning) — false sharing: distinct hot fields on one line
+    - [STX107] (error/info) — static capacity-overflow prediction against
+      a [bounded:R:W] budget (error when the minimal line footprint
+      already exceeds it)
+    - [STX108] (info) — padding/coloring fix-it separating an STX106 pair
+    - [STX109] (warning) — distinct hot lines aliasing onto one STM
+      write-lock stripe
+    - [STX110] (info) — advisory-lock anchor whose node spans lines never
+      co-accessed with the conflicting field *)
 
 type severity = Error | Warning | Info
 
@@ -27,16 +36,20 @@ val severity_label : severity -> string
 
 val sort : t list -> t list
 (** Errors first, then warnings, then infos; within a severity by code,
-    block, function and instruction. *)
+    block, function, instruction and message. The sort is stable, so the
+    full ordering is deterministic for any input order. *)
 
 val count : severity -> t list -> int
 val has_errors : t list -> bool
 
 val render_text : t -> string
-(** One line: [error[STX101] ab=1 list_insert#37: message]. *)
+(** One line: [error[STX101] ab=1 list_insert#37: message]. Embedded
+    tabs/newlines in the message render as spaces. *)
 
 val tsv_header : string
 
 val render_tsv : t -> string
 (** Tab-separated [severity code ab func iid message], missing fields as
-    [-]; messages never contain tabs or newlines. *)
+    [-]. Tabs, newlines and backslashes embedded in the message are
+    escaped ([\t], [\n], [\r], [\\]) so a row is always exactly one line
+    of exactly six cells. *)

@@ -1,3 +1,7 @@
+(* bind the analysis-side line plane before [open Stx_tir] shadows the
+   short name with the PC-assignment Layout of the IR *)
+module Lplane = Layout
+
 open Stx_tir
 open Stx_compiler
 
@@ -6,23 +10,29 @@ type t = {
   a_pipeline : Pipeline.t;
   a_summary : Summary.t;
   a_graph : Conflict.t;
+  a_plane : Lplane.t;
+  a_capacity : Stx_policy.Capacity.t option;
   a_diags : Diag.t list;
 }
 
 type format = Text | Tsv
 
-let analyze ?(name = "program") ?resolution (p : Pipeline.t) =
+let analyze ?(name = "program") ?resolution ?capacity ?words_per_line
+    (p : Pipeline.t) =
   Verify.program p.Pipeline.prog;
   let summary = Summary.compute p.Pipeline.prog p.Pipeline.dsa in
   let graph =
     Conflict.compute ?resolution p.Pipeline.prog p.Pipeline.dsa summary
   in
-  let diags = Lints.all p summary graph in
+  let plane = Lplane.build ?words_per_line p.Pipeline.prog p.Pipeline.dsa graph in
+  let diags = Lints.all ?capacity ~plane p summary graph in
   {
     a_name = name;
     a_pipeline = p;
     a_summary = summary;
     a_graph = graph;
+    a_plane = plane;
+    a_capacity = capacity;
     a_diags = diags;
   }
 
@@ -102,7 +112,77 @@ let render_tsv t =
 let render ?(format = Text) t =
   match format with Text -> render_text t | Tsv -> render_tsv t
 
-let validate t trace = Validate.run t.a_graph trace
+(* the line-granular layout section: must-execute line-footprint bounds
+   per block and the line-level refinement of every conflict edge *)
+let render_layout ?(format = Text) t =
+  let prog = t.a_pipeline.Pipeline.prog in
+  let plane = t.a_plane in
+  let pair_stats prs =
+    List.fold_left
+      (fun (tr, fa) (p : Lplane.pair) ->
+        match p.Lplane.p_sharing with
+        | Lplane.True_sharing -> (tr + 1, fa)
+        | Lplane.False_sharing -> (tr, fa + 1))
+      (0, 0) prs
+  in
+  match format with
+  | Text ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "== line plane: %s (%d words/line) ==\n" t.a_name
+         (Lplane.words_per_line plane));
+    Buffer.add_string buf
+      "-- must-execute line footprints (lower bounds) --\n";
+    Array.iter
+      (fun (a : Ir.atomic) ->
+        let b = Lplane.capacity_bound plane ~ab:a.Ir.ab_id in
+        Buffer.add_string buf
+          (Printf.sprintf "  ab%d %-16s reads>=%-3d writes>=%-3d%s\n"
+             a.Ir.ab_id a.Ir.ab_name b.Lplane.lb_min_read
+             b.Lplane.lb_min_write
+             (if b.Lplane.lb_aliased then "  [aliased placements]" else "")))
+      prog.Ir.atomics;
+    (match t.a_capacity with
+    | Some (Stx_policy.Capacity.Bounded { read_lines; write_lines }) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  checked against bounded:%d:%d (STX107)\n"
+           read_lines write_lines)
+    | Some Stx_policy.Capacity.Unbounded | None -> ());
+    Buffer.add_string buf
+      "-- conflict-edge refinement (line-colliding field pairs) --\n";
+    List.iter
+      (fun (src, dst, prs) ->
+        let tr, fa = pair_stats prs in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-8s -> ab%-3d %2d pair(s): %d true, %d false%s\n"
+             (Validate.source_label src) dst (List.length prs) tr fa
+             (if prs = [] then "  [edge refined away: no line collision]"
+              else "")))
+      (Lplane.edges plane);
+    Buffer.contents buf
+  | Tsv ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      "name\tkind\tab_or_src\tdst\tread_or_pairs\twrite_or_true\taliased_or_false\n";
+    Array.iter
+      (fun (a : Ir.atomic) ->
+        let b = Lplane.capacity_bound plane ~ab:a.Ir.ab_id in
+        Buffer.add_string buf
+          (Printf.sprintf "%s\tbound\tab%d\t-\t%d\t%d\t%b\n" t.a_name
+             a.Ir.ab_id b.Lplane.lb_min_read b.Lplane.lb_min_write
+             b.Lplane.lb_aliased))
+      prog.Ir.atomics;
+    List.iter
+      (fun (src, dst, prs) ->
+        let tr, fa = pair_stats prs in
+        Buffer.add_string buf
+          (Printf.sprintf "%s\tlineedge\t%s\tab%d\t%d\t%d\t%d\n" t.a_name
+             (Validate.source_label src) dst (List.length prs) tr fa))
+      (Lplane.edges plane);
+    Buffer.contents buf
+
+let validate t trace =
+  Validate.run ~ctx:(t.a_pipeline, t.a_plane) t.a_graph trace
 
 let render_validation ?(format = Text) t (v : Validate.t) =
   match format with
@@ -117,11 +197,38 @@ let render_validation ?(format = Text) t (v : Validate.t) =
          v.Validate.v_ambiguous);
     List.iter
       (fun (e : Validate.edge) ->
+        let sharing =
+          if e.Validate.e_true + e.Validate.e_false + e.Validate.e_unknown = 0
+          then ""
+          else
+            Printf.sprintf "  [%d true / %d false / %d unresolved]"
+              e.Validate.e_true e.Validate.e_false e.Validate.e_unknown
+        in
         Buffer.add_string buf
-          (Printf.sprintf "  %-8s -> ab%-3d %6d abort(s)\n"
+          (Printf.sprintf "  %-8s -> ab%-3d %6d abort(s)%s\n"
              (Validate.source_label e.Validate.e_src)
-             e.Validate.e_dst e.Validate.e_count))
+             e.Validate.e_dst e.Validate.e_count sharing))
       v.Validate.v_edges;
+    let attributed = v.Validate.v_true_sharing + v.Validate.v_false_sharing in
+    if attributed + v.Validate.v_sharing_unknown > 0 then begin
+      Buffer.add_string buf
+        (Printf.sprintf
+           "line attribution: %d true sharing, %d false sharing \
+            (false-sharing fraction %.2f), %d unresolved\n"
+           v.Validate.v_true_sharing v.Validate.v_false_sharing
+           (Validate.false_sharing_fraction v)
+           v.Validate.v_sharing_unknown);
+      if Validate.line_sound v then
+        Buffer.add_string buf
+          "line soundness: OK (every resolved conflict covered by a \
+           predicted line-colliding pair)\n"
+      else
+        Buffer.add_string buf
+          (Printf.sprintf
+             "line soundness: VIOLATED — %d abort(s) predicted at node \
+              level but covered by no line-colliding pair\n"
+             v.Validate.v_line_unsound)
+    end;
     if Validate.sound v then
       Buffer.add_string buf "soundness: OK (every dynamic edge predicted)\n"
     else begin
@@ -140,12 +247,14 @@ let render_validation ?(format = Text) t (v : Validate.t) =
     Buffer.contents buf
   | Tsv ->
     let buf = Buffer.create 256 in
-    Buffer.add_string buf "name\tedge\tsrc\tdst\tcount\tpredicted\n";
+    Buffer.add_string buf
+      "name\tedge\tsrc\tdst\tcount\tpredicted\ttrue\tfalse\tunresolved\n";
     let line pred (e : Validate.edge) =
       Buffer.add_string buf
-        (Printf.sprintf "%s\tedge\t%s\tab%d\t%d\t%s\n" t.a_name
+        (Printf.sprintf "%s\tedge\t%s\tab%d\t%d\t%s\t%d\t%d\t%d\n" t.a_name
            (Validate.source_label e.Validate.e_src)
-           e.Validate.e_dst e.Validate.e_count pred)
+           e.Validate.e_dst e.Validate.e_count pred e.Validate.e_true
+           e.Validate.e_false e.Validate.e_unknown)
     in
     List.iter (line "yes")
       (List.filter
@@ -153,6 +262,13 @@ let render_validation ?(format = Text) t (v : Validate.t) =
          v.Validate.v_edges);
     List.iter (line "no") v.Validate.v_unsound;
     Buffer.add_string buf
-      (Printf.sprintf "%s\tprecision\t-\t-\t%d\t%d\n" t.a_name
+      (Printf.sprintf "%s\tprecision\t-\t-\t%d\t%d\t-\t-\t-\n" t.a_name
          v.Validate.v_observed v.Validate.v_predicted);
+    (* count = aborts attributed at line granularity, predicted =
+       line-soundness violations among them *)
+    Buffer.add_string buf
+      (Printf.sprintf "%s\tsharing\t-\t-\t%d\t%d\t%d\t%d\t%d\n" t.a_name
+         (v.Validate.v_true_sharing + v.Validate.v_false_sharing)
+         v.Validate.v_line_unsound v.Validate.v_true_sharing
+         v.Validate.v_false_sharing v.Validate.v_sharing_unknown);
     Buffer.contents buf

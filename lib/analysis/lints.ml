@@ -1,3 +1,7 @@
+(* bind the analysis-side line plane before [open Stx_tir] shadows the
+   short name with the PC-assignment Layout of the IR *)
+module Lplane = Layout
+
 open Stx_tir
 open Stx_compiler
 
@@ -290,7 +294,239 @@ let truncated_pc (p : Pipeline.t) =
                      (String.concat " " (List.map describe ids))
                      (describe (List.hd ids)))))
 
-let all p sums graph =
+(* ---------------------------------------------------------------- *)
+(* STX106/STX108: false sharing and its padding fix-it               *)
+
+let src_label prog = function
+  | Conflict.Ab i -> Printf.sprintf "'%s'" prog.Ir.atomics.(i).Ir.ab_name
+  | Conflict.Outside -> "outside code"
+
+let dst_label prog dst = Printf.sprintf "'%s'" prog.Ir.atomics.(dst).Ir.ab_name
+
+let node_name plane gid =
+  match Lplane.struct_of plane ~gid with
+  | Some s -> Printf.sprintf "struct %s (node %d)" s.Types.sname gid
+  | None -> Printf.sprintf "node %d" gid
+
+let field_name plane gid f =
+  match Lplane.struct_of plane ~gid with
+  | Some s when f >= 0 && f < Types.size s ->
+    Printf.sprintf "'%s' (word %d)" (Types.field s f).Types.fname f
+  | _ -> Printf.sprintf "field %d" f
+
+(* every false-sharing witness with an exact line: (gid, line, fa, fb)
+   with fa < fb, plus the conflict edges it appears on, in first-seen
+   (edge-order) order *)
+let false_pairs plane =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (src, dst, prs) ->
+      List.iter
+        (fun pr ->
+          match (pr.Lplane.p_line, pr.Lplane.p_sharing) with
+          | Some line, Lplane.False_sharing ->
+            let fa = min pr.Lplane.p_src_field pr.Lplane.p_dst_field in
+            let fb = max pr.Lplane.p_src_field pr.Lplane.p_dst_field in
+            let key = (pr.Lplane.p_gid, line, fa, fb) in
+            (match Hashtbl.find_opt tbl key with
+            | Some ws -> if not (List.mem (src, dst) !ws) then ws := (src, dst) :: !ws
+            | None ->
+              Hashtbl.add tbl key (ref [ (src, dst) ]);
+              order := key :: !order)
+          | _ -> ())
+        prs)
+    (Lplane.edges plane);
+  List.rev_map
+    (fun ((gid, line, fa, fb) as key) ->
+      (gid, line, fa, fb, List.rev !(Hashtbl.find tbl key)))
+    !order
+  |> List.rev
+
+let false_sharing (p : Pipeline.t) plane =
+  let prog = p.Pipeline.prog in
+  false_pairs plane
+  |> List.map (fun (gid, line, fa, fb, witnesses) ->
+         let edges_s =
+           witnesses
+           |> List.map (fun (src, dst) ->
+                  Printf.sprintf "%s->%s" (src_label prog src)
+                    (dst_label prog dst))
+           |> List.sort_uniq compare |> String.concat ", "
+         in
+         Diag.make ~code:"STX106" ~severity:Diag.Warning
+           (Printf.sprintf
+              "distinct fields %s and %s of %s share cache line %d of \
+               every instance; conflicting accesses (%s) collide without \
+               touching the same data (false sharing)"
+              (field_name plane gid fa) (field_name plane gid fb)
+              (node_name plane gid) line edges_s))
+
+let padding_fixit (_p : Pipeline.t) plane =
+  let w = Lplane.words_per_line plane in
+  (* one fix-it per (gid, field pair); the shared line is a function of
+     the pair, so dropping it from the key only merges duplicates *)
+  let seen = Hashtbl.create 16 in
+  false_pairs plane
+  |> List.concat_map (fun (gid, line, fa, fb, _) ->
+         if Hashtbl.mem seen (gid, fa, fb) then []
+         else begin
+           Hashtbl.add seen (gid, fa, fb) ();
+           let pad = w - (fb mod w) in
+           [
+             Diag.make ~code:"STX108" ~severity:Diag.Info
+               (Printf.sprintf
+                  "inserting %d pad word%s before field %s of %s moves it \
+                   off line %d and onto its own line, separating it from \
+                   %s (fix for the STX106 pair)"
+                  pad
+                  (if pad = 1 then "" else "s")
+                  (field_name plane gid fb) (node_name plane gid) line
+                  (field_name plane gid fa));
+           ]
+         end)
+
+(* ---------------------------------------------------------------- *)
+(* STX107: static capacity-overflow prediction                       *)
+
+let capacity_overflow ~capacity (p : Pipeline.t) plane =
+  match capacity with
+  | Stx_policy.Capacity.Unbounded -> []
+  | Stx_policy.Capacity.Bounded { read_lines; write_lines } ->
+    Array.to_list p.Pipeline.prog.Ir.atomics
+    |> List.concat_map (fun (a : Ir.atomic) ->
+           let ab = a.Ir.ab_id in
+           let b = Lplane.capacity_bound plane ~ab in
+           let weak = if b.Lplane.lb_aliased then
+               " (a lower bound: some accessed nodes have unresolved line \
+                placement)" else "" in
+           if
+             b.Lplane.lb_min_read > read_lines
+             || b.Lplane.lb_min_write > write_lines
+           then
+             [
+               Diag.make ~ab ~func:a.Ir.ab_func ~code:"STX107"
+                 ~severity:Diag.Error
+                 (Printf.sprintf
+                    "block '%s' always overflows bounded:%d:%d capacity: \
+                     every committing execution loads >=%d and stores \
+                     >=%d distinct lines%s; its transactions can only \
+                     complete through the fallback"
+                    a.Ir.ab_name read_lines write_lines b.Lplane.lb_min_read
+                    b.Lplane.lb_min_write weak);
+             ]
+           else if
+             (b.Lplane.lb_min_read = read_lines && read_lines > 0)
+             || (b.Lplane.lb_min_write = write_lines && write_lines > 0)
+           then
+             [
+               Diag.make ~ab ~func:a.Ir.ab_func ~code:"STX107"
+                 ~severity:Diag.Info
+                 (Printf.sprintf
+                    "block '%s' has no capacity headroom under \
+                     bounded:%d:%d: its must-execute footprint already \
+                     loads %d and stores %d distinct lines%s; one more \
+                     distinct line in a set aborts with Capacity"
+                    a.Ir.ab_name read_lines write_lines b.Lplane.lb_min_read
+                    b.Lplane.lb_min_write weak);
+             ]
+           else [])
+
+(* ---------------------------------------------------------------- *)
+(* STX109: STM write-lock stripe aliasing (trace-backed)             *)
+
+let stripe_aliasing ?(nslots = 256) ?(min_aborts = 1) tr =
+  let at = Stx_trace.Trace.abort_attribution tr in
+  let groups : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (line, n) ->
+      if n >= min_aborts then begin
+        let s = Stx_stm.Stm.stripe_of_line ~nslots ~line in
+        match Hashtbl.find_opt groups s with
+        | Some l -> l := (line, n) :: !l
+        | None -> Hashtbl.add groups s (ref [ (line, n) ])
+      end)
+    at.Stx_trace.Trace.by_line;
+  Hashtbl.fold
+    (fun stripe lines acc ->
+      if List.length !lines >= 2 then (stripe, List.sort compare !lines) :: acc
+      else acc)
+    groups []
+  |> List.sort compare
+  |> List.map (fun (stripe, lines) ->
+         let describe (line, n) = Printf.sprintf "%d (%d aborts)" line n in
+         Diag.make ~code:"STX109" ~severity:Diag.Warning
+           (Printf.sprintf
+              "hot cache lines %s alias onto STM write-lock stripe %d/%d: \
+               software-tier commits on any of them lock and version the \
+               same stripe, so validation aborts cross between unrelated \
+               lines"
+              (String.concat ", " (List.map describe lines))
+              stripe nslots))
+
+(* ---------------------------------------------------------------- *)
+(* STX110: anchor-span waste                                         *)
+
+let anchor_span (p : Pipeline.t) graph plane =
+  let seen = Hashtbl.create 16 in
+  Array.to_list p.Pipeline.unified
+  |> List.concat_map (fun table ->
+         let ab = Unified.ab_id table in
+         Array.to_list (Unified.entries table)
+         |> List.concat_map (fun (e : Unified.entry) ->
+                if not e.Unified.ue_is_anchor then []
+                else
+                  Conflict.to_global graph ~ab e.Unified.ue_node
+                  |> List.concat_map (fun gid ->
+                         if Hashtbl.mem seen (ab, e.Unified.ue_iid, gid) then
+                           []
+                         else begin
+                           Hashtbl.add seen (ab, e.Unified.ue_iid, gid) ();
+                           match Lplane.placement plane ~gid with
+                           | Some (Lplane.Exact { span; _ }) when span > 1
+                             -> (
+                             match Lplane.conflict_lines plane ~gid with
+                             | [] -> []
+                             | contended
+                               when List.length contended < span ->
+                               let waste = span - List.length contended in
+                               [
+                                 Diag.make ~ab ~func:e.Unified.ue_func
+                                   ~iid:e.Unified.ue_iid ~code:"STX110"
+                                   ~severity:Diag.Info
+                                   (Printf.sprintf
+                                      "anchor guards %s spanning %d lines \
+                                       while only line%s %s carr%s \
+                                       conflicting fields; its advisory \
+                                       lock serializes %d uncontended \
+                                       line%s of every instance"
+                                      (node_name plane gid) span
+                                      (if List.length contended = 1 then ""
+                                       else "s")
+                                      (String.concat ","
+                                         (List.map string_of_int contended))
+                                      (if List.length contended = 1 then
+                                         "ies"
+                                       else "y")
+                                      waste
+                                      (if waste = 1 then "" else "s"));
+                               ]
+                             | _ -> [])
+                           | _ -> []
+                         end)))
+
+let all ?capacity ?plane p sums graph =
+  let plane =
+    match plane with
+    | Some pl -> pl
+    | None -> Lplane.build p.Pipeline.prog p.Pipeline.dsa graph
+  in
+  let cap =
+    match capacity with
+    | None -> []
+    | Some c -> capacity_overflow ~capacity:c p plane
+  in
   Diag.sort
     (missed_anchor p graph @ dead_alp p graph @ lock_order p graph
-   @ read_only p sums @ truncated_pc p)
+   @ read_only p sums @ truncated_pc p @ false_sharing p plane @ cap
+   @ padding_fixit p plane @ anchor_span p graph plane)

@@ -1,7 +1,9 @@
 open Stx_compiler
 
-(** The five lints over a compiled program. Each returns its diagnostics
-    unsorted; {!all} concatenates and sorts them. *)
+(** The lints over a compiled program (STX101–STX105 on the node-level
+    conflict graph, STX106–STX110 on the line-granular {!Layout} plane).
+    Each returns its diagnostics unsorted; {!all} concatenates and sorts
+    them. *)
 
 val missed_anchor_entries :
   instrumented:bool ->
@@ -45,4 +47,46 @@ val truncated_pc : Pipeline.t -> Diag.t list
     one hardware tag, so [search_by_truncated_pc] can return the wrong
     entry. [STX105], warning. *)
 
-val all : Pipeline.t -> Summary.t -> Conflict.t -> Diag.t list
+val false_sharing : Pipeline.t -> Layout.t -> Diag.t list
+(** Distinct fields of one object placed on one cache line and touched
+    by opposite sides of a conflict edge: the hardware collides
+    transactions that never touch the same data. One diagnostic per
+    [(node, line, field pair)], naming the witnessing edges. Only
+    [Exact]-placement witnesses are reported (an aliased placement
+    cannot name a concrete shared line). [STX106], warning. *)
+
+val capacity_overflow :
+  capacity:Stx_policy.Capacity.t -> Pipeline.t -> Layout.t -> Diag.t list
+(** Per-block must-execute line footprints checked against a
+    [bounded:R:W] capacity policy: a block whose sound lower bound
+    already exceeds a budget {e always} aborts with [Capacity] and can
+    only complete through the fallback (error); a bound exactly at a
+    budget leaves no headroom (info). Empty under [Unbounded].
+    [STX107]. *)
+
+val padding_fixit : Pipeline.t -> Layout.t -> Diag.t list
+(** The fix-it companion of {!false_sharing}: for each falsely-shared
+    field pair, the smallest padding that moves the later field onto its
+    own line. [STX108], info. *)
+
+val stripe_aliasing :
+  ?nslots:int -> ?min_aborts:int -> Stx_trace.Trace.t -> Diag.t list
+(** Trace-backed: hot conflicting cache lines (at least [min_aborts]
+    conflict aborts each, default 1) that hash onto the same STM
+    write-lock stripe ({!Stx_stm.Stm.stripe_of_line}; [nslots] defaults
+    to the tier's 256). Software-tier traffic on any of them locks and
+    versions the same stripe, so validation aborts cross between
+    unrelated lines. [STX109], warning. *)
+
+val anchor_span : Pipeline.t -> Conflict.t -> Layout.t -> Diag.t list
+(** Anchors whose guarded node spans several lines of which only some
+    carry conflicting fields: the advisory lock serializes uncontended
+    lines of every instance. [STX110], info. *)
+
+val all :
+  ?capacity:Stx_policy.Capacity.t -> ?plane:Layout.t -> Pipeline.t
+  -> Summary.t -> Conflict.t -> Diag.t list
+(** Every static lint. The line plane is built on demand when [plane]
+    is not supplied; STX107 runs only when [capacity] is given (the
+    budget to check against); the trace-backed {!stripe_aliasing} is
+    not included — it needs a trace. *)

@@ -4,6 +4,8 @@ open Stx_dsa
 type fsum = {
   s_reads : (int, Dsnode.t) Hashtbl.t;
   s_writes : (int, Dsnode.t) Hashtbl.t;
+  s_read_fields : (int * int, Dsnode.t * int) Hashtbl.t;
+  s_write_fields : (int * int, Dsnode.t * int) Hashtbl.t;
   mutable s_allocates : bool;
   mutable s_unknown_writes : bool;
 }
@@ -14,6 +16,8 @@ let fresh () =
   {
     s_reads = Hashtbl.create 8;
     s_writes = Hashtbl.create 8;
+    s_read_fields = Hashtbl.create 8;
+    s_write_fields = Hashtbl.create 8;
     s_allocates = false;
     s_unknown_writes = false;
   }
@@ -22,12 +26,23 @@ let add set node =
   let n = Dsnode.find node in
   Hashtbl.replace set (Dsnode.id n) n
 
+(* A collapsed node has lost its field structure: every access folds onto
+   field 0, matching how the DSA reports [access_node] on such nodes. *)
+let add_field set node field =
+  let n = Dsnode.find node in
+  let f = if Dsnode.is_collapsed n then 0 else field in
+  Hashtbl.replace set (Dsnode.id n, f) (n, f)
+
 (* Snapshot before inserting: a self-recursive call absorbs a summary into
    itself, and adding to a hashtable mid-[iter] is unspecified. *)
 let nodes set = Hashtbl.fold (fun _ n acc -> n :: acc) set []
 
+let field_entries set = Hashtbl.fold (fun _ nf acc -> nf :: acc) set []
+
 let size s =
   Hashtbl.length s.s_reads + Hashtbl.length s.s_writes
+  + Hashtbl.length s.s_read_fields
+  + Hashtbl.length s.s_write_fields
   + (if s.s_allocates then 1 else 0)
   + if s.s_unknown_writes then 1 else 0
 
@@ -46,6 +61,12 @@ let compute prog dsa =
     let tr n = Dsa.map_callee_node dsa ~call_iid n in
     List.iter (fun n -> add self.s_reads (tr n)) (nodes c.s_reads);
     List.iter (fun n -> add self.s_writes (tr n)) (nodes c.s_writes);
+    List.iter
+      (fun (n, f) -> add_field self.s_read_fields (tr n) f)
+      (field_entries c.s_read_fields);
+    List.iter
+      (fun (n, f) -> add_field self.s_write_fields (tr n) f)
+      (field_entries c.s_write_fields);
     if c.s_allocates then self.s_allocates <- true;
     if c.s_unknown_writes then self.s_unknown_writes <- true
   in
@@ -56,11 +77,15 @@ let compute prog dsa =
         match inst.Ir.op with
         | Ir.Load _ -> (
           match Dsa.access_node dsa inst.Ir.iid with
-          | Some (n, _) -> add self.s_reads n
+          | Some (n, fld) ->
+            add self.s_reads n;
+            add_field self.s_read_fields n fld
           | None -> ())
         | Ir.Store _ -> (
           match Dsa.access_node dsa inst.Ir.iid with
-          | Some (n, _) -> add self.s_writes n
+          | Some (n, fld) ->
+            add self.s_writes n;
+            add_field self.s_write_fields n fld
           | None -> self.s_unknown_writes <- true)
         | Ir.Alloc _ | Ir.Alloc_arr _ -> self.s_allocates <- true
         | Ir.Call (_, g, _) when Hashtbl.mem prog.Ir.funcs g ->
@@ -94,3 +119,5 @@ let may_write t f =
 
 let reads s = nodes s.s_reads
 let writes s = nodes s.s_writes
+let read_fields s = field_entries s.s_read_fields
+let write_fields s = field_entries s.s_write_fields

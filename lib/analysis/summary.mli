@@ -19,6 +19,11 @@ open Stx_dsa
 type fsum = {
   s_reads : (int, Dsnode.t) Hashtbl.t;  (** node id -> node, may-load *)
   s_writes : (int, Dsnode.t) Hashtbl.t;  (** node id -> node, may-store *)
+  s_read_fields : (int * int, Dsnode.t * int) Hashtbl.t;
+      (** (node id, field) -> witness — the field-granular refinement of
+          [s_reads]; accesses to a collapsed node fold onto field 0 *)
+  s_write_fields : (int * int, Dsnode.t * int) Hashtbl.t;
+      (** field-granular refinement of [s_writes] *)
   mutable s_allocates : bool;
       (** an [Alloc]/[Alloc_arr] is reachable (counts as a write for
           read-only classification, mirroring [Pipeline]) *)
@@ -41,3 +46,10 @@ val may_write : t -> string -> bool
 
 val reads : fsum -> Dsnode.t list
 val writes : fsum -> Dsnode.t list
+
+val read_fields : fsum -> (Dsnode.t * int) list
+(** May-load (node, field) pairs; a collapsed node appears as field 0.
+    The node set projected from these pairs equals {!reads}. *)
+
+val write_fields : fsum -> (Dsnode.t * int) list
+(** May-store (node, field) pairs, mirroring {!read_fields}. *)

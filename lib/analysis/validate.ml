@@ -1,7 +1,14 @@
 open Stx_sim
 open Stx_trace
 
-type edge = { e_src : Conflict.source; e_dst : int; e_count : int }
+type edge = {
+  e_src : Conflict.source;
+  e_dst : int;
+  e_count : int;
+  e_true : int;
+  e_false : int;
+  e_unknown : int;
+}
 
 type t = {
   v_edges : edge list;
@@ -11,13 +18,66 @@ type t = {
   v_ambiguous : int;
   v_predicted : int;
   v_observed : int;
+  v_true_sharing : int;
+  v_false_sharing : int;
+  v_sharing_unknown : int;
+  v_line_unsound : int;
 }
 
 let source_label = function
   | Conflict.Ab ab -> Printf.sprintf "ab%d" ab
   | Conflict.Outside -> "outside"
 
-let run graph trace =
+(* Resolve the victim side of a conflict abort to (whole-program node
+   ids, field): the event's [conf_pc] is the hardware's truncated tag of
+   the victim's FIRST access to the conflicting line, so the unified
+   table of the victim's block can map it back to an entry — unless the
+   tag is ambiguous (STX105 territory) or the instruction is not a
+   table entry. The entry's root-context node translates through
+   [Conflict.to_global]; its field comes from the DSA and is stable
+   across graph planes (it is fixed by the access instruction itself). *)
+let resolve_victim (pipeline : Stx_compiler.Pipeline.t) graph ~ab ~conf_pc =
+  match conf_pc with
+  | None -> None
+  | Some tag -> (
+    let table = Stx_compiler.Pipeline.table_for pipeline ~ab in
+    if Stx_compiler.Unified.tag_ambiguous table tag then None
+    else
+      (* The tag names an instruction, not a calling context: one iid can
+         appear in several table entries (one per context), each mapping
+         the access to a different whole-program node. The dynamic
+         instance went through exactly one of them, but the tag cannot
+         tell which — union the global ids of every matching entry. The
+         field is the same across contexts (fixed by the instruction). *)
+      let matching =
+        Array.to_list (Stx_compiler.Unified.entries table)
+        |> List.filter (fun (e : Stx_compiler.Unified.entry) ->
+               Stx_tir.Layout.truncate
+                 ~bits:pipeline.Stx_compiler.Pipeline.pc_bits
+                 (Stx_tir.Layout.pc_of_iid
+                    pipeline.Stx_compiler.Pipeline.layout
+                    e.Stx_compiler.Unified.ue_iid)
+               = tag)
+      in
+      match matching with
+      | [] -> None
+      | e :: _ -> (
+        match
+          Stx_dsa.Dsa.access_node pipeline.Stx_compiler.Pipeline.dsa
+            e.Stx_compiler.Unified.ue_iid
+        with
+        | None -> None
+        | Some (_, field) -> (
+          let gids =
+            List.concat_map
+              (fun (e : Stx_compiler.Unified.entry) ->
+                Conflict.to_global graph ~ab e.Stx_compiler.Unified.ue_node)
+              matching
+            |> List.sort_uniq compare
+          in
+          match gids with [] -> None | _ -> Some (gids, field))))
+
+let run ?ctx graph trace =
   let nt = Trace.threads trace in
   (* Per thread, newest-first list of (event index, source) transitions:
      [Some ab] while a block's transaction is (re)running, [None] for
@@ -28,15 +88,70 @@ let run graph trace =
   let begin_idx = Array.make nt 0 in
   let counts : (Conflict.source * int, int ref) Hashtbl.t = Hashtbl.create 32 in
   let unsound : (Conflict.source * int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let sharing : (Conflict.source * int, int ref * int ref * int ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
   let observed : (Conflict.source * int, unit) Hashtbl.t = Hashtbl.create 32 in
   let bump tbl key =
     match Hashtbl.find_opt tbl key with
     | Some r -> incr r
     | None -> Hashtbl.add tbl key (ref 1)
   in
+  let sharing_of key =
+    match Hashtbl.find_opt sharing key with
+    | Some c -> c
+    | None ->
+      let c = (ref 0, ref 0, ref 0) in
+      Hashtbl.add sharing key c;
+      c
+  in
   let conflicts = ref 0 in
   let unattributed = ref 0 in
   let ambiguous = ref 0 in
+  let true_sharing = ref 0 in
+  let false_sharing = ref 0 in
+  let sharing_unknown = ref 0 in
+  let line_unsound = ref 0 in
+  (* attribute the abort's line granularity once the (src, dst) edge is
+     settled: which predicted line-colliding pair covers the access the
+     victim was doomed on? The interval heuristic cannot always tell
+     WHICH predicting source doomed the victim, so every predicting
+     candidate is tried — the plane is unsound on this abort only when
+     none of them covers the access (true wins over false, keeping the
+     false-sharing fraction a lower bound). *)
+  let classify key ~srcs ~ab ~conf_pc =
+    match ctx with
+    | None -> ()
+    | Some (pipeline, plane) -> (
+      let tr, fa, un = sharing_of key in
+      match resolve_victim pipeline graph ~ab ~conf_pc with
+      | None ->
+        incr sharing_unknown;
+        incr un
+      | Some (gids, field) -> (
+        let best =
+          List.fold_left
+            (fun acc src ->
+              match
+                Layout.classify_conflict plane ~src ~dst:ab ~gids ~field
+              with
+              | Layout.Attributed Layout.True_sharing -> `True
+              | Layout.Attributed Layout.False_sharing ->
+                if acc = `True then `True else `False
+              | Layout.Unpredicted -> acc)
+            `None srcs
+        in
+        match best with
+        | `True ->
+          incr true_sharing;
+          incr tr
+        | `False ->
+          incr false_sharing;
+          incr fa
+        | `None ->
+          incr line_unsound;
+          incr un))
+  in
   let idx = ref 0 in
   Trace.iter trace (fun ~time:_ ev ->
       let i = !idx in
@@ -51,8 +166,8 @@ let run graph trace =
           begin_idx.(tid) <- i;
           hist.(tid) <- (i, Some ab) :: hist.(tid))
       | Machine.Tx_commit { tid; _ } -> hist.(tid) <- (i, None) :: hist.(tid)
-      | Machine.Tx_abort { tid; ab; kind = Machine.Conflict; aggressor; _ }
-        -> (
+      | Machine.Tx_abort
+          { tid; ab; kind = Machine.Conflict; aggressor; conf_pc; _ } -> (
         incr conflicts;
         match aggressor with
         | Some a when a >= 0 && a < nt && a <> tid ->
@@ -78,9 +193,10 @@ let run graph trace =
           (* prefer attributing to a block over outside code *)
           let order = function Conflict.Ab _ -> 0 | Conflict.Outside -> 1 in
           (match List.sort (fun a b -> compare (order a) (order b)) predicting with
-          | src :: _ ->
+          | src :: _ as srcs ->
             bump counts (src, ab);
-            Hashtbl.replace observed (src, ab) ()
+            Hashtbl.replace observed (src, ab) ();
+            classify (src, ab) ~srcs ~ab ~conf_pc
           | [] ->
             let src = to_src (List.hd cands) in
             bump counts (src, ab);
@@ -89,7 +205,15 @@ let run graph trace =
       | _ -> ());
   let dump tbl =
     Hashtbl.fold
-      (fun (src, dst) r acc -> { e_src = src; e_dst = dst; e_count = !r } :: acc)
+      (fun (src, dst) r acc ->
+        let tr, fa, un =
+          match Hashtbl.find_opt sharing (src, dst) with
+          | Some (t, f, u) -> (!t, !f, !u)
+          | None -> (0, 0, 0)
+        in
+        { e_src = src; e_dst = dst; e_count = !r; e_true = tr; e_false = fa;
+          e_unknown = un }
+        :: acc)
       tbl []
     |> List.sort (fun a b ->
            let c = compare b.e_count a.e_count in
@@ -107,10 +231,21 @@ let run graph trace =
     v_ambiguous = !ambiguous;
     v_predicted = List.length static;
     v_observed = observed_static;
+    v_true_sharing = !true_sharing;
+    v_false_sharing = !false_sharing;
+    v_sharing_unknown = !sharing_unknown;
+    v_line_unsound = !line_unsound;
   }
 
 let sound t = t.v_unsound = []
 
+let line_sound t = t.v_line_unsound = 0
+
 let precision t =
   if t.v_predicted = 0 then 1.0
   else float_of_int t.v_observed /. float_of_int t.v_predicted
+
+let false_sharing_fraction t =
+  let attributed = t.v_true_sharing + t.v_false_sharing in
+  if attributed = 0 then 0.0
+  else float_of_int t.v_false_sharing /. float_of_int attributed

@@ -68,8 +68,12 @@ let status t ~core = t.cores.(core).st
 
 (* Fibonacci hashing of the cache-line index, as the advisory-lock table
    does; distinct lines may alias to one stripe, which can only produce
-   spurious validation aborts, never a missed conflict *)
-let slot_of t ~line = line * 0x9E3779B1 land max_int mod t.nslots
+   spurious validation aborts, never a missed conflict. Exposed as a pure
+   function so static analyses (the STX109 stripe-aliasing lint) and the
+   simulator can never disagree on the mapping. *)
+let stripe_of_line ~nslots ~line = line * 0x9E3779B1 land max_int mod nslots
+
+let slot_of t ~line = stripe_of_line ~nslots:t.nslots ~line
 
 let version_addr t ~line = t.base + slot_of t ~line
 

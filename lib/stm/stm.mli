@@ -52,6 +52,16 @@ val create : ?nslots:int -> Htm.t -> Memory.t -> Alloc.t -> t
 
 val nslots : t -> int
 
+val stripe_of_line : nslots:int -> line:int -> int
+(** The pure stripe mapping: the index (in [0, nslots)) of the versioned
+    write-lock covering cache line [line] — Fibonacci hashing of the line
+    index, identical to the advisory-lock table's scheme. {!version_addr}
+    and every commit-time lock/validation probe use exactly this
+    function; it is exposed so external consumers (the STX109 lint, the
+    simulator's cost accounting) cannot drift from the tier itself.
+    Distinct lines may alias onto one stripe: aliasing can only cause
+    spurious validation aborts, never a missed conflict. *)
+
 val clock : t -> int
 (** Current global version clock (monotonic; advanced by every software
     commit and every hardware publication). *)

@@ -26,4 +26,17 @@ let field s i =
     invalid_arg (Printf.sprintf "Types.field: %s has no field %d" s.sname i);
   s.sfields.(i)
 
+(* Data-layout accessors: every field is one word, objects allocated by
+   the runtime start on a cache-line boundary (Alloc's default), so a
+   field's intra-object line and a struct's line span are pure functions
+   of the word offset. *)
+
+let line_of_field ~words_per_line off =
+  if words_per_line <= 0 then invalid_arg "Types.line_of_field";
+  off / words_per_line
+
+let lines_spanned ~words_per_line s =
+  if words_per_line <= 0 then invalid_arg "Types.lines_spanned";
+  Stdlib.max 1 ((size s + words_per_line - 1) / words_per_line)
+
 let word = make "word" [ ("value", Scalar) ]

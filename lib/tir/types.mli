@@ -24,5 +24,14 @@ val field_index : strct -> string -> int
 val field : strct -> int -> field
 (** Raises [Invalid_argument] if the index is out of bounds. *)
 
+val line_of_field : words_per_line:int -> int -> int
+(** The intra-object cache-line index a field at the given word offset
+    lands on, for line-aligned objects (the allocator's default
+    placement). Raises [Invalid_argument] when [words_per_line <= 0]. *)
+
+val lines_spanned : words_per_line:int -> strct -> int
+(** Cache lines a line-aligned instance of the struct occupies (at least
+    1). Raises [Invalid_argument] when [words_per_line <= 0]. *)
+
 val word : strct
 (** The built-in one-scalar-field struct used for raw word arrays. *)

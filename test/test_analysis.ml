@@ -231,12 +231,12 @@ let test_truncated_pc_collision () =
   let table = Pipeline.table_for c ~ab:0 in
   let entries = Unified.entries table in
   (* sanity: the two loads really fold onto one tag *)
-  let pc_of e = Layout.pc_of_iid c.Pipeline.layout e.Unified.ue_iid in
+  let pc_of e = Stx_tir.Layout.pc_of_iid c.Pipeline.layout e.Unified.ue_iid in
   let load0 = entries.(0) and load1 = entries.(1) in
   Alcotest.(check int) "pcs 4096 apart" 4096 (abs (pc_of load1 - pc_of load0));
-  let tag = Layout.truncate ~bits:c.Pipeline.pc_bits (pc_of load0) in
+  let tag = Stx_tir.Layout.truncate ~bits:c.Pipeline.pc_bits (pc_of load0) in
   Alcotest.(check int) "same tag" tag
-    (Layout.truncate ~bits:c.Pipeline.pc_bits (pc_of load1));
+    (Stx_tir.Layout.truncate ~bits:c.Pipeline.pc_bits (pc_of load1));
   (* the hardware lookup resolves to the first entry in table order *)
   (match Unified.search_by_truncated_pc table tag with
   | Some e -> Alcotest.(check int) "resolves to first entry" load0.Unified.ue_id
@@ -349,6 +349,208 @@ let test_validation_detects_unpredicted_edge () =
   | _ -> Alcotest.fail "expected exactly one unsound edge"
 
 (* ------------------------------------------------------------------ *)
+(* line plane: adversarial layouts                                     *)
+
+(* two atomic blocks hammering DISTINCT fields of one shared object;
+   [padded] pushes the second hot field onto its own cache line *)
+let build_two_field_program ~padded () =
+  let p = Ir.create_program () in
+  let fields =
+    if padded then
+      ("x", Types.Scalar)
+      :: (List.init 7 (fun i -> (Printf.sprintf "pad%d" i, Types.Scalar))
+         @ [ ("y", Types.Scalar) ])
+    else [ ("x", Types.Scalar); ("y", Types.Scalar) ]
+  in
+  Ir.add_struct p (Types.make "pair" fields);
+  let mk fname field =
+    let b = Builder.create p fname ~params:[ "p" ] in
+    let addr = Builder.gep b (Builder.param b "p") "pair" field in
+    let v = Builder.load b addr in
+    let v' = Builder.bin b Ir.Add v (Ir.Imm 1) in
+    Builder.store b ~addr v';
+    Builder.ret b None;
+    ignore (Builder.finish b);
+    Ir.add_atomic p ~name:fname ~func:fname
+  in
+  let ab_x = mk "bump_x" "x" in
+  let ab_y = mk "bump_y" "y" in
+  let b = Builder.create p "main" ~params:[ "p" ] in
+  Builder.atomic_call b ab_x [ Builder.param b "p" ];
+  Builder.atomic_call b ab_y [ Builder.param b "p" ];
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  (p, ab_x, ab_y)
+
+let has_code cd (d : Diag.t) = d.Diag.code = cd
+
+let test_false_sharing_packed_vs_padded () =
+  (* packed: x and y share line 0 -> STX106 + STX108 and the cross edge
+     refines to a false-sharing pair *)
+  let p, ab_x, ab_y = build_two_field_program ~padded:false () in
+  let c = Pipeline.compile ~instrument:false p in
+  let a = Driver.analyze ~name:"packed" c in
+  Alcotest.(check bool) "packed: STX106 fired" true
+    (List.exists (has_code "STX106") a.Driver.a_diags);
+  Alcotest.(check bool) "packed: STX108 fix-it fired" true
+    (List.exists (has_code "STX108") a.Driver.a_diags);
+  let prs = Layout.pairs a.Driver.a_plane ~src:(Conflict.Ab ab_x) ~dst:ab_y in
+  Alcotest.(check bool) "packed: cross edge has a false pair on line 0" true
+    (List.exists
+       (fun (pr : Layout.pair) ->
+         pr.Layout.p_sharing = Layout.False_sharing
+         && pr.Layout.p_line = Some 0)
+       prs);
+  (* padded: y moves onto its own line -> silent, cross edge refined away *)
+  let p, ab_x, ab_y = build_two_field_program ~padded:true () in
+  let c = Pipeline.compile ~instrument:false p in
+  let a = Driver.analyze ~name:"padded" c in
+  Alcotest.(check bool) "padded: no STX106" false
+    (List.exists (has_code "STX106") a.Driver.a_diags);
+  Alcotest.(check bool) "padded: no STX108" false
+    (List.exists (has_code "STX108") a.Driver.a_diags);
+  Alcotest.(check int) "padded: cross edge refined away" 0
+    (List.length (Layout.pairs a.Driver.a_plane ~src:(Conflict.Ab ab_x) ~dst:ab_y))
+
+(* ------------------------------------------------------------------ *)
+(* line plane: capacity bounds and STX107                              *)
+
+(* one atomic block that unconditionally reads [nobjs] provably
+   disjoint line-aligned objects and writes the first: its whole
+   footprint is must-execute, so the plane's lower bound is exact *)
+let build_wide_program ~nobjs () =
+  let p = Ir.create_program () in
+  Ir.add_struct p (Types.make "cell" [ word_field ]);
+  let params = List.init nobjs (Printf.sprintf "p%d") in
+  let b = Builder.create p "sweep" ~params in
+  let acc = Builder.reg b "acc" in
+  Builder.mov b acc (Ir.Imm 0);
+  List.iter
+    (fun pr ->
+      let v = Builder.load b (Builder.gep b (Builder.param b pr) "cell" "v") in
+      Builder.bin_to b acc Ir.Add (Ir.Reg acc) v)
+    params;
+  Builder.store b
+    ~addr:(Builder.gep b (Builder.param b "p0") "cell" "v")
+    (Ir.Reg acc);
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  let ab = Ir.add_atomic p ~name:"sweep" ~func:"sweep" in
+  let b = Builder.create p "main" ~params:params in
+  Builder.atomic_call b ab (List.map (Builder.param b) params);
+  Builder.ret b None;
+  ignore (Builder.finish b);
+  (p, ab)
+
+let test_capacity_bound_and_stx107 () =
+  let p, ab = build_wide_program ~nobjs:6 () in
+  let c = Pipeline.compile ~instrument:false p in
+  let a = Driver.analyze ~name:"wide" c in
+  let bound = Layout.capacity_bound a.Driver.a_plane ~ab in
+  Alcotest.(check int) "min read lines" 6 bound.Layout.lb_min_read;
+  Alcotest.(check int) "min write lines" 1 bound.Layout.lb_min_write;
+  Alcotest.(check bool) "no aliased contribution" false bound.Layout.lb_aliased;
+  let diags ~r ~w =
+    Lints.capacity_overflow
+      ~capacity:(Stx_policy.Capacity.Bounded { read_lines = r; write_lines = w })
+      c a.Driver.a_plane
+  in
+  (* budget below the bound: the block can never commit -> error *)
+  let d = diags ~r:4 ~w:4 in
+  Alcotest.(check int) "always-overflow flagged" 1 (List.length d);
+  Alcotest.(check bool) "as an error" true (Diag.has_errors d);
+  (* budget exactly at the bound: no headroom -> info *)
+  let d = diags ~r:6 ~w:4 in
+  Alcotest.(check int) "no-headroom flagged" 1 (List.length d);
+  Alcotest.(check bool) "as info, not error" false (Diag.has_errors d);
+  (* roomy and unbounded budgets: silent *)
+  Alcotest.(check int) "roomy budget silent" 0 (List.length (diags ~r:8 ~w:4));
+  Alcotest.(check int) "unbounded silent" 0
+    (List.length
+       (Lints.capacity_overflow ~capacity:Stx_policy.Capacity.Unbounded c
+          a.Driver.a_plane))
+
+(* an STX107 always-overflow verdict is a claim about every execution:
+   running the workload under the same budget must show Capacity aborts *)
+let test_stx107_agrees_with_capacity_aborts () =
+  let budget =
+    Stx_policy.Capacity.Bounded { read_lines = 1; write_lines = 1 }
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun name ->
+      let w =
+        match Stx_workloads.Registry.find name with
+        | Some w -> w
+        | None -> Alcotest.fail (name ^ " missing")
+      in
+      let spec = Stx_workloads.Workload.spec ~scale:0.12 w in
+      let a = Driver.analyze ~name ~capacity:budget spec.Machine.compiled in
+      let predicted =
+        List.exists
+          (fun (d : Diag.t) ->
+            d.Diag.code = "STX107" && d.Diag.severity = Diag.Error)
+          a.Driver.a_diags
+      in
+      if predicted then begin
+        incr checked;
+        let htm_policy = { Stx_policy.default with capacity = budget } in
+        let stats =
+          Machine.run ~seed:7 ~htm_policy
+            ~cfg:(Stx_machine.Config.with_cores 4 Stx_machine.Config.default)
+            ~mode:Stx_core.Mode.Baseline spec
+        in
+        Alcotest.(check bool) (name ^ ": capacity aborts observed") true
+          (stats.Stx_sim.Stats.capacity_aborts > 0)
+      end)
+    [ "genome"; "intruder"; "vacation"; "tsp"; "memcached" ];
+  Alcotest.(check bool) "STX107 always-overflow predicted on >=3 workloads"
+    true (!checked >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* line attribution across the whole registry                          *)
+
+let test_line_attribution_all_workloads () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun mode ->
+          let spec, tr, _ = traced_run ~threads:4 ~mode ~scale:0.12 w in
+          let a =
+            Driver.analyze ~name:w.Stx_workloads.Workload.name
+              spec.Machine.compiled
+          in
+          let v = Driver.validate a tr in
+          let name =
+            Printf.sprintf "%s/%s" w.Stx_workloads.Workload.name
+              (Stx_core.Mode.to_string mode)
+          in
+          Alcotest.(check bool) (name ^ " sound") true (Validate.sound v);
+          Alcotest.(check bool) (name ^ " line-sound") true
+            (Validate.line_sound v);
+          (* every predicted abort is classified: the per-trace sharing
+             counters must add up to the predicted-edge abort total *)
+          let predicted_aborts =
+            List.fold_left
+              (fun acc (e : Validate.edge) ->
+                if List.mem e v.Validate.v_unsound then acc
+                else acc + e.Validate.e_count)
+              0 v.Validate.v_edges
+          in
+          Alcotest.(check int) (name ^ " classification adds up")
+            predicted_aborts
+            (v.Validate.v_true_sharing + v.Validate.v_false_sharing
+           + v.Validate.v_sharing_unknown);
+          let fr = Validate.false_sharing_fraction v in
+          Alcotest.(check bool) (name ^ " fraction in [0,1]") true
+            (fr >= 0.0 && fr <= 1.0))
+        [
+          Stx_core.Mode.Baseline; Stx_core.Mode.Addr_only;
+          Stx_core.Mode.Staggered_sw; Stx_core.Mode.Staggered_hw;
+        ])
+    Stx_workloads.Registry.all
+
+(* ------------------------------------------------------------------ *)
 (* raw codec round-trip                                                *)
 
 let test_codec_roundtrip () =
@@ -415,6 +617,14 @@ let suite =
       test_validation_sound_on_real_run;
     Alcotest.test_case "validate: detects unpredicted edge" `Quick
       test_validation_detects_unpredicted_edge;
+    Alcotest.test_case "layout: packed fields flagged, padded silent" `Quick
+      test_false_sharing_packed_vs_padded;
+    Alcotest.test_case "layout: capacity bound and STX107 severities" `Quick
+      test_capacity_bound_and_stx107;
+    Alcotest.test_case "layout: STX107 agrees with Capacity aborts" `Slow
+      test_stx107_agrees_with_capacity_aborts;
+    Alcotest.test_case "validate: line attribution on all workloads" `Slow
+      test_line_attribution_all_workloads;
     Alcotest.test_case "codec: round-trip" `Quick test_codec_roundtrip;
     Alcotest.test_case "codec: rejects garbage" `Quick test_codec_rejects_garbage;
   ]

@@ -118,6 +118,40 @@ let test_disjoint_stm_commits_both_win () =
   Alcotest.(check int) "first value" 1 (Memory.load mem 64);
   Alcotest.(check int) "second value" 2 (Memory.load mem 4096)
 
+let test_stripe_of_line_pinned () =
+  (* pin the published stripe mapping: Fibonacci hashing of the line
+     index — [line * 0x9E3779B1 land max_int mod nslots]. Version probes
+     in a live tier must agree with the pure function. *)
+  let expect ~nslots ~line =
+    line * 0x9E3779B1 land max_int mod nslots
+  in
+  List.iter
+    (fun (nslots, line) ->
+      Alcotest.(check int)
+        (Printf.sprintf "stripe nslots=%d line=%d" nslots line)
+        (expect ~nslots ~line)
+        (Stm.stripe_of_line ~nslots ~line))
+    [ (256, 0); (256, 1); (256, 8); (256, 12345); (64, 7); (1, 999) ];
+  (* concrete golden values so a hash change cannot slip through *)
+  Alcotest.(check int) "golden line 1" 177 (Stm.stripe_of_line ~nslots:256 ~line:1);
+  Alcotest.(check int) "golden line 2" 98 (Stm.stripe_of_line ~nslots:256 ~line:2);
+  Alcotest.(check bool) "in range" true
+    (List.for_all
+       (fun line ->
+         let s = Stm.stripe_of_line ~nslots:256 ~line in
+         s >= 0 && s < 256)
+       (List.init 1000 (fun i -> i * 13)));
+  (* the live tier's version words are laid out by exactly this mapping *)
+  let _, _, stm = setup () in
+  let base = Stm.version_addr stm ~line:0 - Stm.stripe_of_line ~nslots:(Stm.nslots stm) ~line:0 in
+  List.iter
+    (fun line ->
+      Alcotest.(check int)
+        (Printf.sprintf "version_addr agrees for line %d" line)
+        (base + Stm.stripe_of_line ~nslots:(Stm.nslots stm) ~line)
+        (Stm.version_addr stm ~line))
+    [ 0; 1; 5; 64; 4096 ]
+
 (* --- machine-level: the htm-stm-lock ladder --------------------------- *)
 
 let stm_policy ?(hw_retries = 1) ?(stm_retries = 4) () =
@@ -251,6 +285,8 @@ let suite =
     Alcotest.test_case "read own buffered write" `Quick test_stm_read_own_write;
     Alcotest.test_case "disjoint stm commits both win" `Quick
       test_disjoint_stm_commits_both_win;
+    Alcotest.test_case "stripe_of_line mapping is pinned" `Quick
+      test_stripe_of_line_pinned;
     Alcotest.test_case "hot counter: no livelock, exact count" `Quick
       test_hot_counter_no_livelock;
     Alcotest.test_case "stm counters stay zero without the tier" `Quick
