@@ -151,9 +151,30 @@ let scaling_cmd =
     Reports.scaling_cells Reports.scaling
 
 let profile_cmd =
-  per_bench_cmd "profile"
-    "Per-atomic-block phase profile: speculative prefix vs serialized suffix"
-    Reports.profile_cells Reports.profile
+  let format_arg =
+    Arg.(
+      value
+      & opt string "text"
+      & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,tsv).")
+  in
+  let run c bench format =
+    match Stx_workloads.Registry.find bench with
+    | None -> prerr_endline ("unknown benchmark " ^ bench)
+    | Some w -> (
+      Exp.prefetch ~progress:true c (Reports.profile_cells c w);
+      match format with
+      | "text" -> section ("profile: " ^ bench) (Reports.profile c w)
+      | "tsv" -> print_string (Reports.profile_tsv c w)
+      | f ->
+        prerr_endline ("unknown format " ^ f ^ " (text|tsv)");
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Per-atomic-block phase profile: speculative prefix vs serialized \
+          suffix (--format tsv for machine-readable rows)")
+    Term.(const run $ ctx_term $ bench_arg $ format_arg)
 
 let bench_cmd =
   let out_arg =
@@ -772,6 +793,135 @@ let serve_cmd =
       const run $ serve_bench_arg $ rates_arg $ keys_arg $ horizon_arg
       $ shards_arg $ threads_arg $ serve_seed_arg $ jobs_arg)
 
+(* ---------------------------------------------------------------- *)
+(* stx_repro report: one run as a self-contained HTML file           *)
+
+let report_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt string "Staggered"
+      & info [ "mode" ] ~doc:"HTM | AddrOnly | Staggered+SW | Staggered.")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "window" ] ~docv:"CYCLES"
+          ~doc:"Telemetry window width in simulated cycles.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "stx_report.html"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the HTML report.")
+  in
+  let run c bench mode_s window out =
+    let die msg =
+      prerr_endline msg;
+      exit 1
+    in
+    let w =
+      match Stx_workloads.Registry.find bench with
+      | Some w -> w
+      | None -> die ("unknown benchmark " ^ bench)
+    in
+    let mode =
+      match Stx_core.Mode.of_string mode_s with
+      | Some m -> m
+      | None -> die ("unknown mode: " ^ mode_s ^ " (HTM|AddrOnly|Staggered+SW|Staggered)")
+    in
+    if window < 1 then die "--window must be positive";
+    let seed = Exp.seed c
+    and scale = Exp.scale c
+    and threads = Exp.threads c
+    and htm_policy = Exp.policy c in
+    let spec =
+      Stx_workloads.Workload.spec ~instrument:(Stx_core.Mode.uses_alps mode)
+        ~scale w
+    in
+    let cfg = Stx_machine.Config.with_cores threads Stx_machine.Config.default in
+    let tr = Stx_trace.Trace.create ~threads () in
+    let tc = Stx_telemetry.Collect.create ~window ~threads () in
+    let r =
+      Stx_metrics.Run.simulate ~seed ~htm_policy ~cfg ~mode
+        ~on_event:(fun ~time ev ->
+          Stx_trace.Trace.handler tr ~time ev;
+          Stx_telemetry.Collect.handler tc ~time ev)
+        spec
+    in
+    let stats = r.Stx_metrics.Run.stats in
+    let series =
+      Stx_telemetry.Collect.finalize ~horizon:stats.Stx_sim.Stats.total_cycles
+        tc
+    in
+    let episodes = Stx_telemetry.Episodes.detect series in
+    let prog = w.Stx_workloads.Workload.build () in
+    let ab_name id =
+      let atomics = prog.Stx_tir.Ir.atomics in
+      if id >= 0 && id < Array.length atomics then
+        Printf.sprintf "%d:%s" id atomics.(id).Stx_tir.Ir.ab_name
+      else string_of_int id
+    in
+    let html =
+      Htmlreport.render
+        {
+          Htmlreport.workload = w.Stx_workloads.Workload.name;
+          mode;
+          seed;
+          scale;
+          threads;
+          policy = htm_policy;
+          series;
+          episodes;
+          stats;
+          registry = r.Stx_metrics.Run.metrics;
+          attribution = Stx_trace.Trace.abort_attribution tr;
+          ab_name;
+        }
+    in
+    let oc = open_out_bin out in
+    output_string oc html;
+    close_out oc;
+    Printf.printf "report: %s %s -> %s (%d bytes, %d windows, %d episodes)\n"
+      w.Stx_workloads.Workload.name (Stx_core.Mode.to_string mode) out
+      (String.length html)
+      (Stx_telemetry.Series.length series)
+      (List.length episodes);
+    (* cache the artifact under a digest of everything its bytes depend
+       on — the same freshness contract as the result store *)
+    match Exp.store c with
+    | None -> ()
+    | Some store ->
+      let key =
+        Digest.to_hex
+          (Digest.string
+             (Printf.sprintf "report-v1 spec-v%d %s %s %d %h %d %d %s"
+                Stx_runner.Job.spec_version w.Stx_workloads.Workload.name
+                (Stx_core.Mode.to_string mode) seed scale threads window
+                (Stx_policy.label htm_policy)))
+      in
+      (match Stx_runner.Store.load_blob store ~key with
+      | Some old when old <> html ->
+        Printf.printf
+          "note: cached report %s differed and was refreshed (code drift \
+           without a Job.spec_version bump?)\n"
+          key
+      | _ -> ());
+      Stx_runner.Store.save_blob store ~key html;
+      Printf.printf "cached: %s\n%!" (Stx_runner.Store.blob_path store ~key)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run one benchmark under one mode with tracing, metrics and \
+          windowed telemetry, and render everything — time series with \
+          episode annotations, per-core occupancy, conflict hot spots, the \
+          per-atomic-block phase profile and the policy bundle — as a \
+          single self-contained HTML file (inline CSS, hand-rolled SVG, no \
+          external assets; byte-deterministic for a fixed seed)")
+    Term.(const run $ ctx_term $ bench_arg $ mode_arg $ window_arg $ out_arg)
+
 let all_cmd =
   let run c =
     Exp.prefetch ~progress:true c
@@ -825,6 +975,7 @@ let () =
       policies_cmd;
       hybrid_cmd;
       serve_cmd;
+      report_cmd;
       all_cmd;
     ]
   in

@@ -102,8 +102,8 @@ let run_many benches mode threads seed scale jobs policy =
     benches batch.Sweep.results;
   if !failed then exit 1
 
-let run list_benches bench mode threads seed scale trace raw_trace metrics lint
-    jobs policy_s capacity_s fallback_s =
+let run list_benches bench mode threads seed scale trace raw_trace metrics
+    telemetry telemetry_window lint jobs policy_s capacity_s fallback_s =
   let htm_policy = parse_policy policy_s capacity_s fallback_s in
   if list_benches then begin
     List.iter
@@ -137,17 +137,33 @@ let run list_benches bench mode threads seed scale trace raw_trace metrics lint
     prerr_endline "no benchmark given (try --list)";
     exit 1
   | _ :: _ :: _ ->
-    if trace <> None || raw_trace <> None || metrics <> None || lint then begin
-      prerr_endline "--trace/--raw-trace/--metrics/--lint need a single benchmark";
+    if trace <> None || raw_trace <> None || metrics <> None || telemetry <> None
+       || lint
+    then begin
+      prerr_endline
+        "--trace/--raw-trace/--metrics/--telemetry/--lint need a single \
+         benchmark";
       exit 1
     end;
     run_many benches mode threads seed scale jobs htm_policy
   | [ w ] ->
+    if telemetry_window < 1 then begin
+      prerr_endline "--telemetry-window must be positive";
+      exit 1
+    end;
     let cfg = Config.with_cores threads Config.default in
+    (* telemetry always records a full trace too: the replay-equality
+       check (online fold = trace replay) rides on every collection *)
     let tr =
-      if trace <> None || raw_trace <> None then
+      if trace <> None || raw_trace <> None || telemetry <> None then
         Some (Stx_trace.Trace.create ~threads ())
       else None
+    in
+    let telem =
+      match telemetry with
+      | Some _ ->
+        Some (Stx_telemetry.Collect.create ~window:telemetry_window ~threads ())
+      | None -> None
     in
     let collector =
       match metrics with
@@ -160,13 +176,22 @@ let run list_benches bench mode threads seed scale trace raw_trace metrics lint
         | Some tr -> Stx_trace.Trace.handler tr
         | None -> fun ~time:_ _ -> ()
       in
-      match collector with
-      | None -> trace_h
-      | Some c ->
-        let metrics_h = Stx_metrics.Collect.handler c in
+      let chained =
+        match collector with
+        | None -> trace_h
+        | Some c ->
+          let metrics_h = Stx_metrics.Collect.handler c in
+          fun ~time ev ->
+            trace_h ~time ev;
+            metrics_h ~time ev
+      in
+      match telem with
+      | None -> chained
+      | Some tc ->
+        let telem_h = Stx_telemetry.Collect.handler tc in
         fun ~time ev ->
-          trace_h ~time ev;
-          metrics_h ~time ev
+          chained ~time ev;
+          telem_h ~time ev
     in
     let spec = Workload.spec ~instrument:(Mode.uses_alps mode) ~scale w in
     let lint_errors =
@@ -201,6 +226,49 @@ let run list_benches bench mode threads seed scale trace raw_trace metrics lint
         Printf.printf "  metrics check      FAILED:\n";
         List.iter (fun e -> Printf.printf "    %s\n" e) errs;
         exit 1)
+    | _ -> ());
+    (match (telemetry, telem, tr) with
+    | Some file, Some tc, Some tr ->
+      let horizon = stats.Stats.total_cycles in
+      let online = Stx_telemetry.Collect.finalize ~horizon tc in
+      let replayed =
+        Stx_telemetry.Collect.of_trace ~window:telemetry_window ~horizon tr
+      in
+      (* width/threads already live in the codec headers *)
+      let meta =
+        [
+          ("workload", w.Workload.name);
+          ("mode", Mode.to_string mode);
+          ("seed", string_of_int seed);
+          ("scale", string_of_float scale);
+          ("policy", Stx_policy.label htm_policy);
+        ]
+      in
+      let doc =
+        if Filename.check_suffix file ".csv" then
+          Stx_telemetry.Series.to_csv ~meta online
+        else Stx_telemetry.Series.to_jsonl ~meta online
+      in
+      let oc = open_out file in
+      output_string oc doc;
+      close_out oc;
+      Printf.printf "  telemetry          %d windows of %d cycles -> %s\n"
+        (Stx_telemetry.Series.length online)
+        telemetry_window file;
+      List.iter
+        (fun e ->
+          Printf.printf "  episode            %s\n"
+            (Stx_telemetry.Episodes.to_string online e))
+        (Stx_telemetry.Episodes.detect online);
+      if Stx_telemetry.Series.equal online replayed then
+        Printf.printf "  telemetry check    ok (online = trace replay)\n%!"
+      else begin
+        Printf.printf "  telemetry check    FAILED:\n";
+        List.iter
+          (fun d -> Printf.printf "    %s\n" d)
+          (Stx_telemetry.Series.diff online replayed);
+        exit 1
+      end
     | _ -> ());
     (match (raw_trace, tr) with
     | Some file, Some tr ->
@@ -292,6 +360,27 @@ let () =
              against the printed statistics (non-zero exit on divergence). \
              Single benchmark only.")
   in
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Collect a tumbling-window time series (commits, aborts by kind, \
+             lock waits, tier occupancy, per-core busy cycles) during the \
+             run, write it to $(docv) — CSV when the name ends in .csv, \
+             JSON-lines otherwise — print detected episodes (conflict \
+             storms, tier shifts), and cross-check the online series \
+             against an offline trace replay (non-zero exit on divergence). \
+             Single benchmark only.")
+  in
+  let telemetry_window_arg =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "telemetry-window" ] ~docv:"CYCLES"
+          ~doc:"Telemetry window width in simulated cycles.")
+  in
   let lint_arg =
     Arg.(
       value
@@ -347,8 +436,9 @@ let () =
   let term =
     Term.(
       const run $ list_arg $ bench_arg $ mode_arg $ threads_arg $ seed_arg
-      $ scale_arg $ trace_arg $ raw_trace_arg $ metrics_arg $ lint_arg
-      $ jobs_arg $ policy_arg $ capacity_arg $ fallback_arg)
+      $ scale_arg $ trace_arg $ raw_trace_arg $ metrics_arg $ telemetry_arg
+      $ telemetry_window_arg $ lint_arg $ jobs_arg $ policy_arg $ capacity_arg
+      $ fallback_arg)
   in
   let info =
     Cmd.info "stx_run" ~version:"1.0"

@@ -24,7 +24,8 @@ let parse_policy resolution capacity fallback =
     ()
 
 let run list_services bench arrival_s keys_s pct_get key_range horizon threads
-    seed shards jobs mode_s metrics check policy_s capacity_s fallback_s =
+    seed shards jobs mode_s metrics telemetry telemetry_window check policy_s
+    capacity_s fallback_s =
   if list_services then begin
     List.iter
       (fun s ->
@@ -63,12 +64,46 @@ let run list_services bench arrival_s keys_s pct_get key_range horizon threads
     | None -> die ("unknown mode: " ^ mode_s ^ " (HTM|AddrOnly|Staggered+SW|Staggered)")
   in
   let htm_policy = parse_policy policy_s capacity_s fallback_s in
+  if telemetry_window < 1 then die "--telemetry-window must be positive";
+  let telemetry_window =
+    match telemetry with Some _ -> Some telemetry_window | None -> None
+  in
   let cfg =
     Serve.config ~mode ~htm_policy ~threads ~seed ~keys ~pct_get ?key_range
-      ~horizon ~shards ~arrival service
+      ~horizon ~shards ?telemetry_window ~arrival service
   in
   let report = Serve.run ~jobs cfg in
   print_string (Serve.render cfg report);
+  (match (telemetry, report.Serve.telemetry) with
+  | Some file, Some series ->
+    let meta =
+      [
+        ("service", bench);
+        ("mode", Mode.to_string mode);
+        ("arrival", arrival_s);
+        ("keys", keys_s);
+        ("seed", string_of_int seed);
+        ("shards", string_of_int shards);
+        ("policy", Stx_policy.label htm_policy);
+      ]
+    in
+    let doc =
+      if Filename.check_suffix file ".csv" then
+        Stx_telemetry.Series.to_csv ~meta series
+      else Stx_telemetry.Series.to_jsonl ~meta series
+    in
+    let oc = open_out file in
+    output_string oc doc;
+    close_out oc;
+    Printf.printf "  telemetry          %d windows -> %s\n"
+      (Stx_telemetry.Series.length series)
+      file;
+    List.iter
+      (fun e ->
+        Printf.printf "  episode            %s\n"
+          (Stx_telemetry.Episodes.to_string series e))
+      (Stx_telemetry.Episodes.detect series)
+  | _ -> ());
   (match metrics with
   | None -> ()
   | Some file ->
@@ -166,6 +201,27 @@ let () =
              stx_req_* serving plane) to $(docv) as the versioned JSON \
              snapshot.")
   in
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Collect a tumbling-window time series per shard (merged in \
+             shard order, so --jobs never changes it), including the \
+             serving plane — offered/completed per window, queue-depth \
+             peaks, windowed sojourn sketches — write it to $(docv) (CSV \
+             when the name ends in .csv, JSON-lines otherwise) and print \
+             detected episodes (saturation onset, conflict storms, tier \
+             shifts).")
+  in
+  let telemetry_window_arg =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "telemetry-window" ] ~docv:"CYCLES"
+          ~doc:"Telemetry window width in simulated cycles.")
+  in
   let check_arg =
     Arg.(
       value
@@ -199,8 +255,9 @@ let () =
     Term.(
       const run $ list_arg $ bench_arg $ arrival_arg $ keys_arg $ pct_get_arg
       $ key_range_arg $ horizon_arg $ threads_arg $ seed_arg $ shards_arg
-      $ jobs_arg $ mode_arg $ metrics_arg $ check_arg $ policy_arg
-      $ capacity_arg $ fallback_arg)
+      $ jobs_arg $ mode_arg $ metrics_arg $ telemetry_arg
+      $ telemetry_window_arg $ check_arg $ policy_arg $ capacity_arg
+      $ fallback_arg)
   in
   let info =
     Cmd.info "stx_serve" ~version:"1.0"

@@ -48,6 +48,12 @@ val render_text : t -> string
 
 val tsv_header : string
 
+val tsv_escape : string -> string
+(** The escaping {!render_tsv} applies to free-form cells — tabs,
+    newlines and backslashes become [\t], [\n], [\r], [\\] — exposed so
+    other TSV emitters (e.g. [stx_repro profile --format tsv]) share one
+    convention. *)
+
 val render_tsv : t -> string
 (** Tab-separated [severity code ab func iid message], missing fields as
     [-]. Tabs, newlines and backslashes embedded in the message are

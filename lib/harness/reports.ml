@@ -646,6 +646,44 @@ let profile ctx w =
      Per-attempt distributions (cycles; quantiles bucketed to powers of two):\n%s"
     w.Workload.name (Exp.threads ctx) (Table.render t) (Table.render lt)
 
+let profile_tsv ctx w =
+  let module C = Stx_metrics.Collect in
+  let prog = w.Workload.build () in
+  let ab_name id =
+    let atomics = prog.Stx_tir.Ir.atomics in
+    if id >= 0 && id < Array.length atomics then atomics.(id).Stx_tir.Ir.ab_name
+    else string_of_int id
+  in
+  let esc = Stx_analysis.Diag.tsv_escape in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "workload\tmode\tab\tab_name\tprefix\tlock_wait\tsuffix\tirrevocable\tstm\twasted\tbackoff\n";
+  List.iter
+    (fun m ->
+      let reg = Exp.metrics ctx w m in
+      List.iter
+        (fun ab ->
+          let p ph = C.phase_cycles reg ~ab ph in
+          Buffer.add_string b
+            (String.concat "\t"
+               [
+                 esc w.Workload.name;
+                 Mode.to_string m;
+                 string_of_int ab;
+                 esc (ab_name ab);
+                 string_of_int (p C.Prefix);
+                 string_of_int (p C.Lock_wait);
+                 string_of_int (p C.Suffix);
+                 string_of_int (p C.Irrevocable);
+                 string_of_int (p C.Stm);
+                 string_of_int (p C.Wasted);
+                 string_of_int (p C.Backoff);
+               ]);
+          Buffer.add_char b '\n')
+        (C.abs_profiled reg))
+    profile_modes;
+  Buffer.contents b
+
 let scaling ctx w =
   let t = Table.create [ "Threads"; "HTM speedup"; "Staggered speedup" ] in
   List.iter

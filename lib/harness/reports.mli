@@ -70,6 +70,12 @@ val profile : Exp.t -> Workload.t -> string
     the baseline serializes nothing (no suffix), staggered modes
     serialize only the conflicting portion. *)
 
+val profile_tsv : Exp.t -> Workload.t -> string
+(** The same phase-cycle cells as {!profile}, machine-readable: a
+    header row then one tab-separated row per (mode, atomic block),
+    free-form cells escaped with {!Stx_analysis.Diag.tsv_escape} so the
+    file shares the lint TSV's conventions. *)
+
 (** {2 Prefetch cells}
 
     The memo cells each report reads, for handing to {!Exp.prefetch}

@@ -16,14 +16,12 @@ let name_ok s =
        (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
        s
 
-let label_value_ok s =
-  s <> ""
-  && String.for_all
-       (function
-         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | ':' | '+' | '-' ->
-           true
-         | _ -> false)
-       s
+(* Label values are free-form (Prometheus allows any UTF-8): every
+   exporter escapes what its framing needs — see [prom_escape] and
+   [codec_escape]; JSON is covered by the RFC 8259 printer. Only the
+   empty string stays reserved, so the codec's "-" placeholder and the
+   human-readable [label_string] form stay unambiguous. *)
+let label_value_ok s = s <> ""
 
 let key name labels =
   if not (name_ok name) then
@@ -130,9 +128,53 @@ let merge a b =
   Hashtbl.iter put b.tbl;
   t
 
+(* The store codec frames lines with spaces, pairs with commas and
+   key/value with '='; free-form values travel with those bytes (plus
+   the backslash itself and line breaks) backslash-escaped. *)
+let codec_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | ' ' -> Buffer.add_string b "\\s"
+      | ',' -> Buffer.add_string b "\\c"
+      | '=' -> Buffer.add_string b "\\e"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let codec_unescape s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let ok = ref true in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '\\' when !i + 1 < n ->
+      incr i;
+      (match s.[!i] with
+      | '\\' -> Buffer.add_char b '\\'
+      | 's' -> Buffer.add_char b ' '
+      | 'c' -> Buffer.add_char b ','
+      | 'e' -> Buffer.add_char b '='
+      | 'n' -> Buffer.add_char b '\n'
+      | 't' -> Buffer.add_char b '\t'
+      | 'r' -> Buffer.add_char b '\r'
+      | _ -> ok := false)
+    | '\\' -> ok := false
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  if !ok then Some (Buffer.contents b) else None
+
 let label_string labels =
   if labels = [] then "-"
-  else String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+  else
+    String.concat ","
+      (List.map (fun (k, v) -> k ^ "=" ^ codec_escape v) labels)
 
 let diff a b =
   let describe (name, labels) = Printf.sprintf "%s{%s}" name (label_string labels) in
@@ -218,11 +260,28 @@ let to_json t =
 
 let to_json_string t = Json.to_string (to_json t)
 
+(* Text-exposition escaping for label values: backslash, double quote
+   and newline, exactly the three the format defines. OCaml's %S is NOT
+   this (it also escapes tabs, bytes >= 128, ...). *)
+let prom_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let prom_labels labels =
   if labels = [] then ""
   else
     "{"
-    ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v))
+           labels)
     ^ "}"
 
 let to_prometheus t =
@@ -284,10 +343,13 @@ let parse_labels s =
       | p :: rest -> (
         match String.index_opt p '=' with
         | None -> None
-        | Some i ->
+        | Some i -> (
           let k = String.sub p 0 i
-          and v = String.sub p (i + 1) (String.length p - i - 1) in
-          if name_ok k && label_value_ok v then go ((k, v) :: acc) rest else None)
+          and raw = String.sub p (i + 1) (String.length p - i - 1) in
+          match codec_unescape raw with
+          | Some v when name_ok k && label_value_ok v ->
+            go ((k, v) :: acc) rest
+          | _ -> None))
     in
     go [] parts
 

@@ -23,11 +23,13 @@ type t
 val create : unit -> t
 
 (** Metric and label names must match [[a-zA-Z_][a-zA-Z0-9_]*]; label
-    values additionally allow [. : + -]. Anything else — or reusing a
-    (name, labels) key at a different metric type, or duplicate label
-    keys — raises [Invalid_argument]: metric identity is part of each
-    exporter's schema, so a malformed one is a programming error, not
-    data. *)
+    values may be any non-empty string (each exporter escapes what its
+    framing needs — Prometheus text per the exposition spec, the store
+    codec with backslash sequences, JSON per RFC 8259). An empty value,
+    a malformed name, reusing a (name, labels) key at a different
+    metric type, or duplicate label keys raises [Invalid_argument]:
+    metric identity is part of each exporter's schema, so a malformed
+    one is a programming error, not data. *)
 
 val inc : t -> ?by:int -> string -> labels -> unit
 (** Add [by] (default 1, must be >= 0) to a counter, creating it at 0. *)
@@ -72,11 +74,14 @@ val to_json_string : t -> string
 
 val to_prometheus : t -> string
 (** Prometheus text exposition: [# TYPE] per metric name, histograms as
-    cumulative [_bucket{le="..."}] series plus [_sum]/[_count]. *)
+    cumulative [_bucket{le="..."}] series plus [_sum]/[_count]. Label
+    values are escaped per the text-format spec (backslash, double
+    quote, newline). *)
 
 val encode : t -> string list
 (** Line-oriented codec for the result store: one line per metric,
-    deterministic order, values space-separated. *)
+    deterministic order, values space-separated; label values travel
+    backslash-escaped so free-form values round-trip. *)
 
 val decode : string list -> t option
 (** [None] on any malformed line — the store treats that as corruption. *)

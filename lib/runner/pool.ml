@@ -3,7 +3,7 @@ type 'a outcome =
   | Failed of string
   | Timed_out of float
 
-type event = Started of int | Finished of int
+type event = Started of int | Finished of int | Tick
 
 type 'a shared = {
   mu : Mutex.t;
@@ -29,7 +29,9 @@ let classify sh thunk =
 let push_event sh ev =
   Mutex.lock sh.mu;
   Queue.push ev sh.events;
-  (match ev with Finished _ -> sh.finished <- sh.finished + 1 | Started _ -> ());
+  (match ev with
+  | Finished _ -> sh.finished <- sh.finished + 1
+  | Started _ | Tick -> ());
   Condition.signal sh.cond;
   Mutex.unlock sh.mu
 
@@ -61,18 +63,40 @@ let worker sh =
   in
   loop ()
 
-let dispatch sh ~on_start ~on_done = function
+let dispatch sh ~on_start ~on_done ~on_tick = function
   | Started i -> on_start i
   | Finished i ->
     (match sh.results.(i) with
     | Some out -> on_done i out
     | None -> assert false)
+  | Tick -> on_tick ()
 
 let nop1 _ = ()
 let nop2 _ _ = ()
 
+(* The ticker is its own domain so the coordinator can keep blocking on
+   the condition variable (the stdlib has no timed wait); it only
+   *queues* Tick events — the callback itself always runs on the
+   coordinating domain, like every other callback. Sleeps are sliced so
+   shutdown never waits out a whole period. *)
+let spawn_ticker sh ~stop ~period =
+  Domain.spawn (fun () ->
+      let slice = Float.min 0.05 (Float.max 0.001 (period /. 4.)) in
+      let rec run since =
+        if not (Atomic.get stop) then begin
+          Unix.sleepf slice;
+          let waited = since +. slice in
+          if waited >= period then begin
+            if not (Atomic.get stop) then push_event sh Tick;
+            run 0.
+          end
+          else run waited
+        end
+      in
+      run 0.)
+
 let map ?(jobs = Domain.recommended_domain_count ()) ?timeout ?(on_start = nop1)
-    ?(on_done = nop2) thunks =
+    ?(on_done = nop2) ?tick thunks =
   let n = Array.length thunks in
   let sh =
     {
@@ -100,6 +124,13 @@ let map ?(jobs = Domain.recommended_domain_count ()) ?timeout ?(on_start = nop1)
       done
     else begin
       let domains = Array.init jobs (fun _ -> Domain.spawn (fun () -> worker sh)) in
+      let stop = Atomic.make false in
+      let ticker =
+        Option.map (fun (period, _) -> spawn_ticker sh ~stop ~period) tick
+      in
+      let on_tick =
+        match tick with Some (_, f) -> f | None -> fun () -> ()
+      in
       (* The calling domain is the coordinator: it drains worker events and
          runs the callbacks, so progress reporting never races. *)
       let rec drain () =
@@ -111,11 +142,13 @@ let map ?(jobs = Domain.recommended_domain_count ()) ?timeout ?(on_start = nop1)
         Queue.clear sh.events;
         let all_done = sh.finished >= n in
         Mutex.unlock sh.mu;
-        List.iter (dispatch sh ~on_start ~on_done) (List.rev pending);
+        List.iter (dispatch sh ~on_start ~on_done ~on_tick) (List.rev pending);
         if not (all_done && pending = []) then drain ()
       in
       drain ();
-      Array.iter Domain.join domains
+      Atomic.set stop true;
+      Array.iter Domain.join domains;
+      Option.iter Domain.join ticker
     end;
     Array.map
       (function Some out -> out | None -> Failed "job was never scheduled")

@@ -20,6 +20,7 @@ val map :
   ?timeout:float ->
   ?on_start:(int -> unit) ->
   ?on_done:(int -> 'a outcome -> unit) ->
+  ?tick:float * (unit -> unit) ->
   (unit -> 'a) array ->
   'a outcome array
 (** [map ~jobs thunks] runs every thunk and returns their outcomes in
@@ -27,4 +28,9 @@ val map :
     clamped to [1 .. Array.length thunks]; with [jobs = 1] everything runs
     inline on the calling domain. [timeout] is a per-job wall-clock budget
     in seconds. [on_start]/[on_done] are invoked with the job's index from
-    the calling (coordinating) domain only — never concurrently. *)
+    the calling (coordinating) domain only — never concurrently.
+    [tick = (period, f)] invokes [f] — also on the coordinating domain,
+    so it may share state with the other callbacks — roughly every
+    [period] wall-clock seconds while jobs are in flight: the progress
+    heartbeat hook. Inline mode ([jobs = 1]) never ticks: the calling
+    domain is busy running the jobs themselves. *)

@@ -56,6 +56,16 @@ let remove_first label l =
 
 let job_started t label = t.running <- (label, t.now ()) :: t.running
 
+let running_suffix t =
+  match t.running with
+  | [] -> ""
+  | l ->
+    let shown = List.filteri (fun i _ -> i < 3) l in
+    let more = List.length l - List.length shown in
+    Printf.sprintf "; running %s%s"
+      (String.concat " " (List.map fst shown))
+      (if more > 0 then Printf.sprintf " +%d" more else "")
+
 let job_finished t label ~status =
   t.completed <- t.completed + 1;
   let started, running = remove_first label t.running in
@@ -64,18 +74,8 @@ let job_finished t label ~status =
   | Some (_, at) ->
     Hist.add t.durations (int_of_float (Float.max 0. ((t.now () -. at) *. 1000.)))
   | None -> ());
-  let running =
-    match t.running with
-    | [] -> ""
-    | l ->
-      let shown = List.filteri (fun i _ -> i < 3) l in
-      let more = List.length l - List.length shown in
-      Printf.sprintf "; running %s%s"
-        (String.concat " " (List.map fst shown))
-        (if more > 0 then Printf.sprintf " +%d" more else "")
-  in
   Printf.fprintf t.out "[%d/%d] %s %s (eta %s%s)\n%!" t.completed t.total
-    label status (fmt_span (eta t)) running
+    label status (fmt_span (eta t)) (running_suffix t)
 
 let wall_summary t =
   if Hist.is_empty t.durations then None
@@ -86,6 +86,13 @@ let wall_summary t =
          (span_of_ms (Hist.p50 t.durations))
          (span_of_ms (Hist.quantile t.durations 0.95))
          (span_of_ms (Hist.max_value t.durations)))
+
+let heartbeat t =
+  let summary =
+    match wall_summary t with None -> "" | Some s -> "; " ^ s
+  in
+  Printf.fprintf t.out "heartbeat [%d/%d] eta %s%s%s\n%!" t.completed t.total
+    (fmt_span (eta t)) summary (running_suffix t)
 
 let finish t =
   let elapsed = t.now () -. t.t0 in

@@ -18,6 +18,12 @@ val note : t -> ('a, unit, string, unit) format4 -> 'a
 val job_started : t -> string -> unit
 val job_finished : t -> string -> status:string -> unit
 
+val heartbeat : t -> unit
+(** A keep-alive line between completions — done/total, ETA, the
+    wall-time summary so far and the in-flight labels. Wired to
+    {!Pool.map}'s [tick] by {!Sweep.run_batch} when stdout is not a
+    terminal, so CI logs show life during long sweeps. *)
+
 val finish : t -> unit
 (** The closing line: jobs completed, batch wall time, and (once at
     least one job's start was observed) the {!wall_summary}. *)

@@ -242,32 +242,48 @@ let decode text =
 
 (* ---------------------------------------------------------------------- *)
 
-let load t ~key =
-  let file = path t ~key in
+let read_file file =
   match
     let ic = open_in_bin file in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | text -> decode text
+  | text -> Some text
   | exception _ -> None (* missing or unreadable: a miss, never an error *)
 
-let save t ~key run =
-  let file = path t ~key in
-  (* write-then-rename: readers (and a kill -9) only ever see a complete
-     entry; the temp file lives in the same directory so the rename cannot
-     cross filesystems *)
-  let tmp = Filename.temp_file ~temp_dir:t.dir ("." ^ key) ".tmp" in
+(* write-then-rename: readers (and a kill -9) only ever see a complete
+   entry; the temp file lives in the same directory so the rename cannot
+   cross filesystems *)
+let write_file t file text =
+  let tmp =
+    Filename.temp_file ~temp_dir:t.dir ("." ^ Filename.basename file) ".tmp"
+  in
   let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
   match
     let oc = open_out_bin tmp in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (encode run));
+      (fun () -> output_string oc text);
     Sys.rename tmp file
   with
   | () -> ()
   | exception e ->
     cleanup ();
     raise e
+
+let load t ~key =
+  match read_file (path t ~key) with
+  | Some text -> decode text
+  | None -> None
+
+let save t ~key run = write_file t (path t ~key) (encode run)
+
+(* --- opaque artifacts --------------------------------------------------
+   Rendered deliverables (e.g. the stx_repro report HTML) cached next to
+   the result entries. Blobs are raw bytes under the same atomicity
+   discipline; the .blob suffix keeps them out of the .stxr namespace. *)
+
+let blob_path t ~key = Filename.concat t.dir (key ^ ".blob")
+let save_blob t ~key text = write_file t (blob_path t ~key) text
+let load_blob t ~key = read_file (blob_path t ~key)

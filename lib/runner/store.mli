@@ -46,3 +46,19 @@ val encode : Run.t -> string
     total representation for equality checks in tests. *)
 
 val decode : string -> Run.t option
+
+(** {2 Opaque artifacts}
+
+    Raw byte blobs cached alongside the result entries — rendered
+    deliverables such as the [stx_repro report] HTML, keyed by a digest
+    of whatever parameters determine their bytes. Same atomic
+    write-then-rename discipline; a [.blob] suffix keeps them out of the
+    [.stxr] result namespace. *)
+
+val blob_path : t -> key:string -> string
+
+val save_blob : t -> key:string -> string -> unit
+(** Atomically publish the bytes under [key]. *)
+
+val load_blob : t -> key:string -> string option
+(** [None] on missing or unreadable blobs. *)

@@ -24,7 +24,8 @@ let status_of = function
   | Pool.Failed msg -> "FAILED: " ^ msg
   | Pool.Timed_out s -> Printf.sprintf "TIMED OUT after %.1fs" s
 
-let run_batch ?store ?jobs ?timeout ?(progress = false) (specs : Job.t list) =
+let run_batch ?store ?jobs ?timeout ?(progress = false) ?heartbeat
+    (specs : Job.t list) =
   (* dedupe on the digest: each distinct spec simulates (or loads) once,
      results fan back out to every occurrence in input order *)
   let seen = Hashtbl.create 64 in
@@ -74,7 +75,20 @@ let run_batch ?store ?jobs ?timeout ?(progress = false) (specs : Job.t list) =
           ~status:(status_of out))
       reporter
   in
-  let outcomes = Pool.map ?jobs ?timeout ~on_start ~on_done thunks in
+  (* CI logs (stdout redirected) would otherwise be silent for minutes
+     between completions of long jobs; a terminal user already sees the
+     per-job lines scroll *)
+  let hb_period =
+    match heartbeat with
+    | Some p -> p
+    | None -> if Unix.isatty Unix.stdout then 0. else 10.
+  in
+  let tick =
+    match reporter with
+    | Some p when hb_period > 0. -> Some (hb_period, fun () -> Progress.heartbeat p)
+    | _ -> None
+  in
+  let outcomes = Pool.map ?jobs ?timeout ~on_start ~on_done ?tick thunks in
   Option.iter (fun p -> if pending <> [] then Progress.finish p) reporter;
   (* persist fresh successes; failures and timeouts are never cached *)
   (match store with

@@ -26,10 +26,15 @@ val run_batch :
   ?jobs:int ->
   ?timeout:float ->
   ?progress:bool ->
+  ?heartbeat:float ->
   Job.t list ->
   batch
 (** Duplicate specs (by digest) are computed once and fanned back out.
     Fresh successful results are saved to [store]; [Failed] and
     [Timed_out] outcomes are never cached, so a later run retries them.
     [progress] (default off) reports per-job completion lines on stderr
-    from the coordinating domain. *)
+    from the coordinating domain. [heartbeat] is the period in seconds
+    of {!Progress.heartbeat} keep-alive lines between completions; [0.]
+    disables them, and the default is 10 s when stdout is not a
+    terminal (CI logs) and off when it is. Heartbeats only fire in
+    parallel mode — see {!Pool.map}'s [tick]. *)

@@ -19,16 +19,22 @@ type config = {
   key_range : int option;
   horizon : int;
   shards : int;
+  telemetry_window : int option;
 }
 
 let config ?(mode = Mode.Staggered_hw) ?(htm_policy = Stx_policy.default)
     ?(threads = 16) ?(seed = 1) ?(keys = Keys.Uniform) ?(pct_get = 70)
-    ?key_range ?(horizon = 100_000) ?(shards = 2) ~arrival service =
+    ?key_range ?(horizon = 100_000) ?(shards = 2) ?telemetry_window ~arrival
+    service =
   if threads < 1 then invalid_arg "Serve.config: threads must be positive";
   if shards < 1 then invalid_arg "Serve.config: shards must be positive";
   if horizon < 1 then invalid_arg "Serve.config: horizon must be positive";
   if pct_get < 0 || pct_get > 100 then
     invalid_arg "Serve.config: pct_get must be in 0..100";
+  (match telemetry_window with
+  | Some w when w < 1 ->
+    invalid_arg "Serve.config: telemetry window must be positive"
+  | _ -> ());
   {
     service;
     mode;
@@ -41,6 +47,7 @@ let config ?(mode = Mode.Staggered_hw) ?(htm_policy = Stx_policy.default)
     key_range;
     horizon;
     shards;
+    telemetry_window;
   }
 
 type report = {
@@ -51,6 +58,7 @@ type report = {
   saturated : bool;
   stats : Stats.t;
   registry : Registry.t;
+  telemetry : Stx_telemetry.Series.t option;
   errors : string list;
 }
 
@@ -106,6 +114,17 @@ let run_shard cfg ~shard ~shard_seed =
       cfg.service
   in
   let sreg = Registry.create () in
+  let telem =
+    Option.map
+      (fun w -> Stx_telemetry.Collect.create ~window:w ~threads:cfg.threads ())
+      cfg.telemetry_window
+  in
+  (* the arrival schedule is fixed up front, so the offered-per-window
+     counts can be folded in before the machine runs *)
+  Option.iter
+    (fun tc ->
+      Array.iter (fun at -> Stx_telemetry.Collect.note_offered tc ~at) ats)
+    telem;
   let max_depth = ref 0 in
   let next = ref 0 in
   let injector ~tid ~now =
@@ -118,6 +137,9 @@ let run_shard cfg ~shard ~shard_seed =
         let depth = arrived_by ats now - req in
         if depth > !max_depth then max_depth := depth;
         Registry.observe sreg "stx_req_queue_depth" [] depth;
+        Option.iter
+          (fun tc -> Stx_telemetry.Collect.note_queue_depth tc ~at:now depth)
+          telem;
         let mk = Option.get !synth in
         let { Workload.rq_ab; rq_args } = mk ~write:r.write ~key:r.key in
         r.dispatched <- now;
@@ -130,6 +152,7 @@ let run_shard cfg ~shard ~shard_seed =
   let dispatch_events = ref 0 and done_events = ref 0 in
   let on_event ~time ev =
     Collect.handler collector ~time ev;
+    Option.iter (fun tc -> Stx_telemetry.Collect.handler tc ~time ev) telem;
     match ev with
     | Machine.Req_dispatch _ -> incr dispatch_events
     | Machine.Req_done { req; _ } ->
@@ -146,6 +169,11 @@ let run_shard cfg ~shard ~shard_seed =
   Array.iter
     (fun r ->
       if r.completed >= 0 then begin
+        Option.iter
+          (fun tc ->
+            Stx_telemetry.Collect.note_sojourn tc ~at:r.completed
+              (r.completed - r.at))
+          telem;
         Registry.observe sreg "stx_req_sojourn_cycles" [] (r.completed - r.at);
         Registry.observe sreg "stx_req_wait_cycles" [] (r.dispatched - r.at);
         Registry.observe sreg "stx_req_service_cycles" []
@@ -181,7 +209,12 @@ let run_shard cfg ~shard ~shard_seed =
   | Ok () -> ()
   | Error es -> List.iter (fun e -> err "shard %d: %s" shard e) es);
   let registry = Registry.merge (Collect.registry collector) sreg in
-  (stats, registry, n, List.rev !errors)
+  let series =
+    Option.map
+      (fun tc -> Stx_telemetry.Collect.finalize ~horizon:cfg.horizon tc)
+      telem
+  in
+  (stats, registry, n, series, List.rev !errors)
 
 let run ?jobs cfg =
   let seeds =
@@ -203,13 +236,19 @@ let run ?jobs cfg =
           failwith (Printf.sprintf "serve shard %d timed out after %.1fs" i s))
       outcomes
   in
-  let stats, registry, requests, errors =
+  let stats, registry, requests, telemetry, errors =
     Array.fold_left
-      (fun (sa, ra, na, ea) (s, r, n, e) ->
+      (fun (sa, ra, na, ta, ea) (s, r, n, t, e) ->
         match sa with
-        | None -> (Some s, r, n, e)
-        | Some sa -> (Some (Stats.merge sa s), Registry.merge ra r, na + n, ea @ e))
-      (None, Registry.create (), 0, [])
+        | None -> (Some s, r, n, t, e)
+        | Some sa ->
+          let ta =
+            match (ta, t) with
+            | Some a, Some b -> Some (Stx_telemetry.Series.merge a b)
+            | _ -> None
+          in
+          (Some (Stats.merge sa s), Registry.merge ra r, na + n, ta, ea @ e))
+      (None, Registry.create (), 0, None, [])
       shards
   in
   let stats = Option.get stats in
@@ -220,7 +259,17 @@ let run ?jobs cfg =
   let offered = per_kcycle requests cfg.horizon in
   let achieved = per_kcycle requests makespan in
   let saturated = requests > 0 && achieved < 0.9 *. offered in
-  { requests; makespan; offered; achieved; saturated; stats; registry; errors }
+  {
+    requests;
+    makespan;
+    offered;
+    achieved;
+    saturated;
+    stats;
+    registry;
+    telemetry;
+    errors;
+  }
 
 let sojourn report = Registry.histogram report.registry "stx_req_sojourn_cycles" []
 

@@ -1,0 +1,209 @@
+module M = Stx_sim.Machine
+module Hist = Stx_metrics.Hist
+
+(* Mutable per-window accumulator; reduced to a Series.window at
+   finalize time. *)
+type wb = {
+  mutable hw_commits : int;
+  mutable irrevocable_commits : int;
+  mutable stm_commits : int;
+  mutable conflict_aborts : int;
+  mutable locksub_aborts : int;
+  mutable capacity_aborts : int;
+  mutable explicit_aborts : int;
+  mutable stm_conflict_aborts : int;
+  mutable stm_aborts : int;
+  mutable lock_waits : int;
+  mutable lock_acquires : int;
+  mutable lock_timeouts : int;
+  busy : int array;
+  mutable stm_cycles : int;
+  mutable lock_cycles : int;
+  mutable offered : int;
+  mutable completed : int;
+  mutable queue_peak : int;
+  sojourn : Hist.t;
+  lines : (int, int) Hashtbl.t;
+  pcs : (int, int) Hashtbl.t;
+}
+
+type t = {
+  width : int;
+  threads : int;
+  mutable wins : wb array;  (* grows by doubling; [used] are live *)
+  mutable used : int;
+}
+
+let fresh_wb threads =
+  {
+    hw_commits = 0;
+    irrevocable_commits = 0;
+    stm_commits = 0;
+    conflict_aborts = 0;
+    locksub_aborts = 0;
+    capacity_aborts = 0;
+    explicit_aborts = 0;
+    stm_conflict_aborts = 0;
+    stm_aborts = 0;
+    lock_waits = 0;
+    lock_acquires = 0;
+    lock_timeouts = 0;
+    busy = Array.make threads 0;
+    stm_cycles = 0;
+    lock_cycles = 0;
+    offered = 0;
+    completed = 0;
+    queue_peak = 0;
+    sojourn = Hist.create ();
+    lines = Hashtbl.create 4;
+    pcs = Hashtbl.create 4;
+  }
+
+let create ?(window = 1000) ~threads () =
+  if window < 1 then invalid_arg "Telemetry.Collect.create: window < 1";
+  if threads < 1 then invalid_arg "Telemetry.Collect.create: threads < 1";
+  { width = window; threads; wins = [||]; used = 0 }
+
+let window t = t.width
+let threads t = t.threads
+
+(* Window holding index [i], growing the array as the clock advances. *)
+let win t i =
+  if i >= t.used then begin
+    if i >= Array.length t.wins then begin
+      let cap = max 16 (max (i + 1) (2 * Array.length t.wins)) in
+      let wins = Array.init cap (fun j ->
+          if j < Array.length t.wins then t.wins.(j) else fresh_wb t.threads)
+      in
+      t.wins <- wins
+    end;
+    t.used <- i + 1
+  end;
+  t.wins.(i)
+
+let at t time = win t (max 0 time / t.width)
+
+(* Distribute a span of [cycles] ending at [time] over the windows it
+   overlaps, calling [add] with each window's share. *)
+let span t ~time ~cycles add =
+  if cycles > 0 then begin
+    let stop = max 0 time in
+    let start = max 0 (stop - cycles) in
+    let i0 = start / t.width in
+    let i1 = if stop = start then i0 else (stop - 1) / t.width in
+    for i = i0 to i1 do
+      let lo = max start (i * t.width) in
+      let hi = min stop ((i + 1) * t.width) in
+      if hi > lo then add (win t i) (hi - lo)
+    done
+  end
+
+let bump tbl key =
+  Hashtbl.replace tbl key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let handler t ~time (ev : M.event) =
+  match ev with
+  | M.Tx_commit { tid; cycles; irrevocable; _ } ->
+    let w = at t time in
+    if irrevocable then begin
+      w.irrevocable_commits <- w.irrevocable_commits + 1;
+      span t ~time ~cycles (fun w c -> w.lock_cycles <- w.lock_cycles + c)
+    end
+    else w.hw_commits <- w.hw_commits + 1;
+    span t ~time ~cycles (fun w c -> w.busy.(tid) <- w.busy.(tid) + c)
+  | M.Tx_abort { tid; kind; conf_line; conf_pc; cycles; _ } ->
+    let w = at t time in
+    (match kind with
+    | M.Conflict ->
+      w.conflict_aborts <- w.conflict_aborts + 1;
+      Option.iter (bump w.lines) conf_line;
+      Option.iter (bump w.pcs) conf_pc
+    | M.Lock_subscription -> w.locksub_aborts <- w.locksub_aborts + 1
+    | M.Capacity -> w.capacity_aborts <- w.capacity_aborts + 1
+    | M.Explicit -> w.explicit_aborts <- w.explicit_aborts + 1
+    | M.Stm_conflict -> w.stm_conflict_aborts <- w.stm_conflict_aborts + 1);
+    span t ~time ~cycles (fun w c -> w.busy.(tid) <- w.busy.(tid) + c)
+  | M.Stm_commit { tid; cycles; _ } ->
+    (at t time).stm_commits <- (at t time).stm_commits + 1;
+    span t ~time ~cycles (fun w c ->
+        w.busy.(tid) <- w.busy.(tid) + c;
+        w.stm_cycles <- w.stm_cycles + c)
+  | M.Stm_abort { tid; cycles; _ } ->
+    (at t time).stm_aborts <- (at t time).stm_aborts + 1;
+    span t ~time ~cycles (fun w c ->
+        w.busy.(tid) <- w.busy.(tid) + c;
+        w.stm_cycles <- w.stm_cycles + c)
+  | M.Lock_waiting _ ->
+    let w = at t time in
+    w.lock_waits <- w.lock_waits + 1
+  | M.Lock_acquired _ ->
+    let w = at t time in
+    w.lock_acquires <- w.lock_acquires + 1
+  | M.Lock_timeout _ ->
+    let w = at t time in
+    w.lock_timeouts <- w.lock_timeouts + 1
+  | M.Req_done _ ->
+    let w = at t time in
+    w.completed <- w.completed + 1
+  | M.Tx_begin _ | M.Tx_irrevocable _ | M.Alp_executed _ | M.Lock_attempt _
+  | M.Lock_released _ | M.Backoff_start _ | M.Backoff_end _
+  | M.Req_dispatch _ | M.Stm_begin _ ->
+    ()
+
+let note_offered t ~at:time =
+  let w = at t time in
+  w.offered <- w.offered + 1
+
+let note_queue_depth t ~at:time depth =
+  let w = at t time in
+  if depth > w.queue_peak then w.queue_peak <- depth
+
+let note_sojourn t ~at:time cycles =
+  Hist.add (at t time).sojourn cycles
+
+let tallies tbl =
+  Hashtbl.fold (fun id c acc -> (id, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let snapshot_wb (w : wb) : Series.window =
+  {
+    hw_commits = w.hw_commits;
+    irrevocable_commits = w.irrevocable_commits;
+    stm_commits = w.stm_commits;
+    conflict_aborts = w.conflict_aborts;
+    locksub_aborts = w.locksub_aborts;
+    capacity_aborts = w.capacity_aborts;
+    explicit_aborts = w.explicit_aborts;
+    stm_conflict_aborts = w.stm_conflict_aborts;
+    stm_aborts = w.stm_aborts;
+    lock_waits = w.lock_waits;
+    lock_acquires = w.lock_acquires;
+    lock_timeouts = w.lock_timeouts;
+    busy = Array.copy w.busy;
+    stm_cycles = w.stm_cycles;
+    lock_cycles = w.lock_cycles;
+    offered = w.offered;
+    completed = w.completed;
+    queue_peak = w.queue_peak;
+    sojourn = Hist.merge w.sojourn (Hist.create ());
+    conf_lines = tallies w.lines;
+    conf_pcs = tallies w.pcs;
+  }
+
+let finalize ?horizon t =
+  let n =
+    match horizon with
+    | None -> t.used
+    | Some h -> max t.used ((max 0 h + t.width - 1) / t.width)
+  in
+  let empty = fresh_wb t.threads in
+  let windows =
+    Array.init n (fun i -> snapshot_wb (if i < t.used then t.wins.(i) else empty))
+  in
+  { Series.width = t.width; threads = t.threads; windows }
+
+let of_trace ?window ?horizon tr =
+  let c = create ?window ~threads:(Stx_trace.Trace.threads tr) () in
+  Stx_trace.Trace.iter tr (fun ~time ev -> handler c ~time ev);
+  finalize ?horizon c

@@ -1,0 +1,47 @@
+(** Pure episode detectors over a {!Series.t}.
+
+    Each detector is a total function of the series — no simulator or
+    wall-clock state — so the episode list is as deterministic and
+    shard-merge-stable as the series itself. Windows are identified by
+    index; multiply by [Series.width] for cycles. *)
+
+type tier = Htm | Stm | Lock
+
+type t =
+  | Saturation of { onset : int }
+      (** First window from which achieved completions stay below 90% of
+          offered arrivals for the rest of the loaded run: at its end
+          and at the end of every later window up to the last arrival,
+          cumulative completions sit under 90% of cumulative arrivals
+          through the previous window. The one-window grace absorbs
+          healthy pipeline lag; the cumulative counts make a growing
+          backlog — the actual signature of saturation — monotone; the
+          post-arrival drain tail (which always catches up) is not
+          judged. Serving runs only. *)
+  | Conflict_storm of {
+      first : int;
+      last : int;  (** inclusive *)
+      aborts : int;  (** conflict aborts over the whole storm *)
+      peak : int;  (** worst single window *)
+      line : int option;  (** dominant conflicting cache line *)
+      pc : int option;  (** dominant conflicting PC tag *)
+    }
+      (** A maximal run of consecutive windows each with conflict-abort
+          density at or above the storm threshold. *)
+  | Tier_shift of { window : int; from_ : tier; to_ : tier }
+      (** The dominant execution tier (by occupancy cycles) changed
+          between consecutive busy windows, e.g. the hybrid fallback
+          collapsing onto the software tier or the global lock. *)
+
+val storm_threshold : Series.t -> int
+(** The default conflict-storm bar: twice the mean conflict-abort count
+    over windows that had any conflicts, and never below 4, so quiet
+    runs don't read single stray aborts as storms. *)
+
+val detect : ?storm_threshold:int -> Series.t -> t list
+(** All episodes, ordered by onset window (saturation first on ties). *)
+
+val tier_name : tier -> string
+
+val to_string : Series.t -> t -> string
+(** One human-readable line, cycle-annotated. *)

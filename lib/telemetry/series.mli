@@ -1,0 +1,103 @@
+(** Tumbling-window time series over simulated cycles.
+
+    Every whole-run aggregate the repo reports — [Stats], the metrics
+    registry, the serve SLO quantiles — answers "how much", never
+    "when". A series answers "when": the run's horizon is cut into
+    tumbling windows of a fixed width (cycles), and each window carries
+    the counts, occupancies and (in serving runs) request-plane
+    observations that fell inside it. The series is produced by
+    {!Collect} (online from the {!Stx_sim.Machine} event hook, or
+    offline by replaying a {!Stx_trace.Trace} capture — the two are
+    equal by construction) and consumed by the {!Episodes} detectors,
+    the CSV/JSONL codecs below, and the [stx_repro report] HTML
+    renderer.
+
+    Window [i] covers cycles [[i*width, (i+1)*width)]. A point event at
+    time [t] lands in window [t / width]; a span of [c] cycles ending at
+    [t] (an attempt's latency) is distributed over the windows it
+    overlaps, so per-window occupancy cycles sum exactly to the run's
+    totals no matter where the window boundaries cut. *)
+
+type window = {
+  hw_commits : int;  (** speculative hardware commits *)
+  irrevocable_commits : int;  (** commits under the global lock *)
+  stm_commits : int;  (** software-tier commits *)
+  conflict_aborts : int;
+  locksub_aborts : int;
+  capacity_aborts : int;
+  explicit_aborts : int;
+  stm_conflict_aborts : int;  (** hw aborts inflicted by stm publishes *)
+  stm_aborts : int;  (** software-tier aborts, all kinds *)
+  lock_waits : int;  (** advisory-lock wait episodes begun *)
+  lock_acquires : int;
+  lock_timeouts : int;
+  busy : int array;
+      (** per-core cycles spent inside transactional attempts (either
+          tier, committed or aborted, incl. irrevocable), span-split
+          across windows *)
+  stm_cycles : int;  (** software-tier occupancy cycles *)
+  lock_cycles : int;  (** global-lock (irrevocable) occupancy cycles *)
+  offered : int;  (** serving plane: requests that arrived *)
+  completed : int;  (** serving plane: requests whose txn committed *)
+  queue_peak : int;  (** serving plane: deepest queue seen at a dispatch *)
+  sojourn : Stx_metrics.Hist.t;
+      (** serving plane: sojourn sketch of requests completing in this
+          window; empty in closed-loop runs *)
+  conf_lines : (int * int) list;
+      (** conflicting cache line -> conflict aborts, line ascending *)
+  conf_pcs : (int * int) list;
+      (** conflicting PC tag -> conflict aborts, tag ascending *)
+}
+
+type t = { width : int; threads : int; windows : window array }
+
+val length : t -> int
+val commits : window -> int
+(** All tiers: [hw + irrevocable + stm]. *)
+
+val aborts : window -> int
+(** Both tiers: the five hardware kinds plus the software-tier aborts. *)
+
+val busy_total : window -> int
+val htm_cycles : window -> int
+(** Busy cycles in neither the software tier nor under the global lock:
+    [busy_total - stm_cycles - lock_cycles]. *)
+
+val top_line : window -> (int * int) option
+(** Dominant conflicting cache line (highest count, ties to the lower
+    line id); [None] in a conflict-free window. *)
+
+val top_pc : window -> (int * int) option
+
+val merge : t -> t -> t
+(** Pointwise sum of two series of the same width and thread count
+    (counts and occupancies add, queue peaks max, sojourn sketches
+    merge, line/PC tallies union-sum); the longer tail is kept as-is.
+    Associative and commutative, so sharded serve runs merged in shard
+    order are independent of [--jobs]. Raises [Invalid_argument] on a
+    width or thread-count mismatch. *)
+
+val equal : t -> t -> bool
+val diff : t -> t -> string list
+(** Human-readable divergences, [[]] iff {!equal}. *)
+
+(** {2 Codecs}
+
+    Both are deterministic functions of the series (plus the caller's
+    [meta] pairs, emitted in the order given): equal series render
+    byte-identically. *)
+
+val to_csv : ?meta:(string * string) list -> t -> string
+(** One row per window. Leading [# key=value] comment lines carry the
+    meta; the header row names fixed columns plus one [busy_c<i>] column
+    per core. Sojourn quantiles are rendered as p50/p99 columns; the
+    full sketch only survives in the JSONL form. *)
+
+val to_jsonl : ?meta:(string * string) list -> t -> string
+(** Line 1 is a header object ([schema]/[version]/[width]/[threads] and
+    the meta), then one JSON object per window with every field,
+    including the full sojourn sketch and line/PC tallies. *)
+
+val of_jsonl : string -> (t, string) result
+(** Parse a {!to_jsonl} document back (meta is dropped). [Error] names
+    the offending line. *)

@@ -180,6 +180,64 @@ let test_scaling_report () =
   let s = Reports.scaling c w in
   Alcotest.(check bool) "has thread column" true (contains s "Threads")
 
+(* --- htmlreport -------------------------------------------------------- *)
+
+let render_report () =
+  let w = Option.get (Registry.find "list-hi") in
+  let seed = 3 and scale = 0.05 and threads = 4 in
+  let mode = Mode.Staggered_hw in
+  let policy = Stx_policy.default in
+  let spec = Workload.spec ~instrument:(Mode.uses_alps mode) ~scale w in
+  let cfg = Stx_machine.Config.with_cores threads Stx_machine.Config.default in
+  let tr = Stx_trace.Trace.create ~threads () in
+  let tc = Stx_telemetry.Collect.create ~window:1000 ~threads () in
+  let r =
+    Stx_metrics.Run.simulate ~seed ~htm_policy:policy ~cfg ~mode
+      ~on_event:(fun ~time ev ->
+        Stx_trace.Trace.handler tr ~time ev;
+        Stx_telemetry.Collect.handler tc ~time ev)
+      spec
+  in
+  let series =
+    Stx_telemetry.Collect.finalize
+      ~horizon:r.Stx_metrics.Run.stats.Stx_sim.Stats.total_cycles tc
+  in
+  Htmlreport.render
+    {
+      Htmlreport.workload = w.Workload.name;
+      mode;
+      seed;
+      scale;
+      threads;
+      policy;
+      series;
+      episodes = Stx_telemetry.Episodes.detect series;
+      stats = r.Stx_metrics.Run.stats;
+      registry = r.Stx_metrics.Run.metrics;
+      attribution = Stx_trace.Trace.abort_attribution tr;
+      ab_name = string_of_int;
+    }
+
+let test_htmlreport_deterministic () =
+  let a = render_report () and b = render_report () in
+  Alcotest.(check bool) "byte-identical across renders" true (a = b)
+
+let test_htmlreport_self_contained () =
+  let html = render_report () in
+  List.iter
+    (fun marker ->
+      Alcotest.(check bool) ("no external reference: " ^ marker) false
+        (contains html marker))
+    [ "http://"; "https://"; "<script"; "<link"; "src=" ];
+  List.iter
+    (fun marker ->
+      Alcotest.(check bool) ("section present: " ^ marker) true
+        (contains html marker))
+    [
+      "<!DOCTYPE html>"; "<style>"; "<svg"; "Time series"; "Episodes";
+      "Conflict hot spots"; "phase profile"; "</html>";
+    ]
+
 let suite =
   [
     Alcotest.test_case "exp memoizes runs" `Quick test_exp_memoizes;
@@ -201,4 +259,8 @@ let suite =
     Alcotest.test_case "timeline irrevocable and timeout" `Quick
       test_timeline_irrevocable_and_timeout;
     Alcotest.test_case "ablation renders" `Slow test_ablation_reports_render;
+    Alcotest.test_case "html report is deterministic" `Quick
+      test_htmlreport_deterministic;
+    Alcotest.test_case "html report is self-contained" `Quick
+      test_htmlreport_self_contained;
   ]

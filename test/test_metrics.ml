@@ -216,9 +216,9 @@ let test_registry_rejects_bad_names () =
   Alcotest.check_raises "bad metric name"
     (Invalid_argument "Registry: bad metric name \"0bad\"") (fun () ->
       Registry.inc r "0bad" []);
-  Alcotest.check_raises "bad label value"
-    (Invalid_argument "Registry: bad label value \"has space\"") (fun () ->
-      Registry.inc r "m" [ ("k", "has space") ]);
+  Alcotest.check_raises "empty label value"
+    (Invalid_argument "Registry: bad label value \"\"") (fun () ->
+      Registry.inc r "m" [ ("k", "") ]);
   Alcotest.check_raises "duplicate label"
     (Invalid_argument "Registry: duplicate label \"k\"") (fun () ->
       Registry.inc r "m" [ ("k", "1"); ("k", "2") ])
@@ -284,6 +284,49 @@ let test_registry_codec_round_trip () =
   match Registry.decode (Registry.encode r) with
   | None -> Alcotest.fail "decode rejected its own encode"
   | Some r' -> Alcotest.(check bool) "equal" true (Registry.equal r r')
+
+(* values with every character the exposition format escapes, plus the
+   bytes the store codec's own framing uses *)
+let hairy_values =
+  [ "back\\slash"; "dou\"ble"; "new\nline"; "sp ace,co=mma\ttab\rcr"; "plain" ]
+
+let test_registry_prometheus_escaping () =
+  let r = Registry.create () in
+  Registry.inc r "m" [ ("v", "a\\b\"c\nd") ];
+  Alcotest.(check string) "escaped exposition"
+    "# TYPE m counter\nm{v=\"a\\\\b\\\"c\\nd\"} 1\n" (Registry.to_prometheus r);
+  (* a raw newline in a value would add a line to the exposition; the
+     escaped form is always exactly TYPE line + sample line *)
+  List.iter
+    (fun v ->
+      let r = Registry.create () in
+      Registry.inc r "m" [ ("k", v) ];
+      let lines =
+        Registry.to_prometheus r |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) ("line count for " ^ String.escaped v) 2
+        (List.length lines))
+    hairy_values
+
+let test_registry_codec_escapes_label_values () =
+  let r = Registry.create () in
+  List.iteri
+    (fun i v ->
+      Registry.inc r "m" ~by:(i + 1) [ ("k", v) ];
+      Registry.set_gauge r "g" [ ("k", v) ] (i + 10);
+      Registry.observe r "h" [ ("k", v) ] i)
+    hairy_values;
+  (* encode must still be one line per metric... *)
+  List.iter
+    (fun ln ->
+      Alcotest.(check bool) "no embedded newline" false (String.contains ln '\n'))
+    (Registry.encode r);
+  (* ...and decode must reproduce the registry exactly *)
+  match Registry.decode (Registry.encode r) with
+  | None -> Alcotest.fail "decode rejected escaped label values"
+  | Some r' ->
+    Alcotest.(check (list string)) "round trip" [] (Registry.diff r r')
 
 let test_registry_codec_rejects_corruption () =
   let lines = Registry.encode (sample_registry ()) in
@@ -533,6 +576,10 @@ let suite =
     Alcotest.test_case "json snapshot golden" `Quick test_registry_json_golden;
     Alcotest.test_case "prometheus golden" `Quick
       test_registry_prometheus_golden;
+    Alcotest.test_case "prometheus label escaping" `Quick
+      test_registry_prometheus_escaping;
+    Alcotest.test_case "codec escapes label values" `Quick
+      test_registry_codec_escapes_label_values;
     Alcotest.test_case "store codec round trip" `Quick
       test_registry_codec_round_trip;
     Alcotest.test_case "store codec rejects corruption" `Quick

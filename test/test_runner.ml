@@ -299,6 +299,73 @@ let test_progress_wall_summary_injectable_clock () =
      in
      find 0)
 
+let test_store_blob_round_trip () =
+  let st = Store.create ~dir:(fresh_dir ()) () in
+  Alcotest.(check bool) "missing blob is None" true
+    (Store.load_blob st ~key:"nothing" = None);
+  (* blobs are raw bytes: binary content survives untouched *)
+  let bytes = "<html>\x00\xff\nreport</html>" in
+  Store.save_blob st ~key:"abc123" bytes;
+  Alcotest.(check (option string)) "bytes round trip" (Some bytes)
+    (Store.load_blob st ~key:"abc123");
+  Store.save_blob st ~key:"abc123" "v2";
+  Alcotest.(check (option string)) "overwrite wins" (Some "v2")
+    (Store.load_blob st ~key:"abc123");
+  (* the .blob namespace never collides with result entries *)
+  Alcotest.(check bool) "not a result entry" true
+    (Store.load st ~key:"abc123" = None)
+
+let contains log sub =
+  let rec find i =
+    i + String.length sub <= String.length log
+    && (String.sub log i (String.length sub) = sub || find (i + 1))
+  in
+  find 0
+
+let test_progress_heartbeat_line () =
+  let now = ref 0. in
+  let buf = Filename.temp_file "stx-heartbeat" ".log" in
+  let oc = open_out buf in
+  let p = Progress.create ~out:oc ~now:(fun () -> !now) ~total:4 () in
+  Progress.job_started p "a";
+  Progress.job_started p "b";
+  now := 0.5;
+  Progress.job_finished p "a" ~status:"ok";
+  Progress.job_started p "c";
+  now := 1.0;
+  Progress.heartbeat p;
+  close_out oc;
+  let log = In_channel.with_open_text buf In_channel.input_all in
+  Sys.remove buf;
+  Alcotest.(check bool) "done/total" true (contains log "heartbeat [1/4]");
+  Alcotest.(check bool) "eta present" true (contains log "eta ");
+  Alcotest.(check bool) "wall summary present" true
+    (contains log "job wall-time p50");
+  (* the in-flight list shows the most recently started first *)
+  Alcotest.(check bool) "in-flight labels listed" true
+    (contains log "running c b")
+
+let test_pool_tick_fires_in_parallel_mode () =
+  let ticks = Atomic.make 0 in
+  let thunks = Array.init 2 (fun _ () -> Unix.sleepf 0.15) in
+  let out =
+    Pool.map ~jobs:2 ~tick:(0.02, fun () -> Atomic.incr ticks) thunks
+  in
+  Alcotest.(check int) "all jobs done" 2 (Array.length out);
+  Array.iter
+    (fun o -> Alcotest.(check bool) "done" true (o = Pool.Done ()))
+    out;
+  Alcotest.(check bool)
+    (Printf.sprintf "ticked at least once (%d)" (Atomic.get ticks))
+    true
+    (Atomic.get ticks > 0)
+
+let test_pool_tick_silent_inline () =
+  let ticks = Atomic.make 0 in
+  let thunks = Array.init 2 (fun _ () -> Unix.sleepf 0.05) in
+  let _ = Pool.map ~jobs:1 ~tick:(0.01, fun () -> Atomic.incr ticks) thunks in
+  Alcotest.(check int) "inline mode never ticks" 0 (Atomic.get ticks)
+
 let test_batch_dedupes_duplicate_specs () =
   let j = job () in
   let b = Sweep.run_batch ~jobs:2 [ j; j; j ] in
@@ -330,8 +397,15 @@ let suite =
       test_store_persists_metrics;
     Alcotest.test_case "corrupt metrics section is a miss" `Quick
       test_store_corrupt_metrics_section_is_miss;
+    Alcotest.test_case "blob round trip" `Quick test_store_blob_round_trip;
     Alcotest.test_case "progress wall-time summary (injected clock)" `Quick
       test_progress_wall_summary_injectable_clock;
+    Alcotest.test_case "progress heartbeat line (injected clock)" `Quick
+      test_progress_heartbeat_line;
+    Alcotest.test_case "pool tick fires in parallel mode" `Quick
+      test_pool_tick_fires_in_parallel_mode;
+    Alcotest.test_case "pool tick silent in inline mode" `Quick
+      test_pool_tick_silent_inline;
     Alcotest.test_case "duplicate specs deduped" `Quick
       test_batch_dedupes_duplicate_specs;
   ]
