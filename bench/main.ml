@@ -155,8 +155,21 @@ let () =
       | Ok p -> p
       | Error e -> failwith ("--policy: " ^ e))
   in
-  match flag_value "--trace" with
-  | Some file -> run_traced ~policy ~file ()
-  | None ->
-    if not skip_bechamel then run_bechamel ();
-    run_full ~jobs ()
+  if Array.mem "--sim-speed" Sys.argv then begin
+    let scale =
+      match flag_value "--scale" with
+      | None -> 0.2
+      | Some v -> (
+        match float_of_string_opt v with
+        | Some f when f > 0.0 -> f
+        | _ -> failwith "--scale expects a positive float")
+    in
+    let entries = Stx_harness.Bench.sim_suite ~scale () in
+    print_string (Stx_harness.Bench.render_sim entries)
+  end
+  else
+    match flag_value "--trace" with
+    | Some file -> run_traced ~policy ~file ()
+    | None ->
+      if not skip_bechamel then run_bechamel ();
+      run_full ~jobs ()

@@ -207,7 +207,22 @@ let bench_cmd =
     let t = Bench.suite c in
     Bench.write t ~file:out;
     print_string (Bench.render t);
+    print_string (Bench.render_sim t.Bench.sims);
     Printf.printf "wrote %s\n%!" out;
+    (* the absolute steady-state allocation bound holds with or without a
+       baseline: the zero-allocation core must never creep back *)
+    let violations = Bench.alloc_violations t in
+    if violations <> [] then begin
+      List.iter
+        (fun e ->
+          Printf.eprintf
+            "ALLOCATION BUDGET EXCEEDED: %s allocates %.1f minor words per \
+             simulated event (budget %.0f)\n"
+            e.Bench.sim_workload e.Bench.sim_minor_words_per_event
+            Bench.minor_words_budget)
+        violations;
+      exit 1
+    end;
     match cmp with
     | None -> ()
     | Some file -> (
@@ -227,7 +242,10 @@ let bench_cmd =
             baseline.Bench.threads t.Bench.seed t.Bench.scale t.Bench.threads;
         let cs = Bench.compare_runs ~threshold ~baseline t in
         print_string (Bench.render_compare cs);
-        if Bench.regressions cs <> [] then exit 1)
+        let ss = Bench.compare_sims ~threshold ~baseline t in
+        print_string (Bench.render_compare_sims ss);
+        if Bench.regressions cs <> [] || Bench.sim_regressions ss <> [] then
+          exit 1)
   in
   Cmd.v
     (Cmd.info "bench"
@@ -715,7 +733,24 @@ let serve_cmd =
   let serve_seed_arg =
     Arg.(value & opt int 5 & info [ "seed" ] ~doc:"Serving seed.")
   in
-  let run bench rates_s keys_s horizon shards threads seed jobs =
+  let cores_arg =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "cores" ]
+          ~doc:
+            "Comma-separated core counts to sweep (e.g. 16,32,64,128); \
+             empty uses the context's thread count once.")
+  in
+  let shard_by_arg =
+    Arg.(
+      value
+      & opt string "seed"
+      & info [ "shard-by" ]
+          ~doc:"Shard the request stream by $(b,seed) or by $(b,key) range.")
+  in
+  let run bench rates_s keys_s horizon shards threads seed jobs cores_s
+      shard_by_s =
     let die msg =
       prerr_endline msg;
       exit 1
@@ -730,6 +765,11 @@ let serve_cmd =
       | Ok k -> k
       | Error e -> die ("bad --keys " ^ keys_s ^ ": " ^ e)
     in
+    let shard_by =
+      match Serve.shard_by_of_string shard_by_s with
+      | Ok sb -> sb
+      | Error e -> die ("bad --shard-by " ^ shard_by_s ^ ": " ^ e)
+    in
     let rates =
       List.map
         (fun r ->
@@ -737,6 +777,16 @@ let serve_cmd =
           | Some f when f > 0.0 -> f
           | _ -> die ("bad rate: " ^ r))
         (String.split_on_char ',' rates_s)
+    in
+    let cores_list =
+      if cores_s = "" then [ threads ]
+      else
+        List.map
+          (fun c ->
+            match int_of_string_opt (String.trim c) with
+            | Some n when n >= 1 -> n
+            | _ -> die ("bad core count: " ^ c))
+          (String.split_on_char ',' cores_s)
     in
     let modes =
       [ Stx_core.Mode.Baseline; Stx_core.Mode.Addr_only;
@@ -746,39 +796,44 @@ let serve_cmd =
     let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
     pf "open-loop %s: Poisson arrivals, %s keys, 70%% get, horizon %d cycles,\n"
       bench keys_s horizon;
-    pf "%d threads x %d shards, seed %d; rates in requests/kilocycle,\n"
-      threads shards seed;
-    pf "latencies in cycles (sojourn: arrival to commit)\n\n";
-    pf "%-8s %-13s %-9s %-8s %-8s %-8s %-8s %s\n" "offered" "mode" "achieved"
-      "p50" "p95" "p99" "p99.9" "sat";
+    pf "%d shards (%s-sharded), seed %d; rates in requests/kilocycle,\n"
+      shards (Serve.shard_by_to_string shard_by) seed;
+    pf "latencies in cycles (sojourn: arrival to commit)\n";
     let failed = ref false in
     List.iter
-      (fun rate ->
+      (fun cores ->
+        pf "\n-- %d cores --\n" cores;
+        pf "%-8s %-13s %-9s %-8s %-8s %-8s %-8s %s\n" "offered" "mode"
+          "achieved" "p50" "p95" "p99" "p99.9" "sat";
         List.iter
-          (fun mode ->
-            let cfg =
-              Serve.config ~mode ~threads ~seed ~keys ~horizon ~shards
-                ~arrival:(Arrival.Poisson { rate }) service
-            in
-            let report = Serve.run ~jobs cfg in
-            if report.Serve.errors <> [] then begin
-              failed := true;
-              List.iter (fun e -> pf "  RECONCILIATION: %s\n" e)
-                report.Serve.errors
-            end;
-            let q p =
-              match Serve.sojourn report with
-              | Some h -> Stx_metrics.Hist.quantile h p
-              | None -> 0
-            in
-            pf "%-8.2f %-13s %-9.2f %-8d %-8d %-8d %-8d %s\n"
-              report.Serve.offered
-              (Stx_core.Mode.to_string mode)
-              report.Serve.achieved (q 0.50) (q 0.95) (q 0.99) (q 0.999)
-              (if report.Serve.saturated then "yes" else ""))
-          modes;
-        pf "\n")
-      rates;
+          (fun rate ->
+            List.iter
+              (fun mode ->
+                let cfg =
+                  Serve.config ~mode ~threads:cores ~seed ~keys ~horizon
+                    ~shards ~shard_by
+                    ~arrival:(Arrival.Poisson { rate }) service
+                in
+                let report = Serve.run ~jobs cfg in
+                if report.Serve.errors <> [] then begin
+                  failed := true;
+                  List.iter (fun e -> pf "  RECONCILIATION: %s\n" e)
+                    report.Serve.errors
+                end;
+                let q p =
+                  match Serve.sojourn report with
+                  | Some h -> Stx_metrics.Hist.quantile h p
+                  | None -> 0
+                in
+                pf "%-8.2f %-13s %-9.2f %-8d %-8d %-8d %-8d %s\n"
+                  report.Serve.offered
+                  (Stx_core.Mode.to_string mode)
+                  report.Serve.achieved (q 0.50) (q 0.95) (q 0.99) (q 0.999)
+                  (if report.Serve.saturated then "yes" else ""))
+              modes;
+            pf "\n")
+          rates)
+      cores_list;
     section ("serve: " ^ bench) (Buffer.contents buf);
     if !failed then exit 1
   in
@@ -787,11 +842,12 @@ let serve_cmd =
        ~doc:
          "Offered-load sweep of the open-loop serving harness: achieved \
           throughput and sojourn-latency tail per runtime mode, showing \
-          where each mode saturates (non-zero exit on any reconciliation \
+          where each mode saturates, optionally swept over core counts \
+          (non-zero exit on any reconciliation \
           failure)")
     Term.(
       const run $ serve_bench_arg $ rates_arg $ keys_arg $ horizon_arg
-      $ shards_arg $ threads_arg $ serve_seed_arg $ jobs_arg)
+      $ shards_arg $ threads_arg $ serve_seed_arg $ jobs_arg $ cores_arg $ shard_by_arg)
 
 (* ---------------------------------------------------------------- *)
 (* stx_repro report: one run as a self-contained HTML file           *)

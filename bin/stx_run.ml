@@ -212,7 +212,9 @@ let run list_benches bench mode threads seed scale trace raw_trace metrics
     print_per_ab spec stats;
     (match (metrics, collector) with
     | Some file, Some c ->
-      let reg = Stx_metrics.Collect.registry c in
+      (* GC pressure is stamped on the exported copy only; the live
+         registry must stay equal to a trace replay's *)
+      let reg = Stx_metrics.Gcstats.stamp (Stx_metrics.Collect.registry c) in
       let oc = open_out file in
       output_string oc (Stx_metrics.Registry.to_json_string reg);
       output_char oc '\n';

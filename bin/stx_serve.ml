@@ -24,8 +24,8 @@ let parse_policy resolution capacity fallback =
     ()
 
 let run list_services bench arrival_s keys_s pct_get key_range horizon threads
-    seed shards jobs mode_s metrics telemetry telemetry_window check policy_s
-    capacity_s fallback_s =
+    seed shards shard_by_s jobs mode_s metrics telemetry telemetry_window check
+    policy_s capacity_s fallback_s =
   if list_services then begin
     List.iter
       (fun s ->
@@ -63,6 +63,11 @@ let run list_services bench arrival_s keys_s pct_get key_range horizon threads
     | Some m -> m
     | None -> die ("unknown mode: " ^ mode_s ^ " (HTM|AddrOnly|Staggered+SW|Staggered)")
   in
+  let shard_by =
+    match Serve.shard_by_of_string shard_by_s with
+    | Ok sb -> sb
+    | Error e -> die ("bad --shard-by " ^ shard_by_s ^ ": " ^ e)
+  in
   let htm_policy = parse_policy policy_s capacity_s fallback_s in
   if telemetry_window < 1 then die "--telemetry-window must be positive";
   let telemetry_window =
@@ -70,7 +75,7 @@ let run list_services bench arrival_s keys_s pct_get key_range horizon threads
   in
   let cfg =
     Serve.config ~mode ~htm_policy ~threads ~seed ~keys ~pct_get ?key_range
-      ~horizon ~shards ?telemetry_window ~arrival service
+      ~horizon ~shards ~shard_by ?telemetry_window ~arrival service
   in
   let report = Serve.run ~jobs cfg in
   print_string (Serve.render cfg report);
@@ -84,6 +89,7 @@ let run list_services bench arrival_s keys_s pct_get key_range horizon threads
         ("keys", keys_s);
         ("seed", string_of_int seed);
         ("shards", string_of_int shards);
+        ("shard_by", Serve.shard_by_to_string shard_by);
         ("policy", Stx_policy.label htm_policy);
       ]
     in
@@ -107,13 +113,13 @@ let run list_services bench arrival_s keys_s pct_get key_range horizon threads
   (match metrics with
   | None -> ()
   | Some file ->
+    let reg = Stx_metrics.Gcstats.stamp report.Serve.registry in
     let oc = open_out file in
-    output_string oc
-      (Stx_metrics.Registry.to_json_string report.Serve.registry);
+    output_string oc (Stx_metrics.Registry.to_json_string reg);
     output_char oc '\n';
     close_out oc;
     Printf.printf "  metrics            %d series -> %s\n"
-      (Stx_metrics.Registry.cardinality report.Serve.registry)
+      (Stx_metrics.Registry.cardinality reg)
       file);
   if report.Serve.errors <> [] then exit 1;
   if check then Printf.printf "  check              ok\n%!"
@@ -177,6 +183,18 @@ let () =
             "Independent sub-runs, each at 1/shards of the offered rate. \
              Part of the experiment's identity (changing it changes the \
              result); parallelism comes from --jobs.")
+  in
+  let shard_by_arg =
+    Arg.(
+      value
+      & opt string "seed"
+      & info [ "shard-by" ] ~docv:"WHAT"
+          ~doc:
+            "$(b,seed): each shard serves the full key range at 1/shards of \
+             the offered rate (independent sub-runs). $(b,key): the key \
+             space is split into contiguous slices and each request is \
+             routed to the shard owning its key, so skewed key popularity \
+             loads shards unevenly.")
   in
   let jobs_arg =
     Arg.(
@@ -255,7 +273,7 @@ let () =
     Term.(
       const run $ list_arg $ bench_arg $ arrival_arg $ keys_arg $ pct_get_arg
       $ key_range_arg $ horizon_arg $ threads_arg $ seed_arg $ shards_arg
-      $ jobs_arg $ mode_arg $ metrics_arg $ telemetry_arg
+      $ shard_by_arg $ jobs_arg $ mode_arg $ metrics_arg $ telemetry_arg
       $ telemetry_window_arg $ check_arg $ policy_arg $ capacity_arg
       $ fallback_arg)
   in

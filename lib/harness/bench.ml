@@ -17,15 +17,24 @@ type entry = {
   suffix_share : float;
 }
 
+type sim_entry = {
+  sim_workload : string;
+  sim_events : int;
+  sim_events_per_sec : float;
+  sim_minor_words_per_event : float;
+}
+
 type t = {
   schema_version : int;
   seed : int;
   scale : float;
   threads : int;
   entries : entry list;
+  sims : sim_entry list;
 }
 
-let schema_version = 1
+(* v2 added the simulator-core throughput series ([sims]). *)
+let schema_version = 2
 
 let suite_modes =
   [ Mode.Baseline; Mode.Addr_only; Mode.Staggered_sw; Mode.Staggered_hw ]
@@ -66,6 +75,81 @@ let entry_of_run ~workload ~mode (r : Stx_metrics.Run.t) =
     suffix_share = Stat.ratio suffix (max 1 committed);
   }
 
+(* ------------------------------------------------------------------ *)
+(* simulator-core throughput: wall-clock events/sec and GC pressure.
+
+   One "event" is one executed simulated instruction ([Stats.insts]) — the
+   unit every workload shares regardless of how its cycles are spent. The
+   measurement deliberately bypasses the result store: the point is the
+   wall-clock cost of the simulator itself, so memoisation would make it a
+   no-op. A warmup run precedes the timed run so the timed one sees a warm
+   code path; the minor-allocation rate divides the [Gc.minor_words] delta
+   of the timed run by its event count, which amortises the machine's
+   one-time pool construction over the whole run. *)
+
+let sim_cores = 16
+let sim_scale = 0.2
+
+let measure_sim ?(cores = sim_cores) ?(scale = sim_scale) ?(seed = 1)
+    (w : Workload.t) =
+  (* compile the workload once, outside the measured window: the gate is
+     about the simulator's steady state, not the compiler's allocation *)
+  let spec = Workload.spec ~instrument:false ~scale w in
+  let cfg = Stx_machine.Config.with_cores cores Stx_machine.Config.default in
+  let run () = Machine.run ~seed ~cfg ~mode:Mode.Baseline spec in
+  ignore (run ());
+  (* short workloads finish in a few milliseconds, where a single timed
+     run is scheduler noise: repeat until enough wall time accumulates
+     and report the best rep.  The allocation figure comes from the
+     first rep alone — per-rep allocation is deterministic, and the
+     delta includes machine construction, amortised over the run *)
+  Gc.full_major ();
+  let min_elapsed = 0.2 in
+  let rec reps total_dt best_dt first_dm events =
+    let m0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let stats = run () in
+    let dt = Unix.gettimeofday () -. t0 in
+    let dm = Gc.minor_words () -. m0 in
+    let total_dt = total_dt +. dt in
+    let best_dt = if best_dt <= 0. || dt < best_dt then dt else best_dt in
+    let first_dm = if first_dm < 0. then dm else first_dm in
+    if total_dt < min_elapsed then reps total_dt best_dt first_dm events
+    else (best_dt, first_dm, stats.Stats.insts)
+  in
+  let best_dt, dm, events = reps 0. 0. (-1.) 0 in
+  {
+    sim_workload = w.Workload.name;
+    sim_events = events;
+    sim_events_per_sec =
+      float_of_int events /. (if best_dt <= 0. then 1e-9 else best_dt);
+    sim_minor_words_per_event = dm /. float_of_int (max 1 events);
+  }
+
+let sim_suite ?cores ?scale ?seed () =
+  List.map (fun w -> measure_sim ?cores ?scale ?seed w) Registry.all
+
+let render_sim ?(cores = sim_cores) entries =
+  let tbl =
+    Table.create [ "Benchmark"; "events"; "events/sec"; "minor words/event" ]
+  in
+  List.iter
+    (fun e ->
+      Table.add_row tbl
+        [
+          e.sim_workload;
+          string_of_int e.sim_events;
+          Table.fmt_f ~dec:0 e.sim_events_per_sec;
+          Table.fmt_f ~dec:2 e.sim_minor_words_per_event;
+        ])
+    entries;
+  Printf.sprintf
+    "Simulator core throughput (%d cores, Baseline mode): wall-clock\n\
+     simulated instructions per second and minor-heap words allocated per\n\
+     instruction.\n"
+    cores
+  ^ Table.render tbl
+
 let suite ctx =
   let entries =
     List.concat_map
@@ -85,6 +169,11 @@ let suite ctx =
     scale = Exp.scale ctx;
     threads = Exp.threads ctx;
     entries;
+    (* the sim series is measured at its own fixed point (16 cores,
+       scale 0.2, seed 1) regardless of the context: wall-clock rates
+       only compare within one configuration, and pinning it keeps the
+       committed baseline comparable across ctx flags *)
+    sims = sim_suite ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -102,6 +191,18 @@ let entry_to_json e =
       ("suffix_share", J.Float e.suffix_share);
     ]
 
+(* the persisted allocation series is per 1000 events: per-event figures
+   for a zero-allocation core are fractions like 0.004, which round badly
+   in fixed-precision renderings of the JSON *)
+let sim_to_json e =
+  J.Obj
+    [
+      ("workload", J.Str e.sim_workload);
+      ("events", J.Int e.sim_events);
+      ("sim_events_per_sec", J.Float e.sim_events_per_sec);
+      ("minor_words_per_1k_events", J.Float (1000. *. e.sim_minor_words_per_event));
+    ]
+
 let to_json t =
   J.Obj
     [
@@ -111,6 +212,7 @@ let to_json t =
       ("scale", J.Float t.scale);
       ("threads", J.Int t.threads);
       ("entries", J.List (List.map entry_to_json t.entries));
+      ("sims", J.List (List.map sim_to_json t.sims));
     ]
 
 let to_json_string t = J.to_string (to_json t)
@@ -135,6 +237,25 @@ let entry_of_json j =
   in
   Ok { workload; mode; throughput; abort_rate; p99_latency; prefix_share; suffix_share }
 
+let sim_of_json j =
+  let* sim_workload = req "workload" (Option.bind (J.member "workload" j) J.as_string) in
+  let* sim_events = req "events" (Option.bind (J.member "events" j) J.as_int) in
+  let* sim_events_per_sec =
+    req "sim_events_per_sec"
+      (Option.bind (J.member "sim_events_per_sec" j) J.as_float)
+  in
+  let* per_1k =
+    req "minor_words_per_1k_events"
+      (Option.bind (J.member "minor_words_per_1k_events" j) J.as_float)
+  in
+  Ok
+    {
+      sim_workload;
+      sim_events;
+      sim_events_per_sec;
+      sim_minor_words_per_event = per_1k /. 1000.;
+    }
+
 let of_json j =
   let* schema = req "schema" (Option.bind (J.member "schema" j) J.as_string) in
   let* () = if schema = "stx-bench" then Ok () else Error ("bench snapshot: schema is " ^ schema ^ ", wanted stx-bench") in
@@ -158,7 +279,24 @@ let of_json j =
         Ok (e :: acc))
       (Ok []) entries
   in
-  Ok { schema_version = version; seed; scale; threads; entries = List.rev entries }
+  let* sims = req "sims" (Option.bind (J.member "sims" j) J.as_list) in
+  let* sims =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* e = sim_of_json e in
+        Ok (e :: acc))
+      (Ok []) sims
+  in
+  Ok
+    {
+      schema_version = version;
+      seed;
+      scale;
+      threads;
+      entries = List.rev entries;
+      sims = List.rev sims;
+    }
 
 let of_json_string s =
   match J.parse s with Ok j -> of_json j | Error e -> Error ("bench snapshot: " ^ e)
@@ -285,5 +423,120 @@ let render_compare comparisons =
       "%d cells: %d ok, %d improved, %d regressed, %d added, %d removed\n"
       (List.length comparisons) (count Neutral) (count Improved)
       (count Regressed) (count Added) (count Removed)
+
+(* ------------------------------------------------------------------ *)
+(* sim-series gating: wall-clock events/sec (machine-relative) and the
+   allocation rate (deterministic), judged with the same ±threshold rule
+   as throughput.  Allocation regresses *upward*: more minor words per
+   event than the baseline allows is the failure, and an absolute budget
+   backstops the relative gate so a baseline taken on an allocation-heavy
+   build can never grandfather the regression in. *)
+
+type sim_comparison = {
+  s_workload : string;
+  s_old : sim_entry option;
+  s_new : sim_entry option;
+  s_speed_ratio : float;
+  s_alloc_ratio : float;
+  s_verdict : verdict;
+}
+
+let compare_sims ?(threshold = 0.2) ~baseline fresh =
+  if not (threshold > 0. && threshold < 1.) then
+    invalid_arg "Bench.compare_sims: threshold must be in (0, 1)";
+  let index sims =
+    let h = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace h e.sim_workload e) sims;
+    h
+  in
+  let old_by = index baseline.sims and new_by = index fresh.sims in
+  let names =
+    List.sort_uniq compare
+      (List.map (fun e -> e.sim_workload) baseline.sims
+      @ List.map (fun e -> e.sim_workload) fresh.sims)
+  in
+  List.map
+    (fun w ->
+      let s_old = Hashtbl.find_opt old_by w in
+      let s_new = Hashtbl.find_opt new_by w in
+      let speed, alloc, verdict =
+        match (s_old, s_new) with
+        | None, Some _ -> (nan, nan, Added)
+        | Some _, None -> (nan, nan, Removed)
+        | None, None -> assert false
+        | Some o, Some n ->
+          let speed =
+            if o.sim_events_per_sec = 0. then 1.
+            else n.sim_events_per_sec /. o.sim_events_per_sec
+          in
+          (* a zero-allocation baseline cell leaves nothing to be relative
+             to; the absolute budget still applies *)
+          let alloc =
+            if o.sim_minor_words_per_event <= 0. then 1.
+            else n.sim_minor_words_per_event /. o.sim_minor_words_per_event
+          in
+          let verdict =
+            if speed < 1. -. threshold || alloc > 1. +. threshold then Regressed
+            else if speed > 1. +. threshold || alloc < 1. -. threshold then
+              Improved
+            else Neutral
+          in
+          (speed, alloc, verdict)
+      in
+      {
+        s_workload = w;
+        s_old;
+        s_new;
+        s_speed_ratio = speed;
+        s_alloc_ratio = alloc;
+        s_verdict = verdict;
+      })
+    names
+
+let sim_regressions = List.filter (fun c -> c.s_verdict = Regressed)
+
+let render_compare_sims comparisons =
+  let tbl =
+    Table.create
+      [
+        "Benchmark"; "base ev/s"; "new ev/s"; "speed"; "base w/ev"; "new w/ev";
+        "alloc"; "verdict";
+      ]
+  in
+  let evs = function Some e -> Table.fmt_f ~dec:0 e.sim_events_per_sec | None -> "-" in
+  let wpe = function
+    | Some e -> Table.fmt_f ~dec:3 e.sim_minor_words_per_event
+    | None -> "-"
+  in
+  let ratio r = if Float.is_nan r then "-" else Table.fmt_f ~dec:2 r in
+  List.iter
+    (fun c ->
+      Table.add_row tbl
+        [
+          c.s_workload;
+          evs c.s_old;
+          evs c.s_new;
+          ratio c.s_speed_ratio;
+          wpe c.s_old;
+          wpe c.s_new;
+          ratio c.s_alloc_ratio;
+          verdict_label c.s_verdict;
+        ])
+    comparisons;
+  let count v =
+    List.length (List.filter (fun c -> c.s_verdict = v) comparisons)
+  in
+  Table.render tbl
+  ^ Printf.sprintf
+      "%d sim cells: %d ok, %d improved, %d regressed, %d added, %d removed\n"
+      (List.length comparisons) (count Neutral) (count Improved)
+      (count Regressed) (count Added) (count Removed)
+
+(* The tentpole's absolute steady-state bound: fewer than 64 minor-heap
+   words per simulated event, with machine construction amortised in. *)
+let minor_words_budget = 64.
+
+let alloc_violations t =
+  List.filter (fun e -> e.sim_minor_words_per_event >= minor_words_budget) t.sims
 
 let workload_names ws = List.map (fun (w : Workload.t) -> w.Workload.name) ws

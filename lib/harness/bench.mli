@@ -22,16 +22,47 @@ type entry = {
       (** serialized-suffix cycles / committed tx cycles *)
 }
 
+type sim_entry = {
+  sim_workload : string;
+  sim_events : int;  (** simulated instructions executed by the timed run *)
+  sim_events_per_sec : float;  (** wall-clock simulation rate *)
+  sim_minor_words_per_event : float;
+      (** [Gc.minor_words] delta of the timed run / events; persisted to
+          JSON as [minor_words_per_1k_events] (this field × 1000) *)
+}
+
 type t = {
   schema_version : int;
   seed : int;
   scale : float;
   threads : int;
   entries : entry list;  (** sorted by (workload, mode) *)
+  sims : sim_entry list;
+      (** simulator-core throughput series, measured at the fixed
+          ({!sim_cores}, {!sim_scale}, seed 1) point *)
 }
 
 val schema_version : int
-(** Stamped into the snapshot ({b 1}); {!read} rejects other versions. *)
+(** Stamped into the snapshot ({b 2}); {!read} rejects other versions.
+    v2 added the [sims] series. *)
+
+val sim_cores : int
+(** Core count the sim-throughput series is measured at (16). *)
+
+val sim_scale : float
+(** Workload scale the sim-throughput series is measured at (0.2). *)
+
+val measure_sim :
+  ?cores:int -> ?scale:float -> ?seed:int -> Workload.t -> sim_entry
+(** Wall-clock throughput of the simulator core on one workload (Baseline
+    mode, default 16 cores, scale 0.2): a warmup run, then a timed run
+    bracketed by [Gc.minor_words]. Never memoised. *)
+
+val sim_suite :
+  ?cores:int -> ?scale:float -> ?seed:int -> unit -> sim_entry list
+(** {!measure_sim} over every registered workload. *)
+
+val render_sim : ?cores:int -> sim_entry list -> string
 
 val suite_cells : Exp.t -> Exp.cell list
 (** What to [Exp.prefetch] before {!suite}: the full Figure 7 matrix. *)
@@ -79,6 +110,39 @@ val regressions : comparison list -> comparison list
 val render_compare : comparison list -> string
 (** One row per cell with both throughputs, the ratio and the verdict,
     plus a closing summary line. *)
+
+(** {2 Sim-series gating} *)
+
+type sim_comparison = {
+  s_workload : string;
+  s_old : sim_entry option;
+  s_new : sim_entry option;
+  s_speed_ratio : float;  (** new/old events per second; [nan] unless both *)
+  s_alloc_ratio : float;
+      (** new/old minor words per event; [nan] unless both, [1.] when the
+          baseline allocated nothing *)
+  s_verdict : verdict;
+}
+
+val compare_sims : ?threshold:float -> baseline:t -> t -> sim_comparison list
+(** Match sim entries by workload. A cell regresses when events/sec fell
+    below [1 - threshold] of the baseline {b or} the allocation rate rose
+    above [1 + threshold] of it; it improves on the mirrored condition.
+    The speed leg is wall-clock and so only meaningful against a baseline
+    taken on comparable hardware; the allocation leg is deterministic. *)
+
+val sim_regressions : sim_comparison list -> sim_comparison list
+
+val render_compare_sims : sim_comparison list -> string
+
+val minor_words_budget : float
+(** Absolute steady-state allocation bound (64 minor-heap words per
+    simulated event) that every sim cell must stay under regardless of
+    what the baseline recorded. *)
+
+val alloc_violations : t -> sim_entry list
+(** Sim entries at or over {!minor_words_budget} — non-empty means the
+    bench driver should fail the run. *)
 
 val workload_names : Workload.t list -> string list
 (** Names in registry order (a convenience for drivers). *)

@@ -14,12 +14,18 @@ type abort_reason =
 
 type status = Idle | Active | Doomed of abort_reason
 
+(* All per-core speculative state lives in preallocated flat tables
+   ([Linetbl]) that are [reset] (O(live entries)) instead of rebuilt, so
+   a transaction attempt allocates nothing in the steady state.  The
+   global reader/writer indexes are dense bit matrices (line x core)
+   rather than Hashtbls of masks, which also lifts the old 62-core
+   ceiling: a line's holder set is a short vector of mask words. *)
 type core_state = {
   mutable st : status;
-  read_set : (int, unit) Hashtbl.t; (* lines *)
-  write_set : (int, unit) Hashtbl.t;
-  tags : (int, int) Hashtbl.t; (* line -> full pc of first tx access *)
-  wbuf : (int, int) Hashtbl.t; (* addr -> speculative value *)
+  read_set : Linetbl.t; (* line -> 0 *)
+  write_set : Linetbl.t; (* line -> 0 *)
+  tags : Linetbl.t; (* line -> full pc of first tx access *)
+  wbuf : Linetbl.t; (* addr -> speculative value *)
   mutable last_rset : int; (* set sizes when speculative state was *)
   mutable last_wset : int; (* last discarded (commit or doom) *)
   mutable ts : int; (* begin timestamp (karma); 0 = never begun *)
@@ -29,37 +35,59 @@ type t = {
   cfg : Config.t;
   policy : Stx_policy.t;
   memory : Memory.t;
+  line_shift : int; (* log2 words_per_line, -1 when not a power of two *)
   cores : core_state array;
-  readers : (int, int) Hashtbl.t; (* line -> bitmask of reader cores *)
-  writers : (int, int) Hashtbl.t;
+  readers : Bitmat.t; (* line x core: speculative readers *)
+  writers : Bitmat.t;
+  mask_words : int; (* words per holder-mask vector *)
+  mutable scratch : int array; (* write-set snapshot for lazy commit *)
   lock_addr : int;
   mutable conflicts : int;
   mutable ts_counter : int;
   mutable on_publish : (line:int -> unit) option;
 }
 
+let max_cores = 4096
+
 let create ?(policy = Stx_policy.default) (cfg : Config.t) memory alloc =
-  if cfg.Config.cores > 62 then invalid_arg "Htm.create: at most 62 cores";
+  if cfg.Config.cores > max_cores then
+    invalid_arg (Printf.sprintf "Htm.create: at most %d cores" max_cores);
+  let budget_hint = function
+    | Stx_policy.Capacity.Unbounded -> 64
+    | Stx_policy.Capacity.Bounded { read_lines; write_lines } ->
+      min 4096 (max read_lines write_lines + 1)
+  in
+  let hint = budget_hint policy.Stx_policy.capacity in
   let mk _ =
     {
       st = Idle;
-      read_set = Hashtbl.create 64;
-      write_set = Hashtbl.create 64;
-      tags = Hashtbl.create 64;
-      wbuf = Hashtbl.create 64;
+      read_set = Linetbl.create ~capacity_hint:hint ();
+      write_set = Linetbl.create ~capacity_hint:hint ();
+      tags = Linetbl.create ~capacity_hint:(2 * hint) ();
+      wbuf = Linetbl.create ~capacity_hint:hint ();
       last_rset = 0;
       last_wset = 0;
       ts = 0;
     }
   in
   let lock_addr = Alloc.alloc_shared alloc 1 in
+  let readers = Bitmat.create ~cols:cfg.Config.cores ~rows_hint:4096 () in
+  let wpl = cfg.Config.words_per_line in
   {
     cfg;
     policy;
     memory;
+    line_shift =
+      (if wpl > 0 && wpl land (wpl - 1) = 0 then begin
+         let rec go s v = if v <= 1 then s else go (s + 1) (v lsr 1) in
+         go 0 wpl
+       end
+       else -1);
     cores = Array.init cfg.Config.cores mk;
-    readers = Hashtbl.create 1024;
-    writers = Hashtbl.create 1024;
+    readers;
+    writers = Bitmat.create ~cols:cfg.Config.cores ~rows_hint:4096 ();
+    mask_words = Bitmat.words_per_row readers;
+    scratch = Array.make 64 0;
     lock_addr;
     conflicts = 0;
     ts_counter = 0;
@@ -74,29 +102,43 @@ let note_publish t line =
 let config t = t.cfg
 let policy t = t.policy
 
-let line_of t addr = Memory.line_of ~words_per_line:t.cfg.Config.words_per_line addr
+let line_of t addr =
+  if t.line_shift >= 0 then addr lsr t.line_shift
+  else Memory.line_of ~words_per_line:t.cfg.Config.words_per_line addr
 
 let status t ~core = t.cores.(core).st
 
-let mask_find tbl line = Option.value ~default:0 (Hashtbl.find_opt tbl line)
+let bpw = Bitmat.bits_per_word
 
-let mask_set tbl line core =
-  Hashtbl.replace tbl line (mask_find tbl line lor (1 lsl core))
+(* Word [w] of the holder mask for [line] — writers, plus readers when
+   [with_readers] — with the bit of [except] removed. *)
+let union_word t ~line ~with_readers ~except w =
+  let m =
+    Bitmat.row_word t.writers ~row:line w
+    lor if with_readers then Bitmat.row_word t.readers ~row:line w else 0
+  in
+  if w = except / bpw then m land lnot (1 lsl (except mod bpw)) else m
 
-let mask_clear tbl line core =
-  let m = mask_find tbl line land lnot (1 lsl core) in
-  if m = 0 then Hashtbl.remove tbl line else Hashtbl.replace tbl line m
+(* Any holder of [line] other than [core]?  The allocation-free fast
+   path of every conflict check. *)
+let holders_other t ~line ~with_readers ~core =
+  Bitmat.row_has_other t.writers ~row:line ~except:core
+  || (with_readers && Bitmat.row_has_other t.readers ~row:line ~except:core)
 
 let discard_speculative t core =
   let c = t.cores.(core) in
-  c.last_rset <- Hashtbl.length c.read_set;
-  c.last_wset <- Hashtbl.length c.write_set;
-  Hashtbl.iter (fun line () -> mask_clear t.readers line core) c.read_set;
-  Hashtbl.iter (fun line () -> mask_clear t.writers line core) c.write_set;
-  Hashtbl.reset c.read_set;
-  Hashtbl.reset c.write_set;
-  Hashtbl.reset c.tags;
-  Hashtbl.reset c.wbuf
+  c.last_rset <- Linetbl.length c.read_set;
+  c.last_wset <- Linetbl.length c.write_set;
+  for i = 0 to Linetbl.length c.read_set - 1 do
+    Bitmat.clear t.readers ~row:(Linetbl.key_of_order c.read_set i) ~col:core
+  done;
+  for i = 0 to Linetbl.length c.write_set - 1 do
+    Bitmat.clear t.writers ~row:(Linetbl.key_of_order c.write_set i) ~col:core
+  done;
+  Linetbl.reset c.read_set;
+  Linetbl.reset c.write_set;
+  Linetbl.reset c.tags;
+  Linetbl.reset c.wbuf
 
 let truncate_pc t pc =
   if t.cfg.Config.pc_tag_bits >= 62 then pc
@@ -109,7 +151,8 @@ let doom t ~requester ~victim ~conf_addr =
   match c.st with
   | Active ->
     let line = line_of t conf_addr in
-    let full = Hashtbl.find_opt c.tags line in
+    let ti = Linetbl.idx c.tags line in
+    let full = if ti >= 0 then Some (Linetbl.value_at c.tags ti) else None in
     let conf_pc =
       if t.cfg.Config.pc_tag_bits <= 0 then None
       else Option.map (truncate_pc t) full
@@ -123,75 +166,82 @@ let doom t ~requester ~victim ~conf_addr =
     t.conflicts <- t.conflicts + 1
   | Idle | Doomed _ -> ()
 
-let doom_mask t ~requester ~mask ~conf_addr =
-  let mask = mask land lnot (1 lsl requester) in
-  if mask <> 0 then
-    for v = 0 to Array.length t.cores - 1 do
-      if mask land (1 lsl v) <> 0 then doom t ~requester ~victim:v ~conf_addr
-    done
+(* doom every holder of [line] other than [requester]; the masks are read
+   word-by-word before dooming, so victims clearing their bits mid-walk
+   cannot disturb the iteration *)
+let doom_all t ~requester ~line ~with_readers ~conf_addr =
+  let f v = doom t ~requester ~victim:v ~conf_addr in
+  for w = 0 to t.mask_words - 1 do
+    Bitmat.iter_word f (w * bpw)
+      (union_word t ~line ~with_readers ~except:requester w)
+  done
 
 (* suicide: the requester dooms itself, naming the (surviving) responder as
    the aggressor. [full_pc] is the requester's own PC for the access (or its
-   first-access tag for the line, at lazy commit). *)
+   first-access tag for the line, at lazy commit); -1 for none. *)
 let self_doom t ~core ~conf_addr ~full_pc ~aggressor =
   let c = t.cores.(core) in
+  let full = if full_pc >= 0 then Some full_pc else None in
   let conf_pc =
     if t.cfg.Config.pc_tag_bits <= 0 then None
-    else Option.map (truncate_pc t) full_pc
+    else Option.map (truncate_pc t) full
   in
   discard_speculative t core;
   c.st <-
-    Doomed (Conflict { conf_addr; conf_pc; conf_pc_full = full_pc; aggressor });
+    Doomed (Conflict { conf_addr; conf_pc; conf_pc_full = full; aggressor });
   t.conflicts <- t.conflicts + 1
 
-let lowest_core mask =
-  let rec go v = if mask land (1 lsl v) <> 0 then v else go (v + 1) in
+(* the lowest-numbered holder of [line] other than [core] (-1 if none) *)
+let lowest_other t ~line ~with_readers ~core =
+  let rec go w =
+    if w >= t.mask_words then -1
+    else
+      let m = union_word t ~line ~with_readers ~except:core w in
+      if m = 0 then go (w + 1) else (w * bpw) + Bitmat.ctz_pow2 (m land -m)
+  in
   go 0
 
-(* the oldest opponent in [mask] that outranks the requester's timestamp
-   (smaller = older = wins), if any *)
-let older_opponent t ~core mask =
+(* the oldest opponent holding [line] that outranks the requester's
+   timestamp (smaller = older = wins), or -1 *)
+let older_opponent t ~core ~line ~with_readers =
   let my_ts = t.cores.(core).ts in
-  let best = ref None in
-  for v = 0 to Array.length t.cores - 1 do
-    if mask land (1 lsl v) <> 0 then begin
-      let ts = t.cores.(v).ts in
-      if ts < my_ts then
-        match !best with
-        | Some (bts, _) when bts <= ts -> ()
-        | _ -> best := Some (ts, v)
+  let best_ts = ref max_int in
+  let best = ref (-1) in
+  let f v =
+    let ts = t.cores.(v).ts in
+    if ts < my_ts && ts < !best_ts then begin
+      best_ts := ts;
+      best := v
     end
+  in
+  for w = 0 to t.mask_words - 1 do
+    Bitmat.iter_word f (w * bpw) (union_word t ~line ~with_readers ~except:core w)
   done;
-  Option.map snd !best
+  !best
 
 (* Resolve a conflict between a speculative requester on [core] and the
-   transactions in [mask] (every core in the readers/writers masks is
-   [Active]: doomed and committed cores leave the masks when their
+   transactions holding [line] (every core in the readers/writers index is
+   [Active]: doomed and committed cores leave the index when their
    speculative state is discarded). Returns [true] when the requester
-   survives and the access may proceed. *)
-let resolve t ~core ~conf_addr ~full_pc ~mask =
-  let mask = mask land lnot (1 lsl core) in
-  if mask = 0 then true
-  else
-    match t.policy.Stx_policy.resolution with
-    | Stx_policy.Resolution.Requester_wins ->
-      for v = 0 to Array.length t.cores - 1 do
-        if mask land (1 lsl v) <> 0 then doom t ~requester:core ~victim:v ~conf_addr
-      done;
+   survives and the access may proceed.  Callers check
+   {!holders_other} first, so this is off the no-conflict fast path. *)
+let resolve t ~core ~conf_addr ~full_pc ~line ~with_readers =
+  match t.policy.Stx_policy.resolution with
+  | Stx_policy.Resolution.Requester_wins ->
+    doom_all t ~requester:core ~line ~with_readers ~conf_addr;
+    true
+  | Stx_policy.Resolution.Responder_wins ->
+    self_doom t ~core ~conf_addr ~full_pc
+      ~aggressor:(lowest_other t ~line ~with_readers ~core);
+    false
+  | Stx_policy.Resolution.Timestamp -> (
+    match older_opponent t ~core ~line ~with_readers with
+    | -1 ->
+      doom_all t ~requester:core ~line ~with_readers ~conf_addr;
       true
-    | Stx_policy.Resolution.Responder_wins ->
-      self_doom t ~core ~conf_addr ~full_pc ~aggressor:(lowest_core mask);
-      false
-    | Stx_policy.Resolution.Timestamp -> (
-      match older_opponent t ~core mask with
-      | Some v ->
-        self_doom t ~core ~conf_addr ~full_pc ~aggressor:v;
-        false
-      | None ->
-        for v = 0 to Array.length t.cores - 1 do
-          if mask land (1 lsl v) <> 0 then doom t ~requester:core ~victim:v ~conf_addr
-        done;
-        true)
+    | v ->
+      self_doom t ~core ~conf_addr ~full_pc ~aggressor:v;
+      false)
 
 (* The transaction tried to grow a set past its budget: discard, then patch
    the captured sizes to include the line that did not fit — so the abort
@@ -230,8 +280,10 @@ let tx_begin ?(fresh = true) t ~core =
   end;
   c.st <- Active
 
-let tag_first_access c line pc =
-  if not (Hashtbl.mem c.tags line) then Hashtbl.add c.tags line pc
+(* read through the local write buffer without allocating an option *)
+let load_through c memory addr =
+  let wi = Linetbl.idx c.wbuf addr in
+  if wi >= 0 then Linetbl.value_at c.wbuf wi else Memory.load memory addr
 
 let tx_load t ~core ~addr ~pc =
   require_active t core "tx_load";
@@ -239,30 +291,26 @@ let tx_load t ~core ~addr ~pc =
   let line = line_of t addr in
   let survived =
     t.cfg.Config.lazy_htm
-    || resolve t ~core ~conf_addr:addr ~full_pc:(Some pc)
-         ~mask:(mask_find t.writers line)
+    || (not (holders_other t ~line ~with_readers:false ~core))
+    || resolve t ~core ~conf_addr:addr ~full_pc:pc ~line ~with_readers:false
   in
   if not survived then
     (* self-doomed: the speculative state (including the write buffer) is
        gone; hand back committed memory, the value is dead anyway *)
     Memory.load t.memory addr
-  else if Hashtbl.mem c.read_set line then begin
-    tag_first_access c line pc;
-    match Hashtbl.find_opt c.wbuf addr with
-    | Some v -> v
-    | None -> Memory.load t.memory addr
+  else if Linetbl.mem c.read_set line then begin
+    ignore (Linetbl.add_if_absent c.tags line pc);
+    load_through c t.memory addr
   end
-  else if Hashtbl.length c.read_set >= read_budget t then begin
+  else if Linetbl.length c.read_set >= read_budget t then begin
     capacity_doom t ~core ~read:true;
     Memory.load t.memory addr
   end
   else begin
-    tag_first_access c line pc;
-    Hashtbl.add c.read_set line ();
-    mask_set t.readers line core;
-    match Hashtbl.find_opt c.wbuf addr with
-    | Some v -> v
-    | None -> Memory.load t.memory addr
+    ignore (Linetbl.add_if_absent c.tags line pc);
+    Linetbl.add c.read_set line 0;
+    Bitmat.set t.readers ~row:line ~col:core;
+    load_through c t.memory addr
   end
 
 let tx_store t ~core ~addr ~value ~pc =
@@ -271,21 +319,21 @@ let tx_store t ~core ~addr ~value ~pc =
   let line = line_of t addr in
   let survived =
     t.cfg.Config.lazy_htm
-    || resolve t ~core ~conf_addr:addr ~full_pc:(Some pc)
-         ~mask:(mask_find t.readers line lor mask_find t.writers line)
+    || (not (holders_other t ~line ~with_readers:true ~core))
+    || resolve t ~core ~conf_addr:addr ~full_pc:pc ~line ~with_readers:true
   in
   if not survived then ()
-  else if Hashtbl.mem c.write_set line then begin
-    tag_first_access c line pc;
-    Hashtbl.replace c.wbuf addr value
+  else if Linetbl.mem c.write_set line then begin
+    ignore (Linetbl.add_if_absent c.tags line pc);
+    Linetbl.add c.wbuf addr value
   end
-  else if Hashtbl.length c.write_set >= write_budget t then
+  else if Linetbl.length c.write_set >= write_budget t then
     capacity_doom t ~core ~read:false
   else begin
-    tag_first_access c line pc;
-    Hashtbl.add c.write_set line ();
-    mask_set t.writers line core;
-    Hashtbl.replace c.wbuf addr value
+    ignore (Linetbl.add_if_absent c.tags line pc);
+    Linetbl.add c.write_set line 0;
+    Bitmat.set t.writers ~row:line ~col:core;
+    Linetbl.add c.wbuf addr value
   end
 
 let tx_commit t ~core =
@@ -305,33 +353,49 @@ let tx_commit t ~core =
     if t.cfg.Config.lazy_htm then begin
       match t.policy.Stx_policy.resolution with
       | Stx_policy.Resolution.Requester_wins ->
-        Hashtbl.iter
-          (fun line () ->
-            doom_mask t ~requester:core
-              ~mask:(mask_find t.readers line lor mask_find t.writers line)
-              ~conf_addr:(line * t.cfg.Config.words_per_line))
-          c.write_set
+        for i = 0 to Linetbl.length c.write_set - 1 do
+          let line = Linetbl.key_of_order c.write_set i in
+          doom_all t ~requester:core ~line ~with_readers:true
+            ~conf_addr:(line * t.cfg.Config.words_per_line)
+        done
       | Stx_policy.Resolution.Responder_wins | Stx_policy.Resolution.Timestamp
         ->
-        let lines = Hashtbl.fold (fun l () acc -> l :: acc) c.write_set [] in
-        List.iter
-          (fun line ->
-            if c.st = Active then
-              ignore
-                (resolve t ~core
-                   ~conf_addr:(line * t.cfg.Config.words_per_line)
-                   ~full_pc:(Hashtbl.find_opt c.tags line)
-                   ~mask:
-                     (mask_find t.readers line lor mask_find t.writers line)))
-          lines
+        let n = Linetbl.length c.write_set in
+        if Array.length t.scratch < n then
+          t.scratch <- Array.make (2 * n) 0;
+        for i = 0 to n - 1 do
+          t.scratch.(i) <- Linetbl.key_of_order c.write_set i
+        done;
+        let i = ref 0 in
+        while !i < n && c.st == Active do
+          let line = t.scratch.(!i) in
+          if holders_other t ~line ~with_readers:true ~core then begin
+            let ti = Linetbl.idx c.tags line in
+            let full = if ti >= 0 then Linetbl.value_at c.tags ti else -1 in
+            ignore
+              (resolve t ~core
+                 ~conf_addr:(line * t.cfg.Config.words_per_line)
+                 ~full_pc:full ~line ~with_readers:true)
+          end;
+          incr i
+        done
     end;
-    if c.st <> Active then false
+    if (match c.st with Active -> false | Idle | Doomed _ -> true) then false
     else begin
-      Hashtbl.iter (fun addr v -> Memory.store t.memory addr v) c.wbuf;
+      for i = 0 to Linetbl.length c.wbuf - 1 do
+        Memory.store t.memory
+          (Linetbl.key_of_order c.wbuf i)
+          (Linetbl.value_of_order c.wbuf i)
+      done;
       (* published lines are visible to the software tier too: bump their
          STM version words so a software reader that raced this commit
          fails validation instead of observing a torn snapshot *)
-      Hashtbl.iter (fun line () -> note_publish t line) c.write_set;
+      (match t.on_publish with
+      | None -> ()
+      | Some f ->
+        for i = 0 to Linetbl.length c.write_set - 1 do
+          f ~line:(Linetbl.key_of_order c.write_set i)
+        done);
       discard_speculative t core;
       c.st <- Idle;
       true
@@ -352,8 +416,8 @@ let tx_cleanup t ~core =
     reason
   | Idle | Active -> invalid_arg "Htm.tx_cleanup: transaction not doomed"
 
-let read_set_size t ~core = Hashtbl.length t.cores.(core).read_set
-let write_set_size t ~core = Hashtbl.length t.cores.(core).write_set
+let read_set_size t ~core = Linetbl.length t.cores.(core).read_set
+let write_set_size t ~core = Linetbl.length t.cores.(core).write_set
 
 let last_set_sizes t ~core =
   let c = t.cores.(core) in
@@ -365,9 +429,8 @@ let nt_load t ~addr = Memory.load t.memory addr
    resolution policy — like any nonspeculative agent's write *)
 let nt_store t ~core ~addr ~value =
   let line = line_of t addr in
-  doom_mask t ~requester:core
-    ~mask:(mask_find t.readers line lor mask_find t.writers line)
-    ~conf_addr:addr;
+  if holders_other t ~line ~with_readers:true ~core then
+    doom_all t ~requester:core ~line ~with_readers:true ~conf_addr:addr;
   note_publish t line;
   Memory.store t.memory addr value
 
@@ -388,10 +451,24 @@ let release_global_lock t = Memory.store t.memory t.lock_addr 0
 
 let conflicts_caused t = t.conflicts
 
+(* Release the reader/writer index rows for reuse by the next run; [t]
+   must not be used afterwards. *)
+let retire t =
+  Bitmat.retire t.readers;
+  Bitmat.retire t.writers
+
 (* --- software-tier interop -------------------------------------------- *)
 
-let readers_mask t ~line = mask_find t.readers line
-let writers_mask t ~line = mask_find t.writers line
+let mask_of_row bm ~line =
+  (* one-word legacy view; create refuses nothing, but callers are
+     documented to use it only below 63 cores *)
+  Bitmat.row_word bm ~row:line 0
+
+let readers_mask t ~line = mask_of_row t.readers ~line
+let writers_mask t ~line = mask_of_row t.writers ~line
+
+let writers_present t ~line =
+  not (Bitmat.row_is_empty t.writers ~row:line)
 
 (* an STM commit wins against speculative hardware readers and writers for
    the same reason a nontransactional store does: its published values are
@@ -408,12 +485,11 @@ let stm_doom t ~aggressor ~victim ~conf_addr =
 
 let stm_publish t ~core ~addr ~value =
   let line = line_of t addr in
-  let mask =
-    (mask_find t.readers line lor mask_find t.writers line)
-    land lnot (1 lsl core)
-  in
-  if mask <> 0 then
-    for v = 0 to Array.length t.cores - 1 do
-      if mask land (1 lsl v) <> 0 then stm_doom t ~aggressor:core ~victim:v ~conf_addr:addr
-    done;
+  if holders_other t ~line ~with_readers:true ~core then begin
+    let f v = stm_doom t ~aggressor:core ~victim:v ~conf_addr:addr in
+    for w = 0 to t.mask_words - 1 do
+      Bitmat.iter_word f (w * bpw)
+        (union_word t ~line ~with_readers:true ~except:core w)
+    done
+  end;
   Memory.store t.memory addr value

@@ -58,7 +58,9 @@ type t
 val create : ?policy:Stx_policy.t -> Config.t -> Memory.t -> Alloc.t -> t
 (** Allocates the global-lock word out of [Alloc]. [policy] (default
     {!Stx_policy.default}) fixes the conflict-resolution and capacity
-    behaviour for the life of the HTM. *)
+    behaviour for the life of the HTM. Supports up to 4096 cores; the
+    per-core flat set tables are sized from the policy's capacity
+    budget and reused across attempts without allocating. *)
 
 val config : t -> Config.t
 val policy : t -> Stx_policy.t
@@ -143,12 +145,19 @@ val conflicts_caused : t -> int
     advance its version clock and keep readers opaque. *)
 
 val readers_mask : t -> line:int -> int
-(** Bitmask of cores speculatively reading [line]. *)
+(** Bitmask of cores speculatively reading [line].  One-word legacy
+    view: meaningful for the first 62 cores only (wider machines are
+    tracked in a multi-word bit matrix; use {!writers_present} for a
+    width-independent test). *)
 
 val writers_mask : t -> line:int -> int
-(** Bitmask of cores speculatively writing [line]. The software tier
-    refuses to commit a write to a hardware-owned line (it defers instead
-    of dooming the hardware optimistically). *)
+(** Bitmask of cores speculatively writing [line] (same 62-core caveat
+    as {!readers_mask}). The software tier refuses to commit a write to
+    a hardware-owned line (it defers instead of dooming the hardware
+    optimistically). *)
+
+val writers_present : t -> line:int -> bool
+(** Any speculative hardware writer of [line], at any core count. *)
 
 val stm_publish : t -> core:int -> addr:int -> value:int -> unit
 (** Publish one committed software-tier word: dooms every speculative
@@ -162,3 +171,7 @@ val set_on_publish : t -> (line:int -> unit) option -> unit
     line when a hardware transaction commits, and once per
     nontransactional store, before any event is observable to other
     threads' loads. *)
+
+val retire : t -> unit
+(** Release the reader/writer index storage into the domain-local array
+    pool; the HTM must not be used afterwards. *)

@@ -6,7 +6,9 @@ type t = {
   line_align : bool;
   words_per_line : int;
   mutable wilderness : Memory.addr; (* next never-used address *)
-  arenas : (int, arena) Hashtbl.t; (* thread id -> arena; -1 = shared *)
+  (* slot [thread + 1] (0 = shared): a flat array instead of a Hashtbl so
+     the per-simulated-alloc lookup neither hashes nor allocates a [Some] *)
+  mutable arenas : arena option array;
   mutable allocated : int;
 }
 
@@ -18,7 +20,7 @@ let create ?(arena_words = 4096) ?(line_align = true) ~words_per_line memory =
     words_per_line;
     (* start on a line boundary past the null word *)
     wilderness = words_per_line;
-    arenas = Hashtbl.create 32;
+    arenas = Array.make 32 None;
     allocated = 0;
   }
 
@@ -35,11 +37,17 @@ let fresh_arena t =
   { cursor = base; limit = t.wilderness }
 
 let arena_for t thread =
-  match Hashtbl.find_opt t.arenas thread with
+  let i = thread + 1 in
+  if i >= Array.length t.arenas then begin
+    let nu = Array.make (max (2 * Array.length t.arenas) (i + 1)) None in
+    Array.blit t.arenas 0 nu 0 (Array.length t.arenas);
+    t.arenas <- nu
+  end;
+  match t.arenas.(i) with
   | Some a -> a
   | None ->
     let a = fresh_arena t in
-    Hashtbl.add t.arenas thread a;
+    t.arenas.(i) <- Some a;
     a
 
 let alloc_in t arena n =

@@ -1,0 +1,147 @@
+(* Dense growable bit matrix: rows are cache lines, columns are cores.
+
+   Replaces the Hashtbl-of-bitmask reader/writer tracking in [Htm]:
+   line -> core-set membership becomes a word load plus a mask, and the
+   62-core ceiling (one OCaml int per mask) becomes a per-row word
+   vector.  Rows grow on demand (lines are allocated monotonically by
+   [Alloc]); reads beyond the current row capacity are simply 0, so
+   probing never forces growth.
+
+   62 bits per word keeps every word a non-negative OCaml immediate,
+   which makes "is this row empty" a plain [= 0] compare. *)
+
+let bits_per_word = 62
+
+type t = {
+  cols : int;
+  words_per_row : int;
+  mutable rows : int;  (* row capacity *)
+  mutable bits : int array;  (* rows * words_per_row *)
+}
+
+let create ~cols ?(rows_hint = 1024) () =
+  if cols < 1 then invalid_arg "Bitmat.create: cols < 1";
+  let words_per_row = (cols + bits_per_word - 1) / bits_per_word in
+  let rows = max 16 rows_hint in
+  { cols; words_per_row; rows; bits = Intpool.acquire ~len:(rows * words_per_row) ~fill:0 }
+
+(* Release the backing array for reuse; [t] must not be used after. *)
+let retire t = Intpool.release t.bits
+
+let cols t = t.cols
+let words_per_row t = t.words_per_row
+
+let ensure_row t row =
+  if row >= t.rows then begin
+    let rows = ref (t.rows * 2) in
+    while row >= !rows do
+      rows := !rows * 2
+    done;
+    let bits = Intpool.acquire ~len:(!rows * t.words_per_row) ~fill:0 in
+    Array.blit t.bits 0 bits 0 (t.rows * t.words_per_row);
+    Intpool.release t.bits;
+    t.rows <- !rows;
+    t.bits <- bits
+  end
+
+(* The [words_per_row = 1] fast paths matter: at <= 62 cores (every
+   configuration the experiments run) they turn the word/bit split into
+   a plain shift, and hot callers hit these per memory access. *)
+
+let set t ~row ~col =
+  ensure_row t row;
+  if t.words_per_row = 1 then t.bits.(row) <- t.bits.(row) lor (1 lsl col)
+  else begin
+    let w = (row * t.words_per_row) + (col / bits_per_word) in
+    t.bits.(w) <- t.bits.(w) lor (1 lsl (col mod bits_per_word))
+  end
+
+let clear t ~row ~col =
+  if row < t.rows then begin
+    if t.words_per_row = 1 then t.bits.(row) <- t.bits.(row) land lnot (1 lsl col)
+    else begin
+      let w = (row * t.words_per_row) + (col / bits_per_word) in
+      t.bits.(w) <- t.bits.(w) land lnot (1 lsl (col mod bits_per_word))
+    end
+  end
+
+let test t ~row ~col =
+  row < t.rows
+  &&
+  (if t.words_per_row = 1 then t.bits.(row) land (1 lsl col) <> 0
+   else
+     t.bits.((row * t.words_per_row) + (col / bits_per_word))
+       land (1 lsl (col mod bits_per_word))
+     <> 0)
+
+(* Word [w] of the row's mask vector; 0 beyond capacity. *)
+let row_word t ~row w =
+  if row < t.rows then t.bits.((row * t.words_per_row) + w) else 0
+
+(* Loops are top-level functions taking their whole state as arguments:
+   a local [let rec] capturing variables compiles to a closure
+   allocation per call without flambda, which would put minor-heap
+   traffic back on the per-access path this module exists to clear. *)
+let rec empty_loop bits base wpr w =
+  w >= wpr || (bits.(base + w) = 0 && empty_loop bits base wpr (w + 1))
+
+let row_is_empty t ~row =
+  row >= t.rows
+  ||
+  (if t.words_per_row = 1 then t.bits.(row) = 0
+   else empty_loop t.bits (row * t.words_per_row) t.words_per_row 0)
+
+(* ctz of an isolated bit [b = 1 lsl k], k in 0..61: powers of two are
+   distinct mod 67 (2 is a primitive root), so one mod plus a table load
+   recovers k without loops, refs, or allocation. *)
+let ctz_tbl =
+  let t = Array.make 67 (-1) in
+  for k = 0 to 61 do
+    t.((1 lsl k) mod 67) <- k
+  done;
+  t
+
+let ctz_pow2 b = ctz_tbl.(b mod 67)
+
+(* Walk the set columns of one mask word whose lowest column is
+   [col0].  Recursion instead of a ref keeps the walk allocation-free
+   (the closure [f] is the caller's concern; hot paths use [row_word]
+   and open-code the walk). *)
+let rec iter_word f col0 m =
+  if m <> 0 then begin
+    let b = m land -m in
+    f (col0 + ctz_pow2 b);
+    iter_word f col0 (m land lnot b)
+  end
+
+let iter_row t ~row f =
+  if row < t.rows then begin
+    let base = row * t.words_per_row in
+    for w = 0 to t.words_per_row - 1 do
+      iter_word f (w * bits_per_word) t.bits.(base + w)
+    done
+  end
+
+(* Any column set in the row besides [except]?  [except] = -1 tests
+   plain non-emptiness. *)
+let rec other_loop bits base wpr ew ebit w =
+  w < wpr
+  &&
+  let word = bits.(base + w) in
+  let word = if w = ew then word land lnot ebit else word in
+  word <> 0 || other_loop bits base wpr ew ebit (w + 1)
+
+let row_has_other t ~row ~except =
+  row < t.rows
+  &&
+  (if t.words_per_row = 1 then begin
+     let word = t.bits.(row) in
+     let word = if except >= 0 then word land lnot (1 lsl except) else word in
+     word <> 0
+   end
+   else begin
+     let base = row * t.words_per_row in
+     let ew = if except >= 0 then except / bits_per_word else -1 in
+     let ebit = if except >= 0 then 1 lsl (except mod bits_per_word) else 0 in
+     other_loop t.bits base t.words_per_row ew ebit 0
+   end)

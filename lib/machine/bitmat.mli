@@ -1,0 +1,40 @@
+(** Dense growable bit matrix (rows = cache lines, cols = cores) backing
+    the HTM reader/writer sets and the cache presence index.  Rows grow
+    on demand; reads past the current row capacity return 0/false, so
+    probing never allocates.  Words hold {!bits_per_word} = 62 bits so
+    every mask word is a non-negative OCaml immediate. *)
+
+type t
+
+val bits_per_word : int
+
+val create : cols:int -> ?rows_hint:int -> unit -> t
+val cols : t -> int
+val words_per_row : t -> int
+
+val set : t -> row:int -> col:int -> unit
+val clear : t -> row:int -> col:int -> unit
+val test : t -> row:int -> col:int -> bool
+
+val row_word : t -> row:int -> int -> int
+(** [row_word t ~row w] is word [w] of the row's mask vector (0 beyond
+    capacity) — the open-coded fast path for hot loops. *)
+
+val row_is_empty : t -> row:int -> bool
+
+val row_has_other : t -> row:int -> except:int -> bool
+(** Any column set besides [except] ([-1] for plain non-emptiness). *)
+
+val iter_word : (int -> unit) -> int -> int -> unit
+(** [iter_word f col0 m] applies [f] to [col0 + bit] for each set bit of
+    mask word [m], lowest first. *)
+
+val iter_row : t -> row:int -> (int -> unit) -> unit
+(** Set columns of the row, ascending. *)
+
+val ctz_pow2 : int -> int
+(** Bit index of an isolated bit [1 lsl k], [k <= 61]. *)
+
+val retire : t -> unit
+(** Release the backing storage into the domain-local array pool; the
+    matrix must not be used afterwards. *)

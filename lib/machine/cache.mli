@@ -19,7 +19,19 @@ val holds : t -> int -> bool
 val insert : t -> int -> unit
 (** Install [line], evicting the set's LRU victim if the set is full. *)
 
+val insert_evict : t -> int -> int
+(** {!insert}, reporting the evicted line (-1 when nothing was evicted:
+    the set had room or already held the line) — lets the hierarchy keep
+    its presence index exact without rescanning ways. *)
+
 val invalidate : t -> int -> unit
 (** Drop [line] if present. *)
 
 val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+(** Every resident line, in set/way order. *)
+
+val retire : t -> unit
+(** Release the backing storage into the domain-local array pool; the
+    cache must not be used afterwards. *)

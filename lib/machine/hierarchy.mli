@@ -22,3 +22,7 @@ val invalidate_core : t -> core:int -> unit
 
 val hit_rates : t -> core:int -> float * float * float
 (** Cumulative (l1, l2, l3) hit rates for a core, for diagnostics. *)
+
+val retire : t -> unit
+(** Release every backing array into the domain-local pool for the next
+    run; the hierarchy must not be used afterwards. *)

@@ -1,0 +1,10 @@
+(** Domain-local recycling of large int arrays (see intpool.ml). *)
+
+val acquire : len:int -> fill:int -> int array
+(** An array of [len] elements all equal to [fill]; reuses a released
+    array of exactly that length when one is pooled on this domain. *)
+
+val release : int array -> unit
+(** Return an array to this domain's pool.  The caller must not touch
+    the array afterwards.  Bounded per size class; surplus arrays are
+    left to the GC. *)

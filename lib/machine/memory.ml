@@ -3,7 +3,7 @@ type addr = int
 type t = { mutable data : int array; mutable high : int }
 
 let create ?(initial_words = 1 lsl 16) () =
-  { data = Array.make initial_words 0; high = 1 }
+  { data = Intpool.acquire ~len:initial_words ~fill:0; high = 1 }
 
 let check a = if a <= 0 then invalid_arg "Memory: address must be positive"
 
@@ -13,8 +13,10 @@ let grow t needed =
     cap := !cap * 2
   done;
   if !cap > Array.length t.data then begin
-    let data = Array.make !cap 0 in
+    (* pool the doubling chain: the outgrown array is private to [t] *)
+    let data = Intpool.acquire ~len:!cap ~fill:0 in
     Array.blit t.data 0 data 0 (Array.length t.data);
+    Intpool.release t.data;
     t.data <- data
   end
 

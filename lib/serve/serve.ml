@@ -7,6 +7,21 @@ module Hist = Stx_metrics.Hist
 module Registry = Stx_metrics.Registry
 module Collect = Stx_metrics.Collect
 
+(* how the request stream is split across shards: [Seed] thins one
+   arrival process into [shards] independent full-range sub-streams
+   (variance reduction); [Key] partitions the key space into contiguous
+   slices and routes every request to its owner, the way a sharded store
+   actually scales out — under skewed keys the hot shard saturates first,
+   which is the phenomenon the wide-core sweep is after *)
+type shard_by = Seed | Key
+
+let shard_by_to_string = function Seed -> "seed" | Key -> "key"
+
+let shard_by_of_string = function
+  | "seed" -> Ok Seed
+  | "key" -> Ok Key
+  | s -> Error ("expected seed or key, got " ^ s)
+
 type config = {
   service : Workload.service;
   mode : Mode.t;
@@ -19,13 +34,14 @@ type config = {
   key_range : int option;
   horizon : int;
   shards : int;
+  shard_by : shard_by;
   telemetry_window : int option;
 }
 
 let config ?(mode = Mode.Staggered_hw) ?(htm_policy = Stx_policy.default)
     ?(threads = 16) ?(seed = 1) ?(keys = Keys.Uniform) ?(pct_get = 70)
-    ?key_range ?(horizon = 100_000) ?(shards = 2) ?telemetry_window ~arrival
-    service =
+    ?key_range ?(horizon = 100_000) ?(shards = 2) ?(shard_by = Seed)
+    ?telemetry_window ~arrival service =
   if threads < 1 then invalid_arg "Serve.config: threads must be positive";
   if shards < 1 then invalid_arg "Serve.config: shards must be positive";
   if horizon < 1 then invalid_arg "Serve.config: horizon must be positive";
@@ -47,6 +63,7 @@ let config ?(mode = Mode.Staggered_hw) ?(htm_policy = Stx_policy.default)
     key_range;
     horizon;
     shards;
+    shard_by;
     telemetry_window;
   }
 
@@ -72,6 +89,9 @@ type req = {
   mutable core : int;
 }
 
+(* contiguous range partition of the 1-based key space *)
+let shard_of_key ~shards ~range key = (key - 1) * shards / range
+
 (* number of elements of the sorted [ats] that are <= [now] *)
 let arrived_by ats now =
   let lo = ref 0 and hi = ref (Array.length ats) in
@@ -88,26 +108,50 @@ let run_shard cfg ~shard ~shard_seed =
   let arr_rng = Rng.split master in
   let mix_rng = Rng.split master in
   let key_rng = Rng.split master in
-  let sim_seed = Rng.next master in
+  (* in Key mode every shard runs from the same master seed; offset the
+     machine seed so the shards' simulators are still de-correlated *)
+  let sim_seed =
+    match cfg.shard_by with
+    | Seed -> Rng.next master
+    | Key -> Rng.next master + shard
+  in
   let key_range =
     Option.value cfg.key_range ~default:cfg.service.Workload.sv_key_range
   in
   let sampler = Keys.create cfg.keys ~range:key_range in
-  let arrival = Arrival.scale cfg.arrival (1.0 /. float_of_int cfg.shards) in
-  let ats = Arrival.generate ~rng:arr_rng ~horizon:cfg.horizon arrival in
-  let reqs =
-    Array.map
-      (fun at ->
-        {
-          at;
-          write = Rng.int mix_rng 100 >= cfg.pct_get;
-          key = Keys.sample sampler key_rng;
-          dispatched = -1;
-          completed = -1;
-          core = -1;
-        })
-      ats
+  let mk_req at =
+    {
+      at;
+      write = Rng.int mix_rng 100 >= cfg.pct_get;
+      key = Keys.sample sampler key_rng;
+      dispatched = -1;
+      completed = -1;
+      core = -1;
+    }
   in
+  let reqs =
+    match cfg.shard_by with
+    | Seed ->
+      let arrival =
+        Arrival.scale cfg.arrival (1.0 /. float_of_int cfg.shards)
+      in
+      Array.map mk_req (Arrival.generate ~rng:arr_rng ~horizon:cfg.horizon arrival)
+    | Key ->
+      (* every shard regenerates the same full-rate stream — [run] hands
+         each the same seed — and keeps the key slice it owns, so the
+         union over shards is exactly the offered stream, disjointly
+         routed *)
+      let all =
+        Array.map mk_req
+          (Arrival.generate ~rng:arr_rng ~horizon:cfg.horizon cfg.arrival)
+      in
+      Array.of_list
+        (List.filter
+           (fun r ->
+             shard_of_key ~shards:cfg.shards ~range:key_range r.key = shard)
+           (Array.to_list all))
+  in
+  let ats = Array.map (fun r -> r.at) reqs in
   let n = Array.length reqs in
   let spec, synth =
     Workload.service_spec ~instrument:(Mode.uses_alps cfg.mode) ~key_range
@@ -218,8 +262,13 @@ let run_shard cfg ~shard ~shard_seed =
 
 let run ?jobs cfg =
   let seeds =
-    let r = Rng.create cfg.seed in
-    Array.init cfg.shards (fun _ -> Rng.next r)
+    match cfg.shard_by with
+    | Seed ->
+      let r = Rng.create cfg.seed in
+      Array.init cfg.shards (fun _ -> Rng.next r)
+    (* identical seeds: each shard re-derives the same request stream and
+       keeps only its key slice *)
+    | Key -> Array.make cfg.shards cfg.seed
   in
   let thunks =
     Array.init cfg.shards (fun i () ->
@@ -290,9 +339,10 @@ let occupancy report =
 let render cfg report =
   let b = Buffer.create 1024 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  pf "%s / %s / %d threads x %d shards / %s keys %s (%d%% get)\n"
+  pf "%s / %s / %d threads x %d %s-shards / %s keys %s (%d%% get)\n"
     cfg.service.Workload.sv_bench.Workload.name
     (Mode.to_string cfg.mode) cfg.threads cfg.shards
+    (shard_by_to_string cfg.shard_by)
     (Arrival.to_string cfg.arrival) (Keys.to_string cfg.keys) cfg.pct_get;
   pf "  requests           %d over %d cycles\n" report.requests cfg.horizon;
   pf "  offered            %.3f req/kcycle\n" report.offered;

@@ -84,25 +84,52 @@ type spec = {
   thread_args : setup_env -> threads:int -> int array array;
 }
 
+(* A function plus its resolved jump table: [ttgt.(2*bi)] / [ttgt.(2*bi+1)]
+   are the block indexes of block [bi]'s Jmp / Br targets (-1 unused), so
+   taking a branch never re-scans block labels. Resolved lazily, once per
+   call site / atomic block, and cached. *)
+type tgt = { tfn : Ir.func; ttgt : int array }
+
+let resolve_targets (fn : Ir.func) =
+  let n = Array.length fn.Ir.blocks in
+  let t = Array.make (2 * n) (-1) in
+  for bi = 0 to n - 1 do
+    match fn.Ir.blocks.(bi).Ir.term with
+    | Ir.Jmp l -> t.(2 * bi) <- Ir.block_index fn l
+    | Ir.Br (_, l1, l2) ->
+      t.(2 * bi) <- Ir.block_index fn l1;
+      t.(2 * bi + 1) <- Ir.block_index fn l2
+    | Ir.Ret _ -> ()
+  done;
+  t
+
+(* Call frames live in a per-thread pool indexed by depth: a call reuses
+   the record (and its register array) left by the last frame at that
+   depth, so the steady state pushes and pops without allocating. *)
 type frame = {
-  func : Ir.func;
+  mutable func : Ir.func;
+  mutable tgt : int array; (* the func's resolved jump table *)
   mutable bi : int;
+  mutable insts : Ir.inst array; (* blocks.(bi).insts, cached at block entry *)
   mutable ip : int;
-  regs : int array;
-  ret_dst : Ir.reg option; (* destination register in the parent frame *)
+  mutable regs : int array; (* live prefix [0, func.nregs), zeroed on push *)
+  mutable ret_dst : int; (* destination register in the parent frame; -1 none *)
 }
 
 type wait = Lock_spin of { idx : int; line : int; deadline : int } | Global_spin
 
+(* One pooled record per thread, reset by [start_atomic]; [tx_active] on
+   the thread plays the role the option wrapper used to. *)
 type txstate = {
-  tx_ab : int;
-  tx_dst : Ir.reg option;
-  tx_args : int array;
-  tx_base_depth : int;
+  mutable tx_ab : int;
+  mutable tx_dst : int; (* destination register in the caller; -1 none *)
+  mutable tx_args : int array; (* live prefix [0, tx_nargs) *)
+  mutable tx_nargs : int;
+  mutable tx_base_depth : int;
   mutable tx_attempt : int;
   mutable tx_start : int;
   mutable tx_insts : int; (* instructions in the current attempt *)
-  mutable tx_lock : int option;
+  mutable tx_lock : int; (* advisory lock index; -1 none *)
   mutable tx_held_lock : bool; (* a lock was held at some point this attempt *)
   mutable tx_is_probe : bool; (* this attempt deliberately skipped its ALP *)
   mutable tx_irrevocable : bool;
@@ -113,10 +140,13 @@ type txstate = {
 type thread = {
   tid : int;
   mutable time : int;
-  mutable stack : frame list;
+  mutable frames : frame array; (* pooled call stack; live prefix [0, depth) *)
+  mutable depth : int;
+  mutable argbuf : int array; (* call-argument scratch, fully consumed by push *)
   mutable finished : bool;
   mutable wait : wait option;
-  mutable tx : txstate option;
+  txs : txstate;
+  mutable tx_active : bool;
   rng : Stx_util.Rng.t;
   backoff_rng : Stx_util.Rng.t;
       (* dedicated stream for the Backoff fallback policy, so the backoff
@@ -144,8 +174,14 @@ type m = {
   threads : thread array;
   allocator : Alloc.t;
   stats : Stats.t;
+  evt : bool; (* an [on_event] consumer exists: build and emit events *)
   on_event : time:int -> event -> unit;
   injector : (tid:int -> now:int -> injection) option;
+  callee : tgt option array; (* per call-site iid: resolved callee *)
+  ab_roots : tgt option array; (* per atomic block: resolved root function *)
+  pcs : int array; (* per load/store iid: truncated PC (min_int unresolved) *)
+  ssizes : int array; (* per alloc iid: struct size in words (-1 unresolved) *)
+  line_shift : int; (* log2 words_per_line, -1 when not a power of two *)
   mutable steps : int;
   max_steps : int;
 }
@@ -154,18 +190,27 @@ type m = {
 (* helpers                                                             *)
 
 let wpl m = m.cfg.Config.words_per_line
-let line_of m addr = addr / wpl m
+
+let shift_of_pow2 n =
+  if n > 0 && n land (n - 1) = 0 then begin
+    let rec go s v = if v <= 1 then s else go (s + 1) (v lsr 1) in
+    go 0 n
+  end
+  else -1
+
+(* hot enough that the division is worth dodging: every memory access
+   computes its line at least twice (latency charge + HTM set lookup) *)
+let line_of m addr =
+  if m.line_shift >= 0 then addr lsr m.line_shift else addr / wpl m
 
 let emit m (th : thread) ev = m.on_event ~time:th.time ev
 
-let in_tx th = th.tx <> None
+let in_tx th = th.tx_active
 
 let speculative th =
-  match th.tx with
-  | Some tx -> (not tx.tx_irrevocable) && not tx.tx_stm
-  | None -> false
+  th.tx_active && (not th.txs.tx_irrevocable) && not th.txs.tx_stm
 
-let stm_active th = match th.tx with Some tx -> tx.tx_stm | None -> false
+let stm_active th = th.tx_active && th.txs.tx_stm
 
 let the_stm m =
   match m.stm with
@@ -177,9 +222,8 @@ let charge m th c =
   if in_tx th then m.stats.Stats.tx_mode_cycles <- m.stats.Stats.tx_mode_cycles + c
 
 let frame_of th =
-  match th.stack with
-  | f :: _ -> f
-  | [] -> trap "thread %d has no frame" th.tid
+  if th.depth = 0 then trap "thread %d has no frame" th.tid
+  else th.frames.(th.depth - 1)
 
 let ev (f : frame) = function Ir.Reg r -> f.regs.(r) | Ir.Imm n -> n
 
@@ -189,75 +233,160 @@ let check_addr m addr =
 let mem_latency m th ~addr ~write =
   Hierarchy.access m.hier ~core:th.tid ~line:(line_of m addr) ~write
 
-let push_frame th func args ret_dst =
-  let regs = Array.make (max func.Ir.nregs 1) 0 in
-  Array.blit args 0 regs 0 (Array.length args);
-  th.stack <- { func; bi = 0; ip = 0; regs; ret_dst } :: th.stack
+let callee_of m iid g =
+  match m.callee.(iid) with
+  | Some tg -> tg
+  | None ->
+    let fn = Ir.find_func m.compiled.Pipeline.prog g in
+    let tg = { tfn = fn; ttgt = resolve_targets fn } in
+    m.callee.(iid) <- Some tg;
+    tg
+
+let ab_root m ab =
+  match m.ab_roots.(ab) with
+  | Some tg -> tg
+  | None ->
+    let fn =
+      Ir.find_func m.compiled.Pipeline.prog
+        m.compiled.Pipeline.prog.Ir.atomics.(ab).Ir.ab_func
+    in
+    let tg = { tfn = fn; ttgt = resolve_targets fn } in
+    m.ab_roots.(ab) <- Some tg;
+    tg
+
+(* struct sizes are looked up by name in the program; memoize per site
+   so repeated allocations skip the string search *)
+let ssize_of m iid sname =
+  let s = m.ssizes.(iid) in
+  if s >= 0 then s
+  else begin
+    let s = Types.size (Ir.find_struct m.compiled.Pipeline.prog sname) in
+    m.ssizes.(iid) <- s;
+    s
+  end
+
+let pc_of m iid =
+  let p = m.pcs.(iid) in
+  if p <> min_int then p
+  else begin
+    let p = Layout.pc_of_iid m.compiled.Pipeline.layout iid in
+    m.pcs.(iid) <- p;
+    p
+  end
+
+let grow_frames th =
+  let old = th.frames in
+  let n = Array.length old in
+  let tpl = old.(0) in
+  th.frames <-
+    Array.init (2 * n) (fun i ->
+        if i < n then old.(i)
+        else
+          {
+            func = tpl.func;
+            tgt = tpl.tgt;
+            bi = 0;
+            insts = tpl.insts;
+            ip = 0;
+            regs = Array.make 8 0;
+            ret_dst = -1;
+          })
+
+let push_frame th (tg : tgt) args nargs ret_dst =
+  if th.depth >= Array.length th.frames then grow_frames th;
+  let fr = th.frames.(th.depth) in
+  let fn = tg.tfn in
+  let nregs = max fn.Ir.nregs 1 in
+  if Array.length fr.regs < nregs then
+    fr.regs <- Array.make (max nregs (2 * Array.length fr.regs)) 0
+  else Array.fill fr.regs 0 nregs 0;
+  Array.blit args 0 fr.regs 0 nargs;
+  fr.func <- fn;
+  fr.tgt <- tg.ttgt;
+  fr.bi <- 0;
+  fr.insts <- fn.Ir.blocks.(0).Ir.insts;
+  fr.ip <- 0;
+  fr.ret_dst <- ret_dst;
+  th.depth <- th.depth + 1
+
+(* evaluate call arguments into [th.argbuf] (growing it as needed) and
+   return the count — replaces a list map that allocated per call *)
+let rec eval_args th f i = function
+  | [] -> i
+  | a :: rest ->
+    if i >= Array.length th.argbuf then begin
+      let nu = Array.make (2 * Array.length th.argbuf) 0 in
+      Array.blit th.argbuf 0 nu 0 i;
+      th.argbuf <- nu
+    end;
+    th.argbuf.(i) <- ev f a;
+    eval_args th f (i + 1) rest
 
 (* ------------------------------------------------------------------ *)
 (* advisory lock acquisition (the body of AcquireLockFor)              *)
 
 let request_lock m th ~addr =
-  match th.tx with
-  | None -> ()
-  | Some tx when tx.tx_lock <> None -> ()
-  | Some tx ->
-    m.stats.Stats.alps_lock_attempts <- m.stats.Stats.alps_lock_attempts + 1;
-    let idx = Advisory_lock.index_for m.locks ~addr in
-    emit m th (Lock_attempt { tid = th.tid; lock = idx; line = line_of m addr });
-    let cost =
-      mem_latency m th ~addr:(Advisory_lock.lock_addr m.locks idx) ~write:true
-    in
-    charge m th cost;
-    if Advisory_lock.try_acquire m.locks ~core:th.tid ~idx then begin
-      tx.tx_lock <- Some idx;
-      tx.tx_held_lock <- true;
-      m.stats.Stats.lock_acquires <- m.stats.Stats.lock_acquires + 1;
-      (Stats.ab m.stats tx.tx_ab).Stats.ab_locks
-      <- (Stats.ab m.stats tx.tx_ab).Stats.ab_locks + 1;
-      emit m th (Lock_acquired { tid = th.tid; lock = idx; line = line_of m addr })
-    end
-    else begin
-      (* keep the stagger shallow: a bounded number of spinners may queue;
-         the rest run speculatively (Figure 1 staggers transactions, it
-         does not funnel every thread through one lock — and under
-         requester-wins an unbounded convoy would trade all parallelism
-         for the lock holder's safety) *)
-      if Advisory_lock.waiters m.locks ~idx >= m.max_waiters then ()
+  if th.tx_active then begin
+    let tx = th.txs in
+    if tx.tx_lock < 0 then begin
+      m.stats.Stats.alps_lock_attempts <- m.stats.Stats.alps_lock_attempts + 1;
+      let idx = Advisory_lock.index_for m.locks ~addr in
+      if m.evt then
+        emit m th (Lock_attempt { tid = th.tid; lock = idx; line = line_of m addr });
+      let cost =
+        mem_latency m th ~addr:(Advisory_lock.lock_addr m.locks idx) ~write:true
+      in
+      charge m th cost;
+      if Advisory_lock.try_acquire m.locks ~core:th.tid ~idx then begin
+        tx.tx_lock <- idx;
+        tx.tx_held_lock <- true;
+        m.stats.Stats.lock_acquires <- m.stats.Stats.lock_acquires + 1;
+        (Stats.ab m.stats tx.tx_ab).Stats.ab_locks
+        <- (Stats.ab m.stats tx.tx_ab).Stats.ab_locks + 1;
+        if m.evt then
+          emit m th (Lock_acquired { tid = th.tid; lock = idx; line = line_of m addr })
+      end
       else begin
-        Advisory_lock.add_waiter m.locks ~idx;
-        th.wait <-
-          Some
-            (Lock_spin
-               { idx; line = line_of m addr; deadline = th.time + m.lock_timeout });
-        emit m th (Lock_waiting { tid = th.tid; lock = idx })
+        (* keep the stagger shallow: a bounded number of spinners may queue;
+           the rest run speculatively (Figure 1 staggers transactions, it
+           does not funnel every thread through one lock — and under
+           requester-wins an unbounded convoy would trade all parallelism
+           for the lock holder's safety) *)
+        if Advisory_lock.waiters m.locks ~idx >= m.max_waiters then ()
+        else begin
+          Advisory_lock.add_waiter m.locks ~idx;
+          th.wait <-
+            Some
+              (Lock_spin
+                 { idx; line = line_of m addr; deadline = th.time + m.lock_timeout });
+          if m.evt then emit m th (Lock_waiting { tid = th.tid; lock = idx })
+        end
       end
     end
+  end
 
 let release_lock m th ~committed =
-  match th.tx with
-  | None -> ()
-  | Some tx -> (
-    match tx.tx_lock with
-    | None -> ()
-    | Some idx ->
+  if th.tx_active then begin
+    let tx = th.txs in
+    if tx.tx_lock >= 0 then begin
+      let idx = tx.tx_lock in
       let contended = ref false in
       Advisory_lock.release m.locks ~core:th.tid ~idx ~contended;
-      tx.tx_lock <- None;
+      tx.tx_lock <- -1;
       charge m th (mem_latency m th ~addr:(Advisory_lock.lock_addr m.locks idx) ~write:true);
-      emit m th (Lock_released { tid = th.tid; lock = idx; committed });
+      if m.evt then emit m th (Lock_released { tid = th.tid; lock = idx; committed });
       if committed && not !contended then
-        Policy.on_commit_uncontended_lock m.policy th.contexts.(tx.tx_ab))
+        Policy.on_commit_uncontended_lock m.policy th.contexts.(tx.tx_ab)
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* transaction protocol                                                *)
 
 let begin_attempt m th =
-  match th.tx with
-  | None -> ()
-  | Some tx ->
-    let root = m.compiled.Pipeline.prog.Ir.atomics.(tx.tx_ab).Ir.ab_func in
-    push_frame th (Ir.find_func m.compiled.Pipeline.prog root) tx.tx_args tx.tx_dst;
+  if th.tx_active then begin
+    let tx = th.txs in
+    push_frame th (ab_root m tx.tx_ab) tx.tx_args tx.tx_nargs tx.tx_dst;
     tx.tx_start <- th.time;
     tx.tx_insts <- 0;
     tx.tx_held_lock <- false;
@@ -267,8 +396,9 @@ let begin_attempt m th =
          hardware-contention device; the software tier already serializes
          through validation *)
       Stm.tx_begin (the_stm m) ~core:th.tid;
-      emit m th
-        (Stm_begin { tid = th.tid; ab = tx.tx_ab; attempt = tx.tx_attempt })
+      if m.evt then
+        emit m th
+          (Stm_begin { tid = th.tid; ab = tx.tx_ab; attempt = tx.tx_attempt })
     end
     else if not tx.tx_irrevocable then begin
       (* a retry keeps its begin timestamp: under the Timestamp resolution
@@ -285,14 +415,15 @@ let begin_attempt m th =
         ctx.Abcontext.active_site <- Abcontext.no_site;
         tx.tx_is_probe <- true
       end;
-      emit m th
-        (Tx_begin
-           {
-             tid = th.tid;
-             ab = tx.tx_ab;
-             attempt = tx.tx_attempt;
-             probe = tx.tx_is_probe;
-           });
+      if m.evt then
+        emit m th
+          (Tx_begin
+             {
+               tid = th.tid;
+               ab = tx.tx_ab;
+               attempt = tx.tx_attempt;
+               probe = tx.tx_is_probe;
+             });
       (* AddrOnly and TxSched place their single pseudo-ALP at the very
          top of the atomic block *)
       (match m.mode with
@@ -313,54 +444,50 @@ let begin_attempt m th =
         end
       | Mode.Baseline | Mode.Staggered_sw | Mode.Staggered_hw -> ())
     end
-    else
+    else if
       (* irrevocable attempts begin too: the trace needs a uniform
          begin/commit bracket per attempt, speculative or not *)
+      m.evt
+    then
       emit m th
         (Tx_begin
            { tid = th.tid; ab = tx.tx_ab; attempt = tx.tx_attempt; probe = false })
+  end
 
-let start_atomic m th ~ab ~dst ~args =
-  let tx =
-    {
-      tx_ab = ab;
-      tx_dst = dst;
-      tx_args = args;
-      tx_base_depth = List.length th.stack;
-      tx_attempt = 0;
-      tx_start = th.time;
-      tx_insts = 0;
-      tx_lock = None;
-      tx_held_lock = false;
-      tx_is_probe = false;
-      tx_irrevocable = false;
-      tx_stm = false;
-      tx_stm_attempts = 0;
-    }
-  in
-  th.tx <- Some tx;
+let start_atomic m th ~ab ~dst ~args ~nargs =
+  let tx = th.txs in
+  tx.tx_ab <- ab;
+  tx.tx_dst <- dst;
+  if Array.length tx.tx_args < nargs then tx.tx_args <- Array.make (max 8 nargs) 0;
+  Array.blit args 0 tx.tx_args 0 nargs;
+  tx.tx_nargs <- nargs;
+  tx.tx_base_depth <- th.depth;
+  tx.tx_attempt <- 0;
+  tx.tx_start <- th.time;
+  tx.tx_insts <- 0;
+  tx.tx_lock <- -1;
+  tx.tx_held_lock <- false;
+  tx.tx_is_probe <- false;
+  tx.tx_irrevocable <- false;
+  tx.tx_stm <- false;
+  tx.tx_stm_attempts <- 0;
+  th.tx_active <- true;
   begin_attempt m th
 
 let pop_to_base th (tx : txstate) =
-  let rec drop stack =
-    if List.length stack > tx.tx_base_depth then
-      match stack with _ :: rest -> drop rest | [] -> stack
-    else stack
-  in
-  th.stack <- drop th.stack
+  if th.depth > tx.tx_base_depth then th.depth <- tx.tx_base_depth
 
 let finish_tx m th (tx : txstate) ~rset ~wset retval =
-  th.tx <- None;
-  (match (tx.tx_dst, th.stack) with
-  | Some d, f :: _ -> f.regs.(d) <- retval
-  | _ -> ());
+  th.tx_active <- false;
+  if tx.tx_dst >= 0 && th.depth > 0 then
+    th.frames.(th.depth - 1).regs.(tx.tx_dst) <- retval;
   (* decision (1) is about the FREQUENCY of contention aborts: conflict-free
      commits while no ALP is armed push empty records through the history,
      so arming demands aborts dense in recent transactions, not merely
      accumulated over a lifetime. A commit of an armed transaction that did
      not end up holding its lock (a probe, or an address mismatch) decays
      the armed evidence the same way an uncontended lock does. *)
-  (if m.mode <> Mode.Baseline then
+  (if (match m.mode with Mode.Baseline -> false | _ -> true) then
      let ctx = th.contexts.(tx.tx_ab) in
      if ctx.Abcontext.armed_site = Abcontext.no_site then Abcontext.append ctx None
      else if tx.tx_is_probe then Policy.on_probe_commit ctx
@@ -371,47 +498,50 @@ let finish_tx m th (tx : txstate) ~rset ~wset retval =
   let ab = Stats.ab m.stats tx.tx_ab in
   ab.Stats.ab_commits <- ab.Stats.ab_commits + 1;
   if tx.tx_irrevocable then ab.Stats.ab_irrevocable <- ab.Stats.ab_irrevocable + 1;
-  emit m th
-    (Tx_commit
-       {
-         tid = th.tid;
-         ab = tx.tx_ab;
-         cycles = th.time - tx.tx_start;
-         irrevocable = tx.tx_irrevocable;
-         rset;
-         wset;
-         probe = tx.tx_is_probe;
-       });
+  if m.evt then
+    emit m th
+      (Tx_commit
+         {
+           tid = th.tid;
+           ab = tx.tx_ab;
+           cycles = th.time - tx.tx_start;
+           irrevocable = tx.tx_irrevocable;
+           rset;
+           wset;
+           probe = tx.tx_is_probe;
+         });
   if th.cur_req >= 0 then begin
-    emit m th (Req_done { tid = th.tid; req = th.cur_req; ab = tx.tx_ab });
+    if m.evt then
+      emit m th (Req_done { tid = th.tid; req = th.cur_req; ab = tx.tx_ab });
     th.cur_req <- -1
   end
 
 (* a software-tier commit: same bookkeeping as a hardware commit minus
    the ALP history (software attempts never arm or probe) *)
 let finish_stm_tx m th (tx : txstate) ~rset ~wset ~vcycles retval =
-  th.tx <- None;
-  (match (tx.tx_dst, th.stack) with
-  | Some d, f :: _ -> f.regs.(d) <- retval
-  | _ -> ());
+  th.tx_active <- false;
+  if tx.tx_dst >= 0 && th.depth > 0 then
+    th.frames.(th.depth - 1).regs.(tx.tx_dst) <- retval;
   m.stats.Stats.commits <- m.stats.Stats.commits + 1;
   m.stats.Stats.stm_commits <- m.stats.Stats.stm_commits + 1;
   m.stats.Stats.useful_cycles <- m.stats.Stats.useful_cycles + (th.time - tx.tx_start);
   m.stats.Stats.committed_tx_insts <- m.stats.Stats.committed_tx_insts + tx.tx_insts;
   let ab = Stats.ab m.stats tx.tx_ab in
   ab.Stats.ab_commits <- ab.Stats.ab_commits + 1;
-  emit m th
-    (Stm_commit
-       {
-         tid = th.tid;
-         ab = tx.tx_ab;
-         cycles = th.time - tx.tx_start;
-         vcycles;
-         rset;
-         wset;
-       });
+  if m.evt then
+    emit m th
+      (Stm_commit
+         {
+           tid = th.tid;
+           ab = tx.tx_ab;
+           cycles = th.time - tx.tx_start;
+           vcycles;
+           rset;
+           wset;
+         });
   if th.cur_req >= 0 then begin
-    emit m th (Req_done { tid = th.tid; req = th.cur_req; ab = tx.tx_ab });
+    if m.evt then
+      emit m th (Req_done { tid = th.tid; req = th.cur_req; ab = tx.tx_ab });
     th.cur_req <- -1
   end
 
@@ -434,20 +564,22 @@ let identify_anchor m th table reason =
           | Some e -> Unified.anchor_of table e))
       | Mode.Baseline | Mode.Addr_only -> None
     in
-    (* oracle: exact full-width PC lookup *)
-    (match
-       Option.bind conf_pc_full (fun pc ->
-           match Unified.search_by_pc table pc with
-           | Some e -> Unified.anchor_of table e
-           | None -> None)
-     with
-    | Some oracle when Mode.uses_alps m.mode ->
-      m.stats.Stats.accuracy_total <- m.stats.Stats.accuracy_total + 1;
-      (match runtime_anchor with
-      | Some ra when ra.Unified.ue_iid = oracle.Unified.ue_iid ->
-        m.stats.Stats.accuracy_hits <- m.stats.Stats.accuracy_hits + 1
-      | _ -> ())
-    | _ -> ());
+    (* oracle: exact full-width PC lookup.  Only the ALP modes score
+       anchor accuracy, so skip the (side-effect-free) lookup elsewhere *)
+    (if Mode.uses_alps m.mode then
+       match
+         Option.bind conf_pc_full (fun pc ->
+             match Unified.search_by_pc table pc with
+             | Some e -> Unified.anchor_of table e
+             | None -> None)
+       with
+       | Some oracle ->
+         m.stats.Stats.accuracy_total <- m.stats.Stats.accuracy_total + 1;
+         (match runtime_anchor with
+         | Some ra when ra.Unified.ue_iid = oracle.Unified.ue_iid ->
+           m.stats.Stats.accuracy_hits <- m.stats.Stats.accuracy_hits + 1
+         | _ -> ())
+       | None -> ());
     (Some (conf_addr, line), runtime_anchor)
   | Htm.Lock_subscription | Htm.Capacity | Htm.Explicit | Htm.Stm_conflict _ ->
     (None, None)
@@ -458,9 +590,8 @@ let handle_abort m th =
     Advisory_lock.remove_waiter m.locks ~idx;
     th.wait <- None
   | _ -> ());
-  match th.tx with
-  | None -> ()
-  | Some tx ->
+  if th.tx_active then begin
+    let tx = th.txs in
     let reason = Htm.tx_cleanup m.htm ~core:th.tid in
     (* set sizes at doom time: the live sets were reset when the
        transaction was doomed, possibly long before this handler ran *)
@@ -515,28 +646,30 @@ let handle_abort m th =
       let line = line_of m conf_addr in
       conf := Some line;
       Stats.note_conflict m.stats ~conf_line:line ~conf_pc:None);
-    let kind, abort_conf_pc, aggressor =
-      match reason with
-      | Htm.Conflict { conf_pc; aggressor; _ } -> (Conflict, conf_pc, Some aggressor)
-      | Htm.Lock_subscription -> (Lock_subscription, None, None)
-      | Htm.Capacity -> (Capacity, None, None)
-      | Htm.Explicit -> (Explicit, None, None)
-      | Htm.Stm_conflict { aggressor; _ } -> (Stm_conflict, None, Some aggressor)
-    in
-    emit m th
-      (Tx_abort
-         {
-           tid = th.tid;
-           ab = tx.tx_ab;
-           kind;
-           conf_line = !conf;
-           conf_pc = abort_conf_pc;
-           aggressor;
-           cycles = wasted;
-           rset;
-           wset;
-           probe = tx.tx_is_probe;
-         });
+    if m.evt then begin
+      let kind, abort_conf_pc, aggressor =
+        match reason with
+        | Htm.Conflict { conf_pc; aggressor; _ } -> (Conflict, conf_pc, Some aggressor)
+        | Htm.Lock_subscription -> (Lock_subscription, None, None)
+        | Htm.Capacity -> (Capacity, None, None)
+        | Htm.Explicit -> (Explicit, None, None)
+        | Htm.Stm_conflict { aggressor; _ } -> (Stm_conflict, None, Some aggressor)
+      in
+      emit m th
+        (Tx_abort
+           {
+             tid = th.tid;
+             ab = tx.tx_ab;
+             kind;
+             conf_line = !conf;
+             conf_pc = abort_conf_pc;
+             aggressor;
+             cycles = wasted;
+             rset;
+             wset;
+             probe = tx.tx_is_probe;
+           })
+    end;
     th.contexts.(tx.tx_ab).Abcontext.probe_streak <- 0;
     tx.tx_is_probe <- false;
     pop_to_base th tx;
@@ -576,12 +709,13 @@ let handle_abort m th =
           let e = min tx.tx_attempt max_exp in
           Stx_util.Rng.int th.backoff_rng (max 1 (base * (1 lsl e)))
       in
-      emit m th (Backoff_start { tid = th.tid });
+      if m.evt then emit m th (Backoff_start { tid = th.tid });
       charge m th delay;
       m.stats.Stats.backoff_cycles <- m.stats.Stats.backoff_cycles + delay;
-      emit m th (Backoff_end { tid = th.tid });
+      if m.evt then emit m th (Backoff_end { tid = th.tid });
       begin_attempt m th
     end
+  end
 
 (* a software-tier attempt died (failed validation, deferred to hardware
    ownership, the global lock, or an explicit abort): account it, then
@@ -589,9 +723,8 @@ let handle_abort m th =
    queue for the irrevocable lock, which now only backstops validation
    livelock *)
 let handle_stm_abort m th ~vcycles =
-  match th.tx with
-  | None -> ()
-  | Some tx ->
+  if th.tx_active then begin
+    let tx = th.txs in
     let stm = the_stm m in
     let kind = Stm.tx_cleanup stm ~core:th.tid in
     let rset, wset = Stm.last_set_sizes stm ~core:th.tid in
@@ -610,24 +743,26 @@ let handle_stm_abort m th ~vcycles =
     m.stats.Stats.wasted_cycles <- m.stats.Stats.wasted_cycles + wasted;
     (Stats.ab m.stats tx.tx_ab).Stats.ab_aborts
     <- (Stats.ab m.stats tx.tx_ab).Stats.ab_aborts + 1;
-    let ev_kind =
-      match kind with
-      | Stm.Validation -> Stm_validation
-      | Stm.Hw_owned -> Stm_hw_owned
-      | Stm.Locksub -> Stm_locksub
-      | Stm.Explicit -> Stm_explicit
-    in
-    emit m th
-      (Stm_abort
-         {
-           tid = th.tid;
-           ab = tx.tx_ab;
-           kind = ev_kind;
-           cycles = wasted;
-           vcycles;
-           rset;
-           wset;
-         });
+    if m.evt then begin
+      let ev_kind =
+        match kind with
+        | Stm.Validation -> Stm_validation
+        | Stm.Hw_owned -> Stm_hw_owned
+        | Stm.Locksub -> Stm_locksub
+        | Stm.Explicit -> Stm_explicit
+      in
+      emit m th
+        (Stm_abort
+           {
+             tid = th.tid;
+             ab = tx.tx_ab;
+             kind = ev_kind;
+             cycles = wasted;
+             vcycles;
+             rset;
+             wset;
+           })
+    end;
     pop_to_base th tx;
     tx.tx_attempt <- tx.tx_attempt + 1;
     tx.tx_stm_attempts <- tx.tx_stm_attempts + 1;
@@ -640,28 +775,33 @@ let handle_stm_abort m th ~vcycles =
       let base = m.cfg.Config.backoff_base * tx.tx_stm_attempts in
       let jitter = Stx_util.Rng.int th.rng (max 1 base) in
       let delay = (base / 2) + jitter in
-      emit m th (Backoff_start { tid = th.tid });
+      if m.evt then emit m th (Backoff_start { tid = th.tid });
       charge m th delay;
       m.stats.Stats.backoff_cycles <- m.stats.Stats.backoff_cycles + delay;
-      emit m th (Backoff_end { tid = th.tid });
+      if m.evt then emit m th (Backoff_end { tid = th.tid });
       begin_attempt m th
     end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* instruction execution                                               *)
 
 let exec_alp m th (a : Ir.alp) =
   charge m th m.cfg.Config.alp_inactive_cost;
-  match th.tx with
-  | Some tx
-    when (not tx.tx_irrevocable) && (not tx.tx_stm) && Mode.uses_alps m.mode ->
+  if
+    th.tx_active
+    && (not th.txs.tx_irrevocable)
+    && (not th.txs.tx_stm)
+    && Mode.uses_alps m.mode
+  then begin
+    let tx = th.txs in
     m.stats.Stats.alps_executed <- m.stats.Stats.alps_executed + 1;
     let f = frame_of th in
     let addr = f.regs.(a.Ir.alp_addr) in
     if addr >= wpl m then begin
       (* software conflicting-PC tracking: one nt probe, plus one nt store
          when the line was absent from the map *)
-      if m.mode = Mode.Staggered_sw then begin
+      if (match m.mode with Mode.Staggered_sw -> true | _ -> false) then begin
         charge m th (2 * m.cfg.Config.l1_latency);
         if Softcpc.note th.softcpc ~line:(line_of m addr) ~site:a.Ir.alp_site then
           charge m th m.cfg.Config.l1_latency
@@ -671,20 +811,23 @@ let exec_alp m th (a : Ir.alp) =
         ctx.Abcontext.active_site = a.Ir.alp_site
         && Abcontext.address_matched ctx ~words_per_line:(wpl m) ~addr
       in
-      emit m th
-        (Alp_executed { tid = th.tid; ab = tx.tx_ab; site = a.Ir.alp_site; fired });
+      if m.evt then
+        emit m th
+          (Alp_executed { tid = th.tid; ab = tx.tx_ab; site = a.Ir.alp_site; fired });
       if fired then begin
         ignore (Abcontext.consume_active ctx ~site:a.Ir.alp_site);
         request_lock m th ~addr
       end
     end
-    else
+    else if
       (* a null-address ALP still executed: the trace must tally with
          stats.alps_executed, so it gets an (unfired) event too *)
+      m.evt
+    then
       emit m th
         (Alp_executed
            { tid = th.tid; ab = tx.tx_ab; site = a.Ir.alp_site; fired = false })
-  | _ -> ()
+  end
 
 let exec_intr m th f dst intr args =
   match (intr, args) with
@@ -692,10 +835,12 @@ let exec_intr m th f dst intr args =
     let b = ev f bound in
     if b <= 0 then trap "rng with nonpositive bound %d" b;
     charge m th 5;
-    Option.iter (fun d -> f.regs.(d) <- Stx_util.Rng.int th.rng b) dst
+    (match dst with
+    | Some d -> f.regs.(d) <- Stx_util.Rng.int th.rng b
+    | None -> ())
   | Ir.Thread_id, [] ->
     charge m th 1;
-    Option.iter (fun d -> f.regs.(d) <- th.tid) dst
+    (match dst with Some d -> f.regs.(d) <- th.tid | None -> ())
   | Ir.Work, [ n ] ->
     let n = ev f n in
     charge m th (max 0 n)
@@ -718,88 +863,70 @@ let exec_intr m th f dst intr args =
   | _ -> trap "bad intrinsic arity"
 
 let do_return m th retval =
-  match th.stack with
-  | [] -> trap "return with empty stack"
-  | frame :: rest ->
-    th.stack <- rest;
-    charge m th 2;
-    let at_tx_root =
-      match th.tx with
-      | Some tx -> List.length rest = tx.tx_base_depth
-      | None -> false
-    in
-    if at_tx_root then begin
-      let tx = Option.get th.tx in
-      if tx.tx_irrevocable then begin
-        release_lock m th ~committed:true;
-        Htm.release_global_lock m.htm;
-        (* irrevocable execution is non-speculative: no read/write sets *)
-        finish_tx m th tx ~rset:0 ~wset:0 retval
+  if th.depth = 0 then trap "return with empty stack";
+  let frame = th.frames.(th.depth - 1) in
+  th.depth <- th.depth - 1;
+  charge m th 2;
+  let at_tx_root = th.tx_active && th.depth = th.txs.tx_base_depth in
+  if at_tx_root then begin
+    let tx = th.txs in
+    if tx.tx_irrevocable then begin
+      release_lock m th ~committed:true;
+      Htm.release_global_lock m.htm;
+      (* irrevocable execution is non-speculative: no read/write sets *)
+      finish_tx m th tx ~rset:0 ~wset:0 retval
+    end
+    else if tx.tx_stm then begin
+      let stm = the_stm m in
+      charge m th m.cfg.Config.commit_cost;
+      (* version-word traffic the TL2 commit would execute: one probe
+         per read line to re-validate, one RMW per write stripe to lock
+         and stamp, then the publication stores themselves — charged
+         before the (atomic) protocol step so the latencies land inside
+         the attempt *)
+      let vc = ref 0 in
+      Stm.iter_read_lines stm ~core:th.tid (fun line ->
+          vc := !vc + mem_latency m th ~addr:(Stm.version_addr stm ~line) ~write:false);
+      Stm.iter_write_lines stm ~core:th.tid (fun line ->
+          vc := !vc + mem_latency m th ~addr:(Stm.version_addr stm ~line) ~write:true);
+      let vcycles = !vc in
+      charge m th vcycles;
+      m.stats.Stats.stm_validation_cycles <-
+        m.stats.Stats.stm_validation_cycles + vcycles;
+      Stm.iter_write_addrs stm ~core:th.tid (fun addr ->
+          charge m th (mem_latency m th ~addr ~write:true));
+      if Stm.tx_commit stm ~core:th.tid then begin
+        let rset, wset = Stm.last_set_sizes stm ~core:th.tid in
+        finish_stm_tx m th tx ~rset ~wset ~vcycles retval
       end
-      else if tx.tx_stm then begin
-        let stm = the_stm m in
-        charge m th m.cfg.Config.commit_cost;
-        (* version-word traffic the TL2 commit would execute: one probe
-           per read line to re-validate, one RMW per write stripe to lock
-           and stamp, then the publication stores themselves — charged
-           before the (atomic) protocol step so the latencies land inside
-           the attempt *)
-        let vcycles =
-          List.fold_left
-            (fun acc line ->
-              acc
-              + mem_latency m th ~addr:(Stm.version_addr stm ~line) ~write:false)
-            0
-            (Stm.read_set_lines stm ~core:th.tid)
-        in
-        let vcycles =
-          List.fold_left
-            (fun acc line ->
-              acc
-              + mem_latency m th ~addr:(Stm.version_addr stm ~line) ~write:true)
-            vcycles
-            (Stm.write_set_lines stm ~core:th.tid)
-        in
-        charge m th vcycles;
-        m.stats.Stats.stm_validation_cycles <-
-          m.stats.Stats.stm_validation_cycles + vcycles;
-        List.iter
-          (fun addr -> charge m th (mem_latency m th ~addr ~write:true))
-          (Stm.write_addrs stm ~core:th.tid);
-        if Stm.tx_commit stm ~core:th.tid then begin
-          let rset, wset = Stm.last_set_sizes stm ~core:th.tid in
-          finish_stm_tx m th tx ~rset ~wset ~vcycles retval
-        end
-        else handle_stm_abort m th ~vcycles
-      end
-      else begin
-        charge m th m.cfg.Config.commit_cost;
-        if Htm.tx_commit m.htm ~core:th.tid then begin
-          let rset, wset = Htm.last_set_sizes m.htm ~core:th.tid in
-          release_lock m th ~committed:true;
-          finish_tx m th tx ~rset ~wset retval
-        end
-        else handle_abort m th
-      end
+      else handle_stm_abort m th ~vcycles
     end
     else begin
-      (match (frame.ret_dst, rest) with
-      | Some d, parent :: _ -> parent.regs.(d) <- retval
-      | _ -> ());
-      (* under an injector the empty stack is the "ready for the next
-         request" state, handled by [step]; without one it is the end of
-         the thread's program *)
-      if rest = [] && m.injector = None then th.finished <- true
+      charge m th m.cfg.Config.commit_cost;
+      if Htm.tx_commit m.htm ~core:th.tid then begin
+        let rset, wset = Htm.last_set_sizes m.htm ~core:th.tid in
+        release_lock m th ~committed:true;
+        finish_tx m th tx ~rset ~wset retval
+      end
+      else handle_abort m th
     end
+  end
+  else begin
+    if frame.ret_dst >= 0 && th.depth > 0 then
+      th.frames.(th.depth - 1).regs.(frame.ret_dst) <- retval;
+    (* under an injector the empty stack is the "ready for the next
+       request" state, handled by [step]; without one it is the end of
+       the thread's program *)
+    if th.depth = 0 && m.injector = None then th.finished <- true
+  end
 
 let exec_inst m th (inst : Ir.inst) =
   let f = frame_of th in
   m.stats.Stats.insts <- m.stats.Stats.insts + 1;
-  (match th.tx with
-  | Some tx ->
-    tx.tx_insts <- tx.tx_insts + 1;
+  if th.tx_active then begin
+    th.txs.tx_insts <- th.txs.tx_insts + 1;
     m.stats.Stats.tx_insts <- m.stats.Stats.tx_insts + 1
-  | None -> ());
+  end;
   match inst.Ir.op with
   | Ir.Mov (d, v) ->
     charge m th 1;
@@ -839,8 +966,7 @@ let exec_inst m th (inst : Ir.inst) =
     charge m th (mem_latency m th ~addr ~write:false);
     let v =
       if speculative th then
-        Htm.tx_load m.htm ~core:th.tid ~addr
-          ~pc:(Layout.pc_of_iid m.compiled.Pipeline.layout inst.Ir.iid)
+        Htm.tx_load m.htm ~core:th.tid ~addr ~pc:(pc_of m inst.Ir.iid)
       else if stm_active th then begin
         (* every software read also probes the line's version word *)
         let stm = the_stm m in
@@ -859,29 +985,31 @@ let exec_inst m th (inst : Ir.inst) =
     charge m th (mem_latency m th ~addr ~write:true);
     let value = ev f v in
     if speculative th then
-      Htm.tx_store m.htm ~core:th.tid ~addr ~value
-        ~pc:(Layout.pc_of_iid m.compiled.Pipeline.layout inst.Ir.iid)
+      Htm.tx_store m.htm ~core:th.tid ~addr ~value ~pc:(pc_of m inst.Ir.iid)
     else if stm_active th then
       Stm.tx_store (the_stm m) ~core:th.tid ~addr ~value
     else Htm.nt_store m.htm ~core:th.tid ~addr ~value
   | Ir.Alloc (d, sname) ->
     charge m th 20;
-    let s = Ir.find_struct m.compiled.Pipeline.prog sname in
-    f.regs.(d) <- Alloc.alloc m.allocator ~thread:th.tid (Types.size s)
+    f.regs.(d) <-
+      Alloc.alloc m.allocator ~thread:th.tid (ssize_of m inst.Ir.iid sname)
   | Ir.Alloc_arr (d, sname, n) ->
     charge m th 20;
-    let s = Ir.find_struct m.compiled.Pipeline.prog sname in
+    let sz = ssize_of m inst.Ir.iid sname in
     let n = ev f n in
     if n <= 0 then trap "alloc_arr with nonpositive count %d" n;
-    f.regs.(d) <- Alloc.alloc m.allocator ~thread:th.tid (n * Types.size s)
+    f.regs.(d) <- Alloc.alloc m.allocator ~thread:th.tid (n * sz)
   | Ir.Call (dst, g, args) ->
     charge m th 2;
-    let args = Array.of_list (List.map (ev f) args) in
-    push_frame th (Ir.find_func m.compiled.Pipeline.prog g) args dst
+    let n = eval_args th f 0 args in
+    push_frame th (callee_of m inst.Ir.iid g) th.argbuf n
+      (match dst with Some d -> d | None -> -1)
   | Ir.Atomic_call (dst, ab, args) ->
     if in_tx th then trap "nested atomic call";
-    let args = Array.of_list (List.map (ev f) args) in
-    start_atomic m th ~ab ~dst ~args
+    let n = eval_args th f 0 args in
+    start_atomic m th ~ab
+      ~dst:(match dst with Some d -> d | None -> -1)
+      ~args:th.argbuf ~nargs:n
   | Ir.Intr (dst, intr, args) -> exec_intr m th f dst intr args
   | Ir.Alp a -> exec_alp m th a
 
@@ -892,16 +1020,33 @@ let exec_term m th =
   let f = frame_of th in
   charge m th 1;
   match f.func.Ir.blocks.(f.bi).Ir.term with
-  | Ir.Jmp l ->
-    f.bi <- Ir.block_index f.func l;
+  | Ir.Jmp _ ->
+    f.bi <- f.tgt.(2 * f.bi);
+    f.insts <- f.func.Ir.blocks.(f.bi).Ir.insts;
     f.ip <- 0
-  | Ir.Br (c, l1, l2) ->
-    let target = if ev f c <> 0 then l1 else l2 in
-    f.bi <- Ir.block_index f.func target;
+  | Ir.Br (c, _, _) ->
+    f.bi <- f.tgt.((2 * f.bi) + (if ev f c <> 0 then 0 else 1));
+    f.insts <- f.func.Ir.blocks.(f.bi).Ir.insts;
     f.ip <- 0
   | Ir.Ret v ->
     let retval = match v with Some v -> ev f v | None -> 0 in
     do_return m th retval
+
+(* [Stdlib.min] is a polymorphic call (compare_val) without flambda;
+   spell the int min out *)
+let tourn_min a b : int = if a <= b then a else b
+
+(* Re-settle the tournament tree above a changed leaf; stops as soon as
+   a node's minimum is unaffected.  Top level (state in arguments) so
+   the per-event call is direct, not through a closure. *)
+let rec settle (keys : int array) i =
+  if i >= 1 then begin
+    let v = tourn_min keys.(2 * i) keys.((2 * i) + 1) in
+    if v <> keys.(i) then begin
+      keys.(i) <- v;
+      settle keys (i / 2)
+    end
+  end
 
 let spin_wait m th =
   charge m th m.cfg.Config.spin_recheck_cost;
@@ -924,36 +1069,35 @@ let step m th =
     match th.wait with
     | Some (Lock_spin { idx; line; deadline }) ->
       spin_wait m th;
-      let tx = Option.get th.tx in
+      let tx = th.txs in
       if Advisory_lock.try_acquire m.locks ~core:th.tid ~idx then begin
         Advisory_lock.remove_waiter m.locks ~idx;
-        tx.tx_lock <- Some idx;
+        tx.tx_lock <- idx;
         tx.tx_held_lock <- true;
         m.stats.Stats.lock_acquires <- m.stats.Stats.lock_acquires + 1;
         (Stats.ab m.stats tx.tx_ab).Stats.ab_locks
         <- (Stats.ab m.stats tx.tx_ab).Stats.ab_locks + 1;
         th.wait <- None;
-        emit m th (Lock_acquired { tid = th.tid; lock = idx; line })
+        if m.evt then emit m th (Lock_acquired { tid = th.tid; lock = idx; line })
       end
       else if th.time >= deadline then begin
         Advisory_lock.remove_waiter m.locks ~idx;
         m.stats.Stats.lock_timeouts <- m.stats.Stats.lock_timeouts + 1;
         th.wait <- None;
-        emit m th (Lock_timeout { tid = th.tid; lock = idx })
+        if m.evt then emit m th (Lock_timeout { tid = th.tid; lock = idx })
       end
     | Some Global_spin ->
       spin_wait m th;
       if Htm.acquire_global_lock m.htm ~core:th.tid then begin
-        let tx = Option.get th.tx in
+        let tx = th.txs in
         tx.tx_irrevocable <- true;
         m.stats.Stats.irrevocable_entries <- m.stats.Stats.irrevocable_entries + 1;
         th.wait <- None;
-        emit m th (Tx_irrevocable { tid = th.tid; ab = tx.tx_ab });
+        if m.evt then emit m th (Tx_irrevocable { tid = th.tid; ab = tx.tx_ab });
         begin_attempt m th
       end
-    | None -> (
-      match th.stack with
-      | [] -> (
+    | None ->
+      if th.depth = 0 then begin
         (* only reachable under an injector: the thread has no program of
            its own and asks the request source for its next work item *)
         match m.injector with
@@ -964,31 +1108,38 @@ let step m th =
             if ab < 0 || ab >= Array.length m.compiled.Pipeline.prog.Ir.atomics
             then trap "injected request %d names unknown atomic block %d" req ab;
             th.cur_req <- req;
-            emit m th (Req_dispatch { tid = th.tid; req; ab });
+            if m.evt then emit m th (Req_dispatch { tid = th.tid; req; ab });
             charge m th 2;
-            start_atomic m th ~ab ~dst:None ~args
+            start_atomic m th ~ab ~dst:(-1) ~args ~nargs:(Array.length args)
           | Idle_until t ->
             (* idle until the next arrival; always make progress so an
                ill-behaved injector cannot stall the event loop *)
             th.time <- max t (th.time + 1)
-          | Drained -> th.finished <- true))
-      | _ :: _ ->
-        let f = frame_of th in
-        let insts = f.func.Ir.blocks.(f.bi).Ir.insts in
+          | Drained -> th.finished <- true)
+      end
+      else begin
+        let f = th.frames.(th.depth - 1) in
+        let insts = f.insts in
         if f.ip < Array.length insts then begin
           let inst = insts.(f.ip) in
           f.ip <- f.ip + 1;
           exec_inst m th inst
         end
-        else exec_term m th)
+        else exec_term m th
+      end
 
 (* ------------------------------------------------------------------ *)
 (* the run loop                                                        *)
 
 let run ?(seed = 1) ?(policy = Policy.default_params)
     ?(htm_policy = Stx_policy.default) ?(lock_timeout = 100_000) ?(locks = 256)
-    ?(max_waiters = 2) ?(max_steps = 400_000_000)
-    ?(on_event = fun ~time:_ _ -> ()) ?injector ~cfg ~mode spec =
+    ?(max_waiters = 2) ?(max_steps = 400_000_000) ?on_event ?injector ~cfg ~mode
+    spec =
+  let evt, on_event =
+    match on_event with
+    | Some f -> (true, f)
+    | None -> (false, fun ~time:_ _ -> ())
+  in
   let memory = Memory.create () in
   let allocator = Alloc.create ~words_per_line:cfg.Config.words_per_line memory in
   let htm = Htm.create ~policy:htm_policy cfg memory allocator in
@@ -1018,14 +1169,45 @@ let run ?(seed = 1) ?(policy = Policy.default_params)
     | Stx_policy.Fallback.Backoff { seed = s; _ } -> s
     | Stx_policy.Fallback.Polite _ | Stx_policy.Fallback.Stm_tier _ -> 0
   in
+  let main_fn = Ir.find_func spec.compiled.Pipeline.prog spec.thread_main in
+  let main_tgt = { tfn = main_fn; ttgt = resolve_targets main_fn } in
   let mk_thread tid =
     {
       tid;
       time = 0;
-      stack = [];
+      frames =
+        Array.init 8 (fun _ ->
+            {
+              func = main_fn;
+              tgt = main_tgt.ttgt;
+              bi = 0;
+              insts = main_fn.Ir.blocks.(0).Ir.insts;
+              ip = 0;
+              regs = Array.make 8 0;
+              ret_dst = -1;
+            });
+      depth = 0;
+      argbuf = Array.make 16 0;
       finished = false;
       wait = None;
-      tx = None;
+      txs =
+        {
+          tx_ab = 0;
+          tx_dst = -1;
+          tx_args = Array.make 8 0;
+          tx_nargs = 0;
+          tx_base_depth = 0;
+          tx_attempt = 0;
+          tx_start = 0;
+          tx_insts = 0;
+          tx_lock = -1;
+          tx_held_lock = false;
+          tx_is_probe = false;
+          tx_irrevocable = false;
+          tx_stm = false;
+          tx_stm_attempts = 0;
+        };
+      tx_active = false;
       rng = Stx_util.Rng.split master;
       backoff_rng = Stx_util.Rng.create (backoff_seed + ((tid + 1) * 65599));
       cur_req = -1;
@@ -1036,6 +1218,7 @@ let run ?(seed = 1) ?(policy = Policy.default_params)
     }
   in
   let threads = Array.init nthreads mk_thread in
+  let n_iids = max 1 spec.compiled.Pipeline.prog.Ir.next_iid in
   let m =
     {
       cfg;
@@ -1056,36 +1239,57 @@ let run ?(seed = 1) ?(policy = Policy.default_params)
       locks;
       threads;
       stats;
+      evt;
       on_event;
       injector;
+      callee = Array.make n_iids None;
+      ab_roots = Array.make (max 1 n_abs) None;
+      pcs = Array.make n_iids min_int;
+      ssizes = Array.make n_iids (-1);
+      line_shift = shift_of_pow2 cfg.Config.words_per_line;
       steps = 0;
       max_steps;
       allocator;
     }
   in
-  let main = Ir.find_func spec.compiled.Pipeline.prog spec.thread_main in
-  Array.iter (fun th -> push_frame th main args.(th.tid) None) threads;
+  Array.iter
+    (fun th -> push_frame th main_tgt args.(th.tid) (Array.length args.(th.tid)) (-1))
+    threads;
+  (* The scheduler must run the unfinished thread with the lowest time,
+     breaking ties toward the lowest tid — a linear scan per event was a
+     third of total CPU.  A tournament tree over the packed key
+     [time * P + tid] makes the same choice (keys are totally ordered,
+     and min-key = min (time, tid) lexicographically) but re-settles
+     only the stepped thread's leaf-to-root path: O(log cores) per
+     event.  Finished threads park at [max_int], so a [max_int] root
+     means every thread is done. *)
+  let pw = ref 1 in
+  while !pw < nthreads do
+    pw := !pw * 2
+  done;
+  let pw = !pw in
+  let keys = Array.make (2 * pw) max_int in
+  let key_of th = if th.finished then max_int else (th.time * pw) + th.tid in
+  Array.iter (fun th -> keys.(pw + th.tid) <- key_of th) threads;
+  for i = pw - 1 downto 1 do
+    keys.(i) <- tourn_min keys.(2 * i) keys.((2 * i) + 1)
+  done;
   let rec loop () =
-    let next = ref None in
-    Array.iter
-      (fun th ->
-        if not th.finished then
-          match !next with
-          | None -> next := Some th
-          | Some best -> if th.time < best.time then next := Some th)
-      threads;
-    match !next with
-    | None -> ()
-    | Some th ->
+    let root = keys.(1) in
+    if root <> max_int then begin
+      let th = threads.(root land (pw - 1)) in
       step m th;
+      keys.(pw + th.tid) <- key_of th;
+      settle keys ((pw + th.tid) / 2);
       loop ()
+    end
   in
   loop ();
   (* end-of-run invariants: every thread wound down cleanly and every
      advisory lock was released *)
   Array.iter
     (fun th ->
-      if th.tx <> None || th.stack <> [] then
+      if th.tx_active || th.depth > 0 then
         trap "thread %d finished with live state" th.tid)
     threads;
   for idx = 0 to Advisory_lock.count m.locks - 1 do
@@ -1117,4 +1321,9 @@ let run ?(seed = 1) ?(policy = Policy.default_params)
   pol.Stats.p_capacity <- pol.Stats.p_capacity + stats.Stats.capacity_aborts;
   pol.Stats.p_irrevocable <-
     pol.Stats.p_irrevocable + stats.Stats.irrevocable_entries;
+  (* the run's internal index structures (cache hierarchy, HTM
+     reader/writer rows) never escape; recycle their arrays so repeated
+     runs stop churning the major heap *)
+  Hierarchy.retire hier;
+  Htm.retire htm;
   stats

@@ -12,7 +12,12 @@ open Stx_htm
    word). Reads validate against the clock value snapshotted at begin;
    writes buffer; commit locks the write stripes, re-validates the read
    set, publishes through {!Htm.stm_publish} (dooming speculative
-   hardware holders), and stamps fresh versions. *)
+   hardware holders), and stamps fresh versions.
+
+   Like the hardware tier, the per-core sets are preallocated flat
+   tables ([Linetbl]) reused across attempts, and the commit-time stripe
+   walk sorts into a per-instance scratch array — the steady state
+   allocates nothing. *)
 
 type abort_kind = Validation | Hw_owned | Locksub | Explicit
 
@@ -21,9 +26,9 @@ type status = Idle | Active | Doomed of abort_kind
 type core_state = {
   mutable st : status;
   mutable rv : int; (* clock snapshot at begin; reads validate against it *)
-  read_set : (int, int) Hashtbl.t; (* line -> version word at first read *)
-  write_lines : (int, unit) Hashtbl.t;
-  wbuf : (int, int) Hashtbl.t; (* addr -> buffered value *)
+  read_set : Linetbl.t; (* line -> version word at first read *)
+  write_lines : Linetbl.t; (* line -> 0 *)
+  wbuf : Linetbl.t; (* addr -> buffered value *)
   mutable last_rset : int; (* set sizes when the buffered state was *)
   mutable last_wset : int; (* last discarded (commit or doom) *)
 }
@@ -36,6 +41,7 @@ type t = {
   base : int; (* first version word *)
   mutable clock : int;
   cores : core_state array;
+  mutable scratch : int array; (* sorted line/addr walks at commit *)
 }
 
 let create ?(nslots = 256) htm memory alloc =
@@ -45,9 +51,9 @@ let create ?(nslots = 256) htm memory alloc =
     {
       st = Idle;
       rv = 0;
-      read_set = Hashtbl.create 64;
-      write_lines = Hashtbl.create 64;
-      wbuf = Hashtbl.create 64;
+      read_set = Linetbl.create ~capacity_hint:64 ();
+      write_lines = Linetbl.create ~capacity_hint:64 ();
+      wbuf = Linetbl.create ~capacity_hint:64 ();
       last_rset = 0;
       last_wset = 0;
     }
@@ -60,6 +66,7 @@ let create ?(nslots = 256) htm memory alloc =
     base;
     clock = 0;
     cores = Array.init cfg.Config.cores mk;
+    scratch = Array.make 64 0;
   }
 
 let nslots t = t.nslots
@@ -80,11 +87,11 @@ let version_addr t ~line = t.base + slot_of t ~line
 let line_of t addr = Memory.line_of ~words_per_line:t.words_per_line addr
 
 let discard c =
-  c.last_rset <- Hashtbl.length c.read_set;
-  c.last_wset <- Hashtbl.length c.write_lines;
-  Hashtbl.reset c.read_set;
-  Hashtbl.reset c.write_lines;
-  Hashtbl.reset c.wbuf
+  c.last_rset <- Linetbl.length c.read_set;
+  c.last_wset <- Linetbl.length c.write_lines;
+  Linetbl.reset c.read_set;
+  Linetbl.reset c.write_lines;
+  Linetbl.reset c.wbuf
 
 let doom t ~core kind =
   let c = t.cores.(core) in
@@ -98,9 +105,9 @@ let tx_begin t ~core =
   | Active | Doomed _ -> invalid_arg "Stm.tx_begin: transaction already in flight");
   c.st <- Active;
   c.rv <- t.clock;
-  Hashtbl.reset c.read_set;
-  Hashtbl.reset c.write_lines;
-  Hashtbl.reset c.wbuf
+  Linetbl.reset c.read_set;
+  Linetbl.reset c.write_lines;
+  Linetbl.reset c.wbuf
 
 let tx_load t ~core ~addr =
   let c = t.cores.(core) in
@@ -110,29 +117,27 @@ let tx_load t ~core ~addr =
     (* dead transaction: hand back committed memory, the value is never
        observable *)
     Memory.load t.memory addr
-  | Active -> (
-    match Hashtbl.find_opt c.wbuf addr with
-    | Some v -> v
-    | None -> (
+  | Active ->
+    let wi = Linetbl.idx c.wbuf addr in
+    if wi >= 0 then Linetbl.value_at c.wbuf wi
+    else begin
       let line = line_of t addr in
       let va = version_addr t ~line in
       let w = Memory.load t.memory va in
-      match Hashtbl.find_opt c.read_set line with
-      | Some recorded ->
-        if w <> recorded then begin
-          doom t ~core Validation;
-          Memory.load t.memory addr
-        end
-        else Memory.load t.memory addr
-      | None ->
-        if w land 1 = 1 || w asr 1 > c.rv then begin
-          doom t ~core Validation;
-          Memory.load t.memory addr
-        end
-        else begin
-          Hashtbl.add c.read_set line w;
-          Memory.load t.memory addr
-        end))
+      let ri = Linetbl.idx c.read_set line in
+      if ri >= 0 then begin
+        if w <> Linetbl.value_at c.read_set ri then doom t ~core Validation;
+        Memory.load t.memory addr
+      end
+      else if w land 1 = 1 || w asr 1 > c.rv then begin
+        doom t ~core Validation;
+        Memory.load t.memory addr
+      end
+      else begin
+        Linetbl.add c.read_set line w;
+        Memory.load t.memory addr
+      end
+    end
 
 let tx_store t ~core ~addr ~value =
   let c = t.cores.(core) in
@@ -140,20 +145,62 @@ let tx_store t ~core ~addr ~value =
   | Idle -> invalid_arg "Stm.tx_store: core has no active transaction"
   | Doomed _ -> ()
   | Active ->
-    Hashtbl.replace c.write_lines (line_of t addr) ();
-    Hashtbl.replace c.wbuf addr value
+    Linetbl.add c.write_lines (line_of t addr) 0;
+    Linetbl.add c.wbuf addr value
+
+(* copy a table's keys into the scratch prefix and insertion-sort them;
+   set sizes are tens of entries, where insertion sort beats anything
+   allocating *)
+let sorted_keys_into t tbl =
+  let n = Linetbl.length tbl in
+  if Array.length t.scratch < n then t.scratch <- Array.make (2 * n) 0;
+  let a = t.scratch in
+  for i = 0 to n - 1 do
+    a.(i) <- Linetbl.key_of_order tbl i
+  done;
+  for i = 1 to n - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) > x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done;
+  n
+
+let iter_read_lines t ~core f =
+  let n = sorted_keys_into t t.cores.(core).read_set in
+  for i = 0 to n - 1 do
+    f t.scratch.(i)
+  done
+
+let iter_write_lines t ~core f =
+  let n = sorted_keys_into t t.cores.(core).write_lines in
+  for i = 0 to n - 1 do
+    f t.scratch.(i)
+  done
+
+let iter_write_addrs t ~core f =
+  let n = sorted_keys_into t t.cores.(core).wbuf in
+  for i = 0 to n - 1 do
+    f t.scratch.(i)
+  done
 
 let read_set_lines t ~core =
-  Hashtbl.fold (fun l _ acc -> l :: acc) t.cores.(core).read_set []
-  |> List.sort compare
+  let acc = ref [] in
+  iter_read_lines t ~core (fun l -> acc := l :: !acc);
+  List.rev !acc
 
 let write_set_lines t ~core =
-  Hashtbl.fold (fun l () acc -> l :: acc) t.cores.(core).write_lines []
-  |> List.sort compare
+  let acc = ref [] in
+  iter_write_lines t ~core (fun l -> acc := l :: !acc);
+  List.rev !acc
 
 let write_addrs t ~core =
-  Hashtbl.fold (fun a _ acc -> a :: acc) t.cores.(core).wbuf []
-  |> List.sort compare
+  let acc = ref [] in
+  iter_write_addrs t ~core (fun a -> acc := a :: !acc);
+  List.rev !acc
 
 let tx_commit t ~core =
   let c = t.cores.(core) in
@@ -165,59 +212,96 @@ let tx_commit t ~core =
       doom t ~core Locksub;
       false
     end
-    else if
+    else begin
       (* the hardware tier keeps priority on lines it is speculatively
          writing: defer rather than publish over a buffered update *)
-      Hashtbl.fold
-        (fun line () acc -> acc || Htm.writers_mask t.htm ~line <> 0)
-        c.write_lines false
-    then begin
-      doom t ~core Hw_owned;
-      false
-    end
-    else begin
-      (* write lines can alias to one stripe; lock each stripe once *)
-      let slots =
-        Hashtbl.fold (fun line () acc -> slot_of t ~line :: acc) c.write_lines []
-        |> List.sort_uniq compare
+      let hw_owned =
+        let n = Linetbl.length c.write_lines in
+        let rec go i =
+          i < n
+          && (Htm.writers_present t.htm
+                ~line:(Linetbl.key_of_order c.write_lines i)
+              || go (i + 1))
+        in
+        go 0
       in
-      List.iter
-        (fun s ->
-          let a = t.base + s in
-          Memory.store t.memory a (Memory.load t.memory a lor 1))
-        slots;
-      let own_slot line = List.mem (slot_of t ~line) slots in
-      let valid =
-        Hashtbl.fold
-          (fun line recorded acc ->
-            acc
-            &&
-            let w = Memory.load t.memory (version_addr t ~line) in
-            let w = if own_slot line then w land lnot 1 else w in
-            w = recorded)
-          c.read_set true
-      in
-      if not valid then begin
-        List.iter
-          (fun s ->
-            let a = t.base + s in
-            Memory.store t.memory a (Memory.load t.memory a land lnot 1))
-          slots;
-        doom t ~core Validation;
+      if hw_owned then begin
+        doom t ~core Hw_owned;
         false
       end
       else begin
-        t.clock <- t.clock + 1;
-        let wv = t.clock in
-        Hashtbl.iter
-          (fun addr value -> Htm.stm_publish t.htm ~core ~addr ~value)
-          c.wbuf;
-        List.iter
-          (fun s -> Memory.store t.memory (t.base + s) (2 * wv))
-          slots;
-        discard c;
-        c.st <- Idle;
-        true
+        (* write lines can alias to one stripe; sort the stripe indexes
+           into scratch and dedup in place to lock each one exactly once *)
+        let n = Linetbl.length c.write_lines in
+        if Array.length t.scratch < n then t.scratch <- Array.make (2 * n) 0;
+        for i = 0 to n - 1 do
+          t.scratch.(i) <- slot_of t ~line:(Linetbl.key_of_order c.write_lines i)
+        done;
+        let a = t.scratch in
+        for i = 1 to n - 1 do
+          let x = a.(i) in
+          let j = ref (i - 1) in
+          while !j >= 0 && a.(!j) > x do
+            a.(!j + 1) <- a.(!j);
+            decr j
+          done;
+          a.(!j + 1) <- x
+        done;
+        let nslots =
+          let k = ref 0 in
+          for i = 0 to n - 1 do
+            if !k = 0 || a.(!k - 1) <> a.(i) then begin
+              a.(!k) <- a.(i);
+              incr k
+            end
+          done;
+          !k
+        in
+        let own_slot line =
+          let s = slot_of t ~line in
+          let rec go i = i < nslots && (a.(i) = s || go (i + 1)) in
+          go 0
+        in
+        for i = 0 to nslots - 1 do
+          let va = t.base + a.(i) in
+          Memory.store t.memory va (Memory.load t.memory va lor 1)
+        done;
+        let valid =
+          let rs = c.read_set in
+          let rec go i =
+            i >= Linetbl.length rs
+            ||
+            let line = Linetbl.key_of_order rs i in
+            let recorded = Linetbl.value_of_order rs i in
+            let w = Memory.load t.memory (version_addr t ~line) in
+            let w = if own_slot line then w land lnot 1 else w in
+            w = recorded && go (i + 1)
+          in
+          go 0
+        in
+        if not valid then begin
+          for i = 0 to nslots - 1 do
+            let va = t.base + a.(i) in
+            Memory.store t.memory va (Memory.load t.memory va land lnot 1)
+          done;
+          doom t ~core Validation;
+          false
+        end
+        else begin
+          t.clock <- t.clock + 1;
+          let wv = t.clock in
+          for i = 0 to Linetbl.length c.wbuf - 1 do
+            Htm.stm_publish t.htm ~core
+              ~addr:(Linetbl.key_of_order c.wbuf i)
+              ~value:(Linetbl.value_of_order c.wbuf i)
+          done;
+          for i = 0 to nslots - 1 do
+            Memory.store t.memory (t.base + a.(i)) (2 * wv)
+          done;
+          discard c;
+          c.st <- Idle;
+          true
+        end
       end
     end
 

@@ -110,6 +110,14 @@ val write_set_lines : t -> core:int -> int list
 val write_addrs : t -> core:int -> int list
 (** Buffered store addresses, sorted — for publication cost accounting. *)
 
+val iter_read_lines : t -> core:int -> (int -> unit) -> unit
+(** Allocation-free equivalent of {!read_set_lines}: applies the
+    callback to each read-set line in ascending order (sorted into an
+    internal scratch array, invalidated by the next iter/commit). *)
+
+val iter_write_lines : t -> core:int -> (int -> unit) -> unit
+val iter_write_addrs : t -> core:int -> (int -> unit) -> unit
+
 val last_set_sizes : t -> core:int -> int * int
 (** Read/write-set sizes captured the last time the buffered state was
     discarded (commit or doom), mirroring [Htm.last_set_sizes]. *)

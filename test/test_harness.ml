@@ -238,9 +238,30 @@ let test_htmlreport_self_contained () =
       "Conflict hot spots"; "phase profile"; "</html>";
     ]
 
+(* --- the zero-allocation budget ---------------------------------------
+   One real workload through the interpreter must stay under the bench
+   driver's absolute bound on minor-heap words per simulated event; a
+   pooled-structure regression (a closure, an option, a Hashtbl creeping
+   back into the hot path) shows up here as orders of magnitude, not
+   noise. *)
+
+let test_allocation_budget () =
+  match Registry.find "genome" with
+  | None -> Alcotest.fail "genome workload missing"
+  | Some w ->
+    let e = Bench.measure_sim ~cores:8 ~scale:0.1 w in
+    Alcotest.(check bool) "events simulated" true (e.Bench.sim_events > 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "%.2f minor words/event under the %.0f budget"
+         e.Bench.sim_minor_words_per_event Bench.minor_words_budget)
+      true
+      (e.Bench.sim_minor_words_per_event < Bench.minor_words_budget)
+
 let suite =
   [
     Alcotest.test_case "exp memoizes runs" `Quick test_exp_memoizes;
+    Alcotest.test_case "allocation budget per simulated event" `Slow
+      test_allocation_budget;
     Alcotest.test_case "sequential speedup is 1" `Quick
       test_exp_speedup_of_sequential_is_one;
     Alcotest.test_case "baseline relative performance is 1" `Quick

@@ -282,6 +282,68 @@ let test_lazy_nt_store_still_eager () =
   | Htm.Doomed _ -> ()
   | _ -> Alcotest.fail "nt store must doom even in lazy mode"
 
+(* --- last_set_sizes with pooled sets ----------------------------------
+   The read/write Linetbls are reset (not reallocated) the moment a
+   transaction commits or is doomed, so [last_set_sizes] is only correct
+   if the sizes are captured before that reset — on every discard path,
+   not just the plain conflict one. *)
+
+let test_last_sizes_commit () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:1);
+  ignore (Htm.tx_load htm ~core:0 ~addr:128 ~pc:2);
+  Htm.tx_store htm ~core:0 ~addr:192 ~value:1 ~pc:3;
+  Alcotest.(check bool) "commit ok" true (Htm.tx_commit htm ~core:0);
+  Alcotest.(check (pair int int)) "sizes captured before the pooled reset"
+    (2, 1)
+    (Htm.last_set_sizes htm ~core:0);
+  Alcotest.(check int) "live read set is reset" 0
+    (Htm.read_set_size htm ~core:0)
+
+let test_last_sizes_capacity () =
+  let mem = Memory.create () in
+  let alloc = Alloc.create ~words_per_line:cfg.Config.words_per_line mem in
+  let policy =
+    Stx_policy.make
+      ~capacity:(Stx_policy.Capacity.Bounded { read_lines = 2; write_lines = 2 })
+      ()
+  in
+  let htm = Htm.create ~policy cfg mem alloc in
+  Htm.tx_begin htm ~core:0;
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:1);
+  ignore (Htm.tx_load htm ~core:0 ~addr:128 ~pc:2);
+  ignore (Htm.tx_load htm ~core:0 ~addr:192 ~pc:3);
+  (match Htm.status htm ~core:0 with
+  | Htm.Doomed Htm.Capacity -> ()
+  | _ -> Alcotest.fail "third line must blow the read budget");
+  Alcotest.(check (pair int int))
+    "footprint includes the line that did not fit" (3, 0)
+    (Htm.last_set_sizes htm ~core:0)
+
+let test_last_sizes_nt_store_doom () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:1);
+  Htm.tx_store htm ~core:0 ~addr:128 ~value:5 ~pc:2;
+  Htm.nt_store htm ~core:1 ~addr:64 ~value:9;
+  (match Htm.status htm ~core:0 with
+  | Htm.Doomed (Htm.Conflict _) -> ()
+  | _ -> Alcotest.fail "nt store must doom the reader");
+  Alcotest.(check (pair int int)) "sizes survive the nt-store doom" (1, 1)
+    (Htm.last_set_sizes htm ~core:0)
+
+let test_last_sizes_stm_conflict () =
+  let _, _, htm = setup () in
+  Htm.tx_begin htm ~core:0;
+  ignore (Htm.tx_load htm ~core:0 ~addr:64 ~pc:1);
+  Htm.stm_publish htm ~core:1 ~addr:64 ~value:3;
+  (match Htm.status htm ~core:0 with
+  | Htm.Doomed (Htm.Stm_conflict _) -> ()
+  | _ -> Alcotest.fail "stm publish must doom the hardware reader");
+  Alcotest.(check (pair int int)) "sizes survive the stm doom" (1, 0)
+    (Htm.last_set_sizes htm ~core:0)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -311,5 +373,13 @@ let suite =
     Alcotest.test_case "lazy: read-read fine" `Quick test_lazy_read_read_fine;
     Alcotest.test_case "lazy: nt store still eager" `Quick
       test_lazy_nt_store_still_eager;
+    Alcotest.test_case "last_set_sizes: commit path" `Quick
+      test_last_sizes_commit;
+    Alcotest.test_case "last_set_sizes: capacity doom" `Quick
+      test_last_sizes_capacity;
+    Alcotest.test_case "last_set_sizes: nt-store doom" `Quick
+      test_last_sizes_nt_store_doom;
+    Alcotest.test_case "last_set_sizes: stm-publish doom" `Quick
+      test_last_sizes_stm_conflict;
     q qcheck_serializability_two_txs;
   ]

@@ -119,6 +119,162 @@ let test_hierarchy_write_invalidates_peers () =
   let again = Hierarchy.access h ~core:0 ~line:100 ~write:false in
   Alcotest.(check int) "coherence miss back to l3" cfg.Config.l3_latency again
 
+(* -- Linetbl: the flat open-addressed table behind the HTM sets -- *)
+
+let test_linetbl_insert_member () =
+  let t = Linetbl.create ~capacity_hint:4 () in
+  Alcotest.(check bool) "empty" false (Linetbl.mem t 5);
+  Linetbl.add t 5 50;
+  Linetbl.add t 9 90;
+  Alcotest.(check bool) "member 5" true (Linetbl.mem t 5);
+  Alcotest.(check bool) "member 9" true (Linetbl.mem t 9);
+  Alcotest.(check bool) "non-member" false (Linetbl.mem t 6);
+  Alcotest.(check int) "length" 2 (Linetbl.length t);
+  Alcotest.(check int) "value via idx" 50 (Linetbl.value_at t (Linetbl.idx t 5));
+  Alcotest.(check int) "missing idx" (-1) (Linetbl.idx t 6);
+  Linetbl.add t 5 51;
+  Alcotest.(check int) "overwrite keeps length" 2 (Linetbl.length t);
+  Alcotest.(check int) "overwritten value" 51 (Linetbl.value_at t (Linetbl.idx t 5))
+
+let test_linetbl_add_if_absent () =
+  let t = Linetbl.create () in
+  Alcotest.(check bool) "first add is new" true (Linetbl.add_if_absent t 3 30);
+  Alcotest.(check bool) "second add is not" false (Linetbl.add_if_absent t 3 99);
+  Alcotest.(check int) "original value kept" 30 (Linetbl.value_at t (Linetbl.idx t 3))
+
+let test_linetbl_reset_reuse () =
+  let t = Linetbl.create ~capacity_hint:8 () in
+  for round = 1 to 3 do
+    for k = 0 to 9 do
+      Linetbl.add t (k * 7) (round * k)
+    done;
+    Alcotest.(check int) "filled" 10 (Linetbl.length t);
+    Linetbl.reset t;
+    Alcotest.(check int) "reset empties" 0 (Linetbl.length t);
+    for k = 0 to 9 do
+      Alcotest.(check bool) "reset forgets" false (Linetbl.mem t (k * 7))
+    done
+  done
+
+let test_linetbl_growth_at_capacity () =
+  (* hint of 4 preallocates 16 slots; pushing far past the 50% load
+     bound must grow transparently rather than overflow or drop keys *)
+  let t = Linetbl.create ~capacity_hint:4 () in
+  let n = 1000 in
+  for k = 0 to n - 1 do
+    Linetbl.add t k (k * 2)
+  done;
+  Alcotest.(check int) "all inserted" n (Linetbl.length t);
+  Alcotest.(check bool) "capacity grew" true (Linetbl.capacity t >= 2 * n);
+  for k = 0 to n - 1 do
+    Alcotest.(check int) "survived growth" (k * 2)
+      (Linetbl.value_at t (Linetbl.idx t k))
+  done
+
+let test_linetbl_iteration_order () =
+  (* commit and stm_publish walk the write set in this order; it must be
+     insertion order and must survive growth *)
+  let keys = [ 40; 3; 177; 12; 9000; 1; 64; 2048 ] in
+  let t = Linetbl.create ~capacity_hint:2 () in
+  List.iteri (fun i k -> Linetbl.add t k i) keys;
+  let seen = ref [] in
+  Linetbl.iter (fun k v -> seen := (k, v) :: !seen) t;
+  Alcotest.(check (list (pair int int)))
+    "insertion order" (List.mapi (fun i k -> (k, i)) keys) (List.rev !seen);
+  (* force growth, then re-check the prefix order is untouched *)
+  for k = 10_000 to 11_000 do
+    Linetbl.add t k 0
+  done;
+  List.iteri
+    (fun i k ->
+      Alcotest.(check int) "order survives growth" k (Linetbl.key_of_order t i);
+      Alcotest.(check int) "value survives growth" i (Linetbl.value_of_order t i))
+    keys
+
+let test_linetbl_rejects_negative () =
+  let t = Linetbl.create () in
+  Alcotest.check_raises "negative key" (Invalid_argument "Linetbl.set: negative key")
+    (fun () -> Linetbl.add t (-1) 0);
+  Alcotest.(check bool) "mem of negative is false" false (Linetbl.mem t (-3))
+
+let qcheck_linetbl_model =
+  (* model check against Hashtbl over adversarial small keys (lots of
+     collisions at 16 slots) *)
+  QCheck.Test.make ~name:"linetbl: agrees with Hashtbl model" ~count:200
+    QCheck.(list (pair (int_range 0 40) small_nat))
+    (fun ops ->
+      let t = Linetbl.create () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          Linetbl.add t k v;
+          Hashtbl.replace h k v)
+        ops;
+      Hashtbl.length h = Linetbl.length t
+      && Hashtbl.fold
+           (fun k v ok -> ok && Linetbl.idx t k >= 0
+                          && Linetbl.value_at t (Linetbl.idx t k) = v)
+           h true)
+
+(* -- Bitmat: the dense line x core bit matrix -- *)
+
+let test_bitmat_set_test_clear () =
+  let b = Bitmat.create ~cols:128 ~rows_hint:16 () in
+  Alcotest.(check bool) "initially clear" false (Bitmat.test b ~row:3 ~col:70);
+  Bitmat.set b ~row:3 ~col:70;
+  Bitmat.set b ~row:3 ~col:0;
+  Alcotest.(check bool) "set high col" true (Bitmat.test b ~row:3 ~col:70);
+  Alcotest.(check bool) "set col 0" true (Bitmat.test b ~row:3 ~col:0);
+  Alcotest.(check bool) "other row clear" false (Bitmat.test b ~row:4 ~col:70);
+  Bitmat.clear b ~row:3 ~col:70;
+  Alcotest.(check bool) "cleared" false (Bitmat.test b ~row:3 ~col:70);
+  Alcotest.(check bool) "col 0 untouched" true (Bitmat.test b ~row:3 ~col:0)
+
+let test_bitmat_row_growth () =
+  let b = Bitmat.create ~cols:16 ~rows_hint:16 () in
+  Bitmat.set b ~row:5 ~col:2;
+  Bitmat.set b ~row:100_000 ~col:7;
+  Alcotest.(check bool) "old row survives growth" true (Bitmat.test b ~row:5 ~col:2);
+  Alcotest.(check bool) "grown row" true (Bitmat.test b ~row:100_000 ~col:7);
+  Alcotest.(check bool) "read past capacity is false" false
+    (Bitmat.test b ~row:10_000_000 ~col:3)
+
+let test_bitmat_row_queries () =
+  let b = Bitmat.create ~cols:128 () in
+  Alcotest.(check bool) "fresh row empty" true (Bitmat.row_is_empty b ~row:9);
+  Bitmat.set b ~row:9 ~col:63;
+  Alcotest.(check bool) "not empty" false (Bitmat.row_is_empty b ~row:9);
+  Alcotest.(check bool) "has other than 5" true (Bitmat.row_has_other b ~row:9 ~except:5);
+  Alcotest.(check bool) "has no other than 63" false
+    (Bitmat.row_has_other b ~row:9 ~except:63);
+  Bitmat.set b ~row:9 ~col:2;
+  Alcotest.(check bool) "now another besides 63" true
+    (Bitmat.row_has_other b ~row:9 ~except:63);
+  let cols = ref [] in
+  Bitmat.iter_row b ~row:9 (fun c -> cols := c :: !cols);
+  Alcotest.(check (list int)) "iter_row ascending" [ 2; 63 ] (List.rev !cols)
+
+let qcheck_bitmat_model =
+  QCheck.Test.make ~name:"bitmat: agrees with set-of-pairs model" ~count:200
+    QCheck.(list (triple bool (int_range 0 200) (int_range 0 99)))
+    (fun ops ->
+      let b = Bitmat.create ~cols:100 ~rows_hint:16 () in
+      let m = Hashtbl.create 16 in
+      List.iter
+        (fun (set, row, col) ->
+          if set then begin
+            Bitmat.set b ~row ~col;
+            Hashtbl.replace m (row, col) ()
+          end
+          else begin
+            Bitmat.clear b ~row ~col;
+            Hashtbl.remove m (row, col)
+          end)
+        ops;
+      List.for_all
+        (fun (_, row, col) -> Bitmat.test b ~row ~col = Hashtbl.mem m (row, col))
+        ops)
+
 let test_config_pp () =
   let s = Format.asprintf "%a" Config.pp cfg in
   Alcotest.(check bool) "mentions L1" true
@@ -162,6 +318,20 @@ let suite =
     Alcotest.test_case "hierarchy write invalidates peers" `Quick
       test_hierarchy_write_invalidates_peers;
     Alcotest.test_case "config pp" `Quick test_config_pp;
+    Alcotest.test_case "linetbl insert/member" `Quick test_linetbl_insert_member;
+    Alcotest.test_case "linetbl add_if_absent" `Quick test_linetbl_add_if_absent;
+    Alcotest.test_case "linetbl reset and reuse" `Quick test_linetbl_reset_reuse;
+    Alcotest.test_case "linetbl growth at capacity bound" `Quick
+      test_linetbl_growth_at_capacity;
+    Alcotest.test_case "linetbl deterministic iteration order" `Quick
+      test_linetbl_iteration_order;
+    Alcotest.test_case "linetbl rejects negative keys" `Quick
+      test_linetbl_rejects_negative;
+    Alcotest.test_case "bitmat set/test/clear" `Quick test_bitmat_set_test_clear;
+    Alcotest.test_case "bitmat row growth" `Quick test_bitmat_row_growth;
+    Alcotest.test_case "bitmat row queries" `Quick test_bitmat_row_queries;
     q qcheck_cache_insert_then_probe;
     q qcheck_alloc_alignment;
+    q qcheck_linetbl_model;
+    q qcheck_bitmat_model;
   ]

@@ -429,6 +429,31 @@ let test_run_merge_matches_stats_merge () =
     + Registry.counter_value b.Run.metrics "stx_commits" [])
     (Registry.counter_value m.Run.metrics "stx_commits" [])
 
+(* --- GC pressure stamped at export time -------------------------------- *)
+
+let test_gcstats_stamp () =
+  let reg = Registry.create () in
+  Registry.inc reg "stx_commits" [];
+  let out = Gcstats.stamp reg in
+  Alcotest.(check bool) "minor words counted" true
+    (Registry.counter_value out "stx_gc_minor_words" [] > 0);
+  Alcotest.(check bool) "major collections counted" true
+    (Registry.counter_value out "stx_gc_major_collections" [] >= 0);
+  Alcotest.(check int) "existing series carried over" 1
+    (Registry.counter_value out "stx_commits" []);
+  (* the live registry stays clean: online/replay equality depends on it *)
+  Alcotest.(check int) "argument registry untouched" 0
+    (Registry.counter_value reg "stx_gc_minor_words" []);
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "in the JSON snapshot" true
+    (contains (Registry.to_json_string out) "stx_gc_minor_words");
+  Alcotest.(check bool) "in the Prometheus exposition" true
+    (contains (Registry.to_prometheus out) "stx_gc_major_collections")
+
 (* --- the phase profile: the paper's claim, measured -------------------- *)
 
 let genome () =
@@ -465,17 +490,31 @@ let entry ?(workload = "genome") ?(mode = "HTM") ?(throughput = 100.) () =
     suffix_share = 0.1;
   }
 
-let snapshot entries =
+let sim_entry ?(workload = "genome") ?(events_per_sec = 1_000_000.)
+    ?(words_per_event = 0.5) () =
+  {
+    Stx_harness.Bench.sim_workload = workload;
+    sim_events = 100_000;
+    sim_events_per_sec = events_per_sec;
+    sim_minor_words_per_event = words_per_event;
+  }
+
+let snapshot ?(sims = []) entries =
   {
     Stx_harness.Bench.schema_version = Stx_harness.Bench.schema_version;
     seed = 3;
     scale = 0.05;
     threads = 4;
     entries;
+    sims;
   }
 
 let test_bench_json_round_trip () =
-  let t = snapshot [ entry (); entry ~mode:"Staggered" ~throughput:123.456 () ] in
+  let t =
+    snapshot
+      ~sims:[ sim_entry (); sim_entry ~workload:"intruder" ~words_per_event:0. () ]
+      [ entry (); entry ~mode:"Staggered" ~throughput:123.456 () ]
+  in
   match Stx_harness.Bench.of_json_string (Stx_harness.Bench.to_json_string t) with
   | Error e -> Alcotest.fail e
   | Ok t' ->
@@ -492,6 +531,18 @@ let test_bench_rejects_foreign_version () =
   | Ok _ -> Alcotest.fail "accepted a future schema version"
   | Error e ->
     Alcotest.(check bool) "message names the version" true
+      (String.length e > 0)
+
+let test_bench_v2_requires_sims () =
+  (* a version-2 snapshot without the sim series is structurally invalid *)
+  let s =
+    "{\"schema\":\"stx-bench\",\"version\":2,\"seed\":1,\"scale\":1.0,\
+     \"threads\":4,\"entries\":[]}"
+  in
+  match Stx_harness.Bench.of_json_string s with
+  | Ok _ -> Alcotest.fail "accepted a v2 snapshot with no sims field"
+  | Error e ->
+    Alcotest.(check bool) "message names the field" true
       (String.length e > 0)
 
 let verdict_of baseline_thr new_thr =
@@ -539,6 +590,73 @@ let test_bench_gate_exit_condition () =
   Alcotest.check_raises "threshold validated"
     (Invalid_argument "Bench.compare_runs: threshold must be in (0, 1)")
     (fun () -> ignore (compare_runs ~threshold:1.5 ~baseline regressed))
+
+let sim_verdict_of ~base ~fresh =
+  let open Stx_harness.Bench in
+  let cs =
+    compare_sims ~baseline:(snapshot ~sims:[ base ] [])
+      (snapshot ~sims:[ fresh ] [])
+  in
+  match cs with [ c ] -> c.s_verdict | _ -> Alcotest.fail "expected one cell"
+
+let test_sim_compare_verdicts () =
+  let open Stx_harness.Bench in
+  Alcotest.(check bool) "slower past the gate regresses" true
+    (sim_verdict_of ~base:(sim_entry ())
+       ~fresh:(sim_entry ~events_per_sec:700_000. ())
+    = Regressed);
+  Alcotest.(check bool) "faster past the gate improves" true
+    (sim_verdict_of ~base:(sim_entry ())
+       ~fresh:(sim_entry ~events_per_sec:1_300_000. ())
+    = Improved);
+  Alcotest.(check bool) "more allocation past the gate regresses" true
+    (sim_verdict_of ~base:(sim_entry ())
+       ~fresh:(sim_entry ~words_per_event:0.8 ())
+    = Regressed);
+  Alcotest.(check bool) "less allocation past the gate improves" true
+    (sim_verdict_of ~base:(sim_entry ())
+       ~fresh:(sim_entry ~words_per_event:0.1 ())
+    = Improved);
+  Alcotest.(check bool) "within both gates is neutral" true
+    (sim_verdict_of ~base:(sim_entry ())
+       ~fresh:(sim_entry ~events_per_sec:1_100_000. ~words_per_event:0.55 ())
+    = Neutral);
+  Alcotest.(check bool) "zero-alloc baseline leaves only the speed leg" true
+    (sim_verdict_of
+       ~base:(sim_entry ~words_per_event:0. ())
+       ~fresh:(sim_entry ~words_per_event:0.01 ())
+    = Neutral);
+  Alcotest.(check int) "regression list filters" 1
+    (List.length
+       (sim_regressions
+          (compare_sims
+             ~baseline:
+               (snapshot ~sims:[ sim_entry (); sim_entry ~workload:"tsp" () ] [])
+             (snapshot
+                ~sims:
+                  [
+                    sim_entry ~events_per_sec:100. ();
+                    sim_entry ~workload:"tsp" ();
+                  ]
+                []))))
+
+let test_sim_alloc_budget () =
+  let open Stx_harness.Bench in
+  let ok = snapshot ~sims:[ sim_entry ~words_per_event:6.8 () ] [] in
+  Alcotest.(check int) "under budget: no violations" 0
+    (List.length (alloc_violations ok));
+  let bad =
+    snapshot
+      ~sims:
+        [
+          sim_entry ~words_per_event:6.8 ();
+          sim_entry ~workload:"tsp" ~words_per_event:minor_words_budget ();
+        ]
+      []
+  in
+  match alloc_violations bad with
+  | [ e ] -> Alcotest.(check string) "the offender" "tsp" e.sim_workload
+  | _ -> Alcotest.fail "expected exactly one violation"
 
 let suite =
   let q = QCheck_alcotest.to_alcotest in
@@ -604,4 +722,12 @@ let suite =
       test_bench_added_removed_not_regressions;
     Alcotest.test_case "the gate fires on an injected regression" `Quick
       test_bench_gate_exit_condition;
+    Alcotest.test_case "v2 snapshots require the sim series" `Quick
+      test_bench_v2_requires_sims;
+    Alcotest.test_case "sim compare verdicts (speed and alloc legs)" `Quick
+      test_sim_compare_verdicts;
+    Alcotest.test_case "sim allocation budget violations" `Quick
+      test_sim_alloc_budget;
+    Alcotest.test_case "gc counters stamped at export" `Quick
+      test_gcstats_stamp;
   ]

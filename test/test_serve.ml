@@ -211,12 +211,12 @@ let test_arrival_of_string () =
 
 (* --- the serving driver ------------------------------------------------ *)
 
-let serve_cfg ?(shards = 3) ?(threads = 8) () =
+let serve_cfg ?(shards = 3) ?(threads = 8) ?shard_by () =
   match Stx_workloads.Registry.find_service "memcached" with
   | None -> Alcotest.fail "memcached service missing"
   | Some service ->
     Serve.config ~threads ~seed:13 ~keys:(Keys.Zipf 0.9) ~horizon:20_000
-      ~shards
+      ~shards ?shard_by
       ~arrival:(Arrival.Poisson { rate = 3.0 })
       service
 
@@ -264,6 +264,37 @@ let test_serve_shards_partition_load () =
     (Printf.sprintf "3-shard total %d within [%d, %d]" r3.Serve.requests lo hi)
     true
     (r3.Serve.requests >= lo && r3.Serve.requests <= hi)
+
+let test_serve_key_sharding_partitions_exactly () =
+  (* key sharding routes one full-rate stream: the shard totals must sum
+     to exactly the single-shard request count, and every shard run must
+     still reconcile *)
+  let r1 = Serve.run ~jobs:1 (serve_cfg ~shards:1 ~shard_by:Serve.Key ()) in
+  let r4 = Serve.run ~jobs:1 (serve_cfg ~shards:4 ~shard_by:Serve.Key ()) in
+  Alcotest.(check (list string)) "1-shard clean" [] r1.Serve.errors;
+  Alcotest.(check (list string)) "4-shard clean" [] r4.Serve.errors;
+  Alcotest.(check int) "disjoint exact partition of the stream"
+    r1.Serve.requests r4.Serve.requests;
+  Alcotest.(check bool) "nonempty" true (r1.Serve.requests > 0)
+
+let test_serve_key_sharding_deterministic () =
+  let cfg = serve_cfg ~shards:2 ~threads:4 ~shard_by:Serve.Key () in
+  let a = Serve.run ~jobs:1 cfg in
+  let b = Serve.run ~jobs:2 cfg in
+  Alcotest.(check bool) "jobs-invariant" true
+    (Stx_metrics.Registry.equal a.Serve.registry b.Serve.registry);
+  Alcotest.(check string) "reports identical" (Serve.render cfg a)
+    (Serve.render cfg b)
+
+let test_serve_shard_by_strings () =
+  Alcotest.(check bool) "seed" true
+    (Serve.shard_by_of_string "seed" = Ok Serve.Seed);
+  Alcotest.(check bool) "key" true
+    (Serve.shard_by_of_string "key" = Ok Serve.Key);
+  Alcotest.(check bool) "junk rejected" true
+    (Result.is_error (Serve.shard_by_of_string "hash"));
+  Alcotest.(check string) "round-trip" "key"
+    (Serve.shard_by_to_string Serve.Key)
 
 (* --- the request events in the trace codec ----------------------------- *)
 
@@ -355,6 +386,12 @@ let suite =
       test_serve_repeat_identical;
     Alcotest.test_case "serve: shards partition the offered load" `Quick
       test_serve_shards_partition_load;
+    Alcotest.test_case "key sharding partitions the stream exactly" `Quick
+      test_serve_key_sharding_partitions_exactly;
+    Alcotest.test_case "key sharding deterministic across jobs" `Quick
+      test_serve_key_sharding_deterministic;
+    Alcotest.test_case "shard-by parse/print" `Quick
+      test_serve_shard_by_strings;
     Alcotest.test_case "trace codec round-trips request events" `Quick
       test_trace_roundtrip_req_events;
     Alcotest.test_case "memcached: default params reproduce the bench" `Quick
